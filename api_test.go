@@ -1,0 +1,172 @@
+package havoqgt
+
+import (
+	"testing"
+
+	"havoqgt/internal/graph"
+	"havoqgt/internal/ref"
+	"havoqgt/internal/xrand"
+)
+
+func testEdges(n uint64, m int, seed uint64) []Edge {
+	rng := xrand.New(seed)
+	edges := make([]Edge, m)
+	for i := range edges {
+		edges[i] = Edge{Src: Vertex(rng.Uint64n(n)), Dst: Vertex(rng.Uint64n(n))}
+	}
+	return edges
+}
+
+func TestFacadeBFS(t *testing.T) {
+	raw := testEdges(64, 200, 1)
+	g, err := NewGraph(raw, 64, Options{Ranks: 4, Undirect: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := g.BFS(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	adj := ref.BuildAdj(graph.Undirect(raw), 64)
+	want, _ := ref.BFS(adj, 3)
+	for v := range want {
+		if res.Levels[v] != want[v] {
+			t.Fatalf("level(%d) = %d, want %d", v, res.Levels[v], want[v])
+		}
+	}
+	if res.Reached == 0 || res.MaxLevel == 0 {
+		t.Fatalf("result summary empty: %+v", res)
+	}
+	if _, err := g.BFS(Vertex(99999)); err == nil {
+		t.Fatal("out-of-range source accepted")
+	}
+}
+
+func TestFacadeReusableAcrossAlgorithms(t *testing.T) {
+	raw := testEdges(64, 300, 2)
+	g, err := NewGraph(raw, 64, Options{Ranks: 3, Undirect: true, Simplify: true, Topology: "2d"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	und := graph.Simplify(graph.Undirect(raw))
+	adj := ref.BuildAdj(und, 64)
+
+	// Components.
+	comps, err := g.Components()
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantLabels, wantCount := ref.Components(adj)
+	if comps.Count != wantCount {
+		t.Fatalf("components = %d, want %d", comps.Count, wantCount)
+	}
+	for v := range wantLabels {
+		if comps.Labels[v] != wantLabels[v] {
+			t.Fatalf("label(%d) = %d, want %d", v, comps.Labels[v], wantLabels[v])
+		}
+	}
+
+	// K-core.
+	kc, err := g.KCore(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantCore := ref.KCore(adj, 3)
+	for v := range wantCore {
+		if kc.InCore[v] != wantCore[v] {
+			t.Fatalf("in-core(%d) = %v, want %v", v, kc.InCore[v], wantCore[v])
+		}
+	}
+	if kc.CoreSize != ref.CoreSize(wantCore) {
+		t.Fatalf("core size = %d", kc.CoreSize)
+	}
+
+	// Triangles.
+	tri, err := g.CountTriangles()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := ref.CountTriangles(adj); tri != want {
+		t.Fatalf("triangles = %d, want %d", tri, want)
+	}
+
+	// SSSP.
+	sp, err := g.ShortestPaths(1, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sp.Distances[1] != 0 {
+		t.Fatal("source distance nonzero")
+	}
+
+	// BFS again on the same graph: the machine is reusable.
+	if _, err := g.BFS(0); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFacadeGenerateRMAT(t *testing.T) {
+	g, err := GenerateRMAT(9, 5, Options{Ranks: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumVertices() != 512 {
+		t.Fatalf("n = %d", g.NumVertices())
+	}
+	if g.NumEdges() == 0 {
+		t.Fatal("no edges")
+	}
+	res, err := g.BFS(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Reached < 2 {
+		t.Fatalf("reached %d vertices", res.Reached)
+	}
+	d, err := g.Degree(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = d
+	if _, err := g.Degree(Vertex(1 << 40)); err == nil {
+		t.Fatal("out-of-range degree accepted")
+	}
+}
+
+func TestFacadeEstimateTriangles(t *testing.T) {
+	raw := testEdges(128, 2000, 9)
+	g, err := NewGraph(raw, 128, Options{Ranks: 3, Undirect: true, Simplify: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	exact, err := g.CountTriangles()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if exact == 0 {
+		t.Skip("no triangles at this seed")
+	}
+	est, err := g.EstimateTriangles(0.5, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if est < float64(exact)/3 || est > float64(exact)*3 {
+		t.Fatalf("estimate %.0f wildly off exact %d", est, exact)
+	}
+	if _, err := g.EstimateTriangles(1.5, 0); err == nil {
+		t.Fatal("bad sample probability accepted")
+	}
+}
+
+func TestFacadeValidation(t *testing.T) {
+	if _, err := NewGraph(nil, 8, Options{Ranks: 2, Topology: "hypercube"}); err == nil {
+		t.Fatal("unknown topology accepted")
+	}
+	g, err := NewGraph(nil, 8, Options{Ranks: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := g.KCore(0); err == nil {
+		t.Fatal("k=0 accepted")
+	}
+}

@@ -1,0 +1,531 @@
+// Command havoq is the command-line front end to the library: generate
+// synthetic scale-free graphs, inspect their degree structure, and run the
+// distributed asynchronous algorithms (BFS, k-core, triangle counting) over
+// a simulated distributed machine — optionally with edge storage on
+// simulated node-local NVRAM.
+//
+// Usage:
+//
+//	havoq generate -model rmat -scale 16 -seed 1 -out graph.hvqg
+//	havoq stats    -in graph.hvqg
+//	havoq bfs      -in graph.hvqg -p 8 -ghosts 256 -topo 2d [-nvram]
+//	havoq kcore    -in graph.hvqg -p 8 -k 4,16,64
+//	havoq tc       -in graph.hvqg -p 8
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"havoqgt/internal/algos/bfs"
+	"havoqgt/internal/algos/cc"
+	"havoqgt/internal/algos/kcore"
+	"havoqgt/internal/algos/sssp"
+	"havoqgt/internal/algos/triangle"
+	"havoqgt/internal/core"
+	"havoqgt/internal/extmem"
+	"havoqgt/internal/generators"
+	"havoqgt/internal/graph"
+	"havoqgt/internal/graphio"
+	"havoqgt/internal/harness"
+	"havoqgt/internal/mailbox"
+	"havoqgt/internal/partition"
+	"havoqgt/internal/rt"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	var err error
+	switch os.Args[1] {
+	case "generate":
+		err = cmdGenerate(os.Args[2:])
+	case "stats":
+		err = cmdStats(os.Args[2:])
+	case "bfs":
+		err = cmdBFS(os.Args[2:])
+	case "kcore":
+		err = cmdKCore(os.Args[2:])
+	case "tc":
+		err = cmdTriangles(os.Args[2:])
+	case "sssp":
+		err = cmdSSSP(os.Args[2:])
+	case "cc":
+		err = cmdCC(os.Args[2:])
+	case "convert":
+		err = cmdConvert(os.Args[2:])
+	case "help", "-h", "--help":
+		usage()
+	default:
+		fmt.Fprintf(os.Stderr, "havoq: unknown command %q\n", os.Args[1])
+		usage()
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "havoq: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprint(os.Stderr, `havoq — distributed scale-free graph toolkit
+
+commands:
+  generate   generate a synthetic graph (rmat | pa | sw) into a file
+  stats      print degree statistics and hub census of a graph file
+  bfs        run distributed asynchronous BFS
+  kcore      run distributed k-core decomposition
+  tc         run distributed triangle counting
+  sssp       run distributed single-source shortest path
+  cc         run distributed connected components
+  convert    convert between text (.txt/.tsv) and binary (.hvqg) edge lists
+
+run 'havoq <command> -h' for flags.
+`)
+}
+
+func cmdGenerate(args []string) error {
+	fs := flag.NewFlagSet("generate", flag.ExitOnError)
+	model := fs.String("model", "rmat", "graph model: rmat | pa | sw")
+	scale := fs.Uint("scale", 14, "log2 of the vertex count")
+	edgefactor := fs.Uint64("edgefactor", 16, "edges per vertex (rmat)")
+	m := fs.Uint64("m", 8, "edges per new vertex (pa)")
+	k := fs.Uint64("k", 16, "ring degree (sw)")
+	rewire := fs.Float64("rewire", 0, "rewire probability (pa, sw)")
+	seed := fs.Uint64("seed", 1, "generator seed")
+	out := fs.String("out", "graph.hvqg", "output file")
+	fs.Parse(args)
+
+	n := uint64(1) << *scale
+	var edges []graph.Edge
+	switch *model {
+	case "rmat":
+		g := generators.NewGraph500(*scale, *seed)
+		g.EdgeFactor = *edgefactor
+		edges = g.Generate()
+	case "pa":
+		edges = generators.NewPA(n, *m, *rewire, *seed).Generate()
+	case "sw":
+		edges = generators.NewSmallWorld(n, *k, *rewire, *seed).Generate()
+	default:
+		return fmt.Errorf("unknown model %q", *model)
+	}
+	if err := graphio.WriteFile(*out, n, edges); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s: model=%s vertices=%d directed-edges=%d\n", *out, *model, n, len(edges))
+	return nil
+}
+
+func cmdStats(args []string) error {
+	fs := flag.NewFlagSet("stats", flag.ExitOnError)
+	in := fs.String("in", "graph.hvqg", "input graph file")
+	fs.Parse(args)
+
+	h, edges, err := graphio.ReadFile(*in)
+	if err != nil {
+		return err
+	}
+	und := graph.Undirect(edges)
+	deg := graph.OutDegrees(und, h.NumVertices)
+	c := graph.Census(deg)
+	fmt.Printf("vertices:            %d\n", c.NumVertices)
+	fmt.Printf("undirected edges:    %d\n", c.NumEdges/2)
+	fmt.Printf("max degree:          %d\n", c.MaxDegree)
+	fmt.Printf("edges on deg>=1k:    %d\n", c.EdgesDeg1K)
+	fmt.Printf("edges on deg>=10k:   %d\n", c.EdgesDeg10K)
+	return nil
+}
+
+// runOpts are the shared distributed-run flags.
+type runOpts struct {
+	in      string
+	p       int
+	topo    string
+	oneD    bool
+	nvram   bool
+	cacheMB int
+}
+
+func addRunFlags(fs *flag.FlagSet) *runOpts {
+	o := &runOpts{}
+	fs.StringVar(&o.in, "in", "graph.hvqg", "input graph file")
+	fs.IntVar(&o.p, "p", 8, "number of simulated ranks")
+	fs.StringVar(&o.topo, "topo", "2d", "mailbox routing topology: 1d | 2d | 3d")
+	fs.BoolVar(&o.oneD, "1d-partition", false, "use the 1D baseline partitioning instead of edge list partitioning")
+	fs.BoolVar(&o.nvram, "nvram", false, "store edges on simulated node-local NVRAM")
+	fs.IntVar(&o.cacheMB, "cache-mb", 4, "per-rank page cache budget in MiB (with -nvram)")
+	return o
+}
+
+// setupRank loads a rank's chunk and builds its partition.
+func (o *runOpts) setupRank(r *rt.Rank, simplify bool) (*partition.Part, *extmem.Store, error) {
+	chunk, err := graphio.ReadChunk(o.in, r.Rank(), r.Size())
+	if err != nil {
+		return nil, nil, err
+	}
+	h, err := graphio.ReadHeader(o.in)
+	if err != nil {
+		return nil, nil, err
+	}
+	local := graph.Undirect(chunk)
+	var part *partition.Part
+	switch {
+	case o.oneD:
+		part, err = partition.Build1D(r, local, h.NumVertices)
+	case simplify:
+		part, err = partition.BuildEdgeListSimple(r, local, h.NumVertices)
+	default:
+		part, err = partition.BuildEdgeList(r, local, h.NumVertices)
+	}
+	if err != nil {
+		return nil, nil, err
+	}
+	var store *extmem.Store
+	if o.nvram {
+		cfg := extmem.DefaultNVRAM()
+		cfg.CacheBytes = o.cacheMB << 20
+		store, err = extmem.ExternalizeCSR(part.CSR, cfg)
+		if err != nil {
+			return nil, nil, err
+		}
+	}
+	return part, store, nil
+}
+
+func (o *runOpts) coreConfig(r *rt.Rank, part *partition.Part, ghosts int) (core.Config, error) {
+	topo, err := mailbox.ByName(o.topo, r.Size())
+	if err != nil {
+		return core.Config{}, err
+	}
+	cfg := core.Config{Topology: topo}
+	if ghosts > 0 {
+		cfg.Ghosts = core.BuildGhostTable(part, ghosts)
+	}
+	return cfg, nil
+}
+
+func cmdBFS(args []string) error {
+	fs := flag.NewFlagSet("bfs", flag.ExitOnError)
+	o := addRunFlags(fs)
+	source := fs.Uint64("source", 0, "BFS source vertex")
+	ghosts := fs.Int("ghosts", core.DefaultGhostsPerPartition, "ghost vertices per partition (0 disables)")
+	validate := fs.Bool("validate", false, "run Graph500-style distributed validation after the traversal")
+	fs.Parse(args)
+
+	var teps float64
+	var reached, traversed uint64
+	var depth uint32
+	var elapsed time.Duration
+	var hitRate float64 = -1
+	var runErr error
+	rt.NewMachine(o.p).Run(func(r *rt.Rank) {
+		part, store, err := o.setupRank(r, false)
+		if err != nil {
+			panic(err)
+		}
+		cfg, err := o.coreConfig(r, part, *ghosts)
+		if err != nil {
+			panic(err)
+		}
+		if uint64(*source) >= part.NumVertices {
+			if r.Rank() == 0 {
+				runErr = fmt.Errorf("source %d out of range (n=%d)", *source, part.NumVertices)
+			}
+			return
+		}
+		r.Barrier()
+		start := time.Now()
+		res := bfs.Run(r, part, graph.Vertex(*source), cfg)
+		r.Barrier()
+		t := time.Since(start)
+		edges := r.AllReduceU64(res.ReachedEdges(), rt.Sum) / 2
+		verts := r.AllReduceU64(res.ReachedVertices(), rt.Sum)
+		lvl := uint32(r.AllReduceU64(uint64(res.MaxLevel()), rt.Max))
+		if *validate {
+			if err := harness.ValidateBFS(r, part, res.BFS, graph.Vertex(*source)); err != nil {
+				panic(fmt.Sprintf("validation failed: %v", err))
+			}
+		}
+		var h, m uint64
+		if store != nil {
+			st := store.Cache().Stats()
+			h, m = st.Hits, st.Misses
+		}
+		h = r.AllReduceU64(h, rt.Sum)
+		m = r.AllReduceU64(m, rt.Sum)
+		if r.Rank() == 0 {
+			elapsed = t
+			reached = verts
+			traversed = edges
+			depth = lvl
+			teps = float64(edges) / t.Seconds()
+			if o.nvram && h+m > 0 {
+				hitRate = float64(h) / float64(h+m)
+			}
+		}
+		if store != nil {
+			store.Close()
+		}
+	})
+	if runErr != nil {
+		return runErr
+	}
+	fmt.Printf("bfs: source=%d ranks=%d topo=%s\n", *source, o.p, o.topo)
+	fmt.Printf("  time:             %v\n", elapsed.Round(time.Microsecond))
+	fmt.Printf("  reached vertices: %d\n", reached)
+	fmt.Printf("  traversed edges:  %d\n", traversed)
+	fmt.Printf("  bfs depth:        %d\n", depth)
+	fmt.Printf("  TEPS:             %.3g\n", teps)
+	if hitRate >= 0 {
+		fmt.Printf("  cache hit rate:   %.1f%%\n", 100*hitRate)
+	}
+	if *validate {
+		fmt.Println("  validation:       passed")
+	}
+	return nil
+}
+
+func cmdSSSP(args []string) error {
+	fs := flag.NewFlagSet("sssp", flag.ExitOnError)
+	o := addRunFlags(fs)
+	source := fs.Uint64("source", 0, "SSSP source vertex")
+	ghosts := fs.Int("ghosts", core.DefaultGhostsPerPartition, "ghost vertices per partition (0 disables)")
+	weightSeed := fs.Uint64("weight-seed", 1, "seed for the synthesized edge weights")
+	fs.Parse(args)
+
+	var reached uint64
+	var maxDist uint64
+	var elapsed time.Duration
+	rt.NewMachine(o.p).Run(func(r *rt.Rank) {
+		part, store, err := o.setupRank(r, false)
+		if err != nil {
+			panic(err)
+		}
+		cfg, err := o.coreConfig(r, part, *ghosts)
+		if err != nil {
+			panic(err)
+		}
+		r.Barrier()
+		start := time.Now()
+		res := sssp.Run(r, part, graph.Vertex(*source), *weightSeed, cfg)
+		r.Barrier()
+		t := time.Since(start)
+		lo, hi := part.Owners.MasterRange(part.Rank)
+		var localReached, localMax uint64
+		for v := lo; v < hi; v++ {
+			i, _ := part.LocalIndex(graph.Vertex(v))
+			if d := res.Dist[i]; d != sssp.Unreached {
+				localReached++
+				if d > localMax {
+					localMax = d
+				}
+			}
+		}
+		gr := r.AllReduceU64(localReached, rt.Sum)
+		gm := r.AllReduceU64(localMax, rt.Max)
+		if r.Rank() == 0 {
+			elapsed, reached, maxDist = t, gr, gm
+		}
+		if store != nil {
+			store.Close()
+		}
+	})
+	fmt.Printf("sssp: source=%d ranks=%d topo=%s\n", *source, o.p, o.topo)
+	fmt.Printf("  time:             %v\n", elapsed.Round(time.Microsecond))
+	fmt.Printf("  reached vertices: %d\n", reached)
+	fmt.Printf("  max distance:     %d\n", maxDist)
+	return nil
+}
+
+func cmdCC(args []string) error {
+	fs := flag.NewFlagSet("cc", flag.ExitOnError)
+	o := addRunFlags(fs)
+	ghosts := fs.Int("ghosts", core.DefaultGhostsPerPartition, "ghost vertices per partition (0 disables)")
+	fs.Parse(args)
+
+	var components uint64
+	var elapsed time.Duration
+	rt.NewMachine(o.p).Run(func(r *rt.Rank) {
+		part, store, err := o.setupRank(r, false)
+		if err != nil {
+			panic(err)
+		}
+		cfg, err := o.coreConfig(r, part, *ghosts)
+		if err != nil {
+			panic(err)
+		}
+		r.Barrier()
+		start := time.Now()
+		res := cc.Run(r, part, cfg)
+		r.Barrier()
+		t := time.Since(start)
+		n := cc.NumComponents(r, res)
+		if r.Rank() == 0 {
+			elapsed, components = t, n
+		}
+		if store != nil {
+			store.Close()
+		}
+	})
+	fmt.Printf("cc: ranks=%d topo=%s\n", o.p, o.topo)
+	fmt.Printf("  components: %d\n", components)
+	fmt.Printf("  time:       %v\n", elapsed.Round(time.Microsecond))
+	return nil
+}
+
+func cmdKCore(args []string) error {
+	fs := flag.NewFlagSet("kcore", flag.ExitOnError)
+	o := addRunFlags(fs)
+	ks := fs.String("k", "4,16,64", "comma-separated list of k values")
+	fs.Parse(args)
+
+	var kvals []uint32
+	for _, s := range strings.Split(*ks, ",") {
+		v, err := strconv.ParseUint(strings.TrimSpace(s), 10, 32)
+		if err != nil || v < 1 {
+			return fmt.Errorf("bad k value %q", s)
+		}
+		kvals = append(kvals, uint32(v))
+	}
+	type row struct {
+		k    uint32
+		size uint64
+		t    time.Duration
+	}
+	rows := make([]row, len(kvals))
+	rt.NewMachine(o.p).Run(func(r *rt.Rank) {
+		part, store, err := o.setupRank(r, true)
+		if err != nil {
+			panic(err)
+		}
+		for i, k := range kvals {
+			cfg, err := o.coreConfig(r, part, 0)
+			if err != nil {
+				panic(err)
+			}
+			r.Barrier()
+			start := time.Now()
+			res := kcore.Run(r, part, k, cfg)
+			r.Barrier()
+			t := time.Since(start)
+			size := kcore.GlobalCoreSize(r, res)
+			if r.Rank() == 0 {
+				rows[i] = row{k: k, size: size, t: t}
+			}
+		}
+		if store != nil {
+			store.Close()
+		}
+	})
+	fmt.Printf("kcore: ranks=%d topo=%s\n", o.p, o.topo)
+	for _, row := range rows {
+		fmt.Printf("  k=%-5d core-size=%-10d time=%v\n", row.k, row.size, row.t.Round(time.Microsecond))
+	}
+	return nil
+}
+
+func cmdTriangles(args []string) error {
+	fs := flag.NewFlagSet("tc", flag.ExitOnError)
+	o := addRunFlags(fs)
+	fs.Parse(args)
+
+	var count uint64
+	var elapsed time.Duration
+	rt.NewMachine(o.p).Run(func(r *rt.Rank) {
+		part, store, err := o.setupRank(r, true)
+		if err != nil {
+			panic(err)
+		}
+		cfg, err := o.coreConfig(r, part, 0)
+		if err != nil {
+			panic(err)
+		}
+		r.Barrier()
+		start := time.Now()
+		res := triangle.Run(r, part, cfg)
+		r.Barrier()
+		if r.Rank() == 0 {
+			count = res.GlobalCount
+			elapsed = time.Since(start)
+		}
+		if store != nil {
+			store.Close()
+		}
+	})
+	fmt.Printf("tc: ranks=%d topo=%s\n", o.p, o.topo)
+	fmt.Printf("  triangles: %d\n", count)
+	fmt.Printf("  time:      %v\n", elapsed.Round(time.Microsecond))
+	return nil
+}
+
+// cmdConvert translates edge lists between the text and binary formats,
+// choosing directions from the file extensions.
+func cmdConvert(args []string) error {
+	fs := flag.NewFlagSet("convert", flag.ExitOnError)
+	in := fs.String("in", "", "input edge list (.txt/.tsv/.csv or .hvqg)")
+	out := fs.String("out", "", "output edge list (.txt/.tsv/.csv or .hvqg)")
+	n := fs.Uint64("n", 0, "vertex count override (default: max id + 1 for text input)")
+	fs.Parse(args)
+	if *in == "" || *out == "" {
+		return fmt.Errorf("convert needs -in and -out")
+	}
+
+	isText := func(path string) bool {
+		for _, ext := range []string{".txt", ".tsv", ".csv", ".el"} {
+			if strings.HasSuffix(path, ext) {
+				return true
+			}
+		}
+		return false
+	}
+
+	var edges []graph.Edge
+	var numVertices uint64
+	if isText(*in) {
+		f, err := os.Open(*in)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		edges, numVertices, err = graphio.ReadText(f)
+		if err != nil {
+			return err
+		}
+	} else {
+		h, e, err := graphio.ReadFile(*in)
+		if err != nil {
+			return err
+		}
+		edges, numVertices = e, h.NumVertices
+	}
+	if *n > 0 {
+		numVertices = *n
+	}
+
+	if isText(*out) {
+		f, err := os.Create(*out)
+		if err != nil {
+			return err
+		}
+		if err := graphio.WriteText(f, edges); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+	} else {
+		if err := graphio.WriteFile(*out, numVertices, edges); err != nil {
+			return err
+		}
+	}
+	fmt.Printf("converted %s -> %s: %d vertices, %d edges\n", *in, *out, numVertices, len(edges))
+	return nil
+}

@@ -1,0 +1,160 @@
+package main
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// genGraph writes a small test graph and returns its path.
+func genGraph(t *testing.T, model string, extra ...string) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "g.hvqg")
+	args := append([]string{"-model", model, "-scale", "9", "-seed", "3", "-out", path}, extra...)
+	if err := cmdGenerate(args); err != nil {
+		t.Fatalf("generate: %v", err)
+	}
+	return path
+}
+
+func TestGenerateAllModels(t *testing.T) {
+	for _, model := range []string{"rmat", "pa", "sw"} {
+		genGraph(t, model)
+	}
+}
+
+func TestGenerateRejectsUnknownModel(t *testing.T) {
+	if err := cmdGenerate([]string{"-model", "nope", "-out", filepath.Join(t.TempDir(), "x")}); err == nil {
+		t.Fatal("unknown model accepted")
+	}
+}
+
+func TestStats(t *testing.T) {
+	path := genGraph(t, "rmat")
+	if err := cmdStats([]string{"-in", path}); err != nil {
+		t.Fatal(err)
+	}
+	if err := cmdStats([]string{"-in", path + ".missing"}); err == nil {
+		t.Fatal("missing file accepted")
+	}
+}
+
+func TestBFSCommandWithValidation(t *testing.T) {
+	path := genGraph(t, "rmat")
+	for _, topo := range []string{"1d", "2d", "3d"} {
+		args := []string{"-in", path, "-p", "4", "-topo", topo, "-source", "1", "-validate"}
+		if err := cmdBFS(args); err != nil {
+			t.Fatalf("topo %s: %v", topo, err)
+		}
+	}
+}
+
+func TestBFSCommandNVRAM(t *testing.T) {
+	path := genGraph(t, "rmat")
+	if err := cmdBFS([]string{"-in", path, "-p", "2", "-nvram", "-cache-mb", "1", "-source", "0"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBFSCommand1DPartition(t *testing.T) {
+	path := genGraph(t, "rmat")
+	if err := cmdBFS([]string{"-in", path, "-p", "4", "-1d-partition", "-source", "0", "-validate"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBFSCommandRejectsBadSource(t *testing.T) {
+	path := genGraph(t, "rmat")
+	if err := cmdBFS([]string{"-in", path, "-p", "2", "-source", "99999999"}); err == nil {
+		t.Fatal("out-of-range source accepted")
+	}
+}
+
+func TestKCoreCommand(t *testing.T) {
+	path := genGraph(t, "rmat")
+	if err := cmdKCore([]string{"-in", path, "-p", "3", "-k", "2,4"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := cmdKCore([]string{"-in", path, "-k", "0"}); err == nil {
+		t.Fatal("k=0 accepted")
+	}
+	if err := cmdKCore([]string{"-in", path, "-k", "abc"}); err == nil {
+		t.Fatal("non-numeric k accepted")
+	}
+}
+
+func TestTriangleCommand(t *testing.T) {
+	path := genGraph(t, "sw", "-k", "8")
+	if err := cmdTriangles([]string{"-in", path, "-p", "3"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSSSPCommand(t *testing.T) {
+	path := genGraph(t, "rmat")
+	if err := cmdSSSP([]string{"-in", path, "-p", "3", "-source", "2"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCCCommand(t *testing.T) {
+	path := genGraph(t, "pa")
+	if err := cmdCC([]string{"-in", path, "-p", "3"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	dir := t.TempDir()
+	a := filepath.Join(dir, "a.hvqg")
+	b := filepath.Join(dir, "b.hvqg")
+	for i, path := range []string{a, b} {
+		if err := cmdGenerate([]string{"-model", "rmat", "-scale", "8", "-seed", "5", "-out", path}); err != nil {
+			t.Fatalf("gen %d: %v", i, err)
+		}
+	}
+	fa, _ := filepath.Glob(a)
+	fb, _ := filepath.Glob(b)
+	if len(fa) != 1 || len(fb) != 1 {
+		t.Fatal("outputs missing")
+	}
+	da := readAll(t, a)
+	db := readAll(t, b)
+	if fmt.Sprintf("%x", da) != fmt.Sprintf("%x", db) {
+		t.Fatal("same seed produced different files")
+	}
+}
+
+func readAll(t *testing.T, path string) []byte {
+	t.Helper()
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return data
+}
+
+func TestConvertRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	bin := genGraph(t, "rmat")
+	txt := filepath.Join(dir, "g.tsv")
+	bin2 := filepath.Join(dir, "g2.hvqg")
+	if err := cmdConvert([]string{"-in", bin, "-out", txt}); err != nil {
+		t.Fatal(err)
+	}
+	if err := cmdConvert([]string{"-in", txt, "-out", bin2, "-n", "512"}); err != nil {
+		t.Fatal(err)
+	}
+	a := readAll(t, bin)
+	b := readAll(t, bin2)
+	if len(a) != len(b) {
+		t.Fatalf("sizes differ: %d vs %d", len(a), len(b))
+	}
+	if fmt.Sprintf("%x", a) != fmt.Sprintf("%x", b) {
+		t.Fatal("binary -> text -> binary round trip changed the graph")
+	}
+	if err := cmdConvert([]string{"-in", txt}); err == nil {
+		t.Fatal("missing -out accepted")
+	}
+}

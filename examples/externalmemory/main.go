@@ -1,0 +1,57 @@
+// External-memory traversal: store a Graph500 RMAT graph's edges on
+// simulated node-local NVRAM behind the user-space page cache and compare
+// distributed BFS against all-DRAM storage — the paper's headline scenario
+// (32x larger datasets at a modest TEPS cost).
+//
+//	go run ./examples/externalmemory
+package main
+
+import (
+	"fmt"
+
+	"havoqgt/internal/extmem"
+	"havoqgt/internal/harness"
+)
+
+func main() {
+	const (
+		scale   = 15
+		ranks   = 8
+		sources = 4
+	)
+	spec := harness.RMATSpec(scale, 11)
+
+	fmt.Printf("RMAT scale %d (%d vertices, ~%d undirected edges), %d simulated ranks\n\n",
+		scale, spec.NumVertices, spec.NumGenEdges, ranks)
+
+	// Baseline: everything in DRAM.
+	dram, err := harness.RunBFS(harness.BFSOpts{
+		CommonOpts: harness.CommonOpts{P: ranks, Topology: "2d", Seed: 11},
+		Graph:      spec, Sources: sources, Ghosts: 256,
+	})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("DRAM:       %10.3g TEPS (graph fully in memory)\n", dram.TEPS)
+
+	// Edge storage on simulated NAND Flash, with a page cache an eighth the
+	// size of the data.
+	nv := extmem.DefaultNVRAM()
+	nv.CacheBytes = int(spec.NumGenEdges * 2 * 8 / ranks / 8)
+	nvram, err := harness.RunBFS(harness.BFSOpts{
+		CommonOpts: harness.CommonOpts{P: ranks, Topology: "2d", NVRAM: &nv, Seed: 11},
+		Graph:      spec, Sources: sources, Ghosts: 256,
+	})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("sim-NVRAM:  %10.3g TEPS (cache holds 1/8 of the edges, %.1f%% hit rate)\n",
+		nvram.TEPS, 100*nvram.Cache.HitRate())
+
+	if dram.TEPS > 0 {
+		fmt.Printf("\ndegradation: %.1f%% — the asynchronous traversal and the\n",
+			100*(dram.TEPS-nvram.TEPS)/dram.TEPS)
+		fmt.Println("locality-ordered visitor queue hide most of the device latency,")
+		fmt.Println("which is how the paper traverses trillion-edge graphs from NAND Flash.")
+	}
+}

@@ -1,0 +1,64 @@
+// Quickstart: the high-level facade. Build a small graph partitioned across
+// four simulated ranks with edge list partitioning, then run BFS, connected
+// components, k-core, and triangle counting with single calls.
+//
+//	go run ./examples/quickstart
+//
+// For rank-level control (custom visitors, NVRAM storage, validation) see
+// examples/graph500 and examples/externalmemory.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"havoqgt"
+)
+
+func main() {
+	// A small network: a hub (vertex 0) bridging two communities, plus a
+	// separate chain 5-6-7.
+	edges := []havoqgt.Edge{
+		{Src: 0, Dst: 1}, {Src: 0, Dst: 2}, {Src: 0, Dst: 3}, {Src: 0, Dst: 4},
+		{Src: 1, Dst: 2}, {Src: 3, Dst: 4},
+		{Src: 2, Dst: 5}, {Src: 5, Dst: 6}, {Src: 6, Dst: 7},
+	}
+	g, err := havoqgt.NewGraph(edges, 8, havoqgt.Options{
+		Ranks:    4,
+		Undirect: true,
+		Simplify: true, // k-core and triangles need a simple graph
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("graph: %d vertices, %d stored edges, %d simulated ranks\n\n",
+		g.NumVertices(), g.NumEdges(), g.Ranks())
+
+	bfs, err := g.BFS(7)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("BFS from vertex 7:")
+	fmt.Println("vertex  level  parent")
+	for v, l := range bfs.Levels {
+		fmt.Printf("%-7d %-6d %d\n", v, l, bfs.Parents[v])
+	}
+
+	comps, err := g.Components()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nconnected components: %d (labels %v)\n", comps.Count, comps.Labels)
+
+	kc, err := g.KCore(2)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("2-core members: %v (size %d)\n", kc.InCore, kc.CoreSize)
+
+	tri, err := g.CountTriangles()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("triangles: %d\n", tri)
+}

@@ -1,0 +1,134 @@
+// Social-network analysis: generate a preferential-attachment graph (a
+// stand-in for a social network with celebrity hubs), then answer three
+// classic questions with the distributed algorithms:
+//
+//  1. How tightly knit is the network? (triangle count → clustering
+//     coefficient)
+//
+//  2. Who belongs to the engaged core? (k-core decomposition)
+//
+//  3. How many hops separate users from a seed? (BFS)
+//
+// Run with:
+//
+//	go run ./examples/socialnetwork
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"havoqgt/internal/algos/bfs"
+	"havoqgt/internal/algos/kcore"
+	"havoqgt/internal/algos/triangle"
+	"havoqgt/internal/core"
+	"havoqgt/internal/generators"
+	"havoqgt/internal/graph"
+	"havoqgt/internal/mailbox"
+	"havoqgt/internal/partition"
+	"havoqgt/internal/rt"
+)
+
+const (
+	numUsers = 1 << 12
+	mPerUser = 8
+	ranks    = 8
+)
+
+func main() {
+	gen := generators.NewPA(numUsers, mPerUser, 0.05, 7)
+
+	var (
+		triangles  uint64
+		wedges     uint64
+		coreSizes  = map[uint32]uint64{}
+		histogram  = make([]uint64, 16)
+		reachable  uint64
+		seedVertex = graph.Vertex(42)
+	)
+
+	machine := rt.NewMachine(ranks)
+	machine.Run(func(r *rt.Rank) {
+		// Every rank generates its own chunk of the network; the builder
+		// sorts globally and hands back balanced partitions. Simplify:
+		// k-core and triangles need a simple graph.
+		local := graph.Undirect(gen.GenerateChunk(r.Rank(), r.Size()))
+		part, err := partition.BuildEdgeListSimple(r, local, numUsers)
+		if err != nil {
+			log.Fatal(err)
+		}
+		topo := mailbox.NewGrid2D(ranks)
+		cfg := core.Config{Topology: topo}
+
+		// 1. Triangles and wedges -> global clustering coefficient.
+		tri := triangle.Run(r, part, cfg)
+		var localWedges uint64
+		lo, hi := part.Owners.MasterRange(part.Rank)
+		for v := lo; v < hi; v++ {
+			d := part.GlobalDegree(graph.Vertex(v))
+			localWedges += d * (d - 1) / 2
+		}
+		allWedges := r.AllReduceU64(localWedges, rt.Sum)
+
+		// 2. k-core decomposition at increasing k: the "engaged core".
+		sizes := map[uint32]uint64{}
+		for _, k := range []uint32{2, 4, 8, 16} {
+			res := kcore.Run(r, part, k, cfg)
+			sizes[k] = kcore.GlobalCoreSize(r, res)
+		}
+
+		// 3. Degrees of separation from a seed user, with ghost filtering
+		// for the celebrity hubs.
+		bcfg := cfg
+		bcfg.Ghosts = core.BuildGhostTable(part, core.DefaultGhostsPerPartition)
+		res := bfs.Run(r, part, seedVertex, bcfg)
+		localHist := make([]uint64, 16)
+		var localReached uint64
+		for v := lo; v < hi; v++ {
+			i, _ := part.LocalIndex(graph.Vertex(v))
+			if l := res.Level[i]; l != bfs.Unreached {
+				localReached++
+				if int(l) < len(localHist) {
+					localHist[l]++
+				}
+			}
+		}
+		globalReached := r.AllReduceU64(localReached, rt.Sum)
+		globalHist := make([]uint64, len(localHist))
+		for i := range localHist {
+			globalHist[i] = r.AllReduceU64(localHist[i], rt.Sum)
+		}
+
+		if r.Rank() == 0 {
+			triangles = tri.GlobalCount
+			wedges = allWedges
+			coreSizes = sizes
+			reachable = globalReached
+			copy(histogram, globalHist)
+		}
+	})
+
+	fmt.Printf("social network: %d users, preferential attachment (m=%d), %d simulated ranks\n\n",
+		numUsers, mPerUser, ranks)
+
+	cc := 0.0
+	if wedges > 0 {
+		cc = 3 * float64(triangles) / float64(wedges)
+	}
+	fmt.Printf("triangles: %d   wedges: %d   global clustering coefficient: %.4f\n\n",
+		triangles, wedges, cc)
+
+	fmt.Println("engaged cores (largest subgraph where everyone has >= k in-core friends):")
+	for _, k := range []uint32{2, 4, 8, 16} {
+		fmt.Printf("  %2d-core: %5d users (%.1f%%)\n", k, coreSizes[k],
+			100*float64(coreSizes[k])/numUsers)
+	}
+
+	fmt.Printf("\ndegrees of separation from user %d (reached %d of %d users):\n",
+		seedVertex, reachable, numUsers)
+	for l, c := range histogram {
+		if c > 0 {
+			fmt.Printf("  %2d hops: %5d users\n", l, c)
+		}
+	}
+}

@@ -1,0 +1,3 @@
+module havoqgt
+
+go 1.22

@@ -1,0 +1,138 @@
+package havoqgt
+
+import (
+	"fmt"
+	"testing"
+
+	"havoqgt/internal/algos/bfs"
+	"havoqgt/internal/algos/cc"
+	"havoqgt/internal/algos/kcore"
+	"havoqgt/internal/algos/sssp"
+	"havoqgt/internal/algos/triangle"
+	"havoqgt/internal/core"
+	"havoqgt/internal/generators"
+	"havoqgt/internal/graph"
+	"havoqgt/internal/harness"
+	"havoqgt/internal/mailbox"
+	"havoqgt/internal/partition"
+	"havoqgt/internal/ref"
+	"havoqgt/internal/rt"
+)
+
+// TestIntegrationSweep runs every distributed algorithm across a matrix of
+// graph models, rank counts, routing topologies, and ghost settings, and
+// checks all results against the sequential references plus the distributed
+// Graph500-style BFS validator. This is the end-to-end safety net for the
+// whole stack: generators → sort/partition → mailbox → visitor queue →
+// termination → gather.
+func TestIntegrationSweep(t *testing.T) {
+	if testing.Short() {
+		t.Skip("integration sweep is heavy")
+	}
+	type gcase struct {
+		name  string
+		edges []graph.Edge
+		n     uint64
+	}
+	var cases []gcase
+	{
+		g := generators.NewGraph500(8, 77)
+		cases = append(cases, gcase{"rmat", graph.Simplify(graph.Undirect(g.Generate())), g.NumVertices()})
+	}
+	{
+		g := generators.NewPA(1<<8, 4, 0.1, 78)
+		cases = append(cases, gcase{"pa", graph.Simplify(graph.Undirect(g.Generate())), g.NumVertices})
+	}
+	{
+		g := generators.NewSmallWorld(1<<8, 6, 0.05, 79)
+		cases = append(cases, gcase{"sw", graph.Simplify(graph.Undirect(g.Generate())), g.NumVertices})
+	}
+
+	for _, gc := range cases {
+		adj := ref.BuildAdj(gc.edges, gc.n)
+		wantLevels, _ := ref.BFS(adj, 1)
+		wantCore := ref.KCore(adj, 3)
+		wantTri := ref.CountTriangles(adj)
+		wantLabels, wantComps := ref.Components(adj)
+		w := func(u, v graph.Vertex) uint64 { return sssp.Weight(u, v, 5) }
+		wantDist, _ := ref.Dijkstra(adj, 1, w)
+
+		for _, p := range []int{1, 3, 8} {
+			for _, topoName := range []string{"1d", "2d", "3d"} {
+				for _, ghosts := range []int{0, 64} {
+					name := fmt.Sprintf("%s/p%d/%s/g%d", gc.name, p, topoName, ghosts)
+					t.Run(name, func(t *testing.T) {
+						levels := make([]uint32, gc.n)
+						labels := make([]graph.Vertex, gc.n)
+						dists := make([]uint64, gc.n)
+						inCore := make([]bool, gc.n)
+						tris := make([]uint64, p)
+						comps := make([]uint64, p)
+
+						rt.NewMachine(p).Run(func(r *rt.Rank) {
+							var local []graph.Edge
+							for i, e := range gc.edges {
+								if i%p == r.Rank() {
+									local = append(local, e)
+								}
+							}
+							part, err := partition.BuildEdgeList(r, local, gc.n)
+							if err != nil {
+								panic(err)
+							}
+							topo, err := mailbox.ByName(topoName, p)
+							if err != nil {
+								panic(err)
+							}
+							cfg := core.Config{Topology: topo}
+							if ghosts > 0 {
+								cfg.Ghosts = core.BuildGhostTable(part, ghosts)
+							}
+							lo, hi := part.Owners.MasterRange(part.Rank)
+
+							bres := bfs.Run(r, part, 1, cfg)
+							if err := harness.ValidateBFS(r, part, bres.BFS, 1); err != nil {
+								panic(fmt.Sprintf("validate: %v", err))
+							}
+							sres := sssp.Run(r, part, 1, 5, cfg)
+							cres := cc.Run(r, part, cfg)
+							comps[r.Rank()] = cc.NumComponents(r, cres)
+							kres := kcore.Run(r, part, 3, cfg)
+							tres := triangle.Run(r, part, cfg)
+							tris[r.Rank()] = tres.GlobalCount
+
+							for v := lo; v < hi; v++ {
+								i, _ := part.LocalIndex(graph.Vertex(v))
+								levels[v] = bres.Level[i]
+								labels[v] = cres.Label[i]
+								dists[v] = sres.Dist[i]
+								inCore[v] = kres.Alive[i]
+							}
+						})
+
+						for v := uint64(0); v < gc.n; v++ {
+							if levels[v] != wantLevels[v] {
+								t.Fatalf("bfs level(%d) = %d, want %d", v, levels[v], wantLevels[v])
+							}
+							if labels[v] != wantLabels[v] {
+								t.Fatalf("cc label(%d) = %d, want %d", v, labels[v], wantLabels[v])
+							}
+							if dists[v] != wantDist[v] {
+								t.Fatalf("sssp dist(%d) = %d, want %d", v, dists[v], wantDist[v])
+							}
+							if inCore[v] != wantCore[v] {
+								t.Fatalf("kcore(%d) = %v, want %v", v, inCore[v], wantCore[v])
+							}
+						}
+						if tris[0] != wantTri {
+							t.Fatalf("triangles = %d, want %d", tris[0], wantTri)
+						}
+						if comps[0] != wantComps {
+							t.Fatalf("components = %d, want %d", comps[0], wantComps)
+						}
+					})
+				}
+			}
+		}
+	}
+}

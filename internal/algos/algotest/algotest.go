@@ -1,0 +1,57 @@
+// Package algotest provides shared helpers for end-to-end tests of the
+// distributed algorithms: build a partitioned graph across a simulated
+// machine, run a per-rank function, and compare against the sequential
+// references.
+package algotest
+
+import (
+	"testing"
+
+	"havoqgt/internal/graph"
+	"havoqgt/internal/partition"
+	"havoqgt/internal/rt"
+)
+
+// Builder constructs a partition collectively (partition.BuildEdgeList or
+// partition.Build1D).
+type Builder func(r *rt.Rank, local []graph.Edge, n uint64) (*partition.Part, error)
+
+// RunOnParts scatters edges round-robin over p ranks, builds each rank's
+// partition with build, and invokes fn on every rank concurrently.
+func RunOnParts(t *testing.T, edges []graph.Edge, n uint64, p int, build Builder,
+	fn func(r *rt.Rank, part *partition.Part)) {
+	t.Helper()
+	m := rt.NewMachine(p)
+	m.Run(func(r *rt.Rank) {
+		var local []graph.Edge
+		for i, e := range edges {
+			if i%p == r.Rank() {
+				local = append(local, e)
+			}
+		}
+		part, err := build(r, local, n)
+		if err != nil {
+			panic(err)
+		}
+		fn(r, part)
+	})
+}
+
+// Gather collects one uint64 per master vertex from every rank into a single
+// global array: rank r writes out[v] for each v it masters.
+type Gathered struct {
+	Values []uint64
+}
+
+// NewGathered allocates a result array for n vertices.
+func NewGathered(n uint64) *Gathered { return &Gathered{Values: make([]uint64, n)} }
+
+// Set stores the value for all master vertices of the partition using get.
+// Safe to call concurrently from different ranks: master ranges are
+// disjoint.
+func (g *Gathered) Set(part *partition.Part, get func(v graph.Vertex) uint64) {
+	lo, hi := part.Owners.MasterRange(part.Rank)
+	for v := lo; v < hi; v++ {
+		g.Values[v] = get(graph.Vertex(v))
+	}
+}

@@ -1,0 +1,191 @@
+// Package bfs implements breadth-first search as a visitor over the
+// distributed asynchronous visitor queue (paper §VI-A, Algorithms 2 and 3).
+// BFS is the Graph500 kernel: levels spread from a source, each visitor
+// carrying a candidate path length, with pre_visit admitting only visitors
+// that improve the vertex's current length. BFS declares ghost usage: the
+// ghost copy of a hub's level acts as an imprecise local filter that
+// suppresses redundant visitors to high in-degree vertices (§IV-B).
+package bfs
+
+import (
+	"encoding/binary"
+
+	"havoqgt/internal/core"
+	"havoqgt/internal/graph"
+	"havoqgt/internal/partition"
+	"havoqgt/internal/rt"
+)
+
+// Unreached is the level of vertices not reached by the traversal (∞).
+const Unreached = ^uint32(0)
+
+// Visitor carries a candidate BFS length to a vertex (Algorithm 2 state).
+type Visitor struct {
+	V      graph.Vertex
+	Length uint32
+	Parent graph.Vertex
+}
+
+// Vertex returns the visitor's target.
+func (v Visitor) Vertex() graph.Vertex { return v.V }
+
+const wireBytes = 8 + 4 + 8
+
+// BFS is one rank's algorithm state: the level and parent of every locally
+// held vertex (master and replica rows).
+type BFS struct {
+	part *partition.Part
+
+	Level  []uint32
+	Parent []graph.Vertex
+
+	ghostLevel []uint32 // parallel to the rank's ghost table; nil = no ghosts
+}
+
+var _ core.GhostAlgorithm[Visitor] = (*BFS)(nil)
+
+// New initializes BFS state over the partition: every vertex at length ∞
+// (Algorithm 3 lines 4–7).
+func New(part *partition.Part) *BFS {
+	b := &BFS{
+		part:   part,
+		Level:  make([]uint32, part.StateLen),
+		Parent: make([]graph.Vertex, part.StateLen),
+	}
+	for i := range b.Level {
+		b.Level[i] = Unreached
+		b.Parent[i] = graph.Nil
+	}
+	return b
+}
+
+// AttachGhosts allocates ghost filter state for the rank's ghost table.
+func (b *BFS) AttachGhosts(t *core.GhostTable) {
+	b.ghostLevel = make([]uint32, t.Len())
+	for i := range b.ghostLevel {
+		b.ghostLevel[i] = Unreached
+	}
+}
+
+// PreVisit admits the visitor iff it improves the vertex's current length,
+// recording the new length and parent (Algorithm 2 lines 4–11).
+func (b *BFS) PreVisit(v Visitor) bool {
+	i, ok := b.part.LocalIndex(v.V)
+	if !ok {
+		return false
+	}
+	if v.Length < b.Level[i] {
+		b.Level[i] = v.Length
+		b.Parent[i] = v.Parent
+		return true
+	}
+	return false
+}
+
+// PreVisitGhost applies the same improvement test to the never-synchronized
+// local ghost copy; a false return filters the visitor before transmission.
+func (b *BFS) PreVisitGhost(v Visitor, gi int) bool {
+	if v.Length < b.ghostLevel[gi] {
+		b.ghostLevel[gi] = v.Length
+		return true
+	}
+	return false
+}
+
+// Visit expands the frontier: if this visitor still holds the vertex's
+// current length, push a visitor for every (locally stored) out-edge
+// (Algorithm 2 lines 12–19).
+func (b *BFS) Visit(v Visitor, q *core.Queue[Visitor]) {
+	i := q.LocalRow(v.V)
+	if v.Length != b.Level[i] {
+		return
+	}
+	next := v.Length + 1
+	for _, t := range q.OutEdges(v.V) {
+		q.Push(Visitor{V: t, Length: next, Parent: v.V})
+	}
+}
+
+// Less orders the local queue by length (Algorithm 2 lines 20–22); the
+// framework breaks ties by vertex id for page locality.
+func (b *BFS) Less(a, c Visitor) bool { return a.Length < c.Length }
+
+// Encode appends the 20-byte wire form.
+func (b *BFS) Encode(v Visitor, buf []byte) []byte {
+	var w [wireBytes]byte
+	binary.LittleEndian.PutUint64(w[0:], uint64(v.V))
+	binary.LittleEndian.PutUint32(w[8:], v.Length)
+	binary.LittleEndian.PutUint64(w[12:], uint64(v.Parent))
+	return append(buf, w[:]...)
+}
+
+// Decode parses one visitor record.
+func (b *BFS) Decode(buf []byte) Visitor {
+	return Visitor{
+		V:      graph.Vertex(binary.LittleEndian.Uint64(buf[0:])),
+		Length: binary.LittleEndian.Uint32(buf[8:]),
+		Parent: graph.Vertex(binary.LittleEndian.Uint64(buf[12:])),
+	}
+}
+
+// Result bundles one rank's BFS output.
+type Result struct {
+	*BFS
+	Stats core.Stats
+}
+
+// Run executes a BFS from source, collectively across all ranks. cfg.Ghosts,
+// if set, enables hub filtering (the algorithm declares ghost usage).
+func Run(r *rt.Rank, part *partition.Part, source graph.Vertex, cfg core.Config) *Result {
+	b := New(part)
+	if cfg.Ghosts != nil {
+		b.AttachGhosts(cfg.Ghosts)
+	}
+	q := core.NewQueue[Visitor](r, part, b, cfg)
+	if part.IsMaster(source) {
+		q.Push(Visitor{V: source, Length: 0, Parent: source})
+	}
+	q.Run()
+	return &Result{BFS: b, Stats: q.Stats()}
+}
+
+// MaxLevel returns the deepest finite level among this rank's master
+// vertices (combine across ranks with AllReduce Max).
+func (b *BFS) MaxLevel() uint32 {
+	lo, hi := b.part.Owners.MasterRange(b.part.Rank)
+	var mx uint32
+	for v := lo; v < hi; v++ {
+		i, _ := b.part.LocalIndex(graph.Vertex(v))
+		if l := b.Level[i]; l != Unreached && l > mx {
+			mx = l
+		}
+	}
+	return mx
+}
+
+// ReachedEdges returns the number of locally stored directed edges incident
+// to reached vertices — summed over ranks and halved, the Graph500 traversed
+// edge count for TEPS.
+func (b *BFS) ReachedEdges() uint64 {
+	var sum uint64
+	for i := 0; i < b.part.StateLen; i++ {
+		if b.Level[i] != Unreached {
+			sum += b.part.CSR.Degree(i)
+		}
+	}
+	return sum
+}
+
+// ReachedVertices returns the number of reached master vertices on this
+// rank.
+func (b *BFS) ReachedVertices() uint64 {
+	lo, hi := b.part.Owners.MasterRange(b.part.Rank)
+	var n uint64
+	for v := lo; v < hi; v++ {
+		i, _ := b.part.LocalIndex(graph.Vertex(v))
+		if b.Level[i] != Unreached {
+			n++
+		}
+	}
+	return n
+}

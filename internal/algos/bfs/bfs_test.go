@@ -1,0 +1,236 @@
+package bfs
+
+import (
+	"testing"
+
+	"havoqgt/internal/algos/algotest"
+	"havoqgt/internal/core"
+	"havoqgt/internal/generators"
+	"havoqgt/internal/graph"
+	"havoqgt/internal/mailbox"
+	"havoqgt/internal/partition"
+	"havoqgt/internal/ref"
+	"havoqgt/internal/rt"
+	"havoqgt/internal/xrand"
+)
+
+// runDistributedBFS executes BFS over p ranks and returns per-vertex levels
+// and parents gathered from the masters.
+func runDistributedBFS(t *testing.T, edges []graph.Edge, n uint64, p int,
+	source graph.Vertex, build algotest.Builder, mkCfg func(part *partition.Part) core.Config) (levels []uint32, parents []graph.Vertex) {
+	t.Helper()
+	gl := algotest.NewGathered(n)
+	gp := algotest.NewGathered(n)
+	algotest.RunOnParts(t, edges, n, p, build, func(r *rt.Rank, part *partition.Part) {
+		res := Run(r, part, source, mkCfg(part))
+		gl.Set(part, func(v graph.Vertex) uint64 {
+			i, _ := part.LocalIndex(v)
+			return uint64(res.Level[i])
+		})
+		gp.Set(part, func(v graph.Vertex) uint64 {
+			i, _ := part.LocalIndex(v)
+			return uint64(res.Parent[i])
+		})
+	})
+	levels = make([]uint32, n)
+	parents = make([]graph.Vertex, n)
+	for v := range levels {
+		levels[v] = uint32(gl.Values[v])
+		parents[v] = graph.Vertex(gp.Values[v])
+	}
+	return levels, parents
+}
+
+// checkAgainstRef verifies distributed levels equal the sequential BFS
+// levels and that every parent is a legal BFS parent.
+func checkAgainstRef(t *testing.T, edges []graph.Edge, n uint64, source graph.Vertex,
+	levels []uint32, parents []graph.Vertex) {
+	t.Helper()
+	adj := ref.BuildAdj(edges, n)
+	wantLevels, _ := ref.BFS(adj, source)
+	for v := uint64(0); v < n; v++ {
+		if levels[v] != wantLevels[v] {
+			t.Fatalf("level(%d) = %d, want %d", v, levels[v], wantLevels[v])
+		}
+	}
+	for v := uint64(0); v < n; v++ {
+		switch {
+		case levels[v] == Unreached:
+			if parents[v] != graph.Nil {
+				t.Fatalf("unreached vertex %d has parent %d", v, parents[v])
+			}
+		case graph.Vertex(v) == source:
+			if parents[v] != source {
+				t.Fatalf("source parent = %d", parents[v])
+			}
+		default:
+			pv := parents[v]
+			if wantLevels[pv] != levels[v]-1 {
+				t.Fatalf("parent(%d)=%d at level %d, vertex at %d", v, pv, wantLevels[pv], levels[v])
+			}
+			if !adj.HasEdge(pv, graph.Vertex(v)) {
+				t.Fatalf("parent(%d)=%d but no edge", v, pv)
+			}
+		}
+	}
+}
+
+func defaultCfg(part *partition.Part) core.Config { return core.Config{} }
+
+func randomGraph(n uint64, m int, seed uint64) []graph.Edge {
+	rng := xrand.New(seed)
+	edges := make([]graph.Edge, m)
+	for i := range edges {
+		edges[i] = graph.Edge{Src: graph.Vertex(rng.Uint64n(n)), Dst: graph.Vertex(rng.Uint64n(n))}
+	}
+	return graph.Undirect(edges)
+}
+
+func TestBFSMatchesReferenceAcrossRankCounts(t *testing.T) {
+	edges := randomGraph(64, 160, 1)
+	for _, p := range []int{1, 2, 3, 4, 8} {
+		levels, parents := runDistributedBFS(t, edges, 64, p, 3, partition.BuildEdgeList, defaultCfg)
+		checkAgainstRef(t, edges, 64, 3, levels, parents)
+	}
+}
+
+func TestBFSOnRMAT(t *testing.T) {
+	g := generators.NewGraph500(9, 7)
+	edges := graph.Undirect(g.Generate())
+	n := g.NumVertices()
+	levels, parents := runDistributedBFS(t, edges, n, 4, 0, partition.BuildEdgeList, defaultCfg)
+	checkAgainstRef(t, edges, n, 0, levels, parents)
+}
+
+func TestBFSOnSmallWorldHighDiameter(t *testing.T) {
+	g := generators.NewSmallWorld(1<<9, 4, 0.01, 5)
+	edges := graph.Undirect(g.Generate())
+	n := g.NumVertices
+	levels, parents := runDistributedBFS(t, edges, n, 4, 9, partition.BuildEdgeList, defaultCfg)
+	checkAgainstRef(t, edges, n, 9, levels, parents)
+}
+
+func TestBFSWithRoutedTopologies(t *testing.T) {
+	edges := randomGraph(128, 512, 2)
+	for _, topo := range []string{"1d", "2d", "3d"} {
+		p := 8
+		mk := func(part *partition.Part) core.Config {
+			tp, err := mailbox.ByName(topo, p)
+			if err != nil {
+				t.Fatal(err)
+			}
+			return core.Config{Topology: tp}
+		}
+		levels, parents := runDistributedBFS(t, edges, 128, p, 0, partition.BuildEdgeList, mk)
+		checkAgainstRef(t, edges, 128, 0, levels, parents)
+	}
+}
+
+func TestBFSWithGhosts(t *testing.T) {
+	// Hub-heavy graph where ghosts actually filter.
+	g := generators.NewPA(1<<9, 4, 0, 3)
+	edges := graph.Undirect(g.Generate())
+	n := g.NumVertices
+	mk := func(part *partition.Part) core.Config {
+		return core.Config{Ghosts: core.BuildGhostTable(part, 64)}
+	}
+	levels, parents := runDistributedBFS(t, edges, n, 4, 1, partition.BuildEdgeList, mk)
+	checkAgainstRef(t, edges, n, 1, levels, parents)
+}
+
+func TestBFSGhostsActuallyFilter(t *testing.T) {
+	g := generators.NewPA(1<<10, 8, 0, 13)
+	edges := graph.Undirect(g.Generate())
+	n := g.NumVertices
+	counts := make([]uint64, 4)
+	algotest.RunOnParts(t, edges, n, 4, partition.BuildEdgeList, func(r *rt.Rank, part *partition.Part) {
+		cfg := core.Config{Ghosts: core.BuildGhostTable(part, core.DefaultGhostsPerPartition)}
+		res := Run(r, part, 1, cfg)
+		counts[r.Rank()] = res.Stats.GhostFiltered
+	})
+	var total uint64
+	for _, c := range counts {
+		total += c
+	}
+	if total == 0 {
+		t.Fatal("ghost filter never fired on a hub-heavy PA graph")
+	}
+}
+
+func TestBFSOn1DPartition(t *testing.T) {
+	edges := randomGraph(64, 256, 4)
+	levels, parents := runDistributedBFS(t, edges, 64, 4, 5, partition.Build1D, defaultCfg)
+	checkAgainstRef(t, edges, 64, 5, levels, parents)
+}
+
+func TestBFSDisconnectedGraph(t *testing.T) {
+	// Two components; traversal from one must leave the other unreached.
+	edges := graph.Undirect([]graph.Edge{{Src: 0, Dst: 1}, {Src: 1, Dst: 2}, {Src: 5, Dst: 6}, {Src: 6, Dst: 7}})
+	levels, parents := runDistributedBFS(t, edges, 8, 3, 0, partition.BuildEdgeList, defaultCfg)
+	checkAgainstRef(t, edges, 8, 0, levels, parents)
+	if levels[5] != Unreached || levels[3] != Unreached {
+		t.Fatal("unreachable vertices got levels")
+	}
+}
+
+func TestBFSSingleVertexSource(t *testing.T) {
+	// Source with no edges: only itself reached.
+	edges := graph.Undirect([]graph.Edge{{Src: 1, Dst: 2}})
+	levels, _ := runDistributedBFS(t, edges, 4, 2, 0, partition.BuildEdgeList, defaultCfg)
+	if levels[0] != 0 || levels[1] != Unreached {
+		t.Fatalf("levels = %v", levels)
+	}
+}
+
+func TestBFSLocalityOrderAblation(t *testing.T) {
+	edges := randomGraph(128, 512, 8)
+	mk := func(part *partition.Part) core.Config {
+		return core.Config{DisableLocalityOrder: true}
+	}
+	levels, parents := runDistributedBFS(t, edges, 128, 4, 0, partition.BuildEdgeList, mk)
+	checkAgainstRef(t, edges, 128, 0, levels, parents)
+}
+
+func TestBFSStatsAccounting(t *testing.T) {
+	edges := randomGraph(64, 256, 6)
+	stats := make([]core.Stats, 4)
+	reached := algotest.NewGathered(64)
+	algotest.RunOnParts(t, edges, 64, 4, partition.BuildEdgeList, func(r *rt.Rank, part *partition.Part) {
+		res := Run(r, part, 0, core.Config{})
+		stats[r.Rank()] = res.Stats
+		reached.Set(part, func(v graph.Vertex) uint64 {
+			i, _ := part.LocalIndex(v)
+			if res.Level[i] != Unreached {
+				return 1
+			}
+			return 0
+		})
+	})
+	var executed, queued uint64
+	for _, s := range stats {
+		executed += s.Executed
+		queued += s.Queued
+	}
+	if executed != queued {
+		t.Fatalf("executed %d != queued %d after quiescence", executed, queued)
+	}
+	var reachedCount uint64
+	for _, x := range reached.Values {
+		reachedCount += x
+	}
+	if executed < reachedCount {
+		t.Fatalf("executed %d visitors but reached %d vertices", executed, reachedCount)
+	}
+}
+
+func TestVisitorCodecRoundTrip(t *testing.T) {
+	b := &BFS{}
+	v := Visitor{V: 123456789, Length: 42, Parent: 987654321}
+	buf := b.Encode(v, nil)
+	if len(buf) != wireBytes {
+		t.Fatalf("wire size %d", len(buf))
+	}
+	if got := b.Decode(buf); got != v {
+		t.Fatalf("round trip %+v", got)
+	}
+}

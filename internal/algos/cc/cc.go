@@ -1,0 +1,150 @@
+// Package cc implements connected components as a visitor over the
+// distributed asynchronous visitor queue: asynchronous label propagation
+// where every vertex starts with its own identifier and adopts the minimum
+// label seen, flooding improvements to its neighbors. Connected components
+// is the third kernel of the authors' original asynchronous framework
+// (§IV-A, reference [4]).
+//
+// Labels improve monotonically (minimum), so CC declares ghost usage: a
+// stale ghost copy can only fail to filter, never lose a better label.
+package cc
+
+import (
+	"encoding/binary"
+
+	"havoqgt/internal/core"
+	"havoqgt/internal/graph"
+	"havoqgt/internal/partition"
+	"havoqgt/internal/rt"
+)
+
+// Visitor carries a candidate component label to a vertex.
+type Visitor struct {
+	V     graph.Vertex
+	Label graph.Vertex
+}
+
+// Vertex returns the visitor's target.
+func (v Visitor) Vertex() graph.Vertex { return v.V }
+
+const wireBytes = 16
+
+// CC is one rank's algorithm state: the current minimum label of every
+// locally held vertex (graph.Nil until first visited).
+type CC struct {
+	part  *partition.Part
+	Label []graph.Vertex
+
+	ghostLabel []graph.Vertex
+}
+
+var _ core.GhostAlgorithm[Visitor] = (*CC)(nil)
+
+// New initializes CC state with unassigned (∞) labels.
+func New(part *partition.Part) *CC {
+	c := &CC{part: part, Label: make([]graph.Vertex, part.StateLen)}
+	for i := range c.Label {
+		c.Label[i] = graph.Nil
+	}
+	return c
+}
+
+// AttachGhosts allocates ghost filter state.
+func (c *CC) AttachGhosts(t *core.GhostTable) {
+	c.ghostLabel = make([]graph.Vertex, t.Len())
+	for i := range c.ghostLabel {
+		c.ghostLabel[i] = graph.Nil
+	}
+}
+
+// PreVisit admits the visitor iff it improves (lowers) the current label.
+func (c *CC) PreVisit(v Visitor) bool {
+	i, ok := c.part.LocalIndex(v.V)
+	if !ok {
+		return false
+	}
+	if v.Label < c.Label[i] {
+		c.Label[i] = v.Label
+		return true
+	}
+	return false
+}
+
+// PreVisitGhost applies the improvement test to the local ghost copy.
+func (c *CC) PreVisitGhost(v Visitor, gi int) bool {
+	if v.Label < c.ghostLabel[gi] {
+		c.ghostLabel[gi] = v.Label
+		return true
+	}
+	return false
+}
+
+// Visit floods the improved label to the locally stored neighbors.
+func (c *CC) Visit(v Visitor, q *core.Queue[Visitor]) {
+	i := q.LocalRow(v.V)
+	if v.Label != c.Label[i] {
+		return
+	}
+	for _, t := range q.OutEdges(v.V) {
+		q.Push(Visitor{V: t, Label: v.Label})
+	}
+}
+
+// Less: label propagation needs no visitor order; lower labels first is a
+// mild heuristic that shortens cascades.
+func (c *CC) Less(a, b Visitor) bool { return a.Label < b.Label }
+
+// Encode appends the 16-byte wire form.
+func (c *CC) Encode(v Visitor, buf []byte) []byte {
+	var w [wireBytes]byte
+	binary.LittleEndian.PutUint64(w[0:], uint64(v.V))
+	binary.LittleEndian.PutUint64(w[8:], uint64(v.Label))
+	return append(buf, w[:]...)
+}
+
+// Decode parses one visitor record.
+func (c *CC) Decode(buf []byte) Visitor {
+	return Visitor{
+		V:     graph.Vertex(binary.LittleEndian.Uint64(buf[0:])),
+		Label: graph.Vertex(binary.LittleEndian.Uint64(buf[8:])),
+	}
+}
+
+// Result bundles one rank's CC output.
+type Result struct {
+	*CC
+	Stats core.Stats
+}
+
+// Run computes connected components collectively: every vertex is seeded
+// with its own identifier as a label, then minimum labels flood each
+// component. After Run, Label[i] is the smallest vertex id in the component
+// of vertex i.
+func Run(r *rt.Rank, part *partition.Part, cfg core.Config) *Result {
+	c := New(part)
+	if cfg.Ghosts != nil {
+		c.AttachGhosts(cfg.Ghosts)
+	}
+	q := core.NewQueue[Visitor](r, part, c, cfg)
+	lo, hi := part.Owners.MasterRange(part.Rank)
+	for v := lo; v < hi; v++ {
+		q.Push(Visitor{V: graph.Vertex(v), Label: graph.Vertex(v)})
+	}
+	q.Run()
+	return &Result{CC: c, Stats: q.Stats()}
+}
+
+// NumComponents reduces the number of distinct components across ranks: a
+// master vertex whose label equals its own id is a component representative.
+func NumComponents(r *rt.Rank, res *Result) uint64 {
+	part := res.part
+	lo, hi := part.Owners.MasterRange(part.Rank)
+	var local uint64
+	for v := lo; v < hi; v++ {
+		i, _ := part.LocalIndex(graph.Vertex(v))
+		if res.Label[i] == graph.Vertex(v) {
+			local++
+		}
+	}
+	return r.AllReduceU64(local, rt.Sum)
+}

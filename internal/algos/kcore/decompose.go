@@ -1,0 +1,38 @@
+package kcore
+
+import (
+	"havoqgt/internal/core"
+	"havoqgt/internal/graph"
+	"havoqgt/internal/partition"
+	"havoqgt/internal/rt"
+)
+
+// Decompose computes the full k-core decomposition up to maxK: the core
+// number of a vertex is the largest k for which it belongs to the k-core
+// (capped at maxK). It runs one removal cascade per k — the paper computes
+// individual cores (Figure 6 shows k = 4, 16, 64); this convenience wraps
+// the same traversal in a sweep.
+//
+// Returns the core number of every locally mastered vertex, indexed by local
+// row (rows outside the master range are left at their replica values and
+// should be read on their master). Collective.
+func Decompose(r *rt.Rank, part *partition.Part, maxK uint32, cfg core.Config) []uint32 {
+	coreNum := make([]uint32, part.StateLen)
+	lo, hi := part.Owners.MasterRange(part.Rank)
+	for k := uint32(1); k <= maxK; k++ {
+		res := Run(r, part, k, cfg)
+		anyAlive := uint64(0)
+		for v := lo; v < hi; v++ {
+			i, _ := part.LocalIndex(graph.Vertex(v))
+			if res.Alive[i] {
+				coreNum[i] = k
+				anyAlive = 1
+			}
+		}
+		// Stop early once the k-core is globally empty.
+		if r.AllReduceU64(anyAlive, rt.Max) == 0 {
+			break
+		}
+	}
+	return coreNum
+}

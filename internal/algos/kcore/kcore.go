@@ -1,0 +1,157 @@
+// Package kcore implements k-core decomposition as a visitor over the
+// distributed asynchronous visitor queue (paper §VI-B, Algorithms 4 and 5):
+// vertices whose remaining degree drops below k are asynchronously removed,
+// each removal notifying the neighbors, cascading until the k-core is fixed.
+//
+// K-core requires precise counts of removal events, so it cannot use ghost
+// vertices (§IV-B): every notification must reach the master's counter.
+//
+// Replica semantics. Every count-bearing visitor routes to the vertex's
+// master (Algorithm 1 PUSH), so only the master's counter tracks the true
+// remaining degree. The master's pre_visit returns true exactly once per
+// vertex — at the removal event — and only that visitor flows down the
+// replica chain. A replica therefore treats an arriving visitor as an
+// authoritative removal notice: it marks its copy dead and lets its portion
+// of the (split) adjacency list notify the neighbors. This keeps the
+// replicated state loosely consistent without double-counting decrements.
+package kcore
+
+import (
+	"encoding/binary"
+
+	"havoqgt/internal/core"
+	"havoqgt/internal/graph"
+	"havoqgt/internal/partition"
+	"havoqgt/internal/rt"
+)
+
+// Visitor notifies a vertex that one of its neighbors left the k-core
+// (Algorithm 4 state: just the target vertex).
+type Visitor struct {
+	V graph.Vertex
+}
+
+// Vertex returns the visitor's target.
+func (v Visitor) Vertex() graph.Vertex { return v.V }
+
+// KCore is one rank's algorithm state.
+type KCore struct {
+	part *partition.Part
+	K    uint32
+
+	Alive []bool
+	Core  []uint32 // remaining degree + 1, master rows only meaningful
+}
+
+var _ core.Algorithm[Visitor] = (*KCore)(nil)
+
+// New initializes the state per Algorithm 5: alive, with core counters at
+// degree(v)+1 (global degree, which for partition-boundary vertices comes
+// from the exchanged boundary-degree table).
+func New(part *partition.Part, k uint32) *KCore {
+	a := &KCore{
+		part:  part,
+		K:     k,
+		Alive: make([]bool, part.StateLen),
+		Core:  make([]uint32, part.StateLen),
+	}
+	for i := 0; i < part.StateLen; i++ {
+		a.Alive[i] = true
+		a.Core[i] = uint32(part.GlobalDegree(part.Vertex(i))) + 1
+	}
+	return a
+}
+
+// PreVisit implements Algorithm 4 lines 3–12 on the master, and the
+// removal-notice semantics on replicas (see package comment).
+func (a *KCore) PreVisit(v Visitor) bool {
+	i, ok := a.part.LocalIndex(v.V)
+	if !ok {
+		return false
+	}
+	if !a.Alive[i] {
+		return false
+	}
+	if a.part.IsMaster(v.V) {
+		a.Core[i]--
+		if a.Core[i] < a.K {
+			a.Alive[i] = false
+			return true
+		}
+		return false
+	}
+	// Replica: the master already decided removal.
+	a.Alive[i] = false
+	return true
+}
+
+// Visit notifies every (locally stored) neighbor that this vertex left the
+// core (Algorithm 4 lines 13–17).
+func (a *KCore) Visit(v Visitor, q *core.Queue[Visitor]) {
+	for _, t := range q.OutEdges(v.V) {
+		q.Push(Visitor{V: t})
+	}
+}
+
+// Less: no visitor order required (Algorithm 4).
+func (a *KCore) Less(x, y Visitor) bool { return false }
+
+// Encode appends the 8-byte wire form.
+func (a *KCore) Encode(v Visitor, buf []byte) []byte {
+	var w [8]byte
+	binary.LittleEndian.PutUint64(w[:], uint64(v.V))
+	return append(buf, w[:]...)
+}
+
+// Decode parses one visitor record.
+func (a *KCore) Decode(buf []byte) Visitor {
+	return Visitor{V: graph.Vertex(binary.LittleEndian.Uint64(buf))}
+}
+
+// Result bundles one rank's k-core output.
+type Result struct {
+	*KCore
+	Stats core.Stats
+}
+
+// Run computes the k-core collectively: every vertex is seeded with one
+// visitor (absorbing the +1 in the counter initialization, per Algorithm 5),
+// then the removal cascade runs to quiescence. k must be >= 1.
+func Run(r *rt.Rank, part *partition.Part, k uint32, cfg core.Config) *Result {
+	if k < 1 {
+		panic("kcore: k must be >= 1")
+	}
+	a := New(part, k)
+	q := core.NewQueue[Visitor](r, part, a, cfg)
+	lo, hi := part.Owners.MasterRange(part.Rank)
+	for v := lo; v < hi; v++ {
+		q.Push(Visitor{V: graph.Vertex(v)})
+	}
+	q.Run()
+	return &Result{KCore: a, Stats: q.Stats()}
+}
+
+// InCore reports whether a locally held vertex remained in the k-core.
+func (a *KCore) InCore(v graph.Vertex) bool {
+	i, ok := a.part.LocalIndex(v)
+	return ok && a.Alive[i]
+}
+
+// LocalCoreSize returns the number of this rank's master vertices remaining
+// in the core (AllReduce-Sum for the global size).
+func (a *KCore) LocalCoreSize() uint64 {
+	lo, hi := a.part.Owners.MasterRange(a.part.Rank)
+	var n uint64
+	for v := lo; v < hi; v++ {
+		i, _ := a.part.LocalIndex(graph.Vertex(v))
+		if a.Alive[i] {
+			n++
+		}
+	}
+	return n
+}
+
+// GlobalCoreSize reduces the core size across ranks (collective call).
+func GlobalCoreSize(r *rt.Rank, res *Result) uint64 {
+	return r.AllReduceU64(res.LocalCoreSize(), rt.Sum)
+}

@@ -1,0 +1,236 @@
+package kcore
+
+import (
+	"testing"
+
+	"havoqgt/internal/algos/algotest"
+	"havoqgt/internal/core"
+	"havoqgt/internal/generators"
+	"havoqgt/internal/graph"
+	"havoqgt/internal/mailbox"
+	"havoqgt/internal/partition"
+	"havoqgt/internal/ref"
+	"havoqgt/internal/rt"
+	"havoqgt/internal/xrand"
+)
+
+// simpleUndirected builds a simple undirected edge list from random pairs.
+func simpleUndirected(n uint64, m int, seed uint64) []graph.Edge {
+	rng := xrand.New(seed)
+	edges := make([]graph.Edge, m)
+	for i := range edges {
+		edges[i] = graph.Edge{Src: graph.Vertex(rng.Uint64n(n)), Dst: graph.Vertex(rng.Uint64n(n))}
+	}
+	return graph.Simplify(graph.Undirect(edges))
+}
+
+// runDistributedKCore returns per-vertex core membership.
+func runDistributedKCore(t *testing.T, edges []graph.Edge, n uint64, p int, k uint32,
+	build algotest.Builder, mkCfg func(part *partition.Part) core.Config) []bool {
+	t.Helper()
+	g := algotest.NewGathered(n)
+	algotest.RunOnParts(t, edges, n, p, build, func(r *rt.Rank, part *partition.Part) {
+		res := Run(r, part, k, mkCfg(part))
+		g.Set(part, func(v graph.Vertex) uint64 {
+			if res.InCore(v) {
+				return 1
+			}
+			return 0
+		})
+	})
+	out := make([]bool, n)
+	for v := range out {
+		out[v] = g.Values[v] == 1
+	}
+	return out
+}
+
+func checkKCore(t *testing.T, edges []graph.Edge, n uint64, k uint32, got []bool) {
+	t.Helper()
+	want := ref.KCore(ref.BuildAdj(edges, n), k)
+	for v := uint64(0); v < n; v++ {
+		if got[v] != want[v] {
+			t.Fatalf("k=%d: vertex %d in-core=%v, want %v", k, v, got[v], want[v])
+		}
+	}
+}
+
+func defaultCfg(part *partition.Part) core.Config { return core.Config{} }
+
+func TestKCoreMatchesReference(t *testing.T) {
+	edges := simpleUndirected(64, 300, 1)
+	for _, k := range []uint32{1, 2, 3, 4, 8} {
+		for _, p := range []int{1, 2, 4, 8} {
+			got := runDistributedKCore(t, edges, 64, p, k, partition.BuildEdgeList, defaultCfg)
+			checkKCore(t, edges, 64, k, got)
+		}
+	}
+}
+
+func TestKCoreOnRMAT(t *testing.T) {
+	g := generators.NewGraph500(9, 3)
+	edges := graph.Simplify(graph.Undirect(g.Generate()))
+	n := g.NumVertices()
+	for _, k := range []uint32{4, 16} {
+		got := runDistributedKCore(t, edges, n, 4, k, partition.BuildEdgeList, defaultCfg)
+		checkKCore(t, edges, n, k, got)
+	}
+}
+
+func TestKCoreSplitHubCorrect(t *testing.T) {
+	// A hub whose adjacency spans several edge-list partitions: the replica
+	// removal-notice semantics must still produce the exact k-core.
+	var pairs []graph.Edge
+	n := uint64(128)
+	for v := uint64(1); v < n; v++ {
+		pairs = append(pairs, graph.Edge{Src: 0, Dst: graph.Vertex(v)}) // star
+	}
+	// A clique among 1..8 so there is a nontrivial 7-core.
+	for a := uint64(1); a <= 8; a++ {
+		for b := a + 1; b <= 8; b++ {
+			pairs = append(pairs, graph.Edge{Src: graph.Vertex(a), Dst: graph.Vertex(b)})
+		}
+	}
+	edges := graph.Simplify(graph.Undirect(pairs))
+	for _, k := range []uint32{2, 7, 8} {
+		got := runDistributedKCore(t, edges, n, 8, k, partition.BuildEdgeList, defaultCfg)
+		checkKCore(t, edges, n, k, got)
+	}
+}
+
+func TestKCoreRing(t *testing.T) {
+	// A ring is its own 2-core; the 3-core is empty.
+	n := uint64(32)
+	var pairs []graph.Edge
+	for v := uint64(0); v < n; v++ {
+		pairs = append(pairs, graph.Edge{Src: graph.Vertex(v), Dst: graph.Vertex((v + 1) % n)})
+	}
+	edges := graph.Simplify(graph.Undirect(pairs))
+	got2 := runDistributedKCore(t, edges, n, 3, 2, partition.BuildEdgeList, defaultCfg)
+	for v, in := range got2 {
+		if !in {
+			t.Fatalf("ring vertex %d not in 2-core", v)
+		}
+	}
+	got3 := runDistributedKCore(t, edges, n, 3, 3, partition.BuildEdgeList, defaultCfg)
+	for v, in := range got3 {
+		if in {
+			t.Fatalf("ring vertex %d claims 3-core membership", v)
+		}
+	}
+}
+
+func TestKCoreCascade(t *testing.T) {
+	// A path attached to a triangle: peeling the path must cascade.
+	pairs := []graph.Edge{{Src: 0, Dst: 1}, {Src: 1, Dst: 2}, {Src: 2, Dst: 0}, {Src: 2, Dst: 3}, {Src: 3, Dst: 4}, {Src: 4, Dst: 5}}
+	edges := graph.Simplify(graph.Undirect(pairs))
+	got := runDistributedKCore(t, edges, 6, 3, 2, partition.BuildEdgeList, defaultCfg)
+	want := []bool{true, true, true, false, false, false}
+	for v := range want {
+		if got[v] != want[v] {
+			t.Fatalf("cascade: vertex %d = %v, want %v", v, got[v], want[v])
+		}
+	}
+}
+
+func TestKCoreWithRoutedTopology(t *testing.T) {
+	edges := simpleUndirected(96, 500, 9)
+	mk := func(part *partition.Part) core.Config {
+		return core.Config{Topology: mailbox.NewGrid2D(8)}
+	}
+	got := runDistributedKCore(t, edges, 96, 8, 3, partition.BuildEdgeList, mk)
+	checkKCore(t, edges, 96, 3, got)
+}
+
+func TestKCoreOn1D(t *testing.T) {
+	edges := simpleUndirected(64, 256, 11)
+	got := runDistributedKCore(t, edges, 64, 4, 2, partition.Build1D, defaultCfg)
+	checkKCore(t, edges, 64, 2, got)
+}
+
+func TestKCoreEmptyGraph(t *testing.T) {
+	got := runDistributedKCore(t, nil, 16, 4, 2, partition.BuildEdgeList, defaultCfg)
+	for v, in := range got {
+		if in {
+			t.Fatalf("edgeless vertex %d in 2-core", v)
+		}
+	}
+}
+
+func TestKCoreRejectsKZero(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("k=0 accepted")
+		}
+	}()
+	m := rt.NewMachine(1)
+	m.Run(func(r *rt.Rank) {
+		part, err := partition.BuildEdgeList(r, nil, 4)
+		if err != nil {
+			panic(err)
+		}
+		Run(r, part, 0, core.Config{})
+	})
+}
+
+func TestGlobalCoreSize(t *testing.T) {
+	edges := simpleUndirected(64, 300, 13)
+	want := ref.CoreSize(ref.KCore(ref.BuildAdj(edges, 64), 3))
+	sizes := make([]uint64, 4)
+	algotest.RunOnParts(t, edges, 64, 4, partition.BuildEdgeList, func(r *rt.Rank, part *partition.Part) {
+		res := Run(r, part, 3, core.Config{})
+		sizes[r.Rank()] = GlobalCoreSize(r, res)
+	})
+	for rank, s := range sizes {
+		if s != want {
+			t.Fatalf("rank %d reports core size %d, want %d", rank, s, want)
+		}
+	}
+}
+
+func TestVisitorCodecRoundTrip(t *testing.T) {
+	a := &KCore{}
+	v := Visitor{V: 9999999}
+	buf := a.Encode(v, nil)
+	if got := a.Decode(buf); got != v {
+		t.Fatalf("round trip %+v", got)
+	}
+}
+
+func TestDecomposeMatchesReferenceCoreness(t *testing.T) {
+	edges := simpleUndirected(64, 400, 21)
+	want := ref.CoreNumbers(ref.BuildAdj(edges, 64))
+	g := algotest.NewGathered(64)
+	algotest.RunOnParts(t, edges, 64, 4, partition.BuildEdgeList, func(r *rt.Rank, part *partition.Part) {
+		coreNum := Decompose(r, part, 32, core.Config{})
+		g.Set(part, func(v graph.Vertex) uint64 {
+			i, _ := part.LocalIndex(v)
+			return uint64(coreNum[i])
+		})
+	})
+	for v := uint64(0); v < 64; v++ {
+		if uint32(g.Values[v]) != want[v] {
+			t.Fatalf("coreness(%d) = %d, want %d", v, g.Values[v], want[v])
+		}
+	}
+}
+
+func TestDecomposeEarlyStopsAtMaxK(t *testing.T) {
+	// A triangle has coreness 2 everywhere; maxK=1 must cap at 1.
+	edges := graph.Simplify(graph.Undirect([]graph.Edge{
+		{Src: 0, Dst: 1}, {Src: 1, Dst: 2}, {Src: 2, Dst: 0},
+	}))
+	g := algotest.NewGathered(3)
+	algotest.RunOnParts(t, edges, 3, 2, partition.BuildEdgeList, func(r *rt.Rank, part *partition.Part) {
+		coreNum := Decompose(r, part, 1, core.Config{})
+		g.Set(part, func(v graph.Vertex) uint64 {
+			i, _ := part.LocalIndex(v)
+			return uint64(coreNum[i])
+		})
+	})
+	for v := 0; v < 3; v++ {
+		if g.Values[v] != 1 {
+			t.Fatalf("capped coreness(%d) = %d, want 1", v, g.Values[v])
+		}
+	}
+}

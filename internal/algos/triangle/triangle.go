@@ -1,0 +1,123 @@
+// Package triangle implements triangle counting as a visitor over the
+// distributed asynchronous visitor queue (paper §VI-C, Algorithms 6 and 7).
+// Each visitor performs one of three duties: first visit (fan out to larger
+// neighbors), length-2 path visit (extend wedges to larger endpoints), and
+// the search for the closing edge of the length-3 cycle. Visiting triangle
+// vertices in increasing identifier order ensures each triangle is counted
+// exactly once, at its largest vertex. Triangle counting requires precise
+// adjacency membership tests, so it cannot use ghosts.
+package triangle
+
+import (
+	"encoding/binary"
+
+	"havoqgt/internal/core"
+	"havoqgt/internal/graph"
+	"havoqgt/internal/partition"
+	"havoqgt/internal/rt"
+)
+
+// Visitor carries a partial triangle: Second and Third are ∞ (graph.Nil)
+// until filled by earlier duties (Algorithm 6 state).
+type Visitor struct {
+	V      graph.Vertex
+	Second graph.Vertex
+	Third  graph.Vertex
+}
+
+// Vertex returns the visitor's target.
+func (v Visitor) Vertex() graph.Vertex { return v.V }
+
+const wireBytes = 24
+
+// Triangle is one rank's algorithm state: per-row triangle counters.
+// Counters are plain local tallies (a split vertex's closing edges are
+// distributed over its replicas; the global sum is exact).
+type Triangle struct {
+	part  *partition.Part
+	Count []uint64
+}
+
+var _ core.Algorithm[Visitor] = (*Triangle)(nil)
+
+// New initializes the counters to zero (Algorithm 7 lines 3–5).
+func New(part *partition.Part) *Triangle {
+	return &Triangle{part: part, Count: make([]uint64, part.StateLen)}
+}
+
+// PreVisit always proceeds (Algorithm 6 lines 4–6): every duty must run.
+func (t *Triangle) PreVisit(v Visitor) bool {
+	_, ok := t.part.LocalIndex(v.V)
+	return ok
+}
+
+// Visit performs the three duties (Algorithm 6 lines 7–27).
+func (t *Triangle) Visit(v Visitor, q *core.Queue[Visitor]) {
+	switch {
+	case v.Second == graph.Nil: // first visit
+		for _, vi := range q.OutEdges(v.V) {
+			if vi > v.V {
+				q.Push(Visitor{V: vi, Second: v.V, Third: graph.Nil})
+			}
+		}
+	case v.Third == graph.Nil: // length-2 path visit
+		for _, vi := range q.OutEdges(v.V) {
+			if vi > v.V {
+				q.Push(Visitor{V: vi, Second: v.V, Third: v.Second})
+			}
+		}
+	default: // search for closing edge of the length-3 cycle
+		row := q.LocalRow(v.V)
+		if t.part.CSR.HasTarget(row, v.Third) {
+			t.Count[row]++
+		}
+	}
+}
+
+// Less: no visitor order required (Algorithm 6).
+func (t *Triangle) Less(a, b Visitor) bool { return false }
+
+// Encode appends the 24-byte wire form.
+func (t *Triangle) Encode(v Visitor, buf []byte) []byte {
+	var w [wireBytes]byte
+	binary.LittleEndian.PutUint64(w[0:], uint64(v.V))
+	binary.LittleEndian.PutUint64(w[8:], uint64(v.Second))
+	binary.LittleEndian.PutUint64(w[16:], uint64(v.Third))
+	return append(buf, w[:]...)
+}
+
+// Decode parses one visitor record.
+func (t *Triangle) Decode(buf []byte) Visitor {
+	return Visitor{
+		V:      graph.Vertex(binary.LittleEndian.Uint64(buf[0:])),
+		Second: graph.Vertex(binary.LittleEndian.Uint64(buf[8:])),
+		Third:  graph.Vertex(binary.LittleEndian.Uint64(buf[16:])),
+	}
+}
+
+// Result bundles one rank's output.
+type Result struct {
+	*Triangle
+	Stats       core.Stats
+	GlobalCount uint64
+	sampleProb  float64 // set by RunOpts for sampled runs; see Estimate
+}
+
+// Run counts triangles collectively: one first-visit visitor per vertex,
+// traversal to quiescence, then an all-reduce of the local tallies
+// (Algorithm 7). The input graph must be simple (no self loops or duplicate
+// edges) and stored undirected (both directions present).
+func Run(r *rt.Rank, part *partition.Part, cfg core.Config) *Result {
+	t := New(part)
+	q := core.NewQueue[Visitor](r, part, t, cfg)
+	lo, hi := part.Owners.MasterRange(part.Rank)
+	for v := lo; v < hi; v++ {
+		q.Push(Visitor{V: graph.Vertex(v), Second: graph.Nil, Third: graph.Nil})
+	}
+	q.Run()
+	var local uint64
+	for _, c := range t.Count {
+		local += c
+	}
+	return &Result{Triangle: t, Stats: q.Stats(), GlobalCount: r.AllReduceU64(local, rt.Sum)}
+}

@@ -1,0 +1,57 @@
+// Package core implements the paper's primary contribution: the distributed
+// asynchronous visitor queue (§IV–§V, Algorithm 1). Traversal algorithms are
+// expressed as visitors — vertex-centric procedures with the ability to pass
+// visitor state to other vertices — and the queue provides parallelism,
+// asynchronous transmission through the routed mailbox, scheduling via a
+// local priority queue, replica forwarding for split adjacency lists, ghost
+// filtering for high in-degree hubs, and termination detection.
+package core
+
+import "havoqgt/internal/graph"
+
+// Visitor is the stored state representing a vertex to be visited (Table I).
+// Concrete visitor types are small value structs defined by each algorithm.
+type Visitor interface {
+	// Vertex returns the vertex this visitor targets.
+	Vertex() graph.Vertex
+}
+
+// Algorithm supplies the visitor procedures of Table I for visitor type V,
+// plus the wire codec the mailbox needs. One Algorithm value exists per rank
+// per traversal and owns that rank's algorithm state arrays (e.g. BFS
+// levels); PreVisit and Visit therefore run with exclusive access to the
+// vertex's local (master or replica) state.
+type Algorithm[V Visitor] interface {
+	// PreVisit performs a preliminary evaluation of the state and returns
+	// true if the visit should proceed. Called on every rank that holds
+	// state for the vertex (master first, then replicas down the chain).
+	PreVisit(v V) bool
+
+	// Visit is the main visitor procedure. It may push new visitors into
+	// the queue. It sees only the local portion of the vertex's adjacency
+	// list; replicas of a split vertex each visit their own portion.
+	Visit(v V, q *Queue[V])
+
+	// Less orders visitors in the local min-heap priority queue. Algorithms
+	// with no ordering requirement return false.
+	Less(a, b V) bool
+
+	// Encode appends v's wire form to buf and returns it.
+	Encode(v V, buf []byte) []byte
+	// Decode parses one visitor from buf (which holds exactly one record).
+	Decode(buf []byte) V
+}
+
+// GhostAlgorithm is implemented by algorithms that explicitly declare ghost
+// usage (§IV-B). Ghosts are an imprecise local filter: the ghost copy of a
+// hub's state is never globally synchronized, so only algorithms tolerant of
+// stale state (e.g. BFS) can opt in; algorithms needing precise event counts
+// (k-core, triangle counting) must not.
+type GhostAlgorithm[V Visitor] interface {
+	Algorithm[V]
+	// PreVisitGhost applies the visitor to the local ghost copy identified
+	// by ghostIdx (an index into the rank's ghost table, usable for a
+	// parallel ghost-state array). It returns true if the visitor should
+	// still be transmitted to the vertex's master partition.
+	PreVisitGhost(v V, ghostIdx int) bool
+}

@@ -1,0 +1,258 @@
+package core
+
+import (
+	"runtime"
+	"time"
+
+	"havoqgt/internal/graph"
+	"havoqgt/internal/mailbox"
+	"havoqgt/internal/partition"
+	"havoqgt/internal/rt"
+	"havoqgt/internal/termination"
+)
+
+// visitBatch bounds how many local visitors execute between mailbox polls,
+// so incoming traffic keeps draining while the local queue is deep.
+const visitBatch = 256
+
+// Stats counts one rank's visitor-queue activity for a traversal.
+type Stats struct {
+	Pushed        uint64 // visitors pushed on this rank
+	GhostFiltered uint64 // visitors suppressed by the local ghost filter
+	Received      uint64 // visitors delivered to this rank
+	Queued        uint64 // visitors whose PreVisit returned true
+	Executed      uint64 // visitors whose Visit ran
+	Forwarded     uint64 // visitors forwarded along a replica chain
+	Mailbox       mailbox.Stats
+	DetectorWaves uint64
+}
+
+// Config tunes a Queue.
+type Config struct {
+	// Topology routes the mailbox; nil selects mailbox.NewDirect.
+	Topology mailbox.Topology
+	// FlushBytes is the mailbox aggregation threshold (0 = default).
+	FlushBytes int
+	// Ghosts enables ghost filtering with the given table. The algorithm
+	// must implement GhostAlgorithm; otherwise the table is ignored.
+	Ghosts *GhostTable
+	// LocalityOrder breaks priority ties by vertex identifier to improve
+	// page-level locality of CSR reads (§V-A). On by default via NewQueue;
+	// set DisableLocalityOrder to ablate.
+	DisableLocalityOrder bool
+}
+
+// Queue is one rank's end of the distributed asynchronous visitor queue
+// (Algorithm 1). Create one per rank per traversal with NewQueue, push the
+// initial visitors, then call Run.
+type Queue[V Visitor] struct {
+	rank *rt.Rank
+	part *partition.Part
+	algo Algorithm[V]
+
+	ghostAlgo GhostAlgorithm[V] // nil when ghosts unused
+	ghosts    *GhostTable
+
+	mb  *mailbox.Box
+	det *termination.Detector
+
+	heap          []V
+	localityOrder bool
+	encBuf        []byte
+
+	stats Stats
+}
+
+// NewQueue builds the rank's queue over the partitioned graph. Must be
+// created collectively (every rank of the machine), since termination
+// detection spans all ranks.
+func NewQueue[V Visitor](r *rt.Rank, part *partition.Part, algo Algorithm[V], cfg Config) *Queue[V] {
+	topo := cfg.Topology
+	if topo == nil {
+		topo = mailbox.NewDirect(r.Size())
+	}
+	det := termination.New(r)
+	var opts []mailbox.Option
+	if cfg.FlushBytes > 0 {
+		opts = append(opts, mailbox.WithFlushBytes(cfg.FlushBytes))
+	}
+	q := &Queue[V]{
+		rank:          r,
+		part:          part,
+		algo:          algo,
+		mb:            mailbox.New(r, topo, det, opts...),
+		det:           det,
+		localityOrder: !cfg.DisableLocalityOrder,
+	}
+	if cfg.Ghosts != nil && cfg.Ghosts.Len() > 0 {
+		if ga, ok := algo.(GhostAlgorithm[V]); ok {
+			q.ghostAlgo = ga
+			q.ghosts = cfg.Ghosts
+		}
+	}
+	return q
+}
+
+// Part returns the partition this queue traverses.
+func (q *Queue[V]) Part() *partition.Part { return q.part }
+
+// Rank returns the underlying simulated rank.
+func (q *Queue[V]) Rank() *rt.Rank { return q.rank }
+
+// LocalRow returns the CSR row index for a locally held vertex.
+func (q *Queue[V]) LocalRow(v graph.Vertex) int {
+	i, ok := q.part.LocalIndex(v)
+	if !ok {
+		panic("core: visitor delivered to rank without state for its vertex")
+	}
+	return i
+}
+
+// OutEdges returns the local portion of v's adjacency list. The slice is
+// valid until the next OutEdges call (external stores reuse a buffer).
+func (q *Queue[V]) OutEdges(v graph.Vertex) []graph.Vertex {
+	return q.part.CSR.Row(q.LocalRow(v))
+}
+
+// Push inserts a visitor into the distributed queue (Algorithm 1, PUSH):
+// apply the local ghost filter if ghost information for the vertex is stored
+// locally, then transmit the visitor to the vertex's master partition
+// through the routed mailbox.
+func (q *Queue[V]) Push(v V) {
+	q.stats.Pushed++
+	dest := q.part.Master(v.Vertex())
+	if q.ghostAlgo != nil && dest != q.part.Rank {
+		if gi, ok := q.ghosts.Lookup(v.Vertex()); ok {
+			if !q.ghostAlgo.PreVisitGhost(v, gi) {
+				q.stats.GhostFiltered++
+				return
+			}
+		}
+	}
+	q.encBuf = q.algo.Encode(v, q.encBuf[:0])
+	q.mb.Send(dest, q.encBuf)
+}
+
+// receive handles one delivered visitor (Algorithm 1, CHECK_MAILBOX body):
+// PreVisit against local state; if it proceeds, queue locally and forward to
+// the next replica when the vertex's adjacency list continues on a later
+// partition.
+func (q *Queue[V]) receive(rec mailbox.Record) {
+	v := q.algo.Decode(rec.Payload)
+	q.stats.Received++
+	if !q.algo.PreVisit(v) {
+		return
+	}
+	q.stats.Queued++
+	q.heapPush(v)
+	if next, ok := q.part.ShouldForward(v.Vertex()); ok {
+		q.stats.Forwarded++
+		q.encBuf = q.algo.Encode(v, q.encBuf[:0])
+		q.mb.Send(next, q.encBuf)
+	}
+}
+
+// Run executes the asynchronous traversal to completion (Algorithm 1,
+// DO_TRAVERSAL): drain the mailbox, execute locally queued visitors in
+// priority order, and participate in termination detection; returns when the
+// distributed queue is globally empty. Initial visitors must have been
+// pushed before Run (on whichever ranks create them).
+func (q *Queue[V]) Run() {
+	idleSpins := 0
+	for {
+		progress := false
+		for _, rec := range q.mb.Poll() {
+			q.receive(rec)
+			progress = true
+		}
+		for i := 0; i < visitBatch && len(q.heap) > 0; i++ {
+			v := q.heapPop()
+			q.stats.Executed++
+			q.algo.Visit(v, q)
+			progress = true
+		}
+		if progress {
+			idleSpins = 0
+			// Answer termination waves even while busy; checking for
+			// non-termination is asynchronous (§V).
+			q.det.Pump(false)
+			continue
+		}
+		// Out of local work: flush aggregation buffers so partial batches
+		// cannot stall the traversal, then report idle.
+		q.mb.FlushAll()
+		idle := len(q.heap) == 0 && q.mb.Idle()
+		if q.det.Pump(idle) {
+			q.stats.Mailbox = q.mb.Stats()
+			q.stats.DetectorWaves = q.det.Waves
+			// End-of-traversal barrier: no rank may leave Run (and start
+			// pushing a *next* traversal's visitors) while another rank
+			// could still poll this traversal's mailbox — a record consumed
+			// by the wrong queue would unbalance the next traversal's
+			// termination counters and hang it.
+			q.rank.Barrier()
+			return
+		}
+		idleSpins++
+		if idleSpins < 64 {
+			runtime.Gosched()
+		} else {
+			time.Sleep(20 * time.Microsecond)
+		}
+	}
+}
+
+// Stats returns the rank's traversal counters (valid after Run).
+func (q *Queue[V]) Stats() Stats { return q.stats }
+
+// --- local min-heap priority queue, ordered by the algorithm's Less with an
+// optional vertex-identifier tie-break for external-memory locality (§V-A).
+
+func (q *Queue[V]) less(a, b V) bool {
+	if q.algo.Less(a, b) {
+		return true
+	}
+	if q.localityOrder && !q.algo.Less(b, a) {
+		return a.Vertex() < b.Vertex()
+	}
+	return false
+}
+
+func (q *Queue[V]) heapPush(v V) {
+	q.heap = append(q.heap, v)
+	i := len(q.heap) - 1
+	for i > 0 {
+		p := (i - 1) / 2
+		if !q.less(q.heap[i], q.heap[p]) {
+			break
+		}
+		q.heap[i], q.heap[p] = q.heap[p], q.heap[i]
+		i = p
+	}
+}
+
+func (q *Queue[V]) heapPop() V {
+	top := q.heap[0]
+	last := len(q.heap) - 1
+	q.heap[0] = q.heap[last]
+	var zero V
+	q.heap[last] = zero
+	q.heap = q.heap[:last]
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		small := i
+		if l < len(q.heap) && q.less(q.heap[l], q.heap[small]) {
+			small = l
+		}
+		if r < len(q.heap) && q.less(q.heap[r], q.heap[small]) {
+			small = r
+		}
+		if small == i {
+			break
+		}
+		q.heap[i], q.heap[small] = q.heap[small], q.heap[i]
+		i = small
+	}
+	return top
+}

@@ -1,0 +1,130 @@
+// Package csr implements compressed-sparse-row adjacency storage, the
+// underlying storage of each edge list partition in the paper (§III-A1).
+// Row offsets (proportional to vertices) always live in memory; the target
+// array (proportional to edges) lives behind a TargetStore so it can be kept
+// in memory or in simulated NVRAM through the user-space page cache — the
+// semi-external model of §VIII-A.
+package csr
+
+import (
+	"fmt"
+	"sort"
+
+	"havoqgt/internal/graph"
+)
+
+// TargetStore is the backing storage for the CSR target array.
+type TargetStore interface {
+	// Read returns targets[lo:hi]. The returned slice is valid until the
+	// next Read on the same store; callers must not retain it.
+	Read(lo, hi uint64) []graph.Vertex
+	// Len returns the total number of stored targets.
+	Len() uint64
+	// Close releases resources.
+	Close() error
+}
+
+// MemTargets is an in-memory TargetStore (the DRAM configuration).
+type MemTargets []graph.Vertex
+
+func (m MemTargets) Read(lo, hi uint64) []graph.Vertex { return m[lo:hi] }
+func (m MemTargets) Len() uint64                       { return uint64(len(m)) }
+func (m MemTargets) Close() error                      { return nil }
+
+// Matrix is one partition's local adjacency in CSR form. Row i holds the
+// local portion of the adjacency list of vertex (base + i); rows are sorted
+// by target, which HasTarget exploits.
+type Matrix struct {
+	offsets []uint64 // len = rows+1
+	targets TargetStore
+}
+
+// New assembles a matrix from row offsets and a target store. offsets must
+// be non-decreasing with offsets[len-1] == targets.Len().
+func New(offsets []uint64, targets TargetStore) (*Matrix, error) {
+	if len(offsets) == 0 {
+		return nil, fmt.Errorf("csr: offsets must have at least one entry")
+	}
+	if offsets[len(offsets)-1] != targets.Len() {
+		return nil, fmt.Errorf("csr: offsets end at %d but store holds %d targets",
+			offsets[len(offsets)-1], targets.Len())
+	}
+	for i := 1; i < len(offsets); i++ {
+		if offsets[i] < offsets[i-1] {
+			return nil, fmt.Errorf("csr: offsets not monotone at row %d", i-1)
+		}
+	}
+	return &Matrix{offsets: offsets, targets: targets}, nil
+}
+
+// FromSortedEdges builds a matrix over `rows` rows from edges sorted by
+// (Src, Dst), where edge sources are mapped to rows by src - base. Every
+// edge's source must fall within [base, base+rows).
+func FromSortedEdges(edges []graph.Edge, base graph.Vertex, rows int) (*Matrix, error) {
+	offsets := make([]uint64, rows+1)
+	targets := make(MemTargets, len(edges))
+	for i, e := range edges {
+		if e.Src < base || uint64(e.Src-base) >= uint64(rows) {
+			return nil, fmt.Errorf("csr: edge %v outside row range [%d,%d)", e, base, uint64(base)+uint64(rows))
+		}
+		if i > 0 && graph.CompareEdges(edges[i-1], e) > 0 {
+			return nil, fmt.Errorf("csr: edges not sorted at index %d", i)
+		}
+		offsets[e.Src-base+1]++
+		targets[i] = e.Dst
+	}
+	for i := 1; i <= rows; i++ {
+		offsets[i] += offsets[i-1]
+	}
+	return &Matrix{offsets: offsets, targets: targets}, nil
+}
+
+// NumRows returns the number of rows (local vertex range length).
+func (m *Matrix) NumRows() int { return len(m.offsets) - 1 }
+
+// NumEdges returns the number of locally stored targets.
+func (m *Matrix) NumEdges() uint64 { return m.offsets[len(m.offsets)-1] }
+
+// Degree returns the local degree of row i.
+func (m *Matrix) Degree(i int) uint64 { return m.offsets[i+1] - m.offsets[i] }
+
+// Row returns the targets of row i. The slice is valid until the next Row or
+// HasTarget call (external stores reuse a read buffer).
+func (m *Matrix) Row(i int) []graph.Vertex {
+	return m.targets.Read(m.offsets[i], m.offsets[i+1])
+}
+
+// HasTarget reports whether row i contains target v, by binary search (rows
+// are sorted by target). Duplicate edges are tolerated.
+func (m *Matrix) HasTarget(i int, v graph.Vertex) bool {
+	row := m.Row(i)
+	j := sort.Search(len(row), func(k int) bool { return row[k] >= v })
+	return j < len(row) && row[j] == v
+}
+
+// Targets exposes the backing store (for cache statistics).
+func (m *Matrix) Targets() TargetStore { return m.targets }
+
+// ReplaceTargets swaps the backing store, e.g. to move the already-built
+// target array from memory into simulated NVRAM. The new store must hold the
+// same number of targets.
+func (m *Matrix) ReplaceTargets(s TargetStore) error {
+	if s.Len() != m.targets.Len() {
+		return fmt.Errorf("csr: replacement store holds %d targets, want %d", s.Len(), m.targets.Len())
+	}
+	m.targets = s
+	return nil
+}
+
+// WithTargets returns a view of the matrix sharing its offsets but reading
+// targets through a different store — used to give each thread of a
+// multithreaded traversal its own read buffers over one shared page cache.
+func (m *Matrix) WithTargets(s TargetStore) (*Matrix, error) {
+	if s.Len() != m.targets.Len() {
+		return nil, fmt.Errorf("csr: view store holds %d targets, want %d", s.Len(), m.targets.Len())
+	}
+	return &Matrix{offsets: m.offsets, targets: s}, nil
+}
+
+// Close closes the backing store.
+func (m *Matrix) Close() error { return m.targets.Close() }

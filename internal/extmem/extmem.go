@@ -1,0 +1,159 @@
+// Package extmem stores a CSR target array in (simulated or real) external
+// memory behind the user-space page cache, implementing the distributed
+// *external* memory configuration of §VII-C: vertex state stays in DRAM
+// (semi-external model) while the edge set — the bulk of the data — lives on
+// node-local NVRAM.
+package extmem
+
+import (
+	"encoding/binary"
+	"fmt"
+	"os"
+	"time"
+
+	"havoqgt/internal/csr"
+	"havoqgt/internal/graph"
+	"havoqgt/internal/pagecache"
+)
+
+const vertexBytes = 8
+
+// Store is a csr.TargetStore whose targets are read through a page cache.
+type Store struct {
+	cache *pagecache.Cache
+	n     uint64
+	buf   []graph.Vertex
+	raw   []byte
+}
+
+var _ csr.TargetStore = (*Store)(nil)
+
+// NewStore wraps a page cache holding n serialized targets.
+func NewStore(cache *pagecache.Cache, n uint64) *Store {
+	return &Store{cache: cache, n: n}
+}
+
+// Read returns targets[lo:hi] decoded from the cache. The returned slice is
+// reused by the next Read.
+func (s *Store) Read(lo, hi uint64) []graph.Vertex {
+	if hi < lo || hi > s.n {
+		panic(fmt.Sprintf("extmem: bad target range [%d,%d) of %d", lo, hi, s.n))
+	}
+	n := int(hi - lo)
+	if cap(s.buf) < n {
+		s.buf = make([]graph.Vertex, n)
+		s.raw = make([]byte, n*vertexBytes)
+	}
+	s.buf = s.buf[:n]
+	s.raw = s.raw[:n*vertexBytes]
+	if _, err := s.cache.ReadAt(s.raw, int64(lo)*vertexBytes); err != nil {
+		panic(fmt.Sprintf("extmem: device read failed: %v", err))
+	}
+	for i := 0; i < n; i++ {
+		s.buf[i] = graph.Vertex(binary.LittleEndian.Uint64(s.raw[i*vertexBytes:]))
+	}
+	return s.buf
+}
+
+// Len returns the number of stored targets.
+func (s *Store) Len() uint64 { return s.n }
+
+// View returns a Store sharing this store's page cache (and device) but
+// owning its own read buffers, so multiple threads can read concurrently.
+// Close the parent store once; views must not be closed.
+func (s *Store) View() *Store { return NewStore(s.cache, s.n) }
+
+// Close closes the cache and device.
+func (s *Store) Close() error { return s.cache.Close() }
+
+// Cache exposes the page cache for statistics.
+func (s *Store) Cache() *pagecache.Cache { return s.cache }
+
+// SerializeTargets encodes a target array into the on-device byte layout.
+func SerializeTargets(targets []graph.Vertex) []byte {
+	raw := make([]byte, len(targets)*vertexBytes)
+	for i, v := range targets {
+		binary.LittleEndian.PutUint64(raw[i*vertexBytes:], uint64(v))
+	}
+	return raw
+}
+
+// NVRAMConfig describes a simulated node-local NVRAM part.
+type NVRAMConfig struct {
+	Latency    time.Duration // per-read service latency
+	QueueDepth int           // concurrent reads the device sustains
+	PageSize   int           // cache page size in bytes
+	CacheBytes int           // DRAM budget for cached pages
+}
+
+// DefaultNVRAM approximates an enterprise NAND-Flash card (Fusion-io class):
+// tens of microseconds of latency hidden behind a deep queue.
+func DefaultNVRAM() NVRAMConfig {
+	return NVRAMConfig{
+		Latency:    25 * time.Microsecond,
+		QueueDepth: 64,
+		PageSize:   4096,
+		CacheBytes: 1 << 22, // 4 MiB per rank unless overridden
+	}
+}
+
+// CommoditySSD approximates a SATA SSD (Trestles class): higher latency,
+// shallower queue.
+func CommoditySSD() NVRAMConfig {
+	return NVRAMConfig{
+		Latency:    90 * time.Microsecond,
+		QueueDepth: 16,
+		PageSize:   4096,
+		CacheBytes: 1 << 22,
+	}
+}
+
+// NewSimStore places serialized targets on a simulated NVRAM device behind a
+// page cache sized to cfg.CacheBytes.
+func NewSimStore(targets []graph.Vertex, cfg NVRAMConfig) (*Store, error) {
+	dev := pagecache.NewSimDevice(&pagecache.MemDevice{Data: SerializeTargets(targets)}, cfg.Latency, cfg.QueueDepth)
+	frames := max(1, cfg.CacheBytes/cfg.PageSize)
+	cache, err := pagecache.New(dev, cfg.PageSize, frames)
+	if err != nil {
+		return nil, err
+	}
+	return NewStore(cache, uint64(len(targets))), nil
+}
+
+// WriteTargetsFile serializes targets to path (the real-file configuration).
+func WriteTargetsFile(path string, targets []graph.Vertex) error {
+	return os.WriteFile(path, SerializeTargets(targets), 0o644)
+}
+
+// OpenFileStore opens a targets file through a page cache with the given
+// page size and frame count.
+func OpenFileStore(path string, pageSize, frames int) (*Store, error) {
+	dev, err := pagecache.OpenFile(path)
+	if err != nil {
+		return nil, err
+	}
+	cache, err := pagecache.New(dev, pageSize, frames)
+	if err != nil {
+		dev.Close()
+		return nil, err
+	}
+	return NewStore(cache, uint64(dev.Size()/vertexBytes)), nil
+}
+
+// ExternalizeCSR moves a matrix's in-memory targets onto simulated NVRAM,
+// returning the store so callers can read cache statistics.
+func ExternalizeCSR(m *csr.Matrix, cfg NVRAMConfig) (*Store, error) {
+	mem, ok := m.Targets().(csr.MemTargets)
+	if !ok {
+		return nil, fmt.Errorf("extmem: matrix targets already external")
+	}
+	store, err := NewSimStore(mem, cfg)
+	if err != nil {
+		return nil, err
+	}
+	if err := m.ReplaceTargets(store); err != nil {
+		store.Close()
+		return nil, err
+	}
+	return store, nil
+}

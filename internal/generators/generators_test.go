@@ -1,0 +1,227 @@
+package generators
+
+import (
+	"testing"
+
+	"havoqgt/internal/graph"
+)
+
+func TestChunkRangeCoversAll(t *testing.T) {
+	for _, total := range []uint64{0, 1, 7, 100, 101} {
+		for _, size := range []int{1, 2, 3, 7, 16} {
+			var sum uint64
+			prev := uint64(0)
+			for r := 0; r < size; r++ {
+				lo, hi := chunkRange(total, r, size)
+				if lo != prev {
+					t.Fatalf("total=%d size=%d rank=%d: lo=%d, want %d", total, size, r, lo, prev)
+				}
+				if hi < lo {
+					t.Fatalf("negative range at rank %d", r)
+				}
+				sum += hi - lo
+				prev = hi
+			}
+			if sum != total || prev != total {
+				t.Fatalf("total=%d size=%d: covered %d", total, size, sum)
+			}
+		}
+	}
+}
+
+func TestRMATChunksMatchFull(t *testing.T) {
+	p := NewGraph500(8, 42)
+	full := p.Generate()
+	for _, size := range []int{2, 3, 5} {
+		var combined []graph.Edge
+		for r := 0; r < size; r++ {
+			combined = append(combined, p.GenerateChunk(r, size)...)
+		}
+		if len(combined) != len(full) {
+			t.Fatalf("size=%d: %d edges, want %d", size, len(combined), len(full))
+		}
+		for i := range full {
+			if combined[i] != full[i] {
+				t.Fatalf("size=%d: edge %d = %v, want %v", size, i, combined[i], full[i])
+			}
+		}
+	}
+}
+
+func TestRMATInRangeAndSized(t *testing.T) {
+	p := NewGraph500(10, 7)
+	edges := p.Generate()
+	if uint64(len(edges)) != p.NumEdges() {
+		t.Fatalf("generated %d edges, want %d", len(edges), p.NumEdges())
+	}
+	n := p.NumVertices()
+	for _, e := range edges {
+		if uint64(e.Src) >= n || uint64(e.Dst) >= n {
+			t.Fatalf("edge %v out of range (n=%d)", e, n)
+		}
+	}
+}
+
+func TestRMATDeterministic(t *testing.T) {
+	a := NewGraph500(9, 1).Generate()
+	b := NewGraph500(9, 1).Generate()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same-seed RMAT differs at edge %d", i)
+		}
+	}
+	c := NewGraph500(9, 2).Generate()
+	same := 0
+	for i := range a {
+		if a[i] == c[i] {
+			same++
+		}
+	}
+	if same > len(a)/10 {
+		t.Fatalf("different seeds look identical: %d/%d equal", same, len(a))
+	}
+}
+
+func TestRMATIsSkewed(t *testing.T) {
+	// RMAT with Graph500 parameters must produce hubs: max degree far above
+	// the mean (16).
+	p := NewGraph500(12, 3)
+	edges := graph.Undirect(p.Generate())
+	deg := graph.OutDegrees(edges, p.NumVertices())
+	c := graph.Census(deg)
+	if c.MaxDegree < 200 {
+		t.Fatalf("max degree %d too small for a scale-free graph (mean 32)", c.MaxDegree)
+	}
+}
+
+func TestRMATPermutationChangesLayoutNotStructure(t *testing.T) {
+	p := NewGraph500(8, 5)
+	p.Permute = false
+	plain := p.Generate()
+	p.Permute = true
+	perm := p.Generate()
+	// Degree multiset (as a sorted histogram) must be preserved.
+	n := p.NumVertices()
+	h1 := graph.DegreeHistogram(graph.OutDegrees(plain, n))
+	h2 := graph.DegreeHistogram(graph.OutDegrees(perm, n))
+	if len(h1) != len(h2) {
+		t.Fatalf("degree histograms differ in support: %d vs %d", len(h1), len(h2))
+	}
+	for d, c := range h1 {
+		if h2[d] != c {
+			t.Fatalf("degree %d: %d vertices plain vs %d permuted", d, c, h2[d])
+		}
+	}
+	// But the edge lists themselves must differ (labels scrambled).
+	same := 0
+	for i := range plain {
+		if plain[i] == perm[i] {
+			same++
+		}
+	}
+	if same > len(plain)/10 {
+		t.Fatalf("permutation left %d/%d edges unchanged", same, len(plain))
+	}
+}
+
+func TestPAChunksMatchFull(t *testing.T) {
+	p := NewPA(1<<8, 4, 0.1, 11)
+	full := p.Generate()
+	var combined []graph.Edge
+	for r := 0; r < 3; r++ {
+		combined = append(combined, p.GenerateChunk(r, 3)...)
+	}
+	if len(combined) != len(full) {
+		t.Fatalf("%d edges, want %d", len(combined), len(full))
+	}
+	for i := range full {
+		if combined[i] != full[i] {
+			t.Fatalf("edge %d = %v, want %v", i, combined[i], full[i])
+		}
+	}
+}
+
+func TestPAEdgeCountAndRange(t *testing.T) {
+	p := NewPA(1000, 3, 0, 2)
+	edges := p.Generate()
+	if uint64(len(edges)) != p.NumEdges() {
+		t.Fatalf("generated %d, want %d", len(edges), p.NumEdges())
+	}
+	for _, e := range edges {
+		if uint64(e.Src) >= 1000 || uint64(e.Dst) >= 1000 {
+			t.Fatalf("edge %v out of range", e)
+		}
+	}
+}
+
+func TestPAIsSkewedAndRewireFlattens(t *testing.T) {
+	n := uint64(1 << 13)
+	pure := NewPA(n, 8, 0, 9)
+	rewired := NewPA(n, 8, 0.9, 9)
+	maxDeg := func(p PA) uint32 {
+		edges := graph.Undirect(p.Generate())
+		return graph.Census(graph.OutDegrees(edges, n)).MaxDegree
+	}
+	mp, mr := maxDeg(pure), maxDeg(rewired)
+	if mp < 100 {
+		t.Fatalf("pure PA max degree %d, expected heavy hub", mp)
+	}
+	if mr*2 > mp {
+		t.Fatalf("rewiring should flatten hubs: pure %d vs rewired %d", mp, mr)
+	}
+}
+
+func TestSmallWorldDegreeUniform(t *testing.T) {
+	p := NewSmallWorld(1<<10, 8, 0, 4)
+	edges := p.Generate()
+	if uint64(len(edges)) != p.NumEdges() {
+		t.Fatalf("generated %d, want %d", len(edges), p.NumEdges())
+	}
+	deg := graph.OutDegrees(edges, p.NumVertices)
+	for v, d := range deg {
+		if d != 4 { // K/2 out-edges per vertex
+			t.Fatalf("vertex %d out-degree %d, want 4", v, d)
+		}
+	}
+}
+
+func TestSmallWorldChunksMatchFull(t *testing.T) {
+	p := NewSmallWorld(1<<9, 6, 0.2, 8)
+	full := p.Generate()
+	var combined []graph.Edge
+	for r := 0; r < 4; r++ {
+		combined = append(combined, p.GenerateChunk(r, 4)...)
+	}
+	for i := range full {
+		if combined[i] != full[i] {
+			t.Fatalf("edge %d differs", i)
+		}
+	}
+}
+
+func TestSmallWorldRewireNoSelfLoops(t *testing.T) {
+	p := NewSmallWorld(1<<9, 4, 1.0, 3)
+	p.Permute = false
+	for _, e := range p.Generate() {
+		if e.IsSelfLoop() {
+			t.Fatalf("rewire produced self loop %v", e)
+		}
+	}
+}
+
+func TestGeneratorsRejectBadChunks(t *testing.T) {
+	for _, f := range []func(){
+		func() { NewGraph500(4, 1).GenerateChunk(2, 2) },
+		func() { NewPA(16, 2, 0, 1).GenerateChunk(-1, 2) },
+		func() { NewSmallWorld(16, 2, 0, 1).GenerateChunk(0, 0) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("invalid chunk did not panic")
+				}
+			}()
+			f()
+		}()
+	}
+}

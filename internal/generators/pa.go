@@ -1,0 +1,112 @@
+package generators
+
+import (
+	"havoqgt/internal/graph"
+	"havoqgt/internal/xrand"
+)
+
+// PA holds the parameters of the Preferential Attachment (Barabási–Albert)
+// generator. Vertices arrive one at a time and attach M edges to existing
+// vertices with probability proportional to their current degree, producing a
+// scale-free graph with heavy hubs. Rewire replaces each target with a
+// uniformly random vertex with the given probability, interpolating between a
+// pure PA graph (Rewire=0) and an Erdős–Rényi-like random graph (Rewire=1) —
+// the knob Figure 11 sweeps to control the maximum vertex degree.
+type PA struct {
+	NumVertices uint64
+	M           uint64  // edges attached per arriving vertex
+	Rewire      float64 // probability each edge's target is rewired uniformly
+	Seed        uint64
+	Permute     bool
+}
+
+// NewPA returns a preferential-attachment generator with label permutation
+// enabled.
+func NewPA(n, m uint64, rewire float64, seed uint64) PA {
+	return PA{NumVertices: n, M: m, Rewire: rewire, Seed: seed, Permute: true}
+}
+
+// NumEdges returns the number of generated (directed) edges:
+// (NumVertices - M) * M, since the first M vertices form the seed set.
+func (p PA) NumEdges() uint64 {
+	if p.NumVertices <= p.M {
+		return 0
+	}
+	return (p.NumVertices - p.M) * p.M
+}
+
+// Generate produces the full PA edge list.
+func (p PA) Generate() []graph.Edge { return p.GenerateChunk(0, 1) }
+
+// GenerateChunk produces rank's share of the edges when split across size
+// ranks. The generator uses the pointer-chasing formulation of preferential
+// attachment (Sanders & Schulz style): the target of edge i is found by
+// drawing a uniform "slot" among the 2i endpoint slots of earlier edges and
+// copying that endpoint, resolving recursively. Because every edge draws from
+// its own deterministic substream, any chunk decomposition yields the same
+// global edge list, with attachment probability exactly proportional to
+// degree.
+func (p PA) GenerateChunk(rank, size int) []graph.Edge {
+	if rank < 0 || size <= 0 || rank >= size {
+		panic("generators: invalid chunk rank/size")
+	}
+	if p.M == 0 || p.NumVertices <= p.M {
+		return nil
+	}
+	total := p.NumEdges()
+	lo, hi := chunkRange(total, rank, size)
+	edges := make([]graph.Edge, 0, hi-lo)
+	var perm *xrand.Bijection
+	if p.Permute {
+		perm = xrand.NewBijection(p.NumVertices, p.Seed^0x5bd1e995c3b2ae35)
+	}
+	for i := lo; i < hi; i++ {
+		src := p.M + i/p.M
+		dst := p.resolveTarget(i)
+		rng := p.edgeRNG(i)
+		// The rewire draw must be independent of the draws used inside
+		// resolveTarget; edgeRNG streams are per-purpose.
+		if p.Rewire > 0 && rng.Bool(p.Rewire) {
+			dst = rng.Uint64n(p.NumVertices)
+		}
+		if perm != nil {
+			src = perm.Apply(src)
+			dst = perm.Apply(dst)
+		}
+		edges = append(edges, graph.Edge{Src: graph.Vertex(src), Dst: graph.Vertex(dst)})
+	}
+	return edges
+}
+
+// edgeRNG returns the rewire-decision stream for edge i.
+func (p PA) edgeRNG(i uint64) xrand.Rand {
+	return xrand.Seeded(xrand.Mix64(p.Seed^0x9e3779b97f4a7c15) ^ xrand.Mix64(i+1))
+}
+
+// slotRNG returns the slot-selection stream for edge i.
+func (p PA) slotRNG(i uint64) xrand.Rand {
+	return xrand.Seeded(xrand.Mix64(p.Seed+0x2545f4914f6cdd1d) ^ xrand.Mix64(i))
+}
+
+// resolveTarget computes the attachment target of edge i without storing the
+// growing endpoint array. Edge i has 2i earlier endpoint slots: slot 2j is
+// the source of edge j (known in closed form) and slot 2j+1 is the target of
+// edge j (resolved by chasing edge j's own slot draw). Drawing a uniform slot
+// is exactly degree-proportional attachment, and because each edge's draw is
+// a pure function of (Seed, edge index), any rank can resolve any edge.
+func (p PA) resolveTarget(i uint64) uint64 {
+	for {
+		if i == 0 {
+			// First edge: attach uniformly within the seed set [0, M).
+			rng := p.slotRNG(0)
+			return rng.Uint64n(p.M)
+		}
+		rng := p.slotRNG(i)
+		r := rng.Uint64n(2 * i)
+		j := r / 2
+		if r%2 == 0 {
+			return p.M + j/p.M // source of edge j, closed form
+		}
+		i = j // copy the target of edge j: re-run its own resolution
+	}
+}

@@ -1,0 +1,128 @@
+// Package generators implements the three synthetic graph models used in the
+// paper's evaluation (§VII-A):
+//
+//   - RMAT with the Graph500 V1.2 generator parameters (scale-free, the
+//     Graph500 benchmark input),
+//   - Preferential Attachment (Barabási–Albert) with an optional random
+//     rewire step to interpolate toward a random graph,
+//   - Small World (Watts–Strogatz) with uniform degree and a rewire
+//     probability controlling the diameter.
+//
+// After generation all vertex labels are uniformly permuted (via a keyed
+// Feistel bijection) to destroy any locality artifacts from the generators,
+// exactly as the paper does.
+//
+// Generators are deterministic given (params, seed) and support distributed
+// generation: GenerateChunk produces rank r's share of the edges so that the
+// concatenation over all ranks equals the full edge list.
+package generators
+
+import (
+	"havoqgt/internal/graph"
+	"havoqgt/internal/xrand"
+)
+
+// Graph500EdgeFactor is the benchmark's ratio of (directed generator) edges
+// to vertices. Average undirected degree 16 means edgefactor 16.
+const Graph500EdgeFactor = 16
+
+// RMAT holds the parameters of the recursive-matrix generator.
+// The Graph500 V1.2 specification fixes A=0.57, B=0.19, C=0.19, D=0.05.
+type RMAT struct {
+	Scale      uint   // graph has 2^Scale vertices
+	EdgeFactor uint64 // number of generated edges = EdgeFactor << Scale
+	A, B, C    float64
+	// D is implicitly 1-A-B-C.
+	Seed uint64
+	// Permute applies a uniform label permutation after generation
+	// (Graph500 requires it; defaults should set it true).
+	Permute bool
+	// NoiseAB perturbs the quadrant probabilities per level as the Graph500
+	// reference generator does; kept optional and off by default for exact
+	// reproducibility across chunk decompositions.
+}
+
+// NewGraph500 returns the RMAT parameters mandated by the Graph500 V1.2
+// specification for the given scale.
+func NewGraph500(scale uint, seed uint64) RMAT {
+	return RMAT{
+		Scale:      scale,
+		EdgeFactor: Graph500EdgeFactor,
+		A:          0.57, B: 0.19, C: 0.19,
+		Seed:    seed,
+		Permute: true,
+	}
+}
+
+// NumVertices returns 2^Scale.
+func (p RMAT) NumVertices() uint64 { return uint64(1) << p.Scale }
+
+// NumEdges returns the number of generated (directed) edges.
+func (p RMAT) NumEdges() uint64 { return p.EdgeFactor << p.Scale }
+
+// Generate produces the full RMAT edge list.
+func (p RMAT) Generate() []graph.Edge {
+	return p.GenerateChunk(0, 1)
+}
+
+// GenerateChunk produces rank's share of the edge list when generation is
+// split across size ranks. Each edge index is generated from its own
+// deterministic substream, so the union over ranks is identical to Generate()
+// regardless of size.
+func (p RMAT) GenerateChunk(rank, size int) []graph.Edge {
+	if rank < 0 || size <= 0 || rank >= size {
+		panic("generators: invalid chunk rank/size")
+	}
+	total := p.NumEdges()
+	lo, hi := chunkRange(total, rank, size)
+	edges := make([]graph.Edge, 0, hi-lo)
+	var perm *xrand.Bijection
+	if p.Permute {
+		perm = xrand.NewBijection(p.NumVertices(), p.Seed^0xa5a5a5a5a5a5a5a5)
+	}
+	for i := lo; i < hi; i++ {
+		rng := xrand.Seeded(xrand.Mix64(p.Seed) ^ xrand.Mix64(i+0x100000000))
+		src, dst := p.edge(&rng)
+		if perm != nil {
+			src = perm.Apply(src)
+			dst = perm.Apply(dst)
+		}
+		edges = append(edges, graph.Edge{Src: graph.Vertex(src), Dst: graph.Vertex(dst)})
+	}
+	return edges
+}
+
+// edge samples one (src, dst) pair by recursive quadrant descent.
+func (p RMAT) edge(rng *xrand.Rand) (src, dst uint64) {
+	ab := p.A + p.B
+	abc := ab + p.C
+	for level := uint(0); level < p.Scale; level++ {
+		r := rng.Float64()
+		switch {
+		case r < p.A:
+			// top-left quadrant: no bits set
+		case r < ab:
+			dst |= 1 << level
+		case r < abc:
+			src |= 1 << level
+		default:
+			src |= 1 << level
+			dst |= 1 << level
+		}
+	}
+	return src, dst
+}
+
+// chunkRange splits [0, total) into size contiguous ranges and returns the
+// rank-th one. Ranges differ in length by at most one.
+func chunkRange(total uint64, rank, size int) (lo, hi uint64) {
+	q := total / uint64(size)
+	r := total % uint64(size)
+	u := uint64(rank)
+	lo = q*u + min(u, r)
+	hi = lo + q
+	if u < r {
+		hi++
+	}
+	return lo, hi
+}

@@ -1,0 +1,111 @@
+package graphio
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"havoqgt/internal/graph"
+	"havoqgt/internal/xrand"
+)
+
+func tmpGraph(t *testing.T, n uint64, edges []graph.Edge) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "g.hvqg")
+	if err := WriteFile(path, n, edges); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func randEdges(n uint64, m int, seed uint64) []graph.Edge {
+	rng := xrand.New(seed)
+	edges := make([]graph.Edge, m)
+	for i := range edges {
+		edges[i] = graph.Edge{Src: graph.Vertex(rng.Uint64n(n)), Dst: graph.Vertex(rng.Uint64n(n))}
+	}
+	return edges
+}
+
+func TestRoundTrip(t *testing.T) {
+	edges := randEdges(100, 500, 1)
+	path := tmpGraph(t, 100, edges)
+	h, got, err := ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.NumVertices != 100 || h.NumEdges != 500 {
+		t.Fatalf("header = %+v", h)
+	}
+	for i := range edges {
+		if got[i] != edges[i] {
+			t.Fatalf("edge %d = %v, want %v", i, got[i], edges[i])
+		}
+	}
+}
+
+func TestChunksCoverFile(t *testing.T) {
+	edges := randEdges(64, 101, 2) // odd count exercises remainders
+	path := tmpGraph(t, 64, edges)
+	for _, size := range []int{1, 2, 3, 7} {
+		var combined []graph.Edge
+		for rank := 0; rank < size; rank++ {
+			chunk, err := ReadChunk(path, rank, size)
+			if err != nil {
+				t.Fatal(err)
+			}
+			combined = append(combined, chunk...)
+		}
+		if len(combined) != len(edges) {
+			t.Fatalf("size=%d: %d edges, want %d", size, len(combined), len(edges))
+		}
+		for i := range edges {
+			if combined[i] != edges[i] {
+				t.Fatalf("size=%d: edge %d differs", size, i)
+			}
+		}
+	}
+}
+
+func TestEmptyEdgeList(t *testing.T) {
+	path := tmpGraph(t, 8, nil)
+	h, got, err := ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.NumEdges != 0 || len(got) != 0 {
+		t.Fatal("empty list round trip failed")
+	}
+}
+
+func TestBadMagicRejected(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "bad.bin")
+	if err := os.WriteFile(path, []byte("NOPE12345678901234567890"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadHeader(path); err == nil {
+		t.Fatal("bad magic accepted")
+	}
+}
+
+func TestTruncatedFileRejected(t *testing.T) {
+	edges := randEdges(16, 10, 3)
+	path := tmpGraph(t, 16, edges)
+	data, _ := os.ReadFile(path)
+	if err := os.WriteFile(path, data[:len(data)-8], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadChunk(path, 0, 1); err == nil {
+		t.Fatal("truncated file accepted")
+	}
+}
+
+func TestInvalidChunkArgs(t *testing.T) {
+	path := tmpGraph(t, 4, nil)
+	if _, err := ReadChunk(path, 1, 1); err == nil {
+		t.Fatal("rank >= size accepted")
+	}
+	if _, err := ReadChunk(path, 0, 0); err == nil {
+		t.Fatal("size 0 accepted")
+	}
+}

@@ -1,0 +1,65 @@
+package graphio
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"havoqgt/internal/graph"
+)
+
+// ReadText parses a plain-text edge list: one "src dst" pair per line,
+// separated by whitespace, tabs, or commas. Lines starting with '#' or '%'
+// (the SNAP and Matrix Market comment conventions) are skipped. Returns the
+// edges and the implied vertex count (max id + 1).
+func ReadText(r io.Reader) ([]graph.Edge, uint64, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	var edges []graph.Edge
+	var maxV graph.Vertex
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || line[0] == '#' || line[0] == '%' {
+			continue
+		}
+		fields := strings.FieldsFunc(line, func(r rune) bool {
+			return r == ' ' || r == '\t' || r == ','
+		})
+		if len(fields) < 2 {
+			return nil, 0, fmt.Errorf("graphio: line %d: want 'src dst', got %q", lineNo, line)
+		}
+		src, err := strconv.ParseUint(fields[0], 10, 64)
+		if err != nil {
+			return nil, 0, fmt.Errorf("graphio: line %d: bad source %q", lineNo, fields[0])
+		}
+		dst, err := strconv.ParseUint(fields[1], 10, 64)
+		if err != nil {
+			return nil, 0, fmt.Errorf("graphio: line %d: bad target %q", lineNo, fields[1])
+		}
+		e := graph.Edge{Src: graph.Vertex(src), Dst: graph.Vertex(dst)}
+		edges = append(edges, e)
+		maxV = max(maxV, e.Src, e.Dst)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, 0, err
+	}
+	if len(edges) == 0 {
+		return nil, 0, nil
+	}
+	return edges, uint64(maxV) + 1, nil
+}
+
+// WriteText writes a plain-text edge list, one tab-separated pair per line.
+func WriteText(w io.Writer, edges []graph.Edge) error {
+	bw := bufio.NewWriterSize(w, 1<<20)
+	for _, e := range edges {
+		if _, err := fmt.Fprintf(bw, "%d\t%d\n", e.Src, e.Dst); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}

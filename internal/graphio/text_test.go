@@ -1,0 +1,72 @@
+package graphio
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"havoqgt/internal/graph"
+)
+
+func TestReadTextBasic(t *testing.T) {
+	in := "# a comment\n% another\n0\t1\n2 3\n4,5\n\n  6   7  \n"
+	edges, n, err := ReadText(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []graph.Edge{{Src: 0, Dst: 1}, {Src: 2, Dst: 3}, {Src: 4, Dst: 5}, {Src: 6, Dst: 7}}
+	if len(edges) != len(want) || n != 8 {
+		t.Fatalf("got %v n=%d", edges, n)
+	}
+	for i := range want {
+		if edges[i] != want[i] {
+			t.Fatalf("edge %d = %v, want %v", i, edges[i], want[i])
+		}
+	}
+}
+
+func TestReadTextErrors(t *testing.T) {
+	for _, bad := range []string{"0\n", "a b\n", "1 x\n"} {
+		if _, _, err := ReadText(strings.NewReader(bad)); err == nil {
+			t.Fatalf("input %q accepted", bad)
+		}
+	}
+}
+
+func TestReadTextEmpty(t *testing.T) {
+	edges, n, err := ReadText(strings.NewReader("# nothing\n"))
+	if err != nil || edges != nil || n != 0 {
+		t.Fatalf("empty input: %v %d %v", edges, n, err)
+	}
+}
+
+func TestTextRoundTrip(t *testing.T) {
+	edges := randEdges(50, 200, 4)
+	var buf bytes.Buffer
+	if err := WriteText(&buf, edges); err != nil {
+		t.Fatal(err)
+	}
+	got, _, err := ReadText(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(edges) {
+		t.Fatalf("round trip %d edges, want %d", len(got), len(edges))
+	}
+	for i := range edges {
+		if got[i] != edges[i] {
+			t.Fatalf("edge %d = %v, want %v", i, got[i], edges[i])
+		}
+	}
+}
+
+func TestReadTextExtraColumnsIgnored(t *testing.T) {
+	// SNAP-style files sometimes carry weights or timestamps.
+	edges, _, err := ReadText(strings.NewReader("1 2 99\n3 4 0.5\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(edges) != 2 || edges[1] != (graph.Edge{Src: 3, Dst: 4}) {
+		t.Fatalf("edges = %v", edges)
+	}
+}

@@ -1,0 +1,126 @@
+package harness
+
+import (
+	"time"
+
+	"havoqgt/internal/algos/cc"
+	"havoqgt/internal/algos/sssp"
+	"havoqgt/internal/algos/triangle"
+	"havoqgt/internal/graph"
+	"havoqgt/internal/rt"
+)
+
+// Extensions benchmarks the framework features beyond the paper's three
+// evaluation kernels: SSSP and connected components (the other kernels of
+// the authors' earlier asynchronous framework, §IV-A), the wedge-sampling
+// approximate triangle counter (§VI-C's suggested extension), and the
+// single-node multithreaded queue (Table II's Leviathan configuration).
+func Extensions(s Sizing) *Table {
+	t := &Table{
+		Title:   "Extensions: SSSP, connected components, sampled triangles, single-node smp",
+		Columns: []string{"kernel", "graph", "p", "time", "result"},
+		Notes: []string{
+			"these kernels are not in the paper's evaluation; they exercise the same visitor queue",
+		},
+	}
+	p := min(8, s.MaxP)
+	spec := RMATSpec(s.VertsPerRankLog2+2, s.Seed)
+
+	// SSSP.
+	var ssspTime time.Duration
+	var maxDist uint64
+	m := rt.NewMachine(p)
+	m.Run(func(r *rt.Rank) {
+		env, err := (CommonOpts{P: p, Topology: "2d", Seed: s.Seed}).setup(r, spec)
+		if err != nil {
+			panic(err)
+		}
+		src := pickSourcesDistributed(r, env, s.Seed)
+		r.Barrier()
+		start := time.Now()
+		res := sssp.Run(r, env.part, src, s.Seed, (CommonOpts{P: p, Topology: "2d"}).coreConfig(env, 256))
+		r.Barrier()
+		elapsed := time.Since(start)
+		lo, hi := env.part.Owners.MasterRange(env.part.Rank)
+		var localMax uint64
+		for v := lo; v < hi; v++ {
+			i, _ := env.part.LocalIndex(graph.Vertex(v))
+			if d := res.Dist[i]; d != sssp.Unreached && d > localMax {
+				localMax = d
+			}
+		}
+		g := r.AllReduceU64(localMax, rt.Max)
+		if r.Rank() == 0 {
+			ssspTime, maxDist = elapsed, g
+		}
+	})
+	t.AddRow("sssp", spec.Name, p, ssspTime.Round(time.Millisecond), maxDist)
+
+	// Connected components.
+	var ccTime time.Duration
+	var comps uint64
+	m = rt.NewMachine(p)
+	m.Run(func(r *rt.Rank) {
+		env, err := (CommonOpts{P: p, Topology: "2d", Seed: s.Seed}).setup(r, spec)
+		if err != nil {
+			panic(err)
+		}
+		r.Barrier()
+		start := time.Now()
+		res := cc.Run(r, env.part, (CommonOpts{P: p, Topology: "2d"}).coreConfig(env, 256))
+		r.Barrier()
+		elapsed := time.Since(start)
+		n := cc.NumComponents(r, res)
+		if r.Rank() == 0 {
+			ccTime, comps = elapsed, n
+		}
+	})
+	t.AddRow("cc", spec.Name, p, ccTime.Round(time.Millisecond), comps)
+
+	// Exact vs sampled triangle counting.
+	swSpec := SWSpec(uint64(1)<<(s.VertsPerRankLog2+1), 16, 0.05, s.Seed)
+	exact, err := RunTriangles(TriangleOpts{CommonOpts: CommonOpts{P: p, Topology: "2d", Seed: s.Seed}, Graph: swSpec})
+	if err != nil {
+		panic(err)
+	}
+	t.AddRow("tc-exact", swSpec.Name, p, exact.Time.Round(time.Millisecond), exact.Triangles)
+
+	var sampTime time.Duration
+	var estimate float64
+	m = rt.NewMachine(p)
+	m.Run(func(r *rt.Rank) {
+		opts := CommonOpts{P: p, Topology: "2d", Simplify: true, Seed: s.Seed}
+		env, err := opts.setup(r, swSpec)
+		if err != nil {
+			panic(err)
+		}
+		r.Barrier()
+		start := time.Now()
+		res := triangle.RunOpts(r, env.part, opts.coreConfig(env, 0),
+			triangle.Options{SampleProb: 0.25, SampleSeed: s.Seed})
+		r.Barrier()
+		elapsed := time.Since(start)
+		if r.Rank() == 0 {
+			sampTime, estimate = elapsed, res.Estimate()
+		}
+	})
+	t.AddRow("tc-sampled-25%", swSpec.Name, p, sampTime.Round(time.Millisecond), uint64(estimate))
+
+	// Single-node multithreaded BFS (Leviathan-style, DRAM).
+	start := time.Now()
+	smpTEPS, err := RunSMPBFS(spec, 4, nil, s.Sources, s.Seed)
+	if err != nil {
+		panic(err)
+	}
+	t.AddRow("smp-bfs (1 node, 4 threads)", spec.Name, 1, time.Since(start).Round(time.Millisecond), uint64(smpTEPS))
+	return t
+}
+
+// pickSourcesDistributed picks one valid source (helper for extensions).
+func pickSourcesDistributed(r *rt.Rank, env *rankEnv, seed uint64) graph.Vertex {
+	srcs := pickSources(r, env.part, 1, seed)
+	if len(srcs) == 0 {
+		return 0
+	}
+	return srcs[0]
+}

@@ -1,0 +1,442 @@
+// Package harness runs the paper's experiments end to end on the simulated
+// distributed machine: it generates graphs in parallel (one chunk per rank),
+// builds the partitioned representation, optionally moves edge storage onto
+// simulated NVRAM behind the user-space page cache, runs the distributed
+// algorithms, and aggregates timings and counters into result rows.
+//
+// Every figure and table of the paper's evaluation section (§VII) has a
+// runner in figures.go; cmd/experiments and the root benchmarks are thin
+// wrappers around this package.
+package harness
+
+import (
+	"fmt"
+	"time"
+
+	"havoqgt/internal/algos/bfs"
+	"havoqgt/internal/algos/kcore"
+	"havoqgt/internal/algos/triangle"
+	"havoqgt/internal/core"
+	"havoqgt/internal/extmem"
+	"havoqgt/internal/generators"
+	"havoqgt/internal/graph"
+	"havoqgt/internal/mailbox"
+	"havoqgt/internal/partition"
+	"havoqgt/internal/rt"
+	"havoqgt/internal/xrand"
+)
+
+// GraphSpec describes a synthetic input graph that every rank can generate
+// its own chunk of.
+type GraphSpec struct {
+	Name        string
+	NumVertices uint64
+	// GenChunk returns rank's share of the directed generator edges.
+	GenChunk func(rank, size int) []graph.Edge
+	// NumGenEdges is the number of directed generator edges (before
+	// undirecting).
+	NumGenEdges uint64
+}
+
+// RMATSpec is a Graph500-parameter RMAT graph of the given scale.
+func RMATSpec(scale uint, seed uint64) GraphSpec {
+	g := generators.NewGraph500(scale, seed)
+	return GraphSpec{
+		Name:        fmt.Sprintf("rmat-s%d", scale),
+		NumVertices: g.NumVertices(),
+		GenChunk:    g.GenerateChunk,
+		NumGenEdges: g.NumEdges(),
+	}
+}
+
+// PASpec is a preferential-attachment graph with optional rewiring.
+func PASpec(n, m uint64, rewire float64, seed uint64) GraphSpec {
+	g := generators.NewPA(n, m, rewire, seed)
+	return GraphSpec{
+		Name:        fmt.Sprintf("pa-n%d-m%d-r%.2f", n, m, rewire),
+		NumVertices: n,
+		GenChunk:    g.GenerateChunk,
+		NumGenEdges: g.NumEdges(),
+	}
+}
+
+// SWSpec is a Watts–Strogatz small-world graph with the given ring degree
+// and rewire probability.
+func SWSpec(n, k uint64, rewire float64, seed uint64) GraphSpec {
+	g := generators.NewSmallWorld(n, k, rewire, seed)
+	return GraphSpec{
+		Name:        fmt.Sprintf("sw-n%d-k%d-r%.4f", n, k, rewire),
+		NumVertices: n,
+		GenChunk:    g.GenerateChunk,
+		NumGenEdges: g.NumEdges(),
+	}
+}
+
+// PartitionKind selects the graph partitioning strategy.
+type PartitionKind string
+
+const (
+	EdgeList PartitionKind = "edgelist" // the paper's edge list partitioning
+	OneD     PartitionKind = "1d"       // traditional 1D baseline
+)
+
+// CommonOpts configure a distributed run.
+type CommonOpts struct {
+	P                    int           // number of simulated ranks
+	Topology             string        // "1d", "2d", "3d" (default "1d")
+	Partition            PartitionKind // default EdgeList
+	Simplify             bool          // globally remove self loops + duplicates
+	NVRAM                *extmem.NVRAMConfig
+	FlushBytes           int
+	DisableLocalityOrder bool
+	Seed                 uint64
+}
+
+func (o CommonOpts) topology(p int) (mailbox.Topology, error) {
+	name := o.Topology
+	if name == "" {
+		name = "1d"
+	}
+	return mailbox.ByName(name, p)
+}
+
+func (o CommonOpts) build(r *rt.Rank, local []graph.Edge, n uint64) (*partition.Part, error) {
+	switch {
+	case o.Partition == OneD:
+		return partition.Build1D(r, local, n)
+	case o.Simplify:
+		return partition.BuildEdgeListSimple(r, local, n)
+	default:
+		return partition.BuildEdgeList(r, local, n)
+	}
+}
+
+// rankEnv is the per-rank state the runners build before the timed section.
+type rankEnv struct {
+	r     *rt.Rank
+	part  *partition.Part
+	store *extmem.Store // nil in DRAM runs
+	topo  mailbox.Topology
+}
+
+// setup generates this rank's chunk, builds the partition, and applies the
+// storage configuration. Collective.
+func (o CommonOpts) setup(r *rt.Rank, spec GraphSpec) (*rankEnv, error) {
+	directed := spec.GenChunk(r.Rank(), r.Size())
+	local := graph.Undirect(directed)
+	part, err := o.build(r, local, spec.NumVertices)
+	if err != nil {
+		return nil, err
+	}
+	env := &rankEnv{r: r, part: part}
+	if o.NVRAM != nil {
+		cfg := *o.NVRAM
+		store, err := extmem.ExternalizeCSR(part.CSR, cfg)
+		if err != nil {
+			return nil, err
+		}
+		env.store = store
+	}
+	env.topo, err = o.topology(r.Size())
+	if err != nil {
+		return nil, err
+	}
+	return env, nil
+}
+
+// coreConfig assembles the visitor-queue config for this rank.
+func (o CommonOpts) coreConfig(env *rankEnv, ghosts int) core.Config {
+	cfg := core.Config{
+		Topology:             env.topo,
+		FlushBytes:           o.FlushBytes,
+		DisableLocalityOrder: o.DisableLocalityOrder,
+	}
+	if ghosts > 0 {
+		cfg.Ghosts = core.BuildGhostTable(env.part, ghosts)
+	}
+	return cfg
+}
+
+// pickSources selects n distinct source vertices with at least one edge,
+// using a shared deterministic RNG so every rank picks the same vertices
+// without communication beyond a degree check.
+func pickSources(r *rt.Rank, part *partition.Part, n int, seed uint64) []graph.Vertex {
+	rng := xrand.New(xrand.Mix64(seed) ^ 0xb105f00d)
+	var sources []graph.Vertex
+	seen := map[graph.Vertex]bool{}
+	for attempts := 0; len(sources) < n && attempts < 10000; attempts++ {
+		v := graph.Vertex(rng.Uint64n(part.NumVertices))
+		if seen[v] {
+			continue
+		}
+		seen[v] = true
+		var hasEdges uint64
+		if part.IsMaster(v) && part.GlobalDegree(v) > 0 {
+			hasEdges = 1
+		}
+		if r.AllReduceU64(hasEdges, rt.Max) == 1 {
+			sources = append(sources, v)
+		}
+	}
+	return sources
+}
+
+// AggStats are cluster-wide sums of the per-rank queue counters.
+type AggStats struct {
+	VisitorsExecuted uint64
+	VisitorsPushed   uint64
+	GhostFiltered    uint64
+	Forwarded        uint64
+	EnvelopesSent    uint64
+	RecordsSent      uint64
+	DetectorWaves    uint64
+}
+
+func reduceStats(r *rt.Rank, s core.Stats) AggStats {
+	return AggStats{
+		VisitorsExecuted: r.AllReduceU64(s.Executed, rt.Sum),
+		VisitorsPushed:   r.AllReduceU64(s.Pushed, rt.Sum),
+		GhostFiltered:    r.AllReduceU64(s.GhostFiltered, rt.Sum),
+		Forwarded:        r.AllReduceU64(s.Forwarded, rt.Sum),
+		EnvelopesSent:    r.AllReduceU64(s.Mailbox.EnvelopesSent, rt.Sum),
+		RecordsSent:      r.AllReduceU64(s.Mailbox.RecordsSent, rt.Sum),
+		DetectorWaves:    r.AllReduceU64(s.DetectorWaves, rt.Max),
+	}
+}
+
+// CacheAgg aggregates page-cache statistics across ranks.
+type CacheAgg struct {
+	Hits, Misses uint64
+}
+
+// HitRate returns the cluster-wide cache hit rate.
+func (c CacheAgg) HitRate() float64 {
+	if c.Hits+c.Misses == 0 {
+		return 1
+	}
+	return float64(c.Hits) / float64(c.Hits+c.Misses)
+}
+
+func reduceCache(r *rt.Rank, env *rankEnv) CacheAgg {
+	var h, m uint64
+	if env.store != nil {
+		st := env.store.Cache().Stats()
+		h, m = st.Hits, st.Misses
+	}
+	return CacheAgg{
+		Hits:   r.AllReduceU64(h, rt.Sum),
+		Misses: r.AllReduceU64(m, rt.Sum),
+	}
+}
+
+// BFSResult summarizes a BFS experiment.
+type BFSResult struct {
+	Graph          string
+	P              int
+	NumVertices    uint64
+	GlobalEdges    uint64 // stored directed edges
+	BuildTime      time.Duration
+	Sources        int
+	TotalTime      time.Duration // summed traversal time over sources
+	TraversedEdges uint64        // summed over sources (undirected count)
+	TEPS           float64
+	MaxLevel       uint32
+	Stats          AggStats
+	Cache          CacheAgg
+}
+
+// BFSOpts configure a BFS experiment.
+type BFSOpts struct {
+	CommonOpts
+	Graph    GraphSpec
+	Sources  int  // BFS roots to run and sum (Graph500 style)
+	Ghosts   int  // ghost table size per partition (0 = none)
+	Validate bool // run Graph500-style distributed validation per source
+}
+
+// RunBFS executes the experiment and returns aggregate results.
+func RunBFS(o BFSOpts) (BFSResult, error) {
+	if o.Sources <= 0 {
+		o.Sources = 1
+	}
+	res := BFSResult{Graph: o.Graph.Name, P: o.P, NumVertices: o.Graph.NumVertices, Sources: o.Sources}
+	var runErr error
+	m := rt.NewMachine(o.P)
+	m.Run(func(r *rt.Rank) {
+		buildStart := time.Now()
+		env, err := o.setup(r, o.Graph)
+		if err != nil {
+			panic(err)
+		}
+		r.Barrier()
+		if r.Rank() == 0 {
+			res.BuildTime = time.Since(buildStart)
+			res.GlobalEdges = env.part.GlobalEdges
+		}
+		sources := pickSources(r, env.part, o.Sources, o.Seed)
+		var agg AggStats
+		var traversed uint64
+		var total time.Duration
+		var maxLevel uint32
+		for _, src := range sources {
+			if env.store != nil {
+				env.store.Cache().ResetStats()
+			}
+			cfg := o.coreConfig(env, o.Ghosts)
+			r.Barrier()
+			start := time.Now()
+			out := bfs.Run(r, env.part, src, cfg)
+			r.Barrier()
+			elapsed := time.Since(start)
+			if o.Validate {
+				if err := ValidateBFS(r, env.part, out.BFS, src); err != nil {
+					panic(fmt.Sprintf("BFS validation failed: %v", err))
+				}
+			}
+			reached := r.AllReduceU64(out.ReachedEdges(), rt.Sum) / 2
+			lvl := uint32(r.AllReduceU64(uint64(out.MaxLevel()), rt.Max))
+			s := reduceStats(r, out.Stats)
+			if r.Rank() == 0 {
+				total += elapsed
+				traversed += reached
+				if lvl > maxLevel {
+					maxLevel = lvl
+				}
+				agg.VisitorsExecuted += s.VisitorsExecuted
+				agg.VisitorsPushed += s.VisitorsPushed
+				agg.GhostFiltered += s.GhostFiltered
+				agg.Forwarded += s.Forwarded
+				agg.EnvelopesSent += s.EnvelopesSent
+				agg.RecordsSent += s.RecordsSent
+				agg.DetectorWaves = max(agg.DetectorWaves, s.DetectorWaves)
+			}
+		}
+		cache := reduceCache(r, env)
+		if r.Rank() == 0 {
+			res.TotalTime = total
+			res.TraversedEdges = traversed
+			res.MaxLevel = maxLevel
+			res.Stats = agg
+			res.Cache = cache
+			if total > 0 {
+				res.TEPS = float64(traversed) / total.Seconds()
+			}
+			if len(sources) == 0 {
+				runErr = fmt.Errorf("harness: no BFS source with edges found")
+			}
+		}
+		if env.store != nil {
+			env.store.Close()
+		}
+	})
+	return res, runErr
+}
+
+// KCoreResult summarizes one k of a k-core experiment.
+type KCoreResult struct {
+	Graph       string
+	P           int
+	K           uint32
+	GlobalEdges uint64
+	Time        time.Duration
+	CoreSize    uint64
+	Stats       AggStats
+}
+
+// KCoreOpts configure a k-core experiment (one traversal per k).
+type KCoreOpts struct {
+	CommonOpts
+	Graph GraphSpec
+	Ks    []uint32
+}
+
+// RunKCore executes the experiment for each k.
+func RunKCore(o KCoreOpts) ([]KCoreResult, error) {
+	o.Simplify = true // k-core requires a simple graph
+	results := make([]KCoreResult, len(o.Ks))
+	m := rt.NewMachine(o.P)
+	m.Run(func(r *rt.Rank) {
+		env, err := o.setup(r, o.Graph)
+		if err != nil {
+			panic(err)
+		}
+		for i, k := range o.Ks {
+			cfg := o.coreConfig(env, 0) // k-core cannot use ghosts
+			r.Barrier()
+			start := time.Now()
+			out := kcore.Run(r, env.part, k, cfg)
+			r.Barrier()
+			elapsed := time.Since(start)
+			size := kcore.GlobalCoreSize(r, out)
+			s := reduceStats(r, out.Stats)
+			if r.Rank() == 0 {
+				results[i] = KCoreResult{
+					Graph: o.Graph.Name, P: o.P, K: k,
+					GlobalEdges: env.part.GlobalEdges,
+					Time:        elapsed, CoreSize: size, Stats: s,
+				}
+			}
+		}
+		if env.store != nil {
+			env.store.Close()
+		}
+	})
+	return results, nil
+}
+
+// TriangleResult summarizes a triangle-counting experiment.
+type TriangleResult struct {
+	Graph       string
+	P           int
+	GlobalEdges uint64
+	MaxDegree   uint64
+	Time        time.Duration
+	Triangles   uint64
+	Stats       AggStats
+}
+
+// TriangleOpts configure a triangle-counting experiment.
+type TriangleOpts struct {
+	CommonOpts
+	Graph GraphSpec
+}
+
+// RunTriangles executes the experiment.
+func RunTriangles(o TriangleOpts) (TriangleResult, error) {
+	o.Simplify = true // triangle counting requires a simple graph
+	var res TriangleResult
+	m := rt.NewMachine(o.P)
+	m.Run(func(r *rt.Rank) {
+		env, err := o.setup(r, o.Graph)
+		if err != nil {
+			panic(err)
+		}
+		// Max degree (over masters) for the Figure 11 x-axis.
+		var localMax uint64
+		lo, hi := env.part.Owners.MasterRange(env.part.Rank)
+		for v := lo; v < hi; v++ {
+			if d := env.part.GlobalDegree(graph.Vertex(v)); d > localMax {
+				localMax = d
+			}
+		}
+		maxDeg := r.AllReduceU64(localMax, rt.Max)
+		cfg := o.coreConfig(env, 0) // triangle counting cannot use ghosts
+		r.Barrier()
+		start := time.Now()
+		out := triangle.Run(r, env.part, cfg)
+		r.Barrier()
+		elapsed := time.Since(start)
+		s := reduceStats(r, out.Stats)
+		if r.Rank() == 0 {
+			res = TriangleResult{
+				Graph: o.Graph.Name, P: o.P,
+				GlobalEdges: env.part.GlobalEdges, MaxDegree: maxDeg,
+				Time: elapsed, Triangles: out.GlobalCount, Stats: s,
+			}
+		}
+		if env.store != nil {
+			env.store.Close()
+		}
+	})
+	return res, nil
+}

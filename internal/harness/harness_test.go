@@ -1,0 +1,367 @@
+package harness
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"havoqgt/internal/extmem"
+	"havoqgt/internal/rt"
+)
+
+func tinySizing() Sizing {
+	return Sizing{Seed: 42, MaxP: 4, VertsPerRankLog2: 9, HubScaleMax: 12, Sources: 2}
+}
+
+func TestRunBFSSmoke(t *testing.T) {
+	res, err := RunBFS(BFSOpts{
+		CommonOpts: CommonOpts{P: 4, Topology: "2d", Seed: 1},
+		Graph:      RMATSpec(10, 1),
+		Sources:    2,
+		Ghosts:     64,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.TEPS <= 0 || res.TraversedEdges == 0 {
+		t.Fatalf("BFS produced no work: %+v", res)
+	}
+	if res.Stats.VisitorsExecuted == 0 {
+		t.Fatal("no visitors executed")
+	}
+	if res.GlobalEdges == 0 || res.NumVertices != 1024 {
+		t.Fatalf("graph metadata wrong: %+v", res)
+	}
+}
+
+func TestRunBFSExternalMemory(t *testing.T) {
+	nv := extmem.DefaultNVRAM()
+	nv.Latency = 0 // keep the test fast; the cache path is what we exercise
+	nv.CacheBytes = 1 << 14
+	res, err := RunBFS(BFSOpts{
+		CommonOpts: CommonOpts{P: 2, NVRAM: &nv, Seed: 1},
+		Graph:      RMATSpec(10, 1),
+		Sources:    1,
+		Ghosts:     0,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Cache.Hits+res.Cache.Misses == 0 {
+		t.Fatal("external run never touched the page cache")
+	}
+}
+
+func TestRunKCoreSmoke(t *testing.T) {
+	results, err := RunKCore(KCoreOpts{
+		CommonOpts: CommonOpts{P: 3, Seed: 2},
+		Graph:      RMATSpec(9, 2),
+		Ks:         []uint32{2, 4},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 2 {
+		t.Fatalf("expected 2 results, got %d", len(results))
+	}
+	// Monotonicity: the 4-core is contained in the 2-core.
+	if results[1].CoreSize > results[0].CoreSize {
+		t.Fatalf("4-core (%d) larger than 2-core (%d)", results[1].CoreSize, results[0].CoreSize)
+	}
+}
+
+func TestRunTrianglesSmoke(t *testing.T) {
+	res, err := RunTriangles(TriangleOpts{
+		CommonOpts: CommonOpts{P: 3, Seed: 3},
+		Graph:      SWSpec(1<<9, 8, 0.05, 3),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A low-rewire ring lattice of degree 8 is triangle-rich.
+	if res.Triangles == 0 {
+		t.Fatal("small-world graph reported zero triangles")
+	}
+	if res.MaxDegree == 0 {
+		t.Fatal("max degree not computed")
+	}
+}
+
+func TestFigure1Shape(t *testing.T) {
+	tab := Figure1(tinySizing())
+	if len(tab.Rows) < 3 {
+		t.Fatalf("too few rows: %d", len(tab.Rows))
+	}
+	// Hub series must grow with scale: compare first and last max-degree.
+	first := tab.Rows[0]
+	last := tab.Rows[len(tab.Rows)-1]
+	if first[3] >= last[3] && len(first[3]) >= len(last[3]) {
+		t.Fatalf("max degree did not grow: %s -> %s", first[3], last[3])
+	}
+}
+
+func TestFigure2Shape(t *testing.T) {
+	tab := Figure2(tinySizing())
+	lastRow := tab.Rows[len(tab.Rows)-1]
+	var i1d, iel float64
+	if _, err := sscan(lastRow[2], &i1d); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sscan(lastRow[4], &iel); err != nil {
+		t.Fatal(err)
+	}
+	if i1d <= iel {
+		t.Fatalf("1D imbalance %v not worse than edge-list %v", i1d, iel)
+	}
+	if iel > 1.01 {
+		t.Fatalf("edge-list imbalance %v", iel)
+	}
+}
+
+func TestFigure3MatchesPaper(t *testing.T) {
+	tab := Figure3()
+	if len(tab.Rows) != 4 {
+		t.Fatalf("expected 4 partitions, got %d", len(tab.Rows))
+	}
+	for _, row := range tab.Rows {
+		if row[1] != "4" {
+			t.Fatalf("partition %s has %s edges, want 4", row[0], row[1])
+		}
+		if row[5] != "0" || row[6] != "2" {
+			t.Fatalf("owners wrong: min_owner(2)=%s min_owner(5)=%s", row[5], row[6])
+		}
+	}
+}
+
+func TestFigure4Route(t *testing.T) {
+	tab := Figure4(tinySizing())
+	found := false
+	for _, row := range tab.Rows {
+		if row[0] == "16" && row[1] == "2d" {
+			if !strings.Contains(row[4], "[11 9 5]") {
+				t.Fatalf("2D route = %s, want [11 9 5]", row[4])
+			}
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("p=16 2d row missing")
+	}
+}
+
+func TestFigure5Runs(t *testing.T) {
+	tab := Figure5(tinySizing())
+	if len(tab.Rows) != 3 { // p = 1, 2, 4
+		t.Fatalf("expected 3 rows, got %d", len(tab.Rows))
+	}
+}
+
+func TestFigure13GhostsImprove(t *testing.T) {
+	s := tinySizing()
+	s.VertsPerRankLog2 = 10
+	tab := Figure13(s)
+	// The last rows must show nonzero ghost-filtered visitors.
+	last := tab.Rows[len(tab.Rows)-1]
+	if last[3] == "0" {
+		t.Fatal("512 ghosts filtered nothing")
+	}
+}
+
+func TestTableFormatting(t *testing.T) {
+	tab := &Table{Title: "t", Columns: []string{"a", "b"}, Notes: []string{"n"}}
+	tab.AddRow(1, 2.5)
+	out := tab.String()
+	for _, want := range []string{"== t ==", "a", "b", "1", "2.5", "note: n"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// sscan parses a float.
+func sscan(s string, f *float64) (int, error) {
+	return fmt.Sscan(s, f)
+}
+
+// Full-figure smoke tests are moderately heavy; skip them in -short runs.
+
+func TestFigure6Runs(t *testing.T) {
+	if testing.Short() {
+		t.Skip("heavy figure runner")
+	}
+	tab := Figure6(tinySizing())
+	if len(tab.Rows) != 9 { // 3 rank counts x 3 k values
+		t.Fatalf("expected 9 rows, got %d", len(tab.Rows))
+	}
+}
+
+func TestFigure7Runs(t *testing.T) {
+	if testing.Short() {
+		t.Skip("heavy figure runner")
+	}
+	tab := Figure7(tinySizing())
+	if len(tab.Rows) != 12 { // 3 rank counts x 4 rewire probabilities
+		t.Fatalf("expected 12 rows, got %d", len(tab.Rows))
+	}
+	// Rewire 0 (first row per p) must be triangle-rich; ring triangles decay
+	// with rewire.
+	var t0, t3 float64
+	if _, err := sscan(tab.Rows[0][4], &t0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sscan(tab.Rows[3][4], &t3); err != nil {
+		t.Fatal(err)
+	}
+	if t0 <= t3 {
+		t.Fatalf("rewiring should destroy triangles: %v -> %v", t0, t3)
+	}
+}
+
+func TestFigure8Runs(t *testing.T) {
+	if testing.Short() {
+		t.Skip("heavy figure runner")
+	}
+	s := tinySizing()
+	s.MaxP = 2
+	tab := Figure8(s)
+	if len(tab.Rows) != 2 {
+		t.Fatalf("expected 2 rows, got %d", len(tab.Rows))
+	}
+}
+
+func TestFigure10DiameterShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("heavy figure runner")
+	}
+	tab := Figure10(tinySizing())
+	// BFS depth must increase as rewire decreases (rows are ordered from
+	// high rewire to low).
+	var first, last float64
+	if _, err := sscan(tab.Rows[0][1], &first); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sscan(tab.Rows[len(tab.Rows)-1][1], &last); err != nil {
+		t.Fatal(err)
+	}
+	if last <= first {
+		t.Fatalf("diameter did not grow as rewire fell: depth %v -> %v", first, last)
+	}
+}
+
+func TestFigure11MaxDegreeShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("heavy figure runner")
+	}
+	tab := Figure11(tinySizing())
+	// Max degree must grow as rewire falls (rows ordered 1.0 -> 0.0).
+	var first, last float64
+	if _, err := sscan(tab.Rows[0][1], &first); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sscan(tab.Rows[len(tab.Rows)-1][1], &last); err != nil {
+		t.Fatal(err)
+	}
+	if last <= first {
+		t.Fatalf("max degree did not grow as rewire fell: %v -> %v", first, last)
+	}
+}
+
+func TestFigure12Runs(t *testing.T) {
+	if testing.Short() {
+		t.Skip("heavy figure runner")
+	}
+	tab := Figure12(tinySizing())
+	if len(tab.Rows) != 3 {
+		t.Fatalf("expected 3 rows, got %d", len(tab.Rows))
+	}
+}
+
+func TestTableIIRuns(t *testing.T) {
+	if testing.Short() {
+		t.Skip("heavy figure runner")
+	}
+	s := tinySizing()
+	tab := TableII(s)
+	if len(tab.Rows) != 4 {
+		t.Fatalf("expected 4 machine rows, got %d", len(tab.Rows))
+	}
+}
+
+func TestRunBFSWithValidation(t *testing.T) {
+	res, err := RunBFS(BFSOpts{
+		CommonOpts: CommonOpts{P: 3, Topology: "2d", Seed: 4},
+		Graph:      RMATSpec(9, 4),
+		Sources:    2,
+		Ghosts:     64,
+		Validate:   true, // panics inside if the traversal is wrong
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.TEPS <= 0 {
+		t.Fatal("no TEPS")
+	}
+}
+
+func TestRunSMPBFS(t *testing.T) {
+	teps, err := RunSMPBFS(RMATSpec(10, 2), 4, nil, 2, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if teps <= 0 {
+		t.Fatal("no TEPS from smp run")
+	}
+	nv := extmem.DefaultNVRAM()
+	nv.Latency = 0
+	nv.CacheBytes = 1 << 14
+	teps2, err := RunSMPBFS(RMATSpec(10, 2), 4, &nv, 1, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if teps2 <= 0 {
+		t.Fatal("no TEPS from external smp run")
+	}
+}
+
+func TestExtensionsRuns(t *testing.T) {
+	if testing.Short() {
+		t.Skip("heavy")
+	}
+	tab := Extensions(tinySizing())
+	if len(tab.Rows) != 5 {
+		t.Fatalf("expected 5 extension rows, got %d", len(tab.Rows))
+	}
+}
+
+func TestPickSourcesDeterministicAcrossRanks(t *testing.T) {
+	// Every rank must derive the same source list without coordination
+	// beyond the degree check.
+	spec := RMATSpec(9, 6)
+	lists := make([][]uint64, 3)
+	rt.NewMachine(3).Run(func(r *rt.Rank) {
+		env, err := (CommonOpts{P: 3, Seed: 6}).setup(r, spec)
+		if err != nil {
+			panic(err)
+		}
+		srcs := pickSources(r, env.part, 4, 6)
+		vals := make([]uint64, len(srcs))
+		for i, s := range srcs {
+			vals[i] = uint64(s)
+		}
+		lists[r.Rank()] = vals
+	})
+	for rank := 1; rank < 3; rank++ {
+		if len(lists[rank]) != len(lists[0]) {
+			t.Fatalf("rank %d picked %d sources, rank 0 picked %d", rank, len(lists[rank]), len(lists[0]))
+		}
+		for i := range lists[0] {
+			if lists[rank][i] != lists[0][i] {
+				t.Fatalf("rank %d source %d differs", rank, i)
+			}
+		}
+	}
+	// All picked sources must have edges.
+	if len(lists[0]) != 4 {
+		t.Fatalf("wanted 4 sources, got %d", len(lists[0]))
+	}
+}

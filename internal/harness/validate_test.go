@@ -1,0 +1,112 @@
+package harness
+
+import (
+	"strings"
+	"testing"
+
+	"havoqgt/internal/algos/bfs"
+	"havoqgt/internal/core"
+	"havoqgt/internal/generators"
+	"havoqgt/internal/graph"
+	"havoqgt/internal/partition"
+	"havoqgt/internal/rt"
+)
+
+func TestValidateBFSAcceptsCorrectRun(t *testing.T) {
+	g := generators.NewGraph500(9, 17)
+	n := g.NumVertices()
+	errs := make([]error, 4)
+	rt.NewMachine(4).Run(func(r *rt.Rank) {
+		local := graph.Undirect(g.GenerateChunk(r.Rank(), r.Size()))
+		part, err := partition.BuildEdgeList(r, local, n)
+		if err != nil {
+			panic(err)
+		}
+		res := bfs.Run(r, part, 1, core.Config{Ghosts: core.BuildGhostTable(part, 64)})
+		errs[r.Rank()] = ValidateBFS(r, part, res.BFS, 1)
+	})
+	for rank, err := range errs {
+		if err != nil {
+			t.Fatalf("rank %d: correct BFS failed validation: %v", rank, err)
+		}
+	}
+}
+
+func TestValidateBFSRejectsCorruptedLevels(t *testing.T) {
+	g := generators.NewGraph500(8, 3)
+	n := g.NumVertices()
+	errs := make([]error, 3)
+	rt.NewMachine(3).Run(func(r *rt.Rank) {
+		local := graph.Undirect(g.GenerateChunk(r.Rank(), r.Size()))
+		part, err := partition.BuildEdgeList(r, local, n)
+		if err != nil {
+			panic(err)
+		}
+		res := bfs.Run(r, part, 0, core.Config{})
+		if r.Rank() == 1 {
+			// Corrupt one reached master vertex's level.
+			lo, hi := part.Owners.MasterRange(part.Rank)
+			for v := lo; v < hi; v++ {
+				i, _ := part.LocalIndex(graph.Vertex(v))
+				if res.Level[i] != bfs.Unreached && res.Level[i] > 0 {
+					res.Level[i] += 7
+					break
+				}
+			}
+		}
+		errs[r.Rank()] = ValidateBFS(r, part, res.BFS, 0)
+	})
+	failed := false
+	for _, err := range errs {
+		if err != nil {
+			failed = true
+		}
+	}
+	if !failed {
+		t.Fatal("corrupted levels passed validation")
+	}
+}
+
+func TestValidateBFSRejectsBadParent(t *testing.T) {
+	edges := graph.Undirect([]graph.Edge{{Src: 0, Dst: 1}, {Src: 1, Dst: 2}, {Src: 2, Dst: 3}})
+	errs := make([]error, 2)
+	rt.NewMachine(2).Run(func(r *rt.Rank) {
+		part, err := partition.BuildEdgeList(r, edges, 4)
+		if err != nil {
+			panic(err)
+		}
+		res := bfs.Run(r, part, 0, core.Config{})
+		// Point vertex 3's parent at vertex 0 (level 0, not level 2).
+		if i, ok := part.LocalIndex(3); ok && part.IsMaster(3) {
+			res.Parent[i] = 0
+		}
+		errs[r.Rank()] = ValidateBFS(r, part, res.BFS, 0)
+	})
+	anyErr := errs[0] != nil || errs[1] != nil
+	if !anyErr {
+		t.Fatal("bad parent passed validation")
+	}
+	for _, err := range errs {
+		if err != nil && !strings.Contains(err.Error(), "parent") && !strings.Contains(err.Error(), "another rank") {
+			t.Fatalf("unexpected validation error: %v", err)
+		}
+	}
+}
+
+func TestValidateBFSDisconnected(t *testing.T) {
+	edges := graph.Undirect([]graph.Edge{{Src: 0, Dst: 1}, {Src: 4, Dst: 5}})
+	errs := make([]error, 2)
+	rt.NewMachine(2).Run(func(r *rt.Rank) {
+		part, err := partition.BuildEdgeList(r, edges, 8)
+		if err != nil {
+			panic(err)
+		}
+		res := bfs.Run(r, part, 0, core.Config{})
+		errs[r.Rank()] = ValidateBFS(r, part, res.BFS, 0)
+	})
+	for rank, err := range errs {
+		if err != nil {
+			t.Fatalf("rank %d: disconnected graph failed validation: %v", rank, err)
+		}
+	}
+}

@@ -1,0 +1,179 @@
+package mailbox
+
+import (
+	"encoding/binary"
+
+	"havoqgt/internal/rt"
+	"havoqgt/internal/termination"
+)
+
+// DefaultFlushBytes is the per-channel aggregation threshold: a channel's
+// buffer is shipped once it holds at least this many payload bytes. Idle
+// ranks flush everything (FlushAll) so aggregation never stalls termination.
+const DefaultFlushBytes = 4096
+
+// recordHeader is the per-record framing inside an aggregated envelope:
+// [finalDest u32][payloadLen u32].
+const recordHeader = 8
+
+// Stats counts mailbox activity on one rank.
+type Stats struct {
+	RecordsSent      uint64 // records entered via Send on this rank
+	RecordsDelivered uint64 // records delivered to this rank (final dest)
+	RecordsForwarded uint64 // records re-routed through this rank
+	EnvelopesSent    uint64 // transport messages shipped
+	EnvelopesRecv    uint64
+	ChannelsUsed     int // distinct next-hop ranks actually used
+}
+
+// Box is one rank's routed mailbox: the paper's `mailbox` abstraction with
+// send(rank, data) and receive() (§V), implemented over the aggregation and
+// routing network of §III-B.
+type Box struct {
+	r    *rt.Rank
+	topo Topology
+	det  *termination.Detector
+
+	flushBytes int
+	buffers    map[int][]byte // next-hop rank -> pending aggregated records
+	delivered  []Record
+	stats      Stats
+}
+
+// Record is one delivered visitor record.
+type Record struct {
+	Payload []byte
+}
+
+// Option configures a Box.
+type Option func(*Box)
+
+// WithFlushBytes sets the per-channel aggregation threshold.
+func WithFlushBytes(n int) Option {
+	return func(b *Box) { b.flushBytes = n }
+}
+
+// New returns a mailbox for the rank using the given routing topology. The
+// detector, if non-nil, is fed with end-to-end record counts: one send at the
+// originating rank, one receive at the final destination (records parked in
+// intermediate aggregation buffers are exactly the S−R in-flight gap the
+// termination waves must see drain to zero).
+func New(r *rt.Rank, topo Topology, det *termination.Detector, opts ...Option) *Box {
+	b := &Box{
+		r:          r,
+		topo:       topo,
+		det:        det,
+		flushBytes: DefaultFlushBytes,
+		buffers:    make(map[int][]byte),
+	}
+	for _, o := range opts {
+		o(b)
+	}
+	return b
+}
+
+// Send routes one record toward dest, buffering it for aggregation. The
+// record bytes are copied; the caller may reuse its buffer.
+func (b *Box) Send(dest int, record []byte) {
+	b.stats.RecordsSent++
+	if b.det != nil {
+		b.det.CountSent(1)
+	}
+	if dest == b.r.Rank() {
+		// Loopback delivery, as MPI self-sends do.
+		b.deliver(record, true)
+		return
+	}
+	b.enqueue(dest, record)
+}
+
+// enqueue appends a framed record to the aggregation buffer of the next hop
+// toward dest, shipping the buffer if it crossed the flush threshold.
+func (b *Box) enqueue(dest int, record []byte) {
+	hop := b.topo.NextHop(b.r.Rank(), dest)
+	buf := b.buffers[hop]
+	if buf == nil {
+		b.stats.ChannelsUsed++
+	}
+	var hdr [recordHeader]byte
+	binary.LittleEndian.PutUint32(hdr[0:], uint32(dest))
+	binary.LittleEndian.PutUint32(hdr[4:], uint32(len(record)))
+	buf = append(buf, hdr[:]...)
+	buf = append(buf, record...)
+	if len(buf) >= b.flushBytes {
+		b.ship(hop, buf)
+		buf = nil
+	}
+	b.buffers[hop] = buf
+}
+
+// ship sends one aggregated envelope to the next hop.
+func (b *Box) ship(hop int, buf []byte) {
+	b.r.Send(hop, rt.KindMailbox, 0, buf)
+	b.stats.EnvelopesSent++
+}
+
+// deliver appends a record addressed to this rank to the delivered queue.
+// copyBytes is set for loopback sends whose caller may reuse the buffer.
+func (b *Box) deliver(record []byte, copyBytes bool) {
+	if copyBytes {
+		record = append([]byte(nil), record...)
+	}
+	b.delivered = append(b.delivered, Record{Payload: record})
+	b.stats.RecordsDelivered++
+	if b.det != nil {
+		b.det.CountReceived(1)
+	}
+}
+
+// Poll drains incoming envelopes, re-forwards records routed through this
+// rank, and returns the records whose final destination is this rank —
+// including loopback records Sent since the previous Poll. The caller owns
+// the returned slice.
+func (b *Box) Poll() []Record {
+	for _, m := range b.r.Recv(rt.KindMailbox) {
+		b.stats.EnvelopesRecv++
+		p := m.Payload
+		for len(p) >= recordHeader {
+			dest := int(binary.LittleEndian.Uint32(p[0:]))
+			n := int(binary.LittleEndian.Uint32(p[4:]))
+			rec := p[recordHeader : recordHeader+n]
+			p = p[recordHeader+n:]
+			if dest == b.r.Rank() {
+				b.deliver(rec, false)
+			} else {
+				b.stats.RecordsForwarded++
+				b.enqueue(dest, rec)
+			}
+		}
+	}
+	out := b.delivered
+	b.delivered = nil
+	return out
+}
+
+// FlushAll ships every non-empty aggregation buffer. Called when the rank
+// runs out of local work so partially filled buffers cannot stall the
+// traversal or termination detection.
+func (b *Box) FlushAll() {
+	for hop, buf := range b.buffers {
+		if len(buf) > 0 {
+			b.ship(hop, buf)
+			b.buffers[hop] = nil
+		}
+	}
+}
+
+// Idle reports whether this rank's mailbox holds no buffered outbound
+// records.
+func (b *Box) Idle() bool {
+	for _, buf := range b.buffers {
+		if len(buf) > 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// Stats returns a snapshot of this rank's mailbox counters.
+func (b *Box) Stats() Stats { return b.stats }

@@ -1,0 +1,268 @@
+package mailbox
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"havoqgt/internal/rt"
+	"havoqgt/internal/termination"
+)
+
+func TestDirectTopology(t *testing.T) {
+	d := NewDirect(8)
+	for from := 0; from < 8; from++ {
+		for dest := 0; dest < 8; dest++ {
+			if from == dest {
+				continue
+			}
+			if hop := d.NextHop(from, dest); hop != dest {
+				t.Fatalf("direct NextHop(%d,%d) = %d", from, dest, hop)
+			}
+		}
+	}
+	if d.Diameter() != 1 || d.MaxChannels() != 7 {
+		t.Fatalf("direct metadata wrong: %+v", d)
+	}
+}
+
+func TestPaperFigure4Routing(t *testing.T) {
+	// Figure 4: 16 ranks in a 4×4 grid; rank 11 sending to rank 5 routes
+	// through rank 9.
+	g := NewGrid2D(16)
+	if g.Rows != 4 || g.Cols != 4 {
+		t.Fatalf("16 ranks should form 4×4, got %dx%d", g.Rows, g.Cols)
+	}
+	if hop := g.NextHop(11, 5); hop != 9 {
+		t.Fatalf("NextHop(11,5) = %d, want 9 (Figure 4)", hop)
+	}
+	if hop := g.NextHop(9, 5); hop != 5 {
+		t.Fatalf("NextHop(9,5) = %d, want 5", hop)
+	}
+}
+
+// routeLength walks a topology's route and returns the hop count.
+func routeLength(t *testing.T, topo Topology, from, dest, p int) int {
+	t.Helper()
+	hops := 0
+	cur := from
+	for cur != dest {
+		next := topo.NextHop(cur, dest)
+		if next < 0 || next >= p {
+			t.Fatalf("%s: NextHop(%d,%d)=%d out of range", topo.Name(), cur, dest, next)
+		}
+		if next == cur {
+			t.Fatalf("%s: NextHop(%d,%d) did not advance", topo.Name(), cur, dest)
+		}
+		cur = next
+		hops++
+		if hops > p {
+			t.Fatalf("%s: route %d->%d did not terminate", topo.Name(), from, dest)
+		}
+	}
+	return hops
+}
+
+func TestAllRoutesTerminateWithinDiameter(t *testing.T) {
+	for _, p := range []int{1, 2, 3, 4, 9, 16, 17, 25, 27, 64} {
+		for _, topo := range []Topology{NewDirect(p), NewGrid2D(p), NewGrid3D(p)} {
+			for from := 0; from < p; from++ {
+				for dest := 0; dest < p; dest++ {
+					if from == dest {
+						continue
+					}
+					if h := routeLength(t, topo, from, dest, p); h > topo.Diameter() {
+						t.Fatalf("%s p=%d: route %d->%d takes %d hops (> %d)",
+							topo.Name(), p, from, dest, h, topo.Diameter())
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestRoutedChannelCountsBelowBound(t *testing.T) {
+	// The point of 2D/3D routing: each rank talks to far fewer than p-1
+	// next hops.
+	for _, p := range []int{16, 64} {
+		for _, topo := range []Topology{NewGrid2D(p), NewGrid3D(p)} {
+			for from := 0; from < p; from++ {
+				hops := map[int]bool{}
+				for dest := 0; dest < p; dest++ {
+					if dest != from {
+						hops[topo.NextHop(from, dest)] = true
+					}
+				}
+				if len(hops) > topo.MaxChannels() {
+					t.Fatalf("%s p=%d rank %d uses %d channels (bound %d)",
+						topo.Name(), p, from, len(hops), topo.MaxChannels())
+				}
+			}
+		}
+	}
+}
+
+func TestByName(t *testing.T) {
+	for _, name := range []string{"1d", "2d", "3d", "direct"} {
+		if _, err := ByName(name, 8); err != nil {
+			t.Errorf("ByName(%q) failed: %v", name, err)
+		}
+	}
+	if _, err := ByName("hypercube", 8); err == nil {
+		t.Error("unknown topology accepted")
+	}
+}
+
+// deliverAll runs a full exchange where every rank sends `msgs` records to
+// every other rank, and returns per-rank received payload sets.
+func deliverAll(t *testing.T, p int, topo Topology, flushBytes int) [][]string {
+	t.Helper()
+	got := make([][]string, p)
+	m := rt.NewMachine(p)
+	m.Run(func(r *rt.Rank) {
+		det := termination.New(r)
+		box := New(r, topo, det, WithFlushBytes(flushBytes))
+		for dest := 0; dest < p; dest++ {
+			box.Send(dest, []byte(fmt.Sprintf("%d->%d", r.Rank(), dest)))
+		}
+		deadline := time.Now().Add(20 * time.Second)
+		for {
+			for _, rec := range box.Poll() {
+				got[r.Rank()] = append(got[r.Rank()], string(rec.Payload))
+			}
+			box.FlushAll()
+			if det.Pump(box.Idle()) {
+				break
+			}
+			if time.Now().After(deadline) {
+				panic("mailbox exchange did not quiesce")
+			}
+		}
+	})
+	return got
+}
+
+func TestRoutedDeliveryAllTopologies(t *testing.T) {
+	for _, p := range []int{1, 2, 5, 16} {
+		for _, topo := range []Topology{NewDirect(p), NewGrid2D(p), NewGrid3D(p)} {
+			got := deliverAll(t, p, topo, 64)
+			for rank := 0; rank < p; rank++ {
+				if len(got[rank]) != p {
+					t.Fatalf("%s p=%d: rank %d received %d records, want %d",
+						topo.Name(), p, rank, len(got[rank]), p)
+				}
+				seen := map[string]bool{}
+				for _, s := range got[rank] {
+					seen[s] = true
+				}
+				for from := 0; from < p; from++ {
+					if !seen[fmt.Sprintf("%d->%d", from, rank)] {
+						t.Fatalf("%s p=%d: rank %d missing record from %d", topo.Name(), p, rank, from)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestAggregationReducesEnvelopes(t *testing.T) {
+	// With a large flush threshold, many records to one destination must
+	// travel in few envelopes.
+	p := 4
+	m := rt.NewMachine(p)
+	envs := make([]uint64, p)
+	m.Run(func(r *rt.Rank) {
+		det := termination.New(r)
+		box := New(r, NewDirect(p), det, WithFlushBytes(1<<20))
+		if r.Rank() == 0 {
+			for i := 0; i < 1000; i++ {
+				box.Send(1, []byte("payload-xx"))
+			}
+		}
+		deadline := time.Now().Add(20 * time.Second)
+		for {
+			box.Poll()
+			box.FlushAll()
+			if det.Pump(box.Idle()) {
+				break
+			}
+			if time.Now().After(deadline) {
+				panic("no quiesce")
+			}
+		}
+		envs[r.Rank()] = box.Stats().EnvelopesSent
+	})
+	if envs[0] > 4 {
+		t.Fatalf("1000 aggregated records used %d envelopes", envs[0])
+	}
+}
+
+func TestFlushThresholdShipsEagerly(t *testing.T) {
+	p := 2
+	m := rt.NewMachine(p)
+	m.Run(func(r *rt.Rank) {
+		box := New(r, NewDirect(p), nil, WithFlushBytes(32))
+		if r.Rank() == 0 {
+			box.Send(1, make([]byte, 64)) // exceeds threshold alone
+			if !box.Idle() {
+				panic("oversized record not shipped eagerly")
+			}
+			return
+		}
+		deadline := time.Now().Add(10 * time.Second)
+		for len(box.Poll()) == 0 {
+			if time.Now().After(deadline) {
+				panic("record never arrived")
+			}
+		}
+	})
+}
+
+func TestLoopbackDelivery(t *testing.T) {
+	m := rt.NewMachine(1)
+	m.Run(func(r *rt.Rank) {
+		det := termination.New(r)
+		box := New(r, NewDirect(1), det)
+		box.Send(0, []byte("self"))
+		recs := box.Poll()
+		if len(recs) != 1 || string(recs[0].Payload) != "self" {
+			panic("loopback delivery broken")
+		}
+		if det.Sent() != 1 || det.Received() != 1 {
+			panic("loopback not counted symmetrically")
+		}
+	})
+}
+
+func TestStatsForwarding(t *testing.T) {
+	// On a 2D grid, a two-hop route must register one forwarded record at
+	// the pivot rank.
+	p := 16
+	m := rt.NewMachine(p)
+	stats := make([]Stats, p)
+	m.Run(func(r *rt.Rank) {
+		det := termination.New(r)
+		box := New(r, NewGrid2D(p), det, WithFlushBytes(1))
+		if r.Rank() == 11 {
+			box.Send(5, []byte("x"))
+		}
+		deadline := time.Now().Add(20 * time.Second)
+		for {
+			box.Poll()
+			box.FlushAll()
+			if det.Pump(box.Idle()) {
+				break
+			}
+			if time.Now().After(deadline) {
+				panic("no quiesce")
+			}
+		}
+		stats[r.Rank()] = box.Stats()
+	})
+	if stats[9].RecordsForwarded != 1 {
+		t.Fatalf("pivot rank 9 forwarded %d records, want 1", stats[9].RecordsForwarded)
+	}
+	if stats[5].RecordsDelivered != 1 {
+		t.Fatalf("rank 5 delivered %d records, want 1", stats[5].RecordsDelivered)
+	}
+}

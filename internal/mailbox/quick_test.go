@@ -1,0 +1,55 @@
+package mailbox
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+// TestQuickRoutesTerminate: for any (p, from, dest) and every topology, the
+// route reaches the destination within the topology's diameter.
+func TestQuickRoutesTerminate(t *testing.T) {
+	f := func(pSel uint8, fromSel, destSel uint16) bool {
+		p := int(pSel)%128 + 1
+		from := int(fromSel) % p
+		dest := int(destSel) % p
+		if from == dest {
+			return true
+		}
+		for _, topo := range []Topology{NewDirect(p), NewGrid2D(p), NewGrid3D(p)} {
+			cur := from
+			hops := 0
+			for cur != dest {
+				next := topo.NextHop(cur, dest)
+				if next < 0 || next >= p || next == cur {
+					return false
+				}
+				cur = next
+				hops++
+				if hops > topo.Diameter() {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickGridFactorizationsExact: the 2D and 3D grids always factor p
+// exactly (every routing pivot exists).
+func TestQuickGridFactorizationsExact(t *testing.T) {
+	f := func(pSel uint16) bool {
+		p := int(pSel)%1024 + 1
+		g2 := NewGrid2D(p)
+		if g2.Rows*g2.Cols != p {
+			return false
+		}
+		g3 := NewGrid3D(p)
+		return g3.DX*g3.DY*g3.DZ == p
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

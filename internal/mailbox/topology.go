@@ -1,0 +1,167 @@
+// Package mailbox implements the paper's routed, aggregating communication
+// layer (§III-B). Dense all-to-all visitor traffic is routed through a
+// synthetic topology — 1D (direct), 2D (√p×√p), or 3D — so each rank only
+// maintains O(p), O(√p), or O(p^(1/3)) communication channels, at the cost of
+// extra hops. Aggregation buffers per channel batch small visitor records
+// into large transport messages; routing multiplies the aggregation
+// opportunity by the channel fan-in, which is the effect the paper exploits
+// on BG/P.
+package mailbox
+
+import (
+	"fmt"
+	"math"
+)
+
+// Topology computes next hops for routed delivery. Implementations must
+// guarantee that repeatedly applying NextHop reaches dest in a bounded number
+// of hops.
+type Topology interface {
+	// NextHop returns the rank to forward to next on the route from `from`
+	// to `dest`. Precondition: from != dest.
+	NextHop(from, dest int) int
+	// MaxChannels returns an upper bound on the number of distinct next hops
+	// a rank uses (the per-rank channel count the topology targets).
+	MaxChannels() int
+	// Diameter returns the maximum hop count between any pair.
+	Diameter() int
+	Name() string
+}
+
+// Direct is the 1D topology: every rank sends straight to the destination.
+// p-1 channels per rank, 1 hop.
+type Direct struct{ P int }
+
+// NewDirect returns the direct (unrouted) topology for p ranks.
+func NewDirect(p int) Direct { return Direct{P: p} }
+
+func (t Direct) NextHop(from, dest int) int { return dest }
+func (t Direct) MaxChannels() int           { return t.P - 1 }
+func (t Direct) Diameter() int              { return 1 }
+func (t Direct) Name() string               { return "1d" }
+
+// Grid2D arranges ranks in a rows×cols grid (row-major). A message from
+// (r_f, c_f) to (r_d, c_d) first travels along the sender's row to the
+// destination's column — rank (r_f, c_d) — then down that column. This is the
+// routing of Figure 4: rank 11 (row 2, col 3 of a 4×4 grid) sending to rank 5
+// (row 1, col 1) is first aggregated and routed through rank 9 (row 2,
+// col 1). Channels per rank: (cols-1)+(rows-1) = O(√p); 2 hops.
+type Grid2D struct {
+	P, Rows, Cols int
+}
+
+// NewGrid2D returns a 2D routing topology for p ranks, choosing the exact
+// factorization p = rows×cols closest to square (so every routing pivot
+// exists). A prime p degenerates to a 1×p grid, which is honest: such rank
+// counts cannot be gridded, and the paper's machines use power-of-two or
+// torus-shaped partitions.
+func NewGrid2D(p int) Grid2D {
+	rows, cols := factor2(p)
+	return Grid2D{P: p, Rows: rows, Cols: cols}
+}
+
+// factor2 returns (a, b) with a*b = p, a <= b, a as large as possible.
+func factor2(p int) (a, b int) {
+	if p < 1 {
+		return 1, 1
+	}
+	a = 1
+	for d := 1; d*d <= p; d++ {
+		if p%d == 0 {
+			a = d
+		}
+	}
+	return a, p / a
+}
+
+func (t Grid2D) coords(r int) (row, col int) { return r / t.Cols, r % t.Cols }
+func (t Grid2D) rank(row, col int) int       { return row*t.Cols + col }
+
+func (t Grid2D) NextHop(from, dest int) int {
+	rf, cf := t.coords(from)
+	_, cd := t.coords(dest)
+	if cf != cd {
+		// Move along the row to the destination column. With a ragged last
+		// row the pivot rank may not exist; fall back to direct delivery.
+		if pivot := t.rank(rf, cd); pivot < t.P {
+			return pivot
+		}
+		return dest
+	}
+	return dest // same column: one hop down the column
+}
+
+func (t Grid2D) MaxChannels() int { return (t.Cols - 1) + (t.Rows - 1) }
+func (t Grid2D) Diameter() int    { return 2 }
+func (t Grid2D) Name() string     { return "2d" }
+
+// Grid3D arranges ranks in an x×y×z grid and routes by fixing one coordinate
+// per hop (x, then y, then z), mirroring the BG/P 3D-torus-shaped routing the
+// paper uses at 131K cores. Channels per rank: (dx-1)+(dy-1)+(dz-1) =
+// O(p^(1/3)); 3 hops.
+type Grid3D struct {
+	P, DX, DY, DZ int
+}
+
+// NewGrid3D returns a 3D routing topology for p ranks using the exact
+// factorization p = dx×dy×dz closest to cubic.
+func NewGrid3D(p int) Grid3D {
+	if p < 1 {
+		p = 1
+	}
+	// Largest divisor of p not exceeding cbrt(p), then square-factor the rest.
+	cbrt := int(math.Cbrt(float64(p)))
+	dz := 1
+	for d := 1; d <= cbrt+1 && d <= p; d++ {
+		if p%d == 0 && d*d*d <= p {
+			dz = d
+		}
+	}
+	dy, dx := factor2(p / dz)
+	return Grid3D{P: p, DX: dx, DY: dy, DZ: dz}
+}
+
+func (t Grid3D) coords(r int) (x, y, z int) {
+	x = r % t.DX
+	y = (r / t.DX) % t.DY
+	z = r / (t.DX * t.DY)
+	return
+}
+
+func (t Grid3D) rank(x, y, z int) int { return x + t.DX*(y+t.DY*z) }
+
+func (t Grid3D) NextHop(from, dest int) int {
+	xf, yf, zf := t.coords(from)
+	xd, yd, zd := t.coords(dest)
+	var hop int
+	switch {
+	case xf != xd:
+		hop = t.rank(xd, yf, zf)
+	case yf != yd:
+		hop = t.rank(xf, yd, zf)
+	default:
+		hop = t.rank(xf, yf, zd)
+	}
+	if hop >= t.P {
+		return dest // ragged grid edge: fall back to direct delivery
+	}
+	return hop
+}
+
+func (t Grid3D) MaxChannels() int { return (t.DX - 1) + (t.DY - 1) + (t.DZ - 1) }
+func (t Grid3D) Diameter() int    { return 3 }
+func (t Grid3D) Name() string     { return "3d" }
+
+// ByName constructs a topology from its name ("1d", "2d", "3d").
+func ByName(name string, p int) (Topology, error) {
+	switch name {
+	case "1d", "direct":
+		return NewDirect(p), nil
+	case "2d":
+		return NewGrid2D(p), nil
+	case "3d":
+		return NewGrid3D(p), nil
+	default:
+		return nil, fmt.Errorf("mailbox: unknown topology %q", name)
+	}
+}

@@ -1,0 +1,223 @@
+package pagecache
+
+import (
+	"fmt"
+	"sync"
+)
+
+// Stats counts cache activity.
+type Stats struct {
+	Hits      uint64
+	Misses    uint64
+	Evictions uint64
+	BytesRead uint64 // bytes served to callers
+}
+
+// HitRate returns hits / (hits + misses), or 1 if there were no accesses.
+func (s Stats) HitRate() float64 {
+	total := s.Hits + s.Misses
+	if total == 0 {
+		return 1
+	}
+	return float64(s.Hits) / float64(total)
+}
+
+// frame is one cached page slot.
+type frame struct {
+	page       int64 // page index, -1 when free
+	data       []byte
+	referenced bool          // CLOCK reference bit
+	loading    chan struct{} // non-nil while the page is being read in
+	inflight   int           // readers currently copying from data
+}
+
+// Cache is a user-space page cache over a BlockDevice. It supports
+// concurrent reads: hits copy under a short critical section, misses release
+// the lock during device I/O so many misses proceed in parallel (bounded
+// only by the device's queue depth), and concurrent requests for the same
+// missing page coalesce onto one device read.
+//
+// Eviction is CLOCK (second chance), a practical approximation of LRU with
+// O(1) state per frame.
+type Cache struct {
+	dev      BlockDevice
+	pageSize int
+
+	mu     sync.Mutex
+	frames []*frame
+	table  map[int64]*frame
+	hand   int
+	stats  Stats
+}
+
+// New returns a cache of numFrames pages of pageSize bytes over dev.
+func New(dev BlockDevice, pageSize, numFrames int) (*Cache, error) {
+	if pageSize <= 0 || numFrames <= 0 {
+		return nil, fmt.Errorf("pagecache: pageSize and numFrames must be positive")
+	}
+	c := &Cache{
+		dev:      dev,
+		pageSize: pageSize,
+		frames:   make([]*frame, numFrames),
+		table:    make(map[int64]*frame, numFrames),
+	}
+	for i := range c.frames {
+		c.frames[i] = &frame{page: -1, data: make([]byte, pageSize)}
+	}
+	return c, nil
+}
+
+// PageSize returns the page size in bytes.
+func (c *Cache) PageSize() int { return c.pageSize }
+
+// NumFrames returns the cache capacity in pages.
+func (c *Cache) NumFrames() int { return len(c.frames) }
+
+// ReadAt fills p from offset off through the cache, returning the number of
+// bytes read. Reads crossing page boundaries are split internally.
+func (c *Cache) ReadAt(p []byte, off int64) (int, error) {
+	if off < 0 {
+		return 0, fmt.Errorf("pagecache: negative offset")
+	}
+	total := 0
+	for len(p) > 0 {
+		if off >= c.dev.Size() {
+			break
+		}
+		page := off / int64(c.pageSize)
+		inPage := int(off % int64(c.pageSize))
+		n := min(len(p), c.pageSize-inPage)
+		// Clamp to device size.
+		if rem := c.dev.Size() - off; int64(n) > rem {
+			n = int(rem)
+		}
+		if err := c.readFromPage(p[:n], page, inPage); err != nil {
+			return total, err
+		}
+		p = p[n:]
+		off += int64(n)
+		total += n
+	}
+	c.mu.Lock()
+	c.stats.BytesRead += uint64(total)
+	c.mu.Unlock()
+	return total, nil
+}
+
+// readFromPage copies n bytes from the given page at offset inPage,
+// faulting the page in if needed.
+func (c *Cache) readFromPage(dst []byte, page int64, inPage int) error {
+	for {
+		c.mu.Lock()
+		if f, ok := c.table[page]; ok {
+			if f.loading != nil {
+				// Another reader is faulting this page in; wait off-lock.
+				ch := f.loading
+				c.mu.Unlock()
+				<-ch
+				continue
+			}
+			f.referenced = true
+			f.inflight++
+			c.stats.Hits++
+			c.mu.Unlock()
+			copy(dst, f.data[inPage:])
+			c.mu.Lock()
+			f.inflight--
+			c.mu.Unlock()
+			return nil
+		}
+		// Miss: claim a victim frame, publish it as loading, and read the
+		// device outside the lock.
+		c.stats.Misses++
+		f := c.evictLocked()
+		if f == nil {
+			// All frames are loading or busy; rare under sane sizing. Wait
+			// for any in-progress load and retry.
+			ch := c.anyLoadingLocked()
+			c.mu.Unlock()
+			if ch != nil {
+				<-ch
+			}
+			continue
+		}
+		if f.page >= 0 {
+			delete(c.table, f.page)
+			c.stats.Evictions++
+		}
+		f.page = page
+		f.loading = make(chan struct{})
+		f.referenced = true
+		c.table[page] = f
+		c.mu.Unlock()
+
+		n, err := c.dev.ReadAt(f.data, page*int64(c.pageSize))
+		c.mu.Lock()
+		if err != nil && n <= 0 {
+			// Failed load: withdraw the frame so later readers retry.
+			delete(c.table, page)
+			f.page = -1
+			close(f.loading)
+			f.loading = nil
+			c.mu.Unlock()
+			return err
+		}
+		for i := n; i < len(f.data); i++ {
+			f.data[i] = 0 // zero-fill device tail
+		}
+		close(f.loading)
+		f.loading = nil
+		f.inflight++
+		c.mu.Unlock()
+		copy(dst, f.data[inPage:])
+		c.mu.Lock()
+		f.inflight--
+		c.mu.Unlock()
+		return nil
+	}
+}
+
+// evictLocked runs the CLOCK hand to find a reclaimable frame. Returns nil
+// if every frame is pinned by a load or an in-flight copy.
+func (c *Cache) evictLocked() *frame {
+	for sweep := 0; sweep < 2*len(c.frames); sweep++ {
+		f := c.frames[c.hand]
+		c.hand = (c.hand + 1) % len(c.frames)
+		if f.loading != nil || f.inflight > 0 {
+			continue
+		}
+		if f.page >= 0 && f.referenced {
+			f.referenced = false
+			continue
+		}
+		return f
+	}
+	return nil
+}
+
+// anyLoadingLocked returns one in-progress load channel, if any.
+func (c *Cache) anyLoadingLocked() chan struct{} {
+	for _, f := range c.frames {
+		if f.loading != nil {
+			return f.loading
+		}
+	}
+	return nil
+}
+
+// Stats returns a snapshot of the cache counters.
+func (c *Cache) Stats() Stats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.stats
+}
+
+// ResetStats zeroes the counters (cache contents are kept).
+func (c *Cache) ResetStats() {
+	c.mu.Lock()
+	c.stats = Stats{}
+	c.mu.Unlock()
+}
+
+// Close closes the underlying device.
+func (c *Cache) Close() error { return c.dev.Close() }

@@ -1,0 +1,116 @@
+package pagecache
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+// flakyDevice fails the first failN reads, then behaves like its backing
+// memory device.
+type flakyDevice struct {
+	mem   MemDevice
+	failN atomic.Int64
+}
+
+var errInjected = errors.New("injected device failure")
+
+func (d *flakyDevice) ReadAt(p []byte, off int64) (int, error) {
+	if d.failN.Add(-1) >= 0 {
+		return 0, errInjected
+	}
+	return d.mem.ReadAt(p, off)
+}
+func (d *flakyDevice) Size() int64  { return d.mem.Size() }
+func (d *flakyDevice) Close() error { return nil }
+
+func TestCacheSurfacesDeviceErrors(t *testing.T) {
+	dev := &flakyDevice{mem: MemDevice{Data: testData(4096)}}
+	dev.failN.Store(1)
+	c, err := New(dev, 256, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 64)
+	if _, err := c.ReadAt(buf, 0); !errors.Is(err, errInjected) {
+		t.Fatalf("expected injected error, got %v", err)
+	}
+}
+
+func TestCacheRecoversAfterDeviceError(t *testing.T) {
+	data := testData(4096)
+	dev := &flakyDevice{mem: MemDevice{Data: data}}
+	dev.failN.Store(2)
+	c, err := New(dev, 256, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 64)
+	// First attempts fail; the failed frame must be withdrawn so retries
+	// fault the page in cleanly once the device heals.
+	for i := 0; i < 2; i++ {
+		if _, err := c.ReadAt(buf, 0); err == nil {
+			t.Fatal("expected failure while device is down")
+		}
+	}
+	if _, err := c.ReadAt(buf, 0); err != nil {
+		t.Fatalf("read after device recovery failed: %v", err)
+	}
+	if !bytes.Equal(buf, data[:64]) {
+		t.Fatal("recovered read returned wrong data")
+	}
+	// And it must now be cached.
+	s := c.Stats()
+	c.ReadAt(buf, 0)
+	if c.Stats().Hits != s.Hits+1 {
+		t.Fatal("recovered page not cached")
+	}
+}
+
+func TestCacheConcurrentReadersSurviveErrors(t *testing.T) {
+	data := testData(1 << 14)
+	dev := &flakyDevice{mem: MemDevice{Data: data}}
+	dev.failN.Store(8)
+	c, err := New(dev, 256, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	bad := make(chan string, 64)
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			buf := make([]byte, 128)
+			for i := 0; i < 100; i++ {
+				off := int64(((g*37 + i*101) * 113) % (len(data) - 128))
+				n, err := c.ReadAt(buf, off)
+				if err != nil {
+					continue // injected failure; retry next round
+				}
+				if n != 128 || !bytes.Equal(buf, data[off:off+128]) {
+					bad <- fmt.Sprintf("corrupt read at %d", off)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(bad)
+	for msg := range bad {
+		t.Fatal(msg)
+	}
+	// The cache must end in a consistent state: a full sweep succeeds.
+	buf := make([]byte, 256)
+	for off := int64(0); off < int64(len(data)); off += 256 {
+		if _, err := c.ReadAt(buf, off); err != nil {
+			t.Fatalf("post-failure sweep failed at %d: %v", off, err)
+		}
+		if !bytes.Equal(buf, data[off:off+256]) {
+			t.Fatalf("post-failure sweep corrupt at %d", off)
+		}
+	}
+}

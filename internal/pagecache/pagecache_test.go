@@ -1,0 +1,251 @@
+package pagecache
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+	"time"
+)
+
+func testData(n int) []byte {
+	d := make([]byte, n)
+	for i := range d {
+		d[i] = byte(i * 31)
+	}
+	return d
+}
+
+func TestMemDeviceReads(t *testing.T) {
+	d := &MemDevice{Data: testData(100)}
+	buf := make([]byte, 10)
+	n, err := d.ReadAt(buf, 5)
+	if err != nil || n != 10 {
+		t.Fatalf("ReadAt = %d, %v", n, err)
+	}
+	if !bytes.Equal(buf, testData(100)[5:15]) {
+		t.Fatal("wrong bytes")
+	}
+	if n, _ := d.ReadAt(buf, 95); n != 5 {
+		t.Fatalf("tail read returned %d bytes", n)
+	}
+	if _, err := d.ReadAt(buf, 200); err == nil {
+		t.Fatal("read past end accepted")
+	}
+}
+
+func TestCacheReadThrough(t *testing.T) {
+	data := testData(1 << 14)
+	c, err := New(&MemDevice{Data: data}, 256, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 100)
+	for _, off := range []int64{0, 100, 255, 256, 1000, int64(len(data)) - 100} {
+		n, err := c.ReadAt(buf, off)
+		if err != nil || n != 100 {
+			t.Fatalf("ReadAt(%d) = %d, %v", off, n, err)
+		}
+		if !bytes.Equal(buf, data[off:off+100]) {
+			t.Fatalf("wrong bytes at offset %d", off)
+		}
+	}
+}
+
+func TestCacheHitMissAccounting(t *testing.T) {
+	c, _ := New(&MemDevice{Data: testData(4096)}, 256, 16)
+	buf := make([]byte, 256)
+	c.ReadAt(buf, 0) // miss
+	c.ReadAt(buf, 0) // hit
+	c.ReadAt(buf, 0) // hit
+	s := c.Stats()
+	if s.Misses != 1 || s.Hits != 2 {
+		t.Fatalf("stats = %+v", s)
+	}
+	if s.HitRate() < 0.6 || s.HitRate() > 0.7 {
+		t.Fatalf("hit rate = %v", s.HitRate())
+	}
+}
+
+func TestCacheEviction(t *testing.T) {
+	// 4 frames, touch 8 pages: evictions must occur and data stay correct.
+	data := testData(8 * 64)
+	c, _ := New(&MemDevice{Data: data}, 64, 4)
+	buf := make([]byte, 64)
+	for round := 0; round < 3; round++ {
+		for page := 0; page < 8; page++ {
+			off := int64(page * 64)
+			c.ReadAt(buf, off)
+			if !bytes.Equal(buf, data[off:off+64]) {
+				t.Fatalf("round %d page %d corrupted", round, page)
+			}
+		}
+	}
+	if c.Stats().Evictions == 0 {
+		t.Fatal("no evictions despite working set > capacity")
+	}
+}
+
+func TestCacheCrossPageRead(t *testing.T) {
+	data := testData(1024)
+	c, _ := New(&MemDevice{Data: data}, 64, 8)
+	buf := make([]byte, 300)
+	n, err := c.ReadAt(buf, 50)
+	if err != nil || n != 300 {
+		t.Fatalf("cross-page read = %d, %v", n, err)
+	}
+	if !bytes.Equal(buf, data[50:350]) {
+		t.Fatal("cross-page read corrupted")
+	}
+}
+
+func TestCacheTailClamp(t *testing.T) {
+	data := testData(100) // less than one page
+	c, _ := New(&MemDevice{Data: data}, 64, 4)
+	buf := make([]byte, 64)
+	n, err := c.ReadAt(buf, 64)
+	if err != nil || n != 36 {
+		t.Fatalf("tail read = %d, %v", n, err)
+	}
+	if !bytes.Equal(buf[:36], data[64:]) {
+		t.Fatal("tail bytes wrong")
+	}
+	if n, _ := c.ReadAt(buf, 1000); n != 0 {
+		t.Fatalf("read past EOF returned %d", n)
+	}
+}
+
+func TestCacheConcurrentReaders(t *testing.T) {
+	data := testData(1 << 16)
+	dev := NewSimDevice(&MemDevice{Data: data}, 50*time.Microsecond, 32)
+	c, _ := New(dev, 512, 32)
+	var wg sync.WaitGroup
+	errs := make(chan string, 64)
+	for g := 0; g < 16; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			buf := make([]byte, 256)
+			for i := 0; i < 200; i++ {
+				off := int64(((g*131 + i*257) * 97) % (len(data) - 256))
+				n, err := c.ReadAt(buf, off)
+				if err != nil || n != 256 {
+					errs <- "read failed"
+					return
+				}
+				if !bytes.Equal(buf, data[off:off+256]) {
+					errs <- "corrupt concurrent read"
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errs)
+	for e := range errs {
+		t.Fatal(e)
+	}
+}
+
+func TestConcurrentMissesCoalesce(t *testing.T) {
+	// Many goroutines hitting the same cold page: device must see far fewer
+	// reads than callers.
+	data := testData(4096)
+	dev := NewSimDevice(&MemDevice{Data: data}, time.Millisecond, 8)
+	c, _ := New(dev, 4096, 2)
+	var wg sync.WaitGroup
+	for g := 0; g < 32; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			buf := make([]byte, 16)
+			c.ReadAt(buf, 0)
+		}()
+	}
+	wg.Wait()
+	if n := dev.Reads(); n > 2 {
+		t.Fatalf("32 concurrent readers of one page caused %d device reads", n)
+	}
+}
+
+func TestSimDeviceLatency(t *testing.T) {
+	dev := NewSimDevice(&MemDevice{Data: testData(1024)}, 2*time.Millisecond, 1)
+	buf := make([]byte, 8)
+	start := time.Now()
+	dev.ReadAt(buf, 0)
+	if elapsed := time.Since(start); elapsed < 2*time.Millisecond {
+		t.Fatalf("read returned in %v, before simulated latency", elapsed)
+	}
+	if dev.Reads() != 1 || dev.ReadBytes() != 8 {
+		t.Fatalf("device counters: %d reads, %d bytes", dev.Reads(), dev.ReadBytes())
+	}
+}
+
+func TestSimDeviceQueueDepthBoundsConcurrency(t *testing.T) {
+	// With queue depth 4 and 8 concurrent 5ms reads, total time must be at
+	// least two service rounds.
+	dev := NewSimDevice(&MemDevice{Data: testData(64)}, 5*time.Millisecond, 4)
+	var wg sync.WaitGroup
+	start := time.Now()
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			buf := make([]byte, 8)
+			dev.ReadAt(buf, 0)
+		}()
+	}
+	wg.Wait()
+	if elapsed := time.Since(start); elapsed < 10*time.Millisecond {
+		t.Fatalf("8 reads at depth 4 finished in %v (< 2 service rounds)", elapsed)
+	}
+}
+
+func TestFileDevice(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "data.bin")
+	data := testData(5000)
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	dev, err := OpenFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer dev.Close()
+	if dev.Size() != 5000 {
+		t.Fatalf("size = %d", dev.Size())
+	}
+	c, _ := New(dev, 512, 4)
+	buf := make([]byte, 100)
+	if _, err := c.ReadAt(buf, 1234); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf, data[1234:1334]) {
+		t.Fatal("file-backed read wrong")
+	}
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(&MemDevice{}, 0, 4); err == nil {
+		t.Error("zero page size accepted")
+	}
+	if _, err := New(&MemDevice{}, 64, 0); err == nil {
+		t.Error("zero frames accepted")
+	}
+}
+
+func TestResetStats(t *testing.T) {
+	c, _ := New(&MemDevice{Data: testData(256)}, 64, 2)
+	buf := make([]byte, 8)
+	c.ReadAt(buf, 0)
+	c.ResetStats()
+	if s := c.Stats(); s.Hits != 0 || s.Misses != 0 {
+		t.Fatalf("reset failed: %+v", s)
+	}
+	// Cached content survives reset: next read is a hit.
+	c.ReadAt(buf, 0)
+	if s := c.Stats(); s.Hits != 1 {
+		t.Fatalf("cache lost content on reset: %+v", s)
+	}
+}

@@ -1,0 +1,40 @@
+package pagecache
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+)
+
+// TestQuickCacheEquivalentToDevice: for any page size, frame count, and read
+// pattern, reading through the cache returns exactly what the device holds.
+func TestQuickCacheEquivalentToDevice(t *testing.T) {
+	data := testData(1 << 14)
+	f := func(pageSel, frameSel uint8, offs []uint16) bool {
+		pageSize := 32 << (pageSel % 5) // 32..512
+		frames := int(frameSel)%7 + 1
+		c, err := New(&MemDevice{Data: data}, pageSize, frames)
+		if err != nil {
+			return false
+		}
+		buf := make([]byte, 200)
+		for _, o := range offs {
+			off := int64(o) % int64(len(data))
+			n, err := c.ReadAt(buf, off)
+			if err != nil {
+				return false
+			}
+			want := data[off:]
+			if len(want) > n {
+				want = want[:n]
+			}
+			if !bytes.Equal(buf[:n], want) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,31 @@
+package partition
+
+import (
+	"encoding/binary"
+
+	"havoqgt/internal/graph"
+)
+
+// Edge wire format: 16 bytes little-endian (src, dst).
+const edgeBytes = 16
+
+// encodeEdges serializes edges for an AllToAllv exchange.
+func encodeEdges(edges []graph.Edge) []byte {
+	buf := make([]byte, len(edges)*edgeBytes)
+	for i, e := range edges {
+		binary.LittleEndian.PutUint64(buf[i*edgeBytes:], uint64(e.Src))
+		binary.LittleEndian.PutUint64(buf[i*edgeBytes+8:], uint64(e.Dst))
+	}
+	return buf
+}
+
+// decodeEdgesInto appends decoded edges to dst.
+func decodeEdgesInto(dst []graph.Edge, buf []byte) []graph.Edge {
+	for off := 0; off+edgeBytes <= len(buf); off += edgeBytes {
+		dst = append(dst, graph.Edge{
+			Src: graph.Vertex(binary.LittleEndian.Uint64(buf[off:])),
+			Dst: graph.Vertex(binary.LittleEndian.Uint64(buf[off+8:])),
+		})
+	}
+	return dst
+}

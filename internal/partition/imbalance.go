@@ -1,0 +1,80 @@
+package partition
+
+import (
+	"math"
+
+	"havoqgt/internal/graph"
+)
+
+// Imbalance returns max/mean of the per-partition edge counts — the metric
+// of Figure 2 ("imbalance computed for the distribution of edges per
+// partition"). 1.0 is perfect balance. Returns 1 for empty input.
+func Imbalance(counts []uint64) float64 {
+	if len(counts) == 0 {
+		return 1
+	}
+	var sum, mx uint64
+	for _, c := range counts {
+		sum += c
+		if c > mx {
+			mx = c
+		}
+	}
+	if sum == 0 {
+		return 1
+	}
+	mean := float64(sum) / float64(len(counts))
+	return float64(mx) / mean
+}
+
+// OneDEdgeCounts models 1D block partitioning: vertex v and its whole
+// adjacency list go to rank v / ceil(n/p). Returns edges per partition.
+func OneDEdgeCounts(edges []graph.Edge, n uint64, p int) []uint64 {
+	block := (n + uint64(p) - 1) / uint64(p)
+	if block == 0 {
+		block = 1
+	}
+	counts := make([]uint64, p)
+	for _, e := range edges {
+		counts[min(uint64(e.Src)/block, uint64(p-1))]++
+	}
+	return counts
+}
+
+// TwoDEdgeCounts models 2D block partitioning: the adjacency matrix is cut
+// into an R×C processor grid (R·C = p, near-square) and edge (s, d) goes to
+// block (sRow, dCol). A hub's adjacency list spreads over a whole processor
+// row, i.e. O(√p) partitions.
+func TwoDEdgeCounts(edges []graph.Edge, n uint64, p int) []uint64 {
+	c := int(math.Ceil(math.Sqrt(float64(p))))
+	for p%c != 0 { // choose the factorization closest to square
+		c++
+	}
+	r := p / c
+	rowBlock := (n + uint64(r) - 1) / uint64(r)
+	colBlock := (n + uint64(c) - 1) / uint64(c)
+	if rowBlock == 0 {
+		rowBlock = 1
+	}
+	if colBlock == 0 {
+		colBlock = 1
+	}
+	counts := make([]uint64, p)
+	for _, e := range edges {
+		row := min(uint64(e.Src)/rowBlock, uint64(r-1))
+		col := min(uint64(e.Dst)/colBlock, uint64(c-1))
+		counts[row*uint64(c)+col]++
+	}
+	return counts
+}
+
+// EdgeListEdgeCounts models the paper's edge list partitioning: the sorted
+// edge list is cut into p equal ranges, so counts are |E|/p ± 1 by
+// construction, independent of hub structure.
+func EdgeListEdgeCounts(numEdges uint64, p int) []uint64 {
+	counts := make([]uint64, p)
+	for i := 0; i < p; i++ {
+		counts[i] = numEdges*uint64(i+1)/uint64(p) - numEdges*uint64(i)/uint64(p)
+	}
+	return counts
+}

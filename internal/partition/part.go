@@ -1,0 +1,145 @@
+// Package partition builds distributed graph partitions:
+//
+//   - BuildEdgeList: the paper's novel *edge list partitioning* (§III-A1) —
+//     the global edge list is sorted by source (distributed sample sort) and
+//     split into equal-count ranges, so hub adjacency lists span consecutive
+//     partitions and every partition holds the same number of edges.
+//   - Build1D: the traditional 1D baseline (each vertex's whole adjacency
+//     list on one partition), which Figure 12 compares against.
+//   - Imbalance models for 1D, 2D-block, and edge-list partitioning
+//     (Figure 2).
+//
+// Both builders produce a Part, the uniform partition view the visitor-queue
+// core traverses: a replicated master-ownership table, a local CSR over the
+// rank's vertex state range, and (edge-list only) the replica-forwarding
+// metadata for split adjacency lists.
+package partition
+
+import (
+	"fmt"
+	"sort"
+
+	"havoqgt/internal/csr"
+	"havoqgt/internal/graph"
+)
+
+// OwnerTable is the replicated table mapping a vertex to its master
+// partition: rank r masters vertices [start[r], start[r+1]). It is the
+// constant-size structure that makes min_owner(v) an O(lg p) lookup on any
+// rank (the paper's alternative of packing owner bits into the identifier
+// trades this lookup for identifier space).
+type OwnerTable struct {
+	start []uint64 // len p+1; start[0]=0, start[p]=NumVertices; non-decreasing
+}
+
+// NewOwnerTable validates and wraps a boundary array.
+func NewOwnerTable(start []uint64) (OwnerTable, error) {
+	if len(start) < 2 || start[0] != 0 {
+		return OwnerTable{}, fmt.Errorf("partition: owner table must begin at 0 with p+1 entries")
+	}
+	for i := 1; i < len(start); i++ {
+		if start[i] < start[i-1] {
+			return OwnerTable{}, fmt.Errorf("partition: owner table not monotone at %d", i)
+		}
+	}
+	return OwnerTable{start: start}, nil
+}
+
+// P returns the number of partitions.
+func (t OwnerTable) P() int { return len(t.start) - 1 }
+
+// NumVertices returns the total vertex count.
+func (t OwnerTable) NumVertices() uint64 { return t.start[len(t.start)-1] }
+
+// Master returns min_owner(v): the first rank holding v's adjacency (or, for
+// an isolated vertex, the rank covering its id range).
+func (t OwnerTable) Master(v graph.Vertex) int {
+	if uint64(v) >= t.NumVertices() {
+		panic(fmt.Sprintf("partition: vertex %d out of range (n=%d)", v, t.NumVertices()))
+	}
+	// First r with start[r+1] > v; empty ranges (start[r]==start[r+1]) are
+	// skipped automatically.
+	return sort.Search(t.P(), func(r int) bool { return t.start[r+1] > uint64(v) })
+}
+
+// MasterRange returns the half-open master vertex range of rank r.
+func (t OwnerTable) MasterRange(r int) (lo, hi uint64) { return t.start[r], t.start[r+1] }
+
+// Part is one rank's view of a partitioned graph. It is built collectively
+// (BuildEdgeList / Build1D) and then traversed by internal/core.
+type Part struct {
+	Rank int
+	P    int
+
+	NumVertices uint64
+	GlobalEdges uint64 // total local-edge count across all ranks
+
+	Owners OwnerTable
+
+	// Local vertex state range [StateStart, StateStart+StateLen): the
+	// master range plus replica slots for split boundary vertices.
+	StateStart graph.Vertex
+	StateLen   int
+
+	// CSR holds the local adjacency; row i is vertex StateStart+i.
+	CSR *csr.Matrix
+
+	// Replica forwarding: when HasForward, visitors applied to ForwardVertex
+	// must be forwarded to rank ForwardTo, the next partition holding a
+	// piece of that vertex's adjacency list (Alg. 1, check_mailbox).
+	HasForward    bool
+	ForwardVertex graph.Vertex
+	ForwardTo     int
+
+	// BoundaryDegree maps partition-boundary vertices to their full global
+	// degree (their local CSR degree is only a fragment when the adjacency
+	// list spans ranks). Algorithms needing degree(v), like k-core
+	// initialization, consult this first.
+	BoundaryDegree map[graph.Vertex]uint64
+}
+
+// LocalIndex maps a vertex to its row in the local state range.
+func (p *Part) LocalIndex(v graph.Vertex) (int, bool) {
+	if v < p.StateStart {
+		return 0, false
+	}
+	i := uint64(v - p.StateStart)
+	if i >= uint64(p.StateLen) {
+		return 0, false
+	}
+	return int(i), true
+}
+
+// Vertex maps a local row index back to the global vertex id.
+func (p *Part) Vertex(i int) graph.Vertex { return p.StateStart + graph.Vertex(i) }
+
+// Master returns min_owner(v).
+func (p *Part) Master(v graph.Vertex) int { return p.Owners.Master(v) }
+
+// IsMaster reports whether this rank is v's master.
+func (p *Part) IsMaster(v graph.Vertex) bool { return p.Owners.Master(v) == p.Rank }
+
+// GlobalDegree returns the full degree of a locally held vertex, accounting
+// for adjacency lists split across partitions.
+func (p *Part) GlobalDegree(v graph.Vertex) uint64 {
+	if d, ok := p.BoundaryDegree[v]; ok {
+		return d
+	}
+	i, ok := p.LocalIndex(v)
+	if !ok {
+		panic(fmt.Sprintf("partition: GlobalDegree of non-local vertex %d on rank %d", v, p.Rank))
+	}
+	return p.CSR.Degree(i)
+}
+
+// ShouldForward reports whether a visitor for v must continue to the next
+// replica after being applied locally (my_rank < max_owner(v) in Alg. 1).
+func (p *Part) ShouldForward(v graph.Vertex) (int, bool) {
+	if p.HasForward && v == p.ForwardVertex {
+		return p.ForwardTo, true
+	}
+	return 0, false
+}
+
+// LocalEdges returns the number of edges stored on this rank.
+func (p *Part) LocalEdges() uint64 { return p.CSR.NumEdges() }

@@ -1,0 +1,109 @@
+package partition
+
+import (
+	"testing"
+	"testing/quick"
+
+	"havoqgt/internal/graph"
+)
+
+// TestQuickOwnerTableMatchesLinearScan: Master must equal the first rank
+// whose (start, next-start) range contains the vertex, for any monotone
+// boundary table.
+func TestQuickOwnerTableMatchesLinearScan(t *testing.T) {
+	f := func(deltas []uint8, n uint16) bool {
+		if len(deltas) == 0 {
+			return true
+		}
+		if len(deltas) > 16 {
+			deltas = deltas[:16]
+		}
+		start := make([]uint64, 0, len(deltas)+1)
+		start = append(start, 0)
+		for _, d := range deltas {
+			start = append(start, start[len(start)-1]+uint64(d)%8)
+		}
+		total := start[len(start)-1] + uint64(n)%64 + 1
+		start[len(start)-1] = total
+		ot, err := NewOwnerTable(start)
+		if err != nil {
+			return false
+		}
+		for v := uint64(0); v < total; v++ {
+			want := -1
+			for r := 0; r < ot.P(); r++ {
+				lo, hi := ot.MasterRange(r)
+				if v >= lo && v < hi {
+					want = r
+					break
+				}
+			}
+			if got := ot.Master(graph.Vertex(v)); got != want {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickImbalanceBounds: imbalance is always >= 1 (for nonempty counts
+// with any edges) and equals 1 exactly when all counts are equal.
+func TestQuickImbalanceBounds(t *testing.T) {
+	f := func(counts []uint16) bool {
+		if len(counts) == 0 {
+			return true
+		}
+		cs := make([]uint64, len(counts))
+		var sum uint64
+		for i, c := range counts {
+			cs[i] = uint64(c)
+			sum += uint64(c)
+		}
+		imb := Imbalance(cs)
+		if sum == 0 {
+			return imb == 1
+		}
+		if imb < 0.999999 {
+			return false
+		}
+		allEqual := true
+		for _, c := range cs {
+			if c != cs[0] {
+				allEqual = false
+			}
+		}
+		if allEqual && (imb < 0.999999 || imb > 1.000001) {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickEdgeCodecRoundTrip: any edge list survives the wire codec.
+func TestQuickEdgeCodecRoundTrip(t *testing.T) {
+	f := func(raw []uint64) bool {
+		edges := make([]graph.Edge, 0, len(raw)/2)
+		for i := 0; i+1 < len(raw); i += 2 {
+			edges = append(edges, graph.Edge{Src: graph.Vertex(raw[i]), Dst: graph.Vertex(raw[i+1])})
+		}
+		got := decodeEdgesInto(nil, encodeEdges(edges))
+		if len(got) != len(edges) {
+			return false
+		}
+		for i := range edges {
+			if got[i] != edges[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

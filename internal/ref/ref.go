@@ -1,0 +1,208 @@
+// Package ref provides sequential in-memory reference implementations of
+// BFS, k-core decomposition, and triangle counting. They serve two roles:
+// ground truth for validating the distributed asynchronous implementations
+// (property tests compare results on random graphs), and the single-node
+// baseline series in the experiment harness.
+package ref
+
+import (
+	"slices"
+
+	"havoqgt/internal/graph"
+)
+
+// Unreached marks vertices not reached by BFS.
+const Unreached = ^uint32(0)
+
+// Adj is a sequential adjacency-list graph.
+type Adj [][]graph.Vertex
+
+// BuildAdj builds adjacency lists from a directed edge list (store both
+// directions beforehand for undirected semantics). Lists are sorted.
+func BuildAdj(edges []graph.Edge, n uint64) Adj {
+	adj := make(Adj, n)
+	deg := make([]uint32, n)
+	for _, e := range edges {
+		deg[e.Src]++
+	}
+	for v := range adj {
+		adj[v] = make([]graph.Vertex, 0, deg[v])
+	}
+	for _, e := range edges {
+		adj[e.Src] = append(adj[e.Src], e.Dst)
+	}
+	for v := range adj {
+		slices.Sort(adj[v])
+	}
+	return adj
+}
+
+// HasEdge reports whether u→v exists (binary search).
+func (a Adj) HasEdge(u, v graph.Vertex) bool {
+	_, ok := slices.BinarySearch(a[u], v)
+	return ok
+}
+
+// BFS returns levels and parents of a breadth-first search from source.
+func BFS(adj Adj, source graph.Vertex) (levels []uint32, parents []graph.Vertex) {
+	levels = make([]uint32, len(adj))
+	parents = make([]graph.Vertex, len(adj))
+	for i := range levels {
+		levels[i] = Unreached
+		parents[i] = graph.Nil
+	}
+	levels[source] = 0
+	parents[source] = source
+	queue := []graph.Vertex{source}
+	for len(queue) > 0 {
+		v := queue[0]
+		queue = queue[1:]
+		for _, t := range adj[v] {
+			if levels[t] == Unreached {
+				levels[t] = levels[v] + 1
+				parents[t] = v
+				queue = append(queue, t)
+			}
+		}
+	}
+	return levels, parents
+}
+
+// KCore returns the k-core membership of a simple undirected graph
+// (adjacency must contain both directions, no duplicates or self loops),
+// by iterative peeling.
+func KCore(adj Adj, k uint32) []bool {
+	alive := make([]bool, len(adj))
+	deg := make([]uint32, len(adj))
+	var queue []graph.Vertex
+	for v := range adj {
+		alive[v] = true
+		deg[v] = uint32(len(adj[v]))
+		if deg[v] < k {
+			alive[v] = false
+			queue = append(queue, graph.Vertex(v))
+		}
+	}
+	for len(queue) > 0 {
+		v := queue[0]
+		queue = queue[1:]
+		for _, t := range adj[v] {
+			if !alive[t] {
+				continue
+			}
+			deg[t]--
+			if deg[t] < k {
+				alive[t] = false
+				queue = append(queue, t)
+			}
+		}
+	}
+	return alive
+}
+
+// CountTriangles counts triangles in a simple undirected graph: for every
+// vertex a and neighbor pair a < m < w, check the closing edge m–w.
+func CountTriangles(adj Adj) uint64 {
+	var count uint64
+	for av := range adj {
+		a := graph.Vertex(av)
+		nbrs := adj[a]
+		// Larger neighbors only (lists are sorted).
+		i, _ := slices.BinarySearch(nbrs, a+1)
+		larger := nbrs[i:]
+		for x := 0; x < len(larger); x++ {
+			for y := x + 1; y < len(larger); y++ {
+				if adj.HasEdge(larger[x], larger[y]) {
+					count++
+				}
+			}
+		}
+	}
+	return count
+}
+
+// CoreSize returns the number of true entries.
+func CoreSize(alive []bool) uint64 {
+	var n uint64
+	for _, a := range alive {
+		if a {
+			n++
+		}
+	}
+	return n
+}
+
+// MaxLevel returns the deepest finite BFS level.
+func MaxLevel(levels []uint32) uint32 {
+	var mx uint32
+	for _, l := range levels {
+		if l != Unreached && l > mx {
+			mx = l
+		}
+	}
+	return mx
+}
+
+// ReachedEdges returns the Graph500 traversed-edge count: directed edges
+// incident to reached vertices, halved.
+func ReachedEdges(adj Adj, levels []uint32) uint64 {
+	var sum uint64
+	for v := range adj {
+		if levels[v] != Unreached {
+			sum += uint64(len(adj[v]))
+		}
+	}
+	return sum / 2
+}
+
+// CoreNumbers returns each vertex's core number: the largest k such that the
+// vertex belongs to the k-core. Computed by the standard peeling order
+// (repeatedly removing a minimum-degree vertex).
+func CoreNumbers(adj Adj) []uint32 {
+	n := len(adj)
+	deg := make([]int, n)
+	for v := range adj {
+		deg[v] = len(adj[v])
+	}
+	removed := make([]bool, n)
+	coreNum := make([]uint32, n)
+	// Bucket queue over degrees for O(V + E).
+	maxDeg := 0
+	for _, d := range deg {
+		if d > maxDeg {
+			maxDeg = d
+		}
+	}
+	buckets := make([][]graph.Vertex, maxDeg+1)
+	for v := range adj {
+		buckets[deg[v]] = append(buckets[deg[v]], graph.Vertex(v))
+	}
+	k := 0
+	for d := 0; d <= maxDeg; {
+		if len(buckets[d]) == 0 {
+			d++
+			continue
+		}
+		v := buckets[d][len(buckets[d])-1]
+		buckets[d] = buckets[d][:len(buckets[d])-1]
+		if removed[v] || deg[v] != d {
+			continue // stale bucket entry
+		}
+		if d > k {
+			k = d
+		}
+		coreNum[v] = uint32(k)
+		removed[v] = true
+		for _, t := range adj[v] {
+			if removed[t] {
+				continue
+			}
+			deg[t]--
+			buckets[deg[t]] = append(buckets[deg[t]], t)
+			if deg[t] < d {
+				d = deg[t] // a neighbor fell into an earlier bucket
+			}
+		}
+	}
+	return coreNum
+}

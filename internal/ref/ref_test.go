@@ -1,0 +1,170 @@
+package ref
+
+import (
+	"testing"
+
+	"havoqgt/internal/graph"
+	"havoqgt/internal/xrand"
+)
+
+func TestBuildAdjSorted(t *testing.T) {
+	edges := []graph.Edge{{Src: 0, Dst: 5}, {Src: 0, Dst: 1}, {Src: 0, Dst: 3}, {Src: 2, Dst: 0}}
+	adj := BuildAdj(edges, 6)
+	if len(adj[0]) != 3 || adj[0][0] != 1 || adj[0][1] != 3 || adj[0][2] != 5 {
+		t.Fatalf("adj[0] = %v", adj[0])
+	}
+	if !adj.HasEdge(2, 0) || adj.HasEdge(2, 1) {
+		t.Fatal("HasEdge wrong")
+	}
+}
+
+func TestBFSLine(t *testing.T) {
+	edges := graph.Undirect([]graph.Edge{{Src: 0, Dst: 1}, {Src: 1, Dst: 2}, {Src: 2, Dst: 3}})
+	levels, parents := BFS(BuildAdj(edges, 4), 0)
+	for v, want := range []uint32{0, 1, 2, 3} {
+		if levels[v] != want {
+			t.Fatalf("level(%d) = %d", v, levels[v])
+		}
+	}
+	if parents[3] != 2 || parents[0] != 0 {
+		t.Fatalf("parents = %v", parents)
+	}
+	if MaxLevel(levels) != 3 {
+		t.Fatalf("MaxLevel = %d", MaxLevel(levels))
+	}
+}
+
+func TestBFSDisconnected(t *testing.T) {
+	edges := graph.Undirect([]graph.Edge{{Src: 0, Dst: 1}})
+	levels, parents := BFS(BuildAdj(edges, 4), 0)
+	if levels[2] != Unreached || parents[2] != graph.Nil {
+		t.Fatal("unreachable vertex has level/parent")
+	}
+}
+
+func TestKCorePeeling(t *testing.T) {
+	// Triangle with a tail: 2-core is the triangle.
+	edges := graph.Simplify(graph.Undirect([]graph.Edge{{Src: 0, Dst: 1}, {Src: 1, Dst: 2}, {Src: 2, Dst: 0}, {Src: 2, Dst: 3}}))
+	alive := KCore(BuildAdj(edges, 4), 2)
+	want := []bool{true, true, true, false}
+	for v := range want {
+		if alive[v] != want[v] {
+			t.Fatalf("2-core membership of %d = %v", v, alive[v])
+		}
+	}
+	if CoreSize(alive) != 3 {
+		t.Fatalf("core size %d", CoreSize(alive))
+	}
+}
+
+func TestKCoreDegeneracyOrderInvariant(t *testing.T) {
+	// k-core of k-core is itself: peeling twice changes nothing.
+	rng := xrand.New(3)
+	var pairs []graph.Edge
+	for i := 0; i < 400; i++ {
+		pairs = append(pairs, graph.Edge{Src: graph.Vertex(rng.Uint64n(64)), Dst: graph.Vertex(rng.Uint64n(64))})
+	}
+	edges := graph.Simplify(graph.Undirect(pairs))
+	adj := BuildAdj(edges, 64)
+	alive := KCore(adj, 3)
+	// Rebuild the subgraph and peel again.
+	var sub []graph.Edge
+	for _, e := range edges {
+		if alive[e.Src] && alive[e.Dst] {
+			sub = append(sub, e)
+		}
+	}
+	alive2 := KCore(BuildAdj(sub, 64), 3)
+	for v := range alive {
+		if alive[v] != alive2[v] {
+			t.Fatalf("peeling not idempotent at vertex %d", v)
+		}
+	}
+	// Every surviving vertex must have >= 3 surviving neighbors.
+	for v := range alive {
+		if !alive[v] {
+			continue
+		}
+		deg := 0
+		for _, u := range adj[v] {
+			if alive[u] {
+				deg++
+			}
+		}
+		if deg < 3 {
+			t.Fatalf("vertex %d in 3-core has %d core neighbors", v, deg)
+		}
+	}
+}
+
+func TestCountTrianglesKnown(t *testing.T) {
+	k4 := graph.Simplify(graph.Undirect([]graph.Edge{{Src: 0, Dst: 1}, {Src: 0, Dst: 2}, {Src: 0, Dst: 3}, {Src: 1, Dst: 2}, {Src: 1, Dst: 3}, {Src: 2, Dst: 3}}))
+	if got := CountTriangles(BuildAdj(k4, 4)); got != 4 {
+		t.Fatalf("K4 has %d triangles", got)
+	}
+	ring := graph.Simplify(graph.Undirect([]graph.Edge{{Src: 0, Dst: 1}, {Src: 1, Dst: 2}, {Src: 2, Dst: 3}, {Src: 3, Dst: 0}}))
+	if got := CountTriangles(BuildAdj(ring, 4)); got != 0 {
+		t.Fatalf("C4 has %d triangles", got)
+	}
+}
+
+func TestCountTrianglesCompleteGraph(t *testing.T) {
+	// K_n has C(n,3) triangles.
+	n := uint64(9)
+	var pairs []graph.Edge
+	for a := uint64(0); a < n; a++ {
+		for b := a + 1; b < n; b++ {
+			pairs = append(pairs, graph.Edge{Src: graph.Vertex(a), Dst: graph.Vertex(b)})
+		}
+	}
+	edges := graph.Simplify(graph.Undirect(pairs))
+	want := n * (n - 1) * (n - 2) / 6
+	if got := CountTriangles(BuildAdj(edges, n)); got != want {
+		t.Fatalf("K%d has %d triangles, want %d", n, got, want)
+	}
+}
+
+func TestReachedEdges(t *testing.T) {
+	edges := graph.Undirect([]graph.Edge{{Src: 0, Dst: 1}, {Src: 1, Dst: 2}, {Src: 5, Dst: 6}})
+	adj := BuildAdj(edges, 8)
+	levels, _ := BFS(adj, 0)
+	if got := ReachedEdges(adj, levels); got != 2 {
+		t.Fatalf("ReachedEdges = %d, want 2", got)
+	}
+}
+
+func TestCoreNumbersKnown(t *testing.T) {
+	// Triangle (coreness 2) with a tail (coreness 1) and an isolate (0).
+	edges := graph.Simplify(graph.Undirect([]graph.Edge{
+		{Src: 0, Dst: 1}, {Src: 1, Dst: 2}, {Src: 2, Dst: 0}, {Src: 2, Dst: 3},
+	}))
+	got := CoreNumbers(BuildAdj(edges, 5))
+	want := []uint32{2, 2, 2, 1, 0}
+	for v := range want {
+		if got[v] != want[v] {
+			t.Fatalf("coreness(%d) = %d, want %d (all: %v)", v, got[v], want[v], got)
+		}
+	}
+}
+
+func TestCoreNumbersConsistentWithKCore(t *testing.T) {
+	// Property: coreness(v) >= k  <=>  v in k-core, for every k.
+	rng := xrand.New(8)
+	var pairs []graph.Edge
+	for i := 0; i < 500; i++ {
+		pairs = append(pairs, graph.Edge{
+			Src: graph.Vertex(rng.Uint64n(96)), Dst: graph.Vertex(rng.Uint64n(96)),
+		})
+	}
+	edges := graph.Simplify(graph.Undirect(pairs))
+	adj := BuildAdj(edges, 96)
+	coreness := CoreNumbers(adj)
+	for _, k := range []uint32{1, 2, 3, 4, 5, 8} {
+		alive := KCore(adj, k)
+		for v := range alive {
+			if alive[v] != (coreness[v] >= k) {
+				t.Fatalf("k=%d vertex %d: in-core=%v but coreness=%d", k, v, alive[v], coreness[v])
+			}
+		}
+	}
+}

@@ -1,0 +1,85 @@
+package ref
+
+import (
+	"container/heap"
+
+	"havoqgt/internal/graph"
+)
+
+// WeightFunc supplies edge weights for the weighted reference algorithms.
+type WeightFunc func(u, v graph.Vertex) uint64
+
+// UnreachedDist marks vertices not reached by Dijkstra.
+const UnreachedDist = ^uint64(0)
+
+// pqItem is a priority-queue entry for Dijkstra.
+type pqItem struct {
+	v graph.Vertex
+	d uint64
+}
+
+type pq []pqItem
+
+func (q pq) Len() int           { return len(q) }
+func (q pq) Less(i, j int) bool { return q[i].d < q[j].d }
+func (q pq) Swap(i, j int)      { q[i], q[j] = q[j], q[i] }
+func (q *pq) Push(x any)        { *q = append(*q, x.(pqItem)) }
+func (q *pq) Pop() any          { old := *q; n := len(old); it := old[n-1]; *q = old[:n-1]; return it }
+
+// Dijkstra returns shortest-path distances and parents from source under w.
+func Dijkstra(adj Adj, source graph.Vertex, w WeightFunc) (dist []uint64, parents []graph.Vertex) {
+	dist = make([]uint64, len(adj))
+	parents = make([]graph.Vertex, len(adj))
+	for i := range dist {
+		dist[i] = UnreachedDist
+		parents[i] = graph.Nil
+	}
+	dist[source] = 0
+	parents[source] = source
+	q := &pq{{v: source, d: 0}}
+	for q.Len() > 0 {
+		it := heap.Pop(q).(pqItem)
+		if it.d != dist[it.v] {
+			continue // stale entry
+		}
+		for _, t := range adj[it.v] {
+			nd := it.d + w(it.v, t)
+			if nd < dist[t] {
+				dist[t] = nd
+				parents[t] = it.v
+				heap.Push(q, pqItem{v: t, d: nd})
+			}
+		}
+	}
+	return dist, parents
+}
+
+// Components returns the per-vertex component label (smallest vertex id in
+// the component) and the number of components.
+func Components(adj Adj) ([]graph.Vertex, uint64) {
+	labels := make([]graph.Vertex, len(adj))
+	for i := range labels {
+		labels[i] = graph.Nil
+	}
+	var count uint64
+	for v := range adj {
+		if labels[v] != graph.Nil {
+			continue
+		}
+		count++
+		root := graph.Vertex(v)
+		labels[v] = root
+		queue := []graph.Vertex{root}
+		for len(queue) > 0 {
+			u := queue[0]
+			queue = queue[1:]
+			for _, t := range adj[u] {
+				if labels[t] == graph.Nil {
+					labels[t] = root
+					queue = append(queue, t)
+				}
+			}
+		}
+	}
+	return labels, count
+}

@@ -1,0 +1,165 @@
+// Package rt simulates a distributed-memory machine: p ranks, each a
+// goroutine with strictly private state, connected only by a byte-level
+// message transport. It stands in for MPI in the paper's environment
+// (non-blocking point-to-point communication, collectives built from
+// point-to-point messages) so the visitor-queue framework above it is
+// structured exactly as a distributed program.
+//
+// Discipline: rank code must never share mutable state with other ranks
+// except through Send/Recv. The experiment harness enforces per-rank result
+// slots for anything it needs back.
+//
+// The transport is asynchronous and unbounded: Send never blocks, Recv never
+// blocks (it returns what has arrived). Per sender→receiver pair, message
+// order is preserved (FIFO), matching MPI's non-overtaking guarantee, which
+// the visitor queue's replica-forwarding chain relies on.
+package rt
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+)
+
+// Message kinds multiplexed over the transport. Each subsystem owns a kind so
+// its traffic can be drained independently (no head-of-line blocking between,
+// say, visitor delivery and termination-detection control waves).
+const (
+	KindMailbox uint8 = iota // routed visitor traffic (internal/mailbox)
+	KindControl              // termination detection (internal/termination)
+	KindColl                 // collectives (this package)
+	numKinds
+)
+
+// Msg is one transported message.
+type Msg struct {
+	From    int
+	To      int
+	Kind    uint8
+	Tag     uint32 // collective sequence / subsystem-defined tag
+	Payload []byte
+}
+
+// inbox is a rank's receive queue. Padded to a cache line multiple to avoid
+// false sharing between adjacent ranks' inboxes.
+type inbox struct {
+	mu sync.Mutex
+	q  []Msg
+	_  [64 - 8]byte //nolint:unused // padding
+}
+
+// Stats aggregates transport counters across all ranks.
+type Stats struct {
+	MsgsSent  uint64
+	BytesSent uint64
+	// Per kind.
+	MsgsByKind  [numKinds]uint64
+	BytesByKind [numKinds]uint64
+}
+
+// Machine is a simulated distributed machine with a fixed number of ranks.
+type Machine struct {
+	p       int
+	inboxes []inbox
+
+	msgsSent  []atomic.Uint64 // per source rank, padded by slice stride
+	bytesSent []atomic.Uint64
+	kindMsgs  [numKinds]atomic.Uint64
+	kindBytes [numKinds]atomic.Uint64
+}
+
+// NewMachine returns a machine with p ranks. p must be >= 1.
+func NewMachine(p int) *Machine {
+	if p < 1 {
+		panic("rt: machine needs at least one rank")
+	}
+	return &Machine{
+		p:         p,
+		inboxes:   make([]inbox, p),
+		msgsSent:  make([]atomic.Uint64, p),
+		bytesSent: make([]atomic.Uint64, p),
+	}
+}
+
+// Size returns the number of ranks.
+func (m *Machine) Size() int { return m.p }
+
+// Run executes fn concurrently on every rank and waits for all ranks to
+// return. A panic on any rank is re-raised on the caller with the rank
+// identified. Run may be called again for subsequent phases; inboxes persist
+// across calls (they should be empty between well-formed phases).
+func (m *Machine) Run(fn func(*Rank)) {
+	var wg sync.WaitGroup
+	panics := make([]any, m.p)
+	for r := 0; r < m.p; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			defer func() {
+				if p := recover(); p != nil {
+					panics[r] = p
+				}
+			}()
+			fn(&Rank{m: m, rank: r})
+		}(r)
+	}
+	wg.Wait()
+	for r, p := range panics {
+		if p != nil {
+			panic(fmt.Sprintf("rt: rank %d panicked: %v", r, p))
+		}
+	}
+}
+
+// send delivers a message to the destination inbox. Never blocks.
+func (m *Machine) send(msg Msg) {
+	if msg.To < 0 || msg.To >= m.p {
+		panic(fmt.Sprintf("rt: send to invalid rank %d (size %d)", msg.To, m.p))
+	}
+	ib := &m.inboxes[msg.To]
+	ib.mu.Lock()
+	ib.q = append(ib.q, msg)
+	ib.mu.Unlock()
+	m.msgsSent[msg.From].Add(1)
+	m.bytesSent[msg.From].Add(uint64(len(msg.Payload)))
+	m.kindMsgs[msg.Kind].Add(1)
+	m.kindBytes[msg.Kind].Add(uint64(len(msg.Payload)))
+}
+
+// drain removes and returns all queued messages for rank r.
+func (m *Machine) drain(r int, into []Msg) []Msg {
+	ib := &m.inboxes[r]
+	ib.mu.Lock()
+	if len(ib.q) > 0 {
+		into = append(into, ib.q...)
+		ib.q = ib.q[:0]
+	}
+	ib.mu.Unlock()
+	return into
+}
+
+// Stats returns a snapshot of the transport counters.
+func (m *Machine) Stats() Stats {
+	var s Stats
+	for r := 0; r < m.p; r++ {
+		s.MsgsSent += m.msgsSent[r].Load()
+		s.BytesSent += m.bytesSent[r].Load()
+	}
+	for k := 0; k < int(numKinds); k++ {
+		s.MsgsByKind[k] = m.kindMsgs[k].Load()
+		s.BytesByKind[k] = m.kindBytes[k].Load()
+	}
+	return s
+}
+
+// ResetStats zeroes the transport counters (between experiment phases).
+func (m *Machine) ResetStats() {
+	for r := 0; r < m.p; r++ {
+		m.msgsSent[r].Store(0)
+		m.bytesSent[r].Store(0)
+	}
+	for k := 0; k < int(numKinds); k++ {
+		m.kindMsgs[k].Store(0)
+		m.kindBytes[k].Store(0)
+	}
+}

@@ -1,0 +1,90 @@
+package rt
+
+import (
+	"runtime"
+	"time"
+)
+
+// Rank is one simulated process. It is created by Machine.Run and must only
+// be used by the goroutine it was handed to.
+type Rank struct {
+	m    *Machine
+	rank int
+
+	// pending holds received-but-unconsumed messages, separated by kind so
+	// subsystems drain independently.
+	pending [numKinds][]Msg
+	scratch []Msg // reusable drain buffer
+
+	collSeq uint32 // collective sequence number (see collectives.go)
+}
+
+// Rank returns this rank's id in [0, Size()).
+func (r *Rank) Rank() int { return r.rank }
+
+// Size returns the number of ranks in the machine.
+func (r *Rank) Size() int { return r.m.p }
+
+// Machine returns the underlying machine (for stats; rank code must not use
+// it to touch other ranks' state).
+func (r *Rank) Machine() *Machine { return r.m }
+
+// Send posts a message to rank `to`. It never blocks.
+func (r *Rank) Send(to int, kind uint8, tag uint32, payload []byte) {
+	r.m.send(Msg{From: r.rank, To: to, Kind: kind, Tag: tag, Payload: payload})
+}
+
+// Poll drains this rank's transport inbox into the per-kind pending queues.
+func (r *Rank) Poll() {
+	r.scratch = r.m.drain(r.rank, r.scratch[:0])
+	for _, msg := range r.scratch {
+		r.pending[msg.Kind] = append(r.pending[msg.Kind], msg)
+	}
+	r.scratch = r.scratch[:0]
+}
+
+// Recv polls and returns all pending messages of the given kind. The returned
+// slice is owned by the caller; the pending queue is reset.
+func (r *Rank) Recv(kind uint8) []Msg {
+	r.Poll()
+	msgs := r.pending[kind]
+	r.pending[kind] = nil
+	return msgs
+}
+
+// HasPending reports whether messages of the given kind are queued
+// (after polling).
+func (r *Rank) HasPending(kind uint8) bool {
+	r.Poll()
+	return len(r.pending[kind]) > 0
+}
+
+// waitMatch blocks until a message of the given kind arrives satisfying
+// match, removes it from pending, and returns it. Other messages of the kind
+// stay queued in arrival order. Used by collectives, which must tolerate
+// messages from a later collective arriving early.
+func (r *Rank) waitMatch(kind uint8, match func(Msg) bool) Msg {
+	for spin := 0; ; spin++ {
+		r.Poll()
+		q := r.pending[kind]
+		for i, msg := range q {
+			if match(msg) {
+				r.pending[kind] = append(q[:i], q[i+1:]...)
+				return msg
+			}
+		}
+		idleWait(spin)
+	}
+}
+
+// idleWait backs off progressively while a rank spins waiting for messages:
+// yield for a while, then sleep briefly so oversubscribed simulations (more
+// ranks than cores) don't burn the host.
+func idleWait(spin int) {
+	switch {
+	case spin < 64:
+		runtime.Gosched()
+	default:
+		time.Sleep(20 * time.Microsecond)
+	}
+}

@@ -1,0 +1,157 @@
+package smp
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Algo is a multithreaded visitor algorithm: threads own disjoint vertex
+// sets, PreVisit/Visit run on the owner thread with exclusive access to the
+// vertex's state, and Priority orders each thread's local queue (bucketed:
+// small non-negative ints, lower first).
+type Algo[V any] interface {
+	// Owner returns the thread (0..threads-1) owning the visitor's vertex.
+	Owner(v V, threads int) int
+	// PreVisit evaluates and updates the vertex state; true queues the
+	// visitor for Visit. Runs on the owner thread.
+	PreVisit(t int, v V) bool
+	// Visit expands the visitor, emitting new visitors. Runs on the owner
+	// thread; emit may be called any number of times.
+	Visit(t int, v V, emit func(V))
+	// Priority buckets the local queue (0 = highest priority).
+	Priority(v V) int
+}
+
+// genInbox is a mutex-protected visitor queue.
+type genInbox[V any] struct {
+	mu sync.Mutex
+	q  []V
+	_  [40]byte // pad
+}
+
+func (ib *genInbox[V]) put(vs []V) {
+	ib.mu.Lock()
+	ib.q = append(ib.q, vs...)
+	ib.mu.Unlock()
+}
+
+func (ib *genInbox[V]) drain(into []V) []V {
+	ib.mu.Lock()
+	if len(ib.q) > 0 {
+		into = append(into, ib.q...)
+		ib.q = ib.q[:0]
+	}
+	ib.mu.Unlock()
+	return into
+}
+
+// run executes the multithreaded asynchronous traversal to quiescence,
+// seeded with the given visitors, and returns the number of visitors
+// executed. Termination: a shared pending counter incremented before each
+// enqueue and decremented when the visitor is rejected or fully visited —
+// zero proves no visitor is queued or running anywhere.
+func run[V any](threads int, seeds []V, algo Algo[V]) uint64 {
+	if threads <= 0 {
+		threads = runtime.GOMAXPROCS(0)
+	}
+	inboxes := make([]genInbox[V], threads)
+	var pending atomic.Int64
+	var executed atomic.Uint64
+	for _, v := range seeds {
+		pending.Add(1)
+		inboxes[algo.Owner(v, threads)].put([]V{v})
+	}
+	var wg sync.WaitGroup
+	for t := 0; t < threads; t++ {
+		wg.Add(1)
+		go func(t int) {
+			defer wg.Done()
+			genWorker(t, threads, inboxes, &pending, &executed, algo)
+		}(t)
+	}
+	wg.Wait()
+	return executed.Load()
+}
+
+func genWorker[V any](t, threads int, inboxes []genInbox[V], pending *atomic.Int64, executed *atomic.Uint64, algo Algo[V]) {
+	var buckets [][]V
+	minBucket := 0
+	outbox := make([][]V, threads)
+	var drained []V
+
+	enqueueLocal := func(v V) {
+		p := algo.Priority(v)
+		for len(buckets) <= p {
+			buckets = append(buckets, nil)
+		}
+		buckets[p] = append(buckets[p], v)
+		if p < minBucket {
+			minBucket = p
+		}
+	}
+
+	receive := func(v V) {
+		if algo.PreVisit(t, v) {
+			enqueueLocal(v)
+		} else {
+			pending.Add(-1)
+		}
+	}
+
+	emit := func(v V) {
+		owner := algo.Owner(v, threads)
+		pending.Add(1)
+		if owner == t {
+			receive(v)
+			return
+		}
+		outbox[owner] = append(outbox[owner], v)
+		if len(outbox[owner]) >= 128 {
+			inboxes[owner].put(outbox[owner])
+			outbox[owner] = outbox[owner][:0]
+		}
+	}
+
+	idleSpins := 0
+	for {
+		progress := false
+		drained = inboxes[t].drain(drained[:0])
+		for _, v := range drained {
+			progress = true
+			receive(v)
+		}
+		for batch := 0; batch < 256; batch++ {
+			for minBucket < len(buckets) && len(buckets[minBucket]) == 0 {
+				minBucket++
+			}
+			if minBucket >= len(buckets) {
+				break
+			}
+			b := buckets[minBucket]
+			v := b[len(b)-1]
+			buckets[minBucket] = b[:len(b)-1]
+			progress = true
+			executed.Add(1)
+			algo.Visit(t, v, emit)
+			pending.Add(-1)
+		}
+		if progress {
+			idleSpins = 0
+			continue
+		}
+		for o := range outbox {
+			if len(outbox[o]) > 0 {
+				inboxes[o].put(outbox[o])
+				outbox[o] = outbox[o][:0]
+			}
+		}
+		if pending.Load() == 0 {
+			return
+		}
+		idleSpins++
+		if idleSpins > 32 {
+			runtime.Gosched()
+		}
+	}
+}

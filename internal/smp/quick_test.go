@@ -1,0 +1,47 @@
+package smp
+
+import (
+	"testing"
+	"testing/quick"
+
+	"havoqgt/internal/csr"
+	"havoqgt/internal/graph"
+	"havoqgt/internal/ref"
+	"havoqgt/internal/xrand"
+)
+
+// TestQuickBFSThreadCountInvariance: BFS levels are independent of the
+// thread count and of the (arbitrary) visitor interleaving, for any random
+// graph.
+func TestQuickBFSThreadCountInvariance(t *testing.T) {
+	f := func(seed uint64, sizeSel, threadSel uint8) bool {
+		n := uint64(sizeSel)%96 + 4
+		threads := int(threadSel)%6 + 1
+		rng := xrand.New(seed)
+		var pairs []graph.Edge
+		for i := 0; i < int(n)*3; i++ {
+			pairs = append(pairs, graph.Edge{
+				Src: graph.Vertex(rng.Uint64n(n)), Dst: graph.Vertex(rng.Uint64n(n)),
+			})
+		}
+		edges := graph.Undirect(pairs)
+		sorted := append([]graph.Edge(nil), edges...)
+		graph.SortEdges(sorted)
+		m, err := csr.FromSortedEdges(sorted, 0, int(n))
+		if err != nil {
+			return false
+		}
+		src := graph.Vertex(rng.Uint64n(n))
+		res := BFS(m, n, src, threads)
+		want, _ := ref.BFS(ref.BuildAdj(edges, n), src)
+		for v := uint64(0); v < n; v++ {
+			if res.Level[v] != want[v] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,226 @@
+package smp
+
+import (
+	"testing"
+
+	"havoqgt/internal/csr"
+	"havoqgt/internal/extmem"
+	"havoqgt/internal/generators"
+	"havoqgt/internal/graph"
+	"havoqgt/internal/ref"
+	"havoqgt/internal/xrand"
+)
+
+// buildCSR builds a full-graph CSR from an undirected edge list.
+func buildCSR(t *testing.T, edges []graph.Edge, n uint64) *csr.Matrix {
+	t.Helper()
+	sorted := append([]graph.Edge(nil), edges...)
+	graph.SortEdges(sorted)
+	m, err := csr.FromSortedEdges(sorted, 0, int(n))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func checkLevels(t *testing.T, edges []graph.Edge, n uint64, source graph.Vertex, got []uint32) {
+	t.Helper()
+	want, _ := ref.BFS(ref.BuildAdj(edges, n), source)
+	for v := uint64(0); v < n; v++ {
+		if got[v] != want[v] {
+			t.Fatalf("level(%d) = %d, want %d", v, got[v], want[v])
+		}
+	}
+}
+
+func TestBFSMatchesReference(t *testing.T) {
+	rng := xrand.New(7)
+	var pairs []graph.Edge
+	for i := 0; i < 800; i++ {
+		pairs = append(pairs, graph.Edge{
+			Src: graph.Vertex(rng.Uint64n(256)), Dst: graph.Vertex(rng.Uint64n(256)),
+		})
+	}
+	edges := graph.Undirect(pairs)
+	m := buildCSR(t, edges, 256)
+	for _, threads := range []int{1, 2, 4, 8} {
+		res := BFS(m, 256, 9, threads)
+		checkLevels(t, edges, 256, 9, res.Level)
+	}
+}
+
+func TestBFSOnRMAT(t *testing.T) {
+	g := generators.NewGraph500(11, 5)
+	edges := graph.Undirect(g.Generate())
+	n := g.NumVertices()
+	m := buildCSR(t, edges, n)
+	res := BFS(m, n, 1, 4)
+	checkLevels(t, edges, n, 1, res.Level)
+	if res.VisitorsExecuted == 0 {
+		t.Fatal("no visitors executed")
+	}
+}
+
+func TestBFSParentsValid(t *testing.T) {
+	g := generators.NewGraph500(9, 2)
+	edges := graph.Undirect(g.Generate())
+	n := g.NumVertices()
+	adj := ref.BuildAdj(edges, n)
+	m := buildCSR(t, edges, n)
+	res := BFS(m, n, 0, 4)
+	for v := uint64(0); v < n; v++ {
+		switch {
+		case res.Level[v] == Unreached:
+			if res.Parent[v] != graph.Nil {
+				t.Fatalf("unreached %d has parent", v)
+			}
+		case graph.Vertex(v) == 0:
+			if res.Parent[v] != 0 {
+				t.Fatalf("source parent = %d", res.Parent[v])
+			}
+		default:
+			pv := res.Parent[v]
+			if res.Level[pv] != res.Level[v]-1 || !adj.HasEdge(pv, graph.Vertex(v)) {
+				t.Fatalf("bad parent %d for %d", pv, v)
+			}
+		}
+	}
+}
+
+func TestBFSExternalMemoryViews(t *testing.T) {
+	g := generators.NewGraph500(10, 3)
+	edges := graph.Undirect(g.Generate())
+	n := g.NumVertices()
+	m := buildCSR(t, edges, n)
+	store, err := extmem.ExternalizeCSR(m, extmem.NVRAMConfig{
+		Latency: 0, QueueDepth: 16, PageSize: 512, CacheBytes: 1 << 14,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer store.Close()
+	threads := 4
+	views := make([]*csr.Matrix, threads)
+	for i := range views {
+		v, err := m.WithTargets(store.View())
+		if err != nil {
+			t.Fatal(err)
+		}
+		views[i] = v
+	}
+	res := BFSWithViews(views, n, 2)
+	checkLevels(t, edges, n, 2, res.Level)
+	if st := store.Cache().Stats(); st.Hits+st.Misses == 0 {
+		t.Fatal("external BFS never touched the cache")
+	}
+}
+
+func TestBFSDisconnected(t *testing.T) {
+	edges := graph.Undirect([]graph.Edge{{Src: 0, Dst: 1}, {Src: 3, Dst: 4}})
+	m := buildCSR(t, edges, 6)
+	res := BFS(m, 6, 0, 3)
+	if res.Level[3] != Unreached || res.Level[1] != 1 {
+		t.Fatalf("levels = %v", res.Level)
+	}
+}
+
+func TestBFSSingleVertexGraph(t *testing.T) {
+	m := buildCSR(t, nil, 1)
+	res := BFS(m, 1, 0, 2)
+	if res.Level[0] != 0 {
+		t.Fatal("source not at level 0")
+	}
+}
+
+func TestBFSRejectsExternalWithoutViews(t *testing.T) {
+	g := generators.NewGraph500(8, 1)
+	edges := graph.Undirect(g.Generate())
+	m := buildCSR(t, edges, g.NumVertices())
+	if _, err := extmem.ExternalizeCSR(m, extmem.NVRAMConfig{Latency: 0, QueueDepth: 2, PageSize: 512, CacheBytes: 4096}); err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("shared external store accepted without views")
+		}
+	}()
+	BFS(m, g.NumVertices(), 0, 2)
+}
+
+func TestSSSPMatchesDijkstra(t *testing.T) {
+	rng := xrand.New(11)
+	var pairs []graph.Edge
+	for i := 0; i < 600; i++ {
+		pairs = append(pairs, graph.Edge{
+			Src: graph.Vertex(rng.Uint64n(128)), Dst: graph.Vertex(rng.Uint64n(128)),
+		})
+	}
+	edges := graph.Undirect(pairs)
+	m := buildCSR(t, edges, 128)
+	w := func(u, v graph.Vertex) uint64 {
+		if u > v {
+			u, v = v, u
+		}
+		return uint64(u+v)%17 + 1
+	}
+	want, _ := ref.Dijkstra(ref.BuildAdj(edges, 128), 3, w)
+	for _, threads := range []int{1, 3, 8} {
+		res := SSSP(m, 128, 3, threads, w)
+		for v := uint64(0); v < 128; v++ {
+			if res.Dist[v] != want[v] {
+				t.Fatalf("threads=%d dist(%d) = %d, want %d", threads, v, res.Dist[v], want[v])
+			}
+		}
+	}
+}
+
+func TestCCMatchesReference(t *testing.T) {
+	rng := xrand.New(13)
+	var pairs []graph.Edge
+	for i := 0; i < 80; i++ { // sparse: several components
+		pairs = append(pairs, graph.Edge{
+			Src: graph.Vertex(rng.Uint64n(128)), Dst: graph.Vertex(rng.Uint64n(128)),
+		})
+	}
+	edges := graph.Undirect(pairs)
+	m := buildCSR(t, edges, 128)
+	wantLabels, wantCount := ref.Components(ref.BuildAdj(edges, 128))
+	for _, threads := range []int{1, 4} {
+		res := CC(m, 128, threads)
+		if res.NumComponents() != wantCount {
+			t.Fatalf("threads=%d components = %d, want %d", threads, res.NumComponents(), wantCount)
+		}
+		for v := range wantLabels {
+			if res.Label[v] != wantLabels[v] {
+				t.Fatalf("threads=%d label(%d) = %d, want %d", threads, v, res.Label[v], wantLabels[v])
+			}
+		}
+	}
+}
+
+func TestCCExternalViews(t *testing.T) {
+	g := generators.NewGraph500(9, 7)
+	edges := graph.Undirect(g.Generate())
+	n := g.NumVertices()
+	m := buildCSR(t, edges, n)
+	store, err := extmem.ExternalizeCSR(m, extmem.NVRAMConfig{
+		Latency: 0, QueueDepth: 8, PageSize: 256, CacheBytes: 1 << 13,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer store.Close()
+	views := make([]*csr.Matrix, 3)
+	for i := range views {
+		v, err := m.WithTargets(store.View())
+		if err != nil {
+			t.Fatal(err)
+		}
+		views[i] = v
+	}
+	res := CCWithViews(views, n)
+	_, wantCount := ref.Components(ref.BuildAdj(edges, n))
+	if res.NumComponents() != wantCount {
+		t.Fatalf("components = %d, want %d", res.NumComponents(), wantCount)
+	}
+}

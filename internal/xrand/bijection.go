@@ -1,0 +1,87 @@
+package xrand
+
+// Bijection is a keyed pseudorandom permutation of [0, n). It is evaluated
+// pointwise in O(1) with no stored permutation table, so every simulated rank
+// can apply the same global vertex-label permutation independently — the
+// "uniformly permuted to destroy any locality artifacts" step the paper
+// applies after graph generation.
+//
+// Construction: a balanced Feistel network over the smallest even bit-width
+// covering n, with the splitmix64 finalizer as the round function, and
+// cycle-walking to restrict the domain to [0, n).
+type Bijection struct {
+	n        uint64
+	halfBits uint
+	halfMask uint64
+	keys     [4]uint64
+}
+
+// NewBijection returns a permutation of [0, n) keyed by seed. n must be > 0.
+func NewBijection(n uint64, seed uint64) *Bijection {
+	if n == 0 {
+		panic("xrand: NewBijection with n == 0")
+	}
+	bits := uint(1)
+	for uint64(1)<<bits < n {
+		bits++
+	}
+	if bits%2 != 0 {
+		bits++
+	}
+	b := &Bijection{n: n, halfBits: bits / 2, halfMask: (uint64(1) << (bits / 2)) - 1}
+	sm := NewSplitMix64(seed)
+	for i := range b.keys {
+		b.keys[i] = sm.Next()
+	}
+	return b
+}
+
+// N returns the size of the permuted domain.
+func (b *Bijection) N() uint64 { return b.n }
+
+func (b *Bijection) encryptOnce(x uint64) uint64 {
+	l := (x >> b.halfBits) & b.halfMask
+	r := x & b.halfMask
+	for _, k := range b.keys {
+		l, r = r, l^(Mix64(r^k)&b.halfMask)
+	}
+	return l<<b.halfBits | r
+}
+
+func (b *Bijection) decryptOnce(x uint64) uint64 {
+	l := (x >> b.halfBits) & b.halfMask
+	r := x & b.halfMask
+	for i := len(b.keys) - 1; i >= 0; i-- {
+		k := b.keys[i]
+		l, r = r^(Mix64(l^k)&b.halfMask), l
+	}
+	return l<<b.halfBits | r
+}
+
+// Apply maps x in [0, n) to its permuted value in [0, n).
+func (b *Bijection) Apply(x uint64) uint64 {
+	if x >= b.n {
+		panic("xrand: Bijection.Apply input out of range")
+	}
+	// Cycle-walk: the Feistel network permutes [0, 2^bits); iterate until the
+	// image lands back inside [0, n). Terminates because the network is a
+	// bijection of the power-of-two domain, so walking follows a cycle that
+	// must re-enter [0, n) (x itself is in [0, n)).
+	y := b.encryptOnce(x)
+	for y >= b.n {
+		y = b.encryptOnce(y)
+	}
+	return y
+}
+
+// Invert maps a permuted value back to its preimage.
+func (b *Bijection) Invert(y uint64) uint64 {
+	if y >= b.n {
+		panic("xrand: Bijection.Invert input out of range")
+	}
+	x := b.decryptOnce(y)
+	for x >= b.n {
+		x = b.decryptOnce(x)
+	}
+	return x
+}

@@ -1,0 +1,130 @@
+// Package xrand provides the deterministic random-number machinery used by
+// the graph generators and the experiment harness:
+//
+//   - SplitMix64: a tiny stateless-seedable generator, used to expand one
+//     64-bit seed into independent stream seeds.
+//   - Xoshiro256**: the main generator, one independent instance per
+//     simulated rank so graph generation is reproducible at any rank count.
+//   - Bijection: a keyed Feistel permutation of [0, n) used to uniformly
+//     permute vertex labels after generation without materializing the
+//     permutation (every rank can evaluate it independently, which is how a
+//     distributed generator destroys generator locality artifacts).
+//
+// Everything here is deterministic given the seed; no global state.
+package xrand
+
+import "math/bits"
+
+// SplitMix64 is the 64-bit splitmix generator of Steele, Lea, and Flood. Its
+// zero value is a valid generator seeded with 0.
+type SplitMix64 struct{ state uint64 }
+
+// NewSplitMix64 returns a SplitMix64 seeded with seed.
+func NewSplitMix64(seed uint64) *SplitMix64 { return &SplitMix64{state: seed} }
+
+// Next returns the next value in the sequence.
+func (s *SplitMix64) Next() uint64 {
+	s.state += 0x9e3779b97f4a7c15
+	z := s.state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// Mix64 applies the splitmix64 finalizer to x. It is a high-quality 64-bit
+// mixing function (bijective), used as the Feistel round function and for
+// hashing seeds.
+func Mix64(x uint64) uint64 {
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// Rand is an xoshiro256** generator. Create with New; the zero value is not
+// usable (xoshiro must not have an all-zero state).
+type Rand struct{ s [4]uint64 }
+
+// New returns a generator seeded from seed via splitmix64, per the xoshiro
+// authors' recommendation.
+func New(seed uint64) *Rand {
+	r := Seeded(seed)
+	return &r
+}
+
+// Seeded returns a generator by value. Hot loops that create one generator
+// per item (the chunk-parallel graph generators) use this to keep the state
+// on the stack instead of allocating.
+func Seeded(seed uint64) Rand {
+	var r Rand
+	sm := NewSplitMix64(seed)
+	for i := range r.s {
+		r.s[i] = sm.Next()
+	}
+	// An all-zero state is invalid; splitmix of any seed never yields four
+	// zeros in a row, but be defensive anyway.
+	if r.s[0]|r.s[1]|r.s[2]|r.s[3] == 0 {
+		r.s[0] = 0x9e3779b97f4a7c15
+	}
+	return r
+}
+
+// NewStream returns a generator for stream index i derived from seed. Streams
+// with distinct (seed, i) are statistically independent; this is how each
+// simulated rank gets its own generator.
+func NewStream(seed uint64, i int) *Rand {
+	return New(Mix64(seed) ^ Mix64(uint64(i)*0x9e3779b97f4a7c15+1))
+}
+
+// Uint64 returns the next 64 random bits.
+func (r *Rand) Uint64() uint64 {
+	s := &r.s
+	result := bits.RotateLeft64(s[1]*5, 7) * 9
+	t := s[1] << 17
+	s[2] ^= s[0]
+	s[3] ^= s[1]
+	s[1] ^= s[2]
+	s[0] ^= s[3]
+	s[2] ^= t
+	s[3] = bits.RotateLeft64(s[3], 45)
+	return result
+}
+
+// Uint64n returns a uniform value in [0, n). n must be > 0.
+// Uses Lemire's multiply-shift rejection method.
+func (r *Rand) Uint64n(n uint64) uint64 {
+	if n == 0 {
+		panic("xrand: Uint64n with n == 0")
+	}
+	hi, lo := bits.Mul64(r.Uint64(), n)
+	if lo < n {
+		thresh := -n % n
+		for lo < thresh {
+			hi, lo = bits.Mul64(r.Uint64(), n)
+		}
+	}
+	return hi
+}
+
+// Intn returns a uniform int in [0, n). n must be > 0.
+func (r *Rand) Intn(n int) int {
+	if n <= 0 {
+		panic("xrand: Intn with n <= 0")
+	}
+	return int(r.Uint64n(uint64(n)))
+}
+
+// Float64 returns a uniform float64 in [0, 1).
+func (r *Rand) Float64() float64 {
+	return float64(r.Uint64()>>11) / (1 << 53)
+}
+
+// Bool returns true with probability p.
+func (r *Rand) Bool(p float64) bool { return r.Float64() < p }
+
+// Shuffle permutes the first n elements using swap, Fisher–Yates style.
+func (r *Rand) Shuffle(n int, swap func(i, j int)) {
+	for i := n - 1; i > 0; i-- {
+		j := r.Intn(i + 1)
+		swap(i, j)
+	}
+}

@@ -1,0 +1,200 @@
+package xrand
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestSplitMix64Deterministic(t *testing.T) {
+	a, b := NewSplitMix64(42), NewSplitMix64(42)
+	for i := 0; i < 100; i++ {
+		if a.Next() != b.Next() {
+			t.Fatalf("splitmix streams with equal seeds diverged at step %d", i)
+		}
+	}
+}
+
+func TestSplitMix64SeedsDiffer(t *testing.T) {
+	a, b := NewSplitMix64(1), NewSplitMix64(2)
+	same := 0
+	for i := 0; i < 64; i++ {
+		if a.Next() == b.Next() {
+			same++
+		}
+	}
+	if same > 0 {
+		t.Fatalf("different seeds produced %d identical outputs", same)
+	}
+}
+
+func TestRandDeterministic(t *testing.T) {
+	a, b := New(7), New(7)
+	for i := 0; i < 100; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatalf("xoshiro streams with equal seeds diverged at step %d", i)
+		}
+	}
+}
+
+func TestNewStreamIndependence(t *testing.T) {
+	a, b := NewStream(9, 0), NewStream(9, 1)
+	same := 0
+	for i := 0; i < 256; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Fatalf("streams 0 and 1 collided %d/256 times", same)
+	}
+}
+
+func TestUint64nRange(t *testing.T) {
+	r := New(3)
+	for _, n := range []uint64{1, 2, 3, 7, 100, 1 << 40} {
+		for i := 0; i < 200; i++ {
+			if v := r.Uint64n(n); v >= n {
+				t.Fatalf("Uint64n(%d) returned %d", n, v)
+			}
+		}
+	}
+}
+
+func TestUint64nUniformity(t *testing.T) {
+	r := New(11)
+	const n, draws = 10, 100000
+	counts := make([]int, n)
+	for i := 0; i < draws; i++ {
+		counts[r.Uint64n(n)]++
+	}
+	want := float64(draws) / n
+	for b, c := range counts {
+		if math.Abs(float64(c)-want) > 5*math.Sqrt(want) {
+			t.Errorf("bucket %d has %d draws, want ~%.0f", b, c, want)
+		}
+	}
+}
+
+func TestUint64nPanicsOnZero(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Uint64n(0) did not panic")
+		}
+	}()
+	New(1).Uint64n(0)
+}
+
+func TestFloat64Range(t *testing.T) {
+	r := New(5)
+	for i := 0; i < 10000; i++ {
+		f := r.Float64()
+		if f < 0 || f >= 1 {
+			t.Fatalf("Float64 returned %v", f)
+		}
+	}
+}
+
+func TestFloat64Mean(t *testing.T) {
+	r := New(6)
+	var sum float64
+	const draws = 100000
+	for i := 0; i < draws; i++ {
+		sum += r.Float64()
+	}
+	if mean := sum / draws; math.Abs(mean-0.5) > 0.01 {
+		t.Fatalf("Float64 mean %v, want ~0.5", mean)
+	}
+}
+
+func TestShuffleIsPermutation(t *testing.T) {
+	r := New(8)
+	xs := make([]int, 50)
+	for i := range xs {
+		xs[i] = i
+	}
+	r.Shuffle(len(xs), func(i, j int) { xs[i], xs[j] = xs[j], xs[i] })
+	seen := make([]bool, len(xs))
+	for _, x := range xs {
+		if seen[x] {
+			t.Fatalf("value %d duplicated after shuffle", x)
+		}
+		seen[x] = true
+	}
+}
+
+func TestMix64Bijective(t *testing.T) {
+	// Spot check: distinct inputs give distinct outputs.
+	seen := make(map[uint64]uint64)
+	for i := uint64(0); i < 10000; i++ {
+		h := Mix64(i)
+		if prev, ok := seen[h]; ok {
+			t.Fatalf("Mix64 collision: %d and %d", prev, i)
+		}
+		seen[h] = i
+	}
+}
+
+func TestBijectionRoundTrip(t *testing.T) {
+	for _, n := range []uint64{1, 2, 3, 16, 100, 1023, 1024, 1 << 16} {
+		b := NewBijection(n, 99)
+		for x := uint64(0); x < min(n, 2048); x++ {
+			y := b.Apply(x)
+			if y >= n {
+				t.Fatalf("n=%d: Apply(%d)=%d out of range", n, x, y)
+			}
+			if got := b.Invert(y); got != x {
+				t.Fatalf("n=%d: Invert(Apply(%d)) = %d", n, x, got)
+			}
+		}
+	}
+}
+
+func TestBijectionIsPermutation(t *testing.T) {
+	const n = 4096
+	b := NewBijection(n, 7)
+	seen := make([]bool, n)
+	for x := uint64(0); x < n; x++ {
+		y := b.Apply(x)
+		if seen[y] {
+			t.Fatalf("Apply(%d) collides", x)
+		}
+		seen[y] = true
+	}
+}
+
+func TestBijectionQuickPermutationProperty(t *testing.T) {
+	// Property: for any (seed, size), Apply stays in range and is injective
+	// on a sample.
+	f := func(seed uint64, sizeSel uint16) bool {
+		n := uint64(sizeSel)%5000 + 1
+		b := NewBijection(n, seed)
+		seen := make(map[uint64]bool)
+		for x := uint64(0); x < min(n, 256); x++ {
+			y := b.Apply(x)
+			if y >= n || seen[y] {
+				return false
+			}
+			seen[y] = true
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBijectionScrambles(t *testing.T) {
+	// The permutation should not be close to identity.
+	const n = 1 << 12
+	b := NewBijection(n, 123)
+	fixed := 0
+	for x := uint64(0); x < n; x++ {
+		if b.Apply(x) == x {
+			fixed++
+		}
+	}
+	if fixed > 10 {
+		t.Fatalf("%d fixed points out of %d", fixed, n)
+	}
+}
