@@ -1,0 +1,44 @@
+# CI and humans run the same commands: .github/workflows/ci.yml calls these
+# targets verbatim.
+
+GO ?= go
+
+.PHONY: all build test race lint vet fmt fmt-check bench experiments clean
+
+all: build test
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# Short-mode run under the race detector; slow simulation tests are gated
+# behind testing.Short() so this finishes in minutes.
+race:
+	$(GO) test -race -short ./...
+
+vet:
+	$(GO) vet ./...
+
+fmt:
+	gofmt -w .
+
+fmt-check:
+	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; \
+	fi
+
+lint: vet fmt-check
+
+bench:
+	$(GO) test -bench=. -benchtime=1x -run=^$$ .
+
+# Regenerate every figure/table at laptop scale; per-phase obs communication
+# profiles land in obs_profiles.json (see -obs-json/-obs-csv flags).
+experiments:
+	$(GO) run ./cmd/experiments all
+
+clean:
+	rm -f obs_profiles.json obs_profiles.csv
+	$(GO) clean ./...

@@ -8,11 +8,20 @@
 //	experiments fig1 fig2 ... table2
 //	experiments all
 //	experiments -maxp 16 -verts-log2 13 -sources 8 fig5
+//	experiments -obs-json profiles.json -obs-csv profiles.csv ablation-topology
+//
+// Every timed phase (each BFS source, each k-core k, each triangle count)
+// records a communication profile — msgs/bytes/hops per rank and per kind,
+// mailbox aggregation, termination waves — sourced from internal/obs.
+// -obs-json/-obs-csv control where the profiles land (empty disables).
+// Set HAVOQ_TRACE=1 (stderr) or HAVOQ_TRACE=<file> to stream per-phase span
+// events as JSON lines while experiments run.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"time"
 
@@ -58,6 +67,8 @@ func main() {
 	hubScale := flag.Uint("hub-scale", def.HubScaleMax, "largest RMAT scale in the hub census (fig1)")
 	sources := flag.Int("sources", def.Sources, "BFS roots per measurement")
 	seed := flag.Uint64("seed", def.Seed, "experiment seed")
+	obsJSON := flag.String("obs-json", "obs_profiles.json", "write per-phase obs communication profiles as JSON (empty to disable)")
+	obsCSV := flag.String("obs-csv", "", "write per-phase obs communication profiles as CSV (empty to disable)")
 	flag.Parse()
 
 	s := harness.Sizing{
@@ -95,4 +106,25 @@ func main() {
 		tab.Notes = append(tab.Notes, fmt.Sprintf("experiment wall time: %v", time.Since(start).Round(time.Millisecond)))
 		tab.Fprint(os.Stdout)
 	}
+	writeProfiles(*obsJSON, harness.WriteProfilesJSON)
+	writeProfiles(*obsCSV, harness.WriteProfilesCSV)
+}
+
+// writeProfiles dumps the per-phase obs communication profiles with the
+// given encoder, skipping silently when the path is empty or no phase ran.
+func writeProfiles(path string, write func(io.Writer) error) {
+	if path == "" || len(harness.Profiles()) == 0 {
+		return
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "experiments: obs profiles: %v\n", err)
+		os.Exit(1)
+	}
+	defer f.Close()
+	if err := write(f); err != nil {
+		fmt.Fprintf(os.Stderr, "experiments: obs profiles: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Printf("wrote %d per-phase obs profiles to %s\n", len(harness.Profiles()), path)
 }

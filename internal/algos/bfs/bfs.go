@@ -137,6 +137,8 @@ type Result struct {
 // Run executes a BFS from source, collectively across all ranks. cfg.Ghosts,
 // if set, enables hub filtering (the algorithm declares ghost usage).
 func Run(r *rt.Rank, part *partition.Part, source graph.Vertex, cfg core.Config) *Result {
+	sp := r.Obs().StartPhase("bfs.run", r.Rank())
+	defer sp.End()
 	b := New(part)
 	if cfg.Ghosts != nil {
 		b.AttachGhosts(cfg.Ghosts)

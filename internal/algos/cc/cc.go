@@ -121,6 +121,8 @@ type Result struct {
 // component. After Run, Label[i] is the smallest vertex id in the component
 // of vertex i.
 func Run(r *rt.Rank, part *partition.Part, cfg core.Config) *Result {
+	sp := r.Obs().StartPhase("cc.run", r.Rank())
+	defer sp.End()
 	c := New(part)
 	if cfg.Ghosts != nil {
 		c.AttachGhosts(cfg.Ghosts)

@@ -17,6 +17,8 @@ import (
 // row (rows outside the master range are left at their replica values and
 // should be read on their master). Collective.
 func Decompose(r *rt.Rank, part *partition.Part, maxK uint32, cfg core.Config) []uint32 {
+	sp := r.Obs().StartPhase("kcore.decompose", r.Rank())
+	defer sp.End()
 	coreNum := make([]uint32, part.StateLen)
 	lo, hi := part.Owners.MasterRange(part.Rank)
 	for k := uint32(1); k <= maxK; k++ {

@@ -121,6 +121,8 @@ func Run(r *rt.Rank, part *partition.Part, k uint32, cfg core.Config) *Result {
 	if k < 1 {
 		panic("kcore: k must be >= 1")
 	}
+	sp := r.Obs().StartPhase("kcore.run", r.Rank())
+	defer sp.End()
 	a := New(part, k)
 	q := core.NewQueue[Visitor](r, part, a, cfg)
 	lo, hi := part.Owners.MasterRange(part.Rank)

@@ -153,6 +153,8 @@ type Result struct {
 
 // Run executes SSSP from source collectively across all ranks.
 func Run(r *rt.Rank, part *partition.Part, source graph.Vertex, weightSeed uint64, cfg core.Config) *Result {
+	sp := r.Obs().StartPhase("sssp.run", r.Rank())
+	defer sp.End()
 	s := New(part, weightSeed)
 	if cfg.Ghosts != nil {
 		s.AttachGhosts(cfg.Ghosts)

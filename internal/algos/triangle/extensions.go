@@ -74,6 +74,8 @@ func (t *optTriangle) Visit(v Visitor, q *core.Queue[Visitor]) {
 // RunOpts counts triangles with the given extensions. The estimate (for
 // sampled runs) and raw sampled count are both returned in the Result.
 func RunOpts(r *rt.Rank, part *partition.Part, cfg core.Config, opts Options) *Result {
+	sp := r.Obs().StartPhase("triangle.run_opts", r.Rank())
+	defer sp.End()
 	base := New(part)
 	algo := &optTriangle{Triangle: base, opts: opts}
 	q := core.NewQueue[Visitor](r, part, algo, cfg)

@@ -108,6 +108,8 @@ type Result struct {
 // (Algorithm 7). The input graph must be simple (no self loops or duplicate
 // edges) and stored undirected (both directions present).
 func Run(r *rt.Rank, part *partition.Part, cfg core.Config) *Result {
+	sp := r.Obs().StartPhase("triangle.run", r.Rank())
+	defer sp.End()
 	t := New(part)
 	q := core.NewQueue[Visitor](r, part, t, cfg)
 	lo, hi := part.Owners.MasterRange(part.Rank)

@@ -6,6 +6,7 @@ import (
 
 	"havoqgt/internal/graph"
 	"havoqgt/internal/mailbox"
+	"havoqgt/internal/obs"
 	"havoqgt/internal/partition"
 	"havoqgt/internal/rt"
 	"havoqgt/internal/termination"
@@ -61,6 +62,35 @@ type Queue[V Visitor] struct {
 	encBuf        []byte
 
 	stats Stats
+	met   queueMetrics
+}
+
+// queueMetrics bundles the rank's obs handles for the visitor-queue hot
+// paths. Counters accumulate machine-wide (reset via obs.Registry.Reset);
+// the Stats struct stays per-Queue for per-traversal reads.
+type queueMetrics struct {
+	rank          int
+	pushed        *obs.PerRank
+	ghostFiltered *obs.PerRank
+	received      *obs.PerRank
+	queued        *obs.PerRank
+	executed      *obs.PerRank
+	forwarded     *obs.PerRank
+	queueDepth    *obs.Histogram
+}
+
+func newQueueMetrics(r *rt.Rank) queueMetrics {
+	reg, p := r.Obs(), r.Size()
+	return queueMetrics{
+		rank:          r.Rank(),
+		pushed:        reg.PerRank(obs.CorePushed, p),
+		ghostFiltered: reg.PerRank(obs.CoreGhostFiltered, p),
+		received:      reg.PerRank(obs.CoreReceived, p),
+		queued:        reg.PerRank(obs.CoreQueued, p),
+		executed:      reg.PerRank(obs.CoreExecuted, p),
+		forwarded:     reg.PerRank(obs.CoreForwarded, p),
+		queueDepth:    reg.Histogram(obs.CoreQueueDepth),
+	}
 }
 
 // NewQueue builds the rank's queue over the partitioned graph. Must be
@@ -83,6 +113,7 @@ func NewQueue[V Visitor](r *rt.Rank, part *partition.Part, algo Algorithm[V], cf
 		mb:            mailbox.New(r, topo, det, opts...),
 		det:           det,
 		localityOrder: !cfg.DisableLocalityOrder,
+		met:           newQueueMetrics(r),
 	}
 	if cfg.Ghosts != nil && cfg.Ghosts.Len() > 0 {
 		if ga, ok := algo.(GhostAlgorithm[V]); ok {
@@ -120,11 +151,13 @@ func (q *Queue[V]) OutEdges(v graph.Vertex) []graph.Vertex {
 // through the routed mailbox.
 func (q *Queue[V]) Push(v V) {
 	q.stats.Pushed++
+	q.met.pushed.Inc(q.met.rank)
 	dest := q.part.Master(v.Vertex())
 	if q.ghostAlgo != nil && dest != q.part.Rank {
 		if gi, ok := q.ghosts.Lookup(v.Vertex()); ok {
 			if !q.ghostAlgo.PreVisitGhost(v, gi) {
 				q.stats.GhostFiltered++
+				q.met.ghostFiltered.Inc(q.met.rank)
 				return
 			}
 		}
@@ -140,13 +173,16 @@ func (q *Queue[V]) Push(v V) {
 func (q *Queue[V]) receive(rec mailbox.Record) {
 	v := q.algo.Decode(rec.Payload)
 	q.stats.Received++
+	q.met.received.Inc(q.met.rank)
 	if !q.algo.PreVisit(v) {
 		return
 	}
 	q.stats.Queued++
+	q.met.queued.Inc(q.met.rank)
 	q.heapPush(v)
 	if next, ok := q.part.ShouldForward(v.Vertex()); ok {
 		q.stats.Forwarded++
+		q.met.forwarded.Inc(q.met.rank)
 		q.encBuf = q.algo.Encode(v, q.encBuf[:0])
 		q.mb.Send(next, q.encBuf)
 	}
@@ -165,9 +201,14 @@ func (q *Queue[V]) Run() {
 			q.receive(rec)
 			progress = true
 		}
+		if len(q.heap) > 0 {
+			// Sample local queue depth once per visit batch.
+			q.met.queueDepth.Observe(uint64(len(q.heap)))
+		}
 		for i := 0; i < visitBatch && len(q.heap) > 0; i++ {
 			v := q.heapPop()
 			q.stats.Executed++
+			q.met.executed.Inc(q.met.rank)
 			q.algo.Visit(v, q)
 			progress = true
 		}

@@ -37,10 +37,21 @@ func Extensions(s Sizing) *Table {
 		}
 		src := pickSourcesDistributed(r, env, s.Seed)
 		r.Barrier()
+		if r.Rank() == 0 {
+			m.ResetStats()
+		}
+		r.Barrier()
 		start := time.Now()
 		res := sssp.Run(r, env.part, src, s.Seed, (CommonOpts{P: p, Topology: "2d"}).coreConfig(env, 256))
 		r.Barrier()
 		elapsed := time.Since(start)
+		if r.Rank() == 0 {
+			RecordProfile(PhaseProfile{
+				Graph: spec.Name, Algo: "sssp", Phase: "sssp.run",
+				Topology: "2d", P: p,
+				WallNS: elapsed.Nanoseconds(), Metrics: m.Obs().Snapshot(),
+			})
+		}
 		lo, hi := env.part.Owners.MasterRange(env.part.Rank)
 		var localMax uint64
 		for v := lo; v < hi; v++ {
@@ -66,10 +77,21 @@ func Extensions(s Sizing) *Table {
 			panic(err)
 		}
 		r.Barrier()
+		if r.Rank() == 0 {
+			m.ResetStats()
+		}
+		r.Barrier()
 		start := time.Now()
 		res := cc.Run(r, env.part, (CommonOpts{P: p, Topology: "2d"}).coreConfig(env, 256))
 		r.Barrier()
 		elapsed := time.Since(start)
+		if r.Rank() == 0 {
+			RecordProfile(PhaseProfile{
+				Graph: spec.Name, Algo: "cc", Phase: "cc.run",
+				Topology: "2d", P: p,
+				WallNS: elapsed.Nanoseconds(), Metrics: m.Obs().Snapshot(),
+			})
+		}
 		n := cc.NumComponents(r, res)
 		if r.Rank() == 0 {
 			ccTime, comps = elapsed, n

@@ -92,12 +92,15 @@ type CommonOpts struct {
 	Seed                 uint64
 }
 
-func (o CommonOpts) topology(p int) (mailbox.Topology, error) {
-	name := o.Topology
-	if name == "" {
-		name = "1d"
+func (o CommonOpts) topologyName() string {
+	if o.Topology == "" {
+		return "1d"
 	}
-	return mailbox.ByName(name, p)
+	return o.Topology
+}
+
+func (o CommonOpts) topology(p int) (mailbox.Topology, error) {
+	return mailbox.ByName(o.topologyName(), p)
 }
 
 func (o CommonOpts) build(r *rt.Rank, local []graph.Edge, n uint64) (*partition.Part, error) {
@@ -278,16 +281,31 @@ func RunBFS(o BFSOpts) (BFSResult, error) {
 		var traversed uint64
 		var total time.Duration
 		var maxLevel uint32
-		for _, src := range sources {
+		for si, src := range sources {
 			if env.store != nil {
 				env.store.Cache().ResetStats()
 			}
 			cfg := o.coreConfig(env, o.Ghosts)
 			r.Barrier()
+			if r.Rank() == 0 {
+				// One reset path for every subsystem's counters: the phase
+				// starts from a coherent zero across rt/mailbox/termination.
+				m.ResetStats()
+			}
+			r.Barrier()
 			start := time.Now()
 			out := bfs.Run(r, env.part, src, cfg)
 			r.Barrier()
 			elapsed := time.Since(start)
+			if r.Rank() == 0 {
+				RecordProfile(PhaseProfile{
+					Graph: o.Graph.Name, Algo: "bfs",
+					Phase:    fmt.Sprintf("bfs.src%d", si),
+					Topology: o.topologyName(), P: o.P,
+					WallNS:  elapsed.Nanoseconds(),
+					Metrics: m.Obs().Snapshot(),
+				})
+			}
 			if o.Validate {
 				if err := ValidateBFS(r, env.part, out.BFS, src); err != nil {
 					panic(fmt.Sprintf("BFS validation failed: %v", err))
@@ -363,10 +381,23 @@ func RunKCore(o KCoreOpts) ([]KCoreResult, error) {
 		for i, k := range o.Ks {
 			cfg := o.coreConfig(env, 0) // k-core cannot use ghosts
 			r.Barrier()
+			if r.Rank() == 0 {
+				m.ResetStats()
+			}
+			r.Barrier()
 			start := time.Now()
 			out := kcore.Run(r, env.part, k, cfg)
 			r.Barrier()
 			elapsed := time.Since(start)
+			if r.Rank() == 0 {
+				RecordProfile(PhaseProfile{
+					Graph: o.Graph.Name, Algo: "kcore",
+					Phase:    fmt.Sprintf("kcore.k%d", k),
+					Topology: o.topologyName(), P: o.P,
+					WallNS:  elapsed.Nanoseconds(),
+					Metrics: m.Obs().Snapshot(),
+				})
+			}
 			size := kcore.GlobalCoreSize(r, out)
 			s := reduceStats(r, out.Stats)
 			if r.Rank() == 0 {
@@ -422,10 +453,23 @@ func RunTriangles(o TriangleOpts) (TriangleResult, error) {
 		maxDeg := r.AllReduceU64(localMax, rt.Max)
 		cfg := o.coreConfig(env, 0) // triangle counting cannot use ghosts
 		r.Barrier()
+		if r.Rank() == 0 {
+			m.ResetStats()
+		}
+		r.Barrier()
 		start := time.Now()
 		out := triangle.Run(r, env.part, cfg)
 		r.Barrier()
 		elapsed := time.Since(start)
+		if r.Rank() == 0 {
+			RecordProfile(PhaseProfile{
+				Graph: o.Graph.Name, Algo: "triangle",
+				Phase:    "triangle.count",
+				Topology: o.topologyName(), P: o.P,
+				WallNS:  elapsed.Nanoseconds(),
+				Metrics: m.Obs().Snapshot(),
+			})
+		}
 		s := reduceStats(r, out.Stats)
 		if r.Rank() == 0 {
 			res = TriangleResult{

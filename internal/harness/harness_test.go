@@ -157,6 +157,9 @@ func TestFigure5Runs(t *testing.T) {
 }
 
 func TestFigure13GhostsImprove(t *testing.T) {
+	if testing.Short() {
+		t.Skip("heavy figure runner")
+	}
 	s := tinySizing()
 	s.VertsPerRankLog2 = 10
 	tab := Figure13(s)

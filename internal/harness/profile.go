@@ -1,0 +1,92 @@
+package harness
+
+import (
+	"encoding/csv"
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+
+	"havoqgt/internal/obs"
+)
+
+// PhaseProfile is the communication profile of one timed experiment phase
+// (one traversal), captured from the simulated machine's obs.Registry
+// between phase-bracketing barriers. Every figure/table row the harness
+// produces can be joined against these profiles: messages, bytes, and hops
+// per rank and per kind, mailbox aggregation behaviour, termination waves,
+// and the phase spans recorded by the algorithm drivers — all sourced from
+// internal/obs, not from ad-hoc subsystem counters.
+type PhaseProfile struct {
+	Graph    string       `json:"graph"`
+	Algo     string       `json:"algo"`
+	Phase    string       `json:"phase"`
+	Topology string       `json:"topology"`
+	P        int          `json:"p"`
+	WallNS   int64        `json:"wall_ns"`
+	Metrics  obs.Snapshot `json:"metrics"`
+}
+
+// profileLog collects every phase profile of the process, in order.
+// Access is mutex-guarded so concurrent experiments (parallel tests) stay
+// safe.
+var profileLog struct {
+	mu       sync.Mutex
+	profiles []PhaseProfile
+}
+
+// RecordProfile appends one phase profile to the process-wide log.
+func RecordProfile(p PhaseProfile) {
+	profileLog.mu.Lock()
+	profileLog.profiles = append(profileLog.profiles, p)
+	profileLog.mu.Unlock()
+}
+
+// Profiles returns a copy of the recorded phase profiles.
+func Profiles() []PhaseProfile {
+	profileLog.mu.Lock()
+	defer profileLog.mu.Unlock()
+	return append([]PhaseProfile(nil), profileLog.profiles...)
+}
+
+// ResetProfiles clears the profile log (between experiment batches).
+func ResetProfiles() {
+	profileLog.mu.Lock()
+	profileLog.profiles = nil
+	profileLog.mu.Unlock()
+}
+
+// WriteProfilesJSON writes all recorded phase profiles as one indented JSON
+// array.
+func WriteProfilesJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(Profiles())
+}
+
+// WriteProfilesCSV writes one row per (phase, metric): the flat join of the
+// profile header with the snapshot's counter totals, ready for plotting the
+// paper's communication figures.
+func WriteProfilesCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"graph", "algo", "phase", "topology", "p", "wall_ns", "metric", "value"}); err != nil {
+		return err
+	}
+	for _, p := range Profiles() {
+		base := []string{p.Graph, p.Algo, p.Phase, p.Topology, fmt.Sprint(p.P), fmt.Sprint(p.WallNS)}
+		names := make([]string, 0, len(p.Metrics.Counters))
+		for name := range p.Metrics.Counters {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		for _, name := range names {
+			row := append(append([]string(nil), base...), name, fmt.Sprint(p.Metrics.Counters[name]))
+			if err := cw.Write(row); err != nil {
+				return err
+			}
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}

@@ -3,6 +3,7 @@ package mailbox
 import (
 	"encoding/binary"
 
+	"havoqgt/internal/obs"
 	"havoqgt/internal/rt"
 	"havoqgt/internal/termination"
 )
@@ -16,14 +17,57 @@ const DefaultFlushBytes = 4096
 // [finalDest u32][payloadLen u32].
 const recordHeader = 8
 
-// Stats counts mailbox activity on one rank.
+// Stats counts mailbox activity on one rank for one Box lifetime (one
+// traversal). The same counts are mirrored into the machine's obs.Registry
+// under the mailbox.* names, where they accumulate machine-wide until
+// obs.Registry.Reset; Stats stays per-Box so back-to-back traversals see
+// fresh numbers.
 type Stats struct {
 	RecordsSent      uint64 // records entered via Send on this rank
 	RecordsDelivered uint64 // records delivered to this rank (final dest)
 	RecordsForwarded uint64 // records re-routed through this rank
 	EnvelopesSent    uint64 // transport messages shipped
 	EnvelopesRecv    uint64
-	ChannelsUsed     int // distinct next-hop ranks actually used
+	Hops             uint64 // transport hops taken by routed records
+	Flushes          uint64 // idle-driven FlushAll envelope shipments
+	ChannelsUsed     int    // distinct next-hop ranks actually used
+}
+
+// AggregationRatio returns records per shipped envelope — the direct
+// measure of how much the aggregation layer batches per topology.
+func (s Stats) AggregationRatio() float64 {
+	if s.EnvelopesSent == 0 {
+		return 0
+	}
+	return float64(s.RecordsSent+s.RecordsForwarded) / float64(s.EnvelopesSent)
+}
+
+// metrics bundles the rank's obs handles for the hot paths.
+type metrics struct {
+	rank          int
+	recordsSent   *obs.PerRank
+	delivered     *obs.PerRank
+	forwarded     *obs.PerRank
+	envelopesSent *obs.PerRank
+	envelopesRecv *obs.PerRank
+	hops          *obs.PerRank
+	flushes       *obs.PerRank
+	envelopeBytes *obs.Histogram
+}
+
+func newMetrics(r *rt.Rank) metrics {
+	reg, p := r.Obs(), r.Size()
+	return metrics{
+		rank:          r.Rank(),
+		recordsSent:   reg.PerRank(obs.MBRecordsSent, p),
+		delivered:     reg.PerRank(obs.MBRecordsDelivered, p),
+		forwarded:     reg.PerRank(obs.MBRecordsForwarded, p),
+		envelopesSent: reg.PerRank(obs.MBEnvelopesSent, p),
+		envelopesRecv: reg.PerRank(obs.MBEnvelopesRecv, p),
+		hops:          reg.PerRank(obs.MBHops, p),
+		flushes:       reg.PerRank(obs.MBFlushes, p),
+		envelopeBytes: reg.Histogram(obs.MBEnvelopeBytes),
+	}
 }
 
 // Box is one rank's routed mailbox: the paper's `mailbox` abstraction with
@@ -38,6 +82,8 @@ type Box struct {
 	buffers    map[int][]byte // next-hop rank -> pending aggregated records
 	delivered  []Record
 	stats      Stats
+	met        metrics
+	inFlush    bool // inside FlushAll (attributes shipments to MBFlushes)
 }
 
 // Record is one delivered visitor record.
@@ -65,6 +111,7 @@ func New(r *rt.Rank, topo Topology, det *termination.Detector, opts ...Option) *
 		det:        det,
 		flushBytes: DefaultFlushBytes,
 		buffers:    make(map[int][]byte),
+		met:        newMetrics(r),
 	}
 	for _, o := range opts {
 		o(b)
@@ -76,6 +123,7 @@ func New(r *rt.Rank, topo Topology, det *termination.Detector, opts ...Option) *
 // record bytes are copied; the caller may reuse its buffer.
 func (b *Box) Send(dest int, record []byte) {
 	b.stats.RecordsSent++
+	b.met.recordsSent.Inc(b.met.rank)
 	if b.det != nil {
 		b.det.CountSent(1)
 	}
@@ -91,6 +139,8 @@ func (b *Box) Send(dest int, record []byte) {
 // toward dest, shipping the buffer if it crossed the flush threshold.
 func (b *Box) enqueue(dest int, record []byte) {
 	hop := b.topo.NextHop(b.r.Rank(), dest)
+	b.stats.Hops++
+	b.met.hops.Inc(b.met.rank)
 	buf := b.buffers[hop]
 	if buf == nil {
 		b.stats.ChannelsUsed++
@@ -111,6 +161,12 @@ func (b *Box) enqueue(dest int, record []byte) {
 func (b *Box) ship(hop int, buf []byte) {
 	b.r.Send(hop, rt.KindMailbox, 0, buf)
 	b.stats.EnvelopesSent++
+	b.met.envelopesSent.Inc(b.met.rank)
+	b.met.envelopeBytes.Observe(uint64(len(buf)))
+	if b.inFlush {
+		b.stats.Flushes++
+		b.met.flushes.Inc(b.met.rank)
+	}
 }
 
 // deliver appends a record addressed to this rank to the delivered queue.
@@ -121,6 +177,7 @@ func (b *Box) deliver(record []byte, copyBytes bool) {
 	}
 	b.delivered = append(b.delivered, Record{Payload: record})
 	b.stats.RecordsDelivered++
+	b.met.delivered.Inc(b.met.rank)
 	if b.det != nil {
 		b.det.CountReceived(1)
 	}
@@ -133,6 +190,7 @@ func (b *Box) deliver(record []byte, copyBytes bool) {
 func (b *Box) Poll() []Record {
 	for _, m := range b.r.Recv(rt.KindMailbox) {
 		b.stats.EnvelopesRecv++
+		b.met.envelopesRecv.Inc(b.met.rank)
 		p := m.Payload
 		for len(p) >= recordHeader {
 			dest := int(binary.LittleEndian.Uint32(p[0:]))
@@ -143,6 +201,7 @@ func (b *Box) Poll() []Record {
 				b.deliver(rec, false)
 			} else {
 				b.stats.RecordsForwarded++
+				b.met.forwarded.Inc(b.met.rank)
 				b.enqueue(dest, rec)
 			}
 		}
@@ -156,12 +215,14 @@ func (b *Box) Poll() []Record {
 // runs out of local work so partially filled buffers cannot stall the
 // traversal or termination detection.
 func (b *Box) FlushAll() {
+	b.inFlush = true
 	for hop, buf := range b.buffers {
 		if len(buf) > 0 {
 			b.ship(hop, buf)
 			b.buffers[hop] = nil
 		}
 	}
+	b.inFlush = false
 }
 
 // Idle reports whether this rank's mailbox holds no buffered outbound

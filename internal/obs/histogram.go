@@ -1,0 +1,135 @@
+package obs
+
+import (
+	"math/bits"
+	"sync/atomic"
+)
+
+// NumBuckets is the number of histogram buckets. Bucket 0 holds the value 0;
+// bucket i (1 <= i < NumBuckets-1) holds values v with bits.Len64(v) == i,
+// i.e. v in [2^(i-1), 2^i - 1]; the last bucket is the overflow bucket for
+// everything at or above 2^(NumBuckets-2). 44 buckets cover nanosecond
+// latencies up to ~2.4 hours and byte sizes up to 4 TiB before overflowing.
+const NumBuckets = 44
+
+// Histogram is a power-of-two exponential histogram of uint64 observations
+// (message latency in nanoseconds, envelope bytes, queue depths). Updates
+// are a single atomic add on the bucket plus two atomic adds for count/sum.
+type Histogram struct {
+	counts [NumBuckets]atomic.Uint64
+	count  atomic.Uint64
+	sum    atomic.Uint64
+}
+
+// BucketIndex returns the bucket an observation of v lands in.
+func BucketIndex(v uint64) int {
+	b := bits.Len64(v)
+	if b >= NumBuckets-1 {
+		return NumBuckets - 1
+	}
+	return b
+}
+
+// BucketUpperBound returns the inclusive upper bound of bucket i
+// (math.MaxUint64 for the overflow bucket).
+func BucketUpperBound(i int) uint64 {
+	switch {
+	case i <= 0:
+		return 0
+	case i >= NumBuckets-1:
+		return ^uint64(0)
+	default:
+		return 1<<uint(i) - 1
+	}
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v uint64) {
+	h.counts[BucketIndex(v)].Add(1)
+	h.count.Add(1)
+	h.sum.Add(v)
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() uint64 { return h.count.Load() }
+
+// Sum returns the sum of all observations.
+func (h *Histogram) Sum() uint64 { return h.sum.Load() }
+
+// Mean returns the average observation (0 with no observations).
+func (h *Histogram) Mean() float64 {
+	n := h.count.Load()
+	if n == 0 {
+		return 0
+	}
+	return float64(h.sum.Load()) / float64(n)
+}
+
+func (h *Histogram) reset() {
+	for i := range h.counts {
+		h.counts[i].Store(0)
+	}
+	h.count.Store(0)
+	h.sum.Store(0)
+}
+
+// HistBucket is one non-empty bucket of a histogram snapshot.
+type HistBucket struct {
+	// UpperBound is the inclusive upper bound of the bucket.
+	UpperBound uint64 `json:"le"`
+	Count      uint64 `json:"count"`
+}
+
+// HistSnapshot is a point-in-time copy of a histogram. Only non-empty
+// buckets are materialized.
+type HistSnapshot struct {
+	Count   uint64       `json:"count"`
+	Sum     uint64       `json:"sum"`
+	Buckets []HistBucket `json:"buckets,omitempty"`
+}
+
+// Snapshot copies the histogram's current state.
+func (h *Histogram) Snapshot() HistSnapshot {
+	s := HistSnapshot{Count: h.count.Load(), Sum: h.sum.Load()}
+	for i := 0; i < NumBuckets; i++ {
+		if n := h.counts[i].Load(); n > 0 {
+			s.Buckets = append(s.Buckets, HistBucket{UpperBound: BucketUpperBound(i), Count: n})
+		}
+	}
+	return s
+}
+
+// Quantile returns an upper-bound estimate of the q-quantile (0 <= q <= 1)
+// from the bucketed counts: the upper bound of the bucket in which the
+// q-quantile observation falls. Returns 0 with no observations.
+func (s HistSnapshot) Quantile(q float64) uint64 {
+	if s.Count == 0 || len(s.Buckets) == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	target := uint64(q * float64(s.Count))
+	if target == 0 {
+		target = 1
+	}
+	var cum uint64
+	for _, b := range s.Buckets {
+		cum += b.Count
+		if cum >= target {
+			return b.UpperBound
+		}
+	}
+	return s.Buckets[len(s.Buckets)-1].UpperBound
+}
+
+// Mean returns the snapshot's average observation (0 with no observations).
+func (s HistSnapshot) Mean() float64 {
+	if s.Count == 0 {
+		return 0
+	}
+	return float64(s.Sum) / float64(s.Count)
+}

@@ -1,0 +1,62 @@
+package obs
+
+// Canonical metric names. Every subsystem of the simulated machine reports
+// under these names so the harness can build communication profiles without
+// knowing subsystem internals. Per-rank metrics are PerRank vectors (the
+// snapshot carries the per-rank breakdown and the total under the same
+// name); the rest are plain counters or histograms.
+const (
+	// Transport (internal/rt), per source rank.
+	RTMsgs  = "rt.msgs"  // transport messages sent
+	RTBytes = "rt.bytes" // transport payload bytes sent
+
+	// Transport, per message kind ("mailbox", "control", "coll"):
+	// "rt.msgs.<kind>" and "rt.bytes.<kind>" via RTKindMsgs/RTKindBytes.
+
+	// RTMsgLatencyNS is the histogram of simulated transport latency —
+	// nanoseconds between a message's send and the destination rank
+	// draining it.
+	RTMsgLatencyNS = "rt.msg_latency_ns"
+
+	// Routed mailbox (internal/mailbox), per rank.
+	MBRecordsSent      = "mailbox.records_sent"      // records entered via Send
+	MBRecordsDelivered = "mailbox.records_delivered" // records delivered at final dest
+	MBRecordsForwarded = "mailbox.records_forwarded" // records re-routed through a rank
+	MBEnvelopesSent    = "mailbox.envelopes_sent"    // aggregated transport messages shipped
+	MBEnvelopesRecv    = "mailbox.envelopes_recv"
+	MBFlushes          = "mailbox.flushes" // idle-driven FlushAll envelope shipments
+	// MBHops counts transport hops taken by routed records: every enqueue
+	// toward a next hop is one hop (loopback delivery is zero hops), so
+	// hops = non-loopback records sent + records forwarded. The per-record
+	// mean hop count is MBHops / MBRecordsSent; it approaches the
+	// topology's diameter as routing indirection grows (1 for 1D, up to 2
+	// for 2D, 3 for 3D).
+	MBHops = "mailbox.hops"
+
+	// MBEnvelopeBytes is the histogram of aggregation buffer occupancy at
+	// ship time (envelope payload bytes): how full buffers are when they go
+	// out, the direct measure of aggregation quality per topology.
+	MBEnvelopeBytes = "mailbox.envelope_bytes"
+
+	// Termination detection (internal/termination).
+	TermWaves   = "term.waves"   // completed quiescence-detection waves
+	TermRetests = "term.retests" // waves that completed without detecting quiescence
+
+	// Visitor queue (internal/core), per rank.
+	CorePushed        = "core.pushed"
+	CoreGhostFiltered = "core.ghost_filtered"
+	CoreReceived      = "core.received"
+	CoreQueued        = "core.queued"
+	CoreExecuted      = "core.executed"
+	CoreForwarded     = "core.forwarded"
+
+	// CoreQueueDepth is the histogram of local priority-queue depth sampled
+	// once per visit batch.
+	CoreQueueDepth = "core.queue_depth"
+)
+
+// RTKindMsgs returns the per-kind transport message counter name.
+func RTKindMsgs(kind string) string { return "rt.msgs." + kind }
+
+// RTKindBytes returns the per-kind transport byte counter name.
+func RTKindBytes(kind string) string { return "rt.bytes." + kind }

@@ -1,0 +1,318 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestConcurrentCounterIncrements mirrors TestStatsCounting in
+// internal/rt/rt_test.go at the registry level: many goroutines hammering
+// shared counter/per-rank/histogram handles must total exactly (run under
+// -race in CI).
+func TestConcurrentCounterIncrements(t *testing.T) {
+	reg := NewRegistry()
+	const workers = 8
+	const perWorker = 10000
+	c := reg.Counter("test.counter")
+	pr := reg.PerRank("test.per_rank", workers)
+	h := reg.Histogram("test.hist")
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				c.Inc()
+				pr.Add(w, 2)
+				h.Observe(uint64(i))
+				// Exercise the get-or-create path concurrently too.
+				reg.Counter("test.counter").Add(1)
+			}
+		}(w)
+	}
+	wg.Wait()
+	if got := c.Value(); got != 2*workers*perWorker {
+		t.Errorf("counter = %d, want %d", got, 2*workers*perWorker)
+	}
+	if got := pr.Total(); got != 2*workers*perWorker {
+		t.Errorf("per-rank total = %d, want %d", got, 2*workers*perWorker)
+	}
+	for w := 0; w < workers; w++ {
+		if got := pr.Rank(w); got != 2*perWorker {
+			t.Errorf("rank %d = %d, want %d", w, got, 2*perWorker)
+		}
+	}
+	if got := h.Count(); got != workers*perWorker {
+		t.Errorf("histogram count = %d, want %d", got, workers*perWorker)
+	}
+}
+
+func TestHistogramBucketBoundaries(t *testing.T) {
+	cases := []struct {
+		v    uint64
+		want int
+	}{
+		{0, 0},
+		{1, 1},
+		{2, 2}, {3, 2},
+		{4, 3}, {7, 3},
+		{8, 4}, {15, 4},
+		{1 << 10, 11},
+		{1<<42 - 1, 42},
+		{1 << 42, NumBuckets - 1}, // overflow bucket
+		{^uint64(0), NumBuckets - 1},
+	}
+	for _, c := range cases {
+		if got := BucketIndex(c.v); got != c.want {
+			t.Errorf("BucketIndex(%d) = %d, want %d", c.v, got, c.want)
+		}
+	}
+	// Upper bounds bracket their bucket: v <= BucketUpperBound(BucketIndex(v)).
+	for _, c := range cases {
+		ub := BucketUpperBound(BucketIndex(c.v))
+		if c.v > ub {
+			t.Errorf("value %d above its bucket upper bound %d", c.v, ub)
+		}
+	}
+	if BucketUpperBound(0) != 0 {
+		t.Errorf("bucket 0 upper bound = %d, want 0", BucketUpperBound(0))
+	}
+	if BucketUpperBound(3) != 7 {
+		t.Errorf("bucket 3 upper bound = %d, want 7", BucketUpperBound(3))
+	}
+	if BucketUpperBound(NumBuckets-1) != ^uint64(0) {
+		t.Error("overflow bucket must be unbounded")
+	}
+
+	h := &Histogram{}
+	for _, v := range []uint64{0, 1, 2, 3, 7, 8, 1000} {
+		h.Observe(v)
+	}
+	s := h.Snapshot()
+	if s.Count != 7 || s.Sum != 1021 {
+		t.Fatalf("snapshot count/sum = %d/%d, want 7/1021", s.Count, s.Sum)
+	}
+	wantBuckets := map[uint64]uint64{0: 1, 1: 1, 3: 2, 7: 1, 15: 1, 1023: 1}
+	if len(s.Buckets) != len(wantBuckets) {
+		t.Fatalf("got %d non-empty buckets, want %d: %+v", len(s.Buckets), len(wantBuckets), s.Buckets)
+	}
+	for _, b := range s.Buckets {
+		if wantBuckets[b.UpperBound] != b.Count {
+			t.Errorf("bucket le=%d count=%d, want %d", b.UpperBound, b.Count, wantBuckets[b.UpperBound])
+		}
+	}
+	if q := s.Quantile(0.5); q != 3 {
+		t.Errorf("p50 = %d, want 3 (4th of 7 observations falls in le=3)", q)
+	}
+	if q := s.Quantile(1.0); q != 1023 {
+		t.Errorf("p100 = %d, want 1023", q)
+	}
+}
+
+func TestSnapshotAndResetSemantics(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("a").Add(5)
+	reg.PerRank("b", 3).Add(1, 7)
+	reg.PerRank("b", 3).Add(2, 3)
+	reg.Gauge("g").Set(-4)
+	reg.Histogram("h").Observe(100)
+	sp := reg.StartPhase("phase", 0)
+	reg.Counter("a").Add(10)
+	ev := sp.End()
+
+	if ev.Deltas["a"] != 10 {
+		t.Errorf("span delta for a = %d, want 10", ev.Deltas["a"])
+	}
+	if ev.DurNS < 0 {
+		t.Errorf("span duration negative: %d", ev.DurNS)
+	}
+
+	s := reg.Snapshot()
+	if s.Counter("a") != 15 {
+		t.Errorf("counter a = %d, want 15", s.Counter("a"))
+	}
+	if s.Counter("b") != 10 {
+		t.Errorf("per-rank total b = %d, want 10", s.Counter("b"))
+	}
+	if got := s.PerRank["b"]; len(got) != 3 || got[1] != 7 || got[2] != 3 {
+		t.Errorf("per-rank breakdown b = %v, want [0 7 3]", got)
+	}
+	if s.Gauges["g"] != -4 {
+		t.Errorf("gauge g = %d, want -4", s.Gauges["g"])
+	}
+	if s.Histograms["h"].Count != 1 {
+		t.Errorf("histogram h count = %d, want 1", s.Histograms["h"].Count)
+	}
+	if len(s.Spans) != 1 || s.Spans[0].Name != "phase" {
+		t.Fatalf("spans = %+v, want one span named 'phase'", s.Spans)
+	}
+
+	// Reset zeroes everything through the one shared path, while existing
+	// handles stay live.
+	a := reg.Counter("a")
+	reg.Reset()
+	post := reg.Snapshot()
+	if post.Counter("a") != 0 || post.Counter("b") != 0 || post.Gauges["g"] != 0 {
+		t.Fatalf("reset left residue: %+v", post)
+	}
+	if post.Histograms["h"].Count != 0 {
+		t.Fatalf("histogram survived reset: %+v", post.Histograms["h"])
+	}
+	if len(post.Spans) != 0 {
+		t.Fatalf("span log survived reset: %+v", post.Spans)
+	}
+	a.Inc()
+	if reg.Snapshot().Counter("a") != 1 {
+		t.Fatal("pre-reset handle detached from registry")
+	}
+}
+
+func TestPerRankGrowsPreservingValues(t *testing.T) {
+	reg := NewRegistry()
+	small := reg.PerRank("v", 2)
+	small.Add(1, 9)
+	big := reg.PerRank("v", 5)
+	if big.Len() != 5 {
+		t.Fatalf("len = %d, want 5", big.Len())
+	}
+	if big.Rank(1) != 9 {
+		t.Fatalf("growth dropped existing value: rank1 = %d", big.Rank(1))
+	}
+	if reg.Snapshot().Counter("v") != 9 {
+		t.Fatalf("total = %d, want 9", reg.Snapshot().Counter("v"))
+	}
+}
+
+func TestSpanRankZeroOnlyDeltas(t *testing.T) {
+	reg := NewRegistry()
+	sp1 := reg.StartPhase("p", 1)
+	reg.Counter("x").Add(3)
+	if ev := sp1.End(); ev.Deltas != nil {
+		t.Errorf("non-root span carried deltas: %+v", ev.Deltas)
+	}
+	sp0 := reg.StartPhase("p", 0)
+	reg.Counter("x").Add(4)
+	if ev := sp0.End(); ev.Deltas["x"] != 4 {
+		t.Errorf("root span delta = %v, want x=4", ev.Deltas)
+	}
+	// Duration histogram exists for the phase.
+	if reg.Histogram("phase.p.ns").Count() != 2 {
+		t.Errorf("phase histogram count = %d, want 2", reg.Histogram("phase.p.ns").Count())
+	}
+}
+
+func TestSpanEndIdempotent(t *testing.T) {
+	reg := NewRegistry()
+	sp := reg.StartPhase("once", 0)
+	sp.End()
+	sp.End()
+	if n := len(reg.Spans()); n != 1 {
+		t.Fatalf("double End recorded %d spans, want 1", n)
+	}
+	sp2 := reg.StartPhase("cancelled", 0)
+	sp2.Cancel()
+	sp2.End()
+	if n := len(reg.Spans()); n != 1 {
+		t.Fatalf("cancelled span recorded; %d spans, want 1", n)
+	}
+}
+
+func TestSnapshotJSONRoundTrip(t *testing.T) {
+	reg := NewRegistry()
+	reg.PerRank(RTMsgs, 2).Add(0, 11)
+	reg.PerRank(MBHops, 2).Add(1, 4)
+	reg.Histogram(MBEnvelopeBytes).Observe(4096)
+	var buf bytes.Buffer
+	if err := reg.Snapshot().WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var back Snapshot
+	if err := json.Unmarshal(buf.Bytes(), &back); err != nil {
+		t.Fatalf("invalid JSON: %v\n%s", err, buf.String())
+	}
+	if back.Counter(RTMsgs) != 11 || back.Counter(MBHops) != 4 {
+		t.Fatalf("round trip lost counters: %+v", back.Counters)
+	}
+	if back.Histograms[MBEnvelopeBytes].Count != 1 {
+		t.Fatalf("round trip lost histogram: %+v", back.Histograms)
+	}
+}
+
+func TestSnapshotCSV(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("z.total").Add(2)
+	reg.PerRank("a.vec", 2).Add(0, 1)
+	reg.Gauge("g").Set(5)
+	reg.Histogram("h").Observe(3)
+	reg.StartPhase("ph", 0).End()
+	var buf bytes.Buffer
+	if err := reg.Snapshot().WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"type,name,detail,value",
+		"counter,a.vec,total,1",
+		"counter,a.vec,rank=0,1",
+		"counter,z.total,total,2",
+		"gauge,g,,5",
+		"histogram,h,count,1",
+		"histogram,h,le=3,1",
+		"span,ph,rank=0,",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("CSV missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestTracerStreamsSpans(t *testing.T) {
+	var buf bytes.Buffer
+	reg := NewRegistry()
+	reg.tracer = newTracer(&buf)
+	if !reg.TraceEnabled() {
+		t.Fatal("tracer not armed")
+	}
+	reg.StartPhase("traced.phase", 3).End()
+	var ev SpanEvent
+	if err := json.Unmarshal(buf.Bytes(), &ev); err != nil {
+		t.Fatalf("trace line not JSON: %v\n%s", err, buf.String())
+	}
+	if ev.Name != "traced.phase" || ev.Rank != 3 {
+		t.Fatalf("trace event = %+v", ev)
+	}
+}
+
+func TestSpanLogBounded(t *testing.T) {
+	reg := NewRegistry()
+	for i := 0; i < MaxSpanLog+50; i++ {
+		reg.StartPhase("p", 1).End()
+	}
+	if n := len(reg.Spans()); n != MaxSpanLog {
+		t.Fatalf("span log length = %d, want bound %d", n, MaxSpanLog)
+	}
+}
+
+func TestHistogramMeanAndQuantileEmpty(t *testing.T) {
+	var h Histogram
+	if h.Mean() != 0 {
+		t.Error("empty histogram mean != 0")
+	}
+	if (HistSnapshot{}).Quantile(0.5) != 0 {
+		t.Error("empty snapshot quantile != 0")
+	}
+}
+
+func TestSpanDurationsArePlausible(t *testing.T) {
+	reg := NewRegistry()
+	sp := reg.StartPhase("sleepy", 0)
+	time.Sleep(2 * time.Millisecond)
+	ev := sp.End()
+	if ev.DurNS < int64(time.Millisecond) {
+		t.Errorf("span duration %dns, want >= 1ms", ev.DurNS)
+	}
+}

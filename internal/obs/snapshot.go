@@ -1,0 +1,127 @@
+package obs
+
+import (
+	"encoding/csv"
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+)
+
+// Snapshot is a point-in-time copy of every metric in a Registry, suitable
+// for JSON/CSV export. Per-rank vectors carry both the total and the
+// per-rank breakdown.
+type Snapshot struct {
+	Counters   map[string]uint64       `json:"counters,omitempty"`
+	PerRank    map[string][]uint64     `json:"per_rank,omitempty"`
+	Gauges     map[string]int64        `json:"gauges,omitempty"`
+	Histograms map[string]HistSnapshot `json:"histograms,omitempty"`
+	Spans      []SpanEvent             `json:"spans,omitempty"`
+}
+
+// Snapshot copies the registry's current state. Concurrent updates are
+// tolerated (each cell is read atomically); bracket with a barrier for an
+// exact phase boundary.
+func (r *Registry) Snapshot() Snapshot {
+	r.mu.RLock()
+	s := Snapshot{
+		Counters:   make(map[string]uint64, len(r.counters)+len(r.perRank)),
+		PerRank:    make(map[string][]uint64, len(r.perRank)),
+		Gauges:     make(map[string]int64, len(r.gauges)),
+		Histograms: make(map[string]HistSnapshot, len(r.hists)),
+	}
+	for name, c := range r.counters {
+		s.Counters[name] = c.Value()
+	}
+	for name, c := range r.perRank {
+		vals := c.Values()
+		s.PerRank[name] = vals
+		var t uint64
+		for _, v := range vals {
+			t += v
+		}
+		s.Counters[name] = t
+	}
+	for name, g := range r.gauges {
+		s.Gauges[name] = g.Value()
+	}
+	for name, h := range r.hists {
+		s.Histograms[name] = h.Snapshot()
+	}
+	r.mu.RUnlock()
+	s.Spans = r.Spans()
+	return s
+}
+
+// Counter returns the snapshot total for name (counters and per-rank vector
+// totals share one namespace), or 0 when absent.
+func (s Snapshot) Counter(name string) uint64 { return s.Counters[name] }
+
+// WriteJSON writes the snapshot as one indented JSON document.
+func (s Snapshot) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(s)
+}
+
+// WriteCSV writes the snapshot as metric rows:
+//
+//	type,name,detail,value
+//
+// Counters emit one "total" row plus one row per rank when a per-rank
+// breakdown exists; histograms emit count/sum/mean plus one row per
+// non-empty bucket (detail "le=<bound>"); spans emit their duration with
+// detail "rank=<r>". Rows are sorted by (type, name) for diff-stability.
+func (s Snapshot) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"type", "name", "detail", "value"}); err != nil {
+		return err
+	}
+	for _, name := range sortedKeys(s.Counters) {
+		if err := cw.Write([]string{"counter", name, "total", fmt.Sprint(s.Counters[name])}); err != nil {
+			return err
+		}
+		for rank, v := range s.PerRank[name] {
+			if err := cw.Write([]string{"counter", name, fmt.Sprintf("rank=%d", rank), fmt.Sprint(v)}); err != nil {
+				return err
+			}
+		}
+	}
+	for _, name := range sortedKeys(s.Gauges) {
+		if err := cw.Write([]string{"gauge", name, "", fmt.Sprint(s.Gauges[name])}); err != nil {
+			return err
+		}
+	}
+	for _, name := range sortedKeys(s.Histograms) {
+		h := s.Histograms[name]
+		rows := [][]string{
+			{"histogram", name, "count", fmt.Sprint(h.Count)},
+			{"histogram", name, "sum", fmt.Sprint(h.Sum)},
+			{"histogram", name, "mean", fmt.Sprintf("%.4g", h.Mean())},
+		}
+		for _, b := range h.Buckets {
+			rows = append(rows, []string{"histogram", name, fmt.Sprintf("le=%d", b.UpperBound), fmt.Sprint(b.Count)})
+		}
+		for _, row := range rows {
+			if err := cw.Write(row); err != nil {
+				return err
+			}
+		}
+	}
+	for _, ev := range s.Spans {
+		if err := cw.Write([]string{"span", ev.Name, fmt.Sprintf("rank=%d", ev.Rank), fmt.Sprint(ev.DurNS)}); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+func sortedKeys[V any](m map[string]V) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}

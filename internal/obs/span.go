@@ -1,0 +1,139 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"os"
+	"sync"
+	"time"
+)
+
+// TraceEnv is the environment variable that arms span streaming: "1" or
+// "stderr" streams to standard error, any other non-empty value appends to
+// that file path, empty or "0" disables tracing.
+const TraceEnv = "HAVOQ_TRACE"
+
+// SpanEvent is one completed phase span: a named, rank-attributed timed
+// section with the cluster-wide counter deltas that accrued inside it.
+type SpanEvent struct {
+	Name  string `json:"name"`
+	Rank  int    `json:"rank"`
+	Start int64  `json:"start_unix_ns"`
+	DurNS int64  `json:"duration_ns"`
+	// Deltas maps counter name -> increase during the span. Only the span
+	// from rank 0 carries deltas (counters are cluster-wide; attributing the
+	// same delta to every rank's span would multiply-count it).
+	Deltas map[string]uint64 `json:"deltas,omitempty"`
+}
+
+// Span is an in-progress phase measurement created by Registry.StartPhase.
+type Span struct {
+	reg   *Registry
+	name  string
+	rank  int
+	start time.Time
+	base  map[string]uint64 // counter totals at start; nil on ranks != 0
+	done  bool
+}
+
+// StartPhase opens a phase-scoped span, e.g. StartPhase("bfs.run", rank).
+// The returned span must be closed with End (or Cancel). On rank 0 the span
+// snapshots all counter totals so End can attach the phase's cluster-wide
+// counter deltas; other ranks record timing only.
+func (r *Registry) StartPhase(name string, rank int) *Span {
+	s := &Span{reg: r, name: name, rank: rank, start: time.Now()}
+	if rank == 0 {
+		s.base = r.counterTotals()
+	}
+	return s
+}
+
+// End closes the span: the duration is recorded into the histogram
+// "phase.<name>.ns", the completed SpanEvent is appended to the registry's
+// span log, and — if tracing is enabled — streamed as one JSON line.
+// End is idempotent; the first call wins.
+func (s *Span) End() SpanEvent {
+	if s.done {
+		return SpanEvent{Name: s.name, Rank: s.rank}
+	}
+	s.done = true
+	dur := time.Since(s.start)
+	ev := SpanEvent{
+		Name:  s.name,
+		Rank:  s.rank,
+		Start: s.start.UnixNano(),
+		DurNS: dur.Nanoseconds(),
+	}
+	if s.base != nil {
+		now := s.reg.counterTotals()
+		deltas := make(map[string]uint64)
+		for name, v := range now {
+			if d := v - s.base[name]; d > 0 {
+				deltas[name] = d
+			}
+		}
+		if len(deltas) > 0 {
+			ev.Deltas = deltas
+		}
+	}
+	s.reg.Histogram("phase." + s.name + ".ns").Observe(uint64(dur.Nanoseconds()))
+	s.reg.spanMu.Lock()
+	if len(s.reg.spans) < MaxSpanLog {
+		s.reg.spans = append(s.reg.spans, ev)
+	}
+	s.reg.spanMu.Unlock()
+	s.reg.tracer.emit(ev)
+	return ev
+}
+
+// Cancel abandons the span without recording anything.
+func (s *Span) Cancel() { s.done = true }
+
+// Spans returns a copy of the completed-span log (cleared by Reset).
+func (r *Registry) Spans() []SpanEvent {
+	r.spanMu.Lock()
+	defer r.spanMu.Unlock()
+	return append([]SpanEvent(nil), r.spans...)
+}
+
+// TraceEnabled reports whether span streaming is armed.
+func (r *Registry) TraceEnabled() bool { return r.tracer != nil }
+
+// tracer streams span events as JSON lines to a writer.
+type tracer struct {
+	mu  sync.Mutex
+	w   io.Writer
+	enc *json.Encoder
+}
+
+// tracerFromEnv builds a tracer from TraceEnv, or nil when disabled. A file
+// target that cannot be opened falls back to stderr rather than silently
+// dropping the trace.
+func tracerFromEnv() *tracer {
+	v := os.Getenv(TraceEnv)
+	switch v {
+	case "", "0":
+		return nil
+	case "1", "stderr":
+		return newTracer(os.Stderr)
+	}
+	f, err := os.OpenFile(v, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return newTracer(os.Stderr)
+	}
+	return newTracer(f)
+}
+
+func newTracer(w io.Writer) *tracer {
+	return &tracer{w: w, enc: json.NewEncoder(w)}
+}
+
+// emit writes one span event; nil-safe.
+func (t *tracer) emit(ev SpanEvent) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	_ = t.enc.Encode(ev)
+	t.mu.Unlock()
+}

@@ -18,7 +18,9 @@ package rt
 import (
 	"fmt"
 	"sync"
-	"sync/atomic"
+	"time"
+
+	"havoqgt/internal/obs"
 )
 
 // Message kinds multiplexed over the transport. Each subsystem owns a kind so
@@ -31,6 +33,20 @@ const (
 	numKinds
 )
 
+// KindName returns the metric label for a message kind.
+func KindName(kind uint8) string {
+	switch kind {
+	case KindMailbox:
+		return "mailbox"
+	case KindControl:
+		return "control"
+	case KindColl:
+		return "coll"
+	default:
+		return "unknown"
+	}
+}
+
 // Msg is one transported message.
 type Msg struct {
 	From    int
@@ -38,6 +54,8 @@ type Msg struct {
 	Kind    uint8
 	Tag     uint32 // collective sequence / subsystem-defined tag
 	Payload []byte
+
+	sentAt int64 // UnixNano at send, for the transport latency histogram
 }
 
 // inbox is a rank's receive queue. Padded to a cache line multiple to avoid
@@ -48,7 +66,9 @@ type inbox struct {
 	_  [64 - 8]byte //nolint:unused // padding
 }
 
-// Stats aggregates transport counters across all ranks.
+// Stats aggregates transport counters across all ranks. It is a thin
+// adapter over the machine's obs.Registry, kept for existing callers; new
+// code should read the registry snapshot directly.
 type Stats struct {
 	MsgsSent  uint64
 	BytesSent uint64
@@ -58,14 +78,18 @@ type Stats struct {
 }
 
 // Machine is a simulated distributed machine with a fixed number of ranks.
+// All transport counters live in the machine's obs.Registry (one registry
+// per machine), which downstream subsystems reach through Rank.Obs.
 type Machine struct {
 	p       int
 	inboxes []inbox
 
-	msgsSent  []atomic.Uint64 // per source rank, padded by slice stride
-	bytesSent []atomic.Uint64
-	kindMsgs  [numKinds]atomic.Uint64
-	kindBytes [numKinds]atomic.Uint64
+	reg       *obs.Registry
+	msgsSent  *obs.PerRank // per source rank
+	bytesSent *obs.PerRank
+	kindMsgs  [numKinds]*obs.Counter
+	kindBytes [numKinds]*obs.Counter
+	latency   *obs.Histogram // send→drain transport latency, nanoseconds
 }
 
 // NewMachine returns a machine with p ranks. p must be >= 1.
@@ -73,16 +97,27 @@ func NewMachine(p int) *Machine {
 	if p < 1 {
 		panic("rt: machine needs at least one rank")
 	}
-	return &Machine{
+	reg := obs.NewRegistry()
+	m := &Machine{
 		p:         p,
 		inboxes:   make([]inbox, p),
-		msgsSent:  make([]atomic.Uint64, p),
-		bytesSent: make([]atomic.Uint64, p),
+		reg:       reg,
+		msgsSent:  reg.PerRank(obs.RTMsgs, p),
+		bytesSent: reg.PerRank(obs.RTBytes, p),
+		latency:   reg.Histogram(obs.RTMsgLatencyNS),
 	}
+	for k := uint8(0); k < numKinds; k++ {
+		m.kindMsgs[k] = reg.Counter(obs.RTKindMsgs(KindName(k)))
+		m.kindBytes[k] = reg.Counter(obs.RTKindBytes(KindName(k)))
+	}
+	return m
 }
 
 // Size returns the number of ranks.
 func (m *Machine) Size() int { return m.p }
+
+// Obs returns the machine's metrics registry.
+func (m *Machine) Obs() *obs.Registry { return m.reg }
 
 // Run executes fn concurrently on every rank and waits for all ranks to
 // return. A panic on any rank is re-raised on the caller with the rank
@@ -116,18 +151,21 @@ func (m *Machine) send(msg Msg) {
 	if msg.To < 0 || msg.To >= m.p {
 		panic(fmt.Sprintf("rt: send to invalid rank %d (size %d)", msg.To, m.p))
 	}
+	msg.sentAt = time.Now().UnixNano()
 	ib := &m.inboxes[msg.To]
 	ib.mu.Lock()
 	ib.q = append(ib.q, msg)
 	ib.mu.Unlock()
-	m.msgsSent[msg.From].Add(1)
-	m.bytesSent[msg.From].Add(uint64(len(msg.Payload)))
-	m.kindMsgs[msg.Kind].Add(1)
+	m.msgsSent.Inc(msg.From)
+	m.bytesSent.Add(msg.From, uint64(len(msg.Payload)))
+	m.kindMsgs[msg.Kind].Inc()
 	m.kindBytes[msg.Kind].Add(uint64(len(msg.Payload)))
 }
 
-// drain removes and returns all queued messages for rank r.
+// drain removes and returns all queued messages for rank r, recording each
+// message's send→drain latency.
 func (m *Machine) drain(r int, into []Msg) []Msg {
+	first := len(into)
 	ib := &m.inboxes[r]
 	ib.mu.Lock()
 	if len(ib.q) > 0 {
@@ -135,31 +173,34 @@ func (m *Machine) drain(r int, into []Msg) []Msg {
 		ib.q = ib.q[:0]
 	}
 	ib.mu.Unlock()
+	if len(into) > first {
+		now := time.Now().UnixNano()
+		for i := first; i < len(into); i++ {
+			if d := now - into[i].sentAt; d > 0 {
+				m.latency.Observe(uint64(d))
+			} else {
+				m.latency.Observe(0)
+			}
+		}
+	}
 	return into
 }
 
-// Stats returns a snapshot of the transport counters.
+// Stats returns a snapshot of the transport counters (adapter over the
+// obs registry).
 func (m *Machine) Stats() Stats {
 	var s Stats
-	for r := 0; r < m.p; r++ {
-		s.MsgsSent += m.msgsSent[r].Load()
-		s.BytesSent += m.bytesSent[r].Load()
-	}
+	s.MsgsSent = m.msgsSent.Total()
+	s.BytesSent = m.bytesSent.Total()
 	for k := 0; k < int(numKinds); k++ {
-		s.MsgsByKind[k] = m.kindMsgs[k].Load()
-		s.BytesByKind[k] = m.kindBytes[k].Load()
+		s.MsgsByKind[k] = m.kindMsgs[k].Value()
+		s.BytesByKind[k] = m.kindBytes[k].Value()
 	}
 	return s
 }
 
-// ResetStats zeroes the transport counters (between experiment phases).
-func (m *Machine) ResetStats() {
-	for r := 0; r < m.p; r++ {
-		m.msgsSent[r].Store(0)
-		m.bytesSent[r].Store(0)
-	}
-	for k := 0; k < int(numKinds); k++ {
-		m.kindMsgs[k].Store(0)
-		m.kindBytes[k].Store(0)
-	}
-}
+// ResetStats zeroes every metric of the machine — transport, mailbox,
+// termination, and visitor-queue counters alike — through the single
+// obs.Registry.Reset path, so an experiment phase boundary can never
+// observe a half-reset counter set split across subsystems.
+func (m *Machine) ResetStats() { m.reg.Reset() }

@@ -3,6 +3,8 @@ package rt
 import (
 	"runtime"
 	"time"
+
+	"havoqgt/internal/obs"
 )
 
 // Rank is one simulated process. It is created by Machine.Run and must only
@@ -28,6 +30,11 @@ func (r *Rank) Size() int { return r.m.p }
 // Machine returns the underlying machine (for stats; rank code must not use
 // it to touch other ranks' state).
 func (r *Rank) Machine() *Machine { return r.m }
+
+// Obs returns the machine's metrics registry, through which every subsystem
+// holding a Rank (mailbox, termination, visitor queue, algorithm drivers)
+// reports into one coherent data source.
+func (r *Rank) Obs() *obs.Registry { return r.m.reg }
 
 // Send posts a message to rank `to`. It never blocks.
 func (r *Rank) Send(to int, kind uint8, tag uint32, payload []byte) {

@@ -26,6 +26,7 @@ package termination
 import (
 	"encoding/binary"
 
+	"havoqgt/internal/obs"
 	"havoqgt/internal/rt"
 )
 
@@ -60,10 +61,20 @@ type Detector struct {
 	done bool
 	// Waves counts completed waves (exported for tests/metrics).
 	Waves uint64
+
+	// Machine-wide observability counters (root increments them).
+	obsWaves   *obs.Counter
+	obsRetests *obs.Counter
 }
 
 // New returns a detector bound to the rank.
-func New(r *rt.Rank) *Detector { return &Detector{r: r} }
+func New(r *rt.Rank) *Detector {
+	return &Detector{
+		r:          r,
+		obsWaves:   r.Obs().Counter(obs.TermWaves),
+		obsRetests: r.Obs().Counter(obs.TermRetests),
+	}
+}
 
 // CountSent records n visitor sends.
 func (d *Detector) CountSent(n uint64) { d.sent += n }
@@ -172,6 +183,7 @@ func (d *Detector) maybeFinishWave() {
 	}
 	// Root: wave complete.
 	d.Waves++
+	d.obsWaves.Inc()
 	d.rootWaveOpen = false
 	quiescent := d.prevValid &&
 		d.accIdle && d.prevIdle &&
@@ -182,6 +194,10 @@ func (d *Detector) maybeFinishWave() {
 	if quiescent {
 		d.forwardDone()
 		d.done = true
+	} else {
+		// The wave did not confirm quiescence: the detector must retest
+		// with another wave (the paper's repeated global_empty cycles).
+		d.obsRetests.Inc()
 	}
 }
 

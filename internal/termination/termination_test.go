@@ -21,7 +21,13 @@ func pumpUntilDone(t *testing.T, d *Detector, idle func() bool, work func()) {
 }
 
 func TestDetectsOnQuietSystem(t *testing.T) {
-	for _, p := range []int{1, 2, 3, 8, 15} {
+	ps := []int{1, 2, 3, 8, 15}
+	if testing.Short() {
+		// Large rank counts dominate the wall time under -race; the small
+		// ones still cover the single-rank and multi-rank wave paths.
+		ps = []int{1, 2, 3}
+	}
+	for _, p := range ps {
 		m := rt.NewMachine(p)
 		m.Run(func(r *rt.Rank) {
 			d := New(r)
@@ -88,8 +94,10 @@ func TestDetectionAfterMessageStorm(t *testing.T) {
 	// Ranks exchange real visitor-like traffic over KindMailbox, counting
 	// sends/receives; once the storm drains, detection must fire on all
 	// ranks with matched global counters.
-	p := 6
-	const perRank = 200
+	p, perRank := 6, 200
+	if testing.Short() {
+		p, perRank = 3, 50
+	}
 	m := rt.NewMachine(p)
 	m.Run(func(r *rt.Rank) {
 		d := New(r)
@@ -176,8 +184,12 @@ func TestSequentialTraversalsFreshDetectors(t *testing.T) {
 	// must not be confused by the first's control traffic.
 	p := 4
 	m := rt.NewMachine(p)
+	phases := 3
+	if testing.Short() {
+		phases = 2
+	}
 	m.Run(func(r *rt.Rank) {
-		for phase := 0; phase < 3; phase++ {
+		for phase := 0; phase < phases; phase++ {
 			d := New(r)
 			deadline := time.Now().Add(10 * time.Second)
 			for !d.Pump(true) {
