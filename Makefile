@@ -3,7 +3,10 @@
 
 GO ?= go
 
-.PHONY: all build test race lint vet fmt fmt-check bench experiments clean
+.PHONY: all build test race lint vet fmt fmt-check fuzz-smoke bench experiments clean
+
+# Seconds of fuzzing per target in fuzz-smoke; CI uses the default.
+FUZZTIME ?= 30s
 
 all: build test
 
@@ -30,6 +33,15 @@ fmt-check:
 	fi
 
 lint: vet fmt-check
+
+# Brief native-fuzzing runs of every fuzz target (one -fuzz pattern per
+# invocation; the toolchain rejects multi-target fuzzing). The committed
+# regression corpus under testdata/fuzz/ runs as seeds in plain `make test`
+# too; this target actually mutates inputs for FUZZTIME each.
+fuzz-smoke:
+	$(GO) test -run=^$$ -fuzz=^FuzzEnvelopeDecode$$ -fuzztime=$(FUZZTIME) ./internal/mailbox
+	$(GO) test -run=^$$ -fuzz=^FuzzTopologyRoute$$ -fuzztime=$(FUZZTIME) ./internal/mailbox
+	$(GO) test -run=^$$ -fuzz=^FuzzCacheReadAt$$ -fuzztime=$(FUZZTIME) ./internal/pagecache
 
 bench:
 	$(GO) test -bench=. -benchtime=1x -run=^$$ .

@@ -1,0 +1,154 @@
+// Package check is the correctness-tooling subsystem for the message plane
+// and its clients: conservation-law invariant checkers over the routed
+// aggregating mailbox (§III-B), a randomized differential harness that runs
+// every distributed algorithm against the sequential references in
+// internal/ref across topologies, rank counts and flush thresholds, and a
+// hostile-input envelope corpus driving the hardened envelope decoder.
+//
+// The invariants are the laws a quiesced traversal cannot legally violate:
+//
+//   - record conservation:  Σ sent == Σ delivered (+ Σ pending mid-flight)
+//   - envelope conservation: Σ envelopes sent == Σ envelopes received
+//   - hop bound:             Σ hops  ≤ diameter × Σ records sent
+//   - channel bound:         per rank, ChannelsUsed ≤ Topology.MaxChannels()
+//   - clean decode:          Σ decode errors == 0
+//   - S/R agreement:         per rank, detector S == mailbox records sent and
+//     detector R == mailbox records delivered; globally Σ S == Σ R (the gap
+//     the four-counter termination waves must see drain)
+//
+// These checks are cheap (they read per-rank Stats snapshots) and are meant
+// to run after every traversal in tests, keeping the message plane honest as
+// perf work (buffer pooling, async flush) lands on top of it.
+package check
+
+import (
+	"fmt"
+	"strings"
+
+	"havoqgt/internal/core"
+	"havoqgt/internal/mailbox"
+)
+
+// Violation describes one failed invariant.
+type Violation struct {
+	Invariant string // short machine-usable name, e.g. "record-conservation"
+	Detail    string // human-readable explanation with the observed numbers
+}
+
+func (v Violation) String() string { return v.Invariant + ": " + v.Detail }
+
+// violations builds a []Violation with printf-style details.
+type violations []Violation
+
+func (vs *violations) addf(invariant, format string, args ...any) {
+	*vs = append(*vs, Violation{Invariant: invariant, Detail: fmt.Sprintf(format, args...)})
+}
+
+// Error folds a violation list into a single error (nil when empty).
+func Error(vs []Violation) error {
+	if len(vs) == 0 {
+		return nil
+	}
+	parts := make([]string, len(vs))
+	for i, v := range vs {
+		parts[i] = v.String()
+	}
+	return fmt.Errorf("check: %d invariant violation(s):\n  %s", len(vs), strings.Join(parts, "\n  "))
+}
+
+// MailboxQuiesced checks the conservation laws over per-rank mailbox stats
+// after a fully quiesced exchange: no records may remain in aggregation
+// buffers or in flight, so sent and delivered must balance exactly.
+func MailboxQuiesced(topo mailbox.Topology, stats []mailbox.Stats) []Violation {
+	pending := make([]int, len(stats))
+	return MailboxInFlight(topo, stats, pending)
+}
+
+// MailboxInFlight checks the conservation laws at a mid-traversal
+// synchronization point: pending[r] is rank r's Box.PendingRecords() — the
+// records parked in its aggregation buffers — and the transport must hold no
+// undrained envelopes when the snapshot is taken (poll-then-barrier).
+func MailboxInFlight(topo mailbox.Topology, stats []mailbox.Stats, pending []int) []Violation {
+	var vs violations
+	if len(pending) != len(stats) {
+		vs.addf("arity", "pending has %d entries for %d ranks", len(pending), len(stats))
+		return vs
+	}
+	var sent, delivered, forwarded, envSent, envRecv, hops, decodeErrs uint64
+	var pend uint64
+	for r, s := range stats {
+		sent += s.RecordsSent
+		delivered += s.RecordsDelivered
+		forwarded += s.RecordsForwarded
+		envSent += s.EnvelopesSent
+		envRecv += s.EnvelopesRecv
+		hops += s.Hops
+		decodeErrs += s.DecodeErrors
+		pend += uint64(pending[r])
+		if topo != nil && s.ChannelsUsed > topo.MaxChannels() {
+			vs.addf("channel-bound", "rank %d used %d next-hop channels, topology %s bounds it at %d",
+				r, s.ChannelsUsed, topo.Name(), topo.MaxChannels())
+		}
+	}
+	if sent != delivered+pend {
+		vs.addf("record-conservation",
+			"Σsent=%d != Σdelivered=%d + Σpending-in-buffers=%d (lost or duplicated records)",
+			sent, delivered, pend)
+	}
+	if envSent != envRecv {
+		vs.addf("envelope-conservation", "Σenvelopes sent=%d != Σenvelopes received=%d", envSent, envRecv)
+	}
+	if topo != nil {
+		if d := uint64(topo.Diameter()); hops > d*sent {
+			vs.addf("hop-bound", "Σhops=%d exceeds diameter(%d) × Σsent(%d) = %d on %s",
+				hops, d, sent, d*sent, topo.Name())
+		}
+	}
+	if hops < forwarded {
+		vs.addf("hop-bound", "Σhops=%d < Σforwarded=%d (every forward is at least one hop)", hops, forwarded)
+	}
+	if decodeErrs != 0 {
+		vs.addf("clean-decode", "Σdecode errors=%d on a healthy exchange (envelope corruption)", decodeErrs)
+	}
+	return vs
+}
+
+// Traversal checks every conservation law over per-rank core.Stats after a
+// quiesced traversal (the snapshot core.Queue.Run records at termination),
+// including the termination detector's S/R agreement with the mailbox
+// counters.
+func Traversal(topo mailbox.Topology, stats []core.Stats) []Violation {
+	mb := make([]mailbox.Stats, len(stats))
+	for r, s := range stats {
+		mb[r] = s.Mailbox
+	}
+	vs := violations(MailboxQuiesced(topo, mb))
+	var detS, detR uint64
+	for r, s := range stats {
+		detS += s.DetectorSent
+		detR += s.DetectorReceived
+		if s.DetectorSent != s.Mailbox.RecordsSent {
+			vs.addf("detector-agreement", "rank %d: detector S=%d != mailbox records sent=%d",
+				r, s.DetectorSent, s.Mailbox.RecordsSent)
+		}
+		if s.DetectorReceived != s.Mailbox.RecordsDelivered {
+			vs.addf("detector-agreement", "rank %d: detector R=%d != mailbox records delivered=%d",
+				r, s.DetectorReceived, s.Mailbox.RecordsDelivered)
+		}
+		if s.Received != s.Mailbox.RecordsDelivered {
+			vs.addf("queue-agreement", "rank %d: visitors received=%d != mailbox records delivered=%d",
+				r, s.Received, s.Mailbox.RecordsDelivered)
+		}
+		// Every visitor push either gets ghost-filtered or becomes a mailbox
+		// send; replica forwards send again. Anything else is a leak.
+		if want := s.Pushed - s.GhostFiltered + s.Forwarded; want != s.Mailbox.RecordsSent {
+			vs.addf("push-accounting",
+				"rank %d: pushed(%d) − ghost-filtered(%d) + replica-forwarded(%d) = %d != mailbox records sent=%d",
+				r, s.Pushed, s.GhostFiltered, s.Forwarded, want, s.Mailbox.RecordsSent)
+		}
+	}
+	if detS != detR {
+		vs.addf("termination-drain", "ΣS=%d != ΣR=%d after detection (the S−R gap never drained)", detS, detR)
+	}
+	return vs
+}

@@ -1,0 +1,230 @@
+package check
+
+import (
+	"fmt"
+
+	"havoqgt/internal/algos/bfs"
+	"havoqgt/internal/algos/cc"
+	"havoqgt/internal/algos/kcore"
+	"havoqgt/internal/algos/sssp"
+	"havoqgt/internal/algos/triangle"
+	"havoqgt/internal/core"
+	"havoqgt/internal/graph"
+	"havoqgt/internal/mailbox"
+	"havoqgt/internal/partition"
+	"havoqgt/internal/ref"
+	"havoqgt/internal/rt"
+	"havoqgt/internal/xrand"
+)
+
+// Algos lists the algorithms the differential harness can exercise.
+func Algos() []string { return []string{"bfs", "sssp", "cc", "kcore", "triangle"} }
+
+// Topologies lists the routing topologies the harness sweeps.
+func Topologies() []string { return []string{"1d", "2d", "3d"} }
+
+// Case is one randomized differential run: an algorithm on a random graph,
+// executed on the simulated machine under a routing topology and a flush
+// threshold, compared against the sequential reference in internal/ref, with
+// the conservation invariants asserted on the traversal's stats.
+type Case struct {
+	Algo       string // "bfs", "sssp", "cc", "kcore", "triangle"
+	Seed       uint64 // graph shape, source vertex and edge weights
+	N          uint64 // vertices
+	EdgeFactor int    // ≈ directed edges per vertex before undirecting
+	Ranks      int    // simulated machine size
+	Topo       string // "1d", "2d", "3d"
+	FlushBytes int    // mailbox aggregation threshold (1 = degenerate)
+	K          uint32 // k-core parameter (kcore only)
+}
+
+func (c Case) String() string {
+	return fmt.Sprintf("%s/seed=%d/n=%d/ef=%d/p=%d/%s/flush=%d",
+		c.Algo, c.Seed, c.N, c.EdgeFactor, c.Ranks, c.Topo, c.FlushBytes)
+}
+
+// flushGrid holds the threshold sweep, including the degenerate 1-byte
+// threshold (every record ships alone) and a huge one (nothing ships until
+// FlushAll).
+var flushGrid = []int{1, 24, 256, 4096, 1 << 20}
+
+// RandomCase draws a case from rng. Sizes stay small so thousands of cases
+// run in seconds; the coverage comes from the cross product, not the scale.
+func RandomCase(rng *xrand.Rand) Case {
+	algos, topos := Algos(), Topologies()
+	return Case{
+		Algo:       algos[rng.Intn(len(algos))],
+		Seed:       rng.Uint64(),
+		N:          8 + rng.Uint64n(56),
+		EdgeFactor: 1 + rng.Intn(4),
+		Ranks:      []int{1, 2, 3, 4, 5, 8, 9}[rng.Intn(7)],
+		Topo:       topos[rng.Intn(len(topos))],
+		FlushBytes: flushGrid[rng.Intn(len(flushGrid))],
+		K:          1 + uint32(rng.Intn(4)),
+	}
+}
+
+// Edges returns the case's deterministic random edge list. kcore and
+// triangle require a simple undirected graph; the rest tolerate duplicates
+// and self-loops, which the partition builder keeps.
+func (c Case) Edges() []graph.Edge {
+	rng := xrand.New(c.Seed)
+	m := int(c.N) * c.EdgeFactor
+	pairs := make([]graph.Edge, m)
+	for i := range pairs {
+		pairs[i] = graph.Edge{
+			Src: graph.Vertex(rng.Uint64n(c.N)),
+			Dst: graph.Vertex(rng.Uint64n(c.N)),
+		}
+	}
+	if c.Algo == "kcore" || c.Algo == "triangle" {
+		return graph.Simplify(graph.Undirect(pairs))
+	}
+	return graph.Undirect(pairs)
+}
+
+// source derives the deterministic source vertex for BFS/SSSP.
+func (c Case) source() graph.Vertex {
+	return graph.Vertex(xrand.Mix64(c.Seed^0xA5A5) % c.N)
+}
+
+// Run executes the case and returns a non-nil error describing any
+// divergence from the reference implementation or any violated conservation
+// invariant.
+func (c Case) Run() (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("%s: panic: %v", c, r)
+		}
+	}()
+	topo, err := mailbox.ByName(c.Topo, c.Ranks)
+	if err != nil {
+		return fmt.Errorf("%s: %w", c, err)
+	}
+	edges := c.Edges()
+	stats := make([]core.Stats, c.Ranks)
+	gathered := newGather(c.N)
+
+	run := func(fn func(r *rt.Rank, part *partition.Part, cfg core.Config) core.Stats) {
+		m := rt.NewMachine(c.Ranks)
+		m.Run(func(r *rt.Rank) {
+			var local []graph.Edge
+			for i, e := range edges {
+				if i%c.Ranks == r.Rank() {
+					local = append(local, e)
+				}
+			}
+			part, err := partition.BuildEdgeList(r, local, c.N)
+			if err != nil {
+				panic(err)
+			}
+			cfg := core.Config{Topology: topo, FlushBytes: c.FlushBytes}
+			stats[r.Rank()] = fn(r, part, cfg)
+		})
+	}
+
+	adj := ref.BuildAdj(edges, c.N)
+	switch c.Algo {
+	case "bfs":
+		run(func(r *rt.Rank, part *partition.Part, cfg core.Config) core.Stats {
+			res := bfs.Run(r, part, c.source(), cfg)
+			gathered.set(part, func(v graph.Vertex) uint64 {
+				i, _ := part.LocalIndex(v)
+				return uint64(res.Level[i])
+			})
+			return res.Stats
+		})
+		want, _ := ref.BFS(adj, c.source())
+		for v := uint64(0); v < c.N; v++ {
+			if uint32(gathered.values[v]) != want[v] {
+				return fmt.Errorf("%s: bfs level(%d) = %d, ref says %d",
+					c, v, uint32(gathered.values[v]), want[v])
+			}
+		}
+	case "sssp":
+		run(func(r *rt.Rank, part *partition.Part, cfg core.Config) core.Stats {
+			res := sssp.Run(r, part, c.source(), c.Seed, cfg)
+			gathered.set(part, func(v graph.Vertex) uint64 {
+				i, _ := part.LocalIndex(v)
+				return res.Dist[i]
+			})
+			return res.Stats
+		})
+		want, _ := ref.Dijkstra(adj, c.source(), func(u, v graph.Vertex) uint64 {
+			return sssp.Weight(u, v, c.Seed)
+		})
+		for v := uint64(0); v < c.N; v++ {
+			if gathered.values[v] != want[v] {
+				return fmt.Errorf("%s: sssp dist(%d) = %d, ref says %d",
+					c, v, gathered.values[v], want[v])
+			}
+		}
+	case "cc":
+		run(func(r *rt.Rank, part *partition.Part, cfg core.Config) core.Stats {
+			res := cc.Run(r, part, cfg)
+			gathered.set(part, func(v graph.Vertex) uint64 {
+				i, _ := part.LocalIndex(v)
+				return uint64(res.Label[i])
+			})
+			return res.Stats
+		})
+		want, _ := ref.Components(adj)
+		for v := uint64(0); v < c.N; v++ {
+			if graph.Vertex(gathered.values[v]) != want[v] {
+				return fmt.Errorf("%s: cc label(%d) = %d, ref says %d",
+					c, v, gathered.values[v], want[v])
+			}
+		}
+	case "kcore":
+		run(func(r *rt.Rank, part *partition.Part, cfg core.Config) core.Stats {
+			res := kcore.Run(r, part, c.K, cfg)
+			gathered.set(part, func(v graph.Vertex) uint64 {
+				if res.InCore(v) {
+					return 1
+				}
+				return 0
+			})
+			return res.Stats
+		})
+		want := ref.KCore(adj, c.K)
+		for v := uint64(0); v < c.N; v++ {
+			if (gathered.values[v] == 1) != want[v] {
+				return fmt.Errorf("%s: kcore(%d) in-core=%v, ref says %v",
+					c, v, gathered.values[v] == 1, want[v])
+			}
+		}
+	case "triangle":
+		counts := make([]uint64, c.Ranks)
+		run(func(r *rt.Rank, part *partition.Part, cfg core.Config) core.Stats {
+			res := triangle.Run(r, part, cfg)
+			counts[r.Rank()] = res.GlobalCount
+			return res.Stats
+		})
+		want := ref.CountTriangles(adj)
+		for rank, got := range counts {
+			if got != want {
+				return fmt.Errorf("%s: rank %d counted %d triangles, ref says %d", c, rank, got, want)
+			}
+		}
+	default:
+		return fmt.Errorf("%s: unknown algorithm", c)
+	}
+
+	if err := Error(Traversal(topo, stats)); err != nil {
+		return fmt.Errorf("%s: %w", c, err)
+	}
+	return nil
+}
+
+// gather collects one uint64 per master vertex across ranks (master ranges
+// are disjoint, so concurrent set calls never collide).
+type gather struct{ values []uint64 }
+
+func newGather(n uint64) *gather { return &gather{values: make([]uint64, n)} }
+
+func (g *gather) set(part *partition.Part, get func(v graph.Vertex) uint64) {
+	lo, hi := part.Owners.MasterRange(part.Rank)
+	for v := lo; v < hi; v++ {
+		g.values[v] = get(graph.Vertex(v))
+	}
+}

@@ -1,0 +1,51 @@
+package check
+
+import (
+	"testing"
+
+	"havoqgt/internal/xrand"
+)
+
+// TestDifferentialRandomized is the randomized differential harness entry
+// point: seeded cases drawn over {algorithm × graph × rank count × topology
+// × flush threshold}, each compared against internal/ref and run through the
+// conservation invariants. Failures print the full Case string, which is
+// sufficient to replay the run deterministically.
+func TestDifferentialRandomized(t *testing.T) {
+	cases := 48
+	if testing.Short() {
+		cases = 10
+	}
+	rng := xrand.New(0xD1FF)
+	for i := 0; i < cases; i++ {
+		c := RandomCase(rng)
+		t.Run(c.String(), func(t *testing.T) {
+			if err := c.Run(); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+// TestDifferentialReplaySeeds pins a few historically interesting shapes:
+// single-rank machines (pure loopback), prime rank counts (ragged grids
+// with fallback-to-direct routing), and the degenerate 1-byte threshold.
+func TestDifferentialReplaySeeds(t *testing.T) {
+	pinned := []Case{
+		{Algo: "bfs", Seed: 1, N: 40, EdgeFactor: 2, Ranks: 1, Topo: "3d", FlushBytes: 1},
+		{Algo: "sssp", Seed: 2, N: 33, EdgeFactor: 3, Ranks: 5, Topo: "2d", FlushBytes: 1},
+		{Algo: "cc", Seed: 3, N: 48, EdgeFactor: 1, Ranks: 7, Topo: "3d", FlushBytes: 24},
+		{Algo: "kcore", Seed: 4, N: 30, EdgeFactor: 4, Ranks: 5, Topo: "2d", FlushBytes: 1, K: 3},
+		{Algo: "triangle", Seed: 5, N: 26, EdgeFactor: 3, Ranks: 3, Topo: "3d", FlushBytes: 1 << 20},
+	}
+	if testing.Short() {
+		pinned = pinned[:3]
+	}
+	for _, c := range pinned {
+		t.Run(c.String(), func(t *testing.T) {
+			if err := c.Run(); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}

@@ -1,0 +1,73 @@
+package check
+
+import (
+	"fmt"
+	"testing"
+
+	"havoqgt/internal/mailbox"
+	"havoqgt/internal/rt"
+)
+
+// TestRecordConservationMidFlight asserts the full per-machine conservation
+// law — Σsent == Σdelivered + Σforwarded-in-buffers — at synchronization
+// points *between* flush rounds, not just after quiescence. A huge flush
+// threshold parks every routed record in aggregation buffers, so each
+// Poll→barrier→snapshot round sees the in-flight gap entirely inside
+// Box.PendingRecords; Diameter()+1 flush rounds drain it to zero.
+func TestRecordConservationMidFlight(t *testing.T) {
+	for _, name := range Topologies() {
+		for _, p := range []int{4, 9} {
+			t.Run(fmt.Sprintf("%s/p=%d", name, p), func(t *testing.T) {
+				topo, err := mailbox.ByName(name, p)
+				if err != nil {
+					t.Fatal(err)
+				}
+				rounds := topo.Diameter() + 1
+				stats := make([]mailbox.Stats, p)
+				pending := make([]int, p)
+				perRound := make([][]Violation, rounds)
+				m := rt.NewMachine(p)
+				m.Run(func(r *rt.Rank) {
+					box := mailbox.New(r, topo, nil, mailbox.WithFlushBytes(1<<20))
+					for dest := 0; dest < p; dest++ {
+						box.Send(dest, []byte(fmt.Sprintf("%d->%d", r.Rank(), dest)))
+					}
+					for round := 0; round < rounds; round++ {
+						// All sends/ships happened-before the barrier; Poll then
+						// drains everything in flight into deliveries or buffers.
+						r.Barrier()
+						box.Poll()
+						r.Barrier()
+						// Transport quiet: snapshot and check conservation.
+						stats[r.Rank()] = box.Stats()
+						pending[r.Rank()] = box.PendingRecords()
+						r.Barrier()
+						if r.Rank() == 0 {
+							perRound[round] = MailboxInFlight(topo, stats, pending)
+						}
+						box.FlushAll()
+					}
+				})
+				for round, vs := range perRound {
+					if err := Error(vs); err != nil {
+						t.Fatalf("round %d: %v", round, err)
+					}
+				}
+				// After Diameter()+1 flush rounds everything must have landed.
+				var sent, delivered, pend uint64
+				for r := 0; r < p; r++ {
+					sent += stats[r].RecordsSent
+					delivered += stats[r].RecordsDelivered
+					pend += uint64(pending[r])
+				}
+				if sent != uint64(p*p) {
+					t.Fatalf("Σsent = %d, want %d", sent, p*p)
+				}
+				if pend != 0 || delivered != sent {
+					t.Fatalf("after %d rounds: delivered=%d pending=%d of %d sent",
+						rounds, delivered, pend, sent)
+				}
+			})
+		}
+	}
+}

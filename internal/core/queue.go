@@ -26,6 +26,14 @@ type Stats struct {
 	Forwarded     uint64 // visitors forwarded along a replica chain
 	Mailbox       mailbox.Stats
 	DetectorWaves uint64
+	// DetectorSent/DetectorReceived are the termination detector's monotone
+	// S and R counters at quiescence. The mailbox feeds the detector (one
+	// CountSent per Send, one CountReceived per delivery), so after a quiesced
+	// traversal they must agree exactly with Mailbox.RecordsSent and
+	// Mailbox.RecordsDelivered on every rank — the S−R in-flight gap the
+	// four-counter waves watch drain. internal/check asserts this.
+	DetectorSent     uint64
+	DetectorReceived uint64
 }
 
 // Config tunes a Queue.
@@ -226,6 +234,8 @@ func (q *Queue[V]) Run() {
 		if q.det.Pump(idle) {
 			q.stats.Mailbox = q.mb.Stats()
 			q.stats.DetectorWaves = q.det.Waves
+			q.stats.DetectorSent = q.det.Sent()
+			q.stats.DetectorReceived = q.det.Received()
 			// End-of-traversal barrier: no rank may leave Run (and start
 			// pushing a *next* traversal's visitors) while another rank
 			// could still poll this traversal's mailbox — a record consumed

@@ -7,7 +7,9 @@ package extmem
 
 import (
 	"encoding/binary"
+	"errors"
 	"fmt"
+	"io"
 	"os"
 	"time"
 
@@ -46,8 +48,12 @@ func (s *Store) Read(lo, hi uint64) []graph.Vertex {
 	}
 	s.buf = s.buf[:n]
 	s.raw = s.raw[:n*vertexBytes]
-	if _, err := s.cache.ReadAt(s.raw, int64(lo)*vertexBytes); err != nil {
-		panic(fmt.Sprintf("extmem: device read failed: %v", err))
+	// A full read is required: the range check above guarantees the request
+	// lies inside the device, so io.EOF with a complete buffer (legal under
+	// the io.ReaderAt contract) is the only acceptable non-nil error.
+	if nr, err := s.cache.ReadAt(s.raw, int64(lo)*vertexBytes); err != nil &&
+		!(errors.Is(err, io.EOF) && nr == len(s.raw)) {
+		panic(fmt.Sprintf("extmem: device read failed after %d bytes: %v", nr, err))
 	}
 	for i := 0; i < n; i++ {
 		s.buf[i] = graph.Vertex(binary.LittleEndian.Uint64(s.raw[i*vertexBytes:]))

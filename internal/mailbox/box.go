@@ -30,6 +30,7 @@ type Stats struct {
 	EnvelopesRecv    uint64
 	Hops             uint64 // transport hops taken by routed records
 	Flushes          uint64 // idle-driven FlushAll envelope shipments
+	DecodeErrors     uint64 // malformed envelope contents rejected by Poll
 	ChannelsUsed     int    // distinct next-hop ranks actually used
 }
 
@@ -52,6 +53,7 @@ type metrics struct {
 	envelopesRecv *obs.PerRank
 	hops          *obs.PerRank
 	flushes       *obs.PerRank
+	decodeErrors  *obs.PerRank
 	envelopeBytes *obs.Histogram
 }
 
@@ -66,6 +68,7 @@ func newMetrics(r *rt.Rank) metrics {
 		envelopesRecv: reg.PerRank(obs.MBEnvelopesRecv, p),
 		hops:          reg.PerRank(obs.MBHops, p),
 		flushes:       reg.PerRank(obs.MBFlushes, p),
+		decodeErrors:  reg.PerRank(obs.MBDecodeErrors, p),
 		envelopeBytes: reg.Histogram(obs.MBEnvelopeBytes),
 	}
 }
@@ -79,14 +82,17 @@ type Box struct {
 	det  *termination.Detector
 
 	flushBytes int
-	buffers    map[int][]byte // next-hop rank -> pending aggregated records
+	buffers    map[int][]byte   // next-hop rank -> pending aggregated records
+	channels   map[int]struct{} // distinct next-hop ranks ever used (Stats.ChannelsUsed)
 	delivered  []Record
 	stats      Stats
 	met        metrics
 	inFlush    bool // inside FlushAll (attributes shipments to MBFlushes)
 }
 
-// Record is one delivered visitor record.
+// Record is one delivered visitor record. The payload is an exclusive copy
+// owned by the receiver: it never aliases transport buffers or sibling
+// records, so callers may retain or mutate it freely.
 type Record struct {
 	Payload []byte
 }
@@ -111,6 +117,7 @@ func New(r *rt.Rank, topo Topology, det *termination.Detector, opts ...Option) *
 		det:        det,
 		flushBytes: DefaultFlushBytes,
 		buffers:    make(map[int][]byte),
+		channels:   make(map[int]struct{}),
 		met:        newMetrics(r),
 	}
 	for _, o := range opts {
@@ -129,7 +136,7 @@ func (b *Box) Send(dest int, record []byte) {
 	}
 	if dest == b.r.Rank() {
 		// Loopback delivery, as MPI self-sends do.
-		b.deliver(record, true)
+		b.deliver(record)
 		return
 	}
 	b.enqueue(dest, record)
@@ -142,7 +149,11 @@ func (b *Box) enqueue(dest int, record []byte) {
 	b.stats.Hops++
 	b.met.hops.Inc(b.met.rank)
 	buf := b.buffers[hop]
-	if buf == nil {
+	// Count distinct next-hop channels, not buffer (re)creations: a buffer is
+	// nil again after every ship/FlushAll, so keying the count off buffer
+	// existence would inflate ChannelsUsed past Topology.MaxChannels.
+	if _, seen := b.channels[hop]; !seen {
+		b.channels[hop] = struct{}{}
 		b.stats.ChannelsUsed++
 	}
 	var hdr [recordHeader]byte
@@ -170,11 +181,12 @@ func (b *Box) ship(hop int, buf []byte) {
 }
 
 // deliver appends a record addressed to this rank to the delivered queue.
-// copyBytes is set for loopback sends whose caller may reuse the buffer.
-func (b *Box) deliver(record []byte, copyBytes bool) {
-	if copyBytes {
-		record = append([]byte(nil), record...)
-	}
+// The bytes are always copied: delivered payloads must never alias the
+// incoming envelope's backing array (a caller mutating — or appending to —
+// one Record.Payload would silently corrupt sibling records and block
+// transport buffer reuse) nor a loopback caller's reusable buffer.
+func (b *Box) deliver(record []byte) {
+	record = append(make([]byte, 0, len(record)), record...)
 	b.delivered = append(b.delivered, Record{Payload: record})
 	b.stats.RecordsDelivered++
 	b.met.delivered.Inc(b.met.rank)
@@ -183,32 +195,76 @@ func (b *Box) deliver(record []byte, copyBytes bool) {
 	}
 }
 
+// decodeError counts one malformed envelope datum (Stats.DecodeErrors and
+// the mailbox.decode_errors obs metric).
+func (b *Box) decodeError() {
+	b.stats.DecodeErrors++
+	b.met.decodeErrors.Inc(b.met.rank)
+}
+
+// decodeEnvelope walks one envelope's framed records, delivering records
+// addressed to this rank and re-forwarding the rest. Malformed framing never
+// panics: a record whose header length exceeds the remaining bytes (or a
+// truncated trailing header) discards the rest of the envelope, and a record
+// whose dest is outside [0, p) is skipped — both counted as decode errors.
+func (b *Box) decodeEnvelope(p []byte) {
+	for len(p) > 0 {
+		if len(p) < recordHeader {
+			b.decodeError() // truncated header tail
+			return
+		}
+		dest := int(binary.LittleEndian.Uint32(p[0:]))
+		n := int(binary.LittleEndian.Uint32(p[4:]))
+		if n > len(p)-recordHeader {
+			b.decodeError() // oversized length: would run past the envelope
+			return
+		}
+		rec := p[recordHeader : recordHeader+n]
+		p = p[recordHeader+n:]
+		if dest < 0 || dest >= b.r.Size() {
+			b.decodeError() // misrouted dest: NextHop preconditions violated
+			continue
+		}
+		if dest == b.r.Rank() {
+			b.deliver(rec)
+		} else {
+			b.stats.RecordsForwarded++
+			b.met.forwarded.Inc(b.met.rank)
+			b.enqueue(dest, rec)
+		}
+	}
+}
+
 // Poll drains incoming envelopes, re-forwards records routed through this
 // rank, and returns the records whose final destination is this rank —
 // including loopback records Sent since the previous Poll. The caller owns
-// the returned slice.
+// the returned slice and every Record.Payload in it (payloads are exclusive
+// copies; see Record).
 func (b *Box) Poll() []Record {
 	for _, m := range b.r.Recv(rt.KindMailbox) {
 		b.stats.EnvelopesRecv++
 		b.met.envelopesRecv.Inc(b.met.rank)
-		p := m.Payload
-		for len(p) >= recordHeader {
-			dest := int(binary.LittleEndian.Uint32(p[0:]))
-			n := int(binary.LittleEndian.Uint32(p[4:]))
-			rec := p[recordHeader : recordHeader+n]
-			p = p[recordHeader+n:]
-			if dest == b.r.Rank() {
-				b.deliver(rec, false)
-			} else {
-				b.stats.RecordsForwarded++
-				b.met.forwarded.Inc(b.met.rank)
-				b.enqueue(dest, rec)
-			}
-		}
+		b.decodeEnvelope(m.Payload)
 	}
 	out := b.delivered
 	b.delivered = nil
 	return out
+}
+
+// PendingRecords counts records currently parked in this rank's aggregation
+// buffers — the per-rank term of the machine-wide conservation law
+// Σsent == Σdelivered + Σpending that internal/check asserts between flush
+// rounds (buffers are self-framed and well-formed by construction).
+func (b *Box) PendingRecords() int {
+	total := 0
+	for _, buf := range b.buffers {
+		for len(buf) >= recordHeader {
+			n := int(binary.LittleEndian.Uint32(buf[4:]))
+			buf = buf[recordHeader+n:]
+			total++
+		}
+	}
+	return total
 }
 
 // FlushAll ships every non-empty aggregation buffer. Called when the rank

@@ -241,6 +241,80 @@ func TestLoopbackDelivery(t *testing.T) {
 	})
 }
 
+func TestChannelsUsedNotInflatedByFlush(t *testing.T) {
+	// Regression: ChannelsUsed counted aggregation-buffer (re)creations, so a
+	// FlushAll between sends to the same destination double-counted the
+	// channel. It must count distinct next-hop ranks only.
+	p := 2
+	m := rt.NewMachine(p)
+	m.Run(func(r *rt.Rank) {
+		if r.Rank() != 0 {
+			// Drain whatever rank 0 ships so the machine can stop cleanly.
+			box := New(r, NewDirect(p), nil)
+			deadline := time.Now().Add(10 * time.Second)
+			for n := 0; n < 3; {
+				n += len(box.Poll())
+				if time.Now().After(deadline) {
+					panic("records never arrived")
+				}
+			}
+			return
+		}
+		box := New(r, NewDirect(p), nil, WithFlushBytes(1<<20))
+		for i := 0; i < 3; i++ {
+			box.Send(1, []byte("x"))
+			box.FlushAll() // buffer is nil'd; next Send re-creates it
+		}
+		if got := box.Stats().ChannelsUsed; got != 1 {
+			panic(fmt.Sprintf("ChannelsUsed = %d after flushes between sends, want 1", got))
+		}
+	})
+}
+
+func TestDeliveredRecordsDoNotAlias(t *testing.T) {
+	// Regression: records delivered from one envelope shared its backing
+	// array, so appending to (or scribbling over) one Record.Payload could
+	// corrupt its siblings. Each payload must be an exclusive copy.
+	p := 2
+	m := rt.NewMachine(p)
+	m.Run(func(r *rt.Rank) {
+		box := New(r, NewDirect(p), nil, WithFlushBytes(1))
+		if r.Rank() == 0 {
+			// Two records in one envelope: big flush threshold on a manual
+			// FlushAll keeps them in a single transport message.
+			agg := New(r, NewDirect(p), nil, WithFlushBytes(1<<20))
+			agg.Send(1, []byte("first"))
+			agg.Send(1, []byte("second"))
+			agg.FlushAll()
+			return
+		}
+		deadline := time.Now().Add(10 * time.Second)
+		var recs []Record
+		for len(recs) < 2 {
+			recs = append(recs, box.Poll()...)
+			if time.Now().After(deadline) {
+				panic("records never arrived")
+			}
+		}
+		// Mutate record 0 aggressively: grow it and scribble over it.
+		recs[0].Payload = append(recs[0].Payload, []byte("-overflow-overflow")...)
+		for i := range recs[0].Payload {
+			recs[0].Payload[i] = 0xFF
+		}
+		if string(recs[1].Payload) != "second" {
+			panic(fmt.Sprintf("sibling record corrupted by mutation: %q", recs[1].Payload))
+		}
+		// Loopback deliveries must not alias the sender's reusable buffer.
+		buf := []byte("loop")
+		box.Send(1, buf)
+		got := box.Poll()
+		copy(buf, "XXXX")
+		if len(got) != 1 || string(got[0].Payload) != "loop" {
+			panic("loopback record aliases the caller's buffer")
+		}
+	})
+}
+
 func TestStatsForwarding(t *testing.T) {
 	if testing.Short() {
 		// Needs the 4x4 grid to pin the pivot rank; forwarding itself is

@@ -3,6 +3,8 @@ package mailbox
 import (
 	"testing"
 	"testing/quick"
+
+	"havoqgt/internal/rt"
 )
 
 // TestQuickRoutesTerminate: for any (p, from, dest) and every topology, the
@@ -33,6 +35,42 @@ func TestQuickRoutesTerminate(t *testing.T) {
 		return true
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickChannelsUsedWithinBound: after any sequence of sends with
+// flushes interleaved, a rank's ChannelsUsed never exceeds the topology's
+// MaxChannels bound. Guards the distinct-hop counting fix: counting buffer
+// (re)creations instead of distinct hops inflates past the bound as soon as
+// a FlushAll lands between sends to the same next hop.
+func TestQuickChannelsUsedWithinBound(t *testing.T) {
+	f := func(pSel uint8, dests []uint16, flushMask uint8) bool {
+		p := int(pSel)%32 + 1
+		ok := true
+		m := rt.NewMachine(p)
+		m.Run(func(r *rt.Rank) {
+			if r.Rank() != 0 {
+				return
+			}
+			for _, topo := range []Topology{NewDirect(p), NewGrid2D(p), NewGrid3D(p)} {
+				box := New(r, topo, nil, WithFlushBytes(1<<20))
+				for i, d := range dests {
+					box.Send(int(d)%p, []byte("q"))
+					if i%8 == int(flushMask)%8 {
+						box.FlushAll()
+					}
+				}
+				if got := box.Stats().ChannelsUsed; got > topo.MaxChannels() {
+					t.Logf("%s p=%d: ChannelsUsed=%d exceeds MaxChannels=%d",
+						topo.Name(), p, got, topo.MaxChannels())
+					ok = false
+				}
+			}
+		})
+		return ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
 		t.Fatal(err)
 	}
 }

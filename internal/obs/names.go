@@ -25,6 +25,10 @@ const (
 	MBEnvelopesSent    = "mailbox.envelopes_sent"    // aggregated transport messages shipped
 	MBEnvelopesRecv    = "mailbox.envelopes_recv"
 	MBFlushes          = "mailbox.flushes" // idle-driven FlushAll envelope shipments
+	// MBDecodeErrors counts malformed envelope contents rejected by Box.Poll
+	// (truncated headers, oversized record lengths, out-of-range dests). Any
+	// nonzero value on a healthy traversal indicates envelope corruption.
+	MBDecodeErrors = "mailbox.decode_errors"
 	// MBHops counts transport hops taken by routed records: every enqueue
 	// toward a next hop is one hop (loopback delivery is zero hops), so
 	// hops = non-loopback records sent + records forwarded. The per-record

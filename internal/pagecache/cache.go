@@ -2,6 +2,7 @@ package pagecache
 
 import (
 	"fmt"
+	"io"
 	"sync"
 )
 
@@ -75,6 +76,10 @@ func (c *Cache) NumFrames() int { return len(c.frames) }
 
 // ReadAt fills p from offset off through the cache, returning the number of
 // bytes read. Reads crossing page boundaries are split internally.
+//
+// ReadAt honors the io.ReaderAt contract: when it returns n < len(p) because
+// the read was clamped at end-of-device, the error is io.EOF (a full read
+// ending exactly at the device boundary returns nil).
 func (c *Cache) ReadAt(p []byte, off int64) (int, error) {
 	if off < 0 {
 		return 0, fmt.Errorf("pagecache: negative offset")
@@ -101,6 +106,11 @@ func (c *Cache) ReadAt(p []byte, off int64) (int, error) {
 	c.mu.Lock()
 	c.stats.BytesRead += uint64(total)
 	c.mu.Unlock()
+	if len(p) > 0 {
+		// The loop stopped with bytes still wanted: the read was clamped at
+		// end-of-device. io.ReaderAt requires a non-nil error here.
+		return total, io.EOF
+	}
 	return total, nil
 }
 
@@ -151,10 +161,26 @@ func (c *Cache) readFromPage(dst []byte, page int64, inPage int) error {
 		c.table[page] = f
 		c.mu.Unlock()
 
-		n, err := c.dev.ReadAt(f.data, page*int64(c.pageSize))
+		// The page is only allowed to fall short of pageSize where the device
+		// itself ends; anything shorter mid-device is a failed load. A device
+		// returning (n>0, err) must NOT have its partial data published as
+		// valid cache contents.
+		pageOff := page * int64(c.pageSize)
+		want := c.pageSize
+		if rem := c.dev.Size() - pageOff; rem < int64(want) {
+			want = int(rem)
+		}
+		n, err := c.dev.ReadAt(f.data[:want], pageOff)
+		if err == io.EOF && n == want {
+			err = nil // a full read ending at the device boundary may carry EOF
+		}
+		if err == nil && n < want {
+			err = io.ErrUnexpectedEOF // short read without an error: device broke its contract
+		}
 		c.mu.Lock()
-		if err != nil && n <= 0 {
-			// Failed load: withdraw the frame so later readers retry.
+		if err != nil {
+			// Failed or partial load: withdraw the frame so later readers
+			// retry, and propagate the device error to this caller.
 			delete(c.table, page)
 			f.page = -1
 			close(f.loading)
@@ -162,8 +188,8 @@ func (c *Cache) readFromPage(dst []byte, page int64, inPage int) error {
 			c.mu.Unlock()
 			return err
 		}
-		for i := n; i < len(f.data); i++ {
-			f.data[i] = 0 // zero-fill device tail
+		for i := want; i < len(f.data); i++ {
+			f.data[i] = 0 // zero-fill only past end-of-device
 		}
 		close(f.loading)
 		f.loading = nil

@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"errors"
 	"fmt"
+	"io"
 	"sync"
 	"sync/atomic"
 	"testing"
@@ -69,6 +70,88 @@ func TestCacheRecoversAfterDeviceError(t *testing.T) {
 		t.Fatal("recovered page not cached")
 	}
 }
+
+// shortReadDevice returns (n>0, err) for the first failN reads — the
+// partial-read-with-error case a real device produces on a mid-transfer
+// fault — then behaves like its backing memory device.
+type shortReadDevice struct {
+	mem   MemDevice
+	failN atomic.Int64
+	short int // bytes "transferred" before the injected fault
+}
+
+func (d *shortReadDevice) ReadAt(p []byte, off int64) (int, error) {
+	if d.failN.Add(-1) >= 0 {
+		n, _ := d.mem.ReadAt(p, off)
+		if n > d.short {
+			n = d.short
+		}
+		return n, errInjected
+	}
+	return d.mem.ReadAt(p, off)
+}
+func (d *shortReadDevice) Size() int64  { return d.mem.Size() }
+func (d *shortReadDevice) Close() error { return nil }
+
+func TestCacheShortReadWithErrorNotCached(t *testing.T) {
+	// A device returning (n>0, err) mid-device must propagate the error and
+	// must NOT publish the partially-read, zero-filled page as valid cache
+	// contents.
+	data := testData(4096)
+	dev := &shortReadDevice{mem: MemDevice{Data: data}, short: 7}
+	dev.failN.Store(1)
+	c, err := New(dev, 256, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 256)
+	if _, err := c.ReadAt(buf, 0); !errors.Is(err, errInjected) {
+		t.Fatalf("partial read error swallowed: got %v", err)
+	}
+	// The page must not have been cached: the retry re-faults it and returns
+	// the true bytes, never a zero-filled tail.
+	n, err := c.ReadAt(buf, 0)
+	if err != nil || n != 256 {
+		t.Fatalf("read after recovery = %d, %v", n, err)
+	}
+	if !bytes.Equal(buf, data[:256]) {
+		t.Fatal("partially-read page was published as cache contents")
+	}
+	if c.Stats().Misses < 2 {
+		t.Fatalf("failed partial load was cached: %+v", c.Stats())
+	}
+}
+
+func TestCacheShortReadWithoutErrorRejected(t *testing.T) {
+	// A device that short-reads mid-device with a nil error violates the
+	// BlockDevice contract; the cache must reject the page rather than
+	// zero-fill the gap.
+	data := testData(1024)
+	lying := &truncatingDevice{mem: MemDevice{Data: data}, cap: 10}
+	c, err := New(lying, 256, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 64)
+	if _, err := c.ReadAt(buf, 0); !errors.Is(err, io.ErrUnexpectedEOF) {
+		t.Fatalf("contract-violating short read accepted: err=%v", err)
+	}
+}
+
+// truncatingDevice returns at most cap bytes per read with a nil error.
+type truncatingDevice struct {
+	mem MemDevice
+	cap int
+}
+
+func (d *truncatingDevice) ReadAt(p []byte, off int64) (int, error) {
+	if len(p) > d.cap {
+		p = p[:d.cap]
+	}
+	return d.mem.ReadAt(p, off)
+}
+func (d *truncatingDevice) Size() int64  { return d.mem.Size() }
+func (d *truncatingDevice) Close() error { return nil }
 
 func TestCacheConcurrentReadersSurviveErrors(t *testing.T) {
 	data := testData(1 << 14)

@@ -1,0 +1,66 @@
+package pagecache
+
+import (
+	"bytes"
+	"io"
+	"testing"
+)
+
+// FuzzCacheReadAt drives Cache.ReadAt with arbitrary device contents, page
+// geometry, offsets and lengths, and checks the io.ReaderAt contract against
+// the device bytes directly: full reads return nil, reads clamped at
+// end-of-device return (avail, io.EOF), reads at-or-past the end return
+// (0, io.EOF), and the returned bytes always match the device.
+func FuzzCacheReadAt(f *testing.F) {
+	f.Add([]byte("0123456789abcdef"), uint8(4), uint8(2), int64(3), uint16(8))
+	f.Add([]byte{}, uint8(0), uint8(0), int64(0), uint16(1))        // empty device
+	f.Add([]byte("x"), uint8(255), uint8(7), int64(0), uint16(512)) // 1-byte device, big read
+	f.Add([]byte("page-boundary--page-boundary"), uint8(13), uint8(1), int64(13), uint16(14))
+	f.Add([]byte("tail"), uint8(2), uint8(3), int64(-5), uint16(4)) // negative offset
+	f.Fuzz(func(t *testing.T, data []byte, pageSel, frameSel uint8, off int64, lenSel uint16) {
+		pageSize := int(pageSel)%128 + 1
+		frames := int(frameSel)%8 + 1
+		c, err := New(&MemDevice{Data: data}, pageSize, frames)
+		if err != nil {
+			t.Fatalf("New: %v", err)
+		}
+		buf := make([]byte, int(lenSel)%512)
+		n, err := c.ReadAt(buf, off)
+		if off < 0 {
+			if err == nil || n != 0 {
+				t.Fatalf("negative offset: ReadAt = (%d, %v), want (0, error)", n, err)
+			}
+			return
+		}
+		size := int64(len(data))
+		switch {
+		case len(buf) == 0:
+			if n != 0 || err != nil {
+				t.Fatalf("empty read = (%d, %v), want (0, nil)", n, err)
+			}
+		case off >= size:
+			if n != 0 || err != io.EOF {
+				t.Fatalf("read past end = (%d, %v), want (0, io.EOF)", n, err)
+			}
+		default:
+			want := len(buf)
+			wantErr := error(nil)
+			if rem := size - off; int64(want) > rem {
+				want = int(rem)
+				wantErr = io.EOF
+			}
+			if n != want || err != wantErr {
+				t.Fatalf("ReadAt(len=%d, off=%d) over %d bytes = (%d, %v), want (%d, %v)",
+					len(buf), off, size, n, err, want, wantErr)
+			}
+			if !bytes.Equal(buf[:n], data[off:off+int64(n)]) {
+				t.Fatalf("ReadAt(len=%d, off=%d) returned wrong bytes", len(buf), off)
+			}
+		}
+		// A second read of the same range must hit the cache and agree.
+		n2, err2 := c.ReadAt(buf, off)
+		if n2 != n || err2 != err {
+			t.Fatalf("re-read disagrees: (%d, %v) then (%d, %v)", n, err, n2, err2)
+		}
+	})
+}

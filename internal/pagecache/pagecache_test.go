@@ -2,6 +2,7 @@ package pagecache
 
 import (
 	"bytes"
+	"io"
 	"os"
 	"path/filepath"
 	"sync"
@@ -104,15 +105,52 @@ func TestCacheTailClamp(t *testing.T) {
 	data := testData(100) // less than one page
 	c, _ := New(&MemDevice{Data: data}, 64, 4)
 	buf := make([]byte, 64)
+	// io.ReaderAt contract: a read clamped at end-of-device returns the
+	// partial count with io.EOF, not nil.
 	n, err := c.ReadAt(buf, 64)
-	if err != nil || n != 36 {
-		t.Fatalf("tail read = %d, %v", n, err)
+	if n != 36 || err != io.EOF {
+		t.Fatalf("tail read = %d, %v; want 36, io.EOF", n, err)
 	}
 	if !bytes.Equal(buf[:36], data[64:]) {
 		t.Fatal("tail bytes wrong")
 	}
-	if n, _ := c.ReadAt(buf, 1000); n != 0 {
-		t.Fatalf("read past EOF returned %d", n)
+	if n, err := c.ReadAt(buf, 1000); n != 0 || err != io.EOF {
+		t.Fatalf("read past EOF = %d, %v; want 0, io.EOF", n, err)
+	}
+}
+
+func TestCacheReadAtContract(t *testing.T) {
+	// Table over the io.ReaderAt cases: full reads return nil, clamped reads
+	// return io.EOF with the bytes available, empty reads return (0, nil).
+	data := testData(200)
+	c, _ := New(&MemDevice{Data: data}, 64, 4)
+	cases := []struct {
+		off     int64
+		len     int
+		wantN   int
+		wantErr error
+	}{
+		{0, 200, 200, nil},     // exact full-device read
+		{100, 100, 100, nil},   // read ending exactly at device end
+		{150, 100, 50, io.EOF}, // clamped mid-request
+		{199, 1, 1, nil},       // last byte
+		{200, 1, 0, io.EOF},    // at device end
+		{4096, 16, 0, io.EOF},  // far past device end
+		{10, 0, 0, nil},        // empty read
+	}
+	for _, tc := range cases {
+		buf := make([]byte, tc.len)
+		n, err := c.ReadAt(buf, tc.off)
+		if n != tc.wantN || err != tc.wantErr {
+			t.Errorf("ReadAt(len=%d, off=%d) = (%d, %v), want (%d, %v)",
+				tc.len, tc.off, n, err, tc.wantN, tc.wantErr)
+		}
+		if n > 0 && !bytes.Equal(buf[:n], data[tc.off:tc.off+int64(n)]) {
+			t.Errorf("ReadAt(len=%d, off=%d) returned wrong bytes", tc.len, tc.off)
+		}
+	}
+	if _, err := c.ReadAt(make([]byte, 8), -1); err == nil {
+		t.Error("negative offset accepted")
 	}
 }
 

@@ -2,12 +2,15 @@ package pagecache
 
 import (
 	"bytes"
+	"io"
 	"testing"
 	"testing/quick"
 )
 
 // TestQuickCacheEquivalentToDevice: for any page size, frame count, and read
-// pattern, reading through the cache returns exactly what the device holds.
+// pattern, reading through the cache returns exactly what the device holds,
+// under the io.ReaderAt contract: a full read returns nil, a read clamped at
+// end-of-device returns the available bytes with io.EOF.
 func TestQuickCacheEquivalentToDevice(t *testing.T) {
 	data := testData(1 << 14)
 	f := func(pageSel, frameSel uint8, offs []uint16) bool {
@@ -21,14 +24,15 @@ func TestQuickCacheEquivalentToDevice(t *testing.T) {
 		for _, o := range offs {
 			off := int64(o) % int64(len(data))
 			n, err := c.ReadAt(buf, off)
-			if err != nil {
+			wantN := len(buf)
+			wantErr := error(nil)
+			if rem := int(int64(len(data)) - off); rem < wantN {
+				wantN, wantErr = rem, io.EOF
+			}
+			if n != wantN || err != wantErr {
 				return false
 			}
-			want := data[off:]
-			if len(want) > n {
-				want = want[:n]
-			}
-			if !bytes.Equal(buf[:n], want) {
+			if !bytes.Equal(buf[:n], data[off:off+int64(n)]) {
 				return false
 			}
 		}
