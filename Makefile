@@ -3,7 +3,9 @@
 
 GO ?= go
 
-.PHONY: all build test race lint vet fmt fmt-check fuzz-smoke bench experiments clean
+.PHONY: all build test race lint vet fmt fmt-check staticcheck fuzz-smoke bench experiments serve-smoke clean
+
+STATICCHECK ?= staticcheck
 
 # Seconds of fuzzing per target in fuzz-smoke; CI uses the default.
 FUZZTIME ?= 30s
@@ -17,9 +19,12 @@ test:
 	$(GO) test ./...
 
 # Short-mode run under the race detector; slow simulation tests are gated
-# behind testing.Short() so this finishes in minutes.
+# behind testing.Short() so this finishes in minutes. The multi-query engine
+# and its differential tests additionally run in full (not -short): concurrent
+# traversals sharing one message plane are exactly where races hide.
 race:
 	$(GO) test -race -short ./...
+	$(GO) test -race ./internal/engine ./internal/algos/algotest
 
 vet:
 	$(GO) vet ./...
@@ -32,7 +37,16 @@ fmt-check:
 		echo "gofmt needed on:"; echo "$$out"; exit 1; \
 	fi
 
-lint: vet fmt-check
+# Skips quietly when staticcheck isn't on PATH (the container has no network
+# installs); CI installs it with `go install` and fails on findings.
+staticcheck:
+	@if command -v $(STATICCHECK) >/dev/null 2>&1; then \
+		$(STATICCHECK) ./...; \
+	else \
+		echo "staticcheck not installed; skipping (CI runs it)"; \
+	fi
+
+lint: vet fmt-check staticcheck
 
 # Brief native-fuzzing runs of every fuzz target (one -fuzz pattern per
 # invocation; the toolchain rejects multi-target fuzzing). The committed
@@ -50,6 +64,12 @@ bench:
 # profiles land in obs_profiles.json (see -obs-json/-obs-csv flags).
 experiments:
 	$(GO) run ./cmd/experiments all
+
+# End-to-end query-serving smoke: build a scale-12 RMAT graph, serve it with
+# havoqd, fire 50 concurrent mixed queries over real HTTP, verify every
+# answer, drain, exit non-zero on any failure.
+serve-smoke:
+	$(GO) run ./cmd/havoqd -smoke -scale 12 -ranks 8 -queries 50 -addr 127.0.0.1:0
 
 clean:
 	rm -f obs_profiles.json obs_profiles.csv

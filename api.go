@@ -16,6 +16,8 @@ package havoqgt
 
 import (
 	"fmt"
+	"sync"
+	"time"
 
 	"havoqgt/internal/algos/bfs"
 	"havoqgt/internal/algos/cc"
@@ -76,13 +78,46 @@ func (o Options) normalized() Options {
 }
 
 // Graph is a partitioned graph bound to a simulated machine. Build once,
-// query many times.
+// query many times. All query methods are safe for concurrent use: classic
+// (machine-exclusive) traversals serialize on an internal mutex, and while a
+// multi-query Engine is attached (StartEngine) the traversal methods route
+// through it instead — bypassing the mutex — so concurrent callers genuinely
+// interleave.
 type Graph struct {
 	opts    Options
 	n       uint64
 	machine *rt.Machine
 	parts   []*partition.Part
 	ghosts  []*core.GhostTable
+
+	// mu serializes machine phases. A rt.Machine runs one collective phase
+	// at a time; two goroutines calling Run concurrently would interleave
+	// two traversals' untagged records on the same message plane and corrupt
+	// both (the data race this lock fixes). eng, when non-nil, redirects
+	// traversal methods to the multi-query engine.
+	mu  sync.Mutex
+	eng *Engine
+}
+
+// runExclusive executes one collective machine phase under the graph lock.
+// Fails if an engine currently owns the machine (the caller should have been
+// routed to it; only engine-incapable queries like triangle counting see the
+// error).
+func (g *Graph) runExclusive(fn func(r *rt.Rank)) error {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if g.eng != nil {
+		return fmt.Errorf("havoqgt: operation unavailable while a query engine is attached (close it first)")
+	}
+	g.machine.Run(fn)
+	return nil
+}
+
+// engineOrNil returns the attached engine, if any.
+func (g *Graph) engineOrNil() *Engine {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.eng
 }
 
 // NewGraph partitions the given edge list across a fresh simulated machine.
@@ -161,6 +196,15 @@ func (g *Graph) NumEdges() uint64 { return g.parts[0].GlobalEdges }
 // Ranks returns the simulated rank count.
 func (g *Graph) Ranks() int { return g.opts.Ranks }
 
+// SetSimLatency configures a simulated interconnect latency: every
+// rank-to-rank message takes at least d of wall-clock time to become
+// visible at its destination, emulating the network / external-memory
+// transfer costs a real distributed machine pays. By default the simulated
+// transport is instantaneous, which flatters serialized one-query-at-a-time
+// execution — there is no latency for the asynchronous framework to hide.
+// Takes effect for messages sent after the call; safe for concurrent use.
+func (g *Graph) SetSimLatency(d time.Duration) { g.machine.SetSimLatency(d) }
+
 // Degree returns the (stored, directed) degree of a vertex.
 func (g *Graph) Degree(v Vertex) (uint64, error) {
 	if uint64(v) >= g.n {
@@ -199,22 +243,40 @@ type BFSResult struct {
 	Reached  uint64
 }
 
-// BFS runs the distributed asynchronous BFS from source.
+// BFS runs the distributed asynchronous BFS from source. Safe for concurrent
+// use; with an attached engine, concurrent calls interleave as independent
+// queries.
 func (g *Graph) BFS(source Vertex) (*BFSResult, error) {
 	if uint64(source) >= g.n {
 		return nil, fmt.Errorf("havoqgt: source %d out of range", source)
+	}
+	if e := g.engineOrNil(); e != nil {
+		q, err := e.SubmitBFS(source)
+		if err != nil {
+			return nil, err
+		}
+		return q.waitBFS()
 	}
 	out := &BFSResult{
 		Source:  source,
 		Levels:  make([]uint32, g.n),
 		Parents: make([]Vertex, g.n),
 	}
-	g.machine.Run(func(r *rt.Rank) {
+	err := g.runExclusive(func(r *rt.Rank) {
 		part := g.parts[r.Rank()]
 		res := bfs.Run(r, part, source, g.cfg(r.Rank(), true))
 		gather(out.Levels, part, func(i int) uint32 { return res.Level[i] })
 		gather(out.Parents, part, func(i int) Vertex { return res.Parent[i] })
 	})
+	if err != nil {
+		return nil, err
+	}
+	finishBFSResult(out)
+	return out, nil
+}
+
+// finishBFSResult derives the scalar summary fields from the level array.
+func finishBFSResult(out *BFSResult) {
 	for _, l := range out.Levels {
 		if l != Unreached {
 			out.Reached++
@@ -223,7 +285,6 @@ func (g *Graph) BFS(source Vertex) (*BFSResult, error) {
 			}
 		}
 	}
-	return out, nil
 }
 
 // SSSPResult holds single-source shortest paths under the synthesized
@@ -238,22 +299,32 @@ type SSSPResult struct {
 const UnreachedDistance = sssp.Unreached
 
 // ShortestPaths runs distributed SSSP from source with weights keyed by
-// weightSeed.
+// weightSeed. Safe for concurrent use.
 func (g *Graph) ShortestPaths(source Vertex, weightSeed uint64) (*SSSPResult, error) {
 	if uint64(source) >= g.n {
 		return nil, fmt.Errorf("havoqgt: source %d out of range", source)
+	}
+	if e := g.engineOrNil(); e != nil {
+		q, err := e.SubmitSSSP(source, weightSeed)
+		if err != nil {
+			return nil, err
+		}
+		return q.waitSSSP()
 	}
 	out := &SSSPResult{
 		Source:    source,
 		Distances: make([]uint64, g.n),
 		Parents:   make([]Vertex, g.n),
 	}
-	g.machine.Run(func(r *rt.Rank) {
+	err := g.runExclusive(func(r *rt.Rank) {
 		part := g.parts[r.Rank()]
 		res := sssp.Run(r, part, source, weightSeed, g.cfg(r.Rank(), true))
 		gather(out.Distances, part, func(i int) uint64 { return res.Dist[i] })
 		gather(out.Parents, part, func(i int) Vertex { return res.Parent[i] })
 	})
+	if err != nil {
+		return nil, err
+	}
 	return out, nil
 }
 
@@ -264,16 +335,26 @@ type ComponentsResult struct {
 	Count  uint64
 }
 
-// Components runs distributed connected components.
+// Components runs distributed connected components. Safe for concurrent use.
 func (g *Graph) Components() (*ComponentsResult, error) {
+	if e := g.engineOrNil(); e != nil {
+		q, err := e.SubmitComponents()
+		if err != nil {
+			return nil, err
+		}
+		return q.waitComponents()
+	}
 	out := &ComponentsResult{Labels: make([]Vertex, g.n)}
 	counts := make([]uint64, g.opts.Ranks)
-	g.machine.Run(func(r *rt.Rank) {
+	err := g.runExclusive(func(r *rt.Rank) {
 		part := g.parts[r.Rank()]
 		res := cc.Run(r, part, g.cfg(r.Rank(), true))
 		gather(out.Labels, part, func(i int) Vertex { return res.Label[i] })
 		counts[r.Rank()] = cc.NumComponents(r, res)
 	})
+	if err != nil {
+		return nil, err
+	}
 	out.Count = counts[0]
 	return out, nil
 }
@@ -291,25 +372,40 @@ func (g *Graph) KCore(k uint32) (*KCoreResult, error) {
 	if k < 1 {
 		return nil, fmt.Errorf("havoqgt: k must be >= 1")
 	}
+	if e := g.engineOrNil(); e != nil {
+		q, err := e.SubmitKCore(k)
+		if err != nil {
+			return nil, err
+		}
+		return q.waitKCore()
+	}
 	out := &KCoreResult{K: k, InCore: make([]bool, g.n)}
 	sizes := make([]uint64, g.opts.Ranks)
-	g.machine.Run(func(r *rt.Rank) {
+	err := g.runExclusive(func(r *rt.Rank) {
 		part := g.parts[r.Rank()]
 		res := kcore.Run(r, part, k, g.cfg(r.Rank(), false))
 		gather(out.InCore, part, func(i int) bool { return res.Alive[i] })
 		sizes[r.Rank()] = kcore.GlobalCoreSize(r, res)
 	})
+	if err != nil {
+		return nil, err
+	}
 	out.CoreSize = sizes[0]
 	return out, nil
 }
 
 // CountTriangles counts triangles exactly. The graph must be simple.
+// Unavailable while an engine is attached (triangle counting is not an
+// engine query).
 func (g *Graph) CountTriangles() (uint64, error) {
 	counts := make([]uint64, g.opts.Ranks)
-	g.machine.Run(func(r *rt.Rank) {
+	err := g.runExclusive(func(r *rt.Rank) {
 		res := triangle.Run(r, g.parts[r.Rank()], g.cfg(r.Rank(), false))
 		counts[r.Rank()] = res.GlobalCount
 	})
+	if err != nil {
+		return 0, err
+	}
 	return counts[0], nil
 }
 
@@ -320,10 +416,13 @@ func (g *Graph) EstimateTriangles(sampleProb float64, seed uint64) (float64, err
 		return 0, fmt.Errorf("havoqgt: sample probability must be in (0, 1)")
 	}
 	ests := make([]float64, g.opts.Ranks)
-	g.machine.Run(func(r *rt.Rank) {
+	err := g.runExclusive(func(r *rt.Rank) {
 		res := triangle.RunOpts(r, g.parts[r.Rank()], g.cfg(r.Rank(), false),
 			triangle.Options{SampleProb: sampleProb, SampleSeed: seed})
 		ests[r.Rank()] = res.Estimate()
 	})
+	if err != nil {
+		return 0, err
+	}
 	return ests[0], nil
 }

@@ -14,8 +14,10 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strconv"
 	"strings"
@@ -38,43 +40,78 @@ import (
 )
 
 func main() {
-	if len(os.Args) < 2 {
-		usage()
-		os.Exit(2)
+	os.Exit(run(os.Args[1:], os.Stderr))
+}
+
+// commands maps subcommand names to their implementations. Each takes its
+// own argument slice and returns nil, a usageError (bad flags; exit 2), or a
+// runtime error (exit 1).
+var commands = map[string]func([]string) error{
+	"generate": cmdGenerate,
+	"stats":    cmdStats,
+	"bfs":      cmdBFS,
+	"kcore":    cmdKCore,
+	"tc":       cmdTriangles,
+	"sssp":     cmdSSSP,
+	"cc":       cmdCC,
+	"convert":  cmdConvert,
+}
+
+// run dispatches one invocation and returns the process exit code: 0 on
+// success, 1 on a runtime failure, 2 on a usage error (unknown subcommand or
+// bad flags, which also print usage).
+func run(args []string, stderr io.Writer) int {
+	if len(args) == 0 {
+		fmt.Fprintln(stderr, "havoq: no command given")
+		usage(stderr)
+		return 2
 	}
-	var err error
-	switch os.Args[1] {
-	case "generate":
-		err = cmdGenerate(os.Args[2:])
-	case "stats":
-		err = cmdStats(os.Args[2:])
-	case "bfs":
-		err = cmdBFS(os.Args[2:])
-	case "kcore":
-		err = cmdKCore(os.Args[2:])
-	case "tc":
-		err = cmdTriangles(os.Args[2:])
-	case "sssp":
-		err = cmdSSSP(os.Args[2:])
-	case "cc":
-		err = cmdCC(os.Args[2:])
-	case "convert":
-		err = cmdConvert(os.Args[2:])
+	name, rest := args[0], args[1:]
+	switch name {
 	case "help", "-h", "--help":
-		usage()
-	default:
-		fmt.Fprintf(os.Stderr, "havoq: unknown command %q\n", os.Args[1])
-		usage()
-		os.Exit(2)
+		usage(stderr)
+		return 0
 	}
-	if err != nil {
-		fmt.Fprintf(os.Stderr, "havoq: %v\n", err)
-		os.Exit(1)
+	cmd, ok := commands[name]
+	if !ok {
+		fmt.Fprintf(stderr, "havoq: unknown command %q\n", name)
+		usage(stderr)
+		return 2
+	}
+	err := cmd(rest)
+	switch {
+	case err == nil:
+		return 0
+	case errors.Is(err, flag.ErrHelp):
+		return 0
+	default:
+		fmt.Fprintf(stderr, "havoq: %v\n", err)
+		var ue usageError
+		if errors.As(err, &ue) {
+			return 2
+		}
+		return 1
 	}
 }
 
-func usage() {
-	fmt.Fprint(os.Stderr, `havoq — distributed scale-free graph toolkit
+// usageError marks a flag-parsing failure so run can exit 2 instead of 1.
+type usageError struct{ err error }
+
+func (e usageError) Error() string { return e.err.Error() }
+func (e usageError) Unwrap() error { return e.err }
+
+// parseArgs parses a subcommand's flags, wrapping parse failures as usage
+// errors and passing -h/--help through untouched.
+func parseArgs(fs *flag.FlagSet, args []string) error {
+	err := fs.Parse(args)
+	if err == nil || errors.Is(err, flag.ErrHelp) {
+		return err
+	}
+	return usageError{err}
+}
+
+func usage(w io.Writer) {
+	fmt.Fprint(w, `havoq — distributed scale-free graph toolkit
 
 commands:
   generate   generate a synthetic graph (rmat | pa | sw) into a file
@@ -91,7 +128,7 @@ run 'havoq <command> -h' for flags.
 }
 
 func cmdGenerate(args []string) error {
-	fs := flag.NewFlagSet("generate", flag.ExitOnError)
+	fs := flag.NewFlagSet("generate", flag.ContinueOnError)
 	model := fs.String("model", "rmat", "graph model: rmat | pa | sw")
 	scale := fs.Uint("scale", 14, "log2 of the vertex count")
 	edgefactor := fs.Uint64("edgefactor", 16, "edges per vertex (rmat)")
@@ -100,7 +137,9 @@ func cmdGenerate(args []string) error {
 	rewire := fs.Float64("rewire", 0, "rewire probability (pa, sw)")
 	seed := fs.Uint64("seed", 1, "generator seed")
 	out := fs.String("out", "graph.hvqg", "output file")
-	fs.Parse(args)
+	if err := parseArgs(fs, args); err != nil {
+		return err
+	}
 
 	n := uint64(1) << *scale
 	var edges []graph.Edge
@@ -124,9 +163,11 @@ func cmdGenerate(args []string) error {
 }
 
 func cmdStats(args []string) error {
-	fs := flag.NewFlagSet("stats", flag.ExitOnError)
+	fs := flag.NewFlagSet("stats", flag.ContinueOnError)
 	in := fs.String("in", "graph.hvqg", "input graph file")
-	fs.Parse(args)
+	if err := parseArgs(fs, args); err != nil {
+		return err
+	}
 
 	h, edges, err := graphio.ReadFile(*in)
 	if err != nil {
@@ -212,12 +253,14 @@ func (o *runOpts) coreConfig(r *rt.Rank, part *partition.Part, ghosts int) (core
 }
 
 func cmdBFS(args []string) error {
-	fs := flag.NewFlagSet("bfs", flag.ExitOnError)
+	fs := flag.NewFlagSet("bfs", flag.ContinueOnError)
 	o := addRunFlags(fs)
 	source := fs.Uint64("source", 0, "BFS source vertex")
 	ghosts := fs.Int("ghosts", core.DefaultGhostsPerPartition, "ghost vertices per partition (0 disables)")
 	validate := fs.Bool("validate", false, "run Graph500-style distributed validation after the traversal")
-	fs.Parse(args)
+	if err := parseArgs(fs, args); err != nil {
+		return err
+	}
 
 	var teps float64
 	var reached, traversed uint64
@@ -293,12 +336,14 @@ func cmdBFS(args []string) error {
 }
 
 func cmdSSSP(args []string) error {
-	fs := flag.NewFlagSet("sssp", flag.ExitOnError)
+	fs := flag.NewFlagSet("sssp", flag.ContinueOnError)
 	o := addRunFlags(fs)
 	source := fs.Uint64("source", 0, "SSSP source vertex")
 	ghosts := fs.Int("ghosts", core.DefaultGhostsPerPartition, "ghost vertices per partition (0 disables)")
 	weightSeed := fs.Uint64("weight-seed", 1, "seed for the synthesized edge weights")
-	fs.Parse(args)
+	if err := parseArgs(fs, args); err != nil {
+		return err
+	}
 
 	var reached uint64
 	var maxDist uint64
@@ -345,10 +390,12 @@ func cmdSSSP(args []string) error {
 }
 
 func cmdCC(args []string) error {
-	fs := flag.NewFlagSet("cc", flag.ExitOnError)
+	fs := flag.NewFlagSet("cc", flag.ContinueOnError)
 	o := addRunFlags(fs)
 	ghosts := fs.Int("ghosts", core.DefaultGhostsPerPartition, "ghost vertices per partition (0 disables)")
-	fs.Parse(args)
+	if err := parseArgs(fs, args); err != nil {
+		return err
+	}
 
 	var components uint64
 	var elapsed time.Duration
@@ -381,10 +428,12 @@ func cmdCC(args []string) error {
 }
 
 func cmdKCore(args []string) error {
-	fs := flag.NewFlagSet("kcore", flag.ExitOnError)
+	fs := flag.NewFlagSet("kcore", flag.ContinueOnError)
 	o := addRunFlags(fs)
 	ks := fs.String("k", "4,16,64", "comma-separated list of k values")
-	fs.Parse(args)
+	if err := parseArgs(fs, args); err != nil {
+		return err
+	}
 
 	var kvals []uint32
 	for _, s := range strings.Split(*ks, ",") {
@@ -432,9 +481,11 @@ func cmdKCore(args []string) error {
 }
 
 func cmdTriangles(args []string) error {
-	fs := flag.NewFlagSet("tc", flag.ExitOnError)
+	fs := flag.NewFlagSet("tc", flag.ContinueOnError)
 	o := addRunFlags(fs)
-	fs.Parse(args)
+	if err := parseArgs(fs, args); err != nil {
+		return err
+	}
 
 	var count uint64
 	var elapsed time.Duration
@@ -468,11 +519,13 @@ func cmdTriangles(args []string) error {
 // cmdConvert translates edge lists between the text and binary formats,
 // choosing directions from the file extensions.
 func cmdConvert(args []string) error {
-	fs := flag.NewFlagSet("convert", flag.ExitOnError)
+	fs := flag.NewFlagSet("convert", flag.ContinueOnError)
 	in := fs.String("in", "", "input edge list (.txt/.tsv/.csv or .hvqg)")
 	out := fs.String("out", "", "output edge list (.txt/.tsv/.csv or .hvqg)")
 	n := fs.Uint64("n", 0, "vertex count override (default: max id + 1 for text input)")
-	fs.Parse(args)
+	if err := parseArgs(fs, args); err != nil {
+		return err
+	}
 	if *in == "" || *out == "" {
 		return fmt.Errorf("convert needs -in and -out")
 	}

@@ -1,11 +1,52 @@
 package main
 
 import (
+	"bytes"
 	"fmt"
 	"os"
 	"path/filepath"
+	"strings"
 	"testing"
 )
+
+// TestRunErrorPaths is the table covering the dispatcher's exit-code
+// contract: usage errors (unknown subcommand, bad flags, no command) exit 2
+// and print usage, runtime failures exit 1, help exits 0.
+func TestRunErrorPaths(t *testing.T) {
+	graphPath := genGraph(t, "rmat")
+	cases := []struct {
+		name       string
+		args       []string
+		code       int
+		wantStderr string // substring that must appear on stderr ("" = don't care)
+	}{
+		{"no command", nil, 2, "no command given"},
+		{"unknown command", []string{"frobnicate"}, 2, "unknown command"},
+		{"unknown command usage", []string{"frobnicate"}, 2, "commands:"},
+		{"help", []string{"help"}, 0, "commands:"},
+		{"help flag", []string{"--help"}, 0, "commands:"},
+		{"subcommand help flag", []string{"bfs", "-h"}, 0, ""},
+		{"bad flag", []string{"stats", "-no-such-flag"}, 2, "havoq:"},
+		{"bad flag value", []string{"generate", "-scale", "banana"}, 2, "havoq:"},
+		{"missing input file", []string{"stats", "-in", filepath.Join(t.TempDir(), "missing.hvqg")}, 1, "havoq:"},
+		{"unknown model", []string{"generate", "-model", "zzz", "-out", filepath.Join(t.TempDir(), "x.hvqg")}, 1, "unknown model"},
+		{"convert missing out", []string{"convert", "-in", "x.txt"}, 1, "-out"},
+		{"bad k", []string{"kcore", "-in", graphPath, "-k", "0"}, 1, "bad k"},
+		{"valid stats", []string{"stats", "-in", graphPath}, 0, ""},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			var stderr bytes.Buffer
+			code := run(tc.args, &stderr)
+			if code != tc.code {
+				t.Fatalf("run(%q) = %d, want %d (stderr: %s)", tc.args, code, tc.code, stderr.String())
+			}
+			if tc.wantStderr != "" && !strings.Contains(stderr.String(), tc.wantStderr) {
+				t.Fatalf("run(%q) stderr %q missing %q", tc.args, stderr.String(), tc.wantStderr)
+			}
+		})
+	}
+}
 
 // genGraph writes a small test graph and returns its path.
 func genGraph(t *testing.T, model string, extra ...string) string {

@@ -1,0 +1,193 @@
+// Command havoqd serves graph queries over HTTP from one resident
+// partitioned graph. Instead of paying partitioning and machine start-up per
+// traversal, the graph is built (or loaded) once, a multi-query engine is
+// attached, and every POST /query becomes an independently tagged traversal
+// interleaved with all others on the shared message plane.
+//
+// Usage:
+//
+//	havoqd -model rmat -scale 14 -ranks 8 -addr :8642   # serve until SIGTERM
+//	havoqd -in graph.hvqg -ranks 8                      # serve a graph file
+//	havoqd -smoke -scale 12 -ranks 8 -queries 50        # end-to-end smoke run
+//	havoqd -selfbench -scale 14 -ranks 8                # write BENCH_engine.json
+//
+// Endpoints:
+//
+//	POST /query   {"algo":"bfs|sssp|cc|kcore","source":0,"weight_seed":1,"k":2,
+//	               "deadline_ms":0,"full":false}
+//	GET  /healthz liveness + serve counters
+//	GET  /stats   full observability snapshot (transport/mailbox/termination/engine)
+//
+// On SIGTERM or SIGINT the server stops accepting connections, drains the
+// in-flight queries, closes the engine, and exits 0.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"havoqgt"
+	"havoqgt/internal/graphio"
+)
+
+type options struct {
+	addr string
+
+	in         string
+	model      string
+	scale      uint
+	seed       uint64
+	edgefactor uint64
+
+	ranks    int
+	topo     string
+	simplify bool
+
+	maxInFlight int
+	maxQueue    int
+	stepBatch   int
+	deadline    time.Duration
+
+	smoke   bool
+	queries int
+
+	simLatency time.Duration
+
+	selfbench    bool
+	benchOut     string
+	benchQueries int
+	benchLatency time.Duration
+}
+
+func main() {
+	os.Exit(run(os.Args[1:]))
+}
+
+func run(args []string) int {
+	var o options
+	fs := flag.NewFlagSet("havoqd", flag.ContinueOnError)
+	fs.StringVar(&o.addr, "addr", ":8642", "listen address")
+	fs.StringVar(&o.in, "in", "", "graph file to serve (.hvqg); empty generates -model instead")
+	fs.StringVar(&o.model, "model", "rmat", "synthetic model when -in is empty (rmat only)")
+	fs.UintVar(&o.scale, "scale", 14, "log2 vertex count for the generated graph")
+	fs.Uint64Var(&o.seed, "seed", 1, "generator seed")
+	fs.Uint64Var(&o.edgefactor, "edgefactor", 16, "edges per vertex (rmat)")
+	fs.IntVar(&o.ranks, "ranks", 8, "number of simulated ranks")
+	fs.StringVar(&o.topo, "topo", "2d", "mailbox routing topology: 1d | 2d | 3d")
+	fs.BoolVar(&o.simplify, "simplify", true, "remove self loops and duplicate edges (required for kcore queries)")
+	fs.IntVar(&o.maxInFlight, "max-in-flight", 8, "concurrently executing queries")
+	fs.IntVar(&o.maxQueue, "max-queue", 64, "queries waiting for an in-flight slot before rejection")
+	fs.IntVar(&o.stepBatch, "step-batch", 0, "visitors per query per scheduling slice (0 = engine default)")
+	fs.DurationVar(&o.deadline, "deadline", 0, "default per-query deadline (0 = none)")
+	fs.BoolVar(&o.smoke, "smoke", false, "start the server, fire -queries concurrent queries at it, verify, exit")
+	fs.IntVar(&o.queries, "queries", 50, "concurrent queries for -smoke")
+	fs.DurationVar(&o.simLatency, "sim-latency", 0, "simulated per-message interconnect latency (0 = instantaneous transport)")
+	fs.BoolVar(&o.selfbench, "selfbench", false, "run the serialized-vs-concurrent benchmark and exit")
+	fs.StringVar(&o.benchOut, "bench-out", "BENCH_engine.json", "benchmark output file for -selfbench")
+	fs.IntVar(&o.benchQueries, "bench-queries", 48, "workload size for -selfbench")
+	fs.DurationVar(&o.benchLatency, "bench-latency", 3*time.Millisecond, "modeled interconnect latency for the -selfbench latency regime")
+	if err := fs.Parse(args); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return 0
+		}
+		return 2
+	}
+
+	if err := serve(&o); err != nil {
+		fmt.Fprintf(os.Stderr, "havoqd: %v\n", err)
+		return 1
+	}
+	return 0
+}
+
+// buildGraph loads or generates the resident graph.
+func buildGraph(o *options) (*havoqgt.Graph, error) {
+	opts := havoqgt.Options{Ranks: o.ranks, Topology: o.topo, Simplify: o.simplify}
+	if o.in != "" {
+		h, edges, err := graphio.ReadFile(o.in)
+		if err != nil {
+			return nil, err
+		}
+		opts.Undirect = true
+		return havoqgt.NewGraph(edges, h.NumVertices, opts)
+	}
+	if o.model != "rmat" {
+		return nil, fmt.Errorf("unknown model %q", o.model)
+	}
+	return havoqgt.GenerateRMAT(o.scale, o.seed, opts)
+}
+
+func serve(o *options) error {
+	if o.selfbench {
+		return selfbench(o)
+	}
+
+	start := time.Now()
+	g, err := buildGraph(o)
+	if err != nil {
+		return err
+	}
+	if o.simLatency > 0 {
+		g.SetSimLatency(o.simLatency)
+	}
+	e, err := g.StartEngine(havoqgt.EngineOptions{
+		MaxInFlight:     o.maxInFlight,
+		MaxQueue:        o.maxQueue,
+		StepBatch:       o.stepBatch,
+		DefaultDeadline: o.deadline,
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("havoqd: graph ready in %v: vertices=%d edges=%d ranks=%d topo=%s\n",
+		time.Since(start).Round(time.Millisecond), g.NumVertices(), g.NumEdges(), g.Ranks(), o.topo)
+
+	s := newServer(g, e)
+	ln, err := net.Listen("tcp", o.addr)
+	if err != nil {
+		e.Close()
+		return err
+	}
+	srv := &http.Server{Handler: s.handler()}
+
+	if o.smoke {
+		return smoke(o, s, srv, ln, e)
+	}
+
+	// Serve until SIGTERM/SIGINT, then drain gracefully: stop accepting,
+	// let in-flight handlers (and so in-flight queries) finish, close the
+	// engine.
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGTERM, syscall.SIGINT)
+	defer stop()
+	errc := make(chan error, 1)
+	go func() { errc <- srv.Serve(ln) }()
+	fmt.Printf("havoqd: listening on %s (max-in-flight=%d max-queue=%d)\n", ln.Addr(), o.maxInFlight, o.maxQueue)
+
+	select {
+	case err := <-errc:
+		e.Close()
+		return err
+	case <-ctx.Done():
+	}
+	stop()
+	fmt.Println("havoqd: signal received; draining")
+	shutCtx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(shutCtx); err != nil {
+		e.Close()
+		return fmt.Errorf("drain: %w", err)
+	}
+	if err := e.Close(); err != nil {
+		return err
+	}
+	fmt.Printf("havoqd: drained; served=%d failed=%d\n", s.served.Load(), s.failed.Load())
+	return nil
+}

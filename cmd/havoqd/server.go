@@ -1,0 +1,226 @@
+package main
+
+// HTTP layer of havoqd: a thin JSON front end over the multi-query engine.
+// One resident partitioned graph serves every request; concurrent POST
+// /query calls become interleaved tagged traversals on the shared message
+// plane rather than queued collective phases.
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"sync/atomic"
+	"time"
+
+	"havoqgt"
+)
+
+// queryRequest is the POST /query body.
+type queryRequest struct {
+	// Algo selects the traversal: "bfs", "sssp", "cc", or "kcore".
+	Algo string `json:"algo"`
+	// Source is the start vertex for bfs and sssp.
+	Source uint64 `json:"source"`
+	// WeightSeed keys the synthesized edge weights for sssp.
+	WeightSeed uint64 `json:"weight_seed"`
+	// K is the core number for kcore (>= 1).
+	K uint32 `json:"k"`
+	// DeadlineMS cancels the query if it is still running after this many
+	// milliseconds (0 = server default).
+	DeadlineMS int64 `json:"deadline_ms"`
+	// Full includes the per-vertex result arrays in the response; by default
+	// only the scalar summary is returned.
+	Full bool `json:"full"`
+}
+
+// queryResponse is the POST /query reply. Scalar summary fields are always
+// present for the relevant algorithm; the per-vertex arrays only with
+// "full": true.
+type queryResponse struct {
+	ID        uint32  `json:"id"`
+	Algo      string  `json:"algo"`
+	ElapsedMS float64 `json:"elapsed_ms"`
+
+	Reached    uint64 `json:"reached,omitempty"`
+	MaxLevel   uint32 `json:"max_level,omitempty"`
+	MaxDist    uint64 `json:"max_dist,omitempty"`
+	Components uint64 `json:"components,omitempty"`
+	CoreSize   uint64 `json:"core_size,omitempty"`
+
+	Levels    []uint32         `json:"levels,omitempty"`
+	Distances []uint64         `json:"distances,omitempty"`
+	Parents   []havoqgt.Vertex `json:"parents,omitempty"`
+	Labels    []havoqgt.Vertex `json:"labels,omitempty"`
+	InCore    []bool           `json:"in_core,omitempty"`
+}
+
+type errorResponse struct {
+	Error string `json:"error"`
+}
+
+// server binds one resident graph + engine to the HTTP handlers.
+type server struct {
+	g       *havoqgt.Graph
+	e       *havoqgt.Engine
+	served  atomic.Uint64
+	failed  atomic.Uint64
+	started time.Time
+}
+
+func newServer(g *havoqgt.Graph, e *havoqgt.Engine) *server {
+	return &server{g: g, e: e, started: time.Now()}
+}
+
+// handler builds the route table.
+func (s *server) handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/query", s.handleQuery)
+	mux.HandleFunc("/healthz", s.handleHealthz)
+	mux.HandleFunc("/stats", s.handleStats)
+	return mux
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	json.NewEncoder(w).Encode(v)
+}
+
+func (s *server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{
+		"ok":        true,
+		"vertices":  s.g.NumVertices(),
+		"edges":     s.g.NumEdges(),
+		"ranks":     s.g.Ranks(),
+		"uptime_ms": time.Since(s.started).Milliseconds(),
+		"served":    s.served.Load(),
+		"failed":    s.failed.Load(),
+	})
+}
+
+// handleStats streams the machine's full observability snapshot (transport,
+// mailbox, termination, visitor-queue, and engine counters) as JSON.
+func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	if err := s.e.WriteStats(w); err != nil {
+		s.failed.Add(1)
+		writeJSON(w, http.StatusInternalServerError, errorResponse{Error: err.Error()})
+	}
+}
+
+// submit validates the request and hands it to the engine.
+func (s *server) submit(req *queryRequest) (*havoqgt.Query, error) {
+	switch req.Algo {
+	case "bfs", "sssp":
+		if req.Source >= s.g.NumVertices() {
+			return nil, fmt.Errorf("source %d out of range (n=%d)", req.Source, s.g.NumVertices())
+		}
+	case "cc":
+	case "kcore":
+		if req.K < 1 {
+			return nil, fmt.Errorf("kcore needs k >= 1")
+		}
+	default:
+		return nil, fmt.Errorf("unknown algo %q (want bfs|sssp|cc|kcore)", req.Algo)
+	}
+	if req.DeadlineMS > 0 {
+		return s.e.SubmitWithDeadline(req.Algo, havoqgt.Vertex(req.Source), req.WeightSeed, req.K,
+			time.Duration(req.DeadlineMS)*time.Millisecond)
+	}
+	switch req.Algo {
+	case "bfs":
+		return s.e.SubmitBFS(havoqgt.Vertex(req.Source))
+	case "sssp":
+		return s.e.SubmitSSSP(havoqgt.Vertex(req.Source), req.WeightSeed)
+	case "cc":
+		return s.e.SubmitComponents()
+	default:
+		return s.e.SubmitKCore(req.K)
+	}
+}
+
+func (s *server) handleQuery(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeJSON(w, http.StatusMethodNotAllowed, errorResponse{Error: "POST only"})
+		return
+	}
+	var req queryRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		s.failed.Add(1)
+		writeJSON(w, http.StatusBadRequest, errorResponse{Error: "bad request body: " + err.Error()})
+		return
+	}
+	q, err := s.submit(&req)
+	if err != nil {
+		s.failed.Add(1)
+		switch {
+		case errors.Is(err, havoqgt.ErrQueryRejected):
+			// Backpressure: the wait queue is full. Tell the client to retry.
+			w.Header().Set("Retry-After", "1")
+			writeJSON(w, http.StatusTooManyRequests, errorResponse{Error: err.Error()})
+		default:
+			writeJSON(w, http.StatusBadRequest, errorResponse{Error: err.Error()})
+		}
+		return
+	}
+
+	// If the client goes away, cancel the query so it stops consuming the
+	// message plane; its in-flight visitors drain without being applied.
+	ctx := r.Context()
+	done := make(chan struct{})
+	defer close(done)
+	go func() {
+		select {
+		case <-ctx.Done():
+			q.Cancel()
+		case <-done:
+		}
+	}()
+
+	start := time.Now()
+	res, err := q.Wait()
+	if err != nil {
+		s.failed.Add(1)
+		if errors.Is(err, havoqgt.ErrQueryCancelled) {
+			writeJSON(w, http.StatusGatewayTimeout, errorResponse{Error: "query cancelled (deadline or client disconnect)"})
+			return
+		}
+		writeJSON(w, http.StatusInternalServerError, errorResponse{Error: err.Error()})
+		return
+	}
+
+	resp := queryResponse{ID: q.ID(), Algo: req.Algo, ElapsedMS: float64(time.Since(start).Microseconds()) / 1e3}
+	switch {
+	case res.BFS != nil:
+		resp.Reached = res.BFS.Reached
+		resp.MaxLevel = res.BFS.MaxLevel
+		if req.Full {
+			resp.Levels, resp.Parents = res.BFS.Levels, res.BFS.Parents
+		}
+	case res.SSSP != nil:
+		for _, d := range res.SSSP.Distances {
+			if d != havoqgt.UnreachedDistance {
+				resp.Reached++
+				if d > resp.MaxDist {
+					resp.MaxDist = d
+				}
+			}
+		}
+		if req.Full {
+			resp.Distances, resp.Parents = res.SSSP.Distances, res.SSSP.Parents
+		}
+	case res.Components != nil:
+		resp.Components = res.Components.Count
+		if req.Full {
+			resp.Labels = res.Components.Labels
+		}
+	case res.KCore != nil:
+		resp.CoreSize = res.KCore.CoreSize
+		if req.Full {
+			resp.InCore = res.KCore.InCore
+		}
+	}
+	s.served.Add(1)
+	writeJSON(w, http.StatusOK, resp)
+}

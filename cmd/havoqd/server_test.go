@@ -1,0 +1,231 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+
+	"havoqgt"
+)
+
+func testServer(t *testing.T) (*server, *httptest.Server) {
+	t.Helper()
+	g, err := havoqgt.GenerateRMAT(9, 7, havoqgt.Options{Ranks: 4, Topology: "2d", Simplify: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, err := g.StartEngine(havoqgt.EngineOptions{MaxInFlight: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := newServer(g, e)
+	ts := httptest.NewServer(s.handler())
+	t.Cleanup(func() {
+		ts.Close()
+		e.Close()
+	})
+	return s, ts
+}
+
+func postQuery(t *testing.T, ts *httptest.Server, req queryRequest) (int, queryResponse, errorResponse) {
+	t.Helper()
+	body, _ := json.Marshal(req)
+	res, err := http.Post(ts.URL+"/query", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer res.Body.Close()
+	var qr queryResponse
+	var er errorResponse
+	if res.StatusCode == http.StatusOK {
+		if err := json.NewDecoder(res.Body).Decode(&qr); err != nil {
+			t.Fatal(err)
+		}
+	} else {
+		if err := json.NewDecoder(res.Body).Decode(&er); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return res.StatusCode, qr, er
+}
+
+func TestServerEndpoints(t *testing.T) {
+	s, ts := testServer(t)
+
+	// Healthz.
+	res, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var health map[string]any
+	if err := json.NewDecoder(res.Body).Decode(&health); err != nil {
+		t.Fatal(err)
+	}
+	res.Body.Close()
+	if health["ok"] != true {
+		t.Fatalf("healthz: %v", health)
+	}
+
+	// A full BFS answer matches the facade run directly.
+	code, qr, er := postQuery(t, ts, queryRequest{Algo: "bfs", Source: 3, Full: true})
+	if code != http.StatusOK {
+		t.Fatalf("bfs: status %d: %s", code, er.Error)
+	}
+	want, err := s.g.BFS(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if qr.Reached != want.Reached || qr.MaxLevel != want.MaxLevel {
+		t.Fatalf("bfs summary: got reached=%d max=%d, want reached=%d max=%d",
+			qr.Reached, qr.MaxLevel, want.Reached, want.MaxLevel)
+	}
+	for v := range want.Levels {
+		if qr.Levels[v] != want.Levels[v] {
+			t.Fatalf("bfs level[%d]: %d != %d", v, qr.Levels[v], want.Levels[v])
+		}
+	}
+
+	// Each algorithm answers with its summary field.
+	if code, qr, er := postQuery(t, ts, queryRequest{Algo: "sssp", Source: 1, WeightSeed: 9}); code != http.StatusOK || qr.Reached == 0 {
+		t.Fatalf("sssp: status %d reached %d: %s", code, qr.Reached, er.Error)
+	}
+	if code, qr, er := postQuery(t, ts, queryRequest{Algo: "cc"}); code != http.StatusOK || qr.Components == 0 {
+		t.Fatalf("cc: status %d components %d: %s", code, qr.Components, er.Error)
+	}
+	if code, qr, er := postQuery(t, ts, queryRequest{Algo: "kcore", K: 2}); code != http.StatusOK || qr.CoreSize == 0 {
+		t.Fatalf("kcore: status %d core %d: %s", code, qr.CoreSize, er.Error)
+	}
+
+	// Stats is valid JSON with engine counters.
+	res, err = http.Get(ts.URL + "/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var stats map[string]any
+	if err := json.NewDecoder(res.Body).Decode(&stats); err != nil {
+		t.Fatal(err)
+	}
+	res.Body.Close()
+	if _, ok := stats["counters"]; !ok {
+		t.Fatalf("stats missing counters: %v", stats)
+	}
+}
+
+func TestServerRejectsBadRequests(t *testing.T) {
+	_, ts := testServer(t)
+	cases := []struct {
+		name string
+		req  queryRequest
+		code int
+	}{
+		{"unknown algo", queryRequest{Algo: "pagerank"}, http.StatusBadRequest},
+		{"source out of range", queryRequest{Algo: "bfs", Source: 1 << 40}, http.StatusBadRequest},
+		{"kcore k=0", queryRequest{Algo: "kcore"}, http.StatusBadRequest},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			code, _, er := postQuery(t, ts, tc.req)
+			if code != tc.code {
+				t.Fatalf("status %d, want %d (%s)", code, tc.code, er.Error)
+			}
+			if er.Error == "" {
+				t.Fatal("error body missing")
+			}
+		})
+	}
+	// Malformed JSON and wrong method.
+	res, err := http.Post(ts.URL+"/query", "application/json", bytes.NewReader([]byte("{nope")))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res.Body.Close()
+	if res.StatusCode != http.StatusBadRequest {
+		t.Fatalf("malformed body: status %d", res.StatusCode)
+	}
+	res, err = http.Get(ts.URL + "/query")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res.Body.Close()
+	if res.StatusCode != http.StatusMethodNotAllowed {
+		t.Fatalf("GET /query: status %d", res.StatusCode)
+	}
+}
+
+func TestServerConcurrentQueries(t *testing.T) {
+	s, ts := testServer(t)
+	want, err := s.g.BFS(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const burst = 16
+	var wg sync.WaitGroup
+	for i := 0; i < burst; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			code, qr, er := postQuery(t, ts, queryRequest{Algo: "bfs", Source: 0})
+			if code != http.StatusOK {
+				t.Errorf("status %d: %s", code, er.Error)
+				return
+			}
+			if qr.Reached != want.Reached || qr.MaxLevel != want.MaxLevel {
+				t.Errorf("got reached=%d max=%d, want reached=%d max=%d",
+					qr.Reached, qr.MaxLevel, want.Reached, want.MaxLevel)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := s.served.Load(); got != burst {
+		t.Fatalf("served counter %d, want %d", got, burst)
+	}
+}
+
+func TestSmokeMode(t *testing.T) {
+	if testing.Short() {
+		t.Skip("smoke mode is a full end-to-end run")
+	}
+	code := run([]string{"-smoke", "-scale", "9", "-ranks", "4", "-queries", "12", "-addr", "127.0.0.1:0"})
+	if code != 0 {
+		t.Fatalf("smoke run exited %d", code)
+	}
+}
+
+func TestSelfbenchMode(t *testing.T) {
+	if testing.Short() {
+		t.Skip("selfbench is a timed run")
+	}
+	outPath := filepath.Join(t.TempDir(), "bench.json")
+	code := run([]string{"-selfbench", "-scale", "9", "-ranks", "4",
+		"-bench-queries", "8", "-bench-latency", "1ms", "-bench-out", outPath})
+	if code != 0 {
+		t.Fatalf("selfbench exited %d", code)
+	}
+	raw := readFile(t, outPath)
+	var rep benchReport
+	if err := json.Unmarshal(raw, &rep); err != nil {
+		t.Fatalf("bench output not JSON: %v", err)
+	}
+	for _, cmp := range []benchComparison{rep.ZeroLatency, rep.ModeledLatency} {
+		if cmp.Serialized.Queries != cmp.Concurrent.Queries || cmp.Serialized.Queries == 0 {
+			t.Fatalf("bad query counts: %+v", cmp)
+		}
+		if cmp.Serialized.ResultHash != cmp.Concurrent.ResultHash {
+			t.Fatalf("phases disagree: %d vs %d", cmp.Serialized.ResultHash, cmp.Concurrent.ResultHash)
+		}
+	}
+}
+
+func readFile(t *testing.T, path string) []byte {
+	t.Helper()
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return data
+}

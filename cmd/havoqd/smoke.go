@@ -1,0 +1,116 @@
+package main
+
+// Smoke mode: bring the real server up on the configured address, fire N
+// concurrent queries at it over actual HTTP, and require every one of them
+// to succeed. This is the end-to-end check `make serve-smoke` runs — it
+// exercises listener, JSON codec, engine admission, interleaved execution,
+// and graceful shutdown in one pass.
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"strings"
+	"sync"
+	"time"
+
+	"havoqgt"
+)
+
+// smokeSpec builds the i-th smoke query: a mix of all four algorithms,
+// BFS/SSSP from spread-out sources.
+func smokeSpec(i int, n uint64) queryRequest {
+	switch {
+	case i%10 == 9:
+		return queryRequest{Algo: "cc"}
+	case i%10 == 8:
+		return queryRequest{Algo: "kcore", K: uint32(2 + i%3)}
+	case i%2 == 0:
+		return queryRequest{Algo: "bfs", Source: uint64(i*37) % n}
+	default:
+		return queryRequest{Algo: "sssp", Source: uint64(i*53+1) % n, WeightSeed: uint64(i)}
+	}
+}
+
+func smoke(o *options, s *server, srv *http.Server, ln net.Listener, e *havoqgt.Engine) error {
+	go srv.Serve(ln)
+	base := "http://" + ln.Addr().String()
+	client := &http.Client{Timeout: 5 * time.Minute}
+
+	// Liveness first.
+	hres, err := client.Get(base + "/healthz")
+	if err != nil {
+		return fmt.Errorf("healthz: %w", err)
+	}
+	io.Copy(io.Discard, hres.Body)
+	hres.Body.Close()
+	if hres.StatusCode != http.StatusOK {
+		return fmt.Errorf("healthz: status %d", hres.StatusCode)
+	}
+
+	fmt.Printf("havoqd: smoke: firing %d concurrent queries at %s\n", o.queries, base)
+	start := time.Now()
+	errs := make([]error, o.queries)
+	var wg sync.WaitGroup
+	for i := 0; i < o.queries; i++ {
+		i := i
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			req := smokeSpec(i, s.g.NumVertices())
+			body, _ := json.Marshal(req)
+			res, err := client.Post(base+"/query", "application/json", bytes.NewReader(body))
+			if err != nil {
+				errs[i] = fmt.Errorf("query %d (%s): %w", i, req.Algo, err)
+				return
+			}
+			defer res.Body.Close()
+			raw, _ := io.ReadAll(res.Body)
+			if res.StatusCode != http.StatusOK {
+				errs[i] = fmt.Errorf("query %d (%s): status %d: %s", i, req.Algo, res.StatusCode, strings.TrimSpace(string(raw)))
+				return
+			}
+			var qr queryResponse
+			if err := json.Unmarshal(raw, &qr); err != nil {
+				errs[i] = fmt.Errorf("query %d (%s): bad response: %w", i, req.Algo, err)
+			}
+		}()
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	// Stats endpoint must produce parseable JSON after the burst.
+	sres, err := client.Get(base + "/stats")
+	if err != nil {
+		return fmt.Errorf("stats: %w", err)
+	}
+	statsRaw, _ := io.ReadAll(sres.Body)
+	sres.Body.Close()
+	var stats map[string]any
+	if err := json.Unmarshal(statsRaw, &stats); err != nil {
+		return fmt.Errorf("stats: bad JSON: %w", err)
+	}
+
+	srv.Close()
+	if err := e.Close(); err != nil {
+		return err
+	}
+
+	failed := 0
+	for _, err := range errs {
+		if err != nil {
+			failed++
+			fmt.Printf("havoqd: smoke: FAIL %v\n", err)
+		}
+	}
+	if failed > 0 {
+		return fmt.Errorf("smoke: %d/%d queries failed", failed, o.queries)
+	}
+	fmt.Printf("havoqd: smoke: %d/%d queries ok in %v (%.1f q/s), served=%d failed=%d\n",
+		o.queries, o.queries, elapsed.Round(time.Millisecond),
+		float64(o.queries)/elapsed.Seconds(), s.served.Load(), s.failed.Load())
+	return nil
+}

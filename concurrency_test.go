@@ -1,0 +1,136 @@
+package havoqgt
+
+// Regression tests for the facade's concurrency contract: concurrent public
+// API calls on one Graph must not corrupt each other (they used to share the
+// simulated machine with no synchronization — two interleaved machine phases
+// would mix their untagged visitor records and desynchronize termination
+// detection), and with an attached engine they must interleave as
+// independent tagged queries. Run under -race.
+
+import (
+	"sync"
+	"testing"
+
+	"havoqgt/internal/graph"
+	"havoqgt/internal/ref"
+)
+
+// TestConcurrentClassicCallsAreSerialized hammers the classic (no-engine)
+// path from many goroutines; the internal mutex must serialize the machine
+// phases so every result stays correct.
+func TestConcurrentClassicCallsAreSerialized(t *testing.T) {
+	const n = 300
+	edges := testEdges(n, 1200, 7)
+	g, err := NewGraph(edges, n, Options{Ranks: 4, Undirect: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	adj := ref.BuildAdj(graph.Undirect(edges), n)
+
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 3; i++ {
+				src := Vertex((w*31 + i*7) % n)
+				res, err := g.BFS(src)
+				if err != nil {
+					t.Errorf("BFS(%d): %v", src, err)
+					return
+				}
+				want, _ := ref.BFS(adj, src)
+				for v := uint64(0); v < n; v++ {
+					if res.Levels[v] != want[v] {
+						t.Errorf("concurrent BFS(%d) vertex %d: level %d, want %d", src, v, res.Levels[v], want[v])
+						return
+					}
+				}
+			}
+		}()
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 3; i++ {
+			res, err := g.Components()
+			if err != nil {
+				t.Errorf("Components: %v", err)
+				return
+			}
+			_, want := ref.Components(adj)
+			if res.Count != want {
+				t.Errorf("concurrent Components: %d, want %d", res.Count, want)
+				return
+			}
+		}
+	}()
+	wg.Wait()
+}
+
+// TestEngineBackedFacadeCalls attaches an engine and checks that (a) the
+// classic methods route through it and stay correct under concurrency,
+// (b) machine-exclusive operations fail while it is attached, and (c) the
+// classic path works again after Close.
+func TestEngineBackedFacadeCalls(t *testing.T) {
+	const n = 300
+	edges := testEdges(n, 1200, 11)
+	g, err := NewGraph(edges, n, Options{Ranks: 4, Undirect: true, Simplify: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	adj := ref.BuildAdj(graph.Undirect(edges), n)
+
+	e, err := g.StartEngine(EngineOptions{MaxInFlight: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := g.StartEngine(EngineOptions{}); err == nil {
+		t.Error("second StartEngine should fail while one is attached")
+	}
+	if _, err := g.CountTriangles(); err == nil {
+		t.Error("CountTriangles should fail while an engine is attached")
+	}
+
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			src := Vertex((w * 37) % n)
+			res, err := g.BFS(src)
+			if err != nil {
+				t.Errorf("engine-backed BFS(%d): %v", src, err)
+				return
+			}
+			want, _ := ref.BFS(adj, src)
+			for v := uint64(0); v < n; v++ {
+				if res.Levels[v] != want[v] {
+					t.Errorf("engine-backed BFS(%d) vertex %d: level %d, want %d", src, v, res.Levels[v], want[v])
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+
+	if err := e.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	// Machine-exclusive operations are available again.
+	if _, err := g.CountTriangles(); err != nil {
+		t.Errorf("CountTriangles after Close: %v", err)
+	}
+	res, err := g.BFS(0)
+	if err != nil {
+		t.Fatalf("classic BFS after Close: %v", err)
+	}
+	want, _ := ref.BFS(adj, 0)
+	for v := uint64(0); v < n; v++ {
+		if res.Levels[v] != want[v] {
+			t.Fatalf("post-Close BFS vertex %d: level %d, want %d", v, res.Levels[v], want[v])
+		}
+	}
+}

@@ -1,0 +1,243 @@
+package havoqgt
+
+// Facade over the multi-query execution engine (internal/engine): keep the
+// partitioned graph resident and serve many concurrent traversals over the
+// shared message plane, instead of one collective machine phase per call.
+//
+//	g, _ := havoqgt.GenerateRMAT(16, 42, havoqgt.Options{Ranks: 8})
+//	e, _ := g.StartEngine(havoqgt.EngineOptions{MaxInFlight: 8})
+//	defer e.Close()
+//	q1, _ := e.SubmitBFS(0)
+//	q2, _ := e.SubmitSSSP(17, 1)
+//	bfsRes, _ := q1.Wait() // both traversals interleaved one message plane
+//
+// While an engine is attached, Graph.BFS/ShortestPaths/Components/KCore
+// route through it automatically, so existing callers become concurrent
+// without code changes.
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"time"
+
+	"havoqgt/internal/engine"
+)
+
+// ErrQueryRejected is returned by Submit* when the engine's wait queue is
+// full — the backpressure signal to retry later or shed load.
+var ErrQueryRejected = engine.ErrRejected
+
+// EngineOptions tune the multi-query engine.
+type EngineOptions struct {
+	// MaxInFlight bounds concurrently executing traversals (default 8).
+	MaxInFlight int
+	// MaxQueue bounds queries waiting for an in-flight slot (default 64);
+	// submissions beyond it fail with ErrQueryRejected.
+	MaxQueue int
+	// StepBatch bounds visitors one query executes per scheduling slice
+	// (default 128): smaller values interleave more fairly, larger values
+	// amortize better.
+	StepBatch int
+	// DefaultDeadline, if nonzero, cancels any query still running after
+	// this long (per-query deadlines can be set on submission instead).
+	DefaultDeadline time.Duration
+}
+
+// Engine serves concurrent queries over one resident Graph. Create with
+// Graph.StartEngine; all methods are safe for concurrent use.
+type Engine struct {
+	g *Graph
+	e *engine.Engine
+	d time.Duration // default deadline
+}
+
+// StartEngine attaches a multi-query engine to the graph. While attached,
+// the engine owns the simulated machine: Graph traversal methods route
+// through it, and machine-exclusive operations (triangle counting) fail
+// until Close.
+func (g *Graph) StartEngine(opts EngineOptions) (*Engine, error) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if g.eng != nil {
+		return nil, errors.New("havoqgt: an engine is already attached to this graph")
+	}
+	e, err := engine.Start(engine.Config{
+		Machine:  g.machine,
+		Parts:    g.parts,
+		Ghosts:   g.ghosts,
+		Topology: g.opts.Topology,
+	}, engine.Options{
+		MaxInFlight: opts.MaxInFlight,
+		MaxQueue:    opts.MaxQueue,
+		StepBatch:   opts.StepBatch,
+	})
+	if err != nil {
+		return nil, err
+	}
+	g.eng = &Engine{g: g, e: e, d: opts.DefaultDeadline}
+	return g.eng, nil
+}
+
+// Close drains every outstanding query, stops the engine, and returns the
+// machine to classic (one-traversal-at-a-time) use.
+func (e *Engine) Close() error {
+	err := e.e.Close()
+	e.g.mu.Lock()
+	if e.g.eng == e {
+		e.g.eng = nil
+	}
+	e.g.mu.Unlock()
+	return err
+}
+
+// WriteStats writes the machine's full metrics snapshot (transport, mailbox,
+// termination, visitor-queue, and engine counters) as JSON.
+func (e *Engine) WriteStats(w io.Writer) error {
+	return e.e.Obs().Snapshot().WriteJSON(w)
+}
+
+// Query is a handle on one submitted query.
+type Query struct {
+	t    *engine.Ticket
+	algo engine.Algo
+	src  Vertex
+	k    uint32
+}
+
+// ID returns the query's engine-assigned identifier.
+func (q *Query) ID() uint32 { return q.t.ID() }
+
+// Done is closed when the query completes (successfully or cancelled).
+func (q *Query) Done() <-chan struct{} { return q.t.Done() }
+
+// Cancel stops the query; its in-flight visitors drain without being
+// applied. Cancelling a completed query is a no-op.
+func (q *Query) Cancel() { q.t.Cancel() }
+
+// ErrQueryCancelled is returned by Wait for a query that was cancelled
+// (explicitly or by deadline) before completing.
+var ErrQueryCancelled = errors.New("havoqgt: query cancelled")
+
+func (q *Query) wait() (*engine.Result, error) {
+	res := q.t.Wait()
+	if res.Cancelled {
+		return nil, ErrQueryCancelled
+	}
+	return res, nil
+}
+
+// QueryResult is one completed query's output; exactly one algorithm field
+// is non-nil.
+type QueryResult struct {
+	BFS        *BFSResult
+	SSSP       *SSSPResult
+	Components *ComponentsResult
+	KCore      *KCoreResult
+}
+
+// Wait blocks until the query completes and returns its result, or
+// ErrQueryCancelled.
+func (q *Query) Wait() (*QueryResult, error) {
+	switch q.algo {
+	case engine.AlgoBFS:
+		r, err := q.waitBFS()
+		if err != nil {
+			return nil, err
+		}
+		return &QueryResult{BFS: r}, nil
+	case engine.AlgoSSSP:
+		r, err := q.waitSSSP()
+		if err != nil {
+			return nil, err
+		}
+		return &QueryResult{SSSP: r}, nil
+	case engine.AlgoCC:
+		r, err := q.waitComponents()
+		if err != nil {
+			return nil, err
+		}
+		return &QueryResult{Components: r}, nil
+	case engine.AlgoKCore:
+		r, err := q.waitKCore()
+		if err != nil {
+			return nil, err
+		}
+		return &QueryResult{KCore: r}, nil
+	}
+	return nil, fmt.Errorf("havoqgt: unknown query algorithm %q", q.algo)
+}
+
+func (q *Query) waitBFS() (*BFSResult, error) {
+	res, err := q.wait()
+	if err != nil {
+		return nil, err
+	}
+	out := &BFSResult{Source: q.src, Levels: res.Levels, Parents: res.Parents}
+	finishBFSResult(out)
+	return out, nil
+}
+
+func (q *Query) waitSSSP() (*SSSPResult, error) {
+	res, err := q.wait()
+	if err != nil {
+		return nil, err
+	}
+	return &SSSPResult{Source: q.src, Distances: res.Dist, Parents: res.Parents}, nil
+}
+
+func (q *Query) waitComponents() (*ComponentsResult, error) {
+	res, err := q.wait()
+	if err != nil {
+		return nil, err
+	}
+	return &ComponentsResult{Labels: res.Labels, Count: res.Components}, nil
+}
+
+func (q *Query) waitKCore() (*KCoreResult, error) {
+	res, err := q.wait()
+	if err != nil {
+		return nil, err
+	}
+	return &KCoreResult{K: q.k, InCore: res.InCore, CoreSize: res.CoreSize}, nil
+}
+
+// submit wraps engine admission with the facade's default deadline.
+func (e *Engine) submit(spec engine.Spec, src Vertex) (*Query, error) {
+	if spec.Deadline == 0 {
+		spec.Deadline = e.d
+	}
+	t, err := e.e.Submit(spec)
+	if err != nil {
+		return nil, err
+	}
+	return &Query{t: t, algo: spec.Algo, src: src, k: spec.K}, nil
+}
+
+// SubmitBFS starts an asynchronous BFS query from source.
+func (e *Engine) SubmitBFS(source Vertex) (*Query, error) {
+	return e.submit(engine.Spec{Algo: engine.AlgoBFS, Source: source}, source)
+}
+
+// SubmitSSSP starts an asynchronous single-source shortest-path query.
+func (e *Engine) SubmitSSSP(source Vertex, weightSeed uint64) (*Query, error) {
+	return e.submit(engine.Spec{Algo: engine.AlgoSSSP, Source: source, WeightSeed: weightSeed}, source)
+}
+
+// SubmitComponents starts an asynchronous connected-components query.
+func (e *Engine) SubmitComponents() (*Query, error) {
+	return e.submit(engine.Spec{Algo: engine.AlgoCC}, 0)
+}
+
+// SubmitKCore starts an asynchronous k-core query (k >= 1). The graph must
+// be simple (Options.Simplify).
+func (e *Engine) SubmitKCore(k uint32) (*Query, error) {
+	return e.submit(engine.Spec{Algo: engine.AlgoKCore, K: k}, 0)
+}
+
+// SubmitWithDeadline is like the Submit helpers but cancels the query if it
+// is still running after d.
+func (e *Engine) SubmitWithDeadline(algo string, source Vertex, weightSeed uint64, k uint32, d time.Duration) (*Query, error) {
+	spec := engine.Spec{Algo: engine.Algo(algo), Source: source, WeightSeed: weightSeed, K: k, Deadline: d}
+	return e.submit(spec, source)
+}

@@ -3,13 +3,14 @@ package check
 import "encoding/binary"
 
 // envelope framing constants, mirroring internal/mailbox: each record is
-// [finalDest u32][payloadLen u32][payload]. Kept in sync by
+// [finalDest u32][tag u32][payloadLen u32][payload]. Kept in sync by
 // TestEnvelopeFramingMatchesMailbox.
-const recordHeader = 8
+const recordHeader = 12
 
 // EnvRecord is one record to frame into a synthetic envelope.
 type EnvRecord struct {
 	Dest    int
+	Tag     uint32 // record namespace (query ID); 0 on the classic path
 	Payload []byte
 }
 
@@ -20,7 +21,8 @@ func Envelope(records ...EnvRecord) []byte {
 	for _, rec := range records {
 		var hdr [recordHeader]byte
 		binary.LittleEndian.PutUint32(hdr[0:], uint32(rec.Dest))
-		binary.LittleEndian.PutUint32(hdr[4:], uint32(len(rec.Payload)))
+		binary.LittleEndian.PutUint32(hdr[4:], rec.Tag)
+		binary.LittleEndian.PutUint32(hdr[8:], uint32(len(rec.Payload)))
 		buf = append(buf, hdr[:]...)
 		buf = append(buf, rec.Payload...)
 	}
@@ -52,7 +54,7 @@ func HostileCorpus() []HostileEnvelope {
 	oversized := func() []byte {
 		var hdr [recordHeader]byte
 		binary.LittleEndian.PutUint32(hdr[0:], 0)
-		binary.LittleEndian.PutUint32(hdr[4:], 0xFFFF) // claims 65535 payload bytes
+		binary.LittleEndian.PutUint32(hdr[8:], 0xFFFF) // claims 65535 payload bytes
 		return append(hdr[:], 'x', 'y')                // ...but carries 2
 	}
 	return []HostileEnvelope{
@@ -61,7 +63,7 @@ func HostileCorpus() []HostileEnvelope {
 		{Name: "oversized-length", Payload: oversized(), WantDelivered: 0, WantErrors: 1},
 		{Name: "oversized-length-max", Payload: func() []byte {
 			var hdr [recordHeader]byte
-			binary.LittleEndian.PutUint32(hdr[4:], ^uint32(0)) // length 2^32−1
+			binary.LittleEndian.PutUint32(hdr[8:], ^uint32(0)) // length 2^32−1
 			return hdr[:]
 		}(), WantDelivered: 0, WantErrors: 1},
 		{Name: "zero-length-record", Payload: Envelope(EnvRecord{Dest: 0}), WantDelivered: 1, WantErrors: 0},
@@ -70,7 +72,7 @@ func HostileCorpus() []HostileEnvelope {
 		{Name: "misrouted-dest-huge", Payload: func() []byte {
 			var hdr [recordHeader]byte
 			binary.LittleEndian.PutUint32(hdr[0:], ^uint32(0)) // dest 2^32−1
-			binary.LittleEndian.PutUint32(hdr[4:], 0)
+			binary.LittleEndian.PutUint32(hdr[8:], 0)          // zero-length payload
 			return hdr[:]
 		}(), WantDelivered: 0, WantErrors: 1},
 		{Name: "valid-then-truncated", Payload: append(Envelope(valid), 1, 2, 3),

@@ -1,0 +1,80 @@
+package check
+
+// Per-query conservation invariants for the multi-query engine: the laws of
+// MailboxQuiesced/Traversal restated per record tag (query ID). Every tagged
+// record must be conserved within its own query — one query leaking a record
+// into another's accounting would desynchronize that query's four-counter
+// termination detector — and each query's detector S/R must agree with the
+// mailbox's per-tag flow counts on every rank. The same laws hold for a
+// query cancelled mid-flight: cancellation only stops visitors from being
+// applied, the records themselves still drain and are still counted.
+
+// QueryFlow is one rank's flow account for a single query ID: the mailbox's
+// end-to-end record counts under the query's tag, and the query's
+// termination-detector counters at quiescence.
+type QueryFlow struct {
+	Sent        uint64 // records entered under the tag on this rank
+	Delivered   uint64 // records delivered under the tag on this rank
+	DetSent     uint64 // per-query detector S at quiescence
+	DetReceived uint64 // per-query detector R at quiescence
+}
+
+// QueryConservation checks one quiesced query's conservation laws from its
+// per-rank flow accounts: globally Σsent == Σdelivered (no stranded or
+// leaked records anywhere in the shared message plane, including after a
+// mid-flight cancellation), and on every rank the detector's monotone S/R
+// must equal the mailbox's per-tag counts (the agreement that makes the
+// four-counter waves sound per query).
+func QueryConservation(id uint32, perRank []QueryFlow) []Violation {
+	var vs violations
+	var sent, delivered, detS, detR uint64
+	for r, f := range perRank {
+		sent += f.Sent
+		delivered += f.Delivered
+		detS += f.DetSent
+		detR += f.DetReceived
+		if f.DetSent != f.Sent {
+			vs.addf("query-detector-agreement", "query %d rank %d: detector S=%d != tagged records sent=%d",
+				id, r, f.DetSent, f.Sent)
+		}
+		if f.DetReceived != f.Delivered {
+			vs.addf("query-detector-agreement", "query %d rank %d: detector R=%d != tagged records delivered=%d",
+				id, r, f.DetReceived, f.Delivered)
+		}
+	}
+	if sent != delivered {
+		vs.addf("query-record-conservation",
+			"query %d: Σsent=%d != Σdelivered=%d at quiescence (stranded or leaked tagged records)",
+			id, sent, delivered)
+	}
+	if detS != detR {
+		vs.addf("query-termination-drain",
+			"query %d: ΣS=%d != ΣR=%d after detection (the per-query S−R gap never drained)", id, detS, detR)
+	}
+	return vs
+}
+
+// QueryConservationMidFlight checks a query's conservation law at a
+// mid-flight synchronization point: pending[r] is rank r's count of records
+// parked in aggregation buffers under this query's tag
+// (mailbox.Box.PendingByTag), and the transport must hold no undrained
+// envelopes when the snapshot is taken.
+func QueryConservationMidFlight(id uint32, perRank []QueryFlow, pending []int) []Violation {
+	var vs violations
+	if len(pending) != len(perRank) {
+		vs.addf("arity", "query %d: pending has %d entries for %d ranks", id, len(pending), len(perRank))
+		return vs
+	}
+	var sent, delivered, pend uint64
+	for r, f := range perRank {
+		sent += f.Sent
+		delivered += f.Delivered
+		pend += uint64(pending[r])
+	}
+	if sent != delivered+pend {
+		vs.addf("query-record-conservation",
+			"query %d: Σsent=%d != Σdelivered=%d + Σpending-in-buffers=%d mid-flight",
+			id, sent, delivered, pend)
+	}
+	return vs
+}

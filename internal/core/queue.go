@@ -53,7 +53,9 @@ type Config struct {
 
 // Queue is one rank's end of the distributed asynchronous visitor queue
 // (Algorithm 1). Create one per rank per traversal with NewQueue, push the
-// initial visitors, then call Run.
+// initial visitors, then call Run — or, for the multi-query engine, create
+// one per rank per *query* with NewQueueShared over a shared mailbox and
+// drive it incrementally with Deliver/Step/PumpTermination.
 type Queue[V Visitor] struct {
 	rank *rt.Rank
 	part *partition.Part
@@ -64,6 +66,10 @@ type Queue[V Visitor] struct {
 
 	mb  *mailbox.Box
 	det *termination.Detector
+
+	tag       uint32 // record tag stamped on every push (query ID; 0 classic)
+	shared    bool   // mailbox is shared with other queues (engine mode)
+	cancelled bool   // drain without applying (see Cancel)
 
 	heap          []V
 	localityOrder bool
@@ -132,6 +138,34 @@ func NewQueue[V Visitor](r *rt.Rank, part *partition.Part, algo Algorithm[V], cf
 	return q
 }
 
+// NewQueueShared builds a queue for one query of the multi-query engine:
+// visitors travel through the caller-owned shared mailbox stamped with tag
+// (the query ID), and termination detection runs on the caller-minted
+// per-query detector. The caller owns the poll loop — it must route
+// delivered records with matching tag into Deliver, drive execution with
+// Step, and pump PumpTermination; Run must not be called on a shared queue.
+func NewQueueShared[V Visitor](r *rt.Rank, part *partition.Part, algo Algorithm[V],
+	cfg Config, mb *mailbox.Box, det *termination.Detector, tag uint32) *Queue[V] {
+	q := &Queue[V]{
+		rank:          r,
+		part:          part,
+		algo:          algo,
+		mb:            mb,
+		det:           det,
+		tag:           tag,
+		shared:        true,
+		localityOrder: !cfg.DisableLocalityOrder,
+		met:           newQueueMetrics(r),
+	}
+	if cfg.Ghosts != nil && cfg.Ghosts.Len() > 0 {
+		if ga, ok := algo.(GhostAlgorithm[V]); ok {
+			q.ghostAlgo = ga
+			q.ghosts = cfg.Ghosts
+		}
+	}
+	return q
+}
+
 // Part returns the partition this queue traverses.
 func (q *Queue[V]) Part() *partition.Part { return q.part }
 
@@ -171,17 +205,22 @@ func (q *Queue[V]) Push(v V) {
 		}
 	}
 	q.encBuf = q.algo.Encode(v, q.encBuf[:0])
-	q.mb.Send(dest, q.encBuf)
+	q.mb.SendTagged(dest, q.tag, q.encBuf)
 }
 
 // receive handles one delivered visitor (Algorithm 1, CHECK_MAILBOX body):
 // PreVisit against local state; if it proceeds, queue locally and forward to
 // the next replica when the vertex's adjacency list continues on a later
-// partition.
+// partition. A cancelled queue drains the record without applying it — the
+// delivery was already counted toward termination by the mailbox, so the
+// query still quiesces, but no new state changes or pushes happen.
 func (q *Queue[V]) receive(rec mailbox.Record) {
-	v := q.algo.Decode(rec.Payload)
 	q.stats.Received++
 	q.met.received.Inc(q.met.rank)
+	if q.cancelled {
+		return
+	}
+	v := q.algo.Decode(rec.Payload)
 	if !q.algo.PreVisit(v) {
 		return
 	}
@@ -192,8 +231,63 @@ func (q *Queue[V]) receive(rec mailbox.Record) {
 		q.stats.Forwarded++
 		q.met.forwarded.Inc(q.met.rank)
 		q.encBuf = q.algo.Encode(v, q.encBuf[:0])
-		q.mb.Send(next, q.encBuf)
+		q.mb.SendTagged(next, q.tag, q.encBuf)
 	}
+}
+
+// Deliver routes one record (already demultiplexed by tag) into the queue.
+// Engine mode only; the classic Run path consumes its own mailbox.
+func (q *Queue[V]) Deliver(rec mailbox.Record) { q.receive(rec) }
+
+// Step executes up to batch locally queued visitors, returning whether any
+// work happened. Engine mode's slice of the DO_TRAVERSAL loop: the engine
+// interleaves Step calls across all in-flight queries on the rank.
+func (q *Queue[V]) Step(batch int) bool {
+	if len(q.heap) == 0 {
+		return false
+	}
+	q.met.queueDepth.Observe(uint64(len(q.heap)))
+	for i := 0; i < batch && len(q.heap) > 0; i++ {
+		v := q.heapPop()
+		q.stats.Executed++
+		q.met.executed.Inc(q.met.rank)
+		q.algo.Visit(v, q)
+	}
+	return true
+}
+
+// LocalIdle reports whether this queue holds no executable local work.
+func (q *Queue[V]) LocalIdle() bool { return len(q.heap) == 0 }
+
+// Cancel marks the queue cancelled on this rank: the local visitor heap is
+// discarded and subsequent deliveries are drained without being applied.
+// Termination detection still runs to quiescence so the query's tagged
+// records fully drain from the message plane before the ID is retired.
+func (q *Queue[V]) Cancel() {
+	q.cancelled = true
+	var zero V
+	for i := range q.heap {
+		q.heap[i] = zero
+	}
+	q.heap = q.heap[:0]
+}
+
+// Cancelled reports whether Cancel was called on this rank.
+func (q *Queue[V]) Cancelled() bool { return q.cancelled }
+
+// PumpTermination drives this query's detector with the caller-computed
+// local idle state and returns true at global quiescence, snapshotting the
+// detector counters into Stats exactly once. Unlike Run, no end-of-traversal
+// barrier is needed: records of other queries cannot be misattributed — the
+// tag demultiplexes them — so ranks may retire the query independently.
+func (q *Queue[V]) PumpTermination(localIdle bool) bool {
+	if !q.det.Pump(localIdle && len(q.heap) == 0) {
+		return false
+	}
+	q.stats.DetectorWaves = q.det.Waves
+	q.stats.DetectorSent = q.det.Sent()
+	q.stats.DetectorReceived = q.det.Received()
+	return true
 }
 
 // Run executes the asynchronous traversal to completion (Algorithm 1,

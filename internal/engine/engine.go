@@ -1,0 +1,509 @@
+// Package engine multiplexes many concurrent graph traversals over one
+// resident partitioned graph.
+//
+// The paper's framework answers one query at a time: build the graph once,
+// then run each traversal as a collective phase across the whole machine. A
+// query-serving deployment inverts the workload — the graph stays resident
+// and queries arrive continuously — so serializing traversals wastes exactly
+// the resource the asynchronous design exists to exploit: the idle gaps
+// where a rank waits on in-flight visitors or termination waves of a single
+// traversal. The engine interleaves many traversals over the shared message
+// plane so one query's latency gaps are filled with another query's visitor
+// work.
+//
+// Mechanics. Every visitor record is stamped with a compact query ID in the
+// mailbox record header (mailbox.SendTagged); each rank runs one long-lived
+// loop that polls the single shared mailbox and demultiplexes delivered
+// records into per-query visitor queues (core.NewQueueShared). Termination is
+// detected per query: each in-flight query gets its own four-counter detector
+// instance (termination.Mux), fed by a tag-aware flow counter registered on
+// the shared mailbox, so the S/R conservation argument of §V holds
+// independently per query ID. No collectives run on engine paths — queries
+// quiesce in different orders on different ranks, so cross-rank aggregates
+// (component counts, core sizes) accumulate through atomics on the shared
+// query object instead of AllReduce.
+//
+// Lifecycle. Submit admits a query if an in-flight slot is free, parks it in
+// a bounded wait queue otherwise, and rejects with ErrRejected beyond that —
+// the backpressure signal a serving front end needs. Cancellation (explicit
+// or by deadline) flips the query's rank-local queues into drain mode: tagged
+// records still in flight are received and counted but not applied, so the
+// query runs to ordinary quiescence and retires its ID with no stranded
+// records anywhere in the message plane. Close stops admission, waits for
+// every outstanding query, then shuts the rank loops down.
+package engine
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"havoqgt/internal/core"
+	"havoqgt/internal/graph"
+	"havoqgt/internal/mailbox"
+	"havoqgt/internal/obs"
+	"havoqgt/internal/partition"
+	"havoqgt/internal/rt"
+	"havoqgt/internal/termination"
+)
+
+// Admission and shutdown errors. ErrRejected is the distinct backpressure
+// signal: the wait queue is full and the caller should retry later or shed
+// load.
+var (
+	ErrRejected = errors.New("engine: admission rejected: wait queue full")
+	ErrClosed   = errors.New("engine: closed")
+)
+
+// Algo selects the traversal a query runs.
+type Algo string
+
+// Supported query algorithms.
+const (
+	AlgoBFS   Algo = "bfs"
+	AlgoSSSP  Algo = "sssp"
+	AlgoCC    Algo = "cc"
+	AlgoKCore Algo = "kcore"
+)
+
+// Spec describes one query.
+type Spec struct {
+	Algo       Algo
+	Source     graph.Vertex  // bfs, sssp
+	WeightSeed uint64        // sssp
+	K          uint32        // kcore (>= 1)
+	Deadline   time.Duration // 0 = none; expiry cancels the query
+}
+
+// Result is one completed query's output. Only the fields of the query's
+// algorithm are populated. If Cancelled is true the per-vertex arrays are
+// partial (some ranks stopped applying visitors mid-flight) and must not be
+// interpreted as a consistent traversal.
+type Result struct {
+	// BFS.
+	Levels []uint32 // bfs.Unreached where not reached
+
+	// SSSP.
+	Dist []uint64 // sssp.Unreached where not reached
+
+	// BFS and SSSP.
+	Parents []graph.Vertex
+
+	// Connected components.
+	Labels     []graph.Vertex
+	Components uint64
+
+	// K-core.
+	InCore   []bool
+	CoreSize uint64
+
+	Cancelled bool
+	// Waves is the number of termination-detection waves the query's root
+	// detector completed.
+	Waves uint64
+}
+
+// FlowCell is one rank's per-query flow account, exposed for invariant
+// checking (internal/check.QueryConservation): end-to-end mailbox record
+// counts under the query's tag and the termination detector's monotone
+// counters at quiescence.
+type FlowCell struct {
+	Sent        uint64 // records sent under this query's tag on this rank
+	Delivered   uint64 // records delivered under this query's tag on this rank
+	DetSent     uint64 // detector S at quiescence
+	DetReceived uint64 // detector R at quiescence
+}
+
+// Options tune the engine.
+type Options struct {
+	// MaxInFlight bounds concurrently executing traversals (default 8).
+	MaxInFlight int
+	// MaxQueue bounds queries waiting for an in-flight slot (default 64).
+	MaxQueue int
+	// StepBatch bounds visitors executed per query per rank-loop iteration,
+	// the interleaving granularity (default 128).
+	StepBatch int
+	// FlushBytes overrides the shared mailbox aggregation threshold (0 =
+	// mailbox default).
+	FlushBytes int
+}
+
+func (o Options) normalized() Options {
+	if o.MaxInFlight <= 0 {
+		o.MaxInFlight = 8
+	}
+	if o.MaxQueue <= 0 {
+		o.MaxQueue = 64
+	}
+	if o.StepBatch <= 0 {
+		o.StepBatch = 128
+	}
+	return o
+}
+
+// Config binds an engine to a built machine and its partitioned graph.
+type Config struct {
+	Machine *rt.Machine
+	Parts   []*partition.Part
+	Ghosts  []*core.GhostTable // per rank; nil entries disable hub filtering
+	// Topology names the shared mailbox routing ("1d" default, "2d", "3d").
+	Topology string
+}
+
+// ctlKind discriminates control-log events.
+type ctlKind uint8
+
+const (
+	evStart ctlKind = iota
+	evCancel
+	evShutdown
+)
+
+// ctlEvent is one entry of the engine's append-only control log — the only
+// channel from the submitting side into the rank goroutines. Ranks replay
+// the log in order through private cursors, which gives every rank the same
+// totally ordered view of query admission, cancellation, and shutdown
+// without any collective operation.
+type ctlEvent struct {
+	kind ctlKind
+	q    *query // evStart, evCancel; nil for evShutdown
+}
+
+// ctlLog is the shared append-only event log. Appends happen under the
+// exclusive lock and then publish the new length with an atomic store; rank
+// loops spin on the atomic (no lock) and take the read lock only when the
+// published length passed their cursor. Entries below the published length
+// are immutable.
+type ctlLog struct {
+	mu     sync.RWMutex
+	events []ctlEvent
+	length atomic.Uint64
+}
+
+func (l *ctlLog) append(ev ctlEvent) {
+	l.mu.Lock()
+	l.events = append(l.events, ev)
+	l.length.Store(uint64(len(l.events)))
+	l.mu.Unlock()
+}
+
+// from returns a copy of the events at index >= cursor.
+func (l *ctlLog) from(cursor int) []ctlEvent {
+	if l.length.Load() <= uint64(cursor) {
+		return nil
+	}
+	l.mu.RLock()
+	out := append([]ctlEvent(nil), l.events[cursor:]...)
+	l.mu.RUnlock()
+	return out
+}
+
+// query is the shared per-query object. Ranks write disjoint master ranges
+// of the Result arrays and accumulate cross-rank scalars through atomics;
+// the final rank to quiesce closes done, which publishes every earlier write
+// to waiters.
+type query struct {
+	id        uint32
+	spec      Spec
+	res       *Result
+	flow      []FlowCell // per rank, each written by its own rank pre-done
+	accum     atomic.Uint64
+	cancelled atomic.Bool
+	waiting   bool // guarded by Engine.mu: parked in the wait queue
+	ranksDone atomic.Int32
+	done      chan struct{}
+	submitted time.Time
+	deadline  *time.Timer
+}
+
+// Ticket is the caller's handle on a submitted query.
+type Ticket struct {
+	e *Engine
+	q *query
+}
+
+// ID returns the query's compact tag (unique per engine lifetime).
+func (t *Ticket) ID() uint32 { return t.q.id }
+
+// Done is closed when the query has completed (or been cancelled) on every
+// rank.
+func (t *Ticket) Done() <-chan struct{} { return t.q.done }
+
+// Wait blocks until completion and returns the result.
+func (t *Ticket) Wait() *Result {
+	<-t.q.done
+	return t.q.res
+}
+
+// Flows returns the per-rank flow accounts. Valid only after Done.
+func (t *Ticket) Flows() []FlowCell { return t.q.flow }
+
+// Cancel stops the query: an in-flight query drains its remaining tagged
+// records without applying them and still quiesces cleanly; a waiting query
+// completes immediately without starting. Cancelling a completed query is a
+// no-op. Note a cancel racing completion may mark a fully computed result
+// Cancelled.
+func (t *Ticket) Cancel() {
+	e, q := t.e, t.q
+	e.mu.Lock()
+	select {
+	case <-q.done:
+		e.mu.Unlock()
+		return
+	default:
+	}
+	if q.cancelled.Swap(true) {
+		e.mu.Unlock()
+		return
+	}
+	e.obsCancelled.Inc()
+	if q.waiting {
+		// Never started: remove from the wait queue and complete in place.
+		for i, w := range e.waitq {
+			if w == q {
+				e.waitq = append(e.waitq[:i], e.waitq[i+1:]...)
+				break
+			}
+		}
+		q.waiting = false
+		e.obsWaiting.Set(int64(len(e.waitq)))
+		e.finishLocked(q)
+		e.mu.Unlock()
+		return
+	}
+	e.mu.Unlock()
+	e.log.append(ctlEvent{kind: evCancel, q: q})
+}
+
+// Engine executes queries over one resident graph. Start it with Start;
+// submit from any goroutine.
+type Engine struct {
+	cfg  Config
+	opts Options
+	n    uint64 // vertices
+	p    int    // ranks
+
+	mu          sync.Mutex
+	closed      bool
+	nextID      uint32
+	inflight    int
+	waitq       []*query
+	outstanding int           // admitted or waiting, not yet done
+	drained     chan struct{} // closed when closed && outstanding == 0
+
+	log     ctlLog
+	runDone chan struct{} // rank loops exited
+
+	obsSubmitted *obs.Counter
+	obsCompleted *obs.Counter
+	obsCancelled *obs.Counter
+	obsRejected  *obs.Counter
+	obsInFlight  *obs.Gauge
+	obsWaiting   *obs.Gauge
+	obsLatency   *obs.Histogram
+}
+
+// Start launches the engine's rank loops on the machine. The machine must be
+// otherwise idle (no concurrent Run) until Close returns.
+func Start(cfg Config, opts Options) (*Engine, error) {
+	if cfg.Machine == nil || len(cfg.Parts) != cfg.Machine.Size() {
+		return nil, errors.New("engine: config needs a machine and one part per rank")
+	}
+	if cfg.Topology == "" {
+		cfg.Topology = "1d"
+	}
+	if _, err := mailbox.ByName(cfg.Topology, cfg.Machine.Size()); err != nil {
+		return nil, err
+	}
+	reg := cfg.Machine.Obs()
+	e := &Engine{
+		cfg:          cfg,
+		opts:         opts.normalized(),
+		n:            cfg.Parts[0].NumVertices,
+		p:            cfg.Machine.Size(),
+		nextID:       1, // 0 stays reserved for the classic single-traversal path
+		drained:      make(chan struct{}),
+		runDone:      make(chan struct{}),
+		obsSubmitted: reg.Counter(obs.EngineSubmitted),
+		obsCompleted: reg.Counter(obs.EngineCompleted),
+		obsCancelled: reg.Counter(obs.EngineCancelled),
+		obsRejected:  reg.Counter(obs.EngineRejected),
+		obsInFlight:  reg.Gauge(obs.EngineInFlight),
+		obsWaiting:   reg.Gauge(obs.EngineWaiting),
+		obsLatency:   reg.Histogram(obs.EngineQueryNS),
+	}
+	go func() {
+		defer close(e.runDone)
+		e.cfg.Machine.Run(e.rankLoop)
+	}()
+	return e, nil
+}
+
+// NumVertices returns the resident graph's vertex count.
+func (e *Engine) NumVertices() uint64 { return e.n }
+
+// Obs returns the machine's metrics registry (for /stats endpoints).
+func (e *Engine) Obs() *obs.Registry { return e.cfg.Machine.Obs() }
+
+// validate rejects malformed specs before admission.
+func (e *Engine) validate(spec Spec) error {
+	switch spec.Algo {
+	case AlgoBFS, AlgoSSSP:
+		if uint64(spec.Source) >= e.n {
+			return fmt.Errorf("engine: source %d out of range [0, %d)", spec.Source, e.n)
+		}
+	case AlgoCC:
+	case AlgoKCore:
+		if spec.K < 1 {
+			return errors.New("engine: kcore needs k >= 1")
+		}
+	default:
+		return fmt.Errorf("engine: unknown algorithm %q", spec.Algo)
+	}
+	return nil
+}
+
+// Submit admits, queues, or rejects a query. A non-nil Ticket is returned
+// exactly when err is nil.
+func (e *Engine) Submit(spec Spec) (*Ticket, error) {
+	if err := e.validate(spec); err != nil {
+		return nil, err
+	}
+	e.mu.Lock()
+	if e.closed {
+		e.mu.Unlock()
+		return nil, ErrClosed
+	}
+	if uint64(e.nextID) > uint64(termination.MaxID) {
+		e.mu.Unlock()
+		return nil, errors.New("engine: query id space exhausted")
+	}
+	if e.inflight >= e.opts.MaxInFlight && len(e.waitq) >= e.opts.MaxQueue {
+		e.obsRejected.Inc()
+		e.mu.Unlock()
+		return nil, ErrRejected
+	}
+	q := &query{
+		id:        e.nextID,
+		spec:      spec,
+		res:       newResult(spec, e.n),
+		flow:      make([]FlowCell, e.p),
+		done:      make(chan struct{}),
+		submitted: time.Now(),
+	}
+	e.nextID++
+	e.outstanding++
+	e.obsSubmitted.Inc()
+	t := &Ticket{e: e, q: q}
+	if spec.Deadline > 0 {
+		// Arm the timer before the start event is visible to any rank: a
+		// fast query may complete (and stop the timer) the moment the event
+		// publishes. AfterFunc fires asynchronously, so Cancel's own lock
+		// acquisition cannot deadlock here.
+		q.deadline = time.AfterFunc(spec.Deadline, t.Cancel)
+	}
+	if e.inflight < e.opts.MaxInFlight {
+		e.inflight++
+		e.obsInFlight.Set(int64(e.inflight))
+		e.log.append(ctlEvent{kind: evStart, q: q})
+	} else {
+		q.waiting = true
+		e.waitq = append(e.waitq, q)
+		e.obsWaiting.Set(int64(len(e.waitq)))
+	}
+	e.mu.Unlock()
+	return t, nil
+}
+
+// newResult allocates the algorithm's output arrays.
+func newResult(spec Spec, n uint64) *Result {
+	res := &Result{}
+	switch spec.Algo {
+	case AlgoBFS:
+		res.Levels = make([]uint32, n)
+		res.Parents = make([]graph.Vertex, n)
+	case AlgoSSSP:
+		res.Dist = make([]uint64, n)
+		res.Parents = make([]graph.Vertex, n)
+	case AlgoCC:
+		res.Labels = make([]graph.Vertex, n)
+	case AlgoKCore:
+		res.InCore = make([]bool, n)
+	}
+	return res
+}
+
+// completeQuery runs on the last rank to quiesce a started query: publish
+// scalar aggregates, close done, release the slot, and admit the next waiter.
+func (e *Engine) completeQuery(q *query) {
+	q.res.Cancelled = q.cancelled.Load()
+	switch q.spec.Algo {
+	case AlgoCC:
+		q.res.Components = q.accum.Load()
+	case AlgoKCore:
+		q.res.CoreSize = q.accum.Load()
+	}
+	e.mu.Lock()
+	e.inflight--
+	e.obsInFlight.Set(int64(e.inflight))
+	e.admitLocked()
+	e.finishLocked(q)
+	e.mu.Unlock()
+}
+
+// finishLocked retires a query (started or not): latency accounting, done
+// close, drained signalling. Caller holds e.mu.
+func (e *Engine) finishLocked(q *query) {
+	if q.deadline != nil {
+		q.deadline.Stop()
+	}
+	e.obsLatency.Observe(uint64(time.Since(q.submitted)))
+	if q.cancelled.Load() {
+		q.res.Cancelled = true
+	} else {
+		e.obsCompleted.Inc()
+	}
+	close(q.done)
+	e.outstanding--
+	if e.closed && e.outstanding == 0 {
+		close(e.drained)
+	}
+}
+
+// admitLocked starts the next waiting query if a slot is free. Caller holds
+// e.mu.
+func (e *Engine) admitLocked() {
+	for e.inflight < e.opts.MaxInFlight && len(e.waitq) > 0 {
+		q := e.waitq[0]
+		e.waitq = e.waitq[1:]
+		q.waiting = false
+		e.obsWaiting.Set(int64(len(e.waitq)))
+		e.inflight++
+		e.obsInFlight.Set(int64(e.inflight))
+		e.log.append(ctlEvent{kind: evStart, q: q})
+		return
+	}
+	e.obsWaiting.Set(int64(len(e.waitq)))
+}
+
+// Close stops admission, waits for every outstanding query to finish, then
+// shuts the rank loops down. Safe to call more than once.
+func (e *Engine) Close() error {
+	e.mu.Lock()
+	first := !e.closed
+	if first {
+		e.closed = true
+		if e.outstanding == 0 {
+			close(e.drained)
+		}
+	}
+	e.mu.Unlock()
+	<-e.drained
+	if first {
+		e.log.append(ctlEvent{kind: evShutdown})
+	}
+	<-e.runDone
+	return nil
+}

@@ -1,0 +1,359 @@
+package engine_test
+
+import (
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"havoqgt/internal/algos/bfs"
+	"havoqgt/internal/algos/sssp"
+	"havoqgt/internal/check"
+	"havoqgt/internal/core"
+	"havoqgt/internal/engine"
+	"havoqgt/internal/generators"
+	"havoqgt/internal/graph"
+	"havoqgt/internal/partition"
+	"havoqgt/internal/ref"
+	"havoqgt/internal/rt"
+)
+
+// buildEngine constructs a partitioned RMAT graph on a fresh machine and
+// starts an engine over it. Also returns the full edge list for reference
+// computations.
+func buildEngine(t *testing.T, scale uint, p int, topo string, opts engine.Options) (*engine.Engine, []graph.Edge, uint64) {
+	t.Helper()
+	gen := generators.NewGraph500(scale, 42)
+	n := gen.NumVertices()
+	var edges []graph.Edge
+	for r := 0; r < p; r++ {
+		edges = append(edges, graph.Undirect(gen.GenerateChunk(r, p))...)
+	}
+	m := rt.NewMachine(p)
+	parts := make([]*partition.Part, p)
+	ghosts := make([]*core.GhostTable, p)
+	m.Run(func(r *rt.Rank) {
+		local := graph.Undirect(gen.GenerateChunk(r.Rank(), r.Size()))
+		part, err := partition.BuildEdgeList(r, local, n)
+		if err != nil {
+			panic(err)
+		}
+		parts[r.Rank()] = part
+		ghosts[r.Rank()] = core.BuildGhostTable(part, core.DefaultGhostsPerPartition)
+	})
+	e, err := engine.Start(engine.Config{Machine: m, Parts: parts, Ghosts: ghosts, Topology: topo}, opts)
+	if err != nil {
+		t.Fatalf("Start: %v", err)
+	}
+	return e, edges, n
+}
+
+// checkFlows asserts the per-query conservation invariants on a completed
+// ticket.
+func checkFlows(t *testing.T, tk *engine.Ticket) {
+	t.Helper()
+	flows := make([]check.QueryFlow, len(tk.Flows()))
+	for r, f := range tk.Flows() {
+		flows[r] = check.QueryFlow{
+			Sent: f.Sent, Delivered: f.Delivered,
+			DetSent: f.DetSent, DetReceived: f.DetReceived,
+		}
+	}
+	if err := check.Error(check.QueryConservation(tk.ID(), flows)); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestEngineBFSMatchesReference runs one engine-backed BFS and compares
+// levels against the sequential reference, and parents for consistency.
+func TestEngineBFSMatchesReference(t *testing.T) {
+	e, edges, n := buildEngine(t, 8, 4, "1d", engine.Options{})
+	defer e.Close()
+
+	adj := ref.BuildAdj(edges, n)
+	wantLevels, _ := ref.BFS(adj, 0)
+
+	tk, err := e.Submit(engine.Spec{Algo: engine.AlgoBFS, Source: 0})
+	if err != nil {
+		t.Fatalf("Submit: %v", err)
+	}
+	res := tk.Wait()
+	if res.Cancelled {
+		t.Fatal("query reported cancelled without a Cancel call")
+	}
+	for v := uint64(0); v < n; v++ {
+		if res.Levels[v] != wantLevels[v] {
+			t.Fatalf("vertex %d: level %d, reference %d", v, res.Levels[v], wantLevels[v])
+		}
+	}
+	// Parent consistency: a reached non-source vertex's parent must sit one
+	// level above it (exact parents are run-dependent among equals).
+	for v := uint64(0); v < n; v++ {
+		if res.Levels[v] == bfs.Unreached || v == 0 {
+			continue
+		}
+		p := res.Parents[v]
+		if p == graph.Nil || res.Levels[p] != res.Levels[v]-1 {
+			t.Fatalf("vertex %d at level %d has parent %d at level %d", v, res.Levels[v], p, res.Levels[p])
+		}
+	}
+	if res.Waves == 0 {
+		t.Error("expected at least one termination wave")
+	}
+	checkFlows(t, tk)
+}
+
+// TestEngineConcurrentQueries drives at least 8 concurrent in-flight
+// traversals (mixed algorithms) through one engine and checks every result
+// against the sequential references plus per-query conservation.
+func TestEngineConcurrentQueries(t *testing.T) {
+	const p = 4
+	e, edges, n := buildEngine(t, 8, p, "2d", engine.Options{MaxInFlight: 8})
+	defer e.Close()
+
+	adj := ref.BuildAdj(edges, n)
+
+	type job struct {
+		spec engine.Spec
+		tk   *engine.Ticket
+	}
+	var jobs []job
+	for i := 0; i < 4; i++ {
+		jobs = append(jobs,
+			job{spec: engine.Spec{Algo: engine.AlgoBFS, Source: graph.Vertex(i * 3)}},
+			job{spec: engine.Spec{Algo: engine.AlgoSSSP, Source: graph.Vertex(i * 5), WeightSeed: uint64(i)}},
+		)
+	}
+	jobs = append(jobs,
+		job{spec: engine.Spec{Algo: engine.AlgoCC}},
+		job{spec: engine.Spec{Algo: engine.AlgoKCore, K: 2}},
+	)
+
+	// Submit everything up front: with MaxInFlight 8 and 10 jobs, at least 8
+	// traversals interleave over the shared message plane.
+	var wg sync.WaitGroup
+	for i := range jobs {
+		tk, err := e.Submit(jobs[i].spec)
+		if err != nil {
+			t.Fatalf("Submit %d: %v", i, err)
+		}
+		jobs[i].tk = tk
+		wg.Add(1)
+		go func() { defer wg.Done(); tk.Wait() }()
+	}
+	wg.Wait()
+
+	for i, j := range jobs {
+		res := j.tk.Wait()
+		if res.Cancelled {
+			t.Fatalf("job %d cancelled unexpectedly", i)
+		}
+		switch j.spec.Algo {
+		case engine.AlgoBFS:
+			want, _ := ref.BFS(adj, j.spec.Source)
+			for v := uint64(0); v < n; v++ {
+				if res.Levels[v] != want[v] {
+					t.Fatalf("job %d (bfs from %d) vertex %d: level %d, reference %d",
+						i, j.spec.Source, v, res.Levels[v], want[v])
+				}
+			}
+		case engine.AlgoSSSP:
+			seed := j.spec.WeightSeed
+			want, _ := ref.Dijkstra(adj, j.spec.Source, func(u, v graph.Vertex) uint64 {
+				return sssp.Weight(u, v, seed)
+			})
+			for v := uint64(0); v < n; v++ {
+				if res.Dist[v] != want[v] {
+					t.Fatalf("job %d (sssp from %d) vertex %d: dist %d, reference %d",
+						i, j.spec.Source, v, res.Dist[v], want[v])
+				}
+			}
+		case engine.AlgoCC:
+			want, count := ref.Components(adj)
+			if res.Components != count {
+				t.Fatalf("job %d (cc): %d components, reference %d", i, res.Components, count)
+			}
+			for v := uint64(0); v < n; v++ {
+				if res.Labels[v] != want[v] {
+					t.Fatalf("job %d (cc) vertex %d: label %d, reference %d", i, v, res.Labels[v], want[v])
+				}
+			}
+		case engine.AlgoKCore:
+			want := ref.KCore(adj, j.spec.K)
+			if res.CoreSize != ref.CoreSize(want) {
+				t.Fatalf("job %d (kcore): core size %d, reference %d", i, res.CoreSize, ref.CoreSize(want))
+			}
+			for v := uint64(0); v < n; v++ {
+				if res.InCore[v] != want[v] {
+					t.Fatalf("job %d (kcore) vertex %d: in-core %v, reference %v", i, v, res.InCore[v], want[v])
+				}
+			}
+		}
+		checkFlows(t, j.tk)
+	}
+}
+
+// TestEngineAdmissionControl fills every in-flight slot and the wait queue,
+// then verifies the next submission is rejected with the distinct error and
+// that waiting queries run after slots free up.
+func TestEngineAdmissionControl(t *testing.T) {
+	e, _, _ := buildEngine(t, 7, 3, "1d", engine.Options{MaxInFlight: 2, MaxQueue: 3})
+	defer e.Close()
+
+	var tickets []*engine.Ticket
+	for i := 0; i < 5; i++ { // 2 in flight + 3 waiting
+		tk, err := e.Submit(engine.Spec{Algo: engine.AlgoBFS, Source: graph.Vertex(i)})
+		if err != nil {
+			t.Fatalf("Submit %d: %v", i, err)
+		}
+		tickets = append(tickets, tk)
+	}
+	if _, err := e.Submit(engine.Spec{Algo: engine.AlgoBFS, Source: 0}); !errors.Is(err, engine.ErrRejected) {
+		t.Fatalf("6th submit: got %v, want ErrRejected", err)
+	}
+	for i, tk := range tickets {
+		res := tk.Wait()
+		if res.Cancelled {
+			t.Fatalf("ticket %d cancelled", i)
+		}
+		checkFlows(t, tk)
+	}
+	// Slots are free again: a new submission is admitted.
+	tk, err := e.Submit(engine.Spec{Algo: engine.AlgoCC})
+	if err != nil {
+		t.Fatalf("post-drain submit: %v", err)
+	}
+	tk.Wait()
+}
+
+// TestEngineCancellation cancels an in-flight query and checks the engine
+// quiesces it with no stranded records: per-query conservation must hold
+// exactly even though visitors stopped being applied mid-flight, and later
+// queries on the same engine must be unaffected.
+func TestEngineCancellation(t *testing.T) {
+	e, edges, n := buildEngine(t, 9, 4, "3d", engine.Options{})
+	defer e.Close()
+
+	tk, err := e.Submit(engine.Spec{Algo: engine.AlgoSSSP, Source: 1})
+	if err != nil {
+		t.Fatalf("Submit: %v", err)
+	}
+	tk.Cancel()
+	res := tk.Wait()
+	if !res.Cancelled {
+		t.Fatal("cancelled query did not report Cancelled")
+	}
+	checkFlows(t, tk) // no stranded tagged records anywhere
+
+	// Cancelling again (completed query) is a no-op.
+	tk.Cancel()
+
+	// The engine keeps serving correct results after a cancellation.
+	adj := ref.BuildAdj(edges, n)
+	want, _ := ref.BFS(adj, 2)
+	tk2, err := e.Submit(engine.Spec{Algo: engine.AlgoBFS, Source: 2})
+	if err != nil {
+		t.Fatalf("Submit after cancel: %v", err)
+	}
+	res2 := tk2.Wait()
+	for v := uint64(0); v < n; v++ {
+		if res2.Levels[v] != want[v] {
+			t.Fatalf("post-cancel BFS vertex %d: level %d, reference %d", v, res2.Levels[v], want[v])
+		}
+	}
+	checkFlows(t, tk2)
+}
+
+// TestEngineDeadline submits a query with a deadline short enough to expire
+// mid-flight and checks it completes as cancelled with conserved flows.
+func TestEngineDeadline(t *testing.T) {
+	e, _, _ := buildEngine(t, 10, 4, "1d", engine.Options{})
+	defer e.Close()
+
+	tk, err := e.Submit(engine.Spec{Algo: engine.AlgoCC, Deadline: time.Microsecond})
+	if err != nil {
+		t.Fatalf("Submit: %v", err)
+	}
+	res := tk.Wait()
+	if !res.Cancelled {
+		t.Skip("query beat a 1µs deadline; nothing to assert")
+	}
+	checkFlows(t, tk)
+}
+
+// TestEngineCancelWaiting cancels a query still parked in the wait queue: it
+// must complete immediately as cancelled without ever touching the ranks.
+func TestEngineCancelWaiting(t *testing.T) {
+	e, _, _ := buildEngine(t, 8, 3, "1d", engine.Options{MaxInFlight: 1, MaxQueue: 4})
+	defer e.Close()
+
+	first, err := e.Submit(engine.Spec{Algo: engine.AlgoCC})
+	if err != nil {
+		t.Fatalf("Submit: %v", err)
+	}
+	waiting, err := e.Submit(engine.Spec{Algo: engine.AlgoBFS, Source: 0})
+	if err != nil {
+		t.Fatalf("Submit waiting: %v", err)
+	}
+	waiting.Cancel()
+	res := waiting.Wait()
+	if !res.Cancelled {
+		t.Fatal("cancelled waiting query did not report Cancelled")
+	}
+	for r, f := range waiting.Flows() {
+		if f != (engine.FlowCell{}) {
+			t.Fatalf("never-started query has nonzero flow on rank %d: %+v", r, f)
+		}
+	}
+	first.Wait()
+}
+
+// TestEngineSubmitValidation covers spec validation and post-Close rejection.
+func TestEngineSubmitValidation(t *testing.T) {
+	e, _, n := buildEngine(t, 7, 2, "1d", engine.Options{})
+
+	if _, err := e.Submit(engine.Spec{Algo: "pagerank"}); err == nil {
+		t.Error("unknown algorithm accepted")
+	}
+	if _, err := e.Submit(engine.Spec{Algo: engine.AlgoBFS, Source: graph.Vertex(n)}); err == nil {
+		t.Error("out-of-range source accepted")
+	}
+	if _, err := e.Submit(engine.Spec{Algo: engine.AlgoKCore, K: 0}); err == nil {
+		t.Error("k=0 accepted")
+	}
+	if err := e.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	if _, err := e.Submit(engine.Spec{Algo: engine.AlgoCC}); !errors.Is(err, engine.ErrClosed) {
+		t.Errorf("post-Close submit: got %v, want ErrClosed", err)
+	}
+	// Close is idempotent.
+	if err := e.Close(); err != nil {
+		t.Fatalf("second Close: %v", err)
+	}
+}
+
+// TestEngineCloseDrains submits a batch and closes immediately: Close must
+// block until every outstanding query (including waiting ones) completed.
+func TestEngineCloseDrains(t *testing.T) {
+	e, _, _ := buildEngine(t, 8, 3, "1d", engine.Options{MaxInFlight: 2})
+
+	var tickets []*engine.Ticket
+	for i := 0; i < 6; i++ {
+		tk, err := e.Submit(engine.Spec{Algo: engine.AlgoBFS, Source: graph.Vertex(i)})
+		if err != nil {
+			t.Fatalf("Submit %d: %v", i, err)
+		}
+		tickets = append(tickets, tk)
+	}
+	if err := e.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	for i, tk := range tickets {
+		select {
+		case <-tk.Done():
+		default:
+			t.Fatalf("Close returned with query %d still outstanding", i)
+		}
+	}
+}

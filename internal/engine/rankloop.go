@@ -1,0 +1,246 @@
+package engine
+
+import (
+	"runtime"
+	"time"
+
+	"havoqgt/internal/core"
+	"havoqgt/internal/mailbox"
+	"havoqgt/internal/rt"
+	"havoqgt/internal/termination"
+)
+
+// flowCell accumulates one tag's end-to-end record counts on one rank. Plain
+// integers: FlowCounter callbacks run only on the owning rank's goroutine.
+type flowCell struct{ sent, received uint64 }
+
+// rankFlows is the tag-aware FlowCounter registered on the rank's shared
+// mailbox. Cells outlive detector creation — a record can be delivered (and
+// counted) before this rank has processed the query's start event — and the
+// running query later syncs cell deltas into its detector.
+type rankFlows struct{ cells map[uint32]*flowCell }
+
+func newRankFlows() *rankFlows { return &rankFlows{cells: make(map[uint32]*flowCell)} }
+
+func (f *rankFlows) cell(tag uint32) *flowCell {
+	c := f.cells[tag]
+	if c == nil {
+		c = &flowCell{}
+		f.cells[tag] = c
+	}
+	return c
+}
+
+func (f *rankFlows) CountSent(tag uint32, n uint64)     { f.cell(tag).sent += n }
+func (f *rankFlows) CountReceived(tag uint32, n uint64) { f.cell(tag).received += n }
+
+// runner is the algorithm-erased face of one query's core.Queue on one rank
+// (Queue is generic in its visitor type; the engine interleaves queries of
+// different visitor types in one loop).
+type runner interface {
+	Deliver(rec mailbox.Record)
+	Step(batch int) bool
+	LocalIdle() bool
+	Cancel()
+	Cancelled() bool
+	PumpTermination(localIdle bool) bool
+	Stats() core.Stats
+	// Finish gathers this rank's master-range results into the shared query
+	// object (disjoint writes) and accumulates cross-rank scalars through
+	// atomics — never collectives, which would deadlock across queries
+	// quiescing in different orders on different ranks.
+	Finish()
+}
+
+// runningQuery is one in-flight query's rank-local execution state.
+type runningQuery struct {
+	q    *query
+	run  runner
+	det  *termination.Detector
+	cell *flowCell
+	// Counter values already synced into the detector.
+	syncedS, syncedR uint64
+}
+
+// syncFlows feeds the cell's growth since the last sync into the detector.
+func (rq *runningQuery) syncFlows() {
+	if d := rq.cell.sent - rq.syncedS; d > 0 {
+		rq.det.CountSent(d)
+		rq.syncedS = rq.cell.sent
+	}
+	if d := rq.cell.received - rq.syncedR; d > 0 {
+		rq.det.CountReceived(d)
+		rq.syncedR = rq.cell.received
+	}
+}
+
+// rankState is one rank's engine loop state. Strictly rank-confined.
+type rankState struct {
+	e     *Engine
+	box   *mailbox.Box
+	mux   *termination.Mux
+	flows *rankFlows
+	// active maps query ID -> running query.
+	active map[uint32]*runningQuery
+	// pending buffers records whose query this rank has not started yet: a
+	// fast rank can seed visitors (and the mailbox can deliver them here)
+	// before this rank's control-log cursor reaches the start event.
+	pending map[uint32][]mailbox.Record
+	cursor  int // control-log position
+}
+
+// rankLoop is the long-lived per-rank executor: replay control events, poll
+// the shared mailbox, demultiplex records to their queries, give every
+// in-flight query a slice of visitor execution, and pump every query's
+// termination detector. Exits after the shutdown event once no query is
+// active on this rank.
+func (e *Engine) rankLoop(r *rt.Rank) {
+	topo, _ := mailbox.ByName(e.cfg.Topology, r.Size())
+	var boxOpts []mailbox.Option
+	if e.opts.FlushBytes > 0 {
+		boxOpts = append(boxOpts, mailbox.WithFlushBytes(e.opts.FlushBytes))
+	}
+	flows := newRankFlows()
+	boxOpts = append(boxOpts, mailbox.WithFlows(flows))
+	s := &rankState{
+		e:       e,
+		box:     mailbox.New(r, topo, nil, boxOpts...),
+		mux:     termination.NewMux(r),
+		flows:   flows,
+		active:  make(map[uint32]*runningQuery),
+		pending: make(map[uint32][]mailbox.Record),
+	}
+	shutdown := false
+	idleSpins := 0
+	var finished []uint32 // reused scratch
+	for {
+		progress := false
+
+		// Control events, in global log order.
+		for _, ev := range e.log.from(s.cursor) {
+			s.cursor++
+			progress = true
+			switch ev.kind {
+			case evStart:
+				s.start(r, ev.q)
+			case evCancel:
+				if rq := s.active[ev.q.id]; rq != nil {
+					rq.run.Cancel()
+				}
+				// Unknown ID: the query already quiesced here — nothing to
+				// drain; the cancel verdict is recorded on the query object.
+			case evShutdown:
+				shutdown = true
+			}
+		}
+
+		// One execution slice per in-flight query.
+		for _, rq := range s.active {
+			if rq.run.Step(e.opts.StepBatch) {
+				progress = true
+			}
+		}
+
+		// Shared mailbox poll, demultiplexed by record tag. Polling AFTER the
+		// execution slices matters for termination safety: loopback records
+		// pushed during Step are counted received the moment the mailbox
+		// parks them, so a query must not report local idleness while such a
+		// record awaits application — this poll drains them into the heaps
+		// (making LocalIdle false), and nothing below creates new local
+		// deliveries before the detectors pump.
+		for _, rec := range s.box.Poll() {
+			progress = true
+			if rq := s.active[rec.Tag]; rq != nil {
+				rq.run.Deliver(rec)
+			} else {
+				// Start event not replayed yet (quiesced queries cannot
+				// receive: their S==R drained before ID retirement).
+				s.pending[rec.Tag] = append(s.pending[rec.Tag], rec)
+			}
+		}
+
+		// Out of immediate work: flush partial aggregation buffers so parked
+		// records (any query's) cannot stall termination. Safe at any time —
+		// parked records hold S > R for their query until delivered, so
+		// flushing is pure liveness.
+		if !progress {
+			s.box.FlushAll()
+		}
+
+		// Termination detection, per query.
+		finished = finished[:0]
+		for id, rq := range s.active {
+			rq.syncFlows()
+			if rq.run.PumpTermination(rq.run.LocalIdle()) {
+				finished = append(finished, id)
+			}
+		}
+		for _, id := range finished {
+			progress = true
+			s.finish(r, id)
+		}
+
+		if shutdown && len(s.active) == 0 {
+			return
+		}
+		if progress {
+			idleSpins = 0
+			continue
+		}
+		idleSpins++
+		if idleSpins < 64 {
+			runtime.Gosched()
+		} else {
+			time.Sleep(20 * time.Microsecond)
+		}
+	}
+}
+
+// start brings a query live on this rank: mint its detector instance, build
+// its shared-mode visitor queue, seed the initial visitors, and drain any
+// records that arrived ahead of the start event.
+func (s *rankState) start(r *rt.Rank, q *query) {
+	det := s.mux.Detector(q.id)
+	rq := &runningQuery{
+		q:    q,
+		det:  det,
+		cell: s.flows.cell(q.id),
+	}
+	rq.run = newRunner(r, s.e.cfg.Parts[r.Rank()], s.e.cfg.Ghosts[r.Rank()], s.box, det, q)
+	s.active[q.id] = rq
+	if recs := s.pending[q.id]; len(recs) > 0 {
+		delete(s.pending, q.id)
+		for _, rec := range recs {
+			rq.run.Deliver(rec)
+		}
+	}
+}
+
+// finish retires a quiesced query on this rank: record the flow account,
+// gather results, release the detector's control-plane slice, and — on the
+// machine's last rank to get here — complete the query engine-side. No
+// end-of-query barrier is needed: record tags make misattribution impossible,
+// so ranks retire independently (contrast core.Queue.Run's barrier).
+func (s *rankState) finish(r *rt.Rank, id uint32) {
+	rq := s.active[id]
+	delete(s.active, id)
+	st := rq.run.Stats()
+	rq.q.flow[r.Rank()] = FlowCell{
+		Sent:        rq.cell.sent,
+		Delivered:   rq.cell.received,
+		DetSent:     st.DetectorSent,
+		DetReceived: st.DetectorReceived,
+	}
+	delete(s.flows.cells, id)
+	if r.Rank() == 0 {
+		rq.q.res.Waves = st.DetectorWaves
+	}
+	if !rq.run.Cancelled() {
+		rq.run.Finish()
+	}
+	s.mux.Release(id)
+	delete(s.pending, id)
+	if int(rq.q.ranksDone.Add(1)) == r.Size() {
+		s.e.completeQuery(rq.q)
+	}
+}

@@ -1,0 +1,174 @@
+package engine
+
+// Per-algorithm runner constructors: each builds the algorithm's rank state
+// and a shared-mode visitor queue (core.NewQueueShared) over the engine's
+// shared mailbox and the query's detector instance, seeds the traversal's
+// initial visitors, and supplies the Finish gather. The embedded Queue
+// provides Deliver/Step/LocalIdle/Cancel/Cancelled/PumpTermination/Stats.
+
+import (
+	"havoqgt/internal/algos/bfs"
+	"havoqgt/internal/algos/cc"
+	"havoqgt/internal/algos/kcore"
+	"havoqgt/internal/algos/sssp"
+	"havoqgt/internal/core"
+	"havoqgt/internal/graph"
+	"havoqgt/internal/mailbox"
+	"havoqgt/internal/partition"
+	"havoqgt/internal/rt"
+	"havoqgt/internal/termination"
+)
+
+// newRunner dispatches on the query's algorithm.
+func newRunner(r *rt.Rank, part *partition.Part, ghosts *core.GhostTable,
+	box *mailbox.Box, det *termination.Detector, q *query) runner {
+	switch q.spec.Algo {
+	case AlgoBFS:
+		return newBFSRunner(r, part, ghosts, box, det, q)
+	case AlgoSSSP:
+		return newSSSPRunner(r, part, ghosts, box, det, q)
+	case AlgoCC:
+		return newCCRunner(r, part, ghosts, box, det, q)
+	case AlgoKCore:
+		return newKCoreRunner(r, part, box, det, q)
+	default:
+		panic("engine: unknown algorithm past Submit validation")
+	}
+}
+
+// ghostCfg assembles a shared-queue config with hub filtering for the
+// algorithms that declare ghost usage.
+func ghostCfg(ghosts *core.GhostTable) core.Config { return core.Config{Ghosts: ghosts} }
+
+// gatherInto copies a per-vertex value from this rank's masters into the
+// shared global array. Master ranges are disjoint across ranks, and every
+// write happens before the rank's ranksDone increment, so waiters observing
+// the done channel see a complete array.
+func gatherInto[T any](out []T, part *partition.Part, get func(i int) T) {
+	lo, hi := part.Owners.MasterRange(part.Rank)
+	for v := lo; v < hi; v++ {
+		i, _ := part.LocalIndex(graph.Vertex(v))
+		out[v] = get(i)
+	}
+}
+
+// --- BFS ---
+
+type bfsRunner struct {
+	*core.Queue[bfs.Visitor]
+	st   *bfs.BFS
+	part *partition.Part
+	q    *query
+}
+
+func newBFSRunner(r *rt.Rank, part *partition.Part, ghosts *core.GhostTable,
+	box *mailbox.Box, det *termination.Detector, q *query) runner {
+	st := bfs.New(part)
+	cfg := ghostCfg(ghosts)
+	if ghosts != nil {
+		st.AttachGhosts(ghosts)
+	}
+	qu := core.NewQueueShared[bfs.Visitor](r, part, st, cfg, box, det, q.id)
+	if part.IsMaster(q.spec.Source) {
+		qu.Push(bfs.Visitor{V: q.spec.Source, Length: 0, Parent: q.spec.Source})
+	}
+	return &bfsRunner{Queue: qu, st: st, part: part, q: q}
+}
+
+func (rn *bfsRunner) Finish() {
+	gatherInto(rn.q.res.Levels, rn.part, func(i int) uint32 { return rn.st.Level[i] })
+	gatherInto(rn.q.res.Parents, rn.part, func(i int) graph.Vertex { return rn.st.Parent[i] })
+}
+
+// --- SSSP ---
+
+type ssspRunner struct {
+	*core.Queue[sssp.Visitor]
+	st   *sssp.SSSP
+	part *partition.Part
+	q    *query
+}
+
+func newSSSPRunner(r *rt.Rank, part *partition.Part, ghosts *core.GhostTable,
+	box *mailbox.Box, det *termination.Detector, q *query) runner {
+	st := sssp.New(part, q.spec.WeightSeed)
+	cfg := ghostCfg(ghosts)
+	if ghosts != nil {
+		st.AttachGhosts(ghosts)
+	}
+	qu := core.NewQueueShared[sssp.Visitor](r, part, st, cfg, box, det, q.id)
+	if part.IsMaster(q.spec.Source) {
+		qu.Push(sssp.Visitor{V: q.spec.Source, Dist: 0, Parent: q.spec.Source})
+	}
+	return &ssspRunner{Queue: qu, st: st, part: part, q: q}
+}
+
+func (rn *ssspRunner) Finish() {
+	gatherInto(rn.q.res.Dist, rn.part, func(i int) uint64 { return rn.st.Dist[i] })
+	gatherInto(rn.q.res.Parents, rn.part, func(i int) graph.Vertex { return rn.st.Parent[i] })
+}
+
+// --- Connected components ---
+
+type ccRunner struct {
+	*core.Queue[cc.Visitor]
+	st   *cc.CC
+	part *partition.Part
+	q    *query
+}
+
+func newCCRunner(r *rt.Rank, part *partition.Part, ghosts *core.GhostTable,
+	box *mailbox.Box, det *termination.Detector, q *query) runner {
+	st := cc.New(part)
+	cfg := ghostCfg(ghosts)
+	if ghosts != nil {
+		st.AttachGhosts(ghosts)
+	}
+	qu := core.NewQueueShared[cc.Visitor](r, part, st, cfg, box, det, q.id)
+	lo, hi := part.Owners.MasterRange(part.Rank)
+	for v := lo; v < hi; v++ {
+		qu.Push(cc.Visitor{V: graph.Vertex(v), Label: graph.Vertex(v)})
+	}
+	return &ccRunner{Queue: qu, st: st, part: part, q: q}
+}
+
+func (rn *ccRunner) Finish() {
+	gatherInto(rn.q.res.Labels, rn.part, func(i int) graph.Vertex { return rn.st.Label[i] })
+	// Component count: a master whose label is its own id represents one
+	// component. Accumulate atomically instead of AllReduce (see runner doc).
+	lo, hi := rn.part.Owners.MasterRange(rn.part.Rank)
+	var local uint64
+	for v := lo; v < hi; v++ {
+		i, _ := rn.part.LocalIndex(graph.Vertex(v))
+		if rn.st.Label[i] == graph.Vertex(v) {
+			local++
+		}
+	}
+	rn.q.accum.Add(local)
+}
+
+// --- K-core ---
+
+type kcoreRunner struct {
+	*core.Queue[kcore.Visitor]
+	st   *kcore.KCore
+	part *partition.Part
+	q    *query
+}
+
+func newKCoreRunner(r *rt.Rank, part *partition.Part,
+	box *mailbox.Box, det *termination.Detector, q *query) runner {
+	st := kcore.New(part, q.spec.K)
+	// K-core needs precise removal counts, so no ghost filtering (§IV-B).
+	qu := core.NewQueueShared[kcore.Visitor](r, part, st, core.Config{}, box, det, q.id)
+	lo, hi := part.Owners.MasterRange(part.Rank)
+	for v := lo; v < hi; v++ {
+		qu.Push(kcore.Visitor{V: graph.Vertex(v)})
+	}
+	return &kcoreRunner{Queue: qu, st: st, part: part, q: q}
+}
+
+func (rn *kcoreRunner) Finish() {
+	gatherInto(rn.q.res.InCore, rn.part, func(i int) bool { return rn.st.Alive[i] })
+	rn.q.accum.Add(rn.st.LocalCoreSize())
+}

@@ -14,8 +14,12 @@ import (
 const DefaultFlushBytes = 4096
 
 // recordHeader is the per-record framing inside an aggregated envelope:
-// [finalDest u32][payloadLen u32].
-const recordHeader = 8
+// [finalDest u32][tag u32][payloadLen u32]. The tag is a caller-defined
+// record namespace — the multi-query engine stores a compact query ID there
+// so one shared mailbox can interleave many concurrent traversals and
+// demultiplex delivered records back to their queries. Single-traversal
+// callers use tag 0.
+const recordHeader = 12
 
 // Stats counts mailbox activity on one rank for one Box lifetime (one
 // traversal). The same counts are mirrored into the machine's obs.Registry
@@ -73,13 +77,35 @@ func newMetrics(r *rt.Rank) metrics {
 	}
 }
 
+// FlowCounter receives end-to-end record counts partitioned by record tag.
+// The multi-query engine registers one to feed each in-flight query's
+// termination detector independently; the single-traversal path wraps its
+// lone detector in an adapter that ignores the tag. Implementations are
+// invoked only from the owning rank's goroutine (Send/Poll are not
+// concurrency-safe), so they need no internal locking.
+type FlowCounter interface {
+	// CountSent records n records entering the mailbox under tag (at the
+	// originating rank).
+	CountSent(tag uint32, n uint64)
+	// CountReceived records n records delivered at their final destination
+	// under tag.
+	CountReceived(tag uint32, n uint64)
+}
+
+// detFlow adapts a single termination detector to the FlowCounter seam for
+// the classic one-traversal-per-machine path (every record shares tag 0).
+type detFlow struct{ det *termination.Detector }
+
+func (f detFlow) CountSent(_ uint32, n uint64)     { f.det.CountSent(n) }
+func (f detFlow) CountReceived(_ uint32, n uint64) { f.det.CountReceived(n) }
+
 // Box is one rank's routed mailbox: the paper's `mailbox` abstraction with
 // send(rank, data) and receive() (§V), implemented over the aggregation and
 // routing network of §III-B.
 type Box struct {
-	r    *rt.Rank
-	topo Topology
-	det  *termination.Detector
+	r     *rt.Rank
+	topo  Topology
+	flows FlowCounter // nil = no flow accounting
 
 	flushBytes int
 	buffers    map[int][]byte   // next-hop rank -> pending aggregated records
@@ -92,8 +118,11 @@ type Box struct {
 
 // Record is one delivered visitor record. The payload is an exclusive copy
 // owned by the receiver: it never aliases transport buffers or sibling
-// records, so callers may retain or mutate it freely.
+// records, so callers may retain or mutate it freely. Tag is the record
+// namespace stamped at Send time (query ID under the multi-query engine,
+// 0 on the single-traversal path).
 type Record struct {
+	Tag     uint32
 	Payload []byte
 }
 
@@ -105,6 +134,13 @@ func WithFlushBytes(n int) Option {
 	return func(b *Box) { b.flushBytes = n }
 }
 
+// WithFlows installs a tag-aware flow counter, replacing (or standing in
+// for) the single-detector accounting. The multi-query engine uses this to
+// route per-record send/receive counts to the record's query.
+func WithFlows(fc FlowCounter) Option {
+	return func(b *Box) { b.flows = fc }
+}
+
 // New returns a mailbox for the rank using the given routing topology. The
 // detector, if non-nil, is fed with end-to-end record counts: one send at the
 // originating rank, one receive at the final destination (records parked in
@@ -114,11 +150,13 @@ func New(r *rt.Rank, topo Topology, det *termination.Detector, opts ...Option) *
 	b := &Box{
 		r:          r,
 		topo:       topo,
-		det:        det,
 		flushBytes: DefaultFlushBytes,
 		buffers:    make(map[int][]byte),
 		channels:   make(map[int]struct{}),
 		met:        newMetrics(r),
+	}
+	if det != nil {
+		b.flows = detFlow{det: det}
 	}
 	for _, o := range opts {
 		o(b)
@@ -126,25 +164,30 @@ func New(r *rt.Rank, topo Topology, det *termination.Detector, opts ...Option) *
 	return b
 }
 
-// Send routes one record toward dest, buffering it for aggregation. The
-// record bytes are copied; the caller may reuse its buffer.
-func (b *Box) Send(dest int, record []byte) {
+// Send routes one tag-0 record toward dest, buffering it for aggregation.
+// The record bytes are copied; the caller may reuse its buffer.
+func (b *Box) Send(dest int, record []byte) { b.SendTagged(dest, 0, record) }
+
+// SendTagged routes one record toward dest under the given tag. The tag
+// travels in the record header and comes back out on the delivered Record,
+// letting one mailbox multiplex records of many concurrent traversals.
+func (b *Box) SendTagged(dest int, tag uint32, record []byte) {
 	b.stats.RecordsSent++
 	b.met.recordsSent.Inc(b.met.rank)
-	if b.det != nil {
-		b.det.CountSent(1)
+	if b.flows != nil {
+		b.flows.CountSent(tag, 1)
 	}
 	if dest == b.r.Rank() {
 		// Loopback delivery, as MPI self-sends do.
-		b.deliver(record)
+		b.deliver(tag, record)
 		return
 	}
-	b.enqueue(dest, record)
+	b.enqueue(dest, tag, record)
 }
 
 // enqueue appends a framed record to the aggregation buffer of the next hop
 // toward dest, shipping the buffer if it crossed the flush threshold.
-func (b *Box) enqueue(dest int, record []byte) {
+func (b *Box) enqueue(dest int, tag uint32, record []byte) {
 	hop := b.topo.NextHop(b.r.Rank(), dest)
 	b.stats.Hops++
 	b.met.hops.Inc(b.met.rank)
@@ -158,7 +201,8 @@ func (b *Box) enqueue(dest int, record []byte) {
 	}
 	var hdr [recordHeader]byte
 	binary.LittleEndian.PutUint32(hdr[0:], uint32(dest))
-	binary.LittleEndian.PutUint32(hdr[4:], uint32(len(record)))
+	binary.LittleEndian.PutUint32(hdr[4:], tag)
+	binary.LittleEndian.PutUint32(hdr[8:], uint32(len(record)))
 	buf = append(buf, hdr[:]...)
 	buf = append(buf, record...)
 	if len(buf) >= b.flushBytes {
@@ -185,13 +229,13 @@ func (b *Box) ship(hop int, buf []byte) {
 // incoming envelope's backing array (a caller mutating — or appending to —
 // one Record.Payload would silently corrupt sibling records and block
 // transport buffer reuse) nor a loopback caller's reusable buffer.
-func (b *Box) deliver(record []byte) {
+func (b *Box) deliver(tag uint32, record []byte) {
 	record = append(make([]byte, 0, len(record)), record...)
-	b.delivered = append(b.delivered, Record{Payload: record})
+	b.delivered = append(b.delivered, Record{Tag: tag, Payload: record})
 	b.stats.RecordsDelivered++
 	b.met.delivered.Inc(b.met.rank)
-	if b.det != nil {
-		b.det.CountReceived(1)
+	if b.flows != nil {
+		b.flows.CountReceived(tag, 1)
 	}
 }
 
@@ -214,7 +258,8 @@ func (b *Box) decodeEnvelope(p []byte) {
 			return
 		}
 		dest := int(binary.LittleEndian.Uint32(p[0:]))
-		n := int(binary.LittleEndian.Uint32(p[4:]))
+		tag := binary.LittleEndian.Uint32(p[4:])
+		n := int(binary.LittleEndian.Uint32(p[8:]))
 		if n > len(p)-recordHeader {
 			b.decodeError() // oversized length: would run past the envelope
 			return
@@ -226,11 +271,11 @@ func (b *Box) decodeEnvelope(p []byte) {
 			continue
 		}
 		if dest == b.r.Rank() {
-			b.deliver(rec)
+			b.deliver(tag, rec)
 		} else {
 			b.stats.RecordsForwarded++
 			b.met.forwarded.Inc(b.met.rank)
-			b.enqueue(dest, rec)
+			b.enqueue(dest, tag, rec)
 		}
 	}
 }
@@ -259,12 +304,28 @@ func (b *Box) PendingRecords() int {
 	total := 0
 	for _, buf := range b.buffers {
 		for len(buf) >= recordHeader {
-			n := int(binary.LittleEndian.Uint32(buf[4:]))
+			n := int(binary.LittleEndian.Uint32(buf[8:]))
 			buf = buf[recordHeader+n:]
 			total++
 		}
 	}
 	return total
+}
+
+// PendingByTag counts records parked in this rank's aggregation buffers per
+// record tag — the per-query pending term of the per-query conservation law
+// the engine's invariant checks assert mid-flight.
+func (b *Box) PendingByTag() map[uint32]int {
+	out := make(map[uint32]int)
+	for _, buf := range b.buffers {
+		for len(buf) >= recordHeader {
+			tag := binary.LittleEndian.Uint32(buf[4:])
+			n := int(binary.LittleEndian.Uint32(buf[8:]))
+			buf = buf[recordHeader+n:]
+			out[tag]++
+		}
+	}
+	return out
 }
 
 // FlushAll ships every non-empty aggregation buffer. Called when the rank

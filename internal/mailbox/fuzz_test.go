@@ -21,13 +21,13 @@ const fuzzRanks = 3 // matches check.HostileCorpusRanks
 // the number of records that must be re-forwarded, and the number of decode
 // errors.
 func refDecode(p []byte, size, self int) (deliver [][]byte, forwarded int, errs uint64) {
-	const hdr = 8
+	const hdr = 12 // [finalDest u32][tag u32][payloadLen u32]
 	for len(p) > 0 {
 		if len(p) < hdr {
 			return deliver, forwarded, errs + 1
 		}
 		dest := int(binary.LittleEndian.Uint32(p[0:]))
-		n := int(binary.LittleEndian.Uint32(p[4:]))
+		n := int(binary.LittleEndian.Uint32(p[8:]))
 		if n > len(p)-hdr {
 			return deliver, forwarded, errs + 1
 		}

@@ -57,6 +57,21 @@ const (
 	// CoreQueueDepth is the histogram of local priority-queue depth sampled
 	// once per visit batch.
 	CoreQueueDepth = "core.queue_depth"
+
+	// Multi-query execution engine (internal/engine).
+	EngineSubmitted = "engine.submitted" // queries accepted by Submit
+	EngineCompleted = "engine.completed" // queries run to quiescence
+	EngineCancelled = "engine.cancelled" // queries cancelled (incl. deadline expiry)
+	EngineRejected  = "engine.rejected"  // queries refused by admission control
+
+	// EngineInFlight / EngineWaiting are gauges of the admission controller's
+	// current occupancy: traversals executing vs. parked in the wait queue.
+	EngineInFlight = "engine.in_flight"
+	EngineWaiting  = "engine.waiting"
+
+	// EngineQueryNS is the histogram of end-to-end query latency
+	// (submit→completion), nanoseconds.
+	EngineQueryNS = "engine.query_ns"
 )
 
 // RTKindMsgs returns the per-kind transport message counter name.

@@ -18,6 +18,7 @@ package rt
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"havoqgt/internal/obs"
@@ -84,6 +85,12 @@ type Machine struct {
 	p       int
 	inboxes []inbox
 
+	// simLatency (ns) delays message visibility: a message sent at T is
+	// deliverable only at T+simLatency, modeling interconnect / external
+	// memory transfer latency that the real system would pay. 0 (the
+	// default) keeps the transport instantaneous. See SetSimLatency.
+	simLatency atomic.Int64
+
 	reg       *obs.Registry
 	msgsSent  *obs.PerRank // per source rank
 	bytesSent *obs.PerRank
@@ -115,6 +122,20 @@ func NewMachine(p int) *Machine {
 
 // Size returns the number of ranks.
 func (m *Machine) Size() int { return m.p }
+
+// SetSimLatency makes every message take at least d of wall-clock time from
+// Send to visibility at the receiver, emulating a distributed machine whose
+// interconnect (or external-memory fabric) is not free. Messages already in
+// flight keep the delay that was set when they were sent deliverable; the
+// per-pair FIFO guarantee is unaffected because delivery is released in
+// queue order. Safe to call between phases; d <= 0 restores instantaneous
+// delivery.
+func (m *Machine) SetSimLatency(d time.Duration) {
+	if d < 0 {
+		d = 0
+	}
+	m.simLatency.Store(int64(d))
+}
 
 // Obs returns the machine's metrics registry.
 func (m *Machine) Obs() *obs.Registry { return m.reg }
@@ -162,15 +183,29 @@ func (m *Machine) send(msg Msg) {
 	m.kindBytes[msg.Kind].Add(uint64(len(msg.Payload)))
 }
 
-// drain removes and returns all queued messages for rank r, recording each
-// message's send→drain latency.
+// drain removes and returns the deliverable queued messages for rank r,
+// recording each message's send→drain latency. With a simulated transport
+// latency configured, only the prefix of the queue whose delay has elapsed
+// is released (prefix release preserves the FIFO non-overtaking guarantee).
 func (m *Machine) drain(r int, into []Msg) []Msg {
 	first := len(into)
+	delay := m.simLatency.Load()
 	ib := &m.inboxes[r]
 	ib.mu.Lock()
-	if len(ib.q) > 0 {
-		into = append(into, ib.q...)
-		ib.q = ib.q[:0]
+	if n := len(ib.q); n > 0 {
+		ready := n
+		if delay > 0 {
+			horizon := time.Now().UnixNano() - delay
+			ready = 0
+			for ready < n && ib.q[ready].sentAt <= horizon {
+				ready++
+			}
+		}
+		if ready > 0 {
+			into = append(into, ib.q[:ready]...)
+			rest := copy(ib.q, ib.q[ready:])
+			ib.q = ib.q[:rest]
+		}
 	}
 	ib.mu.Unlock()
 	if len(into) > first {

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sync/atomic"
 	"testing"
+	"time"
 )
 
 func TestPointToPointDelivery(t *testing.T) {
@@ -356,4 +357,80 @@ func TestBroadcastLargePayload(t *testing.T) {
 	if !ok {
 		t.Fatal("large broadcast corrupted")
 	}
+}
+
+func TestSimLatencyDelaysDelivery(t *testing.T) {
+	const delay = 30 * time.Millisecond
+	m := NewMachine(2)
+	m.SetSimLatency(delay)
+	var measured time.Duration
+	m.Run(func(r *Rank) {
+		if r.Rank() == 0 {
+			start := time.Now()
+			r.Send(1, KindMailbox, 0, []byte("hello"))
+			// Sender's own view: nothing to measure.
+			_ = start
+			return
+		}
+		start := time.Now()
+		var msgs []Msg
+		for len(msgs) == 0 {
+			msgs = r.Recv(KindMailbox)
+		}
+		measured = time.Since(start)
+		if string(msgs[0].Payload) != "hello" {
+			t.Errorf("payload %q", msgs[0].Payload)
+		}
+	})
+	// The receiver spun from its own start, which is at most the sender's
+	// send time plus scheduling noise; the message must not have been
+	// visible well before the configured delay elapsed.
+	if measured < delay/2 {
+		t.Errorf("message visible after %v; configured delay %v", measured, delay)
+	}
+}
+
+func TestSimLatencyPreservesFIFO(t *testing.T) {
+	m := NewMachine(2)
+	m.SetSimLatency(2 * time.Millisecond)
+	const n = 50
+	m.Run(func(r *Rank) {
+		if r.Rank() == 0 {
+			for i := 0; i < n; i++ {
+				r.Send(1, KindMailbox, uint32(i), nil)
+			}
+			return
+		}
+		var got []uint32
+		for len(got) < n {
+			for _, msg := range r.Recv(KindMailbox) {
+				got = append(got, msg.Tag)
+			}
+		}
+		for i, tag := range got {
+			if tag != uint32(i) {
+				t.Errorf("message %d has tag %d (reordered)", i, tag)
+				return
+			}
+		}
+	})
+}
+
+func TestSimLatencyZeroIsInstantaneous(t *testing.T) {
+	m := NewMachine(2)
+	m.SetSimLatency(5 * time.Millisecond)
+	m.SetSimLatency(0) // reset
+	m.Run(func(r *Rank) {
+		if r.Rank() == 0 {
+			r.Send(1, KindMailbox, 7, nil)
+			return
+		}
+		var msgs []Msg
+		for len(msgs) == 0 {
+			msgs = r.Recv(KindMailbox)
+		}
+		if msgs[0].Tag != 7 {
+			t.Errorf("tag %d", msgs[0].Tag)
+		}
+	})
 }

@@ -30,17 +30,26 @@ import (
 	"havoqgt/internal/rt"
 )
 
-// Control message types (carried in rt.Msg.Tag).
+// Control message types (carried in the low bits of rt.Msg.Tag; the high
+// bits carry the detector instance ID so many detectors — one per in-flight
+// query — can share the control plane without stealing each other's waves).
 const (
 	tagReq  uint32 = 1 // root→leaves: report counters for wave N
 	tagAck  uint32 = 2 // child→parent: aggregated (S, R, idle) for wave N
 	tagDone uint32 = 3 // root→leaves: quiescence detected, stop
+
+	typeBits = 2                    // low bits holding the message type
+	typeMask = 1<<typeBits - 1      // 0b11
+	MaxID    = 1<<(32-typeBits) - 1 // largest detector instance ID
 )
 
 // Detector tracks one traversal's visitor counters and drives detection
-// waves. Create one per rank per traversal.
+// waves. Create one per rank per traversal with New, or one per rank per
+// *query* with Mux.Detector when multiple traversals share the machine.
 type Detector struct {
-	r *rt.Rank
+	r   *rt.Rank
+	id  uint32 // instance ID, 0 on the classic single-traversal path
+	mux *Mux   // control-plane demultiplexer; nil = exclusive KindControl use
 
 	sent     uint64 // visitors sent by this rank (monotone)
 	received uint64 // visitors received by this rank (monotone)
@@ -67,7 +76,8 @@ type Detector struct {
 	obsRetests *obs.Counter
 }
 
-// New returns a detector bound to the rank.
+// New returns a detector bound to the rank, with exclusive use of the
+// control message plane (instance ID 0).
 func New(r *rt.Rank) *Detector {
 	return &Detector{
 		r:          r,
@@ -75,6 +85,77 @@ func New(r *rt.Rank) *Detector {
 		obsRetests: r.Obs().Counter(obs.TermRetests),
 	}
 }
+
+// tag namespaces a control message type with this detector's instance ID.
+func (d *Detector) tag(typ uint32) uint32 { return d.id<<typeBits | typ }
+
+// recv returns the pending control messages addressed to this detector:
+// everything on the control plane for an exclusive detector, or just this
+// instance's slice of the shared plane under a Mux.
+func (d *Detector) recv() []rt.Msg {
+	if d.mux != nil {
+		d.mux.poll()
+		return d.mux.take(d.id)
+	}
+	return d.r.Recv(rt.KindControl)
+}
+
+// Mux demultiplexes one rank's control message plane across many detector
+// instances, keyed by the instance ID carried in the message tag. Create one
+// per rank, then mint per-query detectors with Detector. Messages for
+// instances not yet registered are buffered until that instance pumps —
+// asynchronous query admission means a fast rank's first wave can reach a
+// rank that has not created the query's detector yet.
+//
+// A Mux (like the Detectors it serves) is confined to its rank's goroutine.
+type Mux struct {
+	r      *rt.Rank
+	queues map[uint32][]rt.Msg
+}
+
+// NewMux returns a control-plane demultiplexer for the rank.
+func NewMux(r *rt.Rank) *Mux {
+	return &Mux{r: r, queues: make(map[uint32][]rt.Msg)}
+}
+
+// Detector mints the detector instance for id on this rank. Every rank of
+// the machine must mint the same id for waves to aggregate; ids must not be
+// reused until the previous instance detected quiescence.
+func (m *Mux) Detector(id uint32) *Detector {
+	if id > MaxID {
+		panic("termination: detector instance id overflows the tag namespace")
+	}
+	return &Detector{
+		r:          m.r,
+		id:         id,
+		mux:        m,
+		obsWaves:   m.r.Obs().Counter(obs.TermWaves),
+		obsRetests: m.r.Obs().Counter(obs.TermRetests),
+	}
+}
+
+// poll drains newly arrived control messages into per-instance queues.
+func (m *Mux) poll() {
+	for _, msg := range m.r.Recv(rt.KindControl) {
+		id := msg.Tag >> typeBits
+		m.queues[id] = append(m.queues[id], msg)
+	}
+}
+
+// take removes and returns the queued messages for instance id.
+func (m *Mux) take(id uint32) []rt.Msg {
+	msgs := m.queues[id]
+	if msgs != nil {
+		delete(m.queues, id)
+	}
+	return msgs
+}
+
+// Release drops any remaining buffered messages for a retired instance.
+// Safe only after the instance's Pump returned true on this rank: global
+// quiescence plus DONE propagation guarantee no further control traffic for
+// the id.
+func (m *Mux) Release(id uint32) { delete(m.queues, id) }
 
 // CountSent records n visitor sends.
 func (d *Detector) CountSent(n uint64) { d.sent += n }
@@ -111,8 +192,8 @@ func (d *Detector) Pump(localIdle bool) bool {
 	if d.done {
 		return true
 	}
-	for _, m := range d.r.Recv(rt.KindControl) {
-		switch m.Tag {
+	for _, m := range d.recv() {
+		switch m.Tag & typeMask {
 		case tagReq:
 			d.startWave(binary.LittleEndian.Uint64(m.Payload), localIdle)
 		case tagAck:
@@ -158,7 +239,7 @@ func (d *Detector) startWave(w uint64, localIdle bool) {
 	var buf [8]byte
 	binary.LittleEndian.PutUint64(buf[:], w)
 	for i := 0; i < n; i++ {
-		d.r.Send(c[i], rt.KindControl, tagReq, append([]byte(nil), buf[:]...))
+		d.r.Send(c[i], rt.KindControl, d.tag(tagReq), append([]byte(nil), buf[:]...))
 	}
 	d.maybeFinishWave()
 }
@@ -178,7 +259,7 @@ func (d *Detector) maybeFinishWave() {
 		if d.accIdle {
 			buf[24] = 1
 		}
-		d.r.Send(d.parent(), rt.KindControl, tagAck, buf)
+		d.r.Send(d.parent(), rt.KindControl, d.tag(tagAck), buf)
 		return
 	}
 	// Root: wave complete.
@@ -205,6 +286,6 @@ func (d *Detector) maybeFinishWave() {
 func (d *Detector) forwardDone() {
 	c, n := d.children()
 	for i := 0; i < n; i++ {
-		d.r.Send(c[i], rt.KindControl, tagDone, nil)
+		d.r.Send(c[i], rt.KindControl, d.tag(tagDone), nil)
 	}
 }
