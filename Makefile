@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test race lint vet fmt fmt-check staticcheck fuzz-smoke bench experiments serve-smoke clean
+.PHONY: all build test race lint vet fmt fmt-check staticcheck fuzz-smoke chaos chaos-short bench experiments serve-smoke clean
 
 STATICCHECK ?= staticcheck
 
@@ -56,6 +56,21 @@ fuzz-smoke:
 	$(GO) test -run=^$$ -fuzz=^FuzzEnvelopeDecode$$ -fuzztime=$(FUZZTIME) ./internal/mailbox
 	$(GO) test -run=^$$ -fuzz=^FuzzTopologyRoute$$ -fuzztime=$(FUZZTIME) ./internal/mailbox
 	$(GO) test -run=^$$ -fuzz=^FuzzCacheReadAt$$ -fuzztime=$(FUZZTIME) ./internal/pagecache
+
+# Chaos harness (DESIGN.md §8): seeded fault plans × every algorithm × every
+# routing topology on a fault-injecting transport, plus the engine recovery
+# ladder, the termination detector under adversarial control-plane schedules,
+# and the device-fault retry paths. Results must match the fault-free
+# reference or fail with a typed error — never hang, panic, or silently
+# diverge. chaos-short is the reduced fixed-seed sweep CI runs under -race.
+chaos:
+	$(GO) test -count=1 -run 'TestChaos' ./internal/check
+	$(GO) test -count=1 -run 'SurvivesControl|Mux' ./internal/termination
+	$(GO) test -count=1 -run 'Reliable|Fault|Torn|Retry' ./internal/mailbox ./internal/pagecache ./internal/extmem ./internal/engine
+
+chaos-short:
+	$(GO) test -race -short -count=1 -run 'TestChaos' ./internal/check
+	$(GO) test -race -short -count=1 -run 'SurvivesControl|Mux' ./internal/termination
 
 bench:
 	$(GO) test -bench=. -benchtime=1x -run=^$$ .

@@ -51,10 +51,12 @@ type options struct {
 	topo     string
 	simplify bool
 
-	maxInFlight int
-	maxQueue    int
-	stepBatch   int
-	deadline    time.Duration
+	maxInFlight  int
+	maxQueue     int
+	stepBatch    int
+	deadline     time.Duration
+	queryRetries int
+	reliable     bool
 
 	smoke   bool
 	queries int
@@ -87,6 +89,8 @@ func run(args []string) int {
 	fs.IntVar(&o.maxQueue, "max-queue", 64, "queries waiting for an in-flight slot before rejection")
 	fs.IntVar(&o.stepBatch, "step-batch", 0, "visitors per query per scheduling slice (0 = engine default)")
 	fs.DurationVar(&o.deadline, "deadline", 0, "default per-query deadline (0 = none)")
+	fs.IntVar(&o.queryRetries, "query-retries", 2, "server-side checkpoint-resume retries for deadline-expired queries")
+	fs.BoolVar(&o.reliable, "reliable", false, "run the engine's message plane with acked, retransmitted delivery")
 	fs.BoolVar(&o.smoke, "smoke", false, "start the server, fire -queries concurrent queries at it, verify, exit")
 	fs.IntVar(&o.queries, "queries", 50, "concurrent queries for -smoke")
 	fs.DurationVar(&o.simLatency, "sim-latency", 0, "simulated per-message interconnect latency (0 = instantaneous transport)")
@@ -143,6 +147,7 @@ func serve(o *options) error {
 		MaxQueue:        o.maxQueue,
 		StepBatch:       o.stepBatch,
 		DefaultDeadline: o.deadline,
+		Reliable:        o.reliable,
 	})
 	if err != nil {
 		return err
@@ -151,12 +156,25 @@ func serve(o *options) error {
 		time.Since(start).Round(time.Millisecond), g.NumVertices(), g.NumEdges(), g.Ranks(), o.topo)
 
 	s := newServer(g, e)
+	s.retries = o.queryRetries
 	ln, err := net.Listen("tcp", o.addr)
 	if err != nil {
 		e.Close()
 		return err
 	}
-	srv := &http.Server{Handler: s.handler()}
+	// Hardened server limits: a stalled or malicious client must not pin a
+	// connection (and its handler goroutine) forever. WriteTimeout bounds the
+	// whole handler, so it must cover the slowest legitimate query including
+	// the server-side retry budget; 5 minutes is far past any deadline the
+	// degradation path grants.
+	srv := &http.Server{
+		Handler:           s.handler(),
+		ReadHeaderTimeout: 5 * time.Second,
+		ReadTimeout:       30 * time.Second,
+		WriteTimeout:      5 * time.Minute,
+		IdleTimeout:       2 * time.Minute,
+		MaxHeaderBytes:    1 << 16,
+	}
 
 	if o.smoke {
 		return smoke(o, s, srv, ln, e)

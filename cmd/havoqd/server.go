@@ -59,17 +59,26 @@ type errorResponse struct {
 	Error string `json:"error"`
 }
 
+// maxQueryBody caps the POST /query request body; the body is one small JSON
+// object, so anything past this is a broken or abusive client.
+const maxQueryBody = 1 << 20
+
 // server binds one resident graph + engine to the HTTP handlers.
 type server struct {
-	g       *havoqgt.Graph
-	e       *havoqgt.Engine
+	g *havoqgt.Graph
+	e *havoqgt.Engine
+	// retries bounds the server-side degradation path: how many times a
+	// deadline-expired query is resumed from its checkpoint (with a doubled
+	// budget) before the client gets a 504.
+	retries int
 	served  atomic.Uint64
 	failed  atomic.Uint64
+	retried atomic.Uint64
 	started time.Time
 }
 
 func newServer(g *havoqgt.Graph, e *havoqgt.Engine) *server {
-	return &server{g: g, e: e, started: time.Now()}
+	return &server{g: g, e: e, retries: 2, started: time.Now()}
 }
 
 // handler builds the route table.
@@ -96,6 +105,7 @@ func (s *server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		"uptime_ms": time.Since(s.started).Milliseconds(),
 		"served":    s.served.Load(),
 		"failed":    s.failed.Load(),
+		"retried":   s.retried.Load(),
 	})
 }
 
@@ -145,9 +155,16 @@ func (s *server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusMethodNotAllowed, errorResponse{Error: "POST only"})
 		return
 	}
+	r.Body = http.MaxBytesReader(w, r.Body, maxQueryBody)
 	var req queryRequest
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
 		s.failed.Add(1)
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			writeJSON(w, http.StatusRequestEntityTooLarge,
+				errorResponse{Error: fmt.Sprintf("request body over %d bytes", tooBig.Limit)})
+			return
+		}
 		writeJSON(w, http.StatusBadRequest, errorResponse{Error: "bad request body: " + err.Error()})
 		return
 	}
@@ -165,24 +182,42 @@ func (s *server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
-	// If the client goes away, cancel the query so it stops consuming the
-	// message plane; its in-flight visitors drain without being applied.
 	ctx := r.Context()
-	done := make(chan struct{})
-	defer close(done)
-	go func() {
+	start := time.Now()
+	retries := s.retries
+	var res *havoqgt.QueryResult
+	for {
+		// Wait for the current attempt, or for the client going away — in
+		// which case cancel the query so it stops consuming the message
+		// plane (its in-flight visitors drain without being applied) and
+		// wait for that drain.
 		select {
+		case <-q.Done():
 		case <-ctx.Done():
 			q.Cancel()
-		case <-done:
+			<-q.Done()
 		}
-	}()
-
-	start := time.Now()
-	res, err := q.Wait()
-	if err != nil {
+		res, err = q.Wait() // non-blocking: Done is closed
+		if err == nil {
+			break
+		}
+		// Degradation path: a deadline-expired attempt is retried
+		// server-side from its checkpoint with a doubled budget — the
+		// traversal progress already paid for is kept — bounded by
+		// s.retries and only while the client is still connected.
+		if errors.Is(err, havoqgt.ErrQueryTimeout) && retries > 0 && ctx.Err() == nil {
+			if nq, rerr := q.Resume(0); rerr == nil {
+				retries--
+				s.retried.Add(1)
+				q = nq
+				continue
+			}
+		}
 		s.failed.Add(1)
 		if errors.Is(err, havoqgt.ErrQueryCancelled) {
+			// Deadline exhaustion (even after retries) or client disconnect.
+			// Retry-After marks it retryable for clients still listening.
+			w.Header().Set("Retry-After", "1")
 			writeJSON(w, http.StatusGatewayTimeout, errorResponse{Error: "query cancelled (deadline or client disconnect)"})
 			return
 		}

@@ -11,10 +11,12 @@ import (
 	"testing"
 
 	"havoqgt"
+	"havoqgt/internal/check"
 )
 
 func testServer(t *testing.T) (*server, *httptest.Server) {
 	t.Helper()
+	check.NoLeaks(t) // registered first so the leak check runs after teardown
 	g, err := havoqgt.GenerateRMAT(9, 7, havoqgt.Options{Ranks: 4, Topology: "2d", Simplify: true})
 	if err != nil {
 		t.Fatal(err)
@@ -28,6 +30,9 @@ func testServer(t *testing.T) (*server, *httptest.Server) {
 	t.Cleanup(func() {
 		ts.Close()
 		e.Close()
+		// Client keep-alive connections from http.Post hold transport
+		// goroutines; drop them so the leak check sees a settled count.
+		http.DefaultClient.CloseIdleConnections()
 	})
 	return s, ts
 }

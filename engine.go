@@ -16,6 +16,7 @@ package havoqgt
 // without code changes.
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"io"
@@ -42,6 +43,10 @@ type EngineOptions struct {
 	// DefaultDeadline, if nonzero, cancels any query still running after
 	// this long (per-query deadlines can be set on submission instead).
 	DefaultDeadline time.Duration
+	// Reliable runs the engine's shared mailbox with acked, retransmitted
+	// delivery, tolerating message drop/duplication/corruption on the data
+	// plane (see internal/faults for the fault model it defends against).
+	Reliable bool
 }
 
 // Engine serves concurrent queries over one resident Graph. Create with
@@ -71,6 +76,7 @@ func (g *Graph) StartEngine(opts EngineOptions) (*Engine, error) {
 		MaxInFlight: opts.MaxInFlight,
 		MaxQueue:    opts.MaxQueue,
 		StepBatch:   opts.StepBatch,
+		Reliable:    opts.Reliable,
 	})
 	if err != nil {
 		return nil, err
@@ -99,7 +105,9 @@ func (e *Engine) WriteStats(w io.Writer) error {
 
 // Query is a handle on one submitted query.
 type Query struct {
+	e    *Engine
 	t    *engine.Ticket
+	spec engine.Spec
 	algo engine.Algo
 	src  Vertex
 	k    uint32
@@ -119,12 +127,116 @@ func (q *Query) Cancel() { q.t.Cancel() }
 // (explicitly or by deadline) before completing.
 var ErrQueryCancelled = errors.New("havoqgt: query cancelled")
 
+// ErrQueryTimeout is the retryable subset of ErrQueryCancelled: the query was
+// cancelled by its deadline, not by the caller, so resubmitting (ideally via
+// Resume, which keeps the partial progress) can still succeed. It wraps
+// ErrQueryCancelled, so existing errors.Is(err, ErrQueryCancelled) checks
+// keep matching.
+var ErrQueryTimeout = fmt.Errorf("%w: deadline exceeded (retryable)", ErrQueryCancelled)
+
 func (q *Query) wait() (*engine.Result, error) {
 	res := q.t.Wait()
 	if res.Cancelled {
+		if errors.Is(q.t.Err(), context.DeadlineExceeded) {
+			return nil, ErrQueryTimeout
+		}
 		return nil, ErrQueryCancelled
 	}
 	return res, nil
+}
+
+// Resume resubmits a finished, cancelled query as a new attempt. For the
+// label-setting algorithms (bfs, sssp, cc) the new attempt is seeded from the
+// cancelled run's checkpoint, so the paid-for traversal progress carries
+// over; kcore has no checkpointable state and restarts from scratch. The new
+// attempt's deadline is d, or twice the previous attempt's when d is zero —
+// so a caller retrying in a loop gets a geometrically growing budget and
+// terminates. Resuming a still-running or cleanly completed query fails.
+func (q *Query) Resume(d time.Duration) (*Query, error) {
+	select {
+	case <-q.t.Done():
+	default:
+		return nil, errors.New("havoqgt: query still running; nothing to resume")
+	}
+	if q.t.Err() == nil {
+		return nil, errors.New("havoqgt: query completed; nothing to resume")
+	}
+	spec := q.spec
+	spec.Resume = nil
+	if d == 0 {
+		d = 2 * spec.Deadline
+	}
+	spec.Deadline = d
+	if cp := q.t.Checkpoint(); cp != nil {
+		spec = cp.ResumeSpec(d)
+	}
+	return q.e.submit(spec, q.src)
+}
+
+// RecoveryPolicy bounds ExecuteWithRecovery's server-side retry loop.
+type RecoveryPolicy struct {
+	// Attempts is the total number of attempts, first try included
+	// (default 3).
+	Attempts int
+	// Deadline is the first attempt's budget (0 = the engine default);
+	// every retry doubles it.
+	Deadline time.Duration
+	// Backoff is the sleep before the first retry, doubling after each
+	// (default 5ms). Applies to admission rejections too, making this the
+	// client of the engine's 429-style backpressure.
+	Backoff time.Duration
+}
+
+func (p RecoveryPolicy) normalized() RecoveryPolicy {
+	if p.Attempts <= 0 {
+		p.Attempts = 3
+	}
+	if p.Backoff <= 0 {
+		p.Backoff = 5 * time.Millisecond
+	}
+	return p
+}
+
+// ExecuteWithRecovery runs one query under a bounded retry policy: a
+// deadline-expired attempt is resubmitted from its checkpoint with a doubled
+// budget after a doubling backoff, and an admission rejection (ErrQueryRejected)
+// is retried after the same backoff. Non-retryable failures — explicit
+// cancellation, validation errors — return immediately. After the attempt
+// budget, the last error is returned.
+func (e *Engine) ExecuteWithRecovery(algo string, source Vertex, weightSeed uint64, k uint32, pol RecoveryPolicy) (*QueryResult, error) {
+	pol = pol.normalized()
+	spec := engine.Spec{Algo: engine.Algo(algo), Source: source, WeightSeed: weightSeed, K: k, Deadline: pol.Deadline}
+	backoff := pol.Backoff
+	var lastErr error
+	for attempt := 0; attempt < pol.Attempts; attempt++ {
+		if attempt > 0 {
+			time.Sleep(backoff)
+			backoff *= 2
+		}
+		q, err := e.submit(spec, source)
+		if err != nil {
+			if errors.Is(err, ErrQueryRejected) {
+				lastErr = err // overload: back off and re-attempt admission
+				continue
+			}
+			return nil, err
+		}
+		res, err := q.Wait()
+		if err == nil {
+			return res, nil
+		}
+		lastErr = err
+		if !errors.Is(err, ErrQueryTimeout) {
+			return nil, err // explicit cancel or hard failure: not retryable
+		}
+		spec = q.spec
+		spec.Resume = nil
+		spec.Deadline *= 2
+		if cp := q.t.Checkpoint(); cp != nil {
+			spec = cp.ResumeSpec(spec.Deadline)
+		}
+	}
+	return nil, lastErr
 }
 
 // QueryResult is one completed query's output; exactly one algorithm field
@@ -211,7 +323,7 @@ func (e *Engine) submit(spec engine.Spec, src Vertex) (*Query, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Query{t: t, algo: spec.Algo, src: src, k: spec.K}, nil
+	return &Query{e: e, t: t, spec: spec, algo: spec.Algo, src: src, k: spec.K}, nil
 }
 
 // SubmitBFS starts an asynchronous BFS query from source.

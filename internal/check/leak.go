@@ -1,0 +1,75 @@
+package check
+
+// Goroutine-leak checking for the runtime-heavy test suites. Every machine
+// run spawns one goroutine per rank plus transport/engine workers; a fault or
+// cancellation path that forgets to join one of them is invisible to a
+// passing test but fatal to a long-lived server. NoLeaks turns that into a
+// test failure with the culprit's stack.
+
+import (
+	"runtime"
+	"strings"
+	"time"
+)
+
+// TB is the subset of *testing.T that NoLeaks needs; taking the interface
+// keeps this file importable from external test packages without dragging
+// testing into the library build.
+type TB interface {
+	Helper()
+	Cleanup(func())
+	Errorf(format string, args ...any)
+}
+
+// leakGrace bounds how long NoLeaks waits for goroutine counts to settle
+// after a test: closed servers and engines tear their workers down
+// asynchronously, so the check polls rather than snapshots.
+const leakGrace = 10 * time.Second
+
+// NoLeaks snapshots the goroutine count and registers a cleanup that fails
+// the test if the count has not returned to the baseline within leakGrace.
+// Call it FIRST in a test or harness, before any cleanup that tears down
+// engines or servers: cleanups run LIFO, so the leak check then runs last,
+// after everything the test started has been asked to stop.
+//
+// The check is count-based with a settling window, so it tolerates unrelated
+// background goroutines dying slowly but catches the real failure mode:
+// workers that will never exit (blocked sends, lost cancellations, undrained
+// mailboxes).
+func NoLeaks(t TB) {
+	t.Helper()
+	before := runtime.NumGoroutine()
+	t.Cleanup(func() {
+		deadline := time.Now().Add(leakGrace)
+		for {
+			if runtime.NumGoroutine() <= before {
+				return
+			}
+			if time.Now().After(deadline) {
+				break
+			}
+			time.Sleep(2 * time.Millisecond)
+		}
+		t.Errorf("goroutine leak: %d goroutines alive %v after test end, %d at test start; suspect stacks:\n%s",
+			runtime.NumGoroutine(), leakGrace, before, suspectStacks())
+	})
+}
+
+// suspectStacks dumps all goroutine stacks, dropping the testing framework's
+// own goroutines and the dumper itself so the report points at the leak.
+func suspectStacks() string {
+	buf := make([]byte, 1<<20)
+	n := runtime.Stack(buf, true)
+	var keep []string
+	for _, g := range strings.Split(string(buf[:n]), "\n\n") {
+		if strings.Contains(g, "testing.") ||
+			strings.Contains(g, "check.suspectStacks") {
+			continue
+		}
+		keep = append(keep, g)
+	}
+	if len(keep) == 0 {
+		return "(none beyond the testing framework; a background goroutine from an earlier test may still be settling)"
+	}
+	return strings.Join(keep, "\n\n")
+}

@@ -49,6 +49,14 @@ type Config struct {
 	// page-level locality of CSR reads (§V-A). On by default via NewQueue;
 	// set DisableLocalityOrder to ablate.
 	DisableLocalityOrder bool
+	// Reliable runs the mailbox's seq/ack/retransmit protocol under every
+	// envelope (mailbox.WithReliable), surviving message drop, duplication,
+	// reordering, and corruption injected by a faulty transport. Must be set
+	// uniformly across ranks.
+	Reliable bool
+	// RTOBase/RTOMax bound the reliable layer's retransmission backoff
+	// (0 = mailbox defaults). Only meaningful with Reliable.
+	RTOBase, RTOMax time.Duration
 }
 
 // Queue is one rank's end of the distributed asynchronous visitor queue
@@ -119,6 +127,9 @@ func NewQueue[V Visitor](r *rt.Rank, part *partition.Part, algo Algorithm[V], cf
 	var opts []mailbox.Option
 	if cfg.FlushBytes > 0 {
 		opts = append(opts, mailbox.WithFlushBytes(cfg.FlushBytes))
+	}
+	if cfg.Reliable {
+		opts = append(opts, mailbox.WithReliable(), mailbox.WithRTO(cfg.RTOBase, cfg.RTOMax))
 	}
 	q := &Queue[V]{
 		rank:          r,

@@ -34,12 +34,15 @@
 package engine
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sync"
 	"sync/atomic"
 	"time"
 
+	"havoqgt/internal/algos/bfs"
+	"havoqgt/internal/algos/sssp"
 	"havoqgt/internal/core"
 	"havoqgt/internal/graph"
 	"havoqgt/internal/mailbox"
@@ -75,12 +78,40 @@ type Spec struct {
 	WeightSeed uint64        // sssp
 	K          uint32        // kcore (>= 1)
 	Deadline   time.Duration // 0 = none; expiry cancels the query
+	// Resume, if non-nil, seeds the query from a checkpoint taken off an
+	// earlier cancelled run of the same traversal (same algo, source, and
+	// weight seed) instead of from scratch. See Ticket.Checkpoint.
+	Resume *Checkpoint
+}
+
+// Checkpoint is a coarse query checkpoint: the partial per-vertex state a
+// cancelled query had reached when it drained. The label-setting algorithms
+// (BFS, SSSP, CC) compute monotone per-vertex values — levels, distances, and
+// labels only ever improve — so any partial gather is a consistent lower
+// bound of work already done, and a resumed query re-seeds its frontier from
+// it rather than from the source alone. K-core is not checkpointable: its
+// state is interlocked removal counts, and replaying a partial count would
+// double-remove edges.
+type Checkpoint struct {
+	Spec Spec    // the originating query's spec (Resume cleared)
+	Res  *Result // partial result arrays; Cancelled is true
+}
+
+// ResumeSpec returns a Spec that resumes the checkpointed traversal, with the
+// given deadline for the new attempt.
+func (cp *Checkpoint) ResumeSpec(deadline time.Duration) Spec {
+	spec := cp.Spec
+	spec.Deadline = deadline
+	spec.Resume = cp
+	return spec
 }
 
 // Result is one completed query's output. Only the fields of the query's
 // algorithm are populated. If Cancelled is true the per-vertex arrays are
-// partial (some ranks stopped applying visitors mid-flight) and must not be
-// interpreted as a consistent traversal.
+// partial — every rank gathered the monotone state it had reached when it
+// stopped applying visitors — and must not be interpreted as a finished
+// traversal; they are, however, a valid checkpoint (see Ticket.Checkpoint),
+// because levels/distances/labels only ever improve toward the fixpoint.
 type Result struct {
 	// BFS.
 	Levels []uint32 // bfs.Unreached where not reached
@@ -128,6 +159,13 @@ type Options struct {
 	// FlushBytes overrides the shared mailbox aggregation threshold (0 =
 	// mailbox default).
 	FlushBytes int
+	// Reliable runs the shared mailbox with sequence-numbered, acked,
+	// retransmitted delivery (mailbox.WithReliable), so the engine survives
+	// message drop/duplication/corruption on the data plane.
+	Reliable bool
+	// RTOBase/RTOMax bound the reliable layer's retransmission backoff
+	// (zero = mailbox defaults). Only meaningful with Reliable.
+	RTOBase, RTOMax time.Duration
 }
 
 func (o Options) normalized() Options {
@@ -211,12 +249,21 @@ type query struct {
 	flow      []FlowCell // per rank, each written by its own rank pre-done
 	accum     atomic.Uint64
 	cancelled atomic.Bool
-	waiting   bool // guarded by Engine.mu: parked in the wait queue
+	cause     atomic.Int32 // why cancelled: causeExplicit or causeDeadline
+	waiting   bool         // guarded by Engine.mu: parked in the wait queue
 	ranksDone atomic.Int32
 	done      chan struct{}
 	submitted time.Time
 	deadline  *time.Timer
 }
+
+// Cancellation causes, recorded once per query under Engine.mu by the first
+// effective cancel and mapped to context errors by Ticket.Err.
+const (
+	causeNone int32 = iota
+	causeExplicit
+	causeDeadline
+)
 
 // Ticket is the caller's handle on a submitted query.
 type Ticket struct {
@@ -237,6 +284,59 @@ func (t *Ticket) Wait() *Result {
 	return t.q.res
 }
 
+// Err reports how the query ended: nil for a clean completion (or a query
+// still running), context.Canceled after an explicit Cancel, and
+// context.DeadlineExceeded after the spec deadline (or a WaitCtx deadline)
+// expired. The context sentinels make the engine's cancellation legible to
+// standard error handling (errors.Is) without an engine-specific taxonomy.
+func (t *Ticket) Err() error {
+	switch t.q.cause.Load() {
+	case causeExplicit:
+		return context.Canceled
+	case causeDeadline:
+		return context.DeadlineExceeded
+	}
+	return nil
+}
+
+// WaitCtx waits for the query, cancelling it if ctx ends first. Unlike a bare
+// select on Done, it does not abandon the query on ctx expiry: cancellation
+// flips the query into drain mode and WaitCtx waits for that drain to finish
+// (bounded by quiescence, not by the traversal), so the returned Result —
+// partial on cancellation — is fully published and checkpointable. The error
+// is Err()'s verdict: nil, context.Canceled, or context.DeadlineExceeded.
+func (t *Ticket) WaitCtx(ctx context.Context) (*Result, error) {
+	select {
+	case <-t.q.done:
+	case <-ctx.Done():
+		cause := causeExplicit
+		if errors.Is(ctx.Err(), context.DeadlineExceeded) {
+			cause = causeDeadline
+		}
+		t.cancel(cause)
+		<-t.q.done
+	}
+	return t.q.res, t.Err()
+}
+
+// Checkpoint returns the cancelled query's partial state for resumption, or
+// nil if the query completed cleanly (nothing to resume), has not finished
+// draining yet, or ran an algorithm without a checkpointable state (k-core).
+func (t *Ticket) Checkpoint() *Checkpoint {
+	select {
+	case <-t.q.done:
+	default:
+		return nil
+	}
+	if !t.q.res.Cancelled || t.q.spec.Algo == AlgoKCore {
+		return nil
+	}
+	spec := t.q.spec
+	spec.Resume = nil
+	spec.Deadline = 0
+	return &Checkpoint{Spec: spec, Res: t.q.res}
+}
+
 // Flows returns the per-rank flow accounts. Valid only after Done.
 func (t *Ticket) Flows() []FlowCell { return t.q.flow }
 
@@ -245,7 +345,11 @@ func (t *Ticket) Flows() []FlowCell { return t.q.flow }
 // completes immediately without starting. Cancelling a completed query is a
 // no-op. Note a cancel racing completion may mark a fully computed result
 // Cancelled.
-func (t *Ticket) Cancel() {
+func (t *Ticket) Cancel() { t.cancel(causeExplicit) }
+
+// cancel is Cancel with an attributed cause. Only the first effective cancel
+// records its cause (later ones are no-ops), so Err is stable once set.
+func (t *Ticket) cancel(cause int32) {
 	e, q := t.e, t.q
 	e.mu.Lock()
 	select {
@@ -258,7 +362,11 @@ func (t *Ticket) Cancel() {
 		e.mu.Unlock()
 		return
 	}
+	q.cause.Store(cause)
 	e.obsCancelled.Inc()
+	if cause == causeDeadline {
+		e.obsDeadline.Inc()
+	}
 	if q.waiting {
 		// Never started: remove from the wait queue and complete in place.
 		for i, w := range e.waitq {
@@ -303,6 +411,8 @@ type Engine struct {
 	obsInFlight  *obs.Gauge
 	obsWaiting   *obs.Gauge
 	obsLatency   *obs.Histogram
+	obsDeadline  *obs.Counter
+	obsResumed   *obs.Counter
 }
 
 // Start launches the engine's rank loops on the machine. The machine must be
@@ -333,6 +443,8 @@ func Start(cfg Config, opts Options) (*Engine, error) {
 		obsInFlight:  reg.Gauge(obs.EngineInFlight),
 		obsWaiting:   reg.Gauge(obs.EngineWaiting),
 		obsLatency:   reg.Histogram(obs.EngineQueryNS),
+		obsDeadline:  reg.Counter(obs.EngineDeadlineExpired),
+		obsResumed:   reg.Counter(obs.EngineResumed),
 	}
 	go func() {
 		defer close(e.runDone)
@@ -361,6 +473,32 @@ func (e *Engine) validate(spec Spec) error {
 		}
 	default:
 		return fmt.Errorf("engine: unknown algorithm %q", spec.Algo)
+	}
+	if cp := spec.Resume; cp != nil {
+		if spec.Algo == AlgoKCore {
+			return errors.New("engine: kcore is not resumable (removal counts are not monotone per-vertex state)")
+		}
+		if cp.Res == nil {
+			return errors.New("engine: resume checkpoint has no result state")
+		}
+		if cp.Spec.Algo != spec.Algo || cp.Spec.Source != spec.Source ||
+			cp.Spec.WeightSeed != spec.WeightSeed {
+			return errors.New("engine: resume checkpoint is from an incompatible query")
+		}
+		switch spec.Algo {
+		case AlgoBFS:
+			if uint64(len(cp.Res.Levels)) != e.n || uint64(len(cp.Res.Parents)) != e.n {
+				return errors.New("engine: resume checkpoint sized for a different graph")
+			}
+		case AlgoSSSP:
+			if uint64(len(cp.Res.Dist)) != e.n || uint64(len(cp.Res.Parents)) != e.n {
+				return errors.New("engine: resume checkpoint sized for a different graph")
+			}
+		case AlgoCC:
+			if uint64(len(cp.Res.Labels)) != e.n {
+				return errors.New("engine: resume checkpoint sized for a different graph")
+			}
+		}
 	}
 	return nil
 }
@@ -396,13 +534,16 @@ func (e *Engine) Submit(spec Spec) (*Ticket, error) {
 	e.nextID++
 	e.outstanding++
 	e.obsSubmitted.Inc()
+	if spec.Resume != nil {
+		e.obsResumed.Inc()
+	}
 	t := &Ticket{e: e, q: q}
 	if spec.Deadline > 0 {
 		// Arm the timer before the start event is visible to any rank: a
 		// fast query may complete (and stop the timer) the moment the event
-		// publishes. AfterFunc fires asynchronously, so Cancel's own lock
+		// publishes. AfterFunc fires asynchronously, so cancel's own lock
 		// acquisition cannot deadlock here.
-		q.deadline = time.AfterFunc(spec.Deadline, t.Cancel)
+		q.deadline = time.AfterFunc(spec.Deadline, func() { t.cancel(causeDeadline) })
 	}
 	if e.inflight < e.opts.MaxInFlight {
 		e.inflight++
@@ -417,18 +558,32 @@ func (e *Engine) Submit(spec Spec) (*Ticket, error) {
 	return t, nil
 }
 
-// newResult allocates the algorithm's output arrays.
+// newResult allocates the algorithm's output arrays, initialized to the
+// traversal's "nothing known" values (Unreached levels/distances, own-id
+// labels) rather than zero. A completed query overwrites every entry through
+// the per-rank gathers, but a query cancelled before it ever started skips
+// them — and its result must still be a valid (empty) checkpoint, not an
+// array of spurious level-0 vertices.
 func newResult(spec Spec, n uint64) *Result {
 	res := &Result{}
 	switch spec.Algo {
 	case AlgoBFS:
 		res.Levels = make([]uint32, n)
+		for i := range res.Levels {
+			res.Levels[i] = bfs.Unreached
+		}
 		res.Parents = make([]graph.Vertex, n)
 	case AlgoSSSP:
 		res.Dist = make([]uint64, n)
+		for i := range res.Dist {
+			res.Dist[i] = sssp.Unreached
+		}
 		res.Parents = make([]graph.Vertex, n)
 	case AlgoCC:
 		res.Labels = make([]graph.Vertex, n)
+		for i := range res.Labels {
+			res.Labels[i] = graph.Vertex(i)
+		}
 	case AlgoKCore:
 		res.InCore = make([]bool, n)
 	}

@@ -23,6 +23,7 @@ import (
 // computations.
 func buildEngine(t *testing.T, scale uint, p int, topo string, opts engine.Options) (*engine.Engine, []graph.Edge, uint64) {
 	t.Helper()
+	check.NoLeaks(t) // before anything spawns: the leak check must run last
 	gen := generators.NewGraph500(scale, 42)
 	n := gen.NumVertices()
 	var edges []graph.Edge

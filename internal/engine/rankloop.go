@@ -100,6 +100,10 @@ func (e *Engine) rankLoop(r *rt.Rank) {
 	if e.opts.FlushBytes > 0 {
 		boxOpts = append(boxOpts, mailbox.WithFlushBytes(e.opts.FlushBytes))
 	}
+	if e.opts.Reliable {
+		boxOpts = append(boxOpts, mailbox.WithReliable(),
+			mailbox.WithRTO(e.opts.RTOBase, e.opts.RTOMax))
+	}
 	flows := newRankFlows()
 	boxOpts = append(boxOpts, mailbox.WithFlows(flows))
 	s := &rankState{
@@ -235,9 +239,11 @@ func (s *rankState) finish(r *rt.Rank, id uint32) {
 	if r.Rank() == 0 {
 		rq.q.res.Waves = st.DetectorWaves
 	}
-	if !rq.run.Cancelled() {
-		rq.run.Finish()
-	}
+	// Finish runs even when cancelled: the algorithm's per-vertex state is
+	// monotone (levels/distances/labels only improve), so gathering the
+	// partial state over disjoint master ranges yields a consistent coarse
+	// checkpoint that a resubmitted query can resume from (Spec.Resume).
+	rq.run.Finish()
 	s.mux.Release(id)
 	delete(s.pending, id)
 	if int(rq.q.ranksDone.Add(1)) == r.Size() {

@@ -69,7 +69,27 @@ func newBFSRunner(r *rt.Rank, part *partition.Part, ghosts *core.GhostTable,
 		st.AttachGhosts(ghosts)
 	}
 	qu := core.NewQueueShared[bfs.Visitor](r, part, st, cfg, box, det, q.id)
-	if part.IsMaster(q.spec.Source) {
+	if cp := q.spec.Resume; cp != nil {
+		// Resume: replay the checkpointed frontier onto fresh state. Every
+		// reached master re-enters as a visitor carrying its checkpointed
+		// level; PreVisit admits it (fresh state is Unreached, and levels are
+		// monotone) and Visit re-expands its neighbors, so the traversal
+		// continues outward from wherever the cancelled run stopped. The
+		// interior is re-offered but immediately pruned by the level test —
+		// coarse, but it costs one visitor per reached vertex, not a restart
+		// of the whole traversal.
+		lo, hi := part.Owners.MasterRange(part.Rank)
+		for v := lo; v < hi; v++ {
+			if lv := cp.Res.Levels[v]; lv != bfs.Unreached {
+				qu.Push(bfs.Visitor{V: graph.Vertex(v), Length: lv, Parent: cp.Res.Parents[v]})
+			}
+		}
+		if part.IsMaster(q.spec.Source) && cp.Res.Levels[q.spec.Source] == bfs.Unreached {
+			// Checkpoint from a run cancelled before the source was settled:
+			// fall back to a fresh start.
+			qu.Push(bfs.Visitor{V: q.spec.Source, Length: 0, Parent: q.spec.Source})
+		}
+	} else if part.IsMaster(q.spec.Source) {
 		qu.Push(bfs.Visitor{V: q.spec.Source, Length: 0, Parent: q.spec.Source})
 	}
 	return &bfsRunner{Queue: qu, st: st, part: part, q: q}
@@ -97,7 +117,21 @@ func newSSSPRunner(r *rt.Rank, part *partition.Part, ghosts *core.GhostTable,
 		st.AttachGhosts(ghosts)
 	}
 	qu := core.NewQueueShared[sssp.Visitor](r, part, st, cfg, box, det, q.id)
-	if part.IsMaster(q.spec.Source) {
+	if cp := q.spec.Resume; cp != nil {
+		// Same frontier-replay scheme as BFS, over tentative distances.
+		// Distances in the checkpoint are upper bounds that only the relax
+		// rule can lower, so replaying them is safe even if the cancelled run
+		// had not converged them yet.
+		lo, hi := part.Owners.MasterRange(part.Rank)
+		for v := lo; v < hi; v++ {
+			if d := cp.Res.Dist[v]; d != sssp.Unreached {
+				qu.Push(sssp.Visitor{V: graph.Vertex(v), Dist: d, Parent: cp.Res.Parents[v]})
+			}
+		}
+		if part.IsMaster(q.spec.Source) && cp.Res.Dist[q.spec.Source] == sssp.Unreached {
+			qu.Push(sssp.Visitor{V: q.spec.Source, Dist: 0, Parent: q.spec.Source})
+		}
+	} else if part.IsMaster(q.spec.Source) {
 		qu.Push(sssp.Visitor{V: q.spec.Source, Dist: 0, Parent: q.spec.Source})
 	}
 	return &ssspRunner{Queue: qu, st: st, part: part, q: q}
@@ -127,7 +161,14 @@ func newCCRunner(r *rt.Rank, part *partition.Part, ghosts *core.GhostTable,
 	qu := core.NewQueueShared[cc.Visitor](r, part, st, cfg, box, det, q.id)
 	lo, hi := part.Owners.MasterRange(part.Rank)
 	for v := lo; v < hi; v++ {
-		qu.Push(cc.Visitor{V: graph.Vertex(v), Label: graph.Vertex(v)})
+		lbl := graph.Vertex(v)
+		if cp := q.spec.Resume; cp != nil && cp.Res.Labels[v] < lbl {
+			// Resume: start each master from its checkpointed label instead
+			// of its own id. Labels only decrease toward the component
+			// minimum, so any partial label is a valid (better) start.
+			lbl = cp.Res.Labels[v]
+		}
+		qu.Push(cc.Visitor{V: graph.Vertex(v), Label: lbl})
 	}
 	return &ccRunner{Queue: qu, st: st, part: part, q: q}
 }

@@ -9,6 +9,7 @@ import (
 	"encoding/binary"
 	"errors"
 	"fmt"
+	"hash/crc64"
 	"io"
 	"os"
 	"time"
@@ -51,6 +52,10 @@ func (s *Store) Read(lo, hi uint64) []graph.Vertex {
 	// A full read is required: the range check above guarantees the request
 	// lies inside the device, so io.EOF with a complete buffer (legal under
 	// the io.ReaderAt contract) is the only acceptable non-nil error.
+	// Device failure here is fail-stop by design: transient faults are
+	// expected to be absorbed below the cache (wrap the device in
+	// pagecache.RetryDevice); an error surviving that is a broken device,
+	// and a silently wrong adjacency list would be worse than a crash.
 	if nr, err := s.cache.ReadAt(s.raw, int64(lo)*vertexBytes); err != nil &&
 		!(errors.Is(err, io.EOF) && nr == len(s.raw)) {
 		panic(fmt.Sprintf("extmem: device read failed after %d bytes: %v", nr, err))
@@ -126,16 +131,111 @@ func NewSimStore(targets []graph.Vertex, cfg NVRAMConfig) (*Store, error) {
 	return NewStore(cache, uint64(len(targets))), nil
 }
 
-// WriteTargetsFile serializes targets to path (the real-file configuration).
+// Targets-file footer: [count u64][crc64(payload) u64][magic u64], appended
+// after the serialized payload. A torn write — power failure truncating the
+// file anywhere — removes or garbles the footer, so open-time validation
+// (size arithmetic + magic + count) catches it without scanning the payload;
+// VerifyTargetsFile additionally checks the payload CRC.
+const (
+	footerBytes  = 24
+	targetsMagic = 0x48564f5154475431 // "HVOQTGT1"
+)
+
+var targetsCRC = crc64.MakeTable(crc64.ECMA)
+
+// ErrCorruptTargets reports a targets file that fails validation — most
+// likely a torn write truncated it. Callers should treat the file as
+// unusable and rebuild it; there is no partial-recovery path.
+var ErrCorruptTargets = errors.New("extmem: targets file corrupt or torn")
+
+// WriteTargetsTo streams the serialized targets plus the integrity footer to
+// w. Factored out of WriteTargetsFile so fault harnesses can interpose a
+// torn writer on the byte stream.
+func WriteTargetsTo(w io.Writer, targets []graph.Vertex) error {
+	raw := SerializeTargets(targets)
+	if _, err := w.Write(raw); err != nil {
+		return err
+	}
+	var foot [footerBytes]byte
+	binary.LittleEndian.PutUint64(foot[0:], uint64(len(targets)))
+	binary.LittleEndian.PutUint64(foot[8:], crc64.Checksum(raw, targetsCRC))
+	binary.LittleEndian.PutUint64(foot[16:], targetsMagic)
+	_, err := w.Write(foot[:])
+	return err
+}
+
+// WriteTargetsFile serializes targets to path (the real-file configuration),
+// with the integrity footer that OpenFileStore validates.
 func WriteTargetsFile(path string, targets []graph.Vertex) error {
-	return os.WriteFile(path, SerializeTargets(targets), 0o644)
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := WriteTargetsTo(f, targets); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// readFooter validates the O(1) footer invariants of an open device and
+// returns the target count.
+func readFooter(dev pagecache.BlockDevice) (uint64, uint64, error) {
+	size := dev.Size()
+	if size < footerBytes || (size-footerBytes)%vertexBytes != 0 {
+		return 0, 0, fmt.Errorf("%w: size %d is not payload + footer", ErrCorruptTargets, size)
+	}
+	var foot [footerBytes]byte
+	if n, err := dev.ReadAt(foot[:], size-footerBytes); err != nil || n != footerBytes {
+		return 0, 0, fmt.Errorf("%w: footer unreadable (%d bytes, %v)", ErrCorruptTargets, n, err)
+	}
+	if binary.LittleEndian.Uint64(foot[16:]) != targetsMagic {
+		return 0, 0, fmt.Errorf("%w: bad magic (torn write?)", ErrCorruptTargets)
+	}
+	count := binary.LittleEndian.Uint64(foot[0:])
+	if count*vertexBytes != uint64(size)-footerBytes {
+		return 0, 0, fmt.Errorf("%w: footer count %d does not match payload size %d",
+			ErrCorruptTargets, count, size-footerBytes)
+	}
+	return count, binary.LittleEndian.Uint64(foot[8:]), nil
+}
+
+// VerifyTargetsFile deep-checks a targets file: footer invariants plus the
+// full payload CRC (O(file size); OpenFileStore performs only the O(1)
+// checks).
+func VerifyTargetsFile(path string) error {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	if len(raw) < footerBytes || (len(raw)-footerBytes)%vertexBytes != 0 {
+		return fmt.Errorf("%w: size %d is not payload + footer", ErrCorruptTargets, len(raw))
+	}
+	payload, foot := raw[:len(raw)-footerBytes], raw[len(raw)-footerBytes:]
+	if binary.LittleEndian.Uint64(foot[16:]) != targetsMagic {
+		return fmt.Errorf("%w: bad magic (torn write?)", ErrCorruptTargets)
+	}
+	if c := binary.LittleEndian.Uint64(foot[0:]); c*vertexBytes != uint64(len(payload)) {
+		return fmt.Errorf("%w: footer count %d does not match payload size %d",
+			ErrCorruptTargets, c, len(payload))
+	}
+	if crc64.Checksum(payload, targetsCRC) != binary.LittleEndian.Uint64(foot[8:]) {
+		return fmt.Errorf("%w: payload checksum mismatch", ErrCorruptTargets)
+	}
+	return nil
 }
 
 // OpenFileStore opens a targets file through a page cache with the given
-// page size and frame count.
+// page size and frame count, validating the integrity footer (returns an
+// error wrapping ErrCorruptTargets on a torn or truncated file).
 func OpenFileStore(path string, pageSize, frames int) (*Store, error) {
 	dev, err := pagecache.OpenFile(path)
 	if err != nil {
+		return nil, err
+	}
+	count, _, err := readFooter(dev)
+	if err != nil {
+		dev.Close()
 		return nil, err
 	}
 	cache, err := pagecache.New(dev, pageSize, frames)
@@ -143,7 +243,7 @@ func OpenFileStore(path string, pageSize, frames int) (*Store, error) {
 		dev.Close()
 		return nil, err
 	}
-	return NewStore(cache, uint64(dev.Size()/vertexBytes)), nil
+	return NewStore(cache, count), nil
 }
 
 // ExternalizeCSR moves a matrix's in-memory targets onto simulated NVRAM,

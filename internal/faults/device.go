@@ -1,0 +1,141 @@
+package faults
+
+// Device-side fault injection: the third choke point of the fault plane.
+// FaultyDevice wraps a pagecache.BlockDevice and injects deterministic read
+// errors and torn reads per the plan's DeviceRule; TornWriter truncates a
+// write stream at a chosen byte, modeling a power-fail torn write that the
+// external-memory store must detect at open time.
+
+import (
+	"fmt"
+	"io"
+	"sync/atomic"
+
+	"havoqgt/internal/obs"
+	"havoqgt/internal/pagecache"
+)
+
+// ReadError is the typed, retryable error injected for a device read fault.
+// It implements Transient() so retry wrappers (pagecache.RetryDevice) can
+// distinguish it from permanent device failure.
+type ReadError struct {
+	Off   int64  // requested offset
+	Index uint64 // device read ordinal that failed
+}
+
+func (e *ReadError) Error() string {
+	return fmt.Sprintf("faults: injected device read error (read #%d at offset %d)", e.Index, e.Off)
+}
+
+// Transient reports that the failure is worth retrying: the next attempt at
+// the same offset draws a fresh read ordinal and may succeed.
+func (e *ReadError) Transient() bool { return true }
+
+// FaultyDevice wraps a block device with deterministic read-fault injection.
+// Decisions are a pure function of (seed, read ordinal), so a single-
+// threaded replay of the same read sequence injects the same faults.
+type FaultyDevice struct {
+	under pagecache.BlockDevice
+	rule  DeviceRule
+	seed  uint64
+	reads atomic.Uint64
+
+	cErr, cTorn *obs.Counter
+}
+
+var _ pagecache.BlockDevice = (*FaultyDevice)(nil)
+
+// NewFaultyDevice wraps under with the plan's device-fault rule, counting
+// injected faults in reg.
+func NewFaultyDevice(under pagecache.BlockDevice, plan Plan, reg *obs.Registry) *FaultyDevice {
+	return &FaultyDevice{
+		under: under,
+		rule:  plan.Device,
+		seed:  plan.Seed,
+		cErr:  reg.Counter(obs.FaultInjected("device_read_error")),
+		cTorn: reg.Counter(obs.FaultInjected("device_torn_read")),
+	}
+}
+
+func (d *FaultyDevice) devRoll(salt, idx uint64) float64 {
+	h := hash(d.seed, salt, 0, 0, 0, idx)
+	return float64(h>>11) / (1 << 53)
+}
+
+// ReadAt injects per the rule, then delegates. A read error fails the read
+// outright with *ReadError; a torn read returns only a prefix of the data,
+// which — because it is never injected on the device's final page — the
+// page cache above detects as an unexpected EOF rather than caching a torn
+// page silently.
+func (d *FaultyDevice) ReadAt(p []byte, off int64) (int, error) {
+	idx := d.reads.Add(1) - 1
+	if d.rule.ReadError > 0 && d.devRoll(saltDevErr, idx) < d.rule.ReadError {
+		d.cErr.Inc()
+		return 0, &ReadError{Off: off, Index: idx}
+	}
+	n, err := d.under.ReadAt(p, off)
+	if err == nil && n > 1 && off+int64(n) < d.under.Size() &&
+		d.rule.TornRead > 0 && d.devRoll(saltDevTorn, idx) < d.rule.TornRead {
+		d.cTorn.Inc()
+		n /= 2 // short read mid-device: detectable, never silent
+	}
+	return n, err
+}
+
+// Size returns the underlying device capacity.
+func (d *FaultyDevice) Size() int64 { return d.under.Size() }
+
+// Close closes the underlying device.
+func (d *FaultyDevice) Close() error { return d.under.Close() }
+
+// Reads returns the number of read attempts observed (including failed ones).
+func (d *FaultyDevice) Reads() uint64 { return d.reads.Load() }
+
+// TornWriter models a torn write: it passes bytes through to W until
+// CutAfter bytes have been written, then silently discards the rest while
+// still reporting success — exactly what a power failure mid-write leaves
+// behind. The store layer's open-time validation must catch the truncation.
+type TornWriter struct {
+	W        io.Writer
+	CutAfter int64
+
+	written int64
+	torn    bool
+	c       *obs.Counter
+}
+
+// NewTornWriter returns a writer that tears the stream after cutAfter bytes,
+// counting the tear (once) in reg.
+func NewTornWriter(w io.Writer, cutAfter int64, reg *obs.Registry) *TornWriter {
+	if cutAfter < 0 {
+		cutAfter = 0
+	}
+	return &TornWriter{W: w, CutAfter: cutAfter, c: reg.Counter(obs.FaultInjected("device_torn_write"))}
+}
+
+// Write implements io.Writer. It always reports len(p) bytes written.
+func (t *TornWriter) Write(p []byte) (int, error) {
+	keep := int64(len(p))
+	if t.written+keep > t.CutAfter {
+		keep = t.CutAfter - t.written
+		if keep < 0 {
+			keep = 0
+		}
+		if !t.torn {
+			t.torn = true
+			t.c.Inc()
+		}
+	}
+	if keep > 0 {
+		n, err := t.W.Write(p[:keep])
+		t.written += int64(n)
+		if err != nil {
+			return n, err
+		}
+	}
+	t.written += int64(len(p)) - keep // account discarded bytes as "written"
+	return len(p), nil
+}
+
+// Torn reports whether the writer has discarded any bytes.
+func (t *TornWriter) Torn() bool { return t.torn }

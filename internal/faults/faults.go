@@ -1,0 +1,275 @@
+// Package faults is the deterministic fault-injection plane: a seedable
+// schedule DSL (Plan) and an Injector that realizes it at the three choke
+// points of the simulated machine — the rt transport (message drop /
+// duplicate / delay / reorder / corrupt and rank stall windows, via
+// rt.Transport), the page-cache block device (read errors and torn reads,
+// via FaultyDevice), and the external-memory writer path (torn writes, via
+// TornWriter).
+//
+// Every decision is a pure function of (Plan.Seed, message identity), where
+// a message's identity is its (from, to, kind, per-pair sequence) tuple that
+// the rt transport maintains for exactly this purpose. Two runs with the
+// same plan therefore inject byte-identical fault schedules regardless of
+// goroutine interleaving, which is what makes chaos failures replayable.
+//
+// Every fault the injector actually fires is counted in the machine's
+// obs.Registry under obs.FaultInjected(kind), so experiments report fault
+// rates alongside the communication profile they perturbed.
+package faults
+
+import (
+	"sync/atomic"
+	"time"
+
+	"havoqgt/internal/obs"
+	"havoqgt/internal/rt"
+	"havoqgt/internal/xrand"
+)
+
+// Wildcard matches any rank (MsgRule.From/To, StallRule.Rank) or any message
+// kind (MsgRule.Kind).
+const Wildcard = -1
+
+// MsgRule gives fault probabilities for messages matching a (from, to, kind)
+// pattern. The first rule of a plan that matches a message decides all of
+// that message's fault probabilities (later rules are not consulted).
+type MsgRule struct {
+	From int // source rank, or Wildcard
+	To   int // destination rank, or Wildcard
+	Kind int // rt message kind (rt.KindMailbox, ...), or Wildcard
+
+	// Independent per-message probabilities in [0, 1]. Drop dominates: a
+	// dropped message is not also duplicated/delayed/corrupted.
+	Drop      float64
+	Duplicate float64
+	// Corrupt flips one pseudorandomly chosen payload bit.
+	Corrupt float64
+	// Delay postpones delivery by a duration drawn uniformly from
+	// [DelayMin, DelayMax] (defaults 200µs–2ms when both are zero).
+	Delay              float64
+	DelayMin, DelayMax time.Duration
+	// Reorder is a short delay (uniform in [50µs, 500µs]) whose purpose is
+	// overtaking: unequal delays within one sender→receiver pair break the
+	// FIFO non-overtaking guarantee. Counted separately from Delay so
+	// experiments can distinguish latency faults from ordering faults.
+	Reorder float64
+}
+
+func (r *MsgRule) matches(from, to int, kind uint8) bool {
+	return (r.From == Wildcard || r.From == from) &&
+		(r.To == Wildcard || r.To == to) &&
+		(r.Kind == Wildcard || r.Kind == int(kind))
+}
+
+// StallRule freezes a rank's inbound delivery for a window of wall-clock
+// time, modeling a straggler or temporarily unresponsive process. The window
+// is [After, After+Duration) relative to the injector's arm time (Arm, or
+// lazily the first transport consultation). Period > 0 repeats the window
+// every Period (a periodic slowdown); Period == 0 is a one-shot stall.
+type StallRule struct {
+	Rank     int // stalled rank, or Wildcard for every rank
+	After    time.Duration
+	Duration time.Duration
+	Period   time.Duration
+}
+
+// DeviceRule gives per-read fault probabilities for a FaultyDevice.
+type DeviceRule struct {
+	// ReadError fails the read outright with a typed transient error
+	// (*ReadError) before touching the underlying device.
+	ReadError float64
+	// TornRead returns only a prefix of the data mid-device — a short read
+	// that is not at end-of-device, which the page cache above detects as
+	// an unexpected EOF rather than silently caching a torn page. The last
+	// page of the device is never torn (a short read there is
+	// indistinguishable from the legal end-of-device short read).
+	TornRead float64
+}
+
+// Plan is one complete, seedable fault schedule.
+type Plan struct {
+	// Seed makes the schedule deterministic: same plan, same faults.
+	Seed   uint64
+	Msgs   []MsgRule
+	Stalls []StallRule
+	Device DeviceRule
+}
+
+// Distinct salts decorrelate the per-fault-type decision streams.
+const (
+	saltDrop      = 0xd509_0c6e_93f4_a901
+	saltDuplicate = 0x8b1a_7f3c_25d6_e603
+	saltCorrupt   = 0x41c6_9ea3_f8b7_2705
+	saltCorruptAt = 0x9e6c_2b41_d03a_5807
+	saltDelay     = 0x6a09_e667_f3bc_c909
+	saltDelaySpan = 0xbb67_ae85_84ca_a70b
+	saltReorder   = 0x3c6e_f372_fe94_f82d
+	saltReordSpan = 0xa54f_f53a_5f1d_36f1
+	saltDevErr    = 0x510e_527f_ade6_82d1
+	saltDevTorn   = 0x1f83_d9ab_fb41_bd6b
+)
+
+// Default delay windows (see MsgRule.Delay / MsgRule.Reorder).
+const (
+	defaultDelayMin = 200 * time.Microsecond
+	defaultDelayMax = 2 * time.Millisecond
+	defaultReordMin = 50 * time.Microsecond
+	defaultReordMax = 500 * time.Microsecond
+)
+
+// Injector realizes a Plan. It implements rt.Transport (install with
+// rt.Machine.SetTransport); device-side faults are realized by wrapping
+// block devices with NewFaultyDevice against the same plan.
+type Injector struct {
+	plan Plan
+
+	// t0 anchors stall windows: UnixNano at Arm (or first consultation).
+	t0 atomic.Int64
+
+	// stallWin[i] is the index of the last counted window of Stalls[i]
+	// (so each window occurrence is counted once, not once per drain).
+	stallWin []atomic.Int64
+
+	cDrop, cDup, cDelay, cReorder, cCorrupt, cStall *obs.Counter
+}
+
+var _ rt.Transport = (*Injector)(nil)
+
+// New returns an injector for plan, counting every injected fault in reg
+// under obs.FaultInjected(kind).
+func New(plan Plan, reg *obs.Registry) *Injector {
+	in := &Injector{
+		plan:     plan,
+		stallWin: make([]atomic.Int64, len(plan.Stalls)),
+		cDrop:    reg.Counter(obs.FaultInjected("drop")),
+		cDup:     reg.Counter(obs.FaultInjected("duplicate")),
+		cDelay:   reg.Counter(obs.FaultInjected("delay")),
+		cReorder: reg.Counter(obs.FaultInjected("reorder")),
+		cCorrupt: reg.Counter(obs.FaultInjected("corrupt")),
+		cStall:   reg.Counter(obs.FaultInjected("stall")),
+	}
+	for i := range in.stallWin {
+		in.stallWin[i].Store(-1)
+	}
+	return in
+}
+
+// Arm anchors the plan's stall windows at the current instant. Call it
+// immediately before the phase under test; if never called, the injector
+// arms itself at its first consultation.
+func (in *Injector) Arm() { in.t0.Store(time.Now().UnixNano()) }
+
+func (in *Injector) armed() int64 {
+	if t := in.t0.Load(); t != 0 {
+		return t
+	}
+	now := time.Now().UnixNano()
+	if in.t0.CompareAndSwap(0, now) {
+		return now
+	}
+	return in.t0.Load()
+}
+
+// roll returns a uniform [0,1) value derived purely from the plan seed, a
+// per-fault-type salt, and the message identity.
+func (in *Injector) roll(salt uint64, from, to int, kind uint8, seq uint64) float64 {
+	h := hash(in.plan.Seed, salt, from, to, kind, seq)
+	return float64(h>>11) / (1 << 53)
+}
+
+func hash(seed, salt uint64, from, to int, kind uint8, seq uint64) uint64 {
+	h := xrand.Mix64(seed ^ salt)
+	h = xrand.Mix64(h ^ uint64(from)<<33 ^ uint64(to)<<3 ^ uint64(kind))
+	return xrand.Mix64(h ^ seq)
+}
+
+// span draws a duration uniformly from [min, max] for the message identity.
+func (in *Injector) span(salt uint64, from, to int, kind uint8, seq uint64, min, max time.Duration) time.Duration {
+	if max <= min {
+		return min
+	}
+	h := hash(in.plan.Seed, salt, from, to, kind, seq)
+	return min + time.Duration(h%uint64(max-min+1))
+}
+
+// Fate implements rt.Transport. It is consulted once per Send with the
+// message's per-(from,to,kind) sequence number; the verdict depends only on
+// the plan and that identity.
+func (in *Injector) Fate(from, to int, kind uint8, seq uint64, payloadLen int) rt.Fate {
+	in.armed()
+	var rule *MsgRule
+	for i := range in.plan.Msgs {
+		if in.plan.Msgs[i].matches(from, to, kind) {
+			rule = &in.plan.Msgs[i]
+			break
+		}
+	}
+	if rule == nil {
+		return rt.Fate{}
+	}
+	var f rt.Fate
+	if rule.Drop > 0 && in.roll(saltDrop, from, to, kind, seq) < rule.Drop {
+		in.cDrop.Inc()
+		f.Drop = true
+		return f // drop dominates; nothing else observable
+	}
+	if rule.Duplicate > 0 && in.roll(saltDuplicate, from, to, kind, seq) < rule.Duplicate {
+		in.cDup.Inc()
+		f.Duplicate = true
+	}
+	if rule.Corrupt > 0 && payloadLen > 0 && in.roll(saltCorrupt, from, to, kind, seq) < rule.Corrupt {
+		in.cCorrupt.Inc()
+		f.Corrupt = true
+		f.CorruptBit = hash(in.plan.Seed, saltCorruptAt, from, to, kind, seq)
+	}
+	if rule.Delay > 0 && in.roll(saltDelay, from, to, kind, seq) < rule.Delay {
+		in.cDelay.Inc()
+		min, max := rule.DelayMin, rule.DelayMax
+		if min == 0 && max == 0 {
+			min, max = defaultDelayMin, defaultDelayMax
+		}
+		f.Delay += in.span(saltDelaySpan, from, to, kind, seq, min, max)
+	}
+	if rule.Reorder > 0 && in.roll(saltReorder, from, to, kind, seq) < rule.Reorder {
+		in.cReorder.Inc()
+		f.Delay += in.span(saltReordSpan, from, to, kind, seq, defaultReordMin, defaultReordMax)
+	}
+	return f
+}
+
+// Stall implements rt.Transport: it reports how much longer rank's inbound
+// delivery stays frozen under the plan's stall windows (0 = not stalled).
+func (in *Injector) Stall(rank int) time.Duration {
+	if len(in.plan.Stalls) == 0 {
+		return 0
+	}
+	now := time.Duration(time.Now().UnixNano() - in.armed())
+	var remain time.Duration
+	for i := range in.plan.Stalls {
+		s := &in.plan.Stalls[i]
+		if s.Duration <= 0 || (s.Rank != Wildcard && s.Rank != rank) {
+			continue
+		}
+		t := now - s.After
+		if t < 0 {
+			continue
+		}
+		win := int64(0)
+		if s.Period > 0 {
+			win = int64(t / s.Period)
+			t %= s.Period
+		} else if t >= s.Duration {
+			continue
+		}
+		if t < s.Duration {
+			if r := s.Duration - t; r > remain {
+				remain = r
+			}
+			// Count each window occurrence once.
+			if last := in.stallWin[i].Load(); last < win && in.stallWin[i].CompareAndSwap(last, win) {
+				in.cStall.Inc()
+			}
+		}
+	}
+	return remain
+}

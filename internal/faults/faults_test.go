@@ -1,0 +1,239 @@
+package faults
+
+import (
+	"bytes"
+	"math"
+	"testing"
+	"time"
+
+	"havoqgt/internal/obs"
+	"havoqgt/internal/pagecache"
+	"havoqgt/internal/rt"
+)
+
+func TestFateDeterministic(t *testing.T) {
+	plan := Plan{
+		Seed: 42,
+		Msgs: []MsgRule{{
+			From: Wildcard, To: Wildcard, Kind: Wildcard,
+			Drop: 0.1, Duplicate: 0.1, Corrupt: 0.1, Delay: 0.1, Reorder: 0.1,
+		}},
+	}
+	a := New(plan, obs.NewRegistry())
+	b := New(plan, obs.NewRegistry())
+	diffSeed := New(Plan{Seed: 43, Msgs: plan.Msgs}, obs.NewRegistry())
+	var diverged bool
+	for from := 0; from < 4; from++ {
+		for to := 0; to < 4; to++ {
+			for kind := uint8(0); kind < 3; kind++ {
+				for seq := uint64(0); seq < 200; seq++ {
+					fa := a.Fate(from, to, kind, seq, 64)
+					fb := b.Fate(from, to, kind, seq, 64)
+					if fa != fb {
+						t.Fatalf("same plan, different fate at (%d,%d,%d,%d): %+v vs %+v",
+							from, to, kind, seq, fa, fb)
+					}
+					if fa != diffSeed.Fate(from, to, kind, seq, 64) {
+						diverged = true
+					}
+				}
+			}
+		}
+	}
+	if !diverged {
+		t.Fatal("different seeds produced identical fault schedules")
+	}
+}
+
+func TestFateRatesAndCounters(t *testing.T) {
+	reg := obs.NewRegistry()
+	in := New(Plan{
+		Seed: 7,
+		Msgs: []MsgRule{{From: Wildcard, To: Wildcard, Kind: Wildcard, Drop: 0.1, Duplicate: 0.05}},
+	}, reg)
+	const n = 20000
+	var drops, dups int
+	for seq := uint64(0); seq < n; seq++ {
+		f := in.Fate(0, 1, rt.KindMailbox, seq, 32)
+		if f.Drop {
+			drops++
+		}
+		if f.Duplicate {
+			dups++
+		}
+	}
+	if rate := float64(drops) / n; math.Abs(rate-0.1) > 0.02 {
+		t.Errorf("drop rate %.3f, want ~0.1", rate)
+	}
+	if rate := float64(dups) / n; math.Abs(rate-0.05) > 0.02 {
+		t.Errorf("duplicate rate %.3f, want ~0.05", rate)
+	}
+	if got := reg.Counter(obs.FaultInjected("drop")).Value(); got != uint64(drops) {
+		t.Errorf("drop counter %d, observed %d", got, drops)
+	}
+	if got := reg.Counter(obs.FaultInjected("duplicate")).Value(); got != uint64(dups) {
+		t.Errorf("duplicate counter %d, observed %d", got, dups)
+	}
+}
+
+func TestDropDominates(t *testing.T) {
+	in := New(Plan{
+		Seed: 1,
+		Msgs: []MsgRule{{From: Wildcard, To: Wildcard, Kind: Wildcard, Drop: 1, Duplicate: 1, Corrupt: 1, Delay: 1}},
+	}, obs.NewRegistry())
+	f := in.Fate(0, 1, rt.KindMailbox, 0, 16)
+	if !f.Drop || f.Duplicate || f.Corrupt || f.Delay != 0 {
+		t.Fatalf("drop should dominate, got %+v", f)
+	}
+}
+
+func TestFirstMatchingRuleWins(t *testing.T) {
+	in := New(Plan{
+		Seed: 1,
+		Msgs: []MsgRule{
+			{From: 0, To: 1, Kind: int(rt.KindMailbox), Drop: 1},
+			{From: Wildcard, To: Wildcard, Kind: Wildcard}, // no faults
+		},
+	}, obs.NewRegistry())
+	if f := in.Fate(0, 1, rt.KindMailbox, 0, 16); !f.Drop {
+		t.Error("rule (0,1,mailbox) should drop")
+	}
+	if f := in.Fate(1, 0, rt.KindMailbox, 0, 16); f.Drop {
+		t.Error("reverse direction should fall through to the no-fault rule")
+	}
+	if f := in.Fate(0, 1, rt.KindControl, 0, 16); f.Drop {
+		t.Error("control kind should fall through to the no-fault rule")
+	}
+}
+
+func TestCorruptRequiresPayload(t *testing.T) {
+	in := New(Plan{
+		Seed: 1,
+		Msgs: []MsgRule{{From: Wildcard, To: Wildcard, Kind: Wildcard, Corrupt: 1}},
+	}, obs.NewRegistry())
+	if f := in.Fate(0, 1, rt.KindMailbox, 0, 0); f.Corrupt {
+		t.Error("zero-length payload must not be marked corrupt")
+	}
+	if f := in.Fate(0, 1, rt.KindMailbox, 0, 8); !f.Corrupt {
+		t.Error("corrupt=1 with payload should corrupt")
+	}
+}
+
+func TestStallWindow(t *testing.T) {
+	reg := obs.NewRegistry()
+	in := New(Plan{
+		Seed:   1,
+		Stalls: []StallRule{{Rank: 1, After: 0, Duration: 100 * time.Millisecond}},
+	}, reg)
+	in.Arm()
+	if in.Stall(1) <= 0 {
+		t.Fatal("rank 1 should be stalled inside the window")
+	}
+	if in.Stall(0) != 0 {
+		t.Fatal("rank 0 should not be stalled")
+	}
+	deadline := time.Now().Add(2 * time.Second)
+	for in.Stall(1) > 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("stall window never expired")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if got := reg.Counter(obs.FaultInjected("stall")).Value(); got != 1 {
+		t.Errorf("stall counted %d times, want 1 (once per window)", got)
+	}
+}
+
+func TestStallPeriodic(t *testing.T) {
+	reg := obs.NewRegistry()
+	in := New(Plan{
+		Seed:   1,
+		Stalls: []StallRule{{Rank: Wildcard, After: 0, Duration: 5 * time.Millisecond, Period: 25 * time.Millisecond}},
+	}, reg)
+	in.Arm()
+	start := time.Now()
+	for time.Since(start) < 60*time.Millisecond {
+		in.Stall(0)
+		time.Sleep(time.Millisecond)
+	}
+	c := reg.Counter(obs.FaultInjected("stall")).Value()
+	if c < 2 {
+		t.Errorf("periodic stall counted %d windows, want >= 2", c)
+	}
+}
+
+func TestFaultyDeviceReadError(t *testing.T) {
+	reg := obs.NewRegistry()
+	under := &pagecache.MemDevice{Data: make([]byte, 8192)}
+	dev := NewFaultyDevice(under, Plan{Seed: 3, Device: DeviceRule{ReadError: 1}}, reg)
+	_, err := dev.ReadAt(make([]byte, 512), 0)
+	if err == nil {
+		t.Fatal("expected injected read error")
+	}
+	var re *ReadError
+	if !errorsAs(err, &re) {
+		t.Fatalf("error %v is not *ReadError", err)
+	}
+	if !re.Transient() {
+		t.Error("injected read errors must be transient")
+	}
+	if got := reg.Counter(obs.FaultInjected("device_read_error")).Value(); got != 1 {
+		t.Errorf("device_read_error counter = %d, want 1", got)
+	}
+}
+
+// errorsAs avoids importing errors just for one assertion.
+func errorsAs(err error, target **ReadError) bool {
+	re, ok := err.(*ReadError)
+	if ok {
+		*target = re
+	}
+	return ok
+}
+
+func TestFaultyDeviceTornRead(t *testing.T) {
+	reg := obs.NewRegistry()
+	data := make([]byte, 8192)
+	for i := range data {
+		data[i] = byte(i)
+	}
+	dev := NewFaultyDevice(&pagecache.MemDevice{Data: data}, Plan{Seed: 3, Device: DeviceRule{TornRead: 1}}, reg)
+
+	// Mid-device read: torn to a prefix.
+	n, err := dev.ReadAt(make([]byte, 1024), 0)
+	if err != nil {
+		t.Fatalf("torn read should not error: %v", err)
+	}
+	if n != 512 {
+		t.Errorf("mid-device torn read returned %d bytes, want 512", n)
+	}
+	// Final-page read: never torn (legal short read would mask corruption).
+	n, err = dev.ReadAt(make([]byte, 1024), 8192-1024)
+	if err != nil || n != 1024 {
+		t.Errorf("final-page read got (%d, %v), want (1024, nil)", n, err)
+	}
+	if got := reg.Counter(obs.FaultInjected("device_torn_read")).Value(); got != 1 {
+		t.Errorf("device_torn_read counter = %d, want 1", got)
+	}
+}
+
+func TestTornWriter(t *testing.T) {
+	reg := obs.NewRegistry()
+	var buf bytes.Buffer
+	w := NewTornWriter(&buf, 65, reg)
+	for _, chunk := range []int{30, 30, 30, 10} {
+		n, err := w.Write(make([]byte, chunk))
+		if err != nil || n != chunk {
+			t.Fatalf("Write(%d) = (%d, %v), want full success", chunk, n, err)
+		}
+	}
+	if buf.Len() != 65 {
+		t.Errorf("underlying got %d bytes, want 65", buf.Len())
+	}
+	if !w.Torn() {
+		t.Error("writer should report torn")
+	}
+	if got := reg.Counter(obs.FaultInjected("device_torn_write")).Value(); got != 1 {
+		t.Errorf("device_torn_write counter = %d, want 1", got)
+	}
+}

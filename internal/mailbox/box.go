@@ -2,6 +2,7 @@ package mailbox
 
 import (
 	"encoding/binary"
+	"time"
 
 	"havoqgt/internal/obs"
 	"havoqgt/internal/rt"
@@ -30,12 +31,20 @@ type Stats struct {
 	RecordsSent      uint64 // records entered via Send on this rank
 	RecordsDelivered uint64 // records delivered to this rank (final dest)
 	RecordsForwarded uint64 // records re-routed through this rank
-	EnvelopesSent    uint64 // transport messages shipped
-	EnvelopesRecv    uint64
+	EnvelopesSent    uint64 // logical envelopes shipped (retransmits excluded)
+	EnvelopesRecv    uint64 // envelopes accepted (duplicates excluded)
 	Hops             uint64 // transport hops taken by routed records
 	Flushes          uint64 // idle-driven FlushAll envelope shipments
 	DecodeErrors     uint64 // malformed envelope contents rejected by Poll
 	ChannelsUsed     int    // distinct next-hop ranks actually used
+
+	// Reliable-delivery counters (zero unless the Box was built
+	// WithReliable; see reliable.go for the protocol).
+	Retransmits    uint64 // frames re-sent after an RTO expiry
+	DupDropped     uint64 // already-delivered duplicate frames discarded
+	CorruptDropped uint64 // frames/acks failing the CRC check
+	StaleDropped   uint64 // frames/acks from a previous traversal's epoch
+	AcksSent       uint64 // cumulative acks shipped
 }
 
 // AggregationRatio returns records per shipped envelope — the direct
@@ -59,6 +68,12 @@ type metrics struct {
 	flushes       *obs.PerRank
 	decodeErrors  *obs.PerRank
 	envelopeBytes *obs.Histogram
+
+	retransmits    *obs.PerRank
+	dupDropped     *obs.PerRank
+	corruptDropped *obs.PerRank
+	staleDropped   *obs.PerRank
+	acksSent       *obs.PerRank
 }
 
 func newMetrics(r *rt.Rank) metrics {
@@ -74,6 +89,12 @@ func newMetrics(r *rt.Rank) metrics {
 		flushes:       reg.PerRank(obs.MBFlushes, p),
 		decodeErrors:  reg.PerRank(obs.MBDecodeErrors, p),
 		envelopeBytes: reg.Histogram(obs.MBEnvelopeBytes),
+
+		retransmits:    reg.PerRank(obs.MBRetransmits, p),
+		dupDropped:     reg.PerRank(obs.MBDupDropped, p),
+		corruptDropped: reg.PerRank(obs.MBCorruptDropped, p),
+		staleDropped:   reg.PerRank(obs.MBStaleDropped, p),
+		acksSent:       reg.PerRank(obs.MBAcksSent, p),
 	}
 }
 
@@ -114,6 +135,13 @@ type Box struct {
 	stats      Stats
 	met        metrics
 	inFlush    bool // inside FlushAll (attributes shipments to MBFlushes)
+
+	// rel, when non-nil, runs the seq/ack/retransmit protocol of reliable.go
+	// under every envelope; wantRel and the RTO bounds stage the WithReliable
+	// option until New can mint the box epoch.
+	rel             *reliable
+	wantRel         bool
+	rtoBase, rtoMax time.Duration
 }
 
 // Record is one delivered visitor record. The payload is an exclusive copy
@@ -141,6 +169,23 @@ func WithFlows(fc FlowCounter) Option {
 	return func(b *Box) { b.flows = fc }
 }
 
+// WithReliable enables sequence-numbered, acked, checksummed envelope
+// delivery with capped exponential-backoff retransmission (see reliable.go).
+// Must be set uniformly across all ranks of a machine — mailboxes are
+// created collectively, and a reliable box speaks a framed wire format a
+// raw box would reject as decode errors.
+func WithReliable() Option {
+	return func(b *Box) { b.wantRel = true }
+}
+
+// WithRTO overrides the reliable layer's retransmission-timeout bounds: the
+// first retransmit of a frame fires after base, each further one doubles the
+// backoff up to max. Zero values keep DefaultRTOBase/DefaultRTOMax. Only
+// meaningful together with WithReliable.
+func WithRTO(base, max time.Duration) Option {
+	return func(b *Box) { b.rtoBase, b.rtoMax = base, max }
+}
+
 // New returns a mailbox for the rank using the given routing topology. The
 // detector, if non-nil, is fed with end-to-end record counts: one send at the
 // originating rank, one receive at the final destination (records parked in
@@ -161,8 +206,17 @@ func New(r *rt.Rank, topo Topology, det *termination.Detector, opts ...Option) *
 	for _, o := range opts {
 		o(b)
 	}
+	if b.wantRel {
+		// Minting the epoch advances the rank's machine-level generation
+		// counter; done collectively (every rank constructs its box), all
+		// ranks observe the same epoch for this traversal.
+		b.rel = newReliable(r, b, b.rtoBase, b.rtoMax)
+	}
 	return b
 }
+
+// Reliable reports whether this box runs the reliable-delivery protocol.
+func (b *Box) Reliable() bool { return b.rel != nil }
 
 // Send routes one tag-0 record toward dest, buffering it for aggregation.
 // The record bytes are copied; the caller may reuse its buffer.
@@ -212,9 +266,16 @@ func (b *Box) enqueue(dest int, tag uint32, record []byte) {
 	b.buffers[hop] = buf
 }
 
-// ship sends one aggregated envelope to the next hop.
+// ship sends one aggregated envelope to the next hop. Stats count logical
+// envelopes: a reliable box's retransmissions of the same envelope are
+// accounted under Stats.Retransmits, not here, so envelope conservation
+// (Σsent == Σrecv at quiescence) holds under faults too.
 func (b *Box) ship(hop int, buf []byte) {
-	b.r.Send(hop, rt.KindMailbox, 0, buf)
+	if b.rel != nil {
+		b.rel.send(hop, buf)
+	} else {
+		b.r.Send(hop, rt.KindMailbox, 0, buf)
+	}
 	b.stats.EnvelopesSent++
 	b.met.envelopesSent.Inc(b.met.rank)
 	b.met.envelopeBytes.Observe(uint64(len(buf)))
@@ -244,6 +305,33 @@ func (b *Box) deliver(tag uint32, record []byte) {
 func (b *Box) decodeError() {
 	b.stats.DecodeErrors++
 	b.met.decodeErrors.Inc(b.met.rank)
+}
+
+// Reliable-protocol accounting (invoked from reliable.go).
+
+func (b *Box) retransmitted() {
+	b.stats.Retransmits++
+	b.met.retransmits.Inc(b.met.rank)
+}
+
+func (b *Box) dupDropped() {
+	b.stats.DupDropped++
+	b.met.dupDropped.Inc(b.met.rank)
+}
+
+func (b *Box) corruptDropped() {
+	b.stats.CorruptDropped++
+	b.met.corruptDropped.Inc(b.met.rank)
+}
+
+func (b *Box) staleDropped() {
+	b.stats.StaleDropped++
+	b.met.staleDropped.Inc(b.met.rank)
+}
+
+func (b *Box) ackSent() {
+	b.stats.AcksSent++
+	b.met.acksSent.Inc(b.met.rank)
 }
 
 // decodeEnvelope walks one envelope's framed records, delivering records
@@ -286,10 +374,20 @@ func (b *Box) decodeEnvelope(p []byte) {
 // the returned slice and every Record.Payload in it (payloads are exclusive
 // copies; see Record).
 func (b *Box) Poll() []Record {
-	for _, m := range b.r.Recv(rt.KindMailbox) {
-		b.stats.EnvelopesRecv++
-		b.met.envelopesRecv.Inc(b.met.rank)
-		b.decodeEnvelope(m.Payload)
+	if b.rel != nil {
+		// Reliable path: the protocol layer validates, dedups, orders, acks,
+		// and drives retransmission; only accepted envelopes reach decode.
+		for _, payload := range b.rel.poll() {
+			b.stats.EnvelopesRecv++
+			b.met.envelopesRecv.Inc(b.met.rank)
+			b.decodeEnvelope(payload)
+		}
+	} else {
+		for _, m := range b.r.Recv(rt.KindMailbox) {
+			b.stats.EnvelopesRecv++
+			b.met.envelopesRecv.Inc(b.met.rank)
+			b.decodeEnvelope(m.Payload)
+		}
 	}
 	out := b.delivered
 	b.delivered = nil
@@ -343,14 +441,16 @@ func (b *Box) FlushAll() {
 }
 
 // Idle reports whether this rank's mailbox holds no buffered outbound
-// records.
+// records — and, on a reliable box, no unacknowledged frames: a rank stays
+// non-idle (and keeps retransmitting via Poll) until its deliveries are
+// confirmed, so quiescence implies the message plane is truly drained.
 func (b *Box) Idle() bool {
 	for _, buf := range b.buffers {
 		if len(buf) > 0 {
 			return false
 		}
 	}
-	return true
+	return b.rel == nil || b.rel.idle()
 }
 
 // Stats returns a snapshot of this rank's mailbox counters.

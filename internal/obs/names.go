@@ -42,6 +42,17 @@ const (
 	// out, the direct measure of aggregation quality per topology.
 	MBEnvelopeBytes = "mailbox.envelope_bytes"
 
+	// Reliable-delivery counters (mailbox.WithReliable): the recovery half
+	// of the fault plane. Retransmits counts envelope re-sends after an RTO
+	// expiry; the *Dropped counters classify inbound envelopes discarded by
+	// the reliability layer (already-delivered duplicates, checksum
+	// failures, and stale epochs from a previous traversal's channels).
+	MBRetransmits    = "mailbox.retransmits"
+	MBDupDropped     = "mailbox.dup_dropped"
+	MBCorruptDropped = "mailbox.corrupt_dropped"
+	MBStaleDropped   = "mailbox.stale_dropped"
+	MBAcksSent       = "mailbox.acks_sent"
+
 	// Termination detection (internal/termination).
 	TermWaves   = "term.waves"   // completed quiescence-detection waves
 	TermRetests = "term.retests" // waves that completed without detecting quiescence
@@ -72,7 +83,20 @@ const (
 	// EngineQueryNS is the histogram of end-to-end query latency
 	// (submit→completion), nanoseconds.
 	EngineQueryNS = "engine.query_ns"
+
+	// EngineDeadlineExpired counts queries cancelled by their own deadline
+	// (a subset of EngineCancelled); EngineResumed counts queries admitted
+	// with a checkpoint from a previous attempt (the recovery path).
+	EngineDeadlineExpired = "engine.deadline_expired"
+	EngineResumed         = "engine.resumed"
 )
+
+// FaultInjected returns the injected-fault counter name for a fault kind
+// ("drop", "duplicate", "delay", "reorder", "corrupt", "stall",
+// "device_read_error", "device_torn_read", "device_torn_write"). Every fault
+// the internal/faults injector actually fires is counted under one of these,
+// so experiments can report fault rates alongside communication profiles.
+func FaultInjected(kind string) string { return "faults.injected." + kind }
 
 // RTKindMsgs returns the per-kind transport message counter name.
 func RTKindMsgs(kind string) string { return "rt.msgs." + kind }

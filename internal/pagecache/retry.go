@@ -1,0 +1,100 @@
+package pagecache
+
+// RetryDevice: the recovery half of the device fault model. NAND reads fail
+// transiently in practice (and deterministically under internal/faults'
+// FaultyDevice); the page cache treats any failed load as fatal for that
+// read, so the retry policy lives below it — a failed or torn read is
+// re-attempted against the underlying device before the cache ever sees it.
+
+import (
+	"errors"
+	"sync/atomic"
+	"time"
+)
+
+// transientError is implemented by errors that are worth retrying: the same
+// read re-issued may succeed (injected read faults, NAND soft errors).
+// faults.ReadError implements it.
+type transientError interface{ Transient() bool }
+
+// IsTransient reports whether err (or anything it wraps) marks itself as a
+// transient, retryable device failure.
+func IsTransient(err error) bool {
+	var t transientError
+	return errors.As(err, &t) && t.Transient()
+}
+
+// DefaultReadAttempts bounds RetryDevice's attempts per read. Injected
+// transient faults are independent per attempt, so surviving probability
+// decays geometrically; persistent failures still surface after the cap
+// (the fault model is fail-stop for non-transient device errors).
+const DefaultReadAttempts = 16
+
+// RetryDevice wraps a BlockDevice, re-issuing reads that fail with a
+// transient error or return a torn (short, mid-device) result. Non-transient
+// errors propagate immediately.
+type RetryDevice struct {
+	under    BlockDevice
+	attempts int
+	backoff  time.Duration // sleep between attempts, doubling (0 = none)
+
+	retries   atomic.Uint64
+	exhausted atomic.Uint64
+}
+
+var _ BlockDevice = (*RetryDevice)(nil)
+
+// NewRetryDevice wraps under with up to attempts tries per read
+// (<= 0 selects DefaultReadAttempts) and an optional doubling backoff
+// between tries (0 = immediate; simulated devices already charge their
+// service latency per attempt).
+func NewRetryDevice(under BlockDevice, attempts int, backoff time.Duration) *RetryDevice {
+	if attempts <= 0 {
+		attempts = DefaultReadAttempts
+	}
+	return &RetryDevice{under: under, attempts: attempts, backoff: backoff}
+}
+
+// ReadAt retries transient failures and torn reads, returning the first
+// clean result. After the attempt budget it returns the last outcome as-is
+// (the cache above converts a still-short read into io.ErrUnexpectedEOF).
+func (d *RetryDevice) ReadAt(p []byte, off int64) (int, error) {
+	delay := d.backoff
+	var n int
+	var err error
+	for a := 0; a < d.attempts; a++ {
+		if a > 0 {
+			d.retries.Add(1)
+			if delay > 0 {
+				time.Sleep(delay)
+				delay *= 2
+			}
+		}
+		n, err = d.under.ReadAt(p, off)
+		if err != nil {
+			if IsTransient(err) {
+				continue
+			}
+			return n, err // permanent: fail-stop, no retry
+		}
+		if n < len(p) && off+int64(n) < d.under.Size() {
+			continue // torn read: short mid-device, retry
+		}
+		return n, nil
+	}
+	d.exhausted.Add(1)
+	return n, err
+}
+
+// Size returns the underlying device capacity.
+func (d *RetryDevice) Size() int64 { return d.under.Size() }
+
+// Close closes the underlying device.
+func (d *RetryDevice) Close() error { return d.under.Close() }
+
+// Retries returns the number of re-issued read attempts.
+func (d *RetryDevice) Retries() uint64 { return d.retries.Load() }
+
+// Exhausted returns the number of reads that consumed the whole attempt
+// budget without a clean result.
+func (d *RetryDevice) Exhausted() uint64 { return d.exhausted.Load() }

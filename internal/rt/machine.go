@@ -56,7 +56,8 @@ type Msg struct {
 	Tag     uint32 // collective sequence / subsystem-defined tag
 	Payload []byte
 
-	sentAt int64 // UnixNano at send, for the transport latency histogram
+	sentAt    int64 // UnixNano at send, for the transport latency histogram
+	deliverAt int64 // UnixNano at which the message becomes drainable
 }
 
 // inbox is a rank's receive queue. Padded to a cache line multiple to avoid
@@ -91,6 +92,19 @@ type Machine struct {
 	// default) keeps the transport instantaneous. See SetSimLatency.
 	simLatency atomic.Int64
 
+	// transport, when set, injects faults at the send/drain choke points
+	// (see transport.go). pairSeqs hold the per-(from,to,kind) monotone
+	// message counters that give every message a deterministic identity.
+	transport atomic.Pointer[Transport]
+	seqOnce   sync.Once
+	pairSeqs  []atomic.Uint64
+
+	// boxEpochs are per-rank monotone generation counters handed to routed
+	// mailboxes (Rank.NextBoxEpoch): boxes created collectively across ranks
+	// observe the same epoch, which lets a reliable mailbox discard stale
+	// retransmissions that outlive the traversal that sent them.
+	boxEpochs []atomic.Uint32
+
 	reg       *obs.Registry
 	msgsSent  *obs.PerRank // per source rank
 	bytesSent *obs.PerRank
@@ -108,6 +122,7 @@ func NewMachine(p int) *Machine {
 	m := &Machine{
 		p:         p,
 		inboxes:   make([]inbox, p),
+		boxEpochs: make([]atomic.Uint32, p),
 		reg:       reg,
 		msgsSent:  reg.PerRank(obs.RTMsgs, p),
 		bytesSent: reg.PerRank(obs.RTBytes, p),
@@ -167,16 +182,43 @@ func (m *Machine) Run(fn func(*Rank)) {
 	}
 }
 
-// send delivers a message to the destination inbox. Never blocks.
+// send delivers a message to the destination inbox. Never blocks. With a
+// fault-injecting Transport installed, the message may be dropped,
+// duplicated, delayed, or bit-flipped first; the injector accounts every
+// such decision in the machine's obs registry.
 func (m *Machine) send(msg Msg) {
 	if msg.To < 0 || msg.To >= m.p {
 		panic(fmt.Sprintf("rt: send to invalid rank %d (size %d)", msg.To, m.p))
 	}
-	msg.sentAt = time.Now().UnixNano()
-	ib := &m.inboxes[msg.To]
-	ib.mu.Lock()
-	ib.q = append(ib.q, msg)
-	ib.mu.Unlock()
+	now := time.Now().UnixNano()
+	msg.sentAt = now
+	msg.deliverAt = now + m.simLatency.Load()
+	copies := 1
+	if tp := m.transportHook(); tp != nil {
+		seq := m.pairSeq(msg.From, msg.To, msg.Kind)
+		f := tp.Fate(msg.From, msg.To, msg.Kind, seq, len(msg.Payload))
+		switch {
+		case f.Drop:
+			copies = 0
+		case f.Duplicate:
+			copies = 2
+		}
+		msg.deliverAt += int64(f.Delay)
+		if f.Corrupt {
+			msg.Payload = corruptCopy(msg.Payload, f.CorruptBit)
+		}
+	}
+	if copies > 0 {
+		ib := &m.inboxes[msg.To]
+		ib.mu.Lock()
+		for c := 0; c < copies; c++ {
+			ib.q = append(ib.q, msg)
+		}
+		ib.mu.Unlock()
+	}
+	// Counters track send attempts (logical transport load): a dropped
+	// message still consumed the sender's bandwidth; the fault itself is
+	// counted under faults.injected.* by the injector.
 	m.msgsSent.Inc(msg.From)
 	m.bytesSent.Add(msg.From, uint64(len(msg.Payload)))
 	m.kindMsgs[msg.Kind].Inc()
@@ -184,27 +226,50 @@ func (m *Machine) send(msg Msg) {
 }
 
 // drain removes and returns the deliverable queued messages for rank r,
-// recording each message's send→drain latency. With a simulated transport
-// latency configured, only the prefix of the queue whose delay has elapsed
-// is released (prefix release preserves the FIFO non-overtaking guarantee).
+// recording each message's send→drain latency. Only messages whose
+// deliverAt horizon has passed are released. On the perfect transport all
+// messages of a pair share the same latency, so a prefix scan releases them
+// in FIFO order; a fault-injecting transport assigns unequal delays, so the
+// whole queue is scanned and ready messages are compacted out — the
+// overtaking this permits is the injected reorder fault. A stalled rank
+// drains nothing until its stall window passes.
 func (m *Machine) drain(r int, into []Msg) []Msg {
 	first := len(into)
-	delay := m.simLatency.Load()
+	tp := m.transportHook()
+	if tp != nil && tp.Stall(r) > 0 {
+		return into
+	}
 	ib := &m.inboxes[r]
 	ib.mu.Lock()
 	if n := len(ib.q); n > 0 {
-		ready := n
-		if delay > 0 {
-			horizon := time.Now().UnixNano() - delay
-			ready = 0
-			for ready < n && ib.q[ready].sentAt <= horizon {
+		now := time.Now().UnixNano()
+		if tp == nil {
+			// Perfect transport: uniform latency, release the ready prefix.
+			ready := 0
+			for ready < n && ib.q[ready].deliverAt <= now {
 				ready++
 			}
-		}
-		if ready > 0 {
-			into = append(into, ib.q[:ready]...)
-			rest := copy(ib.q, ib.q[ready:])
-			ib.q = ib.q[:rest]
+			if ready > 0 {
+				into = append(into, ib.q[:ready]...)
+				rest := copy(ib.q, ib.q[ready:])
+				ib.q = ib.q[:rest]
+			}
+		} else {
+			// Faulty transport: per-message delays, release every ready
+			// message and compact the rest in place (stable, so messages
+			// with equal horizons keep their relative order).
+			kept := ib.q[:0]
+			for _, msg := range ib.q {
+				if msg.deliverAt <= now {
+					into = append(into, msg)
+				} else {
+					kept = append(kept, msg)
+				}
+			}
+			for i := len(kept); i < n; i++ {
+				ib.q[i] = Msg{}
+			}
+			ib.q = kept
 		}
 	}
 	ib.mu.Unlock()

@@ -36,6 +36,14 @@ func (r *Rank) Machine() *Machine { return r.m }
 // reports into one coherent data source.
 func (r *Rank) Obs() *obs.Registry { return r.m.reg }
 
+// NextBoxEpoch returns this rank's next mailbox generation number. The
+// counter lives on the machine (it survives across Run phases), and every
+// rank advances it once per routed-mailbox construction; since mailboxes are
+// created collectively, all ranks observe the same epoch for the same
+// traversal, letting a reliable mailbox reject stale retransmissions from a
+// previous traversal's channels.
+func (r *Rank) NextBoxEpoch() uint32 { return r.m.boxEpochs[r.rank].Add(1) }
+
 // Send posts a message to rank `to`. It never blocks.
 func (r *Rank) Send(to int, kind uint8, tag uint32, payload []byte) {
 	r.m.send(Msg{From: r.rank, To: to, Kind: kind, Tag: tag, Payload: payload})

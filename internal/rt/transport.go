@@ -1,0 +1,101 @@
+package rt
+
+// Transport fault interposition: the first of the three fault-plane choke
+// points (rt transport, mailbox reliability, pagecache device). A Transport
+// installed with Machine.SetTransport is consulted once per Send and once per
+// inbox drain, letting internal/faults inject deterministic message drops,
+// duplicates, delays, payload corruption, and rank stall windows without the
+// message plane above knowing anything about fault schedules.
+//
+// The perfect transport (no Transport installed) keeps the exact semantics
+// the package documents: unbounded asynchronous delivery with per-pair FIFO
+// ordering. A faulty transport deliberately weakens those guarantees —
+// messages may be lost, repeated, delayed past later messages (reordering),
+// or bit-flipped — which is precisely the environment the mailbox's
+// sequence-numbered, acked, checksummed reliable mode exists to survive.
+
+import (
+	"sync/atomic"
+	"time"
+)
+
+// Fate is a Transport's verdict for one message. The zero value delivers the
+// message normally.
+type Fate struct {
+	// Drop discards the message: it never reaches the destination inbox.
+	Drop bool
+	// Duplicate enqueues the message twice (both copies subject to Delay).
+	Duplicate bool
+	// Delay postpones the message's visibility at the receiver beyond the
+	// machine's simulated latency. Unequal delays across messages of one
+	// sender→receiver pair break the FIFO non-overtaking guarantee — that is
+	// the reorder fault.
+	Delay time.Duration
+	// Corrupt flips one bit of a copy of the payload (the original buffer is
+	// never mutated: senders may retain references for retransmission).
+	Corrupt bool
+	// CorruptBit selects the flipped bit, taken modulo the payload bit
+	// length. Only meaningful when Corrupt is set.
+	CorruptBit uint64
+}
+
+// Transport decides the fate of transported messages and the stall state of
+// ranks. Implementations must be safe for concurrent use from every rank
+// goroutine, and — to keep fault schedules reproducible — should derive each
+// verdict as a pure function of the identifying arguments (the per-pair seq
+// makes that possible regardless of goroutine interleaving).
+type Transport interface {
+	// Fate is consulted once per Send. seq is the index of this message in
+	// the (from, to, kind) stream: the transport maintains one monotone
+	// counter per directed pair per kind, so the n-th mailbox envelope from
+	// rank 2 to rank 5 always presents the same identity to the injector no
+	// matter how goroutines interleave.
+	Fate(from, to int, kind uint8, seq uint64, payloadLen int) Fate
+
+	// Stall reports how much longer rank r's inbound delivery stays frozen
+	// (0 = not stalled). While stalled, the rank drains nothing — modeling a
+	// straggler or temporarily unresponsive process. Its queued messages are
+	// released when the window passes.
+	Stall(rank int) time.Duration
+}
+
+// SetTransport installs (or, with nil, removes) a fault-injecting transport.
+// Install before Run for reproducible schedules; the hook itself is safe to
+// swap at any time.
+func (m *Machine) SetTransport(t Transport) {
+	if t == nil {
+		m.transport.Store(nil)
+		return
+	}
+	m.seqOnce.Do(func() {
+		m.pairSeqs = make([]atomic.Uint64, m.p*m.p*int(numKinds))
+	})
+	m.transport.Store(&t)
+}
+
+// transportHook returns the installed Transport, or nil.
+func (m *Machine) transportHook() Transport {
+	if p := m.transport.Load(); p != nil {
+		return *p
+	}
+	return nil
+}
+
+// pairSeq returns the next per-(from,to,kind) sequence number. Only called
+// with a transport installed (pairSeqs allocated by SetTransport).
+func (m *Machine) pairSeq(from, to int, kind uint8) uint64 {
+	i := (from*m.p+to)*int(numKinds) + int(kind)
+	return m.pairSeqs[i].Add(1) - 1
+}
+
+// corruptCopy returns payload with one bit flipped, never mutating the
+// original backing array.
+func corruptCopy(payload []byte, bit uint64) []byte {
+	if len(payload) == 0 {
+		return payload
+	}
+	p := append([]byte(nil), payload...)
+	bit %= uint64(len(p)) * 8
+	p[bit/8] ^= 1 << (bit % 8)
+	return p
+}

@@ -1,0 +1,173 @@
+package termination
+
+// Adversarial-schedule tests: the §V double-wave detector must tolerate
+// arbitrary delay and reordering of its own control messages (waves are
+// versioned and counters monotone, so stale control frames are harmless) —
+// but it is NOT designed to survive control-plane loss, which is why the
+// fault plane's drop/duplicate/corrupt rules are restricted to the mailbox
+// kind everywhere else in the suite.
+
+import (
+	"encoding/binary"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"havoqgt/internal/faults"
+	"havoqgt/internal/rt"
+)
+
+// delayReorderPlan delays and reorders every message kind — control waves
+// included — without ever losing one.
+func delayReorderPlan(seed uint64) faults.Plan {
+	return faults.Plan{
+		Seed: seed,
+		Msgs: []faults.MsgRule{{
+			From: faults.Wildcard, To: faults.Wildcard, Kind: faults.Wildcard,
+			Delay: 0.5, DelayMin: 50 * time.Microsecond, DelayMax: 500 * time.Microsecond,
+			Reorder: 0.5,
+		}},
+	}
+}
+
+// TestDetectionSurvivesControlDelayReorder reruns the message-storm scenario
+// with heavy delay/reorder on every plane: detection must still fire on all
+// ranks (liveness) and only after the global send/receive counts balanced
+// (safety, checked from the detectors' own counters after the run).
+func TestDetectionSurvivesControlDelayReorder(t *testing.T) {
+	p, perRank := 4, 100
+	if testing.Short() {
+		p, perRank = 3, 30
+	}
+	m := rt.NewMachine(p)
+	inj := faults.New(delayReorderPlan(0xad1701), m.Obs())
+	m.SetTransport(inj)
+	inj.Arm()
+
+	var sent, recv atomic.Uint64
+	m.Run(func(r *rt.Rank) {
+		d := New(r)
+		n := 0
+		buf := make([]byte, 8)
+		deadline := time.Now().Add(30 * time.Second)
+		for {
+			if n < perRank {
+				dest := (r.Rank() + n) % p
+				binary.LittleEndian.PutUint64(buf, uint64(n))
+				r.Send(dest, rt.KindMailbox, 0, append([]byte(nil), buf...))
+				d.CountSent(1)
+				n++
+			}
+			for range r.Recv(rt.KindMailbox) {
+				d.CountReceived(1)
+			}
+			if d.Pump(n == perRank) {
+				break
+			}
+			if time.Now().After(deadline) {
+				panic("no termination under delay/reorder")
+			}
+		}
+		sent.Add(d.Sent())
+		recv.Add(d.Received())
+	})
+	if sent.Load() != recv.Load() {
+		t.Fatalf("premature quiescence: global sent %d != received %d under reordering",
+			sent.Load(), recv.Load())
+	}
+	reg := m.Obs()
+	if reg.Counter("faults.injected.delay").Value() == 0 &&
+		reg.Counter("faults.injected.reorder").Value() == 0 {
+		t.Fatal("no delay/reorder faults injected; adversary inert, test proved nothing")
+	}
+}
+
+// TestMuxNoCrossTalkUnderReorder runs two detector instances per rank under
+// control-plane reordering: a quiet query must reach quiescence while a
+// loaded query with an in-flight imbalance must NOT — reordered control
+// frames of one instance must never leak verdicts into the other.
+func TestMuxNoCrossTalkUnderReorder(t *testing.T) {
+	const p = 4
+	m := rt.NewMachine(p)
+	inj := faults.New(delayReorderPlan(0xad1702), m.Obs())
+	m.SetTransport(inj)
+	inj.Arm()
+
+	m.Run(func(r *rt.Rank) {
+		mux := NewMux(r)
+		loaded := mux.Detector(1)
+		quiet := mux.Detector(2)
+		if r.Rank() == 0 {
+			loaded.CountSent(1) // one message forever in flight (until below)
+		}
+
+		// The quiet instance quiesces despite instance 1's imbalance and the
+		// reordered control traffic of both.
+		deadline := time.Now().Add(30 * time.Second)
+		for !quiet.Pump(true) {
+			if loaded.Pump(true) {
+				panic("loaded detector quiesced with a message in flight (cross-talk?)")
+			}
+			if time.Now().After(deadline) {
+				panic("quiet detector starved by sibling instance")
+			}
+		}
+		// Long adversarial window: the loaded instance must keep refusing.
+		for i := 0; i < 2000; i++ {
+			if loaded.Pump(true) {
+				panic("loaded detector quiesced with a message in flight")
+			}
+		}
+
+		// Deliver the outstanding message; now instance 1 must finish too.
+		if r.Rank() == 1 {
+			loaded.CountReceived(1)
+		}
+		for !loaded.Pump(true) {
+			if time.Now().After(deadline) {
+				panic("loaded detector never quiesced after balance")
+			}
+		}
+	})
+}
+
+// TestMuxManyInstancesUnderDelay quiesces many interleaved detector
+// instances, released in rank-dependent orders, under delayed control
+// traffic — the regime the multi-query engine puts the Mux in.
+func TestMuxManyInstancesUnderDelay(t *testing.T) {
+	const p, instances = 3, 8
+	m := rt.NewMachine(p)
+	inj := faults.New(delayReorderPlan(0xad1703), m.Obs())
+	m.SetTransport(inj)
+	inj.Arm()
+
+	m.Run(func(r *rt.Rank) {
+		mux := NewMux(r)
+		ds := make([]*Detector, instances)
+		done := make([]bool, instances)
+		for i := range ds {
+			ds[i] = mux.Detector(uint32(i + 1))
+		}
+		remaining := instances
+		deadline := time.Now().Add(30 * time.Second)
+		for remaining > 0 {
+			// Pump in a rank-dependent rotation so instances interleave
+			// differently on every rank (every instance is still pumped on
+			// every rank — a wave needs all ranks to pass through).
+			for k := 0; k < instances; k++ {
+				i := (k + r.Rank()*3) % instances
+				if done[i] {
+					continue
+				}
+				if ds[i].Pump(true) {
+					done[i] = true
+					mux.Release(uint32(i + 1))
+					remaining--
+				}
+			}
+			if time.Now().After(deadline) {
+				panic("mux instances starved under delay")
+			}
+		}
+	})
+}
