@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test race lint vet fmt fmt-check staticcheck fuzz-smoke chaos chaos-short bench experiments serve-smoke clean
+.PHONY: all build test race lint vet fmt fmt-check staticcheck fuzz-smoke chaos chaos-short bench bench-smoke experiments serve-smoke clean
 
 STATICCHECK ?= staticcheck
 
@@ -74,6 +74,16 @@ chaos-short:
 
 bench:
 	$(GO) test -bench=. -benchtime=1x -run=^$$ .
+
+# Allocation-budget smoke (BENCH_msgplane.json, DESIGN.md §9): the
+# TestAllocBudget* suite pins the message-plane hot paths to their
+# steady-state allocation budgets (loopback and decode/deliver at ~0
+# allocs/cycle, routed duplex well under the pre-pooling floor), and the
+# percentile tests pin the nearest-rank quantile fix. Fast enough to run
+# on every push; a regression here means pooling or arena delivery broke.
+bench-smoke:
+	$(GO) test -count=1 -run 'TestAllocBudget' -v ./internal/mailbox
+	$(GO) test -count=1 -run 'TestPercentile' ./cmd/havoqd
 
 # Regenerate every figure/table at laptop scale; per-phase obs communication
 # profiles land in obs_profiles.json (see -obs-json/-obs-csv flags).

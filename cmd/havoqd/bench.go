@@ -24,6 +24,7 @@ package main
 import (
 	"encoding/json"
 	"fmt"
+	"math"
 	"os"
 	"sort"
 	"sync"
@@ -134,12 +135,25 @@ func benchWorkload(n uint64, queries int) []benchQuery {
 	return w
 }
 
+// percentile returns the p-th percentile of a sorted latency sample in
+// milliseconds, using the nearest-rank definition: the smallest value with
+// at least a p fraction of the sample at or below it (rank ⌈p·n⌉, clamped
+// to [1, n]). The previous truncating-index formula int(p*(n-1))
+// systematically under-reported tail percentiles — e.g. p99 over 48 samples
+// indexed element 46 of 47 instead of the maximum.
 func percentile(sorted []time.Duration, p float64) float64 {
-	if len(sorted) == 0 {
+	n := len(sorted)
+	if n == 0 {
 		return 0
 	}
-	i := int(p * float64(len(sorted)-1))
-	return float64(sorted[i].Microseconds()) / 1e3
+	r := int(math.Ceil(p * float64(n)))
+	if r < 1 {
+		r = 1
+	}
+	if r > n {
+		r = n
+	}
+	return float64(sorted[r-1].Microseconds()) / 1e3
 }
 
 func summarize(lats []time.Duration, wall time.Duration, inFlight int, hash uint64) benchPhase {

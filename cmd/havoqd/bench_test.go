@@ -1,0 +1,81 @@
+package main
+
+import (
+	"testing"
+	"time"
+)
+
+// ms builds a sorted latency sample from millisecond values.
+func ms(vals ...int) []time.Duration {
+	out := make([]time.Duration, len(vals))
+	for i, v := range vals {
+		out[i] = time.Duration(v) * time.Millisecond
+	}
+	return out
+}
+
+// TestPercentileNearestRank pins the nearest-rank definition on known small
+// distributions: the p-th percentile is the smallest sample value with at
+// least a p fraction of the sample at or below it.
+func TestPercentileNearestRank(t *testing.T) {
+	cases := []struct {
+		name   string
+		sorted []time.Duration
+		p      float64
+		want   float64 // milliseconds
+	}{
+		{"empty", nil, 0.5, 0},
+		{"single p50", ms(7), 0.50, 7},
+		{"single p99", ms(7), 0.99, 7},
+		// 1..10: p50 -> ceil(5.0)=rank 5 -> 5; p90 -> rank 9 -> 9;
+		// p99 -> ceil(9.9)=rank 10 -> 10 (the max, not element 8).
+		{"ten p50", ms(1, 2, 3, 4, 5, 6, 7, 8, 9, 10), 0.50, 5},
+		{"ten p90", ms(1, 2, 3, 4, 5, 6, 7, 8, 9, 10), 0.90, 9},
+		{"ten p99", ms(1, 2, 3, 4, 5, 6, 7, 8, 9, 10), 0.99, 10},
+		{"ten p100", ms(1, 2, 3, 4, 5, 6, 7, 8, 9, 10), 1.0, 10},
+		// 4 samples: p25 -> rank 1 -> min; p26 -> rank ceil(1.04)=2.
+		{"four p25", ms(10, 20, 30, 40), 0.25, 10},
+		{"four p26", ms(10, 20, 30, 40), 0.26, 20},
+		{"four p0", ms(10, 20, 30, 40), 0.0, 10}, // clamped to rank 1
+		// The regression the fix exists for: p99 over a 48-query workload
+		// must report the worst sample. ceil(0.99*48)=48 -> max. The old
+		// truncating formula int(0.99*47)=46 returned the 47th value.
+		{"fortyeight p99 hits max", func() []time.Duration {
+			s := make([]time.Duration, 48)
+			for i := range s {
+				s[i] = time.Duration(i+1) * time.Millisecond
+			}
+			return s
+		}(), 0.99, 48},
+	}
+	for _, tc := range cases {
+		if got := percentile(tc.sorted, tc.p); got != tc.want {
+			t.Errorf("%s: percentile(p=%v) = %v ms, want %v ms", tc.name, tc.p, got, tc.want)
+		}
+	}
+}
+
+// TestPercentileMonotone checks that percentiles never decrease in p and
+// never exceed the sample maximum — the properties the truncating index
+// violated at the tail.
+func TestPercentileMonotone(t *testing.T) {
+	sorted := make([]time.Duration, 0, 97)
+	for i := 0; i < 97; i++ {
+		sorted = append(sorted, time.Duration(i*i)*time.Microsecond)
+	}
+	maxMS := float64(sorted[len(sorted)-1].Microseconds()) / 1e3
+	prev := -1.0
+	for p := 0.0; p <= 1.0; p += 0.01 {
+		got := percentile(sorted, p)
+		if got < prev {
+			t.Fatalf("percentile not monotone: p=%v gave %v after %v", p, got, prev)
+		}
+		if got > maxMS {
+			t.Fatalf("percentile(p=%v) = %v exceeds sample max %v", p, got, maxMS)
+		}
+		prev = got
+	}
+	if got := percentile(sorted, 1.0); got != maxMS {
+		t.Fatalf("p100 = %v, want max %v", got, maxMS)
+	}
+}

@@ -225,6 +225,11 @@ func (q *Queue[V]) Push(v V) {
 // partition. A cancelled queue drains the record without applying it — the
 // delivery was already counted toward termination by the mailbox, so the
 // query still quiesces, but no new state changes or pushes happen.
+// receive applies one delivered record. Recycle-epoch handshake with the
+// mailbox's arena delivery (mailbox.Record): rec.Payload is only valid until
+// the next mailbox Poll, and Algorithm.Decode is required to deserialize
+// into a value-typed visitor without retaining the payload slice — every
+// in-tree algorithm does — so nothing here outlives the epoch.
 func (q *Queue[V]) receive(rec mailbox.Record) {
 	q.stats.Received++
 	q.met.received.Inc(q.met.rank)

@@ -158,7 +158,11 @@ func (e *Engine) rankLoop(r *rt.Rank) {
 				rq.run.Deliver(rec)
 			} else {
 				// Start event not replayed yet (quiesced queries cannot
-				// receive: their S==R drained before ID retirement).
+				// receive: their S==R drained before ID retirement). Parking
+				// retains the record past this poll epoch, so the payload —
+				// an arena sub-slice the mailbox reclaims at its next Poll —
+				// must be copied out first (see mailbox.Record).
+				rec.Payload = append([]byte(nil), rec.Payload...)
 				s.pending[rec.Tag] = append(s.pending[rec.Tag], rec)
 			}
 		}

@@ -1,0 +1,6 @@
+//go:build !race
+
+package mailbox
+
+// raceEnabled: see alloc_budget_race_test.go.
+const raceEnabled = false

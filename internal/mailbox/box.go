@@ -9,9 +9,17 @@ import (
 	"havoqgt/internal/termination"
 )
 
-// DefaultFlushBytes is the per-channel aggregation threshold: a channel's
-// buffer is shipped once it holds at least this many payload bytes. Idle
-// ranks flush everything (FlushAll) so aggregation never stalls termination.
+// DefaultFlushBytes is the per-channel aggregation threshold, measured in
+// framed envelope bytes — record payloads PLUS the 12-byte recordHeader each
+// record carries — i.e. exactly the transport message size a shipped buffer
+// produces. A channel's buffer is shipped once the framed bytes reach the
+// threshold (a single record may overshoot it; the whole record still ships
+// in one envelope). Idle ranks flush everything (FlushAll) so aggregation
+// never stalls termination.
+//
+// The threshold deliberately counts framing, not raw payload: the quantity
+// being bounded is the wire/transport unit. WithFlushBytes documents the
+// same semantic, and TestFlushThresholdCountsFramedBytes pins the boundary.
 const DefaultFlushBytes = 4096
 
 // recordHeader is the per-record framing inside an aggregated envelope:
@@ -45,6 +53,14 @@ type Stats struct {
 	CorruptDropped uint64 // frames/acks failing the CRC check
 	StaleDropped   uint64 // frames/acks from a previous traversal's epoch
 	AcksSent       uint64 // cumulative acks shipped
+
+	// Envelope-buffer pool counters (see pool.go / DESIGN.md §9). The pool
+	// hit rate PoolHits/PoolGets measures how close the plane runs to zero
+	// steady-state allocation; PoolBytesRecycled is the capacity returned to
+	// the pool over the Box lifetime.
+	PoolGets          uint64 // requests for a fresh aggregation buffer
+	PoolHits          uint64 // requests served from the free-list
+	PoolBytesRecycled uint64 // buffer capacity accepted back into the pool
 }
 
 // AggregationRatio returns records per shipped envelope — the direct
@@ -69,6 +85,12 @@ type metrics struct {
 	decodeErrors  *obs.PerRank
 	envelopeBytes *obs.Histogram
 
+	poolGets     *obs.PerRank
+	poolHits     *obs.PerRank
+	poolRecycled *obs.PerRank
+	poolFree     *obs.Gauge
+	arenaBytes   *obs.Histogram
+
 	retransmits    *obs.PerRank
 	dupDropped     *obs.PerRank
 	corruptDropped *obs.PerRank
@@ -89,6 +111,12 @@ func newMetrics(r *rt.Rank) metrics {
 		flushes:       reg.PerRank(obs.MBFlushes, p),
 		decodeErrors:  reg.PerRank(obs.MBDecodeErrors, p),
 		envelopeBytes: reg.Histogram(obs.MBEnvelopeBytes),
+
+		poolGets:     reg.PerRank(obs.MBPoolGets, p),
+		poolHits:     reg.PerRank(obs.MBPoolHits, p),
+		poolRecycled: reg.PerRank(obs.MBPoolRecycledBytes, p),
+		poolFree:     reg.Gauge(obs.MBPoolFree),
+		arenaBytes:   reg.Histogram(obs.MBArenaPollBytes),
 
 		retransmits:    reg.PerRank(obs.MBRetransmits, p),
 		dupDropped:     reg.PerRank(obs.MBDupDropped, p),
@@ -131,10 +159,31 @@ type Box struct {
 	flushBytes int
 	buffers    map[int][]byte   // next-hop rank -> pending aggregated records
 	channels   map[int]struct{} // distinct next-hop ranks ever used (Stats.ChannelsUsed)
-	delivered  []Record
 	stats      Stats
 	met        metrics
 	inFlush    bool // inside FlushAll (attributes shipments to MBFlushes)
+
+	// pool is the per-Box free-list of aggregation/envelope buffers
+	// (pool.go). It is fed by consumed inbound envelopes (raw path, exclusive
+	// delivery only) and by aggregation buffers whose records the reliable
+	// layer has copied into a frame; enqueue draws new outbound buffers from
+	// it.
+	pool envPool
+
+	// Arena-backed delivery (pool.go): each poll epoch's delivered record
+	// payloads are batch-copied into one grow-only arena and handed out as
+	// capacity-clamped sub-slices. delivered/arena accumulate the current
+	// epoch; deliveredPrev/arenaPrev hold the previous epoch's (possibly
+	// still referenced by the caller) storage and are reset and reused when
+	// Poll rolls the epoch over.
+	delivered     []Record
+	deliveredPrev []Record
+	arena         []byte
+	arenaPrev     []byte
+
+	// msgScratch is the reusable rt.Msg drain buffer handed to
+	// rt.Rank.RecvInto on the raw path.
+	msgScratch []rt.Msg
 
 	// rel, when non-nil, runs the seq/ack/retransmit protocol of reliable.go
 	// under every envelope; wantRel and the RTO bounds stage the WithReliable
@@ -144,11 +193,16 @@ type Box struct {
 	rtoBase, rtoMax time.Duration
 }
 
-// Record is one delivered visitor record. The payload is an exclusive copy
-// owned by the receiver: it never aliases transport buffers or sibling
-// records, so callers may retain or mutate it freely. Tag is the record
-// namespace stamped at Send time (query ID under the multi-query engine,
-// 0 on the single-traversal path).
+// Record is one delivered visitor record. The payload is a copy carved from
+// the Box's delivery arena: it never aliases transport buffers, and it is
+// capacity-clamped so appending to it reallocates instead of running into a
+// sibling record's bytes. Payloads are valid until the NEXT Poll on the same
+// Box — at that point their arena is reset and reused for a new epoch — so a
+// caller that parks a Record across polls must copy the payload out
+// (append([]byte(nil), p...)). Mutating a payload in place within its epoch
+// is safe and affects no other record. Tag is the record namespace stamped
+// at Send time (query ID under the multi-query engine, 0 on the
+// single-traversal path).
 type Record struct {
 	Tag     uint32
 	Payload []byte
@@ -157,7 +211,10 @@ type Record struct {
 // Option configures a Box.
 type Option func(*Box)
 
-// WithFlushBytes sets the per-channel aggregation threshold.
+// WithFlushBytes sets the per-channel aggregation threshold, measured in
+// framed envelope bytes — record payloads plus the 12-byte per-record
+// header — exactly the size of the transport message a ship produces (see
+// DefaultFlushBytes).
 func WithFlushBytes(n int) Option {
 	return func(b *Box) { b.flushBytes = n }
 }
@@ -246,6 +303,11 @@ func (b *Box) enqueue(dest int, tag uint32, record []byte) {
 	b.stats.Hops++
 	b.met.hops.Inc(b.met.rank)
 	buf := b.buffers[hop]
+	if buf == nil {
+		// A fresh outbound buffer: draw recycled capacity from the pool so
+		// steady-state aggregation reallocates nothing.
+		buf = b.getBuf()
+	}
 	// Count distinct next-hop channels, not buffer (re)creations: a buffer is
 	// nil again after every ship/FlushAll, so keying the count off buffer
 	// existence would inflate ChannelsUsed past Topology.MaxChannels.
@@ -272,7 +334,13 @@ func (b *Box) enqueue(dest int, tag uint32, record []byte) {
 // (Σsent == Σrecv at quiescence) holds under faults too.
 func (b *Box) ship(hop int, buf []byte) {
 	if b.rel != nil {
+		// rel.send copies the framed records into a fresh frame it retains
+		// for retransmission; the aggregation buffer is exclusively ours
+		// again the moment send returns, so it goes straight back to the
+		// pool (safe even under fault injection — this buffer never entered
+		// the transport).
 		b.rel.send(hop, buf)
+		b.recycle(buf)
 	} else {
 		b.r.Send(hop, rt.KindMailbox, 0, buf)
 	}
@@ -286,17 +354,50 @@ func (b *Box) ship(hop int, buf []byte) {
 }
 
 // deliver appends a record addressed to this rank to the delivered queue.
-// The bytes are always copied: delivered payloads must never alias the
-// incoming envelope's backing array (a caller mutating — or appending to —
-// one Record.Payload would silently corrupt sibling records and block
-// transport buffer reuse) nor a loopback caller's reusable buffer.
+// The bytes are always copied — delivered payloads must never alias the
+// incoming envelope's backing array nor a loopback caller's reusable buffer
+// — but instead of one heap allocation per record, the copy lands in the
+// current poll epoch's grow-only arena and the Record gets a
+// capacity-clamped sub-slice (appending to it reallocates rather than
+// running into the next record's bytes). Arena storage is reclaimed at the
+// next-plus-one Poll; see Record for the ownership contract.
 func (b *Box) deliver(tag uint32, record []byte) {
-	record = append(make([]byte, 0, len(record)), record...)
-	b.delivered = append(b.delivered, Record{Tag: tag, Payload: record})
+	off := len(b.arena)
+	b.arena = append(b.arena, record...)
+	end := len(b.arena)
+	b.delivered = append(b.delivered, Record{Tag: tag, Payload: b.arena[off:end:end]})
 	b.stats.RecordsDelivered++
 	b.met.delivered.Inc(b.met.rank)
 	if b.flows != nil {
 		b.flows.CountReceived(tag, 1)
+	}
+}
+
+// getBuf returns an empty aggregation buffer, recycled from the pool when
+// one is available. A pool miss allocates the buffer at full flush-threshold
+// capacity (plus slack for the record that crosses the threshold) in one
+// shot, instead of paying append's doubling chain on every fill.
+func (b *Box) getBuf() []byte {
+	b.stats.PoolGets++
+	b.met.poolGets.Inc(b.met.rank)
+	buf := b.pool.get()
+	if buf == nil {
+		return make([]byte, 0, b.flushBytes+b.flushBytes/4)
+	}
+	b.stats.PoolHits++
+	b.met.poolHits.Inc(b.met.rank)
+	b.met.poolFree.Add(-1)
+	return buf
+}
+
+// recycle offers a consumed buffer to the pool. The caller is responsible
+// for the safety rule in pool.go: the buffer must provably hold its only
+// live reference.
+func (b *Box) recycle(buf []byte) {
+	if b.pool.put(buf) {
+		b.stats.PoolBytesRecycled += uint64(cap(buf))
+		b.met.poolRecycled.Add(b.met.rank, uint64(cap(buf)))
+		b.met.poolFree.Add(1)
 	}
 }
 
@@ -370,27 +471,54 @@ func (b *Box) decodeEnvelope(p []byte) {
 
 // Poll drains incoming envelopes, re-forwards records routed through this
 // rank, and returns the records whose final destination is this rank —
-// including loopback records Sent since the previous Poll. The caller owns
-// the returned slice and every Record.Payload in it (payloads are exclusive
-// copies; see Record).
+// including loopback records Sent since the previous Poll. The returned
+// slice and every Record.Payload in it stay valid until the NEXT Poll on
+// this Box, when their arena epoch is reclaimed; callers that park records
+// longer must copy payloads out (see Record).
 func (b *Box) Poll() []Record {
 	if b.rel != nil {
 		// Reliable path: the protocol layer validates, dedups, orders, acks,
 		// and drives retransmission; only accepted envelopes reach decode.
+		// Frames are never recycled here — the sender retains and
+		// retransmits the very buffer it shipped (see pool.go).
 		for _, payload := range b.rel.poll() {
 			b.stats.EnvelopesRecv++
 			b.met.envelopesRecv.Inc(b.met.rank)
 			b.decodeEnvelope(payload)
 		}
 	} else {
-		for _, m := range b.r.Recv(rt.KindMailbox) {
+		// Raw path: a drained envelope on the perfect transport is the
+		// receiver's exclusive copy (the sender shipped and forgot it), so
+		// after decode its buffer feeds this rank's aggregation pool.
+		// ExclusiveDelivery latches false once a fault-injecting transport
+		// has existed (Duplicate fates alias payloads) and recycling stops.
+		exclusive := b.r.ExclusiveDelivery()
+		b.msgScratch = b.r.RecvInto(rt.KindMailbox, b.msgScratch[:0])
+		for i := range b.msgScratch {
+			m := &b.msgScratch[i]
 			b.stats.EnvelopesRecv++
 			b.met.envelopesRecv.Inc(b.met.rank)
 			b.decodeEnvelope(m.Payload)
+			if exclusive {
+				b.recycle(m.Payload)
+			}
+			m.Payload = nil // drop the reference either way
 		}
 	}
+	if len(b.arena) > 0 {
+		b.met.arenaBytes.Observe(uint64(len(b.arena)))
+	}
+	// Roll the delivery epoch: hand the current batch to the caller, reclaim
+	// the previous batch's storage for the next one. Two epochs alternate so
+	// the caller's records survive exactly one Poll boundary.
 	out := b.delivered
-	b.delivered = nil
+	prev := b.deliveredPrev
+	for i := range prev {
+		prev[i] = Record{}
+	}
+	b.delivered = prev[:0]
+	b.deliveredPrev = out
+	b.arena, b.arenaPrev = b.arenaPrev[:0], b.arena
 	return out
 }
 

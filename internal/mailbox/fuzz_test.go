@@ -61,40 +61,65 @@ func FuzzEnvelopeDecode(f *testing.F) {
 	))
 	f.Fuzz(func(t *testing.T, data []byte) {
 		wantDeliver, wantForward, wantErrs := refDecode(data, fuzzRanks, 0)
-		var recs []mailbox.Record
+		// Two identical rounds through one Box. Round 1 exercises the cold
+		// decode path; between rounds the consumed envelope is recycled into
+		// the box's buffer pool (and scribbled over by the test while
+		// pool-resident), and FlushAll clears the aggregation buffers — so
+		// round 2 decodes into forwarding buffers drawn from poisoned pooled
+		// memory. Both rounds must agree exactly with the reference decoder.
+		rounds := make([][]mailbox.Record, 2)
 		var st mailbox.Stats
 		m := rt.NewMachine(fuzzRanks)
 		m.Run(func(r *rt.Rank) {
 			if r.Rank() != 0 {
 				return
 			}
-			envelope := append([]byte(nil), data...)
-			r.Send(0, rt.KindMailbox, 0, envelope)
 			box := mailbox.New(r, mailbox.NewDirect(fuzzRanks), nil, mailbox.WithFlushBytes(1<<30))
-			recs = box.Poll()
+			for round := 0; round < 2; round++ {
+				envelope := append([]byte(nil), data...)
+				r.Send(0, rt.KindMailbox, 0, envelope)
+				recs := box.Poll()
+				if got := box.PendingRecords(); got != wantForward {
+					t.Fatalf("round %d: PendingRecords = %d, want %d forwarded-in-buffer",
+						round, got, wantForward)
+				}
+				// Delivered payloads must not alias the envelope: scribbling
+				// over it after Poll cannot alter them. (After round 1 this
+				// also poisons the pooled copy of the envelope buffer.)
+				for i := range envelope {
+					envelope[i] = 0xFF
+				}
+				// Records expire at the box's next Poll, so snapshot copies
+				// for the cross-round comparison below.
+				for _, rec := range recs {
+					rounds[round] = append(rounds[round], mailbox.Record{
+						Tag:     rec.Tag,
+						Payload: append([]byte(nil), rec.Payload...),
+					})
+				}
+				// Ship the parked forwards so round 2's enqueues draw fresh
+				// buffers from the (poisoned) pool.
+				box.FlushAll()
+			}
 			st = box.Stats()
-			if got := box.PendingRecords(); got != wantForward {
-				t.Fatalf("PendingRecords = %d, want %d forwarded-in-buffer", got, wantForward)
-			}
-			// Delivered payloads must not alias the envelope: scribbling over
-			// it after Poll cannot alter them.
-			for i := range envelope {
-				envelope[i] = 0xFF
-			}
 		})
-		if len(recs) != len(wantDeliver) {
-			t.Fatalf("delivered %d records, reference decoder says %d", len(recs), len(wantDeliver))
-		}
-		for i, rec := range recs {
-			if !bytes.Equal(rec.Payload, wantDeliver[i]) {
-				t.Fatalf("record %d = %x, want %x (aliasing or framing bug)", i, rec.Payload, wantDeliver[i])
+		for round, recs := range rounds {
+			if len(recs) != len(wantDeliver) {
+				t.Fatalf("round %d: delivered %d records, reference decoder says %d",
+					round, len(recs), len(wantDeliver))
+			}
+			for i, rec := range recs {
+				if !bytes.Equal(rec.Payload, wantDeliver[i]) {
+					t.Fatalf("round %d: record %d = %x, want %x (aliasing or framing bug)",
+						round, i, rec.Payload, wantDeliver[i])
+				}
 			}
 		}
-		if st.RecordsForwarded != uint64(wantForward) {
-			t.Fatalf("RecordsForwarded = %d, want %d", st.RecordsForwarded, wantForward)
+		if st.RecordsForwarded != uint64(2*wantForward) {
+			t.Fatalf("RecordsForwarded = %d, want %d", st.RecordsForwarded, uint64(2*wantForward))
 		}
-		if st.DecodeErrors != wantErrs {
-			t.Fatalf("DecodeErrors = %d, want %d", st.DecodeErrors, wantErrs)
+		if st.DecodeErrors != 2*wantErrs {
+			t.Fatalf("DecodeErrors = %d, want %d", st.DecodeErrors, 2*wantErrs)
 		}
 	})
 }

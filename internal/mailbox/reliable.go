@@ -75,9 +75,17 @@ func frameCRC(frame []byte) uint64 {
 }
 
 // outEnv is one unacknowledged outbound frame.
+//
+// The STRUCT is recycled through the reliable layer's freelist once its
+// frame is acked; the FRAME BYTES never are, in either direction (pool.go's
+// safety rule): the sender ships the very buffer it retains for
+// retransmission, so until the machine is quiescent an acked frame can
+// still be aliased by a delayed retransmission copy sitting in the
+// receiver's inbox — reusing those bytes could morph a stale in-flight copy
+// into a different valid-looking frame.
 type outEnv struct {
 	seq      uint64
-	frame    []byte // exclusive copy, retained until acked
+	frame    []byte // exclusive copy, retained until acked; never pooled
 	lastSend time.Time
 	rto      time.Duration // next retransmit backoff
 }
@@ -94,6 +102,10 @@ type inPeer struct {
 	held     map[uint64][]byte // out-of-order frames parked until the gap fills
 }
 
+// envFreeCap bounds the outEnv struct freelist; retired structs beyond the
+// cap are left for the garbage collector.
+const envFreeCap = 64
+
 // reliable is the per-Box protocol state.
 type reliable struct {
 	r         *rt.Rank
@@ -102,6 +114,22 @@ type reliable struct {
 	base, max time.Duration
 	out       map[int]*outPeer
 	in        map[int]*inPeer
+
+	// envFree recycles outEnv structs (not their frames; see outEnv) so the
+	// steady-state send path allocates only the frame itself.
+	envFree []*outEnv
+
+	// ackPool recycles 20-byte ack frames. An ack is built by the receiver,
+	// consumed by exactly the sender that drains it, and never retained by
+	// either side — so on an exclusive-delivery transport the consumed
+	// payload can back the consumer's next outbound ack. Gated on
+	// rt.Rank.ExclusiveDelivery like every inbound-recycling path.
+	ackPool [][]byte
+
+	// deliverScratch is the reusable accepted-envelope slice returned by
+	// poll; Box.Poll decodes (copying payload bytes into its arena) before
+	// the next poll reuses it.
+	deliverScratch [][]byte
 }
 
 func newReliable(r *rt.Rank, b *Box, base, max time.Duration) *reliable {
@@ -143,8 +171,29 @@ func (rl *reliable) inPeer(from int) *inPeer {
 	return ip
 }
 
+// getEnv returns an outEnv struct, recycled from the freelist when possible.
+func (rl *reliable) getEnv() *outEnv {
+	if n := len(rl.envFree); n > 0 {
+		e := rl.envFree[n-1]
+		rl.envFree[n-1] = nil
+		rl.envFree = rl.envFree[:n-1]
+		return e
+	}
+	return new(outEnv)
+}
+
+// putEnv retires an acked outEnv to the freelist, dropping its frame
+// reference (the frame bytes are never reused; see outEnv).
+func (rl *reliable) putEnv(e *outEnv) {
+	e.frame = nil
+	if len(rl.envFree) < envFreeCap {
+		rl.envFree = append(rl.envFree, e)
+	}
+}
+
 // send frames records as the hop's next sequence number, retains the frame
-// for retransmission, and ships it.
+// for retransmission, and ships it. The records buffer is copied into the
+// frame, so the caller may recycle it the moment send returns.
 func (rl *reliable) send(hop int, records []byte) {
 	op := rl.outPeer(hop)
 	seq := op.nextSeq
@@ -154,9 +203,9 @@ func (rl *reliable) send(hop int, records []byte) {
 	binary.LittleEndian.PutUint64(frame[4:], seq)
 	copy(frame[relHeader:], records)
 	binary.LittleEndian.PutUint64(frame[12:], frameCRC(frame))
-	op.unacked = append(op.unacked, &outEnv{
-		seq: seq, frame: frame, lastSend: time.Now(), rto: rl.base,
-	})
+	e := rl.getEnv()
+	e.seq, e.frame, e.lastSend, e.rto = seq, frame, time.Now(), rl.base
+	op.unacked = append(op.unacked, e)
 	rl.r.Send(hop, rt.KindMailbox, relData, frame)
 }
 
@@ -164,20 +213,29 @@ func (rl *reliable) send(hop int, records []byte) {
 // per-peer sequence order, then drives the retransmission timers. Exactly
 // the reliable analogue of the raw path's rt.Rank.Recv loop.
 func (rl *reliable) poll() [][]byte {
-	var out [][]byte
-	for _, m := range rl.r.Recv(rt.KindMailbox) {
+	// Reuse last poll's accepted-envelope slice: Box.Poll finished decoding
+	// (and copying) its contents before calling us again.
+	for i := range rl.deliverScratch {
+		rl.deliverScratch[i] = nil
+	}
+	out := rl.deliverScratch[:0]
+	rl.b.msgScratch = rl.r.RecvInto(rt.KindMailbox, rl.b.msgScratch[:0])
+	for i := range rl.b.msgScratch {
+		m := &rl.b.msgScratch[i]
 		switch m.Tag {
 		case relAck:
-			rl.handleAck(m)
+			rl.handleAck(*m)
 		case relData:
-			out = rl.handleData(m, out)
+			out = rl.handleData(*m, out)
 		default:
 			// Unframed traffic on a reliable box: misconfiguration, count it
 			// where envelope malformations are counted.
 			rl.b.decodeError()
 		}
+		m.Payload = nil
 	}
 	rl.tick()
+	rl.deliverScratch = out
 	return out
 }
 
@@ -195,11 +253,28 @@ func (rl *reliable) handleAck(m rt.Msg) {
 	op := rl.outPeer(m.From)
 	i := 0
 	for i < len(op.unacked) && op.unacked[i].seq < cum {
+		rl.putEnv(op.unacked[i]) // struct back to the freelist, frame to the GC
 		i++
 	}
 	if i > 0 {
-		op.unacked = append(op.unacked[:0], op.unacked[i:]...)
+		n := copy(op.unacked, op.unacked[i:])
+		for j := n; j < len(op.unacked); j++ {
+			op.unacked[j] = nil
+		}
+		op.unacked = op.unacked[:n]
 	}
+	// The drained ack frame has a single live reference (neither side retains
+	// acks) — on an exclusive-delivery transport it can back this rank's next
+	// outbound ack.
+	rl.recycleAck(p)
+}
+
+// recycleAck offers a consumed ack frame to the ack pool.
+func (rl *reliable) recycleAck(p []byte) {
+	if cap(p) < relHeader || len(rl.ackPool) >= envPoolCap || !rl.r.ExclusiveDelivery() {
+		return
+	}
+	rl.ackPool = append(rl.ackPool, p[:relHeader])
 }
 
 func (rl *reliable) handleData(m rt.Msg, out [][]byte) [][]byte {
@@ -249,7 +324,14 @@ func (rl *reliable) handleData(m rt.Msg, out [][]byte) [][]byte {
 // sendAck ships a cumulative ack: cum is the next sequence number the
 // receiver needs, retiring every lower-numbered unacked frame at the sender.
 func (rl *reliable) sendAck(to int, cum uint64) {
-	frame := make([]byte, relHeader)
+	var frame []byte
+	if n := len(rl.ackPool); n > 0 {
+		frame = rl.ackPool[n-1]
+		rl.ackPool[n-1] = nil
+		rl.ackPool = rl.ackPool[:n-1]
+	} else {
+		frame = make([]byte, relHeader)
+	}
 	binary.LittleEndian.PutUint32(frame[0:], rl.epoch)
 	binary.LittleEndian.PutUint64(frame[4:], cum)
 	binary.LittleEndian.PutUint64(frame[12:], frameCRC(frame))

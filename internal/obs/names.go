@@ -18,6 +18,13 @@ const (
 	// draining it.
 	RTMsgLatencyNS = "rt.msg_latency_ns"
 
+	// Collective scratch-pool accounting: 8-byte reduction payloads served
+	// from recycled buffers (hits) vs freshly allocated (misses). Recycling
+	// is disabled once a fault-injecting transport has been installed, so
+	// chaos runs report only misses.
+	RTCollScratchHits   = "rt.coll_scratch_hits"
+	RTCollScratchMisses = "rt.coll_scratch_misses"
+
 	// Routed mailbox (internal/mailbox), per rank.
 	MBRecordsSent      = "mailbox.records_sent"      // records entered via Send
 	MBRecordsDelivered = "mailbox.records_delivered" // records delivered at final dest
@@ -38,9 +45,28 @@ const (
 	MBHops = "mailbox.hops"
 
 	// MBEnvelopeBytes is the histogram of aggregation buffer occupancy at
-	// ship time (envelope payload bytes): how full buffers are when they go
-	// out, the direct measure of aggregation quality per topology.
+	// ship time (framed envelope bytes — record payloads plus per-record
+	// headers): how full buffers are when they go out, the direct measure of
+	// aggregation quality per topology.
 	MBEnvelopeBytes = "mailbox.envelope_bytes"
+
+	// Envelope-buffer pool accounting (DESIGN.md §9). A "get" is one request
+	// for an empty aggregation buffer; a "hit" is a get served from the
+	// per-box free-list (fed by consumed inbound envelopes on the raw path
+	// and by post-frame-copy aggregation buffers on the reliable path).
+	// RecycledBytes counts buffer capacity returned to the pool; PoolFree is
+	// the machine-wide gauge of buffers currently parked in pools. The pool
+	// hit rate, hits/gets, is the direct measure of how close the message
+	// plane runs to zero steady-state allocation.
+	MBPoolGets          = "mailbox.pool_gets"
+	MBPoolHits          = "mailbox.pool_hits"
+	MBPoolRecycledBytes = "mailbox.pool_recycled_bytes"
+	MBPoolFree          = "mailbox.pool_free"
+
+	// MBArenaPollBytes is the histogram of delivery-arena occupancy at each
+	// Poll handoff: the bytes of record payloads delivered in one poll epoch,
+	// all carved from one grow-only arena instead of per-record allocations.
+	MBArenaPollBytes = "mailbox.arena_poll_bytes"
 
 	// Reliable-delivery counters (mailbox.WithReliable): the recovery half
 	// of the fault plane. Retransmits counts envelope re-sends after an RTO

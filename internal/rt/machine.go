@@ -95,9 +95,17 @@ type Machine struct {
 	// transport, when set, injects faults at the send/drain choke points
 	// (see transport.go). pairSeqs hold the per-(from,to,kind) monotone
 	// message counters that give every message a deterministic identity.
-	transport atomic.Pointer[Transport]
-	seqOnce   sync.Once
-	pairSeqs  []atomic.Uint64
+	// hadTransport latches (and never clears) once any Transport has been
+	// installed: fault kinds like Duplicate enqueue two inbox references to
+	// one payload, so from that point on a drained payload is no longer
+	// provably the receiver's exclusive copy — buffer-recycling layers
+	// (mailbox envelope pools, collective scratch) consult ExclusiveDelivery
+	// and shut themselves off for the machine's remaining lifetime instead of
+	// tracking per-message alias counts.
+	transport    atomic.Pointer[Transport]
+	hadTransport atomic.Bool
+	seqOnce      sync.Once
+	pairSeqs     []atomic.Uint64
 
 	// boxEpochs are per-rank monotone generation counters handed to routed
 	// mailboxes (Rank.NextBoxEpoch): boxes created collectively across ranks
@@ -111,6 +119,11 @@ type Machine struct {
 	kindMsgs  [numKinds]*obs.Counter
 	kindBytes [numKinds]*obs.Counter
 	latency   *obs.Histogram // send→drain transport latency, nanoseconds
+
+	// Collective scratch-pool accounting (see Rank.collBuf/collRecycle):
+	// hits are collective payload sends served from recycled buffers.
+	collHits   *obs.Counter
+	collMisses *obs.Counter
 }
 
 // NewMachine returns a machine with p ranks. p must be >= 1.
@@ -120,13 +133,15 @@ func NewMachine(p int) *Machine {
 	}
 	reg := obs.NewRegistry()
 	m := &Machine{
-		p:         p,
-		inboxes:   make([]inbox, p),
-		boxEpochs: make([]atomic.Uint32, p),
-		reg:       reg,
-		msgsSent:  reg.PerRank(obs.RTMsgs, p),
-		bytesSent: reg.PerRank(obs.RTBytes, p),
-		latency:   reg.Histogram(obs.RTMsgLatencyNS),
+		p:          p,
+		inboxes:    make([]inbox, p),
+		boxEpochs:  make([]atomic.Uint32, p),
+		reg:        reg,
+		msgsSent:   reg.PerRank(obs.RTMsgs, p),
+		bytesSent:  reg.PerRank(obs.RTBytes, p),
+		latency:    reg.Histogram(obs.RTMsgLatencyNS),
+		collHits:   reg.Counter(obs.RTCollScratchHits),
+		collMisses: reg.Counter(obs.RTCollScratchMisses),
 	}
 	for k := uint8(0); k < numKinds; k++ {
 		m.kindMsgs[k] = reg.Counter(obs.RTKindMsgs(KindName(k)))

@@ -18,8 +18,12 @@ type Rank struct {
 	pending [numKinds][]Msg
 	scratch []Msg // reusable drain buffer
 
-	collSeq uint32 // collective sequence number (see collectives.go)
+	collSeq  uint32   // collective sequence number (see collectives.go)
+	collPool [][]byte // recycled 8-byte collective scratch buffers
 }
+
+// collPoolCap bounds the per-rank collective scratch free-list.
+const collPoolCap = 32
 
 // Rank returns this rank's id in [0, Size()).
 func (r *Rank) Rank() int { return r.rank }
@@ -65,6 +69,60 @@ func (r *Rank) Recv(kind uint8) []Msg {
 	msgs := r.pending[kind]
 	r.pending[kind] = nil
 	return msgs
+}
+
+// RecvInto polls and appends all pending messages of the given kind to buf,
+// returning it. Unlike Recv, the pending queue keeps its backing array (its
+// entries are zeroed so payload references are released), so a steady-state
+// poll loop that reuses buf across calls allocates nothing. Message payload
+// ownership is the same as Recv's.
+func (r *Rank) RecvInto(kind uint8, buf []Msg) []Msg {
+	r.Poll()
+	q := r.pending[kind]
+	buf = append(buf, q...)
+	for i := range q {
+		q[i] = Msg{}
+	}
+	r.pending[kind] = q[:0]
+	return buf
+}
+
+// ExclusiveDelivery reports whether payloads drained from the transport are
+// provably the receiver's exclusive reference. True on the perfect transport:
+// a sender that ships a buffer never touches it again, and exactly one inbox
+// entry references it. Installing any fault-injecting Transport permanently
+// flips this to false (a Duplicate fate enqueues two references to one
+// payload), which tells buffer-recycling layers — the mailbox envelope pool,
+// the collective scratch pool — to stop reusing consumed buffers rather than
+// risk aliasing. The flag is sticky because a duplicated message can outlive
+// the injector that minted it.
+func (r *Rank) ExclusiveDelivery() bool { return !r.m.hadTransport.Load() }
+
+// collBuf returns an 8-byte scratch buffer for a collective payload,
+// preferring a recycled one (see collRecycle).
+func (r *Rank) collBuf() []byte {
+	if n := len(r.collPool); n > 0 {
+		b := r.collPool[n-1]
+		r.collPool[n-1] = nil
+		r.collPool = r.collPool[:n-1]
+		r.m.collHits.Inc()
+		return b[:8]
+	}
+	r.m.collMisses.Inc()
+	return make([]byte, 8)
+}
+
+// collRecycle hands a consumed collective payload back to the rank's scratch
+// pool. Only up-phase reduction contributions qualify: they are built by one
+// child, consumed by exactly one parent, and never retained — whereas a
+// broadcast's down-buffer is shared by every child it was sent to and must
+// not be recycled. Skipped entirely once fault injection has broken delivery
+// exclusivity (ExclusiveDelivery).
+func (r *Rank) collRecycle(b []byte) {
+	if cap(b) < 8 || len(r.collPool) >= collPoolCap || !r.ExclusiveDelivery() {
+		return
+	}
+	r.collPool = append(r.collPool, b[:8])
 }
 
 // HasPending reports whether messages of the given kind are queued

@@ -70,6 +70,9 @@ func (m *Machine) SetTransport(t Transport) {
 	m.seqOnce.Do(func() {
 		m.pairSeqs = make([]atomic.Uint64, m.p*m.p*int(numKinds))
 	})
+	// Latch the exclusivity loss before the injector can duplicate anything:
+	// recycling layers that read ExclusiveDelivery afterwards must see it.
+	m.hadTransport.Store(true)
 	m.transport.Store(&t)
 }
 
