@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test race lint vet fmt fmt-check staticcheck fuzz-smoke chaos chaos-short bench bench-smoke experiments serve-smoke clean
+.PHONY: all build test race lint vet fmt fmt-check staticcheck fuzz-smoke chaos chaos-short bench bench-smoke experiments serve-smoke cluster-smoke bench-net clean
 
 STATICCHECK ?= staticcheck
 
@@ -96,6 +96,21 @@ experiments:
 serve-smoke:
 	$(GO) run ./cmd/havoqd -smoke -scale 12 -ranks 8 -queries 50 -addr 127.0.0.1:0
 
+# Real multi-process cluster smoke: boot a coordinator plus 4 worker
+# OS processes on localhost (rank frames crossing the kernel's TCP stack),
+# run BFS/SSSP/CC through the cluster, and require the deterministic result
+# hashes to be identical to the in-process engine on the same scale-12 RMAT
+# graph. A hard watchdog aborts with exit 124 if the cluster wedges; worker
+# output lands in cluster-worker-N.log for post-mortems.
+cluster-smoke:
+	$(GO) run ./cmd/havoqd -smoke -cluster -workers 4 -ranks 4 -scale 12 -cluster-timeout 5m
+
+# Real-network benchmark (BENCH_net.json): the serialized-vs-concurrent
+# comparison over a 4-process TCP data plane, with per-phase mesh byte/frame
+# counters swept from the workers.
+bench-net:
+	$(GO) run ./cmd/havoqd -selfbench -cluster -workers 4 -ranks 8 -scale 14 -cluster-timeout 10m
+
 clean:
-	rm -f obs_profiles.json obs_profiles.csv
+	rm -f obs_profiles.json obs_profiles.csv cluster-worker-*.log
 	$(GO) clean ./...

@@ -290,7 +290,11 @@ func selfbench(o *options) error {
 		ZeroLatency:    zero,
 		ModeledLatency: modeled,
 	}
-	f, err := os.Create(o.benchOut)
+	out := o.benchOut
+	if out == "" {
+		out = "BENCH_engine.json"
+	}
+	f, err := os.Create(out)
 	if err != nil {
 		return err
 	}
@@ -303,6 +307,6 @@ func selfbench(o *options) error {
 	if err := f.Close(); err != nil {
 		return err
 	}
-	fmt.Printf("havoqd: selfbench: wrote %s\n", o.benchOut)
+	fmt.Printf("havoqd: selfbench: wrote %s\n", out)
 	return nil
 }

@@ -1,0 +1,622 @@
+package main
+
+// Multi-process cluster modes of havoqd.
+//
+//   havoqd -coordinator -workers 4 -ranks 8 -scale 14      # control plane + HTTP
+//   havoqd -join host:7642 -workers 4 -ranks 8 -scale 14   # one worker process
+//   havoqd -smoke -cluster -workers 4 -ranks 4 -scale 12   # spawn a local cluster,
+//                                                          # diff hashes vs in-process
+//   havoqd -selfbench -cluster ...                         # write BENCH_net.json
+//
+// The coordinator seals after -workers joins, broadcasts the layout, and then
+// serves POST /query over HTTP exactly like the single-process server —
+// queries fan out to every worker and assemble from master-range partials.
+// The -cluster smoke and bench modes spawn real OS processes (this binary
+// with -join) on localhost, so the bytes genuinely cross the kernel's TCP
+// stack; worker output lands in cluster-worker-N.log for post-mortems.
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/exec"
+	"os/signal"
+	"sync"
+	"sync/atomic"
+	"syscall"
+	"time"
+
+	"havoqgt"
+	"havoqgt/internal/cluster"
+	"havoqgt/internal/engine"
+	"havoqgt/internal/graph"
+)
+
+// clusterCfg maps the shared command-line flags onto the cluster contract.
+// Spawned workers receive exactly these flags back (see workerArgs), so the
+// join-time checksum can only mismatch when an operator genuinely launched
+// divergent processes.
+func clusterCfg(o *options) cluster.ClusterConfig {
+	return cluster.ClusterConfig{
+		Workers:     o.workers,
+		Ranks:       o.ranks,
+		Scale:       o.scale,
+		Seed:        o.seed,
+		Topology:    o.topo,
+		Reliable:    o.reliable,
+		Simplify:    o.simplify,
+		MaxInFlight: o.maxInFlight,
+	}
+}
+
+// workerArgs rebuilds the argv a spawned worker needs to checksum-match us.
+func workerArgs(o *options, coordAddr string, slot int) []string {
+	args := []string{
+		"-join", coordAddr,
+		"-slot", fmt.Sprint(slot),
+		"-workers", fmt.Sprint(o.workers),
+		"-ranks", fmt.Sprint(o.ranks),
+		"-scale", fmt.Sprint(o.scale),
+		"-seed", fmt.Sprint(o.seed),
+		"-topo", o.topo,
+		"-max-in-flight", fmt.Sprint(o.maxInFlight),
+		"-simplify=" + fmt.Sprint(o.simplify),
+		"-reliable=" + fmt.Sprint(o.reliable),
+	}
+	return args
+}
+
+// runClusterWorker is the -join mode: one worker process hosting its rank
+// window until the coordinator orders shutdown.
+func runClusterWorker(o *options) error {
+	logf := func(format string, args ...any) {
+		fmt.Printf("havoqd: "+format+"\n", args...)
+	}
+	return cluster.RunWorker(cluster.WorkerOptions{
+		Coordinator: o.join,
+		Config:      clusterCfg(o),
+		Slot:        o.slot,
+		MeshAddr:    o.meshAddr,
+		Logf:        logf,
+	})
+}
+
+// runClusterCoordinator is the -coordinator mode: bind the control plane,
+// wait for the workers, then serve queries over HTTP until SIGTERM.
+func runClusterCoordinator(o *options) error {
+	logf := func(format string, args ...any) {
+		fmt.Printf("havoqd: "+format+"\n", args...)
+	}
+	c, err := cluster.NewCoordinator(o.clusterAddr, clusterCfg(o), logf)
+	if err != nil {
+		return err
+	}
+	// Bound addresses go to stdout first thing so ":0" deployments (tests,
+	// orchestrators) can scrape them before the cluster even forms.
+	fmt.Printf("havoqd: coordinator control plane on %s\n", c.Addr())
+
+	ln, err := net.Listen("tcp", o.addr)
+	if err != nil {
+		c.Close()
+		return err
+	}
+	fmt.Printf("havoqd: listening on %s (cluster: %d workers, %d ranks)\n", ln.Addr(), o.workers, o.ranks)
+
+	if err := c.WaitReady(o.clusterTimeout); err != nil {
+		ln.Close()
+		c.Close()
+		return err
+	}
+	fmt.Printf("havoqd: cluster ready: %d vertices across %d workers\n", c.NumVertices(), o.workers)
+
+	cs := &coordServer{c: c, addr: ln.Addr().String(), started: time.Now()}
+	srv := &http.Server{
+		Handler:           cs.handler(),
+		ReadHeaderTimeout: 5 * time.Second,
+		ReadTimeout:       30 * time.Second,
+		WriteTimeout:      5 * time.Minute,
+		IdleTimeout:       2 * time.Minute,
+		MaxHeaderBytes:    1 << 16,
+	}
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGTERM, syscall.SIGINT)
+	defer stop()
+	errc := make(chan error, 1)
+	go func() { errc <- srv.Serve(ln) }()
+
+	select {
+	case err := <-errc:
+		c.Close()
+		return err
+	case <-ctx.Done():
+	}
+	stop()
+	fmt.Println("havoqd: signal received; draining cluster")
+	shutCtx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(shutCtx); err != nil {
+		c.Close()
+		return fmt.Errorf("drain: %w", err)
+	}
+	if err := c.Close(); err != nil {
+		return err
+	}
+	fmt.Printf("havoqd: cluster drained; served=%d failed=%d\n", cs.served.Load(), cs.failed.Load())
+	return nil
+}
+
+// coordServer is the coordinator's HTTP face: the same /query contract as
+// the single-process server, backed by cluster-wide fan-out.
+type coordServer struct {
+	c       *cluster.Coordinator
+	addr    string // resolved HTTP listen address
+	served  atomic.Uint64
+	failed  atomic.Uint64
+	started time.Time
+}
+
+func (s *coordServer) handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/query", s.handleQuery)
+	mux.HandleFunc("/healthz", s.handleHealthz)
+	return mux
+}
+
+func (s *coordServer) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{
+		"ok":        true,
+		"addr":      s.addr,
+		"cluster":   true,
+		"vertices":  s.c.NumVertices(),
+		"epoch":     s.c.Epoch(),
+		"uptime_ms": time.Since(s.started).Milliseconds(),
+		"served":    s.served.Load(),
+		"failed":    s.failed.Load(),
+	})
+}
+
+func (s *coordServer) handleQuery(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeJSON(w, http.StatusMethodNotAllowed, errorResponse{Error: "POST only"})
+		return
+	}
+	r.Body = http.MaxBytesReader(w, r.Body, maxQueryBody)
+	var req queryRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		s.failed.Add(1)
+		writeJSON(w, http.StatusBadRequest, errorResponse{Error: "bad request body: " + err.Error()})
+		return
+	}
+	spec := engine.Spec{
+		Algo:       engine.Algo(req.Algo),
+		Source:     graph.Vertex(req.Source),
+		WeightSeed: req.WeightSeed,
+		K:          req.K,
+	}
+	if req.DeadlineMS > 0 {
+		spec.Deadline = time.Duration(req.DeadlineMS) * time.Millisecond
+	}
+	start := time.Now()
+	q, err := s.c.Submit(spec)
+	if err != nil {
+		s.failed.Add(1)
+		writeJSON(w, http.StatusBadRequest, errorResponse{Error: err.Error()})
+		return
+	}
+	res, err := q.Wait()
+	if err != nil {
+		s.failed.Add(1)
+		writeJSON(w, http.StatusInternalServerError, errorResponse{Error: err.Error()})
+		return
+	}
+	if res.Cancelled {
+		s.failed.Add(1)
+		w.Header().Set("Retry-After", "1")
+		writeJSON(w, http.StatusGatewayTimeout, errorResponse{Error: "query cancelled (deadline)"})
+		return
+	}
+	resp := queryResponse{ID: q.ID(), Algo: req.Algo, ElapsedMS: float64(time.Since(start).Microseconds()) / 1e3}
+	switch {
+	case res.Levels != nil:
+		for _, l := range res.Levels {
+			if l != havoqgt.Unreached {
+				resp.Reached++
+				if l > resp.MaxLevel {
+					resp.MaxLevel = l
+				}
+			}
+		}
+		if req.Full {
+			resp.Levels = res.Levels
+		}
+	case res.Dist != nil:
+		for _, d := range res.Dist {
+			if d != havoqgt.UnreachedDistance {
+				resp.Reached++
+				if d > resp.MaxDist {
+					resp.MaxDist = d
+				}
+			}
+		}
+		if req.Full {
+			resp.Distances = res.Dist
+		}
+	case res.Labels != nil:
+		resp.Components = res.Components
+		if req.Full {
+			resp.Labels = res.Labels
+		}
+	case res.InCore != nil:
+		resp.CoreSize = res.CoreSize
+		if req.Full {
+			resp.InCore = res.InCore
+		}
+	}
+	s.served.Add(1)
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// localCluster is a coordinator plus its spawned local worker processes.
+type localCluster struct {
+	c     *cluster.Coordinator
+	procs []*exec.Cmd
+}
+
+// startLocalCluster boots an in-process coordinator and -workers real OS
+// worker processes (this binary, re-executed with -join) on localhost.
+// Worker output goes to cluster-worker-N.log.
+func startLocalCluster(o *options) (*localCluster, error) {
+	c, err := cluster.NewCoordinator("127.0.0.1:0", clusterCfg(o), func(format string, args ...any) {
+		fmt.Printf("havoqd: "+format+"\n", args...)
+	})
+	if err != nil {
+		return nil, err
+	}
+	self, err := os.Executable()
+	if err != nil {
+		c.Close()
+		return nil, err
+	}
+	lc := &localCluster{c: c}
+	for slot := 0; slot < o.workers; slot++ {
+		logPath := fmt.Sprintf("cluster-worker-%d.log", slot)
+		logFile, err := os.Create(logPath)
+		if err != nil {
+			lc.kill()
+			return nil, err
+		}
+		cmd := exec.Command(self, workerArgs(o, c.Addr(), slot)...)
+		cmd.Stdout, cmd.Stderr = logFile, logFile
+		if err := cmd.Start(); err != nil {
+			logFile.Close()
+			lc.kill()
+			return nil, fmt.Errorf("spawn worker %d: %w", slot, err)
+		}
+		logFile.Close() // the child holds its own descriptor
+		lc.procs = append(lc.procs, cmd)
+	}
+	if err := c.WaitReady(o.clusterTimeout); err != nil {
+		lc.kill()
+		return nil, err
+	}
+	return lc, nil
+}
+
+// shutdown closes the coordinator (workers exit on the shutdown broadcast)
+// and reaps the worker processes.
+func (lc *localCluster) shutdown() error {
+	lc.c.Close()
+	var firstErr error
+	for i, cmd := range lc.procs {
+		if err := cmd.Wait(); err != nil && firstErr == nil {
+			firstErr = fmt.Errorf("worker %d: %w (see cluster-worker-%d.log)", i, err, i)
+		}
+	}
+	return firstErr
+}
+
+// kill hard-stops everything (error paths only).
+func (lc *localCluster) kill() {
+	lc.c.Close()
+	for _, cmd := range lc.procs {
+		if cmd.Process != nil {
+			cmd.Process.Kill()
+			cmd.Wait()
+		}
+	}
+}
+
+// armWatchdog hard-aborts the process if a -cluster run wedges: CI must get
+// a loud timeout with logs on disk, never a silent 6-hour hang.
+func armWatchdog(o *options, what string) *time.Timer {
+	return time.AfterFunc(o.clusterTimeout, func() {
+		fmt.Fprintf(os.Stderr, "havoqd: %s: WATCHDOG: no completion within %v, aborting\n", what, o.clusterTimeout)
+		os.Exit(124)
+	})
+}
+
+// clusterSmoke is `-smoke -cluster`: boot a real multi-process cluster, run
+// BFS/SSSP/CC through it, and require the deterministic result hashes to be
+// identical to the in-process engine on the same graph.
+func clusterSmoke(o *options) error {
+	watchdog := armWatchdog(o, "cluster smoke")
+	defer watchdog.Stop()
+
+	fmt.Printf("havoqd: cluster smoke: %d workers x %d ranks, scale-%d rmat\n",
+		o.workers, o.ranks/o.workers, o.scale)
+	start := time.Now()
+	lc, err := startLocalCluster(o)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("havoqd: cluster smoke: cluster ready in %v\n", time.Since(start).Round(time.Millisecond))
+
+	n := lc.c.NumVertices()
+	type smokeCase struct {
+		name string
+		spec engine.Spec
+	}
+	var cases []smokeCase
+	for i := 0; i < 3; i++ {
+		src := graph.Vertex(splitmix64(uint64(i)*0x9e37+42) % n)
+		cases = append(cases,
+			smokeCase{fmt.Sprintf("bfs(%d)", src), engine.Spec{Algo: engine.AlgoBFS, Source: src}},
+			smokeCase{fmt.Sprintf("sssp(%d)", src), engine.Spec{Algo: engine.AlgoSSSP, Source: src, WeightSeed: uint64(i)}},
+		)
+	}
+	cases = append(cases, smokeCase{"cc", engine.Spec{Algo: engine.AlgoCC}})
+
+	clusterHashes := make([]uint64, len(cases))
+	queries := make([]*cluster.Query, len(cases))
+	for i, tc := range cases {
+		q, err := lc.c.Submit(tc.spec)
+		if err != nil {
+			lc.kill()
+			return fmt.Errorf("cluster smoke: submit %s: %w", tc.name, err)
+		}
+		queries[i] = q
+	}
+	for i, q := range queries {
+		res, err := q.Wait()
+		if err != nil {
+			lc.kill()
+			return fmt.Errorf("cluster smoke: %s: %w", cases[i].name, err)
+		}
+		clusterHashes[i] = cluster.HashResult(res)
+	}
+	queriesDone := time.Since(start)
+	if err := lc.shutdown(); err != nil {
+		return fmt.Errorf("cluster smoke: %w", err)
+	}
+
+	// In-process reference: the same graph, the same queries, through the
+	// single-process engine.
+	g, err := havoqgt.GenerateRMAT(o.scale, o.seed, havoqgt.Options{
+		Ranks: o.ranks, Topology: o.topo, Simplify: o.simplify,
+	})
+	if err != nil {
+		return err
+	}
+	refHashes := make([]uint64, len(cases))
+	for i, tc := range cases {
+		switch tc.spec.Algo {
+		case engine.AlgoBFS:
+			res, err := g.BFS(tc.spec.Source)
+			if err != nil {
+				return err
+			}
+			refHashes[i] = cluster.HashU32s(res.Levels)
+		case engine.AlgoSSSP:
+			res, err := g.ShortestPaths(tc.spec.Source, tc.spec.WeightSeed)
+			if err != nil {
+				return err
+			}
+			refHashes[i] = cluster.HashU64s(res.Distances)
+		case engine.AlgoCC:
+			res, err := g.Components()
+			if err != nil {
+				return err
+			}
+			refHashes[i] = cluster.HashVertices(res.Labels)
+		}
+	}
+
+	bad := 0
+	for i := range cases {
+		status := "ok"
+		if clusterHashes[i] != refHashes[i] {
+			status = "MISMATCH"
+			bad++
+		}
+		fmt.Printf("havoqd: cluster smoke: %-12s cluster=%016x in-process=%016x %s\n",
+			cases[i].name, clusterHashes[i], refHashes[i], status)
+	}
+	if bad > 0 {
+		return fmt.Errorf("cluster smoke: %d/%d result hashes diverged from the in-process engine", bad, len(cases))
+	}
+	fmt.Printf("havoqd: cluster smoke: %d/%d hashes identical across %d processes in %v\n",
+		len(cases), len(cases), o.workers+1, queriesDone.Round(time.Millisecond))
+	return nil
+}
+
+// Cluster benchmark report (BENCH_net.json): the engine's serialized-vs-
+// concurrent comparison, but over a real multi-process TCP data plane.
+type benchNetReport struct {
+	Timestamp  string            `json:"timestamp"`
+	Scale      uint              `json:"scale"`
+	Workers    int               `json:"workers"`
+	Ranks      int               `json:"ranks"`
+	Topology   string            `json:"topology"`
+	Vertices   uint64            `json:"vertices"`
+	Workload   string            `json:"workload"`
+	Serialized benchPhase        `json:"serialized"`
+	Concurrent benchPhase        `json:"concurrent"`
+	Speedup    float64           `json:"speedup"`
+	NetSer     cluster.NetTotals `json:"net_serialized"`
+	NetCon     cluster.NetTotals `json:"net_concurrent"`
+}
+
+// clusterWorkload mirrors the selfbench mix at the Spec level (no kcore
+// unless -simplify, matching the single-process constraint).
+func clusterWorkload(n uint64, queries int, simplify bool) []engine.Spec {
+	var specs []engine.Spec
+	for i := 0; i < queries; i++ {
+		src := graph.Vertex(splitmix64(uint64(i)*0x9e37+42) % n)
+		switch {
+		case i == 5:
+			specs = append(specs, engine.Spec{Algo: engine.AlgoCC})
+		case i == 11 && simplify:
+			specs = append(specs, engine.Spec{Algo: engine.AlgoKCore, K: 2})
+		case i%2 == 0:
+			specs = append(specs, engine.Spec{Algo: engine.AlgoBFS, Source: src})
+		default:
+			specs = append(specs, engine.Spec{Algo: engine.AlgoSSSP, Source: src, WeightSeed: uint64(i)})
+		}
+	}
+	return specs
+}
+
+// clusterBench is `-selfbench -cluster`: run the workload serialized (one
+// query at a time, every wave and frontier exchange paying real TCP latency)
+// and concurrently (interleaved on the same mesh), then write BENCH_net.json.
+func clusterBench(o *options) error {
+	watchdog := armWatchdog(o, "cluster bench")
+	defer watchdog.Stop()
+
+	out := o.benchOut
+	if out == "" {
+		out = "BENCH_net.json"
+	}
+	fmt.Printf("havoqd: cluster bench: %d workers x %d ranks, scale-%d rmat, %d queries\n",
+		o.workers, o.ranks/o.workers, o.scale, o.benchQueries)
+	lc, err := startLocalCluster(o)
+	if err != nil {
+		return err
+	}
+	n := lc.c.NumVertices()
+	work := clusterWorkload(n, o.benchQueries, o.simplify)
+
+	base, err := lc.c.NetStats(30 * time.Second)
+	if err != nil {
+		lc.kill()
+		return err
+	}
+
+	// Serialized: strictly one in-flight query.
+	serLats := make([]time.Duration, len(work))
+	var serHash uint64
+	serStart := time.Now()
+	for i, spec := range work {
+		t := time.Now()
+		q, err := lc.c.Submit(spec)
+		if err != nil {
+			lc.kill()
+			return fmt.Errorf("serialized #%d: %w", i, err)
+		}
+		res, err := q.Wait()
+		if err != nil {
+			lc.kill()
+			return fmt.Errorf("serialized #%d: %w", i, err)
+		}
+		serLats[i] = time.Since(t)
+		serHash += cluster.HashResult(res)
+	}
+	serWall := time.Since(serStart)
+	afterSer, err := lc.c.NetStats(30 * time.Second)
+	if err != nil {
+		lc.kill()
+		return err
+	}
+	ser := summarize(serLats, serWall, 1, serHash)
+	fmt.Printf("havoqd: cluster bench: serialized %.1f q/s (p50 %.1fms p99 %.1fms)\n",
+		ser.QPS, ser.LatP50MS, ser.LatP99MS)
+
+	// Concurrent: all submitted at once, bounded by the coordinator's global
+	// MaxInFlight admission.
+	conLats := make([]time.Duration, len(work))
+	hashes := make([]uint64, len(work))
+	errs := make([]error, len(work))
+	var wg sync.WaitGroup
+	conStart := time.Now()
+	for i, spec := range work {
+		i, spec := i, spec
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			t := time.Now()
+			q, err := lc.c.Submit(spec) // blocks while MaxInFlight are running
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			res, err := q.Wait()
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			conLats[i] = time.Since(t)
+			hashes[i] = cluster.HashResult(res)
+		}()
+	}
+	wg.Wait()
+	conWall := time.Since(conStart)
+	var conHash uint64
+	for i, err := range errs {
+		if err != nil {
+			lc.kill()
+			return fmt.Errorf("concurrent #%d: %w", i, err)
+		}
+		conHash += hashes[i]
+	}
+	afterCon, err := lc.c.NetStats(30 * time.Second)
+	if err != nil {
+		lc.kill()
+		return err
+	}
+	con := summarize(conLats, conWall, o.maxInFlight, conHash)
+	fmt.Printf("havoqd: cluster bench: concurrent %.1f q/s (p50 %.1fms p99 %.1fms), speedup %.2fx\n",
+		con.QPS, con.LatP50MS, con.LatP99MS, con.QPS/ser.QPS)
+
+	if err := lc.shutdown(); err != nil {
+		return err
+	}
+	if serHash != conHash {
+		return errors.New("cluster bench: result divergence between serialized and concurrent phases")
+	}
+
+	rep := benchNetReport{
+		Timestamp: time.Now().UTC().Format(time.RFC3339),
+		Scale:     o.scale,
+		Workers:   o.workers,
+		Ranks:     o.ranks,
+		Topology:  o.topo,
+		Vertices:  n,
+		Workload: fmt.Sprintf("%d queries over %d worker processes (TCP loopback): bfs/sssp mix + cc + kcore",
+			len(work), o.workers),
+		Serialized: ser,
+		Concurrent: con,
+		Speedup:    con.QPS / ser.QPS,
+		NetSer:     afterSer.Sub(base),
+		NetCon:     afterCon.Sub(afterSer),
+	}
+	f, err := os.Create(out)
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(&rep); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	fmt.Printf("havoqd: cluster bench: wrote %s (%d frames, %.1f MB across the mesh)\n",
+		out, rep.NetSer.FramesOut+rep.NetCon.FramesOut,
+		float64(rep.NetSer.BytesOut+rep.NetCon.BytesOut)/1e6)
+	return nil
+}

@@ -67,6 +67,16 @@ type options struct {
 	benchOut     string
 	benchQueries int
 	benchLatency time.Duration
+
+	// Cluster modes (see cluster.go).
+	coordinator    bool
+	join           string
+	workers        int
+	slot           int
+	meshAddr       string
+	clusterMode    bool
+	clusterAddr    string
+	clusterTimeout time.Duration
 }
 
 func main() {
@@ -95,9 +105,17 @@ func run(args []string) int {
 	fs.IntVar(&o.queries, "queries", 50, "concurrent queries for -smoke")
 	fs.DurationVar(&o.simLatency, "sim-latency", 0, "simulated per-message interconnect latency (0 = instantaneous transport)")
 	fs.BoolVar(&o.selfbench, "selfbench", false, "run the serialized-vs-concurrent benchmark and exit")
-	fs.StringVar(&o.benchOut, "bench-out", "BENCH_engine.json", "benchmark output file for -selfbench")
+	fs.StringVar(&o.benchOut, "bench-out", "", "benchmark output file for -selfbench (default BENCH_engine.json, BENCH_net.json with -cluster)")
 	fs.IntVar(&o.benchQueries, "bench-queries", 48, "workload size for -selfbench")
 	fs.DurationVar(&o.benchLatency, "bench-latency", 3*time.Millisecond, "modeled interconnect latency for the -selfbench latency regime")
+	fs.BoolVar(&o.coordinator, "coordinator", false, "run as a cluster coordinator: wait for -workers joins, then serve queries")
+	fs.StringVar(&o.join, "join", "", "run as a cluster worker joining the coordinator at this address")
+	fs.IntVar(&o.workers, "workers", 4, "worker processes in the cluster")
+	fs.IntVar(&o.slot, "slot", -1, "explicit worker slot for -join (-1 = coordinator-assigned)")
+	fs.StringVar(&o.meshAddr, "mesh-addr", "", "data-plane listen address for -join (default 127.0.0.1:0)")
+	fs.BoolVar(&o.clusterMode, "cluster", false, "with -smoke or -selfbench: spawn a real multi-process cluster on localhost")
+	fs.StringVar(&o.clusterAddr, "cluster-addr", "127.0.0.1:7642", "control-plane listen address for -coordinator")
+	fs.DurationVar(&o.clusterTimeout, "cluster-timeout", 5*time.Minute, "cluster formation bound; also the -cluster watchdog abort")
 	if err := fs.Parse(args); err != nil {
 		if errors.Is(err, flag.ErrHelp) {
 			return 0
@@ -105,7 +123,20 @@ func run(args []string) int {
 		return 2
 	}
 
-	if err := serve(&o); err != nil {
+	var err error
+	switch {
+	case o.join != "":
+		err = runClusterWorker(&o)
+	case o.coordinator:
+		err = runClusterCoordinator(&o)
+	case o.selfbench && o.clusterMode:
+		err = clusterBench(&o)
+	case o.smoke && o.clusterMode:
+		err = clusterSmoke(&o)
+	default:
+		err = serve(&o)
+	}
+	if err != nil {
 		fmt.Fprintf(os.Stderr, "havoqd: %v\n", err)
 		return 1
 	}
@@ -162,6 +193,7 @@ func serve(o *options) error {
 		e.Close()
 		return err
 	}
+	s.addr = ln.Addr().String()
 	// Hardened server limits: a stalled or malicious client must not pin a
 	// connection (and its handler goroutine) forever. WriteTimeout bounds the
 	// whole handler, so it must cover the slowest legitimate query including

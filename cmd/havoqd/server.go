@@ -71,6 +71,9 @@ type server struct {
 	// deadline-expired query is resumed from its checkpoint (with a doubled
 	// budget) before the client gets a 504.
 	retries int
+	// addr is the resolved listen address ("-addr :0" binds an ephemeral
+	// port; this is where it actually landed).
+	addr    string
 	served  atomic.Uint64
 	failed  atomic.Uint64
 	retried atomic.Uint64
@@ -99,6 +102,7 @@ func writeJSON(w http.ResponseWriter, code int, v any) {
 func (s *server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]any{
 		"ok":        true,
+		"addr":      s.addr,
 		"vertices":  s.g.NumVertices(),
 		"edges":     s.g.NumEdges(),
 		"ranks":     s.g.Ranks(),

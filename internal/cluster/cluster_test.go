@@ -1,0 +1,310 @@
+package cluster
+
+import (
+	"encoding/json"
+	"errors"
+	"net"
+	"testing"
+	"time"
+
+	"havoqgt"
+	"havoqgt/internal/check"
+	"havoqgt/internal/engine"
+)
+
+// startWorkers launches n worker goroutines against the coordinator and
+// returns a channel that yields each worker's exit error.
+func startWorkers(t *testing.T, c *Coordinator, cfg ClusterConfig, n int) chan error {
+	t.Helper()
+	errs := make(chan error, n)
+	for i := 0; i < n; i++ {
+		go func() {
+			errs <- RunWorker(WorkerOptions{
+				Coordinator: c.Addr(), Config: cfg, Slot: -1, Logf: t.Logf,
+			})
+		}()
+	}
+	return errs
+}
+
+func drainWorkers(t *testing.T, errs chan error, n int) {
+	t.Helper()
+	for i := 0; i < n; i++ {
+		select {
+		case err := <-errs:
+			if err != nil {
+				t.Errorf("worker exit: %v", err)
+			}
+		case <-time.After(60 * time.Second):
+			t.Fatal("timeout waiting for worker exit")
+		}
+	}
+}
+
+// TestClusterMatchesInProcess is the core equivalence check: a multi-worker
+// cluster (separate machines glued by the real TCP mesh) must produce
+// byte-identical deterministic results — BFS levels, SSSP distances, CC
+// labels — to the single-process engine on the same generated graph.
+func TestClusterMatchesInProcess(t *testing.T) {
+	check.NoLeaks(t)
+	cfg := ClusterConfig{Workers: 2, Ranks: 4, Scale: 9, Seed: 42}
+	c, err := NewCoordinator("127.0.0.1:0", cfg, t.Logf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	errs := startWorkers(t, c, cfg, cfg.Workers)
+	if err := c.WaitReady(60 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+
+	const source, wseed = 3, 7
+	qBFS, err := c.Submit(engine.Spec{Algo: engine.AlgoBFS, Source: source})
+	if err != nil {
+		t.Fatal(err)
+	}
+	qSSSP, err := c.Submit(engine.Spec{Algo: engine.AlgoSSSP, Source: source, WeightSeed: wseed})
+	if err != nil {
+		t.Fatal(err)
+	}
+	qCC, err := c.Submit(engine.Spec{Algo: engine.AlgoCC})
+	if err != nil {
+		t.Fatal(err)
+	}
+	resBFS, err := qBFS.Wait()
+	if err != nil {
+		t.Fatal(err)
+	}
+	resSSSP, err := qSSSP.Wait()
+	if err != nil {
+		t.Fatal(err)
+	}
+	resCC, err := qCC.Wait()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// In-process reference on the identical generated graph.
+	g, err := havoqgt.GenerateRMAT(cfg.Scale, cfg.Seed, havoqgt.Options{Ranks: cfg.Ranks})
+	if err != nil {
+		t.Fatal(err)
+	}
+	refBFS, err := g.BFS(source)
+	if err != nil {
+		t.Fatal(err)
+	}
+	refSSSP, err := g.ShortestPaths(source, wseed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	refCC, err := g.Components()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if got, want := HashResult(resBFS), HashU32s(refBFS.Levels); got != want {
+		t.Errorf("bfs levels hash: cluster %016x, in-process %016x", got, want)
+	}
+	if got, want := HashResult(resSSSP), HashU64s(refSSSP.Distances); got != want {
+		t.Errorf("sssp dist hash: cluster %016x, in-process %016x", got, want)
+	}
+	if got, want := HashResult(resCC), HashVertices(refCC.Labels); got != want {
+		t.Errorf("cc labels hash: cluster %016x, in-process %016x", got, want)
+	}
+	if resCC.Components != refCC.Count {
+		t.Errorf("components: cluster %d, in-process %d", resCC.Components, refCC.Count)
+	}
+	if resBFS.Waves == 0 {
+		t.Error("cluster BFS reported zero termination waves")
+	}
+
+	if err := c.Close(); err != nil {
+		t.Fatal(err)
+	}
+	drainWorkers(t, errs, cfg.Workers)
+}
+
+// rawJoin dials the coordinator and performs a hand-rolled join, returning
+// the decoded verdict. The connection stays open (caller closes).
+func rawJoin(t *testing.T, addr string, join msg) (net.Conn, msg) {
+	t.Helper()
+	conn, err := net.DialTimeout("tcp", addr, 5*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := json.NewEncoder(conn).Encode(&join); err != nil {
+		t.Fatal(err)
+	}
+	var reply msg
+	if err := json.NewDecoder(conn).Decode(&reply); err != nil {
+		t.Fatalf("join verdict: %v", err)
+	}
+	return conn, reply
+}
+
+func TestJoinVersionMismatch(t *testing.T) {
+	check.NoLeaks(t)
+	cfg := ClusterConfig{Workers: 1, Ranks: 1, Scale: 5, Seed: 1}
+	c, err := NewCoordinator("127.0.0.1:0", cfg, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	old := joinVersion
+	joinVersion = "havoqd-cluster/0-ancient"
+	defer func() { joinVersion = old }()
+	err = RunWorker(WorkerOptions{Coordinator: c.Addr(), Config: cfg, Slot: -1})
+	if !errors.Is(err, ErrVersionMismatch) {
+		t.Fatalf("got %v, want ErrVersionMismatch", err)
+	}
+}
+
+func TestJoinConfigMismatch(t *testing.T) {
+	check.NoLeaks(t)
+	cfg := ClusterConfig{Workers: 1, Ranks: 1, Scale: 5, Seed: 1}
+	c, err := NewCoordinator("127.0.0.1:0", cfg, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	bad := cfg
+	bad.Seed = 2 // a worker generating a different graph must be refused
+	err = RunWorker(WorkerOptions{Coordinator: c.Addr(), Config: bad, Slot: -1})
+	if !errors.Is(err, ErrConfigMismatch) {
+		t.Fatalf("got %v, want ErrConfigMismatch", err)
+	}
+}
+
+func TestJoinDuplicateSlot(t *testing.T) {
+	check.NoLeaks(t)
+	cfg := ClusterConfig{Workers: 2, Ranks: 2, Scale: 5, Seed: 1}
+	c, err := NewCoordinator("127.0.0.1:0", cfg, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	conn, reply := rawJoin(t, c.Addr(), msg{
+		Type: "join", Version: Version, ConfigSum: cfg.Checksum(),
+		Slot: 1, MeshAddr: "127.0.0.1:1",
+	})
+	defer conn.Close()
+	if reply.Type != "joined" || reply.Slot != 1 {
+		t.Fatalf("first join: %+v", reply)
+	}
+
+	err = RunWorker(WorkerOptions{Coordinator: c.Addr(), Config: cfg, Slot: 1})
+	if !errors.Is(err, ErrDuplicateSlot) {
+		t.Fatalf("got %v, want ErrDuplicateSlot", err)
+	}
+}
+
+func TestJoinAfterSealed(t *testing.T) {
+	check.NoLeaks(t)
+	cfg := ClusterConfig{Workers: 1, Ranks: 1, Scale: 5, Seed: 1}
+	c, err := NewCoordinator("127.0.0.1:0", cfg, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	// Fill the only slot with a hand-rolled join; the cluster seals.
+	conn, reply := rawJoin(t, c.Addr(), msg{
+		Type: "join", Version: Version, ConfigSum: cfg.Checksum(),
+		Slot: -1, MeshAddr: "127.0.0.1:1",
+	})
+	defer conn.Close()
+	if reply.Type != "joined" {
+		t.Fatalf("first join refused: %+v", reply)
+	}
+
+	err = RunWorker(WorkerOptions{Coordinator: c.Addr(), Config: cfg, Slot: -1})
+	if !errors.Is(err, ErrSealed) {
+		t.Fatalf("got %v, want ErrSealed", err)
+	}
+}
+
+// TestCoordinatorDiesBeforeVerdict: the control connection drops before the
+// join verdict arrives — the worker must fail typed, not hang or leak.
+func TestCoordinatorDiesBeforeVerdict(t *testing.T) {
+	check.NoLeaks(t)
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	go func() {
+		conn, err := ln.Accept()
+		if err == nil {
+			conn.Close() // hang up without a verdict
+		}
+	}()
+
+	cfg := ClusterConfig{Workers: 1, Ranks: 1, Scale: 5, Seed: 1}
+	err = RunWorker(WorkerOptions{Coordinator: ln.Addr().String(), Config: cfg, Slot: -1})
+	if !errors.Is(err, ErrCoordinatorDown) {
+		t.Fatalf("got %v, want ErrCoordinatorDown", err)
+	}
+}
+
+// TestCoordinatorDiesMidJoin: the worker joined but the coordinator dies
+// before the cluster seals (no layout ever arrives).
+func TestCoordinatorDiesMidJoin(t *testing.T) {
+	check.NoLeaks(t)
+	cfg := ClusterConfig{Workers: 2, Ranks: 2, Scale: 5, Seed: 1}
+	c, err := NewCoordinator("127.0.0.1:0", cfg, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	done := make(chan error, 1)
+	go func() {
+		done <- RunWorker(WorkerOptions{Coordinator: c.Addr(), Config: cfg, Slot: 0})
+	}()
+
+	// Wait until the worker's join landed, then kill the coordinator with
+	// the second slot still open.
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		c.mu.Lock()
+		joined := c.joined
+		c.mu.Unlock()
+		if joined == 1 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("worker never joined")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	c.Close()
+
+	select {
+	case err := <-done:
+		if !errors.Is(err, ErrCoordinatorDown) {
+			t.Fatalf("got %v, want ErrCoordinatorDown", err)
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("worker hung after coordinator death")
+	}
+}
+
+func TestSubmitValidation(t *testing.T) {
+	check.NoLeaks(t)
+	cfg := ClusterConfig{Workers: 1, Ranks: 1, Scale: 5, Seed: 1}
+	c, err := NewCoordinator("127.0.0.1:0", cfg, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if _, err := c.Submit(engine.Spec{Algo: "pagerank"}); err == nil {
+		t.Error("unknown algorithm accepted")
+	}
+	if _, err := c.Submit(engine.Spec{Algo: engine.AlgoBFS, Source: 1 << 20}); err == nil {
+		t.Error("out-of-range source accepted")
+	}
+	if _, err := c.Submit(engine.Spec{Algo: engine.AlgoKCore, K: 0}); err == nil {
+		t.Error("k=0 kcore accepted")
+	}
+}

@@ -1,0 +1,509 @@
+package cluster
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"havoqgt/internal/engine"
+	"havoqgt/internal/graph"
+)
+
+// ErrCoordinatorClosed reports a Submit after Close.
+var ErrCoordinatorClosed = errors.New("cluster: coordinator closed")
+
+// joinReadTimeout bounds how long an accepted connection may dawdle before
+// its join line arrives; a port-scanner or half-open socket must not pin a
+// handler goroutine forever.
+const joinReadTimeout = 60 * time.Second
+
+// wconn is one joined worker's control connection. Writes serialize on encMu
+// (results for different queries interleave from multiple goroutines).
+type wconn struct {
+	slot  int
+	info  workerInfo
+	conn  net.Conn
+	encMu sync.Mutex
+	enc   *json.Encoder
+}
+
+func (w *wconn) send(m msg) error {
+	w.encMu.Lock()
+	defer w.encMu.Unlock()
+	return w.enc.Encode(&m)
+}
+
+// Coordinator owns one cluster: it admits exactly cfg.Workers join
+// handshakes, seals the layout, broadcasts it, and from then on is the single
+// point of global admission — queries enter here, fan out to every worker,
+// and assemble from the workers' disjoint master-range partials.
+type Coordinator struct {
+	cfg   ClusterConfig
+	sum   string
+	epoch uint64
+	n     uint64 // vertices
+	ln    net.Listener
+	logf  func(format string, args ...any)
+
+	mu      sync.Mutex
+	workers []*wconn // by slot; nil until joined
+	joined  int
+	sealed  bool
+	ready   int
+	readyCh chan struct{}
+	queries map[uint32]*Query
+	nextQID uint32
+	closed  bool
+	statsW  *statsWaiter // at most one outstanding NetStats sweep
+
+	sem chan struct{} // global MaxInFlight admission
+
+	wg sync.WaitGroup
+}
+
+// NewCoordinator binds addr (":0" works; see Addr) and starts accepting
+// joins. logf may be nil.
+func NewCoordinator(addr string, cfg ClusterConfig, logf func(string, ...any)) (*Coordinator, error) {
+	cfg = cfg.normalized()
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	if logf == nil {
+		logf = func(string, ...any) {}
+	}
+	c := &Coordinator{
+		cfg:     cfg,
+		sum:     cfg.Checksum(),
+		epoch:   uint64(time.Now().UnixNano()),
+		n:       uint64(1) << cfg.Scale,
+		ln:      ln,
+		logf:    logf,
+		workers: make([]*wconn, cfg.Workers),
+		readyCh: make(chan struct{}),
+		queries: make(map[uint32]*Query),
+		nextQID: 1,
+		sem:     make(chan struct{}, cfg.MaxInFlight),
+	}
+	c.wg.Add(1)
+	go c.acceptLoop()
+	return c, nil
+}
+
+// Addr returns the bound control address (resolves ":0").
+func (c *Coordinator) Addr() string { return c.ln.Addr().String() }
+
+// Epoch returns the cluster epoch minted at startup.
+func (c *Coordinator) Epoch() uint64 { return c.epoch }
+
+// NumVertices returns the configured graph's vertex count.
+func (c *Coordinator) NumVertices() uint64 { return c.n }
+
+func (c *Coordinator) acceptLoop() {
+	defer c.wg.Done()
+	for {
+		conn, err := c.ln.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		c.wg.Add(1)
+		go c.handleConn(conn)
+	}
+}
+
+// handleConn runs one connection: the join handshake, then (if admitted) the
+// worker's inbound message stream until the connection dies.
+func (c *Coordinator) handleConn(conn net.Conn) {
+	defer c.wg.Done()
+	dec := json.NewDecoder(conn)
+	conn.SetReadDeadline(time.Now().Add(joinReadTimeout))
+	var join msg
+	if err := dec.Decode(&join); err != nil || join.Type != "join" {
+		conn.Close()
+		return
+	}
+	conn.SetReadDeadline(time.Time{})
+
+	w := &wconn{conn: conn, enc: json.NewEncoder(conn)}
+	refuse := func(code, detail string) {
+		w.send(msg{Type: "error", Code: code, Detail: detail})
+		conn.Close()
+	}
+	if join.Version != Version {
+		refuse(codeVersion, fmt.Sprintf("coordinator speaks %q, worker %q", Version, join.Version))
+		return
+	}
+	if join.ConfigSum != c.sum {
+		refuse(codeConfig, fmt.Sprintf("coordinator config %s, worker %s", c.sum, join.ConfigSum))
+		return
+	}
+
+	c.mu.Lock()
+	if c.sealed {
+		c.mu.Unlock()
+		refuse(codeSealed, fmt.Sprintf("cluster already has all %d workers", c.cfg.Workers))
+		return
+	}
+	slot := join.Slot
+	if slot >= 0 {
+		if slot >= c.cfg.Workers {
+			c.mu.Unlock()
+			refuse(codeSlot, fmt.Sprintf("slot %d out of range [0, %d)", slot, c.cfg.Workers))
+			return
+		}
+		if c.workers[slot] != nil {
+			c.mu.Unlock()
+			refuse(codeSlot, fmt.Sprintf("slot %d already joined", slot))
+			return
+		}
+	} else {
+		for i, ww := range c.workers {
+			if ww == nil {
+				slot = i
+				break
+			}
+		}
+	}
+	lo, hi := c.cfg.window(slot)
+	w.slot = slot
+	w.info = workerInfo{Slot: slot, MeshAddr: join.MeshAddr, Lo: lo, Hi: hi}
+	c.workers[slot] = w
+	c.joined++
+	seal := c.joined == c.cfg.Workers
+	if seal {
+		c.sealed = true
+	}
+	c.mu.Unlock()
+
+	c.logf("cluster: worker %d joined from %s (mesh %s, ranks [%d,%d))",
+		slot, conn.RemoteAddr(), join.MeshAddr, lo, hi)
+	if err := w.send(msg{Type: "joined", Slot: slot}); err != nil {
+		conn.Close()
+		return
+	}
+	if seal {
+		c.broadcastLayout()
+	}
+
+	for {
+		var m msg
+		if err := dec.Decode(&m); err != nil {
+			conn.Close()
+			return
+		}
+		switch m.Type {
+		case "ready":
+			c.mu.Lock()
+			c.ready++
+			if c.ready == c.cfg.Workers {
+				close(c.readyCh)
+			}
+			c.mu.Unlock()
+			c.logf("cluster: worker %d ready", w.slot)
+		case "result":
+			c.mu.Lock()
+			q := c.queries[m.QID]
+			c.mu.Unlock()
+			if q != nil {
+				q.addPartial(&m)
+			}
+		case "stats":
+			c.mu.Lock()
+			sw := c.statsW
+			if sw != nil && m.Net != nil {
+				sw.totals.add(m.Net)
+				sw.remaining--
+				if sw.remaining == 0 {
+					c.statsW = nil
+					close(sw.done)
+				}
+			}
+			c.mu.Unlock()
+		}
+	}
+}
+
+// broadcastLayout ships the sealed cluster layout — every worker's mesh
+// address and rank window plus the fencing epoch — to all workers.
+func (c *Coordinator) broadcastLayout() {
+	c.mu.Lock()
+	infos := make([]workerInfo, len(c.workers))
+	conns := make([]*wconn, len(c.workers))
+	for i, w := range c.workers {
+		infos[i] = w.info
+		conns[i] = w
+	}
+	c.mu.Unlock()
+	c.logf("cluster: sealed with %d workers / %d ranks, epoch %d", c.cfg.Workers, c.cfg.Ranks, c.epoch)
+	for _, w := range conns {
+		w.send(msg{Type: "cluster", Epoch: c.epoch, Workers: infos})
+	}
+}
+
+// WaitReady blocks until every worker has built its partitions and started
+// its engine, or the timeout elapses.
+func (c *Coordinator) WaitReady(timeout time.Duration) error {
+	select {
+	case <-c.readyCh:
+		return nil
+	case <-time.After(timeout):
+		c.mu.Lock()
+		ready := c.ready
+		c.mu.Unlock()
+		return fmt.Errorf("cluster: timed out after %v with %d/%d workers ready", timeout, ready, c.cfg.Workers)
+	}
+}
+
+// Query is the coordinator-side handle on one cluster-wide query.
+type Query struct {
+	c    *Coordinator
+	id   uint32
+	spec engine.Spec
+	res  *engine.Result
+
+	mu        sync.Mutex
+	pending   int
+	accumSum  uint64
+	errDetail []string
+	finished  bool
+	timer     *time.Timer
+
+	done chan struct{}
+}
+
+// Submit admits a query globally (blocking while MaxInFlight queries are in
+// flight) and fans it out to every worker. The returned Query completes when
+// all workers have reported their master-range partials.
+func (c *Coordinator) Submit(spec engine.Spec) (*Query, error) {
+	switch spec.Algo {
+	case engine.AlgoBFS, engine.AlgoSSSP:
+		if uint64(spec.Source) >= c.n {
+			return nil, fmt.Errorf("cluster: source %d out of range [0, %d)", spec.Source, c.n)
+		}
+	case engine.AlgoCC:
+	case engine.AlgoKCore:
+		if spec.K < 1 {
+			return nil, errors.New("cluster: kcore needs k >= 1")
+		}
+	default:
+		return nil, fmt.Errorf("cluster: unknown algorithm %q", spec.Algo)
+	}
+	c.sem <- struct{}{} // global admission: one slot per in-flight query
+
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		<-c.sem
+		return nil, ErrCoordinatorClosed
+	}
+	q := &Query{
+		c:       c,
+		id:      c.nextQID,
+		spec:    spec,
+		res:     newClusterResult(spec, c.n),
+		pending: c.cfg.Workers,
+		done:    make(chan struct{}),
+	}
+	c.nextQID++
+	c.queries[q.id] = q
+	conns := append([]*wconn(nil), c.workers...)
+	c.mu.Unlock()
+
+	if spec.Deadline > 0 {
+		q.timer = time.AfterFunc(spec.Deadline, q.Cancel)
+	}
+	sub := msg{
+		Type: "submit", QID: q.id, Algo: string(spec.Algo),
+		Source: uint64(spec.Source), WeightSeed: spec.WeightSeed, K: spec.K,
+	}
+	for _, w := range conns {
+		w.send(sub)
+	}
+	return q, nil
+}
+
+// newClusterResult mirrors the engine's result initialization so a cancelled
+// (partial) assembly still reads as "unreached", never as spurious zeros.
+func newClusterResult(spec engine.Spec, n uint64) *engine.Result {
+	res := &engine.Result{}
+	switch spec.Algo {
+	case engine.AlgoBFS:
+		res.Levels = make([]uint32, n)
+		for i := range res.Levels {
+			res.Levels[i] = ^uint32(0)
+		}
+	case engine.AlgoSSSP:
+		res.Dist = make([]uint64, n)
+		for i := range res.Dist {
+			res.Dist[i] = ^uint64(0)
+		}
+	case engine.AlgoCC:
+		res.Labels = make([]graph.Vertex, n)
+		for i := range res.Labels {
+			res.Labels[i] = graph.Vertex(i)
+		}
+	case engine.AlgoKCore:
+		res.InCore = make([]bool, n)
+	}
+	return res
+}
+
+// addPartial folds one worker's master-range result into the assembly; the
+// last worker to report completes the query.
+func (q *Query) addPartial(m *msg) {
+	q.mu.Lock()
+	if q.finished {
+		q.mu.Unlock()
+		return
+	}
+	if m.Err != "" {
+		q.errDetail = append(q.errDetail, m.Err)
+	}
+	switch {
+	case m.Levels != nil:
+		copy(q.res.Levels[m.Lo:m.Hi], m.Levels)
+	case m.Dist != nil:
+		copy(q.res.Dist[m.Lo:m.Hi], m.Dist)
+	case m.Labels != nil:
+		dst := q.res.Labels[m.Lo:m.Hi]
+		for i, v := range m.Labels {
+			dst[i] = graph.Vertex(v)
+		}
+	case m.InCore != nil:
+		copy(q.res.InCore[m.Lo:m.Hi], m.InCore)
+	}
+	q.accumSum += m.Accum
+	if m.Lo == 0 && m.Hi > 0 {
+		q.res.Waves = m.Waves // detector root lives on rank 0's worker
+	}
+	if m.Cancelled {
+		q.res.Cancelled = true
+	}
+	q.pending--
+	last := q.pending == 0
+	if last {
+		q.finished = true
+		switch q.spec.Algo {
+		case engine.AlgoCC:
+			q.res.Components = q.accumSum
+		case engine.AlgoKCore:
+			q.res.CoreSize = q.accumSum
+		}
+		if q.timer != nil {
+			q.timer.Stop()
+		}
+	}
+	q.mu.Unlock()
+	if last {
+		q.c.mu.Lock()
+		delete(q.c.queries, q.id)
+		q.c.mu.Unlock()
+		close(q.done)
+		<-q.c.sem // release the admission slot
+	}
+}
+
+// ID returns the cluster-wide query ID (also the mailbox tag on every rank).
+func (q *Query) ID() uint32 { return q.id }
+
+// Done is closed once every worker has reported.
+func (q *Query) Done() <-chan struct{} { return q.done }
+
+// Wait blocks for assembly and returns the global result. The error is
+// non-nil if any worker rejected or failed the query.
+func (q *Query) Wait() (*engine.Result, error) {
+	<-q.done
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if len(q.errDetail) > 0 {
+		return q.res, fmt.Errorf("cluster: query %d failed on %d worker(s): %s",
+			q.id, len(q.errDetail), q.errDetail[0])
+	}
+	return q.res, nil
+}
+
+// Cancel broadcasts cancellation; every worker flips the query into drain
+// mode and still reports its (partial, monotone) master range.
+func (q *Query) Cancel() {
+	q.c.mu.Lock()
+	conns := append([]*wconn(nil), q.c.workers...)
+	q.c.mu.Unlock()
+	for _, w := range conns {
+		if w != nil {
+			w.send(msg{Type: "cancel", QID: q.id})
+		}
+	}
+}
+
+// statsWaiter collects one NetStats sweep's replies.
+type statsWaiter struct {
+	remaining int
+	totals    NetTotals
+	done      chan struct{}
+}
+
+// NetStats sweeps every worker's data-plane counters and returns the
+// cluster-wide sum. One sweep at a time; callers serialize.
+func (c *Coordinator) NetStats(timeout time.Duration) (NetTotals, error) {
+	c.mu.Lock()
+	if c.statsW != nil {
+		c.mu.Unlock()
+		return NetTotals{}, errors.New("cluster: a stats sweep is already in flight")
+	}
+	sw := &statsWaiter{remaining: c.cfg.Workers, done: make(chan struct{})}
+	c.statsW = sw
+	conns := append([]*wconn(nil), c.workers...)
+	c.mu.Unlock()
+
+	for _, w := range conns {
+		if w != nil {
+			w.send(msg{Type: "stats"})
+		}
+	}
+	select {
+	case <-sw.done:
+		return sw.totals, nil
+	case <-time.After(timeout):
+		c.mu.Lock()
+		if c.statsW == sw {
+			c.statsW = nil
+		}
+		c.mu.Unlock()
+		return sw.totals, fmt.Errorf("cluster: stats sweep timed out with %d workers unreported", sw.remaining)
+	}
+}
+
+// Close shuts the cluster down: broadcast shutdown, drop every control
+// connection, stop accepting. In-flight queries should be drained first
+// (workers drain cleanly anyway, but their results will have nowhere to go).
+func (c *Coordinator) Close() error {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		c.wg.Wait()
+		return nil
+	}
+	c.closed = true
+	conns := append([]*wconn(nil), c.workers...)
+	c.mu.Unlock()
+
+	for _, w := range conns {
+		if w != nil {
+			w.send(msg{Type: "shutdown"})
+		}
+	}
+	c.ln.Close()
+	for _, w := range conns {
+		if w != nil {
+			w.conn.Close()
+		}
+	}
+	c.wg.Wait()
+	return nil
+}

@@ -1,0 +1,303 @@
+package cluster
+
+import (
+	"encoding/json"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"havoqgt/internal/core"
+	"havoqgt/internal/engine"
+	"havoqgt/internal/generators"
+	"havoqgt/internal/graph"
+	hnet "havoqgt/internal/net"
+	"havoqgt/internal/obs"
+	"havoqgt/internal/partition"
+	"havoqgt/internal/rt"
+)
+
+// WorkerOptions configure one worker process.
+type WorkerOptions struct {
+	Coordinator string        // coordinator control address
+	Config      ClusterConfig // must checksum-match the coordinator's
+	Slot        int           // explicit worker slot, or -1 for coordinator-assigned
+	MeshAddr    string        // data-plane listen address (default "127.0.0.1:0")
+	JoinTimeout time.Duration // dial + handshake bound (default 30s)
+	Logf        func(format string, args ...any)
+}
+
+// joinVersion is what this worker claims to speak; a var so the handshake
+// rejection path is testable without forking a differently built binary.
+var joinVersion = Version
+
+func (o WorkerOptions) normalized() WorkerOptions {
+	if o.MeshAddr == "" {
+		o.MeshAddr = "127.0.0.1:0"
+	}
+	if o.JoinTimeout <= 0 {
+		o.JoinTimeout = 30 * time.Second
+	}
+	if o.Logf == nil {
+		o.Logf = func(string, ...any) {}
+	}
+	o.Config = o.Config.normalized()
+	return o
+}
+
+// RunWorker joins the coordinator, hosts this process's rank window until
+// the coordinator orders shutdown, then tears everything down. It returns
+// nil after a clean shutdown, a typed handshake error (ErrVersionMismatch,
+// ErrConfigMismatch, ErrDuplicateSlot, ErrSealed) when the coordinator
+// refuses the join, and ErrCoordinatorDown when the control connection dies
+// without a verdict or before shutdown.
+func RunWorker(opts WorkerOptions) error {
+	opts = opts.normalized()
+	if err := opts.Config.validate(); err != nil {
+		return err
+	}
+
+	// Bind the data plane first: the join request must carry a dialable mesh
+	// address, and binding ":0" resolves the port.
+	mesh, err := hnet.NewMesh(opts.MeshAddr)
+	if err != nil {
+		return fmt.Errorf("cluster: bind mesh: %w", err)
+	}
+	meshStarted := false
+	defer func() {
+		if !meshStarted {
+			mesh.Close()
+		}
+	}()
+
+	conn, err := net.DialTimeout("tcp", opts.Coordinator, opts.JoinTimeout)
+	if err != nil {
+		return fmt.Errorf("%w: dial %s: %v", ErrCoordinatorDown, opts.Coordinator, err)
+	}
+	defer conn.Close()
+	enc := json.NewEncoder(conn)
+	dec := json.NewDecoder(conn)
+
+	// Handshake: join -> joined | error.
+	conn.SetDeadline(time.Now().Add(opts.JoinTimeout))
+	err = enc.Encode(&msg{
+		Type: "join", Version: joinVersion, ConfigSum: opts.Config.Checksum(),
+		Slot: opts.Slot, MeshAddr: mesh.Addr(),
+	})
+	if err != nil {
+		return fmt.Errorf("%w: send join: %v", ErrCoordinatorDown, err)
+	}
+	var reply msg
+	if err := dec.Decode(&reply); err != nil {
+		return fmt.Errorf("%w: awaiting join verdict: %v", ErrCoordinatorDown, err)
+	}
+	switch reply.Type {
+	case "joined":
+	case "error":
+		return codeToErr(reply.Code, reply.Detail)
+	default:
+		return fmt.Errorf("%w: unexpected %q during handshake", ErrCoordinatorDown, reply.Type)
+	}
+	slot := reply.Slot
+	opts.Logf("cluster: joined as worker %d (mesh %s)", slot, mesh.Addr())
+
+	// Layout: arrives once the last worker joins, so no deadline — but a
+	// coordinator death here must still surface as an error, not a hang.
+	conn.SetDeadline(time.Time{})
+	var layout msg
+	if err := dec.Decode(&layout); err != nil {
+		return fmt.Errorf("%w: awaiting cluster layout: %v", ErrCoordinatorDown, err)
+	}
+	if layout.Type != "cluster" {
+		return fmt.Errorf("%w: unexpected %q awaiting cluster layout", ErrCoordinatorDown, layout.Type)
+	}
+
+	cfg := opts.Config
+	p := cfg.Ranks
+	lo, hi := cfg.window(slot)
+	owner := make([]int, p)
+	peers := make(map[int]string, cfg.Workers-1)
+	for _, wi := range layout.Workers {
+		for r := wi.Lo; r < wi.Hi; r++ {
+			owner[r] = wi.Slot
+		}
+		if wi.Slot != slot {
+			peers[wi.Slot] = wi.MeshAddr
+		}
+	}
+
+	// Data plane up: machine first (the mesh needs its Deliver), then the
+	// mesh (the machine needs its Send). No frame moves until Run below.
+	machine := rt.NewClusterMachine(p, lo, hi, mesh)
+	err = mesh.Start(hnet.Config{
+		Local: slot, Epoch: layout.Epoch, Peers: peers, Owner: owner,
+		Deliver: machine.Deliver, Obs: machine.Obs(),
+	})
+	if err != nil {
+		return fmt.Errorf("cluster: start mesh: %w", err)
+	}
+	meshStarted = true
+	defer mesh.Close()
+
+	// Collective graph construction across the whole cluster: every rank
+	// everywhere generates its RMAT chunk and the partitioner's sample-sort
+	// exchanges ride the mesh exactly as they ride the in-process inboxes.
+	n := uint64(1) << cfg.Scale
+	gen := generators.NewGraph500(cfg.Scale, cfg.Seed)
+	parts := make([]*partition.Part, p)
+	ghosts := make([]*core.GhostTable, p)
+	buildErrs := make([]error, p)
+	opts.Logf("cluster: worker %d building scale-%d partition for ranks [%d,%d)", slot, cfg.Scale, lo, hi)
+	machine.Run(func(r *rt.Rank) {
+		local := graph.Undirect(gen.GenerateChunk(r.Rank(), p))
+		var part *partition.Part
+		var err error
+		if cfg.Simplify {
+			part, err = partition.BuildEdgeListSimple(r, local, n)
+		} else {
+			part, err = partition.BuildEdgeList(r, local, n)
+		}
+		if err != nil {
+			buildErrs[r.Rank()] = err
+			return
+		}
+		parts[r.Rank()] = part
+		if cfg.Ghosts >= 0 {
+			k := cfg.Ghosts
+			if k == 0 {
+				k = core.DefaultGhostsPerPartition
+			}
+			ghosts[r.Rank()] = core.BuildGhostTable(part, k)
+		}
+	})
+	for r := lo; r < hi; r++ {
+		if buildErrs[r] != nil {
+			return fmt.Errorf("cluster: build rank %d: %w", r, buildErrs[r])
+		}
+	}
+
+	eng, err := engine.Start(engine.Config{
+		Machine: machine, Parts: parts, Ghosts: ghosts, Topology: cfg.Topology,
+	}, engine.Options{Reliable: cfg.Reliable})
+	if err != nil {
+		return fmt.Errorf("cluster: start engine: %w", err)
+	}
+	defer eng.Close()
+
+	// The worker's contiguous global master range: results for every vertex
+	// in [gLo, gHi) are owned here and shipped back per query.
+	gLo, _ := parts[lo].Owners.MasterRange(lo)
+	_, gHi := parts[hi-1].Owners.MasterRange(hi - 1)
+
+	if err := enc.Encode(&msg{Type: "ready", Slot: slot}); err != nil {
+		return fmt.Errorf("%w: send ready: %v", ErrCoordinatorDown, err)
+	}
+	opts.Logf("cluster: worker %d ready (vertices [%d,%d))", slot, gLo, gHi)
+
+	var (
+		mu      sync.Mutex
+		tickets = make(map[uint32]*engine.Ticket)
+		sendMu  sync.Mutex // result senders run concurrently with the loop
+		wg      sync.WaitGroup
+	)
+	send := func(m *msg) {
+		sendMu.Lock()
+		enc.Encode(m)
+		sendMu.Unlock()
+	}
+
+	serveErr := error(nil)
+serve:
+	for {
+		var m msg
+		if err := dec.Decode(&m); err != nil {
+			serveErr = fmt.Errorf("%w: %v", ErrCoordinatorDown, err)
+			break
+		}
+		switch m.Type {
+		case "submit":
+			spec := engine.Spec{
+				Algo:       engine.Algo(m.Algo),
+				Source:     graph.Vertex(m.Source),
+				WeightSeed: m.WeightSeed,
+				K:          m.K,
+			}
+			tk, err := eng.SubmitRemote(m.QID, spec)
+			if err != nil {
+				send(&msg{Type: "result", QID: m.QID, Err: err.Error()})
+				continue
+			}
+			mu.Lock()
+			tickets[m.QID] = tk
+			mu.Unlock()
+			wg.Add(1)
+			go func(qid uint32, tk *engine.Ticket) {
+				defer wg.Done()
+				res := tk.Wait()
+				mu.Lock()
+				delete(tickets, qid)
+				mu.Unlock()
+				send(resultMsg(qid, res, gLo, gHi))
+			}(m.QID, tk)
+		case "cancel":
+			mu.Lock()
+			tk := tickets[m.QID]
+			mu.Unlock()
+			if tk != nil {
+				tk.Cancel()
+			}
+		case "stats":
+			reg := machine.Obs()
+			send(&msg{Type: "stats", Slot: slot, Net: &NetTotals{
+				BytesIn:    reg.Counter(obs.NetBytesIn).Value(),
+				BytesOut:   reg.Counter(obs.NetBytesOut).Value(),
+				FramesIn:   reg.Counter(obs.NetFramesIn).Value(),
+				FramesOut:  reg.Counter(obs.NetFramesOut).Value(),
+				Reconnects: reg.Counter(obs.NetReconnects).Value(),
+			}})
+		case "shutdown":
+			break serve
+		}
+	}
+
+	if serveErr != nil {
+		// The coordinator died with queries possibly in flight. Flip them
+		// all to drain so the engine's Close below can quiesce; the other
+		// workers lost the same connection and do the same.
+		mu.Lock()
+		for _, tk := range tickets {
+			tk.Cancel()
+		}
+		mu.Unlock()
+	}
+	wg.Wait()
+	opts.Logf("cluster: worker %d shutting down", slot)
+	if err := eng.Close(); err != nil {
+		return err
+	}
+	return serveErr
+}
+
+// resultMsg packages one query's worker-local outcome: the master-range
+// slice of the deterministic arrays, the worker-local scalar accumulator,
+// and (from rank 0's host only) the detector wave count.
+func resultMsg(qid uint32, res *engine.Result, gLo, gHi uint64) *msg {
+	m := &msg{Type: "result", QID: qid, Lo: gLo, Hi: gHi, Cancelled: res.Cancelled}
+	switch {
+	case res.Levels != nil:
+		m.Levels = res.Levels[gLo:gHi]
+	case res.Dist != nil:
+		m.Dist = res.Dist[gLo:gHi]
+	case res.Labels != nil:
+		m.Labels = make([]uint64, gHi-gLo)
+		for i, v := range res.Labels[gLo:gHi] {
+			m.Labels[i] = uint64(v)
+		}
+		m.Accum = res.Components
+	case res.InCore != nil:
+		m.InCore = res.InCore[gLo:gHi]
+		m.Accum = res.CoreSize
+	}
+	m.Waves = res.Waves
+	return m
+}

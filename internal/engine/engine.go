@@ -391,7 +391,11 @@ type Engine struct {
 	cfg  Config
 	opts Options
 	n    uint64 // vertices
-	p    int    // ranks
+	p    int    // ranks (global: the whole cluster on a cluster machine)
+	// localRanks is how many ranks this process hosts (== p in-process). A
+	// query completes HERE when its ranksDone reaches localRanks; on a
+	// cluster worker the coordinator aggregates per-process completions.
+	localRanks int
 
 	mu          sync.Mutex
 	closed      bool
@@ -421,6 +425,14 @@ func Start(cfg Config, opts Options) (*Engine, error) {
 	if cfg.Machine == nil || len(cfg.Parts) != cfg.Machine.Size() {
 		return nil, errors.New("engine: config needs a machine and one part per rank")
 	}
+	// On a cluster machine only the locally hosted ranks carry partitions;
+	// remote slots stay nil. Every local rank must have one.
+	lo, hi := cfg.Machine.LocalRange()
+	for r := lo; r < hi; r++ {
+		if cfg.Parts[r] == nil {
+			return nil, fmt.Errorf("engine: config missing the partition for local rank %d", r)
+		}
+	}
 	if cfg.Topology == "" {
 		cfg.Topology = "1d"
 	}
@@ -431,8 +443,9 @@ func Start(cfg Config, opts Options) (*Engine, error) {
 	e := &Engine{
 		cfg:          cfg,
 		opts:         opts.normalized(),
-		n:            cfg.Parts[0].NumVertices,
+		n:            cfg.Parts[lo].NumVertices,
 		p:            cfg.Machine.Size(),
+		localRanks:   cfg.Machine.LocalSize(),
 		nextID:       1, // 0 stays reserved for the classic single-traversal path
 		drained:      make(chan struct{}),
 		runDone:      make(chan struct{}),

@@ -250,7 +250,7 @@ func (s *rankState) finish(r *rt.Rank, id uint32) {
 	rq.run.Finish()
 	s.mux.Release(id)
 	delete(s.pending, id)
-	if int(rq.q.ranksDone.Add(1)) == r.Size() {
+	if int(rq.q.ranksDone.Add(1)) == s.e.localRanks {
 		s.e.completeQuery(rq.q)
 	}
 }

@@ -1,0 +1,133 @@
+// Package net is the TCP byte transport behind rt.Fabric: it carries rt
+// messages between the processes of a havoqd cluster as length-prefixed
+// frames over per-peer connections.
+//
+// Layering (DESIGN.md §10): this package moves bytes and preserves per-peer
+// FIFO order — nothing more. Loss recovery for the data plane is the reliable
+// mailbox's job (seq/ack/CRC/retransmit, riding unchanged on top); fault
+// injection interposes at rt.Machine.send BEFORE frames reach this package,
+// so internal/faults shapes networked traffic exactly as it shapes loopback
+// traffic. A frame accepted by the reader is delivered exactly once; a
+// connection that dies mid-write is re-dialed with backoff and the unwritten
+// frames are resent (frames already handed to a dead kernel socket may be
+// lost — the documented loss window the reliable mode exists to cover).
+package net
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// Wire format. Every frame is
+//
+//	[u32 length][u8 version][u8 kind][u16 flags][u32 from][u32 to][u32 tag][u64 delay_ns][payload]
+//
+// with length counting everything after the length field (header remainder +
+// payload, little-endian throughout). kind is the rt message kind for data
+// frames, or kindNetCtl for transport-internal ping/pong probes (flags
+// discriminate). delay_ns carries a fault-injected delivery postponement so
+// the receiving machine stamps the same visibility horizon an in-process
+// inbox would have.
+const (
+	// ProtoVersion is the frame + preamble wire version; bumped on any
+	// incompatible change so mismatched builds fail the handshake instead of
+	// corrupting each other's streams.
+	ProtoVersion = 1
+
+	frameHeadLen = 24      // bytes after the length field, before payload
+	lenPrefixLen = 4       // the u32 length field itself
+	MaxFrame     = 1 << 26 // 64 MiB: largest accepted frame (length field value)
+
+	// kindNetCtl marks transport-internal control frames (never delivered to
+	// the machine).
+	kindNetCtl = 0xFF
+
+	flagPing uint16 = 1 << 0
+	flagPong uint16 = 1 << 1
+)
+
+// frame is one decoded wire frame.
+type frame struct {
+	kind    uint8
+	flags   uint16
+	from    int
+	to      int
+	tag     uint32
+	delayNS uint64
+	payload []byte
+}
+
+// appendFrame encodes f onto dst and returns the extended buffer.
+func appendFrame(dst []byte, f frame) []byte {
+	n := frameHeadLen + len(f.payload)
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(n))
+	dst = append(dst, ProtoVersion, f.kind)
+	dst = binary.LittleEndian.AppendUint16(dst, f.flags)
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(f.from))
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(f.to))
+	dst = binary.LittleEndian.AppendUint32(dst, f.tag)
+	dst = binary.LittleEndian.AppendUint64(dst, f.delayNS)
+	return append(dst, f.payload...)
+}
+
+// decodeFrame parses the post-length portion of a frame. The returned
+// frame's payload aliases buf.
+func decodeFrame(buf []byte) (frame, error) {
+	if len(buf) < frameHeadLen {
+		return frame{}, fmt.Errorf("net: short frame: %d bytes", len(buf))
+	}
+	if buf[0] != ProtoVersion {
+		return frame{}, fmt.Errorf("net: frame version %d, want %d", buf[0], ProtoVersion)
+	}
+	f := frame{
+		kind:    buf[1],
+		flags:   binary.LittleEndian.Uint16(buf[2:]),
+		from:    int(binary.LittleEndian.Uint32(buf[4:])),
+		to:      int(binary.LittleEndian.Uint32(buf[8:])),
+		tag:     binary.LittleEndian.Uint32(buf[12:]),
+		delayNS: binary.LittleEndian.Uint64(buf[16:]),
+		payload: buf[frameHeadLen:],
+	}
+	return f, nil
+}
+
+// Connection preamble: written once by the dialing side before any frame,
+// validated by the accepting side before any delivery.
+//
+//	[4 byte magic "HVQN"][u8 version][u8 pad][u16 pad][u32 from][u64 epoch]
+//
+// The epoch is the cluster generation minted by the coordinator: a process
+// from a previous cluster incarnation (a stale worker that missed its
+// shutdown) presents the wrong epoch and is refused at accept, which fences
+// its traffic off the new cluster's message plane.
+const preambleLen = 20
+
+var preambleMagic = [4]byte{'H', 'V', 'Q', 'N'}
+
+// appendPreamble encodes the connection preamble.
+func appendPreamble(dst []byte, from int, epoch uint64) []byte {
+	dst = append(dst, preambleMagic[:]...)
+	dst = append(dst, ProtoVersion, 0)
+	dst = binary.LittleEndian.AppendUint16(dst, 0)
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(from))
+	return binary.LittleEndian.AppendUint64(dst, epoch)
+}
+
+// decodePreamble validates a connection preamble and returns the sender's
+// process id.
+func decodePreamble(buf []byte, wantEpoch uint64) (from int, err error) {
+	if len(buf) != preambleLen {
+		return 0, fmt.Errorf("net: preamble length %d, want %d", len(buf), preambleLen)
+	}
+	if [4]byte(buf[:4]) != preambleMagic {
+		return 0, fmt.Errorf("net: bad preamble magic %q", buf[:4])
+	}
+	if buf[4] != ProtoVersion {
+		return 0, fmt.Errorf("net: peer speaks protocol version %d, want %d", buf[4], ProtoVersion)
+	}
+	epoch := binary.LittleEndian.Uint64(buf[12:])
+	if epoch != wantEpoch {
+		return 0, fmt.Errorf("net: peer cluster epoch %d, want %d (stale worker fenced)", epoch, wantEpoch)
+	}
+	return int(binary.LittleEndian.Uint32(buf[8:])), nil
+}

@@ -1,0 +1,80 @@
+package net
+
+import (
+	"bytes"
+	"encoding/binary"
+	"testing"
+)
+
+func TestFrameRoundTrip(t *testing.T) {
+	cases := []frame{
+		{kind: 0, from: 0, to: 1, tag: 0, payload: nil},
+		{kind: 2, from: 7, to: 3, tag: 0xDEADBEEF, delayNS: 12345, payload: []byte("hello")},
+		{kind: kindNetCtl, flags: flagPing, from: 4, payload: make([]byte, 8)},
+		{kind: 1, from: 1000000, to: 999999, tag: 1, payload: bytes.Repeat([]byte{0xAB}, 4096)},
+	}
+	for i, f := range cases {
+		enc := appendFrame(nil, f)
+		n := binary.LittleEndian.Uint32(enc)
+		if int(n) != len(enc)-lenPrefixLen {
+			t.Fatalf("case %d: length field %d, want %d", i, n, len(enc)-lenPrefixLen)
+		}
+		got, err := decodeFrame(enc[lenPrefixLen:])
+		if err != nil {
+			t.Fatalf("case %d: decode: %v", i, err)
+		}
+		if got.kind != f.kind || got.flags != f.flags || got.from != f.from ||
+			got.to != f.to || got.tag != f.tag || got.delayNS != f.delayNS ||
+			!bytes.Equal(got.payload, f.payload) {
+			t.Fatalf("case %d: round trip mismatch: sent %+v got %+v", i, f, got)
+		}
+	}
+}
+
+func TestFrameDecodeRejects(t *testing.T) {
+	// Short buffer.
+	if _, err := decodeFrame(make([]byte, frameHeadLen-1)); err == nil {
+		t.Fatal("short frame accepted")
+	}
+	// Wrong version.
+	enc := appendFrame(nil, frame{kind: 1, to: 2})
+	enc[lenPrefixLen] = ProtoVersion + 1
+	if _, err := decodeFrame(enc[lenPrefixLen:]); err == nil {
+		t.Fatal("wrong-version frame accepted")
+	}
+}
+
+func TestPreambleRoundTrip(t *testing.T) {
+	pre := appendPreamble(nil, 42, 7)
+	if len(pre) != preambleLen {
+		t.Fatalf("preamble length %d, want %d", len(pre), preambleLen)
+	}
+	from, err := decodePreamble(pre, 7)
+	if err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if from != 42 {
+		t.Fatalf("from = %d, want 42", from)
+	}
+}
+
+func TestPreambleRejects(t *testing.T) {
+	pre := appendPreamble(nil, 1, 5)
+
+	if _, err := decodePreamble(pre[:preambleLen-1], 5); err == nil {
+		t.Fatal("short preamble accepted")
+	}
+	if _, err := decodePreamble(pre, 6); err == nil {
+		t.Fatal("wrong-epoch preamble accepted (stale worker not fenced)")
+	}
+	bad := append([]byte(nil), pre...)
+	bad[0] = 'X'
+	if _, err := decodePreamble(bad, 5); err == nil {
+		t.Fatal("bad magic accepted")
+	}
+	badVer := append([]byte(nil), pre...)
+	badVer[4] = ProtoVersion + 1
+	if _, err := decodePreamble(badVer, 5); err == nil {
+		t.Fatal("wrong protocol version accepted")
+	}
+}

@@ -1,0 +1,280 @@
+package net
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"time"
+
+	"havoqgt/internal/obs"
+)
+
+// DeliverFunc receives one inbound rt message decoded off the wire. The
+// payload is freshly allocated per frame and owned by the callee (it flows
+// into rt inboxes and from there into mailbox pools, which require exclusive
+// references).
+type DeliverFunc func(from, to int, kind uint8, tag uint32, payload []byte, delay time.Duration)
+
+// Config wires a started Mesh to its cluster.
+type Config struct {
+	// Local is this process's id in the cluster.
+	Local int
+	// Epoch is the cluster generation minted by the coordinator; connections
+	// presenting any other epoch are refused (see frame.go preamble).
+	Epoch uint64
+	// Peers maps every remote process id to its mesh listen address.
+	Peers map[int]string
+	// Owner maps a global rank to the process id hosting it; Owner[r] ==
+	// Local means the rank is hosted here (those sends never reach the mesh).
+	Owner []int
+	// Deliver receives inbound data frames.
+	Deliver DeliverFunc
+	// Obs receives the transport metrics (net.* counters, per-peer RTT
+	// histograms). Required.
+	Obs *obs.Registry
+	// PingInterval spaces the RTT probes per peer (0 = DefaultPingInterval;
+	// negative disables probing).
+	PingInterval time.Duration
+}
+
+// DefaultPingInterval spaces RTT probes when Config.PingInterval is zero.
+const DefaultPingInterval = 250 * time.Millisecond
+
+// Mesh is one process's endpoint of the cluster byte fabric: a listener for
+// inbound frames and one outbound peer (queue + writer goroutine + TCP
+// connection) per remote process. It implements rt.Fabric.
+//
+// Lifecycle: NewMesh binds the listener (so the address — possibly :0
+// ephemeral — is known before cluster join), Start attaches the cluster
+// configuration and spawns the accept/writer/ping machinery once the
+// coordinator has handed out the peer table, Close tears everything down.
+type Mesh struct {
+	ln net.Listener
+
+	cfg   Config
+	peers map[int]*peer
+
+	mu     sync.Mutex
+	conns  map[net.Conn]struct{} // accepted inbound connections
+	closed bool
+
+	wg sync.WaitGroup
+
+	framesOut  *obs.Counter
+	framesIn   *obs.Counter
+	bytesOut   *obs.Counter
+	bytesIn    *obs.Counter
+	reconnects *obs.Counter
+
+	pingStop chan struct{}
+}
+
+// NewMesh binds the mesh listener on addr (":0" picks an ephemeral port;
+// Addr reports the bound address) without accepting anything yet.
+func NewMesh(addr string) (*Mesh, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("net: mesh listen: %w", err)
+	}
+	return &Mesh{ln: ln, conns: make(map[net.Conn]struct{})}, nil
+}
+
+// Addr returns the listener's bound address.
+func (m *Mesh) Addr() string { return m.ln.Addr().String() }
+
+// Start attaches the cluster configuration: spawn one outbound peer per
+// remote process, the accept loop, and the RTT probe loop. Must be called
+// exactly once, before any rank traffic.
+func (m *Mesh) Start(cfg Config) error {
+	if cfg.Obs == nil {
+		return errors.New("net: mesh config needs an obs registry")
+	}
+	if cfg.Deliver == nil {
+		return errors.New("net: mesh config needs a deliver func")
+	}
+	m.cfg = cfg
+	m.framesOut = cfg.Obs.Counter(obs.NetFramesOut)
+	m.framesIn = cfg.Obs.Counter(obs.NetFramesIn)
+	m.bytesOut = cfg.Obs.Counter(obs.NetBytesOut)
+	m.bytesIn = cfg.Obs.Counter(obs.NetBytesIn)
+	m.reconnects = cfg.Obs.Counter(obs.NetReconnects)
+	m.peers = make(map[int]*peer, len(cfg.Peers))
+	for id, addr := range cfg.Peers {
+		if id == cfg.Local {
+			continue
+		}
+		m.peers[id] = newPeer(id, addr, m)
+	}
+	m.wg.Add(1)
+	go m.acceptLoop()
+	interval := cfg.PingInterval
+	if interval == 0 {
+		interval = DefaultPingInterval
+	}
+	if interval > 0 {
+		m.pingStop = make(chan struct{})
+		m.wg.Add(1)
+		go m.pingLoop(interval)
+	}
+	return nil
+}
+
+// Send implements rt.Fabric: route the message to the process hosting the
+// destination rank. Called inline from rank goroutines, so it only encodes
+// and enqueues; the peer's writer goroutine does the blocking I/O.
+func (m *Mesh) Send(from, to int, kind uint8, tag uint32, payload []byte, delay time.Duration) {
+	owner := m.cfg.Owner[to]
+	p := m.peers[owner]
+	if p == nil {
+		panic(fmt.Sprintf("net: no peer for process %d hosting rank %d", owner, to))
+	}
+	p.enqueue(frame{kind: kind, from: from, to: to, tag: tag, delayNS: uint64(delay), payload: payload})
+}
+
+// acceptLoop admits inbound connections and spawns a reader per connection.
+func (m *Mesh) acceptLoop() {
+	defer m.wg.Done()
+	for {
+		c, err := m.ln.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		m.mu.Lock()
+		if m.closed {
+			m.mu.Unlock()
+			c.Close()
+			return
+		}
+		m.conns[c] = struct{}{}
+		m.mu.Unlock()
+		m.wg.Add(1)
+		go m.readLoop(c)
+	}
+}
+
+// dropConn unregisters and closes an inbound connection.
+func (m *Mesh) dropConn(c net.Conn) {
+	m.mu.Lock()
+	delete(m.conns, c)
+	m.mu.Unlock()
+	c.Close()
+}
+
+// readLoop validates the preamble then decodes frames until the connection
+// ends. Data frames are delivered with a freshly allocated payload; net
+// control frames answer pings and close the RTT loop on pongs.
+func (m *Mesh) readLoop(c net.Conn) {
+	defer m.wg.Done()
+	defer m.dropConn(c)
+	var pre [preambleLen]byte
+	if _, err := io.ReadFull(c, pre[:]); err != nil {
+		return
+	}
+	peerID, err := decodePreamble(pre[:], m.cfg.Epoch)
+	if err != nil {
+		// Wrong epoch / version / magic: refuse by closing. The stale dialer
+		// sees a broken connection, not a seat at the new cluster's table.
+		return
+	}
+	var head [lenPrefixLen]byte
+	var buf []byte
+	for {
+		if _, err := io.ReadFull(c, head[:]); err != nil {
+			return
+		}
+		n := binary.LittleEndian.Uint32(head[:])
+		if n < frameHeadLen || n > MaxFrame {
+			return // protocol violation: drop the connection
+		}
+		if uint32(cap(buf)) < n {
+			buf = make([]byte, n)
+		}
+		buf = buf[:n]
+		if _, err := io.ReadFull(c, buf); err != nil {
+			return
+		}
+		f, err := decodeFrame(buf)
+		if err != nil {
+			return
+		}
+		m.framesIn.Inc()
+		m.bytesIn.Add(uint64(lenPrefixLen + n))
+		if f.kind == kindNetCtl {
+			m.handleCtl(peerID, f)
+			continue
+		}
+		// Exclusive payload copy for the machine: buf is reused next frame.
+		payload := append([]byte(nil), f.payload...)
+		m.cfg.Deliver(f.from, f.to, f.kind, f.tag, payload, time.Duration(f.delayNS))
+	}
+}
+
+// handleCtl answers transport-internal control frames: echo pings back
+// through our outbound edge to the prober, observe RTT on pongs.
+func (m *Mesh) handleCtl(peerID int, f frame) {
+	switch {
+	case f.flags&flagPing != 0:
+		if p := m.peers[peerID]; p != nil {
+			echo := append([]byte(nil), f.payload...)
+			p.enqueue(frame{kind: kindNetCtl, flags: flagPong, from: m.cfg.Local, payload: echo})
+		}
+	case f.flags&flagPong != 0:
+		if p := m.peers[peerID]; p != nil && len(f.payload) == 8 {
+			sent := int64(binary.LittleEndian.Uint64(f.payload))
+			if rtt := time.Now().UnixNano() - sent; rtt > 0 {
+				p.rtt.Observe(uint64(rtt))
+			}
+		}
+	}
+}
+
+// pingLoop probes every peer on the interval: payload is the send timestamp,
+// echoed verbatim by the receiver, observed as RTT on return.
+func (m *Mesh) pingLoop(interval time.Duration) {
+	defer m.wg.Done()
+	t := time.NewTicker(interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-m.pingStop:
+			return
+		case <-t.C:
+			var stamp [8]byte
+			binary.LittleEndian.PutUint64(stamp[:], uint64(time.Now().UnixNano()))
+			for _, p := range m.peers {
+				p.enqueue(frame{kind: kindNetCtl, flags: flagPing, from: m.cfg.Local, payload: stamp[:]})
+			}
+		}
+	}
+}
+
+// Close tears the mesh down: stop probing, close the listener and every
+// connection, join every goroutine. Safe to call more than once.
+func (m *Mesh) Close() error {
+	m.mu.Lock()
+	if m.closed {
+		m.mu.Unlock()
+		return nil
+	}
+	m.closed = true
+	conns := make([]net.Conn, 0, len(m.conns))
+	for c := range m.conns {
+		conns = append(conns, c)
+	}
+	m.mu.Unlock()
+	if m.pingStop != nil {
+		close(m.pingStop)
+	}
+	m.ln.Close()
+	for _, c := range conns {
+		c.Close()
+	}
+	for _, p := range m.peers {
+		p.close()
+	}
+	m.wg.Wait()
+	return nil
+}

@@ -1,0 +1,221 @@
+package net
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"havoqgt/internal/check"
+	"havoqgt/internal/obs"
+)
+
+// delivered collects inbound messages thread-safely.
+type delivered struct {
+	mu   sync.Mutex
+	msgs []string
+}
+
+func (d *delivered) fn(from, to int, kind uint8, tag uint32, payload []byte, delay time.Duration) {
+	d.mu.Lock()
+	d.msgs = append(d.msgs, fmt.Sprintf("%d->%d k%d t%d %q d%v", from, to, kind, tag, payload, delay))
+	d.mu.Unlock()
+}
+
+func (d *delivered) len() int {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return len(d.msgs)
+}
+
+func (d *delivered) get(i int) string {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.msgs[i]
+}
+
+// startPair brings up a fully connected 2-process mesh on ephemeral localhost
+// ports: process 0 hosts rank 0, process 1 hosts rank 1.
+func startPair(t *testing.T, epoch uint64, ping time.Duration) (m0, m1 *Mesh, d0, d1 *delivered) {
+	t.Helper()
+	m0, err := NewMesh("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	m1, err = NewMesh("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	d0, d1 = &delivered{}, &delivered{}
+	owner := []int{0, 1}
+	if err := m0.Start(Config{
+		Local: 0, Epoch: epoch, Owner: owner,
+		Peers:   map[int]string{1: m1.Addr()},
+		Deliver: d0.fn, Obs: obs.NewRegistry(), PingInterval: ping,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := m1.Start(Config{
+		Local: 1, Epoch: epoch, Owner: owner,
+		Peers:   map[int]string{0: m0.Addr()},
+		Deliver: d1.fn, Obs: obs.NewRegistry(), PingInterval: ping,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		m0.Close()
+		m1.Close()
+	})
+	return m0, m1, d0, d1
+}
+
+func waitFor(t *testing.T, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(time.Millisecond)
+	}
+	t.Fatalf("timeout waiting for %s", what)
+}
+
+func TestMeshDeliversInOrder(t *testing.T) {
+	check.NoLeaks(t)
+	m0, _, _, d1 := startPair(t, 1, -1)
+
+	const n = 500
+	for i := 0; i < n; i++ {
+		m0.Send(0, 1, 0, uint32(i), []byte{byte(i)}, 0)
+	}
+	waitFor(t, "all frames", func() bool { return d1.len() == n })
+	for i := 0; i < n; i++ {
+		want := fmt.Sprintf("0->1 k0 t%d %q d0s", i, []byte{byte(i)})
+		if d1.get(i) != want {
+			t.Fatalf("frame %d out of order or corrupted: got %q want %q", i, d1.get(i), want)
+		}
+	}
+}
+
+func TestMeshBidirectionalAndDelay(t *testing.T) {
+	check.NoLeaks(t)
+	m0, m1, d0, d1 := startPair(t, 3, -1)
+
+	m0.Send(0, 1, 2, 9, []byte("ab"), 5*time.Millisecond)
+	m1.Send(1, 0, 1, 4, []byte("cd"), 0)
+	waitFor(t, "both directions", func() bool { return d0.len() == 1 && d1.len() == 1 })
+	if got, want := d1.get(0), `0->1 k2 t9 "ab" d5ms`; got != want {
+		t.Fatalf("got %q want %q", got, want)
+	}
+	if got, want := d0.get(0), `1->0 k1 t4 "cd" d0s`; got != want {
+		t.Fatalf("got %q want %q", got, want)
+	}
+}
+
+// TestMeshEpochFencing: a mesh from a different cluster epoch dials in and
+// must be refused — nothing it sends may reach Deliver.
+func TestMeshEpochFencing(t *testing.T) {
+	check.NoLeaks(t)
+	_, m1, _, d1 := startPair(t, 10, -1)
+
+	stale, err := NewMesh("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer stale.Close()
+	dStale := &delivered{}
+	if err := stale.Start(Config{
+		Local: 0, Epoch: 9, Owner: []int{0, 1},
+		Peers:   map[int]string{1: m1.Addr()},
+		Deliver: dStale.fn, Obs: obs.NewRegistry(), PingInterval: -1,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	stale.Send(0, 1, 0, 77, []byte("stale"), 0)
+	time.Sleep(100 * time.Millisecond)
+	if d1.len() != 0 {
+		t.Fatalf("stale-epoch frame delivered: %q", d1.get(0))
+	}
+}
+
+// TestMeshRTTProbes: with probing on, both sides accumulate per-peer RTT
+// samples and the counters move.
+func TestMeshRTTProbes(t *testing.T) {
+	check.NoLeaks(t)
+	reg0 := obs.NewRegistry()
+	m0, err := NewMesh("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	m1, err := NewMesh("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m0.Close()
+	defer m1.Close()
+	d := &delivered{}
+	owner := []int{0, 1}
+	if err := m0.Start(Config{Local: 0, Epoch: 1, Owner: owner,
+		Peers: map[int]string{1: m1.Addr()}, Deliver: d.fn, Obs: reg0,
+		PingInterval: 5 * time.Millisecond}); err != nil {
+		t.Fatal(err)
+	}
+	if err := m1.Start(Config{Local: 1, Epoch: 1, Owner: owner,
+		Peers: map[int]string{0: m0.Addr()}, Deliver: d.fn, Obs: obs.NewRegistry(),
+		PingInterval: -1}); err != nil {
+		t.Fatal(err)
+	}
+	rtt := reg0.Histogram(obs.NetPeerRTTNS(1))
+	waitFor(t, "rtt samples", func() bool { return rtt.Count() > 0 })
+}
+
+// TestMeshReconnect: frames enqueued while the peer's listener is down are
+// delivered after the listener comes up; the reconnect counter moves.
+func TestMeshReconnect(t *testing.T) {
+	check.NoLeaks(t)
+	reg0 := obs.NewRegistry()
+	m0, err := NewMesh("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m0.Close()
+
+	// Reserve an address for the future peer, then close it so the first
+	// dials fail.
+	tmp, err := NewMesh("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	peerAddr := tmp.Addr()
+	tmp.ln.Close()
+
+	d := &delivered{}
+	if err := m0.Start(Config{Local: 0, Epoch: 2, Owner: []int{0, 1},
+		Peers: map[int]string{1: peerAddr}, Deliver: d.fn, Obs: reg0,
+		PingInterval: -1}); err != nil {
+		t.Fatal(err)
+	}
+	m0.Send(0, 1, 0, 1, []byte("early"), 0)
+	time.Sleep(60 * time.Millisecond) // let at least one dial fail
+
+	// Bring the peer up on the reserved address.
+	m1, err := NewMesh(peerAddr)
+	if err != nil {
+		t.Fatalf("rebind %s: %v", peerAddr, err)
+	}
+	defer m1.Close()
+	d1 := &delivered{}
+	if err := m1.Start(Config{Local: 1, Epoch: 2, Owner: []int{0, 1},
+		Peers: map[int]string{}, Deliver: d1.fn, Obs: obs.NewRegistry(),
+		PingInterval: -1}); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, "redelivery after reconnect", func() bool { return d1.len() == 1 })
+	if got, want := d1.get(0), `0->1 k0 t1 "early" d0s`; got != want {
+		t.Fatalf("got %q want %q", got, want)
+	}
+	if reg0.Counter(obs.NetReconnects).Value() == 0 {
+		t.Fatal("reconnect counter did not move")
+	}
+}

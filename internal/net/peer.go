@@ -1,0 +1,187 @@
+package net
+
+import (
+	"net"
+	"sync"
+	"time"
+
+	"havoqgt/internal/obs"
+)
+
+// Dial/backoff tuning. The first dial of a freshly started cluster races the
+// peer's listener coming up, so the floor is small; the cap keeps a dead peer
+// from being hammered.
+const (
+	dialTimeout  = 5 * time.Second
+	writeTimeout = 30 * time.Second
+	backoffFloor = 25 * time.Millisecond
+	backoffCap   = 2 * time.Second
+
+	// peerPoolCap bounds the per-peer free-list of encoded-frame buffers
+	// (same idiom as the mailbox envelope pool: LIFO, capped, drop beyond).
+	peerPoolCap = 64
+)
+
+// peer owns the outbound half of one mesh edge: a FIFO of encoded frames fed
+// by local rank goroutines and drained by a dedicated writer goroutine over
+// one TCP connection. A frame is removed from the queue only after the whole
+// write succeeded, so a connection that dies mid-stream resends everything
+// not yet written; per-destination order is never reordered because there is
+// exactly one writer and one queue.
+type peer struct {
+	id   int // remote process id
+	addr string
+	m    *Mesh
+
+	mu     sync.Mutex
+	cond   *sync.Cond
+	queue  [][]byte // encoded frames, length-prefix included
+	pool   [][]byte // free-list of consumed frame buffers
+	closed bool
+
+	failedOnce bool // writer-goroutine-owned: a dial attempt has failed
+	rtt        *obs.Histogram
+
+	wg sync.WaitGroup
+}
+
+func newPeer(id int, addr string, m *Mesh) *peer {
+	p := &peer{id: id, addr: addr, m: m}
+	p.rtt = m.cfg.Obs.Histogram(obs.NetPeerRTTNS(id))
+	p.cond = sync.NewCond(&p.mu)
+	p.wg.Add(1)
+	go p.writeLoop()
+	return p
+}
+
+// getBuf returns a recycled encode buffer, or nil (append allocates).
+func (p *peer) getBuf() []byte {
+	n := len(p.pool)
+	if n == 0 {
+		return nil
+	}
+	b := p.pool[n-1]
+	p.pool[n-1] = nil
+	p.pool = p.pool[:n-1]
+	return b[:0]
+}
+
+// enqueue encodes the frame into a pooled buffer and appends it to the
+// outbound FIFO. Never blocks: the queue is unbounded (bounded in practice by
+// the reliable layer's send windows and the collectives' lockstep).
+func (p *peer) enqueue(f frame) {
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		return
+	}
+	buf := appendFrame(p.getBuf(), f)
+	p.queue = append(p.queue, buf)
+	p.mu.Unlock()
+	p.cond.Signal()
+}
+
+// writeLoop drains the FIFO over a (re)dialed connection.
+func (p *peer) writeLoop() {
+	defer p.wg.Done()
+	var conn net.Conn
+	defer func() {
+		if conn != nil {
+			conn.Close()
+		}
+	}()
+	backoff := backoffFloor
+	everConnected := false
+	for {
+		p.mu.Lock()
+		for len(p.queue) == 0 && !p.closed {
+			p.cond.Wait()
+		}
+		if p.closed {
+			p.mu.Unlock()
+			return
+		}
+		buf := p.queue[0]
+		p.mu.Unlock()
+
+		if conn == nil {
+			c, err := p.dial(everConnected)
+			if err != nil {
+				if p.sleepClosed(backoff) {
+					return
+				}
+				if backoff *= 2; backoff > backoffCap {
+					backoff = backoffCap
+				}
+				continue
+			}
+			conn, backoff, everConnected = c, backoffFloor, true
+		}
+		// A hung socket must fail fast, not stall the writer forever (the
+		// cluster watchdog then sees a reconnect storm instead of a freeze).
+		conn.SetWriteDeadline(time.Now().Add(writeTimeout))
+		if _, err := conn.Write(buf); err != nil {
+			conn.Close()
+			conn = nil
+			continue // frame stays at the queue head and is resent
+		}
+		p.m.framesOut.Inc()
+		p.m.bytesOut.Add(uint64(len(buf)))
+		p.mu.Lock()
+		p.queue[0] = nil
+		p.queue = p.queue[1:]
+		if cap(buf) > 0 && len(p.pool) < peerPoolCap {
+			p.pool = append(p.pool, buf)
+		}
+		p.mu.Unlock()
+	}
+}
+
+// dial establishes the connection and ships the preamble. reconnect marks
+// whether a connection existed before (for the reconnect counter; first-ever
+// dial attempts after a failure also count).
+func (p *peer) dial(reconnect bool) (net.Conn, error) {
+	if reconnect || p.failedOnce {
+		p.m.reconnects.Inc()
+	}
+	c, err := net.DialTimeout("tcp", p.addr, dialTimeout)
+	if err != nil {
+		p.failedOnce = true
+		return nil, err
+	}
+	if tc, ok := c.(*net.TCPConn); ok {
+		tc.SetNoDelay(true)
+	}
+	pre := appendPreamble(nil, p.m.cfg.Local, p.m.cfg.Epoch)
+	if _, err := c.Write(pre); err != nil {
+		p.failedOnce = true
+		c.Close()
+		return nil, err
+	}
+	return c, nil
+}
+
+// sleepClosed sleeps d unless the peer closes first; reports closed.
+func (p *peer) sleepClosed(d time.Duration) bool {
+	deadline := time.Now().Add(d)
+	for time.Now().Before(deadline) {
+		p.mu.Lock()
+		closed := p.closed
+		p.mu.Unlock()
+		if closed {
+			return true
+		}
+		time.Sleep(backoffFloor / 5)
+	}
+	return false
+}
+
+// close stops the writer; queued-but-unwritten frames are dropped (the
+// cluster is shutting down or reforming under a new epoch).
+func (p *peer) close() {
+	p.mu.Lock()
+	p.closed = true
+	p.mu.Unlock()
+	p.cond.Broadcast()
+	p.wg.Wait()
+}

@@ -79,6 +79,18 @@ const (
 	MBStaleDropped   = "mailbox.stale_dropped"
 	MBAcksSent       = "mailbox.acks_sent"
 
+	// Networked byte transport (internal/net): the TCP fabric that carries
+	// rt messages between cluster processes. Frames are the unit on the wire
+	// (one rt message per frame, plus ping/pong probes); bytes count framed
+	// payload + header. Reconnects counts dial attempts made after an
+	// established connection broke or a previous attempt failed — zero on a
+	// healthy localhost cluster.
+	NetFramesOut  = "net.frames_out"
+	NetFramesIn   = "net.frames_in"
+	NetBytesOut   = "net.bytes_out"
+	NetBytesIn    = "net.bytes_in"
+	NetReconnects = "net.reconnects"
+
 	// Termination detection (internal/termination).
 	TermWaves   = "term.waves"   // completed quiescence-detection waves
 	TermRetests = "term.retests" // waves that completed without detecting quiescence
@@ -123,6 +135,27 @@ const (
 // the internal/faults injector actually fires is counted under one of these,
 // so experiments can report fault rates alongside communication profiles.
 func FaultInjected(kind string) string { return "faults.injected." + kind }
+
+// NetPeerRTTNS returns the per-peer round-trip-time histogram name for the
+// networked transport's ping/pong probes (nanoseconds, one histogram per
+// remote cluster process).
+func NetPeerRTTNS(peer int) string { return "net.rtt_ns.p" + itoa(peer) }
+
+// itoa is a dependency-free positive-int formatter (names.go stays
+// import-free).
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	var b [20]byte
+	i := len(b)
+	for n > 0 {
+		i--
+		b[i] = byte('0' + n%10)
+		n /= 10
+	}
+	return string(b[i:])
+}
 
 // RTKindMsgs returns the per-kind transport message counter name.
 func RTKindMsgs(kind string) string { return "rt.msgs." + kind }

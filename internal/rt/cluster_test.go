@@ -1,0 +1,201 @@
+package rt
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+// memFabric glues several cluster Machines together in one process: Send
+// looks up the Machine hosting the destination rank and calls Deliver on it,
+// copying the payload the way a wire would. Per-destination order is
+// preserved (Deliver is called inline), matching the Fabric contract.
+type memFabric struct {
+	mu       sync.RWMutex
+	machines []*Machine
+}
+
+func (f *memFabric) attach(m *Machine) {
+	f.mu.Lock()
+	f.machines = append(f.machines, m)
+	f.mu.Unlock()
+}
+
+func (f *memFabric) Send(from, to int, kind uint8, tag uint32, payload []byte, delay time.Duration) {
+	f.mu.RLock()
+	defer f.mu.RUnlock()
+	for _, m := range f.machines {
+		if m.IsLocal(to) {
+			m.Deliver(from, to, kind, tag, append([]byte(nil), payload...), delay)
+			return
+		}
+	}
+	panic("memFabric: no machine hosts the destination rank")
+}
+
+// splitMachines builds one cluster Machine per contiguous window so that the
+// windows partition [0, p).
+func splitMachines(t *testing.T, p int, cuts []int) []*Machine {
+	t.Helper()
+	f := &memFabric{}
+	var ms []*Machine
+	lo := 0
+	for _, hi := range append(cuts, p) {
+		m := NewClusterMachine(p, lo, hi, f)
+		f.attach(m)
+		ms = append(ms, m)
+		lo = hi
+	}
+	return ms
+}
+
+// runAll runs fn as one collective phase across every machine of the cluster,
+// mirroring N processes each running their local window.
+func runAll(ms []*Machine, fn func(*Rank)) {
+	var wg sync.WaitGroup
+	for _, m := range ms {
+		wg.Add(1)
+		go func(m *Machine) {
+			defer wg.Done()
+			m.Run(fn)
+		}(m)
+	}
+	wg.Wait()
+}
+
+func TestClusterMachineWindows(t *testing.T) {
+	ms := splitMachines(t, 8, []int{3, 5})
+	wantLocal := [][2]int{{0, 3}, {3, 5}, {5, 8}}
+	for i, m := range ms {
+		if m.Size() != 8 {
+			t.Fatalf("machine %d: Size() = %d, want 8", i, m.Size())
+		}
+		lo, hi := m.LocalRange()
+		if lo != wantLocal[i][0] || hi != wantLocal[i][1] {
+			t.Fatalf("machine %d: window [%d,%d), want %v", i, lo, hi, wantLocal[i])
+		}
+		if m.LocalSize() != hi-lo {
+			t.Fatalf("machine %d: LocalSize() = %d, want %d", i, m.LocalSize(), hi-lo)
+		}
+		for r := 0; r < 8; r++ {
+			if got, want := m.IsLocal(r), r >= lo && r < hi; got != want {
+				t.Fatalf("machine %d: IsLocal(%d) = %v, want %v", i, r, got, want)
+			}
+		}
+	}
+}
+
+// TestClusterMachinePointToPoint rings a message around the full rank space:
+// every hop between machines crosses the fabric, every hop inside a window is
+// a local inbox delivery.
+func TestClusterMachinePointToPoint(t *testing.T) {
+	const p = 6
+	ms := splitMachines(t, p, []int{2, 4})
+	got := make([]uint32, p)
+	runAll(ms, func(r *Rank) {
+		if r.Rank() == 0 {
+			r.Send(1, KindMailbox, 100, []byte{1})
+			return
+		}
+		for {
+			msgs := r.Recv(KindMailbox)
+			if len(msgs) == 0 {
+				time.Sleep(100 * time.Microsecond)
+				continue
+			}
+			m := msgs[0]
+			got[r.Rank()] = m.Tag
+			if next := r.Rank() + 1; next < p {
+				r.Send(next, KindMailbox, m.Tag+1, []byte{byte(next)})
+			}
+			return
+		}
+	})
+	// Rank 0 never receives; ranks 1..p-1 see an incrementing tag chain.
+	for r := 1; r < p; r++ {
+		if got[r] != uint32(99+r) {
+			t.Fatalf("rank %d saw tag %d, want %d", r, got[r], 99+r)
+		}
+	}
+}
+
+// TestClusterMachineCollectives runs the built-in collectives across machine
+// boundaries: they are pure point-to-point message protocols, so a correct
+// fabric makes them span processes untouched.
+func TestClusterMachineCollectives(t *testing.T) {
+	const p = 7
+	ms := splitMachines(t, p, []int{1, 4})
+	sums := make([]uint64, p)
+	maxs := make([]uint64, p)
+	runAll(ms, func(r *Rank) {
+		sums[r.Rank()] = r.AllReduceU64(uint64(r.Rank()+1), Sum)
+		maxs[r.Rank()] = r.AllReduceU64(uint64(r.Rank()*10), Max)
+	})
+	wantSum := uint64(p * (p + 1) / 2)
+	wantMax := uint64((p - 1) * 10)
+	for r := 0; r < p; r++ {
+		if sums[r] != wantSum {
+			t.Fatalf("rank %d: AllReduceSum = %d, want %d", r, sums[r], wantSum)
+		}
+		if maxs[r] != wantMax {
+			t.Fatalf("rank %d: AllReduceMax = %d, want %d", r, maxs[r], wantMax)
+		}
+	}
+}
+
+// TestClusterMachineFaultChokePoint verifies the fault plane interposes on
+// fabric-routed sends at the same choke point as local ones: a transport that
+// drops everything starves the remote receiver, and the sticky
+// ExclusiveDelivery latch flips exactly as in-process.
+func TestClusterMachineFaultChokePoint(t *testing.T) {
+	ms := splitMachines(t, 2, []int{1})
+	ms[0].SetTransport(dropAll{})
+	delivered := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(2)
+	go func() {
+		defer wg.Done()
+		ms[0].Run(func(r *Rank) {
+			if r.ExclusiveDelivery() {
+				t.Error("ExclusiveDelivery must latch false once a transport is installed")
+			}
+			r.Send(1, KindMailbox, 7, []byte("dropped"))
+		})
+	}()
+	go func() {
+		defer wg.Done()
+		ms[1].Run(func(r *Rank) {
+			deadline := time.Now().Add(50 * time.Millisecond)
+			for time.Now().Before(deadline) {
+				if len(r.Recv(KindMailbox)) > 0 {
+					close(delivered)
+					return
+				}
+				time.Sleep(time.Millisecond)
+			}
+		})
+	}()
+	wg.Wait()
+	select {
+	case <-delivered:
+		t.Fatal("drop-all transport let a fabric-routed message through")
+	default:
+	}
+}
+
+type dropAll struct{}
+
+func (dropAll) Fate(from, to int, kind uint8, seq uint64, payloadLen int) Fate {
+	return Fate{Drop: true}
+}
+func (dropAll) Stall(rank int) time.Duration { return 0 }
+
+func TestDeliverPanicsOnRemoteRank(t *testing.T) {
+	ms := splitMachines(t, 2, []int{1})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Deliver for a non-local rank must panic")
+		}
+	}()
+	ms[0].Deliver(0, 1, KindMailbox, 0, nil, 0)
+}

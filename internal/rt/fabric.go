@@ -1,0 +1,79 @@
+package rt
+
+// Fabric is the byte-transport choke point that lets a Machine span OS
+// process boundaries. An in-process Machine hosts every rank and never
+// consults it; a cluster Machine (NewClusterMachine) hosts a window of the
+// global rank space and hands every message addressed outside that window to
+// the fabric, which ships the bytes to the process hosting the destination
+// and calls Deliver on that process's Machine.
+//
+// The fabric slots in UNDER the fault plane: Machine.send consults the
+// installed Transport (drop / duplicate / delay / corrupt / stall verdicts)
+// before routing, so internal/faults interposes on networked messages exactly
+// as it does on loopback ones, and the reliable mailbox above survives the
+// same injected faults either way. The fabric itself must preserve per
+// (sender process → receiver process) FIFO order — the property TCP gives a
+// single connection — because the perfect-transport contract the mailbox and
+// collectives rely on is per-pair non-overtaking.
+
+import "time"
+
+// Fabric ships one message to the process hosting rank `to`. Implementations
+// must be safe for concurrent use from every local rank goroutine, must not
+// block indefinitely (rank loops call this inline), and must preserve the
+// order of Send calls per destination process. delay is the fault-injected
+// delivery postponement (zero on the perfect transport); it rides the wire so
+// the receiving Machine can stamp the message's visibility horizon.
+type Fabric interface {
+	Send(from, to int, kind uint8, tag uint32, payload []byte, delay time.Duration)
+}
+
+// NewClusterMachine returns a Machine that is one process's share of a
+// p-rank distributed machine: it hosts ranks [lo, hi) locally (goroutines,
+// inboxes) and routes messages addressed to any other rank through the
+// fabric. Size() still reports the global p, so topologies, collectives, and
+// termination trees span the whole cluster; Run executes fn only for the
+// local ranks.
+func NewClusterMachine(p, lo, hi int, fabric Fabric) *Machine {
+	if lo < 0 || hi > p || lo >= hi {
+		panic("rt: cluster machine needs a non-empty local rank window inside [0, p)")
+	}
+	if fabric == nil && (lo != 0 || hi != p) {
+		panic("rt: cluster machine with remote ranks needs a fabric")
+	}
+	m := NewMachine(p)
+	m.localLo, m.localHi = lo, hi
+	m.fabric = fabric
+	return m
+}
+
+// LocalSize returns the number of ranks this process hosts (p for an
+// in-process machine).
+func (m *Machine) LocalSize() int { return m.localHi - m.localLo }
+
+// LocalRange returns the half-open window of locally hosted ranks.
+func (m *Machine) LocalRange() (lo, hi int) { return m.localLo, m.localHi }
+
+// IsLocal reports whether rank r is hosted by this process.
+func (m *Machine) IsLocal(r int) bool { return r >= m.localLo && r < m.localHi }
+
+// Deliver injects a message received from the fabric into a local rank's
+// inbox. It is the receive half of Fabric: the remote process's Machine
+// routed the bytes here, and this call makes them drainable by the
+// destination rank (after the fault-injected delay, if any). Safe for
+// concurrent use from fabric reader goroutines.
+func (m *Machine) Deliver(from, to int, kind uint8, tag uint32, payload []byte, delay time.Duration) {
+	if !m.IsLocal(to) {
+		panic("rt: fabric delivered a message for a rank this process does not host")
+	}
+	now := time.Now().UnixNano()
+	msg := Msg{
+		From: from, To: to, Kind: kind, Tag: tag, Payload: payload,
+		sentAt:    now,
+		deliverAt: now + int64(delay),
+	}
+	ib := &m.inboxes[to]
+	ib.mu.Lock()
+	ib.q = append(ib.q, msg)
+	ib.mu.Unlock()
+}

@@ -86,6 +86,12 @@ type Machine struct {
 	p       int
 	inboxes []inbox
 
+	// Local rank window and byte fabric (see fabric.go). An in-process
+	// machine hosts [0, p) and has no fabric; a cluster machine hosts
+	// [localLo, localHi) and ships everything else through the fabric.
+	localLo, localHi int
+	fabric           Fabric
+
 	// simLatency (ns) delays message visibility: a message sent at T is
 	// deliverable only at T+simLatency, modeling interconnect / external
 	// memory transfer latency that the real system would pay. 0 (the
@@ -134,6 +140,8 @@ func NewMachine(p int) *Machine {
 	reg := obs.NewRegistry()
 	m := &Machine{
 		p:          p,
+		localLo:    0,
+		localHi:    p,
 		inboxes:    make([]inbox, p),
 		boxEpochs:  make([]atomic.Uint32, p),
 		reg:        reg,
@@ -170,14 +178,17 @@ func (m *Machine) SetSimLatency(d time.Duration) {
 // Obs returns the machine's metrics registry.
 func (m *Machine) Obs() *obs.Registry { return m.reg }
 
-// Run executes fn concurrently on every rank and waits for all ranks to
-// return. A panic on any rank is re-raised on the caller with the rank
-// identified. Run may be called again for subsequent phases; inboxes persist
-// across calls (they should be empty between well-formed phases).
+// Run executes fn concurrently on every locally hosted rank and waits for
+// all of them to return (every rank on an in-process machine; the local
+// window on a cluster machine, where the other processes run their own
+// windows of the same collective phase). A panic on any rank is re-raised on
+// the caller with the rank identified. Run may be called again for subsequent
+// phases; inboxes persist across calls (they should be empty between
+// well-formed phases).
 func (m *Machine) Run(fn func(*Rank)) {
 	var wg sync.WaitGroup
 	panics := make([]any, m.p)
-	for r := 0; r < m.p; r++ {
+	for r := m.localLo; r < m.localHi; r++ {
 		wg.Add(1)
 		go func(r int) {
 			defer wg.Done()
@@ -209,6 +220,7 @@ func (m *Machine) send(msg Msg) {
 	msg.sentAt = now
 	msg.deliverAt = now + m.simLatency.Load()
 	copies := 1
+	var fabricDelay time.Duration
 	if tp := m.transportHook(); tp != nil {
 		seq := m.pairSeq(msg.From, msg.To, msg.Kind)
 		f := tp.Fate(msg.From, msg.To, msg.Kind, seq, len(msg.Payload))
@@ -219,17 +231,28 @@ func (m *Machine) send(msg Msg) {
 			copies = 2
 		}
 		msg.deliverAt += int64(f.Delay)
+		fabricDelay = f.Delay
 		if f.Corrupt {
 			msg.Payload = corruptCopy(msg.Payload, f.CorruptBit)
 		}
 	}
 	if copies > 0 {
-		ib := &m.inboxes[msg.To]
-		ib.mu.Lock()
-		for c := 0; c < copies; c++ {
-			ib.q = append(ib.q, msg)
+		if m.IsLocal(msg.To) {
+			ib := &m.inboxes[msg.To]
+			ib.mu.Lock()
+			for c := 0; c < copies; c++ {
+				ib.q = append(ib.q, msg)
+			}
+			ib.mu.Unlock()
+		} else {
+			// Remote destination: the fault verdict is already applied, so the
+			// fabric ships the (possibly corrupted, duplicated, delayed)
+			// message exactly as a local inbox would have seen it. Injected
+			// delay rides along for the receiver to stamp its horizon.
+			for c := 0; c < copies; c++ {
+				m.fabric.Send(msg.From, msg.To, msg.Kind, msg.Tag, msg.Payload, fabricDelay)
+			}
 		}
-		ib.mu.Unlock()
 	}
 	// Counters track send attempts (logical transport load): a dropped
 	// message still consumed the sender's bandwidth; the fault itself is
