@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test race lint vet fmt fmt-check staticcheck fuzz-smoke chaos chaos-short bench bench-smoke experiments serve-smoke cluster-smoke bench-net clean
+.PHONY: all build test race lint vet fmt fmt-check staticcheck fuzz-smoke chaos chaos-short bench bench-smoke bench-ooc experiments serve-smoke cluster-smoke bench-net clean
 
 STATICCHECK ?= staticcheck
 
@@ -85,6 +85,16 @@ bench-smoke:
 	$(GO) test -count=1 -run 'TestAllocBudget' -v ./internal/mailbox
 	$(GO) test -count=1 -run 'TestPercentile' ./cmd/havoqd
 
+# Out-of-core serving smoke (BENCH_ooc_smoke.json, DESIGN.md §11): the
+# selfbench workload at resident fractions 1 and 1/4 on a tiny graph. The
+# sweep itself asserts the correctness gates — every phase's result hash
+# identical to the fully-resident baseline, and real cache activity (misses
+# and hits both nonzero) at the reduced budget — and exits non-zero on any
+# violation. The committed full sweep (BENCH_ooc.json) uses `-ooc` defaults.
+bench-ooc:
+	$(GO) run ./cmd/havoqd -ooc -scale 12 -ranks 4 -bench-queries 12 \
+		-ooc-fractions 1,0.25 -ooc-out BENCH_ooc_smoke.json
+
 # Regenerate every figure/table at laptop scale; per-phase obs communication
 # profiles land in obs_profiles.json (see -obs-json/-obs-csv flags).
 experiments:
@@ -112,5 +122,5 @@ bench-net:
 	$(GO) run ./cmd/havoqd -selfbench -cluster -workers 4 -ranks 8 -scale 14 -cluster-timeout 10m
 
 clean:
-	rm -f obs_profiles.json obs_profiles.csv cluster-worker-*.log
+	rm -f obs_profiles.json obs_profiles.csv cluster-worker-*.log BENCH_ooc_smoke.json
 	$(GO) clean ./...

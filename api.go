@@ -28,6 +28,7 @@ import (
 	"havoqgt/internal/generators"
 	"havoqgt/internal/graph"
 	"havoqgt/internal/mailbox"
+	"havoqgt/internal/ooc"
 	"havoqgt/internal/partition"
 	"havoqgt/internal/rt"
 )
@@ -97,6 +98,10 @@ type Graph struct {
 	// traversal methods to the multi-query engine.
 	mu  sync.Mutex
 	eng *Engine
+
+	// stores, when non-nil, hold each rank's out-of-core adjacency backing
+	// (SetMemoryBudget). Indexed like parts.
+	stores []*ooc.Store
 }
 
 // runExclusive executes one collective machine phase under the graph lock.

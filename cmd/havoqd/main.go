@@ -10,6 +10,8 @@
 //	havoqd -in graph.hvqg -ranks 8                      # serve a graph file
 //	havoqd -smoke -scale 12 -ranks 8 -queries 50        # end-to-end smoke run
 //	havoqd -selfbench -scale 14 -ranks 8                # write BENCH_engine.json
+//	havoqd -ooc -scale 14 -ranks 8                      # memory-budget sweep -> BENCH_ooc.json
+//	havoqd -mem-budget 0.125 -scale 14 -ranks 8         # serve with 1/8 of edges resident
 //
 // Endpoints:
 //
@@ -68,6 +70,16 @@ type options struct {
 	benchQueries int
 	benchLatency time.Duration
 
+	// Out-of-core serving (see bench_ooc.go and the facade's MemoryConfig).
+	memBudget     float64
+	memPage       int
+	memLatency    time.Duration
+	memQueueDepth int
+	memDir        string
+	oocBench      bool
+	oocFractions  string
+	oocOut        string
+
 	// Cluster modes (see cluster.go).
 	coordinator    bool
 	join           string
@@ -108,6 +120,14 @@ func run(args []string) int {
 	fs.StringVar(&o.benchOut, "bench-out", "", "benchmark output file for -selfbench (default BENCH_engine.json, BENCH_net.json with -cluster)")
 	fs.IntVar(&o.benchQueries, "bench-queries", 48, "workload size for -selfbench")
 	fs.DurationVar(&o.benchLatency, "bench-latency", 3*time.Millisecond, "modeled interconnect latency for the -selfbench latency regime")
+	fs.Float64Var(&o.memBudget, "mem-budget", 1, "resident fraction of adjacency data kept in DRAM, (0,1]; <1 serves out of core")
+	fs.IntVar(&o.memPage, "mem-page", 0, "out-of-core cache page size in bytes (0 = 4096)")
+	fs.DurationVar(&o.memLatency, "mem-latency", 0, "modeled NVRAM read latency for out-of-core mode (0 = 25µs)")
+	fs.IntVar(&o.memQueueDepth, "mem-queue-depth", 0, "modeled NVRAM queue depth for out-of-core mode (0 = 64)")
+	fs.StringVar(&o.memDir, "mem-dir", "", "back out-of-core adjacency with real files under this directory instead of simulated NVRAM")
+	fs.BoolVar(&o.oocBench, "ooc", false, "run the memory-budget sweep benchmark (TEPS and hit rate vs resident fraction) and exit")
+	fs.StringVar(&o.oocFractions, "ooc-fractions", "1,0.5,0.25,0.125,0.0625,0.03125", "comma-separated resident fractions for -ooc")
+	fs.StringVar(&o.oocOut, "ooc-out", "BENCH_ooc.json", "benchmark output file for -ooc")
 	fs.BoolVar(&o.coordinator, "coordinator", false, "run as a cluster coordinator: wait for -workers joins, then serve queries")
 	fs.StringVar(&o.join, "join", "", "run as a cluster worker joining the coordinator at this address")
 	fs.IntVar(&o.workers, "workers", 4, "worker processes in the cluster")
@@ -129,6 +149,8 @@ func run(args []string) int {
 		err = runClusterWorker(&o)
 	case o.coordinator:
 		err = runClusterCoordinator(&o)
+	case o.oocBench:
+		err = oocbench(&o)
 	case o.selfbench && o.clusterMode:
 		err = clusterBench(&o)
 	case o.smoke && o.clusterMode:
@@ -172,6 +194,13 @@ func serve(o *options) error {
 	}
 	if o.simLatency > 0 {
 		g.SetSimLatency(o.simLatency)
+	}
+	if o.memBudget < 1 {
+		if err := g.SetMemoryBudget(memConfig(o, o.memBudget)); err != nil {
+			return err
+		}
+		fmt.Printf("havoqd: out-of-core: resident fraction %.4g (device latency %v)\n",
+			o.memBudget, o.memLatency)
 	}
 	e, err := g.StartEngine(havoqgt.EngineOptions{
 		MaxInFlight:     o.maxInFlight,

@@ -22,6 +22,7 @@ import (
 	"io"
 	"time"
 
+	"havoqgt/internal/core"
 	"havoqgt/internal/engine"
 )
 
@@ -67,11 +68,24 @@ func (g *Graph) StartEngine(opts EngineOptions) (*Engine, error) {
 	if g.eng != nil {
 		return nil, errors.New("havoqgt: an engine is already attached to this graph")
 	}
+	// Out-of-core mode: hand each rank's pager to the engine so rank loops
+	// park visits on absent adjacency pages instead of blocking on the
+	// device. Entries must be genuinely non-nil interfaces (a typed-nil
+	// *ooc.Pager in a core.RowPager slot would defeat the engine's nil
+	// checks), which Store.Pager guarantees for a live store.
+	var pagers []core.RowPager
+	if g.stores != nil {
+		pagers = make([]core.RowPager, len(g.stores))
+		for rank, st := range g.stores {
+			pagers[rank] = st.Pager()
+		}
+	}
 	e, err := engine.Start(engine.Config{
 		Machine:  g.machine,
 		Parts:    g.parts,
 		Ghosts:   g.ghosts,
 		Topology: g.opts.Topology,
+		Pagers:   pagers,
 	}, engine.Options{
 		MaxInFlight: opts.MaxInFlight,
 		MaxQueue:    opts.MaxQueue,

@@ -24,6 +24,8 @@ type Stats struct {
 	Queued        uint64 // visitors whose PreVisit returned true
 	Executed      uint64 // visitors whose Visit ran
 	Forwarded     uint64 // visitors forwarded along a replica chain
+	Parked        uint64 // visitors parked waiting for an adjacency page
+	Unparked      uint64 // parked visitors re-queued after their page arrived
 	Mailbox       mailbox.Stats
 	DetectorWaves uint64
 	// DetectorSent/DetectorReceived are the termination detector's monotone
@@ -57,6 +59,11 @@ type Config struct {
 	// RTOBase/RTOMax bound the reliable layer's retransmission backoff
 	// (0 = mailbox defaults). Only meaningful with Reliable.
 	RTOBase, RTOMax time.Duration
+	// Pager, when non-nil, marks the partition's CSR targets as out-of-core:
+	// Step parks visitors whose adjacency pages are absent instead of
+	// blocking on the device, and the queue owner must feed Pager.Drain
+	// results back through Unpark. Engine mode only.
+	Pager RowPager
 }
 
 // Queue is one rank's end of the distributed asynchronous visitor queue
@@ -83,6 +90,13 @@ type Queue[V Visitor] struct {
 	localityOrder bool
 	encBuf        []byte
 
+	// Out-of-core parking (engine mode with cfg.Pager): visitors whose
+	// adjacency page missed the cache, keyed by the page they wait for.
+	// nParked is maintained alongside so idle checks are O(1).
+	pager   RowPager
+	parked  map[int64][]V
+	nParked int
+
 	stats Stats
 	met   queueMetrics
 }
@@ -98,6 +112,8 @@ type queueMetrics struct {
 	queued        *obs.PerRank
 	executed      *obs.PerRank
 	forwarded     *obs.PerRank
+	parked        *obs.PerRank
+	unparked      *obs.PerRank
 	queueDepth    *obs.Histogram
 }
 
@@ -111,6 +127,8 @@ func newQueueMetrics(r *rt.Rank) queueMetrics {
 		queued:        reg.PerRank(obs.CoreQueued, p),
 		executed:      reg.PerRank(obs.CoreExecuted, p),
 		forwarded:     reg.PerRank(obs.CoreForwarded, p),
+		parked:        reg.PerRank(obs.CoreParked, p),
+		unparked:      reg.PerRank(obs.CoreUnparked, p),
 		queueDepth:    reg.Histogram(obs.CoreQueueDepth),
 	}
 }
@@ -166,7 +184,11 @@ func NewQueueShared[V Visitor](r *rt.Rank, part *partition.Part, algo Algorithm[
 		tag:           tag,
 		shared:        true,
 		localityOrder: !cfg.DisableLocalityOrder,
+		pager:         cfg.Pager,
 		met:           newQueueMetrics(r),
+	}
+	if q.pager != nil {
+		q.parked = make(map[int64][]V)
 	}
 	if cfg.Ghosts != nil && cfg.Ghosts.Len() > 0 {
 		if ga, ok := algo.(GhostAlgorithm[V]); ok {
@@ -243,6 +265,14 @@ func (q *Queue[V]) receive(rec mailbox.Record) {
 	q.stats.Queued++
 	q.met.queued.Inc(q.met.rank)
 	q.heapPush(v)
+	if q.pager != nil {
+		// Frontier-composition prefetch: this visitor just joined the local
+		// heap, so its adjacency page will be wanted within the next few Step
+		// slices — hint the pager now so the read overlaps queued work.
+		if i, ok := q.part.LocalIndex(v.Vertex()); ok {
+			q.pager.PrefetchRow(i)
+		}
+	}
 	if next, ok := q.part.ShouldForward(v.Vertex()); ok {
 		q.stats.Forwarded++
 		q.met.forwarded.Inc(q.met.rank)
@@ -258,6 +288,14 @@ func (q *Queue[V]) Deliver(rec mailbox.Record) { q.receive(rec) }
 // Step executes up to batch locally queued visitors, returning whether any
 // work happened. Engine mode's slice of the DO_TRAVERSAL loop: the engine
 // interleaves Step calls across all in-flight queries on the rank.
+//
+// With an out-of-core pager, a popped visitor whose adjacency page is absent
+// is parked on that page (the pager has already enqueued the demand fetch)
+// and the loop moves on to the next visitor — the visit slot is spent hiding
+// device latency behind resident work instead of blocking on it. Parking
+// counts as progress: the queue did advance its frontier bookkeeping, and
+// reporting false here could let the rank loop sleep while fetches it must
+// drain are in flight.
 func (q *Queue[V]) Step(batch int) bool {
 	if len(q.heap) == 0 {
 		return false
@@ -265,6 +303,15 @@ func (q *Queue[V]) Step(batch int) bool {
 	q.met.queueDepth.Observe(uint64(len(q.heap)))
 	for i := 0; i < batch && len(q.heap) > 0; i++ {
 		v := q.heapPop()
+		if q.pager != nil {
+			if key, resident := q.pager.RowResident(q.LocalRow(v.Vertex())); !resident {
+				q.parked[key] = append(q.parked[key], v)
+				q.nParked++
+				q.stats.Parked++
+				q.met.parked.Inc(q.met.rank)
+				continue
+			}
+		}
 		q.stats.Executed++
 		q.met.executed.Inc(q.met.rank)
 		q.algo.Visit(v, q)
@@ -272,8 +319,53 @@ func (q *Queue[V]) Step(batch int) bool {
 	return true
 }
 
+// Unpark runs the visitors parked on the given pages (called by the rank
+// loop with a Pager.Drain result) and reports whether any work happened.
+// Waiters execute immediately and unconditionally — not via the heap, and
+// with no residency re-check. Both halves matter under a tight budget:
+// a visitor that round-trips through the heap finds its page evicted by the
+// time Step pops it, re-parks, and the traversal degenerates into a
+// park/fetch/evict livelock (millions of parks per thousand visits, ranks
+// never quiescing); and a re-check at drain time reintroduces the same cycle
+// for multi-page rows — park on page p, p arrives pinned, re-park on p+1, p
+// is released and evicted before p+1 completes, re-park on p, forever.
+// Executing unconditionally bounds every visitor to exactly one park per
+// heap pop: the parked page itself is pinned resident from Drain to Release
+// (the rank loop's contract with the pager), and any other span page that
+// lost the residency race faults synchronously in the serving read path — a
+// bounded stall, traded for guaranteed forward progress. PreVisit is not
+// re-run: it already mutated per-vertex state at delivery, and running it
+// again would drop the visitor (e.g. BFS's "level already set" filter);
+// stale visitors are self-pruned by each algorithm's Visit re-check.
+func (q *Queue[V]) Unpark(pages []int64) bool {
+	if q.nParked == 0 {
+		return false
+	}
+	any := false
+	for _, pg := range pages {
+		vs, ok := q.parked[pg]
+		if !ok {
+			continue
+		}
+		delete(q.parked, pg)
+		q.nParked -= len(vs)
+		any = true
+		for _, v := range vs {
+			q.stats.Unparked++
+			q.met.unparked.Inc(q.met.rank)
+			q.stats.Executed++
+			q.met.executed.Inc(q.met.rank)
+			q.algo.Visit(v, q)
+		}
+	}
+	return any
+}
+
 // LocalIdle reports whether this queue holds no executable local work.
-func (q *Queue[V]) LocalIdle() bool { return len(q.heap) == 0 }
+// Parked visitors are pending work — a queue with visits waiting on device
+// pages must not report idle, or termination detection could declare
+// quiescence with traversal still to do.
+func (q *Queue[V]) LocalIdle() bool { return len(q.heap) == 0 && q.nParked == 0 }
 
 // Cancel marks the queue cancelled on this rank: the local visitor heap is
 // discarded and subsequent deliveries are drained without being applied.
@@ -286,6 +378,11 @@ func (q *Queue[V]) Cancel() {
 		q.heap[i] = zero
 	}
 	q.heap = q.heap[:0]
+	// Parked visitors are dropped too: their demand fetches may still
+	// complete, but Unpark on a cancelled queue has nothing to re-queue and
+	// the pages simply age out of the cache.
+	clear(q.parked)
+	q.nParked = 0
 }
 
 // Cancelled reports whether Cancel was called on this rank.
@@ -297,7 +394,7 @@ func (q *Queue[V]) Cancelled() bool { return q.cancelled }
 // barrier is needed: records of other queries cannot be misattributed — the
 // tag demultiplexes them — so ranks may retire the query independently.
 func (q *Queue[V]) PumpTermination(localIdle bool) bool {
-	if !q.det.Pump(localIdle && len(q.heap) == 0) {
+	if !q.det.Pump(localIdle && len(q.heap) == 0 && q.nParked == 0) {
 		return false
 	}
 	q.stats.DetectorWaves = q.det.Waves

@@ -94,6 +94,13 @@ func (m *Matrix) Row(i int) []graph.Vertex {
 	return m.targets.Read(m.offsets[i], m.offsets[i+1])
 }
 
+// RowSpan returns the half-open target-index range [lo, hi) of row i without
+// reading any targets. Out-of-core pagers use it to map a row onto the byte
+// range (and so the device pages) its adjacency occupies.
+func (m *Matrix) RowSpan(i int) (lo, hi uint64) {
+	return m.offsets[i], m.offsets[i+1]
+}
+
 // HasTarget reports whether row i contains target v, by binary search (rows
 // are sorted by target). Duplicate edges are tolerated.
 func (m *Matrix) HasTarget(i int, v graph.Vertex) bool {

@@ -188,6 +188,12 @@ type Config struct {
 	Ghosts  []*core.GhostTable // per rank; nil entries disable hub filtering
 	// Topology names the shared mailbox routing ("1d" default, "2d", "3d").
 	Topology string
+	// Pagers, when non-nil, marks the partitions' CSR targets as out-of-core
+	// (one entry per rank, indexed like Parts; internal/ooc builds them).
+	// Rank loops then park visits on missing adjacency pages, drain fetch
+	// completions, and unpark — the latency-hiding serving mode. A nil entry
+	// serves that rank fully resident.
+	Pagers []core.RowPager
 }
 
 // ctlKind discriminates control-log events.
@@ -432,6 +438,9 @@ func Start(cfg Config, opts Options) (*Engine, error) {
 		if cfg.Parts[r] == nil {
 			return nil, fmt.Errorf("engine: config missing the partition for local rank %d", r)
 		}
+	}
+	if cfg.Pagers != nil && len(cfg.Pagers) != cfg.Machine.Size() {
+		return nil, errors.New("engine: config needs one pager slot per rank (nil entries allowed)")
 	}
 	if cfg.Topology == "" {
 		cfg.Topology = "1d"

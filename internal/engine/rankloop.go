@@ -40,6 +40,9 @@ func (f *rankFlows) CountReceived(tag uint32, n uint64) { f.cell(tag).received +
 type runner interface {
 	Deliver(rec mailbox.Record)
 	Step(batch int) bool
+	// Unpark re-queues visitors parked on the given adjacency pages (out-of-
+	// core mode; a no-op runner-side when nothing is parked).
+	Unpark(pages []int64) bool
 	LocalIdle() bool
 	Cancel()
 	Cancelled() bool
@@ -80,6 +83,8 @@ type rankState struct {
 	box   *mailbox.Box
 	mux   *termination.Mux
 	flows *rankFlows
+	// pager is this rank's out-of-core fetch engine (nil = fully resident).
+	pager core.RowPager
 	// active maps query ID -> running query.
 	active map[uint32]*runningQuery
 	// pending buffers records whose query this rank has not started yet: a
@@ -114,6 +119,9 @@ func (e *Engine) rankLoop(r *rt.Rank) {
 		active:  make(map[uint32]*runningQuery),
 		pending: make(map[uint32][]mailbox.Record),
 	}
+	if e.cfg.Pagers != nil {
+		s.pager = e.cfg.Pagers[r.Rank()]
+	}
 	shutdown := false
 	idleSpins := 0
 	var finished []uint32 // reused scratch
@@ -138,10 +146,31 @@ func (e *Engine) rankLoop(r *rt.Rank) {
 			}
 		}
 
-		// One execution slice per in-flight query.
+		// One execution slice per in-flight query. In out-of-core mode Step
+		// parks visitors whose adjacency pages are absent (issuing demand
+		// fetches) and keeps executing resident ones — latency hiding.
 		for _, rq := range s.active {
 			if rq.run.Step(e.opts.StepBatch) {
 				progress = true
+			}
+		}
+
+		// Completed page fetches: run the visitors waiting on them, for every
+		// active query (the pager dedups fetches across queries parked on the
+		// same page). Drained after Step so a page that completed mid-Step is
+		// picked up in the same iteration — parked visitors always see their
+		// completion in a Drain at or after their park, so no unpark signal
+		// is ever lost. The batch's pages are pinned from fetch to Release,
+		// so Unpark's visitors execute against resident data; Release then
+		// lets the fetch workers (stalled once enough completions pile up
+		// unconsumed) refill the window.
+		if s.pager != nil {
+			if pages := s.pager.Drain(); len(pages) > 0 {
+				progress = true
+				for _, rq := range s.active {
+					rq.run.Unpark(pages)
+				}
+				s.pager.Release(pages)
 			}
 		}
 
@@ -214,7 +243,7 @@ func (s *rankState) start(r *rt.Rank, q *query) {
 		det:  det,
 		cell: s.flows.cell(q.id),
 	}
-	rq.run = newRunner(r, s.e.cfg.Parts[r.Rank()], s.e.cfg.Ghosts[r.Rank()], s.box, det, q)
+	rq.run = newRunner(r, s.e.cfg.Parts[r.Rank()], s.e.cfg.Ghosts[r.Rank()], s.pager, s.box, det, q)
 	s.active[q.id] = rq
 	if recs := s.pending[q.id]; len(recs) > 0 {
 		delete(s.pending, q.id)

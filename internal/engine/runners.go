@@ -20,25 +20,27 @@ import (
 )
 
 // newRunner dispatches on the query's algorithm.
-func newRunner(r *rt.Rank, part *partition.Part, ghosts *core.GhostTable,
+func newRunner(r *rt.Rank, part *partition.Part, ghosts *core.GhostTable, pager core.RowPager,
 	box *mailbox.Box, det *termination.Detector, q *query) runner {
 	switch q.spec.Algo {
 	case AlgoBFS:
-		return newBFSRunner(r, part, ghosts, box, det, q)
+		return newBFSRunner(r, part, ghosts, pager, box, det, q)
 	case AlgoSSSP:
-		return newSSSPRunner(r, part, ghosts, box, det, q)
+		return newSSSPRunner(r, part, ghosts, pager, box, det, q)
 	case AlgoCC:
-		return newCCRunner(r, part, ghosts, box, det, q)
+		return newCCRunner(r, part, ghosts, pager, box, det, q)
 	case AlgoKCore:
-		return newKCoreRunner(r, part, box, det, q)
+		return newKCoreRunner(r, part, pager, box, det, q)
 	default:
 		panic("engine: unknown algorithm past Submit validation")
 	}
 }
 
 // ghostCfg assembles a shared-queue config with hub filtering for the
-// algorithms that declare ghost usage.
-func ghostCfg(ghosts *core.GhostTable) core.Config { return core.Config{Ghosts: ghosts} }
+// algorithms that declare ghost usage, plus the rank's out-of-core pager.
+func ghostCfg(ghosts *core.GhostTable, pager core.RowPager) core.Config {
+	return core.Config{Ghosts: ghosts, Pager: pager}
+}
 
 // gatherInto copies a per-vertex value from this rank's masters into the
 // shared global array. Master ranges are disjoint across ranks, and every
@@ -61,10 +63,10 @@ type bfsRunner struct {
 	q    *query
 }
 
-func newBFSRunner(r *rt.Rank, part *partition.Part, ghosts *core.GhostTable,
+func newBFSRunner(r *rt.Rank, part *partition.Part, ghosts *core.GhostTable, pager core.RowPager,
 	box *mailbox.Box, det *termination.Detector, q *query) runner {
 	st := bfs.New(part)
-	cfg := ghostCfg(ghosts)
+	cfg := ghostCfg(ghosts, pager)
 	if ghosts != nil {
 		st.AttachGhosts(ghosts)
 	}
@@ -109,10 +111,10 @@ type ssspRunner struct {
 	q    *query
 }
 
-func newSSSPRunner(r *rt.Rank, part *partition.Part, ghosts *core.GhostTable,
+func newSSSPRunner(r *rt.Rank, part *partition.Part, ghosts *core.GhostTable, pager core.RowPager,
 	box *mailbox.Box, det *termination.Detector, q *query) runner {
 	st := sssp.New(part, q.spec.WeightSeed)
-	cfg := ghostCfg(ghosts)
+	cfg := ghostCfg(ghosts, pager)
 	if ghosts != nil {
 		st.AttachGhosts(ghosts)
 	}
@@ -151,10 +153,10 @@ type ccRunner struct {
 	q    *query
 }
 
-func newCCRunner(r *rt.Rank, part *partition.Part, ghosts *core.GhostTable,
+func newCCRunner(r *rt.Rank, part *partition.Part, ghosts *core.GhostTable, pager core.RowPager,
 	box *mailbox.Box, det *termination.Detector, q *query) runner {
 	st := cc.New(part)
-	cfg := ghostCfg(ghosts)
+	cfg := ghostCfg(ghosts, pager)
 	if ghosts != nil {
 		st.AttachGhosts(ghosts)
 	}
@@ -197,11 +199,11 @@ type kcoreRunner struct {
 	q    *query
 }
 
-func newKCoreRunner(r *rt.Rank, part *partition.Part,
+func newKCoreRunner(r *rt.Rank, part *partition.Part, pager core.RowPager,
 	box *mailbox.Box, det *termination.Detector, q *query) runner {
 	st := kcore.New(part, q.spec.K)
 	// K-core needs precise removal counts, so no ghost filtering (§IV-B).
-	qu := core.NewQueueShared[kcore.Visitor](r, part, st, core.Config{}, box, det, q.id)
+	qu := core.NewQueueShared[kcore.Visitor](r, part, st, core.Config{Pager: pager}, box, det, q.id)
 	lo, hi := part.Owners.MasterRange(part.Rank)
 	for v := lo; v < hi; v++ {
 		qu.Push(kcore.Visitor{V: graph.Vertex(v)})

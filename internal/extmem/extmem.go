@@ -19,7 +19,11 @@ import (
 	"havoqgt/internal/pagecache"
 )
 
-const vertexBytes = 8
+// VertexBytes is the serialized size of one target vertex in the on-device
+// layout; pagers use it to map target-index spans onto device byte ranges.
+const VertexBytes = 8
+
+const vertexBytes = VertexBytes
 
 // Store is a csr.TargetStore whose targets are read through a page cache.
 type Store struct {

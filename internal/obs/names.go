@@ -127,6 +127,29 @@ const (
 	// with a checkpoint from a previous attempt (the recovery path).
 	EngineDeadlineExpired = "engine.deadline_expired"
 	EngineResumed         = "engine.resumed"
+
+	// Out-of-core serving (internal/ooc + core parking). When a partition's
+	// CSR targets live behind the page cache, a visitor popped for a vertex
+	// whose adjacency page is absent is parked (CoreParked) instead of
+	// executed, a demand fetch is issued, and the visitor re-enters the heap
+	// when the page arrives (CoreUnparked). Parked − Unparked is the gauge of
+	// visits currently pending on device I/O.
+	CoreParked   = "core.parked"
+	CoreUnparked = "core.unparked"
+
+	// Pager fetch pipeline: demand fetches (a parked visit needs the page),
+	// prefetches issued ahead of the wave from frontier composition, and
+	// prefetches dropped because the prefetch queue was full (demand fetches
+	// are never dropped).
+	OOCDemandFetches   = "ooc.demand_fetches"
+	OOCPrefetches      = "ooc.prefetches"
+	OOCPrefetchDropped = "ooc.prefetch_dropped"
+
+	// Device-retry plane (pagecache.RetryDevice) aggregated across ranks:
+	// re-issued read attempts and reads that consumed their whole attempt
+	// budget (each of which surfaced a pagecache.ErrExhausted upward).
+	PCRetries   = "pagecache.retries"
+	PCExhausted = "pagecache.exhausted"
 )
 
 // FaultInjected returns the injected-fault counter name for a fault kind

@@ -1,0 +1,237 @@
+// Package ooc puts a partition's CSR target array out of core for the
+// serving engine: the adjacency bytes move onto a (simulated or file-backed)
+// block device behind the concurrent page cache, and a Pager turns cache
+// misses into asynchronous fetches so the engine's rank loop parks visits on
+// missing pages instead of blocking on the device — the paper's
+// latency-hiding traversal (§VIII-A) applied to the multi-query engine.
+//
+// Layering (bottom up): MemDevice+SimDevice (modeled NVRAM) or FileDevice
+// (real file), an optional fault-injection wrapper, pagecache.RetryDevice
+// (transient-fault absorption), pagecache.Cache (CLOCK, load-coalescing),
+// extmem.Store (vertex decoding, the csr.TargetStore face), and Pager (the
+// core.RowPager face the visitor queues park against).
+package ooc
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"time"
+
+	"havoqgt/internal/csr"
+	"havoqgt/internal/extmem"
+	"havoqgt/internal/obs"
+	"havoqgt/internal/pagecache"
+	"havoqgt/internal/partition"
+)
+
+// Config shapes one partition's out-of-core backing.
+type Config struct {
+	// ResidentFraction is the DRAM budget as a fraction of the partition's
+	// serialized target bytes, in (0, 1]. 1/8 means the cache holds at most
+	// one eighth of the adjacency data; the rest faults in on demand.
+	ResidentFraction float64
+	// PageSize is the cache page size in bytes (default 4096).
+	PageSize int
+	// Latency and QueueDepth model the NVRAM device (pagecache.SimDevice)
+	// when Dir is empty: per-read service latency and sustained concurrent
+	// reads. Defaults follow extmem.DefaultNVRAM (25µs, 64).
+	Latency    time.Duration
+	QueueDepth int
+	// Dir, when non-empty, stores the serialized targets in a real file
+	// under it (pagecache.FileDevice) instead of simulated NVRAM. The file
+	// is removed on Restore/Close.
+	Dir string
+	// Rank names the backing file within Dir.
+	Rank int
+	// RetryAttempts/RetryBackoff tune the RetryDevice under the cache
+	// (<= 0 / 0 select its defaults).
+	RetryAttempts int
+	RetryBackoff  time.Duration
+	// WrapDevice, when non-nil, interposes on the device stack between the
+	// base device and the retry layer — the fault plane's hook point
+	// (faults.FaultyDevice).
+	WrapDevice func(pagecache.BlockDevice) pagecache.BlockDevice
+	// Fetchers is the pager's fetch worker count (default min(QueueDepth, 8)).
+	Fetchers int
+	// PrefetchQueue bounds the pager's prefetch backlog; hints beyond it are
+	// dropped and counted (default 256). Demand fetches are never dropped.
+	PrefetchQueue int
+	// Obs, when non-nil, receives the ooc.* and pagecache.* counters.
+	Obs *obs.Registry
+}
+
+func (c Config) normalized() Config {
+	def := extmem.DefaultNVRAM()
+	if c.PageSize <= 0 {
+		c.PageSize = def.PageSize
+	}
+	if c.Latency <= 0 {
+		c.Latency = def.Latency
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = def.QueueDepth
+	}
+	if c.Fetchers <= 0 {
+		c.Fetchers = min(c.QueueDepth, 8)
+	}
+	if c.PrefetchQueue <= 0 {
+		c.PrefetchQueue = 256
+	}
+	return c
+}
+
+// Store is one partition's out-of-core backing: the device stack, the cache,
+// the extmem target store spliced into the partition's CSR, and the pager.
+// Restore undoes the whole thing, putting the original in-memory targets
+// back — memory-budget sweeps Externalize and Restore per budget point.
+type Store struct {
+	part  *partition.Part
+	orig  csr.MemTargets
+	ext   *extmem.Store
+	cache *pagecache.Cache
+	retry *pagecache.RetryDevice
+	pager *Pager
+	path  string // backing file to remove, "" for simulated NVRAM
+}
+
+// Snapshot is a point-in-time view of the store's counters.
+type Snapshot struct {
+	Cache           pagecache.Stats
+	Retries         uint64
+	Exhausted       uint64
+	DemandFetches   uint64
+	Prefetches      uint64
+	PrefetchDropped uint64
+}
+
+// Externalize moves part's in-memory CSR targets onto an out-of-core device
+// stack per cfg and returns the Store managing it. The partition's CSR reads
+// through the page cache from here on; attach Store.Pager() to the engine so
+// traversal parks on misses instead of blocking.
+func Externalize(part *partition.Part, cfg Config) (*Store, error) {
+	cfg = cfg.normalized()
+	if cfg.ResidentFraction <= 0 || cfg.ResidentFraction > 1 {
+		return nil, fmt.Errorf("ooc: resident fraction %v outside (0, 1]", cfg.ResidentFraction)
+	}
+	mem, ok := part.CSR.Targets().(csr.MemTargets)
+	if !ok {
+		return nil, fmt.Errorf("ooc: partition targets already external")
+	}
+
+	var base pagecache.BlockDevice
+	var path string
+	if cfg.Dir != "" {
+		path = filepath.Join(cfg.Dir, fmt.Sprintf("targets-rank%04d.hvqt", cfg.Rank))
+		if err := extmem.WriteTargetsFile(path, mem); err != nil {
+			return nil, fmt.Errorf("ooc: write targets file: %w", err)
+		}
+		fd, err := pagecache.OpenFile(path)
+		if err != nil {
+			os.Remove(path)
+			return nil, err
+		}
+		base = fd
+	} else {
+		base = pagecache.NewSimDevice(
+			&pagecache.MemDevice{Data: extmem.SerializeTargets(mem)},
+			cfg.Latency, cfg.QueueDepth)
+	}
+	dev := base
+	if cfg.WrapDevice != nil {
+		dev = cfg.WrapDevice(dev)
+	}
+	retry := pagecache.NewRetryDevice(dev, cfg.RetryAttempts, cfg.RetryBackoff)
+	if cfg.Obs != nil {
+		retry.SetCounters(cfg.Obs.Counter(obs.PCRetries), cfg.Obs.Counter(obs.PCExhausted))
+	}
+
+	frames := framesFor(cfg.ResidentFraction, int64(len(mem))*extmem.VertexBytes,
+		retry.Size(), cfg.PageSize)
+	cache, err := pagecache.New(retry, cfg.PageSize, frames)
+	if err != nil {
+		if path != "" {
+			base.Close()
+			os.Remove(path)
+		}
+		return nil, err
+	}
+	ext := extmem.NewStore(cache, uint64(len(mem)))
+	if err := part.CSR.ReplaceTargets(ext); err != nil {
+		cache.Close()
+		if path != "" {
+			os.Remove(path)
+		}
+		return nil, err
+	}
+	s := &Store{
+		part:  part,
+		orig:  mem,
+		ext:   ext,
+		cache: cache,
+		retry: retry,
+		path:  path,
+		pager: NewPager(part.CSR, cache, cfg.Fetchers, cfg.PrefetchQueue, cfg.Obs),
+	}
+	return s, nil
+}
+
+// framesFor sizes the cache: the resident fraction applies to the payload
+// (target) bytes, clamped to at least minFrames so the cache stays
+// functional at extreme budgets and to the device's own page count so a 1.0
+// fraction doesn't over-allocate.
+func framesFor(fraction float64, targetBytes, devSize int64, pageSize int) int {
+	const minFrames = 4
+	frames := int((fraction*float64(targetBytes) + float64(pageSize) - 1) / float64(pageSize))
+	if frames < minFrames {
+		frames = minFrames
+	}
+	if totalPages := int((devSize + int64(pageSize) - 1) / int64(pageSize)); totalPages > minFrames && frames > totalPages {
+		frames = totalPages
+	}
+	return frames
+}
+
+// Pager returns the fetch engine to register with the serving engine
+// (engine.Config.Pagers). It satisfies core.RowPager structurally.
+func (s *Store) Pager() *Pager { return s.pager }
+
+// CacheStats returns the page cache counters.
+func (s *Store) CacheStats() pagecache.Stats { return s.cache.Stats() }
+
+// Stats returns all of the store's counters in one snapshot.
+func (s *Store) Stats() Snapshot {
+	d, p, dr := s.pager.counts()
+	return Snapshot{
+		Cache:           s.cache.Stats(),
+		Retries:         s.retry.Retries(),
+		Exhausted:       s.retry.Exhausted(),
+		DemandFetches:   d,
+		Prefetches:      p,
+		PrefetchDropped: dr,
+	}
+}
+
+// ResetStats zeroes the cache counters (device retry counters and pager
+// counters are monotone and left alone; diff snapshots instead).
+func (s *Store) ResetStats() { s.cache.ResetStats() }
+
+// Restore tears the out-of-core stack down: stop the pager workers, splice
+// the original in-memory targets back into the partition's CSR, close the
+// cache (and the device chain under it), and remove the backing file.
+func (s *Store) Restore() error {
+	s.pager.Close()
+	if err := s.part.CSR.ReplaceTargets(s.orig); err != nil {
+		return err
+	}
+	err := s.ext.Close()
+	if s.path != "" {
+		if rmErr := os.Remove(s.path); err == nil {
+			err = rmErr
+		}
+	}
+	return err
+}
+
+// Close is Restore: the store has no half-teardown state.
+func (s *Store) Close() error { return s.Restore() }

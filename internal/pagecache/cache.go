@@ -7,9 +7,16 @@ import (
 )
 
 // Stats counts cache activity.
+//
+// Misses counts device fault-ins exactly: one per load the cache issues
+// against the device (coalesced waiters on an in-flight load count nothing,
+// and a reader stalled waiting for a free frame counts a Stall per wait, not
+// a Miss per retry). Hits counts page accesses served from a resident frame.
+// Every page access therefore lands in exactly one of Hits or Misses.
 type Stats struct {
 	Hits      uint64
-	Misses    uint64
+	Misses    uint64 // device fault-ins (loads issued), exactly
+	Stalls    uint64 // waits for a frame with every frame pinned or loading
 	Evictions uint64
 	BytesRead uint64 // bytes served to callers
 }
@@ -49,6 +56,12 @@ type Cache struct {
 	table  map[int64]*frame
 	hand   int
 	stats  Stats
+	// frameFreed is signalled when a pinned frame may have become
+	// reclaimable: an in-flight copy finished, or a load completed or was
+	// withdrawn. Readers that find every frame pinned with no load in
+	// progress block here instead of spinning on the lock.
+	frameFreed   sync.Cond
+	stallWaiters int
 }
 
 // New returns a cache of numFrames pages of pageSize bytes over dev.
@@ -65,6 +78,7 @@ func New(dev BlockDevice, pageSize, numFrames int) (*Cache, error) {
 	for i := range c.frames {
 		c.frames[i] = &frame{page: -1, data: make([]byte, pageSize)}
 	}
+	c.frameFreed.L = &c.mu
 	return c, nil
 }
 
@@ -96,7 +110,7 @@ func (c *Cache) ReadAt(p []byte, off int64) (int, error) {
 		if rem := c.dev.Size() - off; int64(n) > rem {
 			n = int(rem)
 		}
-		if err := c.readFromPage(p[:n], page, inPage); err != nil {
+		if err := c.readFromPage(p[:n], page, inPage, false); err != nil {
 			return total, err
 		}
 		p = p[n:]
@@ -115,8 +129,10 @@ func (c *Cache) ReadAt(p []byte, off int64) (int, error) {
 }
 
 // readFromPage copies n bytes from the given page at offset inPage,
-// faulting the page in if needed.
-func (c *Cache) readFromPage(dst []byte, page int64, inPage int) error {
+// faulting the page in if needed. With pin set, the frame's reader pin is
+// retained on success instead of released — the caller owns it and must drop
+// it through Unpin once the page's consumers have run.
+func (c *Cache) readFromPage(dst []byte, page int64, inPage int, pin bool) error {
 	for {
 		c.mu.Lock()
 		if f, ok := c.table[page]; ok {
@@ -132,25 +148,38 @@ func (c *Cache) readFromPage(dst []byte, page int64, inPage int) error {
 			c.stats.Hits++
 			c.mu.Unlock()
 			copy(dst, f.data[inPage:])
-			c.mu.Lock()
-			f.inflight--
-			c.mu.Unlock()
+			if !pin {
+				c.unpin(f)
+			}
 			return nil
 		}
-		// Miss: claim a victim frame, publish it as loading, and read the
-		// device outside the lock.
-		c.stats.Misses++
+		// Miss path: claim a victim frame, publish it as loading, and read
+		// the device outside the lock.
 		f := c.evictLocked()
 		if f == nil {
-			// All frames are loading or busy; rare under sane sizing. Wait
-			// for any in-progress load and retry.
-			ch := c.anyLoadingLocked()
-			c.mu.Unlock()
-			if ch != nil {
+			// No reclaimable frame. Distinguish the two causes: frames held
+			// by in-progress loads (wait on one load channel) vs. frames all
+			// pinned by in-flight copies with nothing loading (block on the
+			// condition until a pin drops — a tight relock-and-retry loop
+			// here would spin a core against the very readers it waits for).
+			// Either way this is a stall, not a miss: no device fault-in
+			// happens on this pass.
+			c.stats.Stalls++
+			if ch := c.anyLoadingLocked(); ch != nil {
+				c.mu.Unlock()
 				<-ch
+				continue
 			}
+			c.stallWaiters++
+			c.frameFreed.Wait()
+			c.stallWaiters--
+			c.mu.Unlock()
 			continue
 		}
+		// One miss per device fault-in, counted exactly where the load is
+		// claimed (a reader retrying around the stall path above must not
+		// count the same logical fault more than once).
+		c.stats.Misses++
 		if f.page >= 0 {
 			delete(c.table, f.page)
 			c.stats.Evictions++
@@ -185,6 +214,7 @@ func (c *Cache) readFromPage(dst []byte, page int64, inPage int) error {
 			f.page = -1
 			close(f.loading)
 			f.loading = nil
+			c.wakeStalledLocked()
 			c.mu.Unlock()
 			return err
 		}
@@ -194,12 +224,29 @@ func (c *Cache) readFromPage(dst []byte, page int64, inPage int) error {
 		close(f.loading)
 		f.loading = nil
 		f.inflight++
+		c.wakeStalledLocked()
 		c.mu.Unlock()
 		copy(dst, f.data[inPage:])
-		c.mu.Lock()
-		f.inflight--
-		c.mu.Unlock()
+		if !pin {
+			c.unpin(f)
+		}
 		return nil
+	}
+}
+
+// unpin releases a reader's pin on a frame and wakes any reader blocked
+// waiting for a reclaimable frame.
+func (c *Cache) unpin(f *frame) {
+	c.mu.Lock()
+	f.inflight--
+	c.wakeStalledLocked()
+	c.mu.Unlock()
+}
+
+// wakeStalledLocked wakes readers blocked in the all-frames-pinned path.
+func (c *Cache) wakeStalledLocked() {
+	if c.stallWaiters > 0 {
+		c.frameFreed.Broadcast()
 	}
 }
 
@@ -229,6 +276,78 @@ func (c *Cache) anyLoadingLocked() chan struct{} {
 		}
 	}
 	return nil
+}
+
+// Resident reports whether the page containing off is present in the cache
+// with its load complete — i.e. whether a ReadAt touching off would be served
+// without a synchronous device fault. Offsets past end-of-device are
+// trivially resident (reads there never touch the device). The answer is
+// advisory: the page can be evicted the moment the lock is released.
+func (c *Cache) Resident(off int64) bool {
+	if off < 0 {
+		return false
+	}
+	if off >= c.dev.Size() {
+		return true
+	}
+	page := off / int64(c.pageSize)
+	c.mu.Lock()
+	f, ok := c.table[page]
+	resident := ok && f.loading == nil
+	c.mu.Unlock()
+	return resident
+}
+
+// Touch faults in the page containing off without copying any data out,
+// blocking until the page is resident (or the load fails). It is the fetch
+// primitive for asynchronous prefetchers: a worker goroutine calls Touch so
+// that a later ReadAt on the serving path hits. Touching past end-of-device
+// is a no-op.
+func (c *Cache) Touch(off int64) error {
+	if off < 0 {
+		return fmt.Errorf("pagecache: negative offset")
+	}
+	if off >= c.dev.Size() {
+		return nil
+	}
+	return c.readFromPage(nil, off/int64(c.pageSize), 0, false)
+}
+
+// TouchPin faults in the page containing off like Touch, but returns with a
+// reader pin held on the frame: the page cannot be evicted until a matching
+// Unpin. It is the fetch primitive for flow-controlled prefetchers — pinning
+// from fault-in until the page's consumers have run guarantees a fetched
+// page is consumed at least once before eviction, which a plain Touch cannot
+// (under memory pressure the page can be evicted before the consumer runs,
+// degenerating into fetch/evict livelock). No pin is taken when the load
+// fails or off is past end-of-device (both are safe to Unpin anyway).
+//
+// Pins count against the frame pool: callers must bound their outstanding
+// pins well below NumFrames or concurrent readers stall waiting for frames.
+func (c *Cache) TouchPin(off int64) error {
+	if off < 0 {
+		return fmt.Errorf("pagecache: negative offset")
+	}
+	if off >= c.dev.Size() {
+		return nil
+	}
+	return c.readFromPage(nil, off/int64(c.pageSize), 0, true)
+}
+
+// Unpin drops a pin taken by TouchPin on the page containing off. Unpinning
+// an offset whose page is absent (the load failed, or off is past
+// end-of-device) is a no-op.
+func (c *Cache) Unpin(off int64) {
+	if off < 0 || off >= c.dev.Size() {
+		return
+	}
+	page := off / int64(c.pageSize)
+	c.mu.Lock()
+	if f, ok := c.table[page]; ok && f.inflight > 0 {
+		f.inflight--
+		c.wakeStalledLocked()
+	}
+	c.mu.Unlock()
 }
 
 // Stats returns a snapshot of the cache counters.

@@ -8,6 +8,7 @@ package pagecache
 
 import (
 	"errors"
+	"fmt"
 	"sync/atomic"
 	"time"
 )
@@ -30,6 +31,44 @@ func IsTransient(err error) bool {
 // (the fault model is fail-stop for non-transient device errors).
 const DefaultReadAttempts = 16
 
+// ErrExhausted marks a read whose whole retry budget was consumed without a
+// clean result. Match with errors.Is(err, ErrExhausted).
+var ErrExhausted = errors.New("pagecache: device read retry budget exhausted")
+
+// ExhaustedError is the typed error RetryDevice returns when the attempt
+// budget runs out. It deliberately reports Transient() == false even when the
+// last underlying failure was transient: the retry layer IS the transient
+// handler, so a failure that survives it is permanent as far as every layer
+// above is concerned — the cache must fail the load, not silently accept a
+// torn read, and recovery escalates to the query-level ladder.
+type ExhaustedError struct {
+	Off      int64 // read offset
+	Attempts int   // attempt budget that was consumed
+	Short    bool  // true when the last attempt was a torn (short, error-free) read
+	Last     error // last underlying error, nil for a torn read
+}
+
+func (e *ExhaustedError) Error() string {
+	if e.Last == nil {
+		return fmt.Sprintf("pagecache: device read retry budget exhausted (off=%d attempts=%d, torn read)",
+			e.Off, e.Attempts)
+	}
+	return fmt.Sprintf("pagecache: device read retry budget exhausted (off=%d attempts=%d): %v",
+		e.Off, e.Attempts, e.Last)
+}
+
+// Unwrap exposes the last underlying failure for errors.As inspection.
+// errors.As(err, &transientError) still finds the ExhaustedError first
+// (outermost wins), so IsTransient correctly reports false.
+func (e *ExhaustedError) Unwrap() error { return e.Last }
+
+// Is makes errors.Is(err, ErrExhausted) match.
+func (e *ExhaustedError) Is(target error) bool { return target == ErrExhausted }
+
+// Transient reports false: an exhausted retry budget is permanent by
+// definition (see type doc).
+func (e *ExhaustedError) Transient() bool { return false }
+
 // RetryDevice wraps a BlockDevice, re-issuing reads that fail with a
 // transient error or return a torn (short, mid-device) result. Non-transient
 // errors propagate immediately.
@@ -40,6 +79,10 @@ type RetryDevice struct {
 
 	retries   atomic.Uint64
 	exhausted atomic.Uint64
+
+	// Optional mirror sinks (SetCounters): obs counters without an obs import.
+	retrySink   CounterSink
+	exhaustSink CounterSink
 }
 
 var _ BlockDevice = (*RetryDevice)(nil)
@@ -56,8 +99,12 @@ func NewRetryDevice(under BlockDevice, attempts int, backoff time.Duration) *Ret
 }
 
 // ReadAt retries transient failures and torn reads, returning the first
-// clean result. After the attempt budget it returns the last outcome as-is
-// (the cache above converts a still-short read into io.ErrUnexpectedEOF).
+// clean result. When the attempt budget runs out it returns a typed
+// *ExhaustedError — never a bare short (n < len(p), nil) result mid-device,
+// which callers that don't re-check n would silently accept as valid data.
+// The exhaustion error reports Transient() == false (this layer is the
+// transient handler; what survives it is permanent) while still wrapping the
+// last underlying failure for inspection.
 func (d *RetryDevice) ReadAt(p []byte, off int64) (int, error) {
 	delay := d.backoff
 	var n int
@@ -65,6 +112,9 @@ func (d *RetryDevice) ReadAt(p []byte, off int64) (int, error) {
 	for a := 0; a < d.attempts; a++ {
 		if a > 0 {
 			d.retries.Add(1)
+			if d.retrySink != nil {
+				d.retrySink.Add(1)
+			}
 			if delay > 0 {
 				time.Sleep(delay)
 				delay *= 2
@@ -83,7 +133,10 @@ func (d *RetryDevice) ReadAt(p []byte, off int64) (int, error) {
 		return n, nil
 	}
 	d.exhausted.Add(1)
-	return n, err
+	if d.exhaustSink != nil {
+		d.exhaustSink.Add(1)
+	}
+	return n, &ExhaustedError{Off: off, Attempts: d.attempts, Short: err == nil, Last: err}
 }
 
 // Size returns the underlying device capacity.
@@ -91,6 +144,18 @@ func (d *RetryDevice) Size() int64 { return d.under.Size() }
 
 // Close closes the underlying device.
 func (d *RetryDevice) Close() error { return d.under.Close() }
+
+// CounterSink receives monotonic counter increments. internal/obs counters
+// satisfy it structurally, keeping this package free of an obs dependency.
+type CounterSink interface{ Add(n uint64) }
+
+// SetCounters mirrors retry/exhaustion events into external counters (e.g.
+// obs.Registry counters named obs.PCRetries / obs.PCExhausted). Either sink
+// may be nil. Must be called before the device serves concurrent reads.
+func (d *RetryDevice) SetCounters(retries, exhausted CounterSink) {
+	d.retrySink = retries
+	d.exhaustSink = exhausted
+}
 
 // Retries returns the number of re-issued read attempts.
 func (d *RetryDevice) Retries() uint64 { return d.retries.Load() }

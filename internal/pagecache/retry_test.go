@@ -72,11 +72,56 @@ func TestRetryDeviceExhaustion(t *testing.T) {
 	dev := &retryFlakyDev{MemDevice: MemDevice{Data: make([]byte, 64)}, failN: 1 << 30}
 	rd := NewRetryDevice(dev, 4, 0)
 	_, err := rd.ReadAt(make([]byte, 8), 0)
-	if !IsTransient(err) {
-		t.Fatalf("exhausted retries should surface the transient error, got %v", err)
+	if !errors.Is(err, ErrExhausted) {
+		t.Fatalf("exhausted retries should return ErrExhausted, got %v", err)
+	}
+	// The retry layer is the transient handler: what survives it is permanent,
+	// so an exhausted read must NOT advertise itself as retryable even though
+	// the last underlying failure was transient.
+	if IsTransient(err) {
+		t.Fatalf("exhausted retry budget reported transient: %v", err)
+	}
+	var ex *ExhaustedError
+	if !errors.As(err, &ex) {
+		t.Fatalf("want *ExhaustedError, got %T", err)
+	}
+	if ex.Attempts != 4 || ex.Off != 0 || ex.Short {
+		t.Errorf("ExhaustedError = %+v, want Attempts=4 Off=0 Short=false", ex)
+	}
+	// The last underlying failure stays reachable for inspection.
+	var inner retryTempErr
+	if !errors.As(ex.Last, &inner) {
+		t.Errorf("last underlying error %v not reachable", ex.Last)
 	}
 	if rd.Exhausted() != 1 {
 		t.Errorf("Exhausted = %d, want 1", rd.Exhausted())
+	}
+}
+
+// TestRetryDeviceExhaustionTornRead covers the bug this sequence of tests
+// exists for: a device that tears every read used to make RetryDevice return
+// (n < len(p), nil) after the budget — a silent short read mid-device that
+// upper layers could mistake for success. It must now be a typed error.
+func TestRetryDeviceExhaustionTornRead(t *testing.T) {
+	data := make([]byte, 4096)
+	dev := &retryFlakyDev{MemDevice: MemDevice{Data: data}, tornN: 1 << 30}
+	rd := NewRetryDevice(dev, 4, 0)
+	n, err := rd.ReadAt(make([]byte, 512), 0)
+	if err == nil {
+		t.Fatalf("torn-read exhaustion returned (n=%d, nil): silent short read", n)
+	}
+	if !errors.Is(err, ErrExhausted) {
+		t.Fatalf("want ErrExhausted, got %v", err)
+	}
+	if IsTransient(err) {
+		t.Fatalf("exhausted torn read reported transient: %v", err)
+	}
+	var ex *ExhaustedError
+	if !errors.As(err, &ex) {
+		t.Fatalf("want *ExhaustedError, got %T", err)
+	}
+	if !ex.Short || ex.Last != nil {
+		t.Errorf("ExhaustedError = %+v, want Short=true Last=nil", ex)
 	}
 }
 

@@ -1,0 +1,175 @@
+package havoqgt
+
+// Memory-budget facade: move the resident graph's adjacency data out of core
+// (behind the user-space page cache over simulated NVRAM or a real file) so
+// the serving engine traverses more graph than the DRAM budget holds — the
+// paper's semi-external configuration (§VIII-A) under the multi-query
+// engine. Vertex state stays in DRAM; only the CSR target array (the bulk of
+// the data) pages in on demand, with visits parking on missing pages while
+// resident work continues.
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"havoqgt/internal/obs"
+	"havoqgt/internal/ooc"
+)
+
+// MemoryConfig sets the out-of-core memory budget for SetMemoryBudget.
+type MemoryConfig struct {
+	// ResidentFraction is the per-rank DRAM page-cache budget as a fraction
+	// of that rank's serialized adjacency bytes, in (0, 1]. 1/8 keeps at
+	// most an eighth of the edge data cached.
+	ResidentFraction float64
+	// PageSize is the cache page size in bytes (default 4096).
+	PageSize int
+	// DeviceLatency and DeviceQueueDepth model the NVRAM device when Dir is
+	// empty (defaults 25µs, 64 — enterprise NAND-flash class).
+	DeviceLatency    time.Duration
+	DeviceQueueDepth int
+	// Dir, when non-empty, backs each rank's adjacency with a real file
+	// under it instead of simulated NVRAM. Files are removed by
+	// ResetMemoryBudget.
+	Dir string
+	// RetryAttempts bounds device read retries (0 = pagecache default).
+	RetryAttempts int
+}
+
+// MemoryStats aggregates the out-of-core serving counters across ranks.
+type MemoryStats struct {
+	// Page cache, summed over ranks. Misses counts device fault-ins exactly;
+	// Stalls counts waits for a frame with every frame pinned or loading.
+	CacheHits      uint64
+	CacheMisses    uint64
+	CacheStalls    uint64
+	CacheEvictions uint64
+	BytesRead      uint64
+	// HitRate is hits/(hits+misses) over the aggregate, 1 with no accesses.
+	HitRate float64
+	// Device retry plane.
+	Retries   uint64
+	Exhausted uint64
+	// Pager fetch pipeline.
+	DemandFetches   uint64
+	Prefetches      uint64
+	PrefetchDropped uint64
+}
+
+// TraversalCounters are the machine-wide visitor-queue counters relevant to
+// out-of-core serving, read from the metrics registry. PushedDelta between
+// two snapshots divided by wall time approximates TEPS for edge-frontier
+// algorithms (every traversed edge pushes one visitor).
+type TraversalCounters struct {
+	Pushed   uint64
+	Executed uint64
+	Parked   uint64
+	Unparked uint64
+}
+
+// SetMemoryBudget moves every rank's CSR adjacency out of core under the
+// given budget. Must be called with no engine attached (the store swap is
+// not safe under in-flight queries); a subsequent StartEngine serves in
+// latency-hiding out-of-core mode, and classic (serialized) traversals read
+// through the cache synchronously — the latency-not-hidden baseline the
+// benchmark compares against. Undo with ResetMemoryBudget; calling again
+// without resetting fails.
+func (g *Graph) SetMemoryBudget(cfg MemoryConfig) error {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if g.eng != nil {
+		return errors.New("havoqgt: cannot change the memory budget while an engine is attached (close it first)")
+	}
+	if g.stores != nil {
+		return errors.New("havoqgt: a memory budget is already set (ResetMemoryBudget first)")
+	}
+	stores := make([]*ooc.Store, len(g.parts))
+	for rank, part := range g.parts {
+		st, err := ooc.Externalize(part, ooc.Config{
+			ResidentFraction: cfg.ResidentFraction,
+			PageSize:         cfg.PageSize,
+			Latency:          cfg.DeviceLatency,
+			QueueDepth:       cfg.DeviceQueueDepth,
+			Dir:              cfg.Dir,
+			Rank:             rank,
+			RetryAttempts:    cfg.RetryAttempts,
+			Obs:              g.machine.Obs(),
+		})
+		if err != nil {
+			for r := 0; r < rank; r++ {
+				stores[r].Restore()
+			}
+			return fmt.Errorf("havoqgt: externalize rank %d: %w", rank, err)
+		}
+		stores[rank] = st
+	}
+	g.stores = stores
+	return nil
+}
+
+// ResetMemoryBudget restores fully-resident in-memory adjacency storage,
+// tearing down the device stacks (and removing backing files). No-op when no
+// budget is set.
+func (g *Graph) ResetMemoryBudget() error {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if g.eng != nil {
+		return errors.New("havoqgt: cannot change the memory budget while an engine is attached (close it first)")
+	}
+	var first error
+	for _, st := range g.stores {
+		if err := st.Restore(); err != nil && first == nil {
+			first = err
+		}
+	}
+	g.stores = nil
+	return first
+}
+
+// OutOfCore reports whether a memory budget is currently set.
+func (g *Graph) OutOfCore() bool {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.stores != nil
+}
+
+// MemoryStats aggregates the out-of-core counters across ranks. Zero-valued
+// when no budget is set.
+func (g *Graph) MemoryStats() MemoryStats {
+	g.mu.Lock()
+	stores := g.stores
+	g.mu.Unlock()
+	var out MemoryStats
+	for _, st := range stores {
+		s := st.Stats()
+		out.CacheHits += s.Cache.Hits
+		out.CacheMisses += s.Cache.Misses
+		out.CacheStalls += s.Cache.Stalls
+		out.CacheEvictions += s.Cache.Evictions
+		out.BytesRead += s.Cache.BytesRead
+		out.Retries += s.Retries
+		out.Exhausted += s.Exhausted
+		out.DemandFetches += s.DemandFetches
+		out.Prefetches += s.Prefetches
+		out.PrefetchDropped += s.PrefetchDropped
+	}
+	if total := out.CacheHits + out.CacheMisses; total > 0 {
+		out.HitRate = float64(out.CacheHits) / float64(total)
+	} else {
+		out.HitRate = 1
+	}
+	return out
+}
+
+// TraversalCounters reads the machine-wide visitor-queue counters. Benchmark
+// code diffs successive snapshots to attribute work to a phase.
+func (g *Graph) TraversalCounters() TraversalCounters {
+	reg, p := g.machine.Obs(), g.opts.Ranks
+	return TraversalCounters{
+		Pushed:   reg.PerRank(obs.CorePushed, p).Total(),
+		Executed: reg.PerRank(obs.CoreExecuted, p).Total(),
+		Parked:   reg.PerRank(obs.CoreParked, p).Total(),
+		Unparked: reg.PerRank(obs.CoreUnparked, p).Total(),
+	}
+}
