@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test race lint vet fmt fmt-check staticcheck fuzz-smoke chaos chaos-short bench bench-smoke bench-ooc experiments serve-smoke cluster-smoke bench-net clean
+.PHONY: all build test race lint vet fmt fmt-check staticcheck fuzz-smoke chaos chaos-short bench bench-smoke bench-ooc bench-traffic experiments serve-smoke cluster-smoke bench-net clean
 
 STATICCHECK ?= staticcheck
 
@@ -95,6 +95,16 @@ bench-ooc:
 	$(GO) run ./cmd/havoqd -ooc -scale 12 -ranks 4 -bench-queries 12 \
 		-ooc-fractions 1,0.25 -ooc-out BENCH_ooc_smoke.json
 
+# Front-door traffic-plane smoke (BENCH_traffic_smoke.json, DESIGN.md §12):
+# the open-loop load harness on a tiny graph with the acceptance gates on —
+# zero 5xx in every phase, >= 50% of hot-key requests absorbed by
+# cache+collapse, quota sheds with Retry-After under 10x overload, admitted
+# p99 within 4x of the uniform baseline, and the deterministic 16->1 collapse
+# probe. Exits non-zero on any gate violation. The committed full run
+# (BENCH_traffic.json) uses `-loadbench` defaults at scale 12.
+bench-traffic:
+	$(GO) run ./cmd/havoqd -loadbench -scale 10 -ranks 4 		-load-qps 60 -load-duration 3s -load-out BENCH_traffic_smoke.json
+
 # Regenerate every figure/table at laptop scale; per-phase obs communication
 # profiles land in obs_profiles.json (see -obs-json/-obs-csv flags).
 experiments:
@@ -122,5 +132,5 @@ bench-net:
 	$(GO) run ./cmd/havoqd -selfbench -cluster -workers 4 -ranks 8 -scale 14 -cluster-timeout 10m
 
 clean:
-	rm -f obs_profiles.json obs_profiles.csv cluster-worker-*.log BENCH_ooc_smoke.json
+	rm -f obs_profiles.json obs_profiles.csv cluster-worker-*.log BENCH_ooc_smoke.json BENCH_traffic_smoke.json
 	$(GO) clean ./...

@@ -17,6 +17,7 @@ package havoqgt
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"havoqgt/internal/algos/bfs"
@@ -102,6 +103,14 @@ type Graph struct {
 	// stores, when non-nil, hold each rank's out-of-core adjacency backing
 	// (SetMemoryBudget). Indexed like parts.
 	stores []*ooc.Store
+
+	// version is the graph's monotone snapshot version, starting at 1.
+	// Today the partitioned graph is immutable, so the version only moves
+	// when BumpVersion is called explicitly; the streaming-ingest path
+	// (ROADMAP item 4) will bump it on every compacted snapshot swap. The
+	// serving layer keys its result cache on this value, so a bump
+	// invalidates every cached answer.
+	version atomic.Uint64
 }
 
 // runExclusive executes one collective machine phase under the graph lock.
@@ -189,8 +198,20 @@ func build(chunk func(rank, size int) []Edge, n uint64, opts Options) (*Graph, e
 			return nil, err
 		}
 	}
+	g.version.Store(1)
 	return g, nil
 }
+
+// Version returns the graph's current snapshot version (1 for a freshly
+// built graph). Result caches key on it: answers computed at version v are
+// valid exactly while Version() == v.
+func (g *Graph) Version() uint64 { return g.version.Load() }
+
+// BumpVersion advances the snapshot version and returns the new value. This
+// is the invalidation hook for mutation paths (streaming ingest, snapshot
+// swap — ROADMAP item 4): bump after the new snapshot is visible and every
+// version-keyed cache entry from before it becomes stale atomically.
+func (g *Graph) BumpVersion() uint64 { return g.version.Add(1) }
 
 // NumVertices returns the vertex count.
 func (g *Graph) NumVertices() uint64 { return g.n }

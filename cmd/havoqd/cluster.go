@@ -180,14 +180,14 @@ func (s *coordServer) handleHealthz(w http.ResponseWriter, r *http.Request) {
 
 func (s *coordServer) handleQuery(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodPost {
-		writeJSON(w, http.StatusMethodNotAllowed, errorResponse{Error: "POST only"})
+		writeError(w, http.StatusMethodNotAllowed, codeMethodNotAllowed, "POST only", 0)
 		return
 	}
 	r.Body = http.MaxBytesReader(w, r.Body, maxQueryBody)
 	var req queryRequest
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
 		s.failed.Add(1)
-		writeJSON(w, http.StatusBadRequest, errorResponse{Error: "bad request body: " + err.Error()})
+		writeError(w, http.StatusBadRequest, codeBadRequest, "bad request body: "+err.Error(), 0)
 		return
 	}
 	spec := engine.Spec{
@@ -203,19 +203,18 @@ func (s *coordServer) handleQuery(w http.ResponseWriter, r *http.Request) {
 	q, err := s.c.Submit(spec)
 	if err != nil {
 		s.failed.Add(1)
-		writeJSON(w, http.StatusBadRequest, errorResponse{Error: err.Error()})
+		writeError(w, http.StatusBadRequest, codeBadRequest, err.Error(), 0)
 		return
 	}
 	res, err := q.Wait()
 	if err != nil {
 		s.failed.Add(1)
-		writeJSON(w, http.StatusInternalServerError, errorResponse{Error: err.Error()})
+		writeError(w, http.StatusInternalServerError, codeInternal, err.Error(), 0)
 		return
 	}
 	if res.Cancelled {
 		s.failed.Add(1)
-		w.Header().Set("Retry-After", "1")
-		writeJSON(w, http.StatusGatewayTimeout, errorResponse{Error: "query cancelled (deadline)"})
+		writeError(w, http.StatusGatewayTimeout, codeTimeout, "query cancelled (deadline)", 1)
 		return
 	}
 	resp := queryResponse{ID: q.ID(), Algo: req.Algo, ElapsedMS: float64(time.Since(start).Microseconds()) / 1e3}

@@ -1,0 +1,498 @@
+package main
+
+// Open-loop traffic benchmark (-loadbench): the committed evidence that the
+// front-door plane does its job. Three phases drive BFS point queries
+// through the real HTTP path — listener, JSON codec, tenant quota, result
+// cache, collapse group, engine — with open-loop (Poisson) arrivals, i.e.
+// requests fire on the arrival clock whether or not earlier ones finished,
+// the way real traffic behaves:
+//
+//   uniform:  offered -load-qps, sources uniform over the vertex set. The
+//             cold baseline: most requests miss and execute.
+//   hotkey:   same offered rate, sources Zipf(-load-zipf-s) — the skew that
+//             scale-free graphs attract. Collapse + cache should absorb most
+//             requests (the acceptance gate says >= 50%).
+//   overload: -load-overload x the offered rate. Tenant quotas must shed the
+//             excess as structured 429s with Retry-After — zero 5xx — while
+//             admitted requests keep a flat p99.
+//
+// The graph version is bumped before the uniform and hotkey phases, so each
+// starts with a cold cache (the bump doubles as a live test of version
+// invalidation); the overload phase keeps the hotkey phase's warm cache,
+// because overload arrives while serving, not after an invalidation. A final
+// deterministic probe fires 16 simultaneous requests for one cold key to
+// demonstrate N->1 collapsing by construction.
+// Latency percentiles come from per-phase deltas of the server-side
+// traffic.request_ns obs histogram; client-observed percentiles ride along
+// as a cross-check. Results land in -load-out (BENCH_traffic.json), and with
+// -load-gates (default) the acceptance gates fail the run with exit != 0.
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"math/rand"
+	"net"
+	"net/http"
+	"os"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"havoqgt"
+	"havoqgt/internal/obs"
+	"havoqgt/internal/traffic"
+)
+
+// loadPhaseReport is one phase's outcome: client-observed status breakdown
+// plus the server-side traffic.* counter and histogram deltas.
+type loadPhaseReport struct {
+	Name         string  `json:"name"`
+	Distribution string  `json:"distribution"`
+	OfferedQPS   float64 `json:"offered_qps"`
+	DurationS    float64 `json:"duration_s"`
+	Sent         int     `json:"sent"`
+
+	Served2xx         int `json:"served_2xx"`
+	Shed429Quota      int `json:"shed_429_quota"`
+	Shed429Engine     int `json:"shed_429_engine"`
+	Status4xxOther    int `json:"status_4xx_other"`
+	Status5xx         int `json:"status_5xx"`
+	ClientErrors      int `json:"client_errors"`
+	MissingRetryAfter int `json:"missing_retry_after"`
+
+	AdmittedQPS float64 `json:"admitted_qps"`
+	ShedRate    float64 `json:"shed_rate"`
+
+	CollapseLeaders uint64  `json:"collapse_leaders"`
+	CollapseHits    uint64  `json:"collapse_hits"`
+	CacheHits       uint64  `json:"cache_hits"`
+	CacheMisses     uint64  `json:"cache_misses"`
+	AbsorbedRate    float64 `json:"absorbed_rate"` // (cache+collapse hits) / served
+
+	P50MS  float64 `json:"p50_ms"` // server-side, admitted+served requests
+	P99MS  float64 `json:"p99_ms"`
+	P999MS float64 `json:"p999_ms"`
+
+	ClientP50MS float64 `json:"client_p50_ms"`
+	ClientP99MS float64 `json:"client_p99_ms"`
+	ClientMaxMS float64 `json:"client_max_ms"`
+}
+
+type loadGate struct {
+	Name   string `json:"name"`
+	Pass   bool   `json:"pass"`
+	Detail string `json:"detail"`
+}
+
+type loadReport struct {
+	Timestamp string `json:"timestamp"`
+	Scale     uint   `json:"scale"`
+	Ranks     int    `json:"ranks"`
+	Vertices  uint64 `json:"vertices"`
+	Edges     uint64 `json:"edges"`
+
+	QPS         float64 `json:"qps"`
+	PhaseS      float64 `json:"phase_s"`
+	ZipfS       float64 `json:"zipf_s"`
+	Overload    float64 `json:"overload_factor"`
+	Tenants     int     `json:"tenants"`
+	TenantRate  float64 `json:"tenant_rate"`
+	TenantBurst float64 `json:"tenant_burst"`
+	CacheBytes  int64   `json:"cache_bytes"`
+	MaxInFlight int     `json:"max_in_flight"`
+	MaxQueue    int     `json:"max_queue"`
+
+	Phases []loadPhaseReport `json:"phases"`
+	Gates  []loadGate        `json:"gates"`
+}
+
+// sourceDist draws the next query's source vertex. Implementations are not
+// safe for concurrent use; the arrival loop draws before spawning.
+type sourceDist interface {
+	draw() uint64
+}
+
+type uniformDist struct {
+	r *rand.Rand
+	n uint64
+}
+
+func (d *uniformDist) draw() uint64 { return uint64(d.r.Int63n(int64(d.n))) }
+
+// zipfDist maps Zipf rank k directly to vertex k: rank 0 is the hottest
+// key. Which vertices are "hot" does not matter for the front door — only
+// that a few keys dominate, as they do against any scale-free structure.
+type zipfDist struct {
+	z *rand.Zipf
+}
+
+func (d *zipfDist) draw() uint64 { return d.z.Uint64() }
+
+// loadResult is one request's client-side observation.
+type loadResult struct {
+	status     int
+	code       string // structured error code on non-2xx
+	latency    time.Duration
+	retryAfter bool
+	err        error
+}
+
+// firePhase drives one open-loop phase: arrivals at rate qps for dur,
+// exponential inter-arrival gaps, every request on its own goroutine.
+// Returns when every fired request has completed.
+func firePhase(client *http.Client, base string, dist sourceDist, qps float64, dur time.Duration,
+	tenants int, arrivals *rand.Rand) []loadResult {
+	var (
+		mu      sync.Mutex
+		results []loadResult
+		wg      sync.WaitGroup
+	)
+	var fired atomic.Int64
+	deadline := time.Now().Add(dur)
+	next := time.Now()
+	for time.Now().Before(deadline) {
+		src := dist.draw()
+		i := fired.Add(1)
+		tenant := fmt.Sprintf("tenant-%d", i%int64(tenants))
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			res := fireOne(client, base, src, tenant)
+			mu.Lock()
+			results = append(results, res)
+			mu.Unlock()
+		}()
+		// Exponential gap: a Poisson arrival process at rate qps.
+		gap := time.Duration(arrivals.ExpFloat64() / qps * float64(time.Second))
+		next = next.Add(gap)
+		if d := time.Until(next); d > 0 {
+			time.Sleep(d)
+		}
+	}
+	wg.Wait()
+	return results
+}
+
+func fireOne(client *http.Client, base string, src uint64, tenant string) loadResult {
+	body, _ := json.Marshal(queryRequest{Algo: "bfs", Source: src})
+	req, err := http.NewRequest(http.MethodPost, base+"/query", bytes.NewReader(body))
+	if err != nil {
+		return loadResult{err: err}
+	}
+	req.Header.Set("Content-Type", "application/json")
+	req.Header.Set(tenantHeader, tenant)
+	start := time.Now()
+	res, err := client.Do(req)
+	if err != nil {
+		return loadResult{err: err}
+	}
+	defer res.Body.Close()
+	out := loadResult{status: res.StatusCode, latency: time.Since(start),
+		retryAfter: res.Header.Get("Retry-After") != ""}
+	if res.StatusCode == http.StatusOK {
+		io.Copy(io.Discard, res.Body)
+		return out
+	}
+	var er errorResponse
+	if err := json.NewDecoder(res.Body).Decode(&er); err != nil {
+		out.err = fmt.Errorf("status %d with unparseable error body: %w", res.StatusCode, err)
+		return out
+	}
+	out.code = er.Code
+	return out
+}
+
+// fireProbe fires n identical concurrent requests for one source against a
+// cold cache: a deterministic demonstration of N->1 collapsing. Exactly one
+// request leads the engine execution; every other either joins it in flight
+// (collapse hit) or arrives after the result landed (cache hit).
+// The probe runs as its own set of fresh tenants (full bursts) so leftover
+// quota debt from the overload phase cannot shed probe requests.
+func fireProbe(client *http.Client, base string, src uint64, n, tenants int) []loadResult {
+	results := make([]loadResult, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		i := i
+		tenant := fmt.Sprintf("probe-%d", i%tenants)
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			results[i] = fireOne(client, base, src, tenant)
+		}()
+	}
+	wg.Wait()
+	return results
+}
+
+// summarizePhase folds client observations and server-side counter deltas
+// into the phase report.
+func summarizePhase(name, distName string, offered float64, dur time.Duration,
+	results []loadResult, before, after obs.Snapshot) loadPhaseReport {
+	rep := loadPhaseReport{
+		Name: name, Distribution: distName,
+		OfferedQPS: offered, DurationS: dur.Seconds(), Sent: len(results),
+	}
+	var servedLats []time.Duration
+	for _, r := range results {
+		switch {
+		case r.err != nil:
+			rep.ClientErrors++
+		case r.status == http.StatusOK:
+			rep.Served2xx++
+			servedLats = append(servedLats, r.latency)
+		case r.status == http.StatusTooManyRequests && r.code == codeQuotaExceeded:
+			rep.Shed429Quota++
+			if !r.retryAfter {
+				rep.MissingRetryAfter++
+			}
+		case r.status == http.StatusTooManyRequests:
+			rep.Shed429Engine++
+			if !r.retryAfter {
+				rep.MissingRetryAfter++
+			}
+		case r.status >= 500:
+			rep.Status5xx++
+		default:
+			rep.Status4xxOther++
+		}
+	}
+	rep.AdmittedQPS = float64(rep.Served2xx) / dur.Seconds()
+	if rep.Sent > 0 {
+		rep.ShedRate = float64(rep.Shed429Quota+rep.Shed429Engine) / float64(rep.Sent)
+	}
+
+	delta := func(name string) uint64 { return after.Counter(name) - before.Counter(name) }
+	rep.CollapseLeaders = delta(obs.TrafficCollapseLeaders)
+	rep.CollapseHits = delta(obs.TrafficCollapseHits)
+	rep.CacheHits = delta(obs.TrafficCacheHits)
+	rep.CacheMisses = delta(obs.TrafficCacheMisses)
+	if total := rep.CacheHits + rep.CollapseHits + rep.CollapseLeaders; total > 0 {
+		rep.AbsorbedRate = float64(rep.CacheHits+rep.CollapseHits) / float64(total)
+	}
+
+	hist := after.Histograms[obs.TrafficRequestNS].Sub(before.Histograms[obs.TrafficRequestNS])
+	toMS := func(ns uint64) float64 { return float64(ns) / 1e6 }
+	rep.P50MS = toMS(hist.Quantile(0.50))
+	rep.P99MS = toMS(hist.Quantile(0.99))
+	rep.P999MS = toMS(hist.Quantile(0.999))
+
+	sort.Slice(servedLats, func(i, j int) bool { return servedLats[i] < servedLats[j] })
+	rep.ClientP50MS = percentile(servedLats, 0.50)
+	rep.ClientP99MS = percentile(servedLats, 0.99)
+	rep.ClientMaxMS = percentile(servedLats, 1.0)
+	return rep
+}
+
+// evalGates applies the acceptance gates to the three phases.
+//
+// p99 comparisons carry a relative epsilon: quantiles are the upper bounds
+// of power-of-two histogram buckets (2^i - 1 ns), so "within factor 4"
+// legitimately lands on bucket pairs whose bound ratio exceeds 4 by up to
+// ~2^-26 relative (for ns-scale latencies), plus ns->ms division rounding.
+// 1e-6 covers both and sits far below the 2x bucket granularity.
+func evalGates(uniform, hotkey, overload, probe loadPhaseReport, p99Factor float64) []loadGate {
+	const eps = 1 + 1e-6
+	var gates []loadGate
+	add := func(name string, pass bool, detail string) {
+		gates = append(gates, loadGate{Name: name, Pass: pass, Detail: detail})
+	}
+	for _, ph := range []loadPhaseReport{uniform, hotkey, overload} {
+		add("zero_5xx_"+ph.Name, ph.Status5xx == 0 && ph.ClientErrors == 0,
+			fmt.Sprintf("5xx=%d client_errors=%d", ph.Status5xx, ph.ClientErrors))
+	}
+	// Collapsing only has the cold window to act in — once the leader's
+	// result lands in the cache, later identical requests are cache hits,
+	// not collapse joins — so the zipf phases produce joins by chance while
+	// the probe produces them by construction. The gate counts all of them.
+	add("hotkey_collapse_hits", hotkey.CollapseHits+overload.CollapseHits+probe.CollapseHits > 0,
+		fmt.Sprintf("collapse_hits hotkey=%d overload=%d probe=%d",
+			hotkey.CollapseHits, overload.CollapseHits, probe.CollapseHits))
+	add("probe_single_leader", probe.CollapseLeaders == 1 && probe.Served2xx == probe.Sent,
+		fmt.Sprintf("leaders=%d collapsed=%d cached=%d served=%d/%d", probe.CollapseLeaders,
+			probe.CollapseHits, probe.CacheHits, probe.Served2xx, probe.Sent))
+	add("hotkey_absorbed_50pct", hotkey.AbsorbedRate >= 0.5,
+		fmt.Sprintf("absorbed=%.1f%% (cache=%d collapse=%d executed=%d)",
+			hotkey.AbsorbedRate*100, hotkey.CacheHits, hotkey.CollapseHits, hotkey.CollapseLeaders))
+	add("hotkey_p99_flat", hotkey.P99MS <= uniform.P99MS*p99Factor*eps,
+		fmt.Sprintf("hotkey p99 %.2fms vs uniform p99 %.2fms (factor %.1f)",
+			hotkey.P99MS, uniform.P99MS, p99Factor))
+	add("overload_sheds", overload.Shed429Quota > 0,
+		fmt.Sprintf("quota sheds=%d (rate %.1f%%)", overload.Shed429Quota, overload.ShedRate*100))
+	add("overload_retry_after", overload.MissingRetryAfter == 0,
+		fmt.Sprintf("429s missing Retry-After: %d", overload.MissingRetryAfter))
+	add("overload_p99_flat", overload.P99MS <= uniform.P99MS*p99Factor*eps,
+		fmt.Sprintf("overload admitted p99 %.2fms vs uniform p99 %.2fms (factor %.1f)",
+			overload.P99MS, uniform.P99MS, p99Factor))
+	return gates
+}
+
+func loadbench(o *options) error {
+	fmt.Printf("havoqd: loadbench: building scale-%d %s graph on %d ranks (topo %s)\n",
+		o.scale, o.model, o.ranks, o.topo)
+	g, err := buildGraph(o)
+	if err != nil {
+		return err
+	}
+	e, err := g.StartEngine(havoqgt.EngineOptions{
+		MaxInFlight: o.maxInFlight,
+		MaxQueue:    o.maxQueue,
+		StepBatch:   o.stepBatch,
+	})
+	if err != nil {
+		return err
+	}
+
+	// Quota sized from the offered load: at 1x each tenant stays inside its
+	// bucket (50% headroom over its arrival share), at -load-overload x it
+	// blows through and sheds. Explicit -tenant-rate would defeat the
+	// experiment's geometry, so the harness derives its own.
+	tenants := o.loadTenants
+	if tenants < 1 {
+		tenants = 1
+	}
+	tenantRate := math.Ceil(1.5 * o.loadQPS / float64(tenants))
+	// Burst = one second of rate: enough headroom for Poisson clumping at
+	// 1x, without a phase-start token dump large enough to queue the engine
+	// past the flat-p99 gate under overload.
+	tenantBurst := tenantRate
+	tc := traffic.Config{
+		Quota:      traffic.QuotaConfig{Rate: tenantRate, Burst: tenantBurst, Tick: o.quotaTick},
+		CacheBytes: o.cacheBytes,
+	}
+	s := newServer(g, e, tc)
+	s.retries = o.queryRetries
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		s.close()
+		e.Close()
+		return err
+	}
+	s.addr = ln.Addr().String()
+	srv := &http.Server{Handler: s.handler(), ReadHeaderTimeout: 5 * time.Second, WriteTimeout: 5 * time.Minute}
+	go srv.Serve(ln)
+	defer func() {
+		srv.Close()
+		s.close()
+		e.Close()
+	}()
+
+	base := "http://" + ln.Addr().String()
+	client := &http.Client{
+		Timeout: 2 * time.Minute,
+		Transport: &http.Transport{
+			MaxIdleConns:        1024,
+			MaxIdleConnsPerHost: 1024,
+		},
+	}
+
+	n := g.NumVertices()
+	arrivals := rand.New(rand.NewSource(1))
+	// The overload phase keeps the hotkey phase's warm cache (warm=true, no
+	// version bump): overload arrives while serving, not after an
+	// invalidation, and the front door's job is to shed the excess while the
+	// cache keeps absorbing the skew it already learned.
+	phases := []struct {
+		name     string
+		distName string
+		dist     sourceDist
+		qps      float64
+		warm     bool
+	}{
+		{"uniform", "uniform", &uniformDist{r: rand.New(rand.NewSource(2)), n: n}, o.loadQPS, false},
+		{"hotkey", fmt.Sprintf("zipf(s=%.2f)", o.loadZipfS),
+			&zipfDist{z: rand.NewZipf(rand.New(rand.NewSource(3)), o.loadZipfS, 1, n-1)}, o.loadQPS, false},
+		{"overload", fmt.Sprintf("zipf(s=%.2f)", o.loadZipfS),
+			&zipfDist{z: rand.NewZipf(rand.New(rand.NewSource(4)), o.loadZipfS, 1, n-1)}, o.loadQPS * o.loadOverload, true},
+	}
+
+	rep := loadReport{
+		Timestamp: time.Now().UTC().Format(time.RFC3339),
+		Scale:     o.scale, Ranks: o.ranks,
+		Vertices: g.NumVertices(), Edges: g.NumEdges(),
+		QPS: o.loadQPS, PhaseS: o.loadDuration.Seconds(), ZipfS: o.loadZipfS,
+		Overload: o.loadOverload, Tenants: tenants,
+		TenantRate: tenantRate, TenantBurst: tenantBurst,
+		CacheBytes: o.cacheBytes, MaxInFlight: o.maxInFlight, MaxQueue: o.maxQueue,
+	}
+
+	reg := e.Metrics()
+	for _, ph := range phases {
+		// Cold-start phases bump the graph version, invalidating every
+		// cached result from the previous phase (the invalidation contract
+		// the streaming-ingest path will rely on).
+		if !ph.warm {
+			g.BumpVersion()
+		}
+		fmt.Printf("havoqd: loadbench: phase %-8s offered %.0f q/s for %v (%s sources, %d tenants, quota %g q/s each)\n",
+			ph.name, ph.qps, o.loadDuration, ph.distName, tenants, tenantRate)
+		before := reg.Snapshot()
+		start := time.Now()
+		results := firePhase(client, base, ph.dist, ph.qps, o.loadDuration, tenants, arrivals)
+		elapsed := time.Since(start)
+		after := reg.Snapshot()
+		phr := summarizePhase(ph.name, ph.distName, ph.qps, elapsed, results, before, after)
+		rep.Phases = append(rep.Phases, phr)
+		fmt.Printf("havoqd: loadbench:   sent=%d 2xx=%d shed(quota)=%d shed(engine)=%d 5xx=%d | absorbed %.1f%% (cache=%d collapse=%d exec=%d) | p50=%.2fms p99=%.2fms p999=%.2fms\n",
+			phr.Sent, phr.Served2xx, phr.Shed429Quota, phr.Shed429Engine, phr.Status5xx,
+			phr.AbsorbedRate*100, phr.CacheHits, phr.CollapseHits, phr.CollapseLeaders,
+			phr.P50MS, phr.P99MS, phr.P999MS)
+	}
+
+	// Deterministic collapse probe: cold cache, one key, 16 simultaneous
+	// requests. One leader executes; the rest collapse into it or hit the
+	// cache behind it.
+	g.BumpVersion()
+	// Clamp the probe to what the fresh tenants' bursts can admit, so a
+	// low-rate configuration cannot shed probe requests.
+	probeN := 16
+	if cap := tenants * int(tenantBurst); cap < probeN {
+		probeN = cap
+	}
+	if probeN < 2 {
+		probeN = 2
+	}
+	fmt.Printf("havoqd: loadbench: phase probe    %d simultaneous requests, one key, cold cache\n", probeN)
+	before := reg.Snapshot()
+	start := time.Now()
+	probeResults := fireProbe(client, base, 0, probeN, tenants)
+	probeElapsed := time.Since(start)
+	after := reg.Snapshot()
+	probe := summarizePhase("collapse_probe", "single key x16", 0, probeElapsed, probeResults, before, after)
+	rep.Phases = append(rep.Phases, probe)
+	fmt.Printf("havoqd: loadbench:   sent=%d 2xx=%d | leaders=%d collapsed=%d cached=%d\n",
+		probe.Sent, probe.Served2xx, probe.CollapseLeaders, probe.CollapseHits, probe.CacheHits)
+
+	rep.Gates = evalGates(rep.Phases[0], rep.Phases[1], rep.Phases[2], probe, o.loadP99Factor)
+	failed := 0
+	for _, gt := range rep.Gates {
+		mark := "ok"
+		if !gt.Pass {
+			mark = "FAIL"
+			failed++
+		}
+		fmt.Printf("havoqd: loadbench: gate %-24s %-4s %s\n", gt.Name, mark, gt.Detail)
+	}
+
+	f, err := os.Create(o.loadOut)
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(&rep); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	fmt.Printf("havoqd: loadbench: wrote %s\n", o.loadOut)
+	if failed > 0 && o.loadGates {
+		return fmt.Errorf("loadbench: %d/%d acceptance gates failed", failed, len(rep.Gates))
+	}
+	return nil
+}

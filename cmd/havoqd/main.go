@@ -38,6 +38,7 @@ import (
 
 	"havoqgt"
 	"havoqgt/internal/graphio"
+	"havoqgt/internal/traffic"
 )
 
 type options struct {
@@ -60,8 +61,25 @@ type options struct {
 	queryRetries int
 	reliable     bool
 
+	// Front-door traffic plane (internal/traffic; see server.go).
+	tenantRate  float64
+	tenantBurst float64
+	quotaTick   time.Duration
+	cacheBytes  int64
+
 	smoke   bool
 	queries int
+
+	// Open-loop load harness (see loadbench.go).
+	loadBench     bool
+	loadOut       string
+	loadQPS       float64
+	loadDuration  time.Duration
+	loadZipfS     float64
+	loadOverload  float64
+	loadTenants   int
+	loadP99Factor float64
+	loadGates     bool
 
 	simLatency time.Duration
 
@@ -113,8 +131,21 @@ func run(args []string) int {
 	fs.DurationVar(&o.deadline, "deadline", 0, "default per-query deadline (0 = none)")
 	fs.IntVar(&o.queryRetries, "query-retries", 2, "server-side checkpoint-resume retries for deadline-expired queries")
 	fs.BoolVar(&o.reliable, "reliable", false, "run the engine's message plane with acked, retransmitted delivery")
+	fs.Float64Var(&o.tenantRate, "tenant-rate", 200, "sustained per-tenant request rate (req/s) for quota admission")
+	fs.Float64Var(&o.tenantBurst, "tenant-burst", 0, "per-tenant burst capacity (0 = 2x tenant-rate)")
+	fs.DurationVar(&o.quotaTick, "quota-tick", 100*time.Millisecond, "batched quota refill period")
+	fs.Int64Var(&o.cacheBytes, "cache-bytes", 0, "result cache capacity in bytes (0 = 64 MiB, negative disables)")
 	fs.BoolVar(&o.smoke, "smoke", false, "start the server, fire -queries concurrent queries at it, verify, exit")
 	fs.IntVar(&o.queries, "queries", 50, "concurrent queries for -smoke")
+	fs.BoolVar(&o.loadBench, "loadbench", false, "run the open-loop traffic benchmark (hotkey vs uniform vs overload) and exit")
+	fs.StringVar(&o.loadOut, "load-out", "BENCH_traffic.json", "benchmark output file for -loadbench")
+	fs.Float64Var(&o.loadQPS, "load-qps", 80, "offered request rate per phase for -loadbench (overload phase multiplies it)")
+	fs.DurationVar(&o.loadDuration, "load-duration", 8*time.Second, "duration of each -loadbench phase")
+	fs.Float64Var(&o.loadZipfS, "load-zipf-s", 1.25, "Zipf exponent for the hot-key source distribution (>= 1.0)")
+	fs.Float64Var(&o.loadOverload, "load-overload", 10, "offered-rate multiplier for the overload phase")
+	fs.IntVar(&o.loadTenants, "load-tenants", 4, "distinct tenants the load harness spreads requests across")
+	fs.Float64Var(&o.loadP99Factor, "load-p99-factor", 4, "gate: admitted p99 under overload/hotkey must stay within this factor of the uniform baseline")
+	fs.BoolVar(&o.loadGates, "load-gates", true, "enforce the loadbench acceptance gates (exit non-zero on violation)")
 	fs.DurationVar(&o.simLatency, "sim-latency", 0, "simulated per-message interconnect latency (0 = instantaneous transport)")
 	fs.BoolVar(&o.selfbench, "selfbench", false, "run the serialized-vs-concurrent benchmark and exit")
 	fs.StringVar(&o.benchOut, "bench-out", "", "benchmark output file for -selfbench (default BENCH_engine.json, BENCH_net.json with -cluster)")
@@ -151,6 +182,8 @@ func run(args []string) int {
 		err = runClusterCoordinator(&o)
 	case o.oocBench:
 		err = oocbench(&o)
+	case o.loadBench:
+		err = loadbench(&o)
 	case o.selfbench && o.clusterMode:
 		err = clusterBench(&o)
 	case o.smoke && o.clusterMode:
@@ -163,6 +196,18 @@ func run(args []string) int {
 		return 1
 	}
 	return 0
+}
+
+// trafficConfig assembles the front-door plane's configuration from flags.
+func trafficConfig(o *options) traffic.Config {
+	return traffic.Config{
+		Quota: traffic.QuotaConfig{
+			Rate:  o.tenantRate,
+			Burst: o.tenantBurst,
+			Tick:  o.quotaTick,
+		},
+		CacheBytes: o.cacheBytes,
+	}
 }
 
 // buildGraph loads or generates the resident graph.
@@ -215,10 +260,11 @@ func serve(o *options) error {
 	fmt.Printf("havoqd: graph ready in %v: vertices=%d edges=%d ranks=%d topo=%s\n",
 		time.Since(start).Round(time.Millisecond), g.NumVertices(), g.NumEdges(), g.Ranks(), o.topo)
 
-	s := newServer(g, e)
+	s := newServer(g, e, trafficConfig(o))
 	s.retries = o.queryRetries
 	ln, err := net.Listen("tcp", o.addr)
 	if err != nil {
+		s.close()
 		e.Close()
 		return err
 	}
@@ -252,6 +298,7 @@ func serve(o *options) error {
 
 	select {
 	case err := <-errc:
+		s.close()
 		e.Close()
 		return err
 	case <-ctx.Done():
@@ -261,12 +308,14 @@ func serve(o *options) error {
 	shutCtx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
 	defer cancel()
 	if err := srv.Shutdown(shutCtx); err != nil {
+		s.close()
 		e.Close()
 		return fmt.Errorf("drain: %w", err)
 	}
+	s.close()
 	if err := e.Close(); err != nil {
 		return err
 	}
-	fmt.Printf("havoqd: drained; served=%d failed=%d\n", s.served.Load(), s.failed.Load())
+	fmt.Printf("havoqd: drained; served=%d failed=%d shed=%d\n", s.served.Load(), s.failed.Load(), s.shed.Load())
 	return nil
 }

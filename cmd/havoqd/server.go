@@ -1,19 +1,26 @@
 package main
 
-// HTTP layer of havoqd: a thin JSON front end over the multi-query engine.
-// One resident partitioned graph serves every request; concurrent POST
-// /query calls become interleaved tagged traversals on the shared message
-// plane rather than queued collective phases.
+// HTTP layer of havoqd: a thin JSON front end over the multi-query engine,
+// fronted by the traffic plane (internal/traffic). Every POST /query passes,
+// in order: per-tenant quota admission (batched token buckets), the
+// versioned result cache, and hot-query collapsing — so under the hot-key
+// skew that scale-free graphs attract, most requests never reach the engine
+// at all, and the ones that do are one execution shared by many clients.
 
 import (
+	"bytes"
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
 	"net/http"
+	"strconv"
+	"strings"
 	"sync/atomic"
 	"time"
 
 	"havoqgt"
+	"havoqgt/internal/traffic"
 )
 
 // queryRequest is the POST /query body.
@@ -36,7 +43,9 @@ type queryRequest struct {
 
 // queryResponse is the POST /query reply. Scalar summary fields are always
 // present for the relevant algorithm; the per-vertex arrays only with
-// "full": true.
+// "full": true. Collapsed and cached requests share the executing request's
+// response verbatim (including ID and ElapsedMS) — the X-Traffic-Outcome
+// header says which path served it.
 type queryResponse struct {
 	ID        uint32  `json:"id"`
 	Algo      string  `json:"algo"`
@@ -55,18 +64,53 @@ type queryResponse struct {
 	InCore    []bool           `json:"in_core,omitempty"`
 }
 
+// Machine-readable error codes: every 4xx/5xx body carries one, so load
+// clients can distinguish shed (back off and retry) from failed (don't).
+const (
+	codeBadRequest       = "bad_request"    // malformed body or invalid parameters
+	codeBodyTooLarge     = "body_too_large" // request body over maxQueryBody
+	codeMethodNotAllowed = "method_not_allowed"
+	codeQuotaExceeded    = "quota_exceeded"    // tenant over its token bucket: retryable
+	codeEngineOverloaded = "engine_overloaded" // engine admission queue full: retryable
+	codeTimeout          = "timeout"           // deadline exhausted (after server-side retries): retryable
+	codeInternal         = "internal"
+)
+
+// errorResponse is the structured JSON body of every 4xx/5xx response.
 type errorResponse struct {
-	Error string `json:"error"`
+	// Code is the machine-readable error class (the code* constants).
+	Code string `json:"code"`
+	// Reason is the human-readable detail.
+	Reason string `json:"reason"`
+	// RetryAfterSec, when nonzero, is the suggested client back-off in
+	// seconds; it mirrors the Retry-After header and marks the error
+	// retryable (shed, not failed).
+	RetryAfterSec int `json:"retry_after_sec,omitempty"`
 }
+
+// Error keeps errorResponse printable in tests and logs.
+func (e errorResponse) Error() string { return e.Code + ": " + e.Reason }
 
 // maxQueryBody caps the POST /query request body; the body is one small JSON
 // object, so anything past this is a broken or abusive client.
 const maxQueryBody = 1 << 20
 
-// server binds one resident graph + engine to the HTTP handlers.
+// tenantHeader identifies the requesting tenant for quota accounting; the
+// value is the tenant's API key. Authorization: Bearer <key> works too, and
+// requests carrying neither share the "anonymous" bucket.
+const tenantHeader = "X-Api-Key"
+
+// anonTenant is the shared bucket for unidentified requests.
+const anonTenant = "anonymous"
+
+// server binds one resident graph + engine + traffic plane to the HTTP
+// handlers.
 type server struct {
 	g *havoqgt.Graph
 	e *havoqgt.Engine
+	// plane is the front-door admission layer: tenant quotas, result cache,
+	// hot-query collapsing. Reports into the engine's obs registry.
+	plane *traffic.Plane
 	// retries bounds the server-side degradation path: how many times a
 	// deadline-expired query is resumed from its checkpoint (with a doubled
 	// budget) before the client gets a 504.
@@ -76,13 +120,24 @@ type server struct {
 	addr    string
 	served  atomic.Uint64
 	failed  atomic.Uint64
+	shed    atomic.Uint64
 	retried atomic.Uint64
 	started time.Time
 }
 
-func newServer(g *havoqgt.Graph, e *havoqgt.Engine) *server {
-	return &server{g: g, e: e, retries: 2, started: time.Now()}
+// newServer assembles the HTTP layer with a traffic plane built from tc.
+// The plane registers its metrics in the engine's registry so /stats
+// carries traffic.* next to engine.* and mailbox.*.
+func newServer(g *havoqgt.Graph, e *havoqgt.Engine, tc traffic.Config) *server {
+	if tc.Registry == nil {
+		tc.Registry = e.Metrics()
+	}
+	return &server{g: g, e: e, plane: traffic.New(tc), retries: 2, started: time.Now()}
 }
+
+// close releases the traffic plane's background resources (quota refill
+// ticker). Call after the HTTP server has stopped.
+func (s *server) close() { s.plane.Close() }
 
 // handler builds the route table.
 func (s *server) handler() http.Handler {
@@ -99,45 +154,85 @@ func writeJSON(w http.ResponseWriter, code int, v any) {
 	json.NewEncoder(w).Encode(v)
 }
 
+// writeError emits the structured error body shared by every 4xx/5xx path.
+// retryAfterSec > 0 also sets the Retry-After header.
+func writeError(w http.ResponseWriter, status int, code, reason string, retryAfterSec int) {
+	if retryAfterSec > 0 {
+		w.Header().Set("Retry-After", strconv.Itoa(retryAfterSec))
+	}
+	writeJSON(w, status, errorResponse{Code: code, Reason: reason, RetryAfterSec: retryAfterSec})
+}
+
+// tenantID resolves the requesting tenant from the API-key header (or an
+// Authorization bearer token), falling back to the shared anonymous bucket.
+func tenantID(r *http.Request) string {
+	if k := r.Header.Get(tenantHeader); k != "" {
+		return k
+	}
+	if auth := r.Header.Get("Authorization"); auth != "" {
+		if tok, ok := strings.CutPrefix(auth, "Bearer "); ok && tok != "" {
+			return tok
+		}
+	}
+	return anonTenant
+}
+
 func (s *server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]any{
-		"ok":        true,
-		"addr":      s.addr,
-		"vertices":  s.g.NumVertices(),
-		"edges":     s.g.NumEdges(),
-		"ranks":     s.g.Ranks(),
-		"uptime_ms": time.Since(s.started).Milliseconds(),
-		"served":    s.served.Load(),
-		"failed":    s.failed.Load(),
-		"retried":   s.retried.Load(),
+		"ok":            true,
+		"addr":          s.addr,
+		"vertices":      s.g.NumVertices(),
+		"edges":         s.g.NumEdges(),
+		"ranks":         s.g.Ranks(),
+		"graph_version": s.g.Version(),
+		"uptime_ms":     time.Since(s.started).Milliseconds(),
+		"served":        s.served.Load(),
+		"failed":        s.failed.Load(),
+		"shed":          s.shed.Load(),
+		"retried":       s.retried.Load(),
 	})
 }
 
-// handleStats streams the machine's full observability snapshot (transport,
-// mailbox, termination, visitor-queue, and engine counters) as JSON.
+// handleStats serves the machine's full observability snapshot (transport,
+// mailbox, termination, visitor-queue, engine, and traffic counters) as
+// JSON. The snapshot is taken first — one point-in-time, per-cell-atomic
+// copy of the registry — and then marshaled to a buffer, so a slow client
+// or an encoding failure can never ship a half-written document or a 200
+// status glued to a truncated body.
 func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
-	w.Header().Set("Content-Type", "application/json")
-	if err := s.e.WriteStats(w); err != nil {
+	snap := s.e.Metrics().Snapshot()
+	var buf bytes.Buffer
+	if err := snap.WriteJSON(&buf); err != nil {
 		s.failed.Add(1)
-		writeJSON(w, http.StatusInternalServerError, errorResponse{Error: err.Error()})
+		writeError(w, http.StatusInternalServerError, codeInternal, err.Error(), 0)
+		return
 	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusOK)
+	w.Write(buf.Bytes())
 }
 
-// submit validates the request and hands it to the engine.
-func (s *server) submit(req *queryRequest) (*havoqgt.Query, error) {
+// validate rejects malformed query parameters before any quota or engine
+// work is attempted.
+func (s *server) validate(req *queryRequest) error {
 	switch req.Algo {
 	case "bfs", "sssp":
 		if req.Source >= s.g.NumVertices() {
-			return nil, fmt.Errorf("source %d out of range (n=%d)", req.Source, s.g.NumVertices())
+			return fmt.Errorf("source %d out of range (n=%d)", req.Source, s.g.NumVertices())
 		}
 	case "cc":
 	case "kcore":
 		if req.K < 1 {
-			return nil, fmt.Errorf("kcore needs k >= 1")
+			return fmt.Errorf("kcore needs k >= 1")
 		}
 	default:
-		return nil, fmt.Errorf("unknown algo %q (want bfs|sssp|cc|kcore)", req.Algo)
+		return fmt.Errorf("unknown algo %q (want bfs|sssp|cc|kcore)", req.Algo)
 	}
+	return nil
+}
+
+// submit hands a validated request to the engine.
+func (s *server) submit(req *queryRequest) (*havoqgt.Query, error) {
 	if req.DeadlineMS > 0 {
 		return s.e.SubmitWithDeadline(req.Algo, havoqgt.Vertex(req.Source), req.WeightSeed, req.K,
 			time.Duration(req.DeadlineMS)*time.Millisecond)
@@ -154,50 +249,40 @@ func (s *server) submit(req *queryRequest) (*havoqgt.Query, error) {
 	}
 }
 
-func (s *server) handleQuery(w http.ResponseWriter, r *http.Request) {
-	if r.Method != http.MethodPost {
-		writeJSON(w, http.StatusMethodNotAllowed, errorResponse{Error: "POST only"})
-		return
+// collapseKey is the identity under which identical requests collapse and
+// results cache: every request field that shapes the answer, plus the graph
+// version so a snapshot swap invalidates by key mismatch.
+func (s *server) collapseKey(req *queryRequest) traffic.Key {
+	return traffic.Key{
+		Algo:       req.Algo,
+		Source:     req.Source,
+		WeightSeed: req.WeightSeed,
+		K:          req.K,
+		Full:       req.Full,
+		DeadlineMS: req.DeadlineMS,
+		Version:    s.g.Version(),
 	}
-	r.Body = http.MaxBytesReader(w, r.Body, maxQueryBody)
-	var req queryRequest
-	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		s.failed.Add(1)
-		var tooBig *http.MaxBytesError
-		if errors.As(err, &tooBig) {
-			writeJSON(w, http.StatusRequestEntityTooLarge,
-				errorResponse{Error: fmt.Sprintf("request body over %d bytes", tooBig.Limit)})
-			return
-		}
-		writeJSON(w, http.StatusBadRequest, errorResponse{Error: "bad request body: " + err.Error()})
-		return
-	}
-	q, err := s.submit(&req)
-	if err != nil {
-		s.failed.Add(1)
-		switch {
-		case errors.Is(err, havoqgt.ErrQueryRejected):
-			// Backpressure: the wait queue is full. Tell the client to retry.
-			w.Header().Set("Retry-After", "1")
-			writeJSON(w, http.StatusTooManyRequests, errorResponse{Error: err.Error()})
-		default:
-			writeJSON(w, http.StatusBadRequest, errorResponse{Error: err.Error()})
-		}
-		return
-	}
+}
 
-	ctx := r.Context()
+// execute runs one engine execution for req to completion and returns the
+// serialized 200 response body. ctx is the collapse group's context: it
+// cancels only when every client waiting on this execution has gone away,
+// at which point the traversal is cancelled to free the message plane.
+func (s *server) execute(ctx context.Context, req *queryRequest) ([]byte, error) {
+	q, err := s.submit(req)
+	if err != nil {
+		return nil, err
+	}
 	start := time.Now()
 	retries := s.retries
 	var res *havoqgt.QueryResult
 	for {
-		// Wait for the current attempt, or for the client going away — in
-		// which case cancel the query so it stops consuming the message
-		// plane (its in-flight visitors drain without being applied) and
-		// wait for that drain.
 		select {
 		case <-q.Done():
 		case <-ctx.Done():
+			// Every waiter abandoned: stop the query so it stops consuming
+			// the message plane (its in-flight visitors drain without being
+			// applied), and wait for that drain.
 			q.Cancel()
 			<-q.Done()
 		}
@@ -208,7 +293,7 @@ func (s *server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		// Degradation path: a deadline-expired attempt is retried
 		// server-side from its checkpoint with a doubled budget — the
 		// traversal progress already paid for is kept — bounded by
-		// s.retries and only while the client is still connected.
+		// s.retries and only while someone is still waiting.
 		if errors.Is(err, havoqgt.ErrQueryTimeout) && retries > 0 && ctx.Err() == nil {
 			if nq, rerr := q.Resume(0); rerr == nil {
 				retries--
@@ -217,16 +302,7 @@ func (s *server) handleQuery(w http.ResponseWriter, r *http.Request) {
 				continue
 			}
 		}
-		s.failed.Add(1)
-		if errors.Is(err, havoqgt.ErrQueryCancelled) {
-			// Deadline exhaustion (even after retries) or client disconnect.
-			// Retry-After marks it retryable for clients still listening.
-			w.Header().Set("Retry-After", "1")
-			writeJSON(w, http.StatusGatewayTimeout, errorResponse{Error: "query cancelled (deadline or client disconnect)"})
-			return
-		}
-		writeJSON(w, http.StatusInternalServerError, errorResponse{Error: err.Error()})
-		return
+		return nil, err
 	}
 
 	resp := queryResponse{ID: q.ID(), Algo: req.Algo, ElapsedMS: float64(time.Since(start).Microseconds()) / 1e3}
@@ -260,6 +336,82 @@ func (s *server) handleQuery(w http.ResponseWriter, r *http.Request) {
 			resp.InCore = res.KCore.InCore
 		}
 	}
+	return json.Marshal(resp)
+}
+
+func (s *server) handleQuery(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeError(w, http.StatusMethodNotAllowed, codeMethodNotAllowed, "POST only", 0)
+		return
+	}
+	r.Body = http.MaxBytesReader(w, r.Body, maxQueryBody)
+	var req queryRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		s.failed.Add(1)
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			writeError(w, http.StatusRequestEntityTooLarge, codeBodyTooLarge,
+				fmt.Sprintf("request body over %d bytes", tooBig.Limit), 0)
+			return
+		}
+		writeError(w, http.StatusBadRequest, codeBadRequest, "bad request body: "+err.Error(), 0)
+		return
+	}
+
+	// Front door, step 1: tenant quota. One atomic decrement on the
+	// tenant's token bucket; a shed costs no engine work at all.
+	if err := s.plane.Admit(tenantID(r)); err != nil {
+		s.shed.Add(1)
+		retryAfter := 1
+		var qe *traffic.ErrQuotaExceeded
+		if errors.As(err, &qe) {
+			if sec := int(qe.RetryAfter / time.Second); sec > retryAfter {
+				retryAfter = sec
+			}
+		}
+		writeError(w, http.StatusTooManyRequests, codeQuotaExceeded, err.Error(), retryAfter)
+		return
+	}
+
+	if err := s.validate(&req); err != nil {
+		s.failed.Add(1)
+		writeError(w, http.StatusBadRequest, codeBadRequest, err.Error(), 0)
+		return
+	}
+
+	// Steps 2+3: result cache, then hot-query collapsing. The execution
+	// runs detached — this handler's disconnect only cancels it if no
+	// other client is collapsed onto it.
+	start := time.Now()
+	body, outcome, err := s.plane.Do(r.Context(), s.collapseKey(&req), func(ctx context.Context) ([]byte, error) {
+		return s.execute(ctx, &req)
+	})
+	if err != nil {
+		if r.Context().Err() != nil {
+			// This client is gone; nothing useful can be written.
+			s.failed.Add(1)
+			return
+		}
+		s.failed.Add(1)
+		switch {
+		case errors.Is(err, havoqgt.ErrQueryRejected):
+			// Backpressure: the engine's wait queue is full.
+			writeError(w, http.StatusTooManyRequests, codeEngineOverloaded, err.Error(), 1)
+		case errors.Is(err, havoqgt.ErrQueryCancelled):
+			// Deadline exhaustion (even after retries) or all waiters gone.
+			writeError(w, http.StatusGatewayTimeout, codeTimeout,
+				"query cancelled (deadline or client disconnect)", 1)
+		default:
+			writeError(w, http.StatusInternalServerError, codeInternal, err.Error(), 0)
+		}
+		return
+	}
+
 	s.served.Add(1)
-	writeJSON(w, http.StatusOK, resp)
+	s.plane.ObserveLatency(time.Since(start))
+	w.Header().Set("Content-Type", "application/json")
+	w.Header().Set("X-Traffic-Outcome", outcome.String())
+	w.Header().Set("X-Graph-Version", strconv.FormatUint(s.g.Version(), 10))
+	w.WriteHeader(http.StatusOK)
+	w.Write(body)
 }

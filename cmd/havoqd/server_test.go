@@ -3,18 +3,26 @@ package main
 import (
 	"bytes"
 	"encoding/json"
+	"io"
 	"net/http"
 	"net/http/httptest"
 	"os"
 	"path/filepath"
 	"sync"
 	"testing"
+	"time"
 
 	"havoqgt"
 	"havoqgt/internal/check"
+	"havoqgt/internal/obs"
+	"havoqgt/internal/traffic"
 )
 
 func testServer(t *testing.T) (*server, *httptest.Server) {
+	return testServerConfig(t, traffic.Config{})
+}
+
+func testServerConfig(t *testing.T, tc traffic.Config) (*server, *httptest.Server) {
 	t.Helper()
 	check.NoLeaks(t) // registered first so the leak check runs after teardown
 	g, err := havoqgt.GenerateRMAT(9, 7, havoqgt.Options{Ranks: 4, Topology: "2d", Simplify: true})
@@ -25,10 +33,11 @@ func testServer(t *testing.T) (*server, *httptest.Server) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	s := newServer(g, e)
+	s := newServer(g, e, tc)
 	ts := httptest.NewServer(s.handler())
 	t.Cleanup(func() {
 		ts.Close()
+		s.close()
 		e.Close()
 		// Client keep-alive connections from http.Post hold transport
 		// goroutines; drop them so the leak check sees a settled count.
@@ -79,7 +88,7 @@ func TestServerEndpoints(t *testing.T) {
 	// A full BFS answer matches the facade run directly.
 	code, qr, er := postQuery(t, ts, queryRequest{Algo: "bfs", Source: 3, Full: true})
 	if code != http.StatusOK {
-		t.Fatalf("bfs: status %d: %s", code, er.Error)
+		t.Fatalf("bfs: status %d: %s", code, er.Reason)
 	}
 	want, err := s.g.BFS(3)
 	if err != nil {
@@ -97,13 +106,13 @@ func TestServerEndpoints(t *testing.T) {
 
 	// Each algorithm answers with its summary field.
 	if code, qr, er := postQuery(t, ts, queryRequest{Algo: "sssp", Source: 1, WeightSeed: 9}); code != http.StatusOK || qr.Reached == 0 {
-		t.Fatalf("sssp: status %d reached %d: %s", code, qr.Reached, er.Error)
+		t.Fatalf("sssp: status %d reached %d: %s", code, qr.Reached, er.Reason)
 	}
 	if code, qr, er := postQuery(t, ts, queryRequest{Algo: "cc"}); code != http.StatusOK || qr.Components == 0 {
-		t.Fatalf("cc: status %d components %d: %s", code, qr.Components, er.Error)
+		t.Fatalf("cc: status %d components %d: %s", code, qr.Components, er.Reason)
 	}
 	if code, qr, er := postQuery(t, ts, queryRequest{Algo: "kcore", K: 2}); code != http.StatusOK || qr.CoreSize == 0 {
-		t.Fatalf("kcore: status %d core %d: %s", code, qr.CoreSize, er.Error)
+		t.Fatalf("kcore: status %d core %d: %s", code, qr.CoreSize, er.Reason)
 	}
 
 	// Stats is valid JSON with engine counters.
@@ -136,10 +145,10 @@ func TestServerRejectsBadRequests(t *testing.T) {
 		t.Run(tc.name, func(t *testing.T) {
 			code, _, er := postQuery(t, ts, tc.req)
 			if code != tc.code {
-				t.Fatalf("status %d, want %d (%s)", code, tc.code, er.Error)
+				t.Fatalf("status %d, want %d (%s)", code, tc.code, er.Reason)
 			}
-			if er.Error == "" {
-				t.Fatal("error body missing")
+			if er.Reason == "" || er.Code != codeBadRequest {
+				t.Fatalf("structured error body missing: %+v", er)
 			}
 		})
 	}
@@ -176,7 +185,7 @@ func TestServerConcurrentQueries(t *testing.T) {
 			defer wg.Done()
 			code, qr, er := postQuery(t, ts, queryRequest{Algo: "bfs", Source: 0})
 			if code != http.StatusOK {
-				t.Errorf("status %d: %s", code, er.Error)
+				t.Errorf("status %d: %s", code, er.Reason)
 				return
 			}
 			if qr.Reached != want.Reached || qr.MaxLevel != want.MaxLevel {
@@ -188,6 +197,172 @@ func TestServerConcurrentQueries(t *testing.T) {
 	wg.Wait()
 	if got := s.served.Load(); got != burst {
 		t.Fatalf("served counter %d, want %d", got, burst)
+	}
+}
+
+// TestServerQuotaShedsStructured429 drives a tenant past a tiny quota and
+// checks the full shed contract: status 429, machine-readable code, a
+// Retry-After header, and isolation from other tenants.
+func TestServerQuotaShedsStructured429(t *testing.T) {
+	_, ts := testServerConfig(t, traffic.Config{
+		Quota: traffic.QuotaConfig{Rate: 1, Burst: 2, Tick: time.Hour},
+	})
+	post := func(tenant string) *http.Response {
+		body, _ := json.Marshal(queryRequest{Algo: "bfs", Source: 0})
+		req, _ := http.NewRequest(http.MethodPost, ts.URL+"/query", bytes.NewReader(body))
+		req.Header.Set("Content-Type", "application/json")
+		if tenant != "" {
+			req.Header.Set(tenantHeader, tenant)
+		}
+		res, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	for i := 0; i < 2; i++ {
+		res := post("")
+		io.Copy(io.Discard, res.Body)
+		res.Body.Close()
+		if res.StatusCode != http.StatusOK {
+			t.Fatalf("request %d within burst: status %d", i, res.StatusCode)
+		}
+	}
+	res := post("")
+	defer res.Body.Close()
+	if res.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("request past burst: status %d, want 429", res.StatusCode)
+	}
+	if ra := res.Header.Get("Retry-After"); ra == "" {
+		t.Fatal("429 without Retry-After header")
+	}
+	var er errorResponse
+	if err := json.NewDecoder(res.Body).Decode(&er); err != nil {
+		t.Fatalf("429 body not structured JSON: %v", err)
+	}
+	if er.Code != codeQuotaExceeded || er.Reason == "" || er.RetryAfterSec < 1 {
+		t.Fatalf("429 body = %+v", er)
+	}
+	// Another tenant's bucket is untouched.
+	res2 := post("other-tenant")
+	io.Copy(io.Discard, res2.Body)
+	res2.Body.Close()
+	if res2.StatusCode != http.StatusOK {
+		t.Fatalf("other tenant shed: status %d", res2.StatusCode)
+	}
+}
+
+// TestServerCacheOutcomeHeaders checks the per-request outcome surface: the
+// first identical query executes, the second is served from the versioned
+// result cache, and both carry the graph version.
+func TestServerCacheOutcomeHeaders(t *testing.T) {
+	s, ts := testServer(t)
+	post := func() *http.Response {
+		body, _ := json.Marshal(queryRequest{Algo: "bfs", Source: 5})
+		res, err := http.Post(ts.URL+"/query", "application/json", bytes.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	res := post()
+	io.Copy(io.Discard, res.Body)
+	res.Body.Close()
+	if got := res.Header.Get("X-Traffic-Outcome"); got != "executed" {
+		t.Fatalf("first request outcome = %q, want executed", got)
+	}
+	res = post()
+	var cached queryResponse
+	if err := json.NewDecoder(res.Body).Decode(&cached); err != nil {
+		t.Fatal(err)
+	}
+	res.Body.Close()
+	if got := res.Header.Get("X-Traffic-Outcome"); got != "cached" {
+		t.Fatalf("second request outcome = %q, want cached", got)
+	}
+	if got := res.Header.Get("X-Graph-Version"); got != "1" {
+		t.Fatalf("X-Graph-Version = %q, want 1", got)
+	}
+
+	// A graph-version bump invalidates: the next identical query executes
+	// again and reports the new version.
+	s.g.BumpVersion()
+	res = post()
+	var fresh queryResponse
+	if err := json.NewDecoder(res.Body).Decode(&fresh); err != nil {
+		t.Fatal(err)
+	}
+	res.Body.Close()
+	if got := res.Header.Get("X-Traffic-Outcome"); got != "executed" {
+		t.Fatalf("post-bump outcome = %q, want executed", got)
+	}
+	if got := res.Header.Get("X-Graph-Version"); got != "2" {
+		t.Fatalf("post-bump X-Graph-Version = %q, want 2", got)
+	}
+	// id/elapsed_ms describe the execution that produced the bytes; the
+	// graph answer itself must agree across the cache and execute paths.
+	if cached.Reached != fresh.Reached || cached.MaxLevel != fresh.MaxLevel {
+		t.Fatalf("cached answer reached=%d max=%d, fresh answer reached=%d max=%d",
+			cached.Reached, cached.MaxLevel, fresh.Reached, fresh.MaxLevel)
+	}
+}
+
+// TestServerStatsExposesTrafficCounters: the traffic plane reports into the
+// same registry as the engine, so /stats carries traffic.* next to engine.*.
+func TestServerStatsExposesTrafficCounters(t *testing.T) {
+	_, ts := testServer(t)
+	code, _, er := postQuery(t, ts, queryRequest{Algo: "bfs", Source: 1})
+	if code != http.StatusOK {
+		t.Fatalf("query: status %d: %s", code, er.Reason)
+	}
+	res, err := http.Get(ts.URL + "/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer res.Body.Close()
+	var stats struct {
+		Counters map[string]uint64 `json:"counters"`
+	}
+	if err := json.NewDecoder(res.Body).Decode(&stats); err != nil {
+		t.Fatal(err)
+	}
+	if stats.Counters[obs.TrafficAdmitted] == 0 {
+		t.Fatalf("stats missing %s: %v", obs.TrafficAdmitted, stats.Counters)
+	}
+	if _, ok := stats.Counters[obs.TrafficCacheMisses]; !ok {
+		t.Fatalf("stats missing %s", obs.TrafficCacheMisses)
+	}
+}
+
+func TestLoadbenchMode(t *testing.T) {
+	if testing.Short() {
+		t.Skip("loadbench is a timed run")
+	}
+	outPath := filepath.Join(t.TempDir(), "traffic.json")
+	// Tiny scale and short phases: the statistical gates are not meaningful
+	// here, so they are off; the run must still be clean (zero 5xx) and the
+	// deterministic collapse probe must still hold.
+	code := run([]string{"-loadbench", "-scale", "9", "-ranks", "4",
+		"-load-qps", "40", "-load-duration", "1s", "-load-gates=false", "-load-out", outPath})
+	if code != 0 {
+		t.Fatalf("loadbench exited %d", code)
+	}
+	var rep loadReport
+	if err := json.Unmarshal(readFile(t, outPath), &rep); err != nil {
+		t.Fatalf("loadbench output not JSON: %v", err)
+	}
+	if len(rep.Phases) != 4 {
+		t.Fatalf("%d phases, want 4", len(rep.Phases))
+	}
+	for _, ph := range rep.Phases {
+		if ph.Status5xx != 0 || ph.ClientErrors != 0 {
+			t.Fatalf("phase %s: 5xx=%d client_errors=%d", ph.Name, ph.Status5xx, ph.ClientErrors)
+		}
+	}
+	probe := rep.Phases[3]
+	if probe.CollapseLeaders != 1 || probe.CollapseHits+probe.CacheHits != uint64(probe.Sent-1) {
+		t.Fatalf("collapse probe: leaders=%d collapsed=%d cached=%d sent=%d",
+			probe.CollapseLeaders, probe.CollapseHits, probe.CacheHits, probe.Sent)
 	}
 }
 

@@ -95,6 +95,7 @@ func smoke(o *options, s *server, srv *http.Server, ln net.Listener, e *havoqgt.
 	}
 
 	srv.Close()
+	s.close()
 	if err := e.Close(); err != nil {
 		return err
 	}

@@ -24,6 +24,7 @@ import (
 
 	"havoqgt/internal/core"
 	"havoqgt/internal/engine"
+	"havoqgt/internal/obs"
 )
 
 // ErrQueryRejected is returned by Submit* when the engine's wait queue is
@@ -116,6 +117,11 @@ func (e *Engine) Close() error {
 func (e *Engine) WriteStats(w io.Writer) error {
 	return e.e.Obs().Snapshot().WriteJSON(w)
 }
+
+// Metrics returns the machine's observability registry, so serving layers
+// (admission planes, stats endpoints, load harnesses) can register and read
+// metrics in the same namespace as the engine and message plane.
+func (e *Engine) Metrics() *obs.Registry { return e.e.Obs() }
 
 // Query is a handle on one submitted query.
 type Query struct {

@@ -133,3 +133,22 @@ func (s HistSnapshot) Mean() float64 {
 	}
 	return float64(s.Sum) / float64(s.Count)
 }
+
+// Sub returns the histogram delta s − prev: the distribution of
+// observations recorded between the two snapshots of one monotonically
+// growing histogram (prev taken first). Buckets absent from prev are kept
+// whole; buckets that did not grow are dropped. This is how per-phase
+// percentiles are computed from a registry that is never reset mid-serve.
+func (s HistSnapshot) Sub(prev HistSnapshot) HistSnapshot {
+	prevCounts := make(map[uint64]uint64, len(prev.Buckets))
+	for _, b := range prev.Buckets {
+		prevCounts[b.UpperBound] = b.Count
+	}
+	out := HistSnapshot{Count: s.Count - prev.Count, Sum: s.Sum - prev.Sum}
+	for _, b := range s.Buckets {
+		if d := b.Count - prevCounts[b.UpperBound]; d > 0 {
+			out.Buckets = append(out.Buckets, HistBucket{UpperBound: b.UpperBound, Count: d})
+		}
+	}
+	return out
+}

@@ -1,0 +1,69 @@
+package obs
+
+import "testing"
+
+func TestHistSnapshotSubDelta(t *testing.T) {
+	var h Histogram
+	h.Observe(10)
+	h.Observe(1000)
+	before := h.Snapshot()
+	h.Observe(10) // grows an existing bucket
+	h.Observe(1 << 30)
+	h.Observe(1 << 30) // new bucket, two observations
+	after := h.Snapshot()
+
+	d := after.Sub(before)
+	if d.Count != 3 {
+		t.Fatalf("delta count = %d, want 3", d.Count)
+	}
+	if want := uint64(10 + 2*(1<<30)); d.Sum != want {
+		t.Fatalf("delta sum = %d, want %d", d.Sum, want)
+	}
+	got := map[uint64]uint64{}
+	for _, b := range d.Buckets {
+		got[b.UpperBound] = b.Count
+	}
+	if got[BucketUpperBound(BucketIndex(10))] != 1 {
+		t.Fatalf("bucket for 10: %v", got)
+	}
+	if got[BucketUpperBound(BucketIndex(1<<30))] != 2 {
+		t.Fatalf("bucket for 1<<30: %v", got)
+	}
+	// The value observed only before both snapshots must not appear.
+	if _, ok := got[BucketUpperBound(BucketIndex(1000))]; ok {
+		t.Fatalf("unchanged bucket leaked into delta: %v", got)
+	}
+}
+
+func TestHistSnapshotSubQuantile(t *testing.T) {
+	var h Histogram
+	for i := 0; i < 100; i++ {
+		h.Observe(1 << 40) // old expensive phase
+	}
+	before := h.Snapshot()
+	for i := 0; i < 100; i++ {
+		h.Observe(100) // new cheap phase
+	}
+	d := h.Snapshot().Sub(before)
+	// Quantiles over the delta reflect only the new phase: without Sub the
+	// old 2^40 observations would dominate the p99.
+	if q := d.Quantile(0.99); q >= 1<<40 {
+		t.Fatalf("delta p99 = %d, contaminated by pre-phase observations", q)
+	}
+	if q := d.Quantile(0.5); q < 100 {
+		t.Fatalf("delta p50 = %d, want >= 100", q)
+	}
+}
+
+func TestHistSnapshotSubEmptyDelta(t *testing.T) {
+	var h Histogram
+	h.Observe(5)
+	s := h.Snapshot()
+	d := s.Sub(s)
+	if d.Count != 0 || d.Sum != 0 || len(d.Buckets) != 0 {
+		t.Fatalf("self-delta not empty: %+v", d)
+	}
+	if q := d.Quantile(0.99); q != 0 {
+		t.Fatalf("empty delta quantile = %d", q)
+	}
+}

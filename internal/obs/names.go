@@ -150,6 +150,32 @@ const (
 	// budget (each of which surfaced a pagecache.ErrExhausted upward).
 	PCRetries   = "pagecache.retries"
 	PCExhausted = "pagecache.exhausted"
+
+	// Front-door traffic plane (internal/traffic): the admission layer in
+	// front of the engine. Admitted counts requests that passed their
+	// tenant's token bucket; QuotaShed counts requests refused by it (the
+	// 429 + Retry-After path). CollapseLeaders counts engine executions led
+	// on behalf of a collapse group; CollapseHits counts requests that
+	// joined an identical in-flight execution instead of starting their
+	// own. CacheHits/CacheMisses/CacheEvictions account the bounded result
+	// cache, with CacheBytes/CacheEntries gauges of its current occupancy;
+	// Tenants gauges the distinct token buckets installed.
+	TrafficAdmitted        = "traffic.admitted"
+	TrafficQuotaShed       = "traffic.quota_shed"
+	TrafficCollapseLeaders = "traffic.collapse_leaders"
+	TrafficCollapseHits    = "traffic.collapse_hits"
+	TrafficCacheHits       = "traffic.cache_hits"
+	TrafficCacheMisses     = "traffic.cache_misses"
+	TrafficCacheEvictions  = "traffic.cache_evictions"
+	TrafficCacheBytes      = "traffic.cache_bytes"
+	TrafficCacheEntries    = "traffic.cache_entries"
+	TrafficTenants         = "traffic.tenants"
+
+	// TrafficRequestNS is the histogram of end-to-end served-request latency
+	// at the HTTP front door (admission through response serialization),
+	// nanoseconds. The loadbench percentiles (p50/p99/p999) come from
+	// per-phase deltas of this histogram.
+	TrafficRequestNS = "traffic.request_ns"
 )
 
 // FaultInjected returns the injected-fault counter name for a fault kind

@@ -1,0 +1,118 @@
+package traffic
+
+// Bounded result cache: an LRU over serialized results with its capacity in
+// bytes (a graph query answer ranges from a few hundred bytes of summary to
+// megabytes of per-vertex arrays, so an entry-count bound would be
+// meaningless). Keys carry the graph version, so a version bump makes every
+// older entry unreachable immediately; purgeBelow reclaims their bytes.
+
+import (
+	"container/list"
+	"sync"
+)
+
+// cacheEntryOverhead approximates the per-entry bookkeeping bytes (key,
+// list element, map slot) charged against the capacity on top of the value
+// itself, so a flood of tiny results can't hold unbounded entries.
+const cacheEntryOverhead = 128
+
+type cacheEntry struct {
+	key Key
+	val []byte
+}
+
+// resultCache is a mutex-guarded byte-bounded LRU. The lock is held only for
+// pointer shuffling — values are stored by reference and never copied under
+// the lock — so it is not a contention point even at high hit rates.
+type resultCache struct {
+	mu       sync.Mutex
+	capacity int64
+	bytes    int64
+	ll       *list.List // front = most recently used
+	items    map[Key]*list.Element
+}
+
+func newResultCache(capacity int64) *resultCache {
+	return &resultCache{
+		capacity: capacity,
+		ll:       list.New(),
+		items:    make(map[Key]*list.Element),
+	}
+}
+
+func entrySize(val []byte) int64 { return int64(len(val)) + cacheEntryOverhead }
+
+// get returns the cached value for key and refreshes its recency. The
+// returned slice is shared — callers must not mutate it.
+func (c *resultCache) get(key Key) ([]byte, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.items[key]
+	if !ok {
+		return nil, false
+	}
+	c.ll.MoveToFront(el)
+	return el.Value.(*cacheEntry).val, true
+}
+
+// put inserts (or refreshes) key's value, evicting least-recently-used
+// entries until the capacity holds. Values that alone exceed the capacity
+// are not cached. Returns how many entries were evicted.
+func (c *resultCache) put(key Key, val []byte) (stored bool, evicted int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	size := entrySize(val)
+	if size > c.capacity {
+		return false, 0
+	}
+	if el, ok := c.items[key]; ok {
+		e := el.Value.(*cacheEntry)
+		c.bytes += size - entrySize(e.val)
+		e.val = val
+		c.ll.MoveToFront(el)
+	} else {
+		c.items[key] = c.ll.PushFront(&cacheEntry{key: key, val: val})
+		c.bytes += size
+	}
+	for c.bytes > c.capacity {
+		back := c.ll.Back()
+		if back == nil {
+			break
+		}
+		c.remove(back)
+		evicted++
+	}
+	return true, evicted
+}
+
+// purgeBelow drops every entry whose key's graph version is older than v,
+// returning how many were dropped. Called on version advance: the stale
+// entries are already unreachable (keys embed the version), this reclaims
+// their bytes.
+func (c *resultCache) purgeBelow(v uint64) int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	var dropped int
+	for el := c.ll.Front(); el != nil; {
+		next := el.Next()
+		if el.Value.(*cacheEntry).key.Version < v {
+			c.remove(el)
+			dropped++
+		}
+		el = next
+	}
+	return dropped
+}
+
+func (c *resultCache) remove(el *list.Element) {
+	e := el.Value.(*cacheEntry)
+	c.ll.Remove(el)
+	delete(c.items, e.key)
+	c.bytes -= entrySize(e.val)
+}
+
+func (c *resultCache) stats() (bytes int64, entries int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.bytes, c.ll.Len()
+}

@@ -1,0 +1,85 @@
+package traffic
+
+// Hot-query collapsing: N identical concurrent requests fan into ONE engine
+// execution whose result every requester shares. Scale-free graphs make this
+// the dominant serving optimization — traffic against a power-law structure
+// is power-law itself, so at any instant many clients are asking for the
+// same hub traversal.
+//
+// The execution is detached from every individual requester: it runs under
+// its own context that is cancelled only when ALL waiters have abandoned.
+// A collapsed follower timing out therefore never cancels the leader's
+// engine execution, and a leader disconnecting promotes the remaining
+// followers' interest — the traversal keeps running as long as anyone still
+// wants the answer (and its result is cached for the next asker even if the
+// last waiter leaves between quiescence and delivery).
+
+import (
+	"context"
+	"sync"
+)
+
+// call is one in-flight collapsed execution.
+type call struct {
+	done chan struct{} // closed after val/err are set and the call is unregistered
+	val  []byte
+	err  error
+
+	waiters int // guarded by group.mu; execution cancels when it hits 0
+	cancel  context.CancelFunc
+}
+
+// group deduplicates concurrent executions by Key.
+type group struct {
+	mu    sync.Mutex
+	calls map[Key]*call
+}
+
+// do runs exec under key, collapsing into an already-running identical call
+// when one exists. Returns the shared value, whether this request joined an
+// existing execution (a collapse hit), and the shared error. If ctx expires
+// while waiting, do returns ctx's error — and cancels the underlying
+// execution only if no other waiter remains.
+func (g *group) do(ctx context.Context, key Key, exec func(ctx context.Context) ([]byte, error)) ([]byte, bool, error) {
+	g.mu.Lock()
+	if g.calls == nil {
+		g.calls = make(map[Key]*call)
+	}
+	c, joined := g.calls[key]
+	if joined {
+		c.waiters++
+	} else {
+		execCtx, cancel := context.WithCancel(context.Background())
+		c = &call{done: make(chan struct{}), waiters: 1, cancel: cancel}
+		g.calls[key] = c
+		go func() {
+			val, err := exec(execCtx)
+			cancel() // release the context's resources; exec has returned
+			g.mu.Lock()
+			// Unregister before signalling completion so a request arriving
+			// after done observes a fresh map slot, never a spent call.
+			if g.calls[key] == c {
+				delete(g.calls, key)
+			}
+			c.val, c.err = val, err
+			g.mu.Unlock()
+			close(c.done)
+		}()
+	}
+	g.mu.Unlock()
+
+	select {
+	case <-c.done:
+		return c.val, joined, c.err
+	case <-ctx.Done():
+		g.mu.Lock()
+		c.waiters--
+		last := c.waiters == 0
+		g.mu.Unlock()
+		if last {
+			// Nobody is listening anymore: stop paying for the traversal.
+			c.cancel()
+		}
+		return nil, joined, ctx.Err()
+	}
+}

@@ -1,0 +1,164 @@
+package traffic
+
+import (
+	"errors"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestQuotaAdmitWithinBurst(t *testing.T) {
+	l := newLimiter(QuotaConfig{Rate: 10, Burst: 5, Tick: time.Hour})
+	defer l.close()
+	for i := 0; i < 5; i++ {
+		if err := l.Admit("a"); err != nil {
+			t.Fatalf("request %d within burst shed: %v", i, err)
+		}
+	}
+	if err := l.Admit("a"); err == nil {
+		t.Fatal("request past burst admitted")
+	}
+}
+
+func TestQuotaShedIsTypedAndClassifiable(t *testing.T) {
+	l := newLimiter(QuotaConfig{Rate: 1, Burst: 1, Tick: time.Hour})
+	defer l.close()
+	if err := l.Admit("a"); err != nil {
+		t.Fatalf("first request shed: %v", err)
+	}
+	err := l.Admit("a")
+	if err == nil {
+		t.Fatal("second request admitted past burst 1")
+	}
+	if !errors.Is(err, ErrQuota) {
+		t.Fatalf("shed error does not match ErrQuota: %v", err)
+	}
+	var qe *ErrQuotaExceeded
+	if !errors.As(err, &qe) {
+		t.Fatalf("shed error is not *ErrQuotaExceeded: %T", err)
+	}
+	if qe.Tenant != "a" {
+		t.Fatalf("shed tenant = %q, want %q", qe.Tenant, "a")
+	}
+	if qe.RetryAfter <= 0 {
+		t.Fatalf("RetryAfter = %v, want > 0", qe.RetryAfter)
+	}
+}
+
+func TestQuotaTenantsAreIndependent(t *testing.T) {
+	l := newLimiter(QuotaConfig{Rate: 1, Burst: 1, Tick: time.Hour})
+	defer l.close()
+	if err := l.Admit("a"); err != nil {
+		t.Fatalf("tenant a: %v", err)
+	}
+	if err := l.Admit("a"); err == nil {
+		t.Fatal("tenant a admitted past burst")
+	}
+	// Tenant b's bucket is untouched by a's exhaustion.
+	if err := l.Admit("b"); err != nil {
+		t.Fatalf("tenant b shed by tenant a's usage: %v", err)
+	}
+	if got := l.Tenants(); got != 2 {
+		t.Fatalf("Tenants() = %d, want 2", got)
+	}
+}
+
+func TestQuotaRefillRestoresAdmission(t *testing.T) {
+	l := newLimiter(QuotaConfig{Rate: 1000, Burst: 2, Tick: time.Millisecond})
+	defer l.close()
+	for l.Admit("a") == nil {
+	}
+	// 1000 req/s on a 1ms tick refills one token per tick.
+	deadline := time.Now().Add(2 * time.Second)
+	for time.Now().Before(deadline) {
+		if l.Admit("a") == nil {
+			return
+		}
+		time.Sleep(time.Millisecond)
+	}
+	t.Fatal("bucket never refilled")
+}
+
+func TestQuotaRefillClampsAtBurst(t *testing.T) {
+	l := newLimiter(QuotaConfig{Rate: 1000, Burst: 3, Tick: time.Millisecond})
+	defer l.close()
+	time.Sleep(50 * time.Millisecond) // many ticks; bucket must clamp at burst
+	admitted := 0
+	for l.Admit("a") == nil {
+		admitted++
+		if admitted > 10 {
+			break
+		}
+	}
+	// The CAS-free refill may over-grant at most one in-flight request per
+	// tick; sequential admission here can see burst+1 at worst.
+	if admitted > 4 {
+		t.Fatalf("admitted %d after idle, burst 3 did not clamp", admitted)
+	}
+}
+
+func TestQuotaFractionalRefillAccumulates(t *testing.T) {
+	// 2 req/s on a 100ms tick earns 0.2 tokens per tick: integer refill
+	// would truncate to zero forever.
+	l := newLimiter(QuotaConfig{Rate: 2, Burst: 1, Tick: 10 * time.Millisecond})
+	defer l.close()
+	for l.Admit("a") == nil {
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if l.Admit("a") == nil {
+			return
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	t.Fatal("fractional refill never accumulated into a whole token")
+}
+
+func TestQuotaOverflowBucketBoundsTenantTable(t *testing.T) {
+	l := newLimiter(QuotaConfig{Rate: 1, Burst: 1, Tick: time.Hour, MaxTenants: 2})
+	defer l.close()
+	if err := l.Admit("a"); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Admit("b"); err != nil {
+		t.Fatal(err)
+	}
+	// c and d land past MaxTenants: they share the overflow bucket.
+	if err := l.Admit("c"); err != nil {
+		t.Fatalf("first overflow request shed: %v", err)
+	}
+	if err := l.Admit("d"); err == nil {
+		t.Fatal("overflow bucket not shared: d admitted after c drained it")
+	}
+	if got := l.Tenants(); got != 2 {
+		t.Fatalf("Tenants() = %d, want 2 (overflow tenants must not grow the table)", got)
+	}
+}
+
+func TestQuotaConcurrentAdmitDoesNotOverAdmit(t *testing.T) {
+	const burst = 100
+	l := newLimiter(QuotaConfig{Rate: 1, Burst: burst, Tick: time.Hour})
+	defer l.close()
+	var admitted int64
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			local := int64(0)
+			for i := 0; i < 200; i++ {
+				if l.Admit("a") == nil {
+					local++
+				}
+			}
+			mu.Lock()
+			admitted += local
+			mu.Unlock()
+		}()
+	}
+	wg.Wait()
+	if admitted != burst {
+		t.Fatalf("admitted %d of 1600 concurrent requests, want exactly burst %d", admitted, burst)
+	}
+}
