@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test race lint vet fmt fmt-check staticcheck fuzz-smoke chaos chaos-short bench bench-smoke bench-ooc bench-traffic experiments serve-smoke cluster-smoke bench-net clean
+.PHONY: all build test race lint vet fmt fmt-check staticcheck fuzz-smoke chaos chaos-short bench bench-smoke bench-ooc bench-traffic experiments serve-smoke cluster-smoke cluster-chaos bench-net clean
 
 STATICCHECK ?= staticcheck
 
@@ -124,6 +124,17 @@ serve-smoke:
 # output lands in cluster-worker-N.log for post-mortems.
 cluster-smoke:
 	$(GO) run ./cmd/havoqd -smoke -cluster -workers 4 -ranks 4 -scale 12 -cluster-timeout 5m
+
+# Cluster self-healing chaos (DESIGN.md §13): kill -9 workers of a live
+# 4-process cluster with queries in flight, and require (1) every in-flight
+# query to resolve with a typed worker-lost error instead of hanging, (2) the
+# coordinator to report the dead slot and shed typed while degraded, (3) the
+# respawned worker to re-join under a bumped epoch, and (4) post-heal query
+# hashes identical to the in-process engine. Watchdog aborts with exit 124 on
+# any wedge; worker logs (appended across respawns) in cluster-worker-N.log.
+cluster-chaos:
+	$(GO) run ./cmd/havoqd -chaos -cluster -workers 4 -ranks 4 -scale 11 \
+		-heartbeat 200ms -liveness 2s -join-retry 60s -chaos-kills 2 -cluster-timeout 5m
 
 # Real-network benchmark (BENCH_net.json): the serialized-vs-concurrent
 # comparison over a 4-process TCP data plane, with per-phase mesh byte/frame

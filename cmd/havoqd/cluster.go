@@ -34,6 +34,7 @@ import (
 	"havoqgt/internal/cluster"
 	"havoqgt/internal/engine"
 	"havoqgt/internal/graph"
+	"havoqgt/internal/traffic"
 )
 
 // clusterCfg maps the shared command-line flags onto the cluster contract.
@@ -50,6 +51,8 @@ func clusterCfg(o *options) cluster.ClusterConfig {
 		Reliable:    o.reliable,
 		Simplify:    o.simplify,
 		MaxInFlight: o.maxInFlight,
+		Heartbeat:   o.heartbeat,
+		Liveness:    o.liveness,
 	}
 }
 
@@ -67,22 +70,36 @@ func workerArgs(o *options, coordAddr string, slot int) []string {
 		"-simplify=" + fmt.Sprint(o.simplify),
 		"-reliable=" + fmt.Sprint(o.reliable),
 	}
+	if o.joinRetry > 0 {
+		args = append(args, "-join-retry", o.joinRetry.String())
+	}
 	return args
 }
 
 // runClusterWorker is the -join mode: one worker process hosting its rank
-// window until the coordinator orders shutdown.
+// window until the coordinator orders shutdown. With -join-retry, an evicted
+// worker (heartbeat lapse on a live process) re-joins as a fresh member
+// instead of dying: its old epoch is fenced out anyway, so the only useful
+// move is a clean slate.
 func runClusterWorker(o *options) error {
 	logf := func(format string, args ...any) {
 		fmt.Printf("havoqd: "+format+"\n", args...)
 	}
-	return cluster.RunWorker(cluster.WorkerOptions{
-		Coordinator: o.join,
-		Config:      clusterCfg(o),
-		Slot:        o.slot,
-		MeshAddr:    o.meshAddr,
-		Logf:        logf,
-	})
+	for {
+		err := cluster.RunWorker(cluster.WorkerOptions{
+			Coordinator: o.join,
+			Config:      clusterCfg(o),
+			Slot:        o.slot,
+			MeshAddr:    o.meshAddr,
+			JoinRetry:   o.joinRetry,
+			Logf:        logf,
+		})
+		if errors.Is(err, cluster.ErrEvicted) && o.joinRetry > 0 {
+			logf("evicted by coordinator; re-joining as a fresh worker")
+			continue
+		}
+		return err
+	}
 }
 
 // runClusterCoordinator is the -coordinator mode: bind the control plane,
@@ -113,7 +130,8 @@ func runClusterCoordinator(o *options) error {
 	}
 	fmt.Printf("havoqd: cluster ready: %d vertices across %d workers\n", c.NumVertices(), o.workers)
 
-	cs := &coordServer{c: c, addr: ln.Addr().String(), started: time.Now()}
+	cs := newCoordServer(c, o, ln.Addr().String())
+	defer cs.close()
 	srv := &http.Server{
 		Handler:           cs.handler(),
 		ReadHeaderTimeout: 5 * time.Second,
@@ -149,14 +167,42 @@ func runClusterCoordinator(o *options) error {
 }
 
 // coordServer is the coordinator's HTTP face: the same /query contract as
-// the single-process server, backed by cluster-wide fan-out.
+// the single-process server, backed by cluster-wide fan-out and fronted by
+// the same traffic plane — tenant quota admission, versioned result cache,
+// and hot-query collapsing — so a degraded cluster sheds load at the front
+// door instead of queueing doomed work.
 type coordServer struct {
-	c       *cluster.Coordinator
-	addr    string // resolved HTTP listen address
-	served  atomic.Uint64
-	failed  atomic.Uint64
-	started time.Time
+	c *cluster.Coordinator
+	// plane is the front-door admission layer (internal/traffic), identical
+	// to the single-process server's.
+	plane *traffic.Plane
+	// retries bounds the server-side recovery ladder: how many times a query
+	// killed by a worker loss (or refused while degraded) is retried after
+	// waiting for the cluster to heal.
+	retries int
+	// healWait bounds each recovery-ladder wait for the cluster to go whole.
+	healWait time.Duration
+	addr     string // resolved HTTP listen address
+	served   atomic.Uint64
+	failed   atomic.Uint64
+	shed     atomic.Uint64
+	retried  atomic.Uint64
+	started  time.Time
 }
+
+func newCoordServer(c *cluster.Coordinator, o *options, addr string) *coordServer {
+	return &coordServer{
+		c:        c,
+		plane:    traffic.New(trafficConfig(o)),
+		retries:  o.queryRetries,
+		healWait: o.clusterTimeout,
+		addr:     addr,
+		started:  time.Now(),
+	}
+}
+
+// close releases the traffic plane's background resources.
+func (s *coordServer) close() { s.plane.Close() }
 
 func (s *coordServer) handler() http.Handler {
 	mux := http.NewServeMux()
@@ -165,18 +211,162 @@ func (s *coordServer) handler() http.Handler {
 	return mux
 }
 
+// handleHealthz reports cluster wholeness: a degraded cluster stays alive
+// (the process is healthy, queries shed typed) but flips ok=false and lists
+// the dead-or-healing slots so orchestrators and operators see exactly what
+// is missing.
 func (s *coordServer) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	missing := s.c.Missing()
+	if missing == nil {
+		missing = []int{}
+	}
 	writeJSON(w, http.StatusOK, map[string]any{
-		"ok":        true,
-		"addr":      s.addr,
-		"cluster":   true,
-		"vertices":  s.c.NumVertices(),
-		"epoch":     s.c.Epoch(),
-		"uptime_ms": time.Since(s.started).Milliseconds(),
-		"served":    s.served.Load(),
-		"failed":    s.failed.Load(),
+		"ok":            len(missing) == 0,
+		"degraded":      len(missing) > 0,
+		"missing_slots": missing,
+		"addr":          s.addr,
+		"cluster":       true,
+		"vertices":      s.c.NumVertices(),
+		"epoch":         s.c.Epoch(),
+		"uptime_ms":     time.Since(s.started).Milliseconds(),
+		"served":        s.served.Load(),
+		"failed":        s.failed.Load(),
+		"shed":          s.shed.Load(),
+		"retried":       s.retried.Load(),
 	})
 }
+
+// collapseKey mirrors the single-process server's cache/collapse identity.
+// The cluster graph is immutable for the process lifetime — a heal rebuilds
+// the identical deterministic partitions — so the version is constant and
+// cached results stay valid across worker deaths.
+func (s *coordServer) collapseKey(req *queryRequest) traffic.Key {
+	return traffic.Key{
+		Algo:       req.Algo,
+		Source:     req.Source,
+		WeightSeed: req.WeightSeed,
+		K:          req.K,
+		Full:       req.Full,
+		DeadlineMS: req.DeadlineMS,
+		Version:    1,
+	}
+}
+
+// execute runs one cluster query to completion, climbing the recovery
+// ladder on self-healing failures: a submit refused while degraded or a
+// query killed by a worker loss waits for the heal (bounded by healWait) and
+// retries, up to s.retries times. Deterministic partitions make the retry
+// transparent — the healed cluster returns bit-identical results.
+func (s *coordServer) execute(ctx context.Context, req *queryRequest) ([]byte, error) {
+	spec := engine.Spec{
+		Algo:       engine.Algo(req.Algo),
+		Source:     graph.Vertex(req.Source),
+		WeightSeed: req.WeightSeed,
+		K:          req.K,
+	}
+	if req.DeadlineMS > 0 {
+		spec.Deadline = time.Duration(req.DeadlineMS) * time.Millisecond
+	}
+	attempts := s.retries
+	retry := func(err error) bool {
+		if attempts <= 0 || ctx.Err() != nil {
+			return false
+		}
+		attempts--
+		s.retried.Add(1)
+		fmt.Printf("havoqd: query retry after %v; awaiting heal\n", err)
+		return s.c.WaitReady(s.healWait) == nil
+	}
+	start := time.Now()
+	for {
+		q, err := s.c.Submit(spec)
+		if err != nil {
+			if errors.Is(err, cluster.ErrClusterDegraded) && retry(err) {
+				continue
+			}
+			return nil, err
+		}
+		select {
+		case <-q.Done():
+		case <-ctx.Done():
+			// Every collapsed waiter abandoned: cancel the fan-out and wait
+			// for the workers' monotone partials to drain back.
+			q.Cancel()
+			<-q.Done()
+		}
+		res, err := q.Wait()
+		if err != nil {
+			if errors.Is(err, cluster.ErrWorkerLost) && retry(err) {
+				continue
+			}
+			return nil, err
+		}
+		if res.Cancelled {
+			return nil, errTimeoutCancelled
+		}
+
+		resp := queryResponse{ID: q.ID(), Algo: req.Algo, ElapsedMS: float64(time.Since(start).Microseconds()) / 1e3}
+		switch {
+		case res.Levels != nil:
+			for _, l := range res.Levels {
+				if l != havoqgt.Unreached {
+					resp.Reached++
+					if l > resp.MaxLevel {
+						resp.MaxLevel = l
+					}
+				}
+			}
+			if req.Full {
+				resp.Levels = res.Levels
+			}
+		case res.Dist != nil:
+			for _, d := range res.Dist {
+				if d != havoqgt.UnreachedDistance {
+					resp.Reached++
+					if d > resp.MaxDist {
+						resp.MaxDist = d
+					}
+				}
+			}
+			if req.Full {
+				resp.Distances = res.Dist
+			}
+		case res.Labels != nil:
+			resp.Components = res.Components
+			if req.Full {
+				resp.Labels = res.Labels
+			}
+		case res.InCore != nil:
+			resp.CoreSize = res.CoreSize
+			if req.Full {
+				resp.InCore = res.InCore
+			}
+		}
+		return json.Marshal(resp)
+	}
+}
+
+// validate rejects malformed parameters before any quota or cluster work.
+func (s *coordServer) validate(req *queryRequest) error {
+	switch req.Algo {
+	case "bfs", "sssp":
+		if req.Source >= s.c.NumVertices() {
+			return fmt.Errorf("source %d out of range (n=%d)", req.Source, s.c.NumVertices())
+		}
+	case "cc":
+	case "kcore":
+		if req.K < 1 {
+			return fmt.Errorf("kcore needs k >= 1")
+		}
+	default:
+		return fmt.Errorf("unknown algo %q (want bfs|sssp|cc|kcore)", req.Algo)
+	}
+	return nil
+}
+
+// errTimeoutCancelled marks a cluster query that drained as cancelled
+// (deadline or waiter abandonment) rather than failing typed.
+var errTimeoutCancelled = errors.New("query cancelled (deadline or client disconnect)")
 
 func (s *coordServer) handleQuery(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodPost {
@@ -187,75 +377,71 @@ func (s *coordServer) handleQuery(w http.ResponseWriter, r *http.Request) {
 	var req queryRequest
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
 		s.failed.Add(1)
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			writeError(w, http.StatusRequestEntityTooLarge, codeBodyTooLarge,
+				fmt.Sprintf("request body over %d bytes", tooBig.Limit), 0)
+			return
+		}
 		writeError(w, http.StatusBadRequest, codeBadRequest, "bad request body: "+err.Error(), 0)
 		return
 	}
-	spec := engine.Spec{
-		Algo:       engine.Algo(req.Algo),
-		Source:     graph.Vertex(req.Source),
-		WeightSeed: req.WeightSeed,
-		K:          req.K,
+
+	// Front door, step 1: tenant quota — one token-bucket decrement; a shed
+	// request costs the cluster nothing.
+	if err := s.plane.Admit(tenantID(r)); err != nil {
+		s.shed.Add(1)
+		retryAfter := 1
+		var qe *traffic.ErrQuotaExceeded
+		if errors.As(err, &qe) {
+			if sec := int(qe.RetryAfter / time.Second); sec > retryAfter {
+				retryAfter = sec
+			}
+		}
+		writeError(w, http.StatusTooManyRequests, codeQuotaExceeded, err.Error(), retryAfter)
+		return
 	}
-	if req.DeadlineMS > 0 {
-		spec.Deadline = time.Duration(req.DeadlineMS) * time.Millisecond
-	}
-	start := time.Now()
-	q, err := s.c.Submit(spec)
-	if err != nil {
+
+	if err := s.validate(&req); err != nil {
 		s.failed.Add(1)
 		writeError(w, http.StatusBadRequest, codeBadRequest, err.Error(), 0)
 		return
 	}
-	res, err := q.Wait()
+
+	// Steps 2+3: versioned result cache, then hot-query collapsing; misses
+	// run one shared cluster execution with the recovery ladder inside.
+	start := time.Now()
+	body, outcome, err := s.plane.Do(r.Context(), s.collapseKey(&req), func(ctx context.Context) ([]byte, error) {
+		return s.execute(ctx, &req)
+	})
 	if err != nil {
-		s.failed.Add(1)
-		writeError(w, http.StatusInternalServerError, codeInternal, err.Error(), 0)
+		if r.Context().Err() != nil {
+			s.failed.Add(1)
+			return
+		}
+		switch {
+		case errors.Is(err, cluster.ErrClusterDegraded), errors.Is(err, cluster.ErrWorkerLost):
+			// Self-healing in progress and the retry budget ran out: shed
+			// with the structured schema so clients back off and retry once
+			// the cluster is whole.
+			s.shed.Add(1)
+			writeError(w, http.StatusServiceUnavailable, codeClusterDegraded, err.Error(), 5)
+		case errors.Is(err, errTimeoutCancelled):
+			s.failed.Add(1)
+			writeError(w, http.StatusGatewayTimeout, codeTimeout, err.Error(), 1)
+		default:
+			s.failed.Add(1)
+			writeError(w, http.StatusInternalServerError, codeInternal, err.Error(), 0)
+		}
 		return
 	}
-	if res.Cancelled {
-		s.failed.Add(1)
-		writeError(w, http.StatusGatewayTimeout, codeTimeout, "query cancelled (deadline)", 1)
-		return
-	}
-	resp := queryResponse{ID: q.ID(), Algo: req.Algo, ElapsedMS: float64(time.Since(start).Microseconds()) / 1e3}
-	switch {
-	case res.Levels != nil:
-		for _, l := range res.Levels {
-			if l != havoqgt.Unreached {
-				resp.Reached++
-				if l > resp.MaxLevel {
-					resp.MaxLevel = l
-				}
-			}
-		}
-		if req.Full {
-			resp.Levels = res.Levels
-		}
-	case res.Dist != nil:
-		for _, d := range res.Dist {
-			if d != havoqgt.UnreachedDistance {
-				resp.Reached++
-				if d > resp.MaxDist {
-					resp.MaxDist = d
-				}
-			}
-		}
-		if req.Full {
-			resp.Distances = res.Dist
-		}
-	case res.Labels != nil:
-		resp.Components = res.Components
-		if req.Full {
-			resp.Labels = res.Labels
-		}
-	case res.InCore != nil:
-		resp.CoreSize = res.CoreSize
-		if req.Full {
-			resp.InCore = res.InCore
-		}
-	}
+
 	s.served.Add(1)
-	writeJSON(w, http.StatusOK, resp)
+	s.plane.ObserveLatency(time.Since(start))
+	w.Header().Set("Content-Type", "application/json")
+	w.Header().Set("X-Traffic-Outcome", outcome.String())
+	w.WriteHeader(http.StatusOK)
+	w.Write(body)
 }
 
 // localCluster is a coordinator plus its spawned local worker processes.

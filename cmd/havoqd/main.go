@@ -107,6 +107,13 @@ type options struct {
 	clusterMode    bool
 	clusterAddr    string
 	clusterTimeout time.Duration
+
+	// Cluster self-healing (see cluster.go and internal/cluster).
+	heartbeat  time.Duration
+	liveness   time.Duration
+	joinRetry  time.Duration
+	chaosMode  bool
+	chaosKills int
 }
 
 func main() {
@@ -167,6 +174,11 @@ func run(args []string) int {
 	fs.BoolVar(&o.clusterMode, "cluster", false, "with -smoke or -selfbench: spawn a real multi-process cluster on localhost")
 	fs.StringVar(&o.clusterAddr, "cluster-addr", "127.0.0.1:7642", "control-plane listen address for -coordinator")
 	fs.DurationVar(&o.clusterTimeout, "cluster-timeout", 5*time.Minute, "cluster formation bound; also the -cluster watchdog abort")
+	fs.DurationVar(&o.heartbeat, "heartbeat", 500*time.Millisecond, "coordinator ping spacing on worker control connections")
+	fs.DurationVar(&o.liveness, "liveness", 5*time.Second, "worker silence after which the coordinator declares it dead (min 2x -heartbeat)")
+	fs.DurationVar(&o.joinRetry, "join-retry", 0, "with -join: keep retrying a refused join for this long (a restarted worker must out-wait the failure detector); also re-join after eviction")
+	fs.BoolVar(&o.chaosMode, "chaos", false, "with -cluster: kill -9 workers mid-query and verify typed failure, re-join, and hash-identical recovery")
+	fs.IntVar(&o.chaosKills, "chaos-kills", 2, "kill/heal cycles for -chaos")
 	if err := fs.Parse(args); err != nil {
 		if errors.Is(err, flag.ErrHelp) {
 			return 0
@@ -184,6 +196,8 @@ func run(args []string) int {
 		err = oocbench(&o)
 	case o.loadBench:
 		err = loadbench(&o)
+	case o.chaosMode && o.clusterMode:
+		err = clusterChaos(&o)
 	case o.selfbench && o.clusterMode:
 		err = clusterBench(&o)
 	case o.smoke && o.clusterMode:

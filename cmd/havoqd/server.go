@@ -73,6 +73,7 @@ const (
 	codeQuotaExceeded    = "quota_exceeded"    // tenant over its token bucket: retryable
 	codeEngineOverloaded = "engine_overloaded" // engine admission queue full: retryable
 	codeTimeout          = "timeout"           // deadline exhausted (after server-side retries): retryable
+	codeClusterDegraded  = "cluster_degraded"  // a cluster worker is dead or healing: retryable
 	codeInternal         = "internal"
 )
 

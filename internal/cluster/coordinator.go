@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"net"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"havoqgt/internal/engine"
@@ -28,6 +29,10 @@ type wconn struct {
 	conn  net.Conn
 	encMu sync.Mutex
 	enc   *json.Encoder
+	// last is the UnixNano of the most recent inbound message — any message:
+	// pongs, results, acks all prove the process is alive. Read by the
+	// failure detector.
+	last atomic.Int64
 }
 
 func (w *wconn) send(m msg) error {
@@ -36,24 +41,34 @@ func (w *wconn) send(m msg) error {
 	return w.enc.Encode(&m)
 }
 
-// Coordinator owns one cluster: it admits exactly cfg.Workers join
-// handshakes, seals the layout, broadcasts it, and from then on is the single
-// point of global admission — queries enter here, fan out to every worker,
-// and assemble from the workers' disjoint master-range partials.
+// Coordinator owns one cluster: it admits cfg.Workers join handshakes, seals
+// the layout, broadcasts it, and from then on is the single point of global
+// admission — queries enter here, fan out to every worker, and assemble from
+// the workers' disjoint master-range partials.
+//
+// It is also the failure detector. Heartbeats ping every worker on the
+// control connection; a worker silent past cfg.Liveness (or whose connection
+// dies) is declared dead: its slot reopens, every in-flight query fails with
+// a typed *WorkerLostError (never a hang), survivors are told to force-abort,
+// and Submit sheds with *DegradedError until the cluster is whole again. A
+// fresh process may then join the dead slot: the epoch is bumped, the new
+// layout rebroadcast (survivors re-point their meshes and ack), the re-joiner
+// rebuilds its partitions locally, and admission resumes when every slot has
+// confirmed the current epoch.
 type Coordinator struct {
-	cfg   ClusterConfig
-	sum   string
-	epoch uint64
-	n     uint64 // vertices
-	ln    net.Listener
-	logf  func(format string, args ...any)
+	cfg  ClusterConfig
+	sum  string
+	n    uint64 // vertices
+	ln   net.Listener
+	logf func(format string, args ...any)
 
 	mu      sync.Mutex
-	workers []*wconn // by slot; nil until joined
-	joined  int
-	sealed  bool
-	ready   int
-	readyCh chan struct{}
+	epoch   uint64        // current fencing epoch; bumped on every re-join
+	workers []*wconn      // by slot; nil = never joined, or dead
+	epochOK []uint64      // per slot: last epoch confirmed by ready/layout-ack (0 = none)
+	joined  int           // currently connected workers
+	formed  bool          // all slots joined at least once (initial collective build started)
+	wholeCh chan struct{} // closed while every slot is confirmed at the current epoch
 	queries map[uint32]*Query
 	nextQID uint32
 	closed  bool
@@ -61,7 +76,8 @@ type Coordinator struct {
 
 	sem chan struct{} // global MaxInFlight admission
 
-	wg sync.WaitGroup
+	hbStop chan struct{}
+	wg     sync.WaitGroup
 }
 
 // NewCoordinator binds addr (":0" works; see Addr) and starts accepting
@@ -86,24 +102,92 @@ func NewCoordinator(addr string, cfg ClusterConfig, logf func(string, ...any)) (
 		ln:      ln,
 		logf:    logf,
 		workers: make([]*wconn, cfg.Workers),
-		readyCh: make(chan struct{}),
+		epochOK: make([]uint64, cfg.Workers),
+		wholeCh: make(chan struct{}),
 		queries: make(map[uint32]*Query),
 		nextQID: 1,
 		sem:     make(chan struct{}, cfg.MaxInFlight),
+		hbStop:  make(chan struct{}),
 	}
-	c.wg.Add(1)
+	c.wg.Add(2)
 	go c.acceptLoop()
+	go c.heartbeatLoop()
 	return c, nil
 }
 
 // Addr returns the bound control address (resolves ":0").
 func (c *Coordinator) Addr() string { return c.ln.Addr().String() }
 
-// Epoch returns the cluster epoch minted at startup.
-func (c *Coordinator) Epoch() uint64 { return c.epoch }
+// Epoch returns the current cluster epoch: minted at startup, bumped by one
+// on every re-join so stale mesh dialers are fenced out.
+func (c *Coordinator) Epoch() uint64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.epoch
+}
 
 // NumVertices returns the configured graph's vertex count.
 func (c *Coordinator) NumVertices() uint64 { return c.n }
+
+// wholeLocked reports whether every slot is occupied AND confirmed at the
+// current epoch (ready for re-joiners / initial formation, layout-ack for
+// survivors of a heal). Caller holds c.mu.
+func (c *Coordinator) wholeLocked() bool {
+	for s, w := range c.workers {
+		if w == nil || c.epochOK[s] != c.epoch {
+			return false
+		}
+	}
+	return true
+}
+
+// missingLocked lists the slots that keep the cluster from being whole.
+func (c *Coordinator) missingLocked() []int {
+	var out []int
+	for s, w := range c.workers {
+		if w == nil || c.epochOK[s] != c.epoch {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+// maybeWholeLocked closes wholeCh if the cluster just became whole.
+func (c *Coordinator) maybeWholeLocked() {
+	if !c.wholeLocked() {
+		return
+	}
+	select {
+	case <-c.wholeCh:
+	default:
+		close(c.wholeCh)
+	}
+}
+
+// unwholeLocked replaces a closed wholeCh with a fresh open one (degradation
+// or an epoch bump invalidated the old confirmations).
+func (c *Coordinator) unwholeLocked() {
+	select {
+	case <-c.wholeCh:
+		c.wholeCh = make(chan struct{})
+	default:
+	}
+}
+
+// Whole reports whether every slot is confirmed at the current epoch.
+func (c *Coordinator) Whole() bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.wholeLocked()
+}
+
+// Missing returns the slots currently dead or not yet healed to the current
+// epoch (empty when the cluster is whole). For /healthz.
+func (c *Coordinator) Missing() []int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.missingLocked()
+}
 
 func (c *Coordinator) acceptLoop() {
 	defer c.wg.Done()
@@ -118,7 +202,8 @@ func (c *Coordinator) acceptLoop() {
 }
 
 // handleConn runs one connection: the join handshake, then (if admitted) the
-// worker's inbound message stream until the connection dies.
+// worker's inbound message stream until the connection dies or the worker is
+// evicted.
 func (c *Coordinator) handleConn(conn net.Conn) {
 	defer c.wg.Done()
 	dec := json.NewDecoder(conn)
@@ -145,9 +230,9 @@ func (c *Coordinator) handleConn(conn net.Conn) {
 	}
 
 	c.mu.Lock()
-	if c.sealed {
+	if c.closed {
 		c.mu.Unlock()
-		refuse(codeSealed, fmt.Sprintf("cluster already has all %d workers", c.cfg.Workers))
+		refuse(codeSealed, "coordinator closed")
 		return
 	}
 	slot := join.Slot
@@ -163,49 +248,70 @@ func (c *Coordinator) handleConn(conn net.Conn) {
 			return
 		}
 	} else {
+		slot = -1
 		for i, ww := range c.workers {
 			if ww == nil {
 				slot = i
 				break
 			}
 		}
+		if slot < 0 {
+			c.mu.Unlock()
+			refuse(codeSealed, fmt.Sprintf("cluster whole: all %d slots occupied", c.cfg.Workers))
+			return
+		}
 	}
+	// A join on an already-formed cluster is a re-join into a dead slot: the
+	// survivors are serving, so the newcomer rebuilds locally, and the epoch
+	// is bumped so connections from the dead process's mesh can never land.
+	rejoin := c.formed
 	lo, hi := c.cfg.window(slot)
 	w.slot = slot
 	w.info = workerInfo{Slot: slot, MeshAddr: join.MeshAddr, Lo: lo, Hi: hi}
+	w.last.Store(time.Now().UnixNano())
 	c.workers[slot] = w
+	c.epochOK[slot] = 0
 	c.joined++
-	seal := c.joined == c.cfg.Workers
-	if seal {
-		c.sealed = true
+	seal := false
+	if rejoin {
+		c.epoch++
+		c.unwholeLocked()
+	} else if c.joined == c.cfg.Workers {
+		c.formed = true
+		seal = true
 	}
+	epoch := c.epoch
 	c.mu.Unlock()
 
-	c.logf("cluster: worker %d joined from %s (mesh %s, ranks [%d,%d))",
-		slot, conn.RemoteAddr(), join.MeshAddr, lo, hi)
-	if err := w.send(msg{Type: "joined", Slot: slot}); err != nil {
-		conn.Close()
+	verb := "joined"
+	if rejoin {
+		verb = "RE-joined"
+	}
+	c.logf("cluster: worker %d %s from %s (mesh %s, ranks [%d,%d), epoch %d)",
+		slot, verb, conn.RemoteAddr(), join.MeshAddr, lo, hi, epoch)
+	if err := w.send(msg{Type: "joined", Slot: slot, Rejoin: rejoin}); err != nil {
+		c.dropWorker(w, "joined verdict write failed")
 		return
 	}
-	if seal {
+	if seal || rejoin {
 		c.broadcastLayout()
 	}
 
 	for {
 		var m msg
 		if err := dec.Decode(&m); err != nil {
-			conn.Close()
+			c.dropWorker(w, "control connection lost")
 			return
 		}
+		w.last.Store(time.Now().UnixNano())
 		switch m.Type {
 		case "ready":
-			c.mu.Lock()
-			c.ready++
-			if c.ready == c.cfg.Workers {
-				close(c.readyCh)
-			}
-			c.mu.Unlock()
-			c.logf("cluster: worker %d ready", w.slot)
+			c.confirmEpoch(w, m.Epoch)
+			c.logf("cluster: worker %d ready (epoch %d)", w.slot, m.Epoch)
+		case "layout-ack":
+			c.confirmEpoch(w, m.Epoch)
+		case "pong":
+			// w.last already refreshed; nothing else to do.
 		case "result":
 			c.mu.Lock()
 			q := c.queries[m.QID]
@@ -229,34 +335,163 @@ func (c *Coordinator) handleConn(conn net.Conn) {
 	}
 }
 
-// broadcastLayout ships the sealed cluster layout — every worker's mesh
-// address and rank window plus the fencing epoch — to all workers.
-func (c *Coordinator) broadcastLayout() {
+// confirmEpoch records that the worker runs at the given epoch, possibly
+// completing a heal. Confirmations for superseded epochs (a layout-ack racing
+// the next re-join's bump) are kept as-is: they still mark the worker
+// control-plane-live but do not count toward wholeness.
+func (c *Coordinator) confirmEpoch(w *wconn, epoch uint64) {
 	c.mu.Lock()
-	infos := make([]workerInfo, len(c.workers))
-	conns := make([]*wconn, len(c.workers))
-	for i, w := range c.workers {
-		infos[i] = w.info
-		conns[i] = w
+	if c.workers[w.slot] == w && epoch > c.epochOK[w.slot] {
+		c.epochOK[w.slot] = epoch
+		c.maybeWholeLocked()
 	}
+	whole := c.wholeLocked()
 	c.mu.Unlock()
-	c.logf("cluster: sealed with %d workers / %d ranks, epoch %d", c.cfg.Workers, c.cfg.Ranks, c.epoch)
-	for _, w := range conns {
-		w.send(msg{Type: "cluster", Epoch: c.epoch, Workers: infos})
+	if whole {
+		c.logf("cluster: whole at epoch %d; admitting queries", epoch)
 	}
 }
 
-// WaitReady blocks until every worker has built its partitions and started
-// its engine, or the timeout elapses.
-func (c *Coordinator) WaitReady(timeout time.Duration) error {
-	select {
-	case <-c.readyCh:
-		return nil
-	case <-time.After(timeout):
-		c.mu.Lock()
-		ready := c.ready
+// dropWorker declares a worker dead: its control connection failed, or the
+// failure detector saw silence past the liveness window. Frees the slot for
+// a re-join, fails every in-flight query with a typed *WorkerLostError
+// (queries span all workers, so all are doomed), and tells survivors to
+// force-abort — with a worker gone, cancel-drain could never quiesce
+// (termination waves need every rank of the machine).
+func (c *Coordinator) dropWorker(w *wconn, why string) {
+	c.mu.Lock()
+	if c.closed || c.workers[w.slot] != w {
+		// Shutdown teardown, or an older drop already processed this wconn.
 		c.mu.Unlock()
-		return fmt.Errorf("cluster: timed out after %v with %d/%d workers ready", timeout, ready, c.cfg.Workers)
+		w.conn.Close()
+		return
+	}
+	c.workers[w.slot] = nil
+	c.epochOK[w.slot] = 0
+	c.joined--
+	epoch := c.epoch
+	formed := c.formed
+	c.unwholeLocked()
+	var doomed []*Query
+	var survivors []*wconn
+	if formed {
+		for _, q := range c.queries {
+			doomed = append(doomed, q)
+		}
+		for _, ww := range c.workers {
+			if ww != nil {
+				survivors = append(survivors, ww)
+			}
+		}
+	}
+	c.mu.Unlock()
+
+	// Best-effort eviction notice: a live-but-stalled worker must learn it
+	// was declared dead so it aborts its queries and re-joins fresh.
+	w.send(msg{Type: "evicted"})
+	w.conn.Close()
+	if !formed {
+		c.logf("cluster: worker %d lost before formation (%s); slot reopened", w.slot, why)
+		return
+	}
+	c.logf("cluster: worker %d LOST (%s): epoch %d degraded, failing %d in-flight, notifying %d survivor(s)",
+		w.slot, why, epoch, len(doomed), len(survivors))
+	lost := &WorkerLostError{Slot: w.slot, Epoch: epoch}
+	for _, q := range doomed {
+		q.fail(lost)
+	}
+	for _, ww := range survivors {
+		ww.send(msg{Type: "abort"})
+	}
+}
+
+// heartbeatLoop is the failure detector: ping every connected worker each
+// cfg.Heartbeat, and evict any worker that has confirmed an epoch (i.e. is
+// past its build and serving its control loop) yet has been silent for
+// longer than cfg.Liveness. Workers that have not confirmed yet are building
+// partitions — a phase that legitimately goes quiet on the control plane —
+// and are covered by the connection-error path plus WaitReady timeouts.
+func (c *Coordinator) heartbeatLoop() {
+	defer c.wg.Done()
+	t := time.NewTicker(c.cfg.Heartbeat)
+	defer t.Stop()
+	for {
+		select {
+		case <-c.hbStop:
+			return
+		case <-t.C:
+		}
+		c.mu.Lock()
+		live := make([]*wconn, 0, len(c.workers))
+		confirmed := make([]bool, 0, len(c.workers))
+		for s, w := range c.workers {
+			if w != nil {
+				live = append(live, w)
+				confirmed = append(confirmed, c.epochOK[s] != 0)
+			}
+		}
+		c.mu.Unlock()
+		now := time.Now().UnixNano()
+		for i, w := range live {
+			if confirmed[i] && now-w.last.Load() > int64(c.cfg.Liveness) {
+				c.dropWorker(w, fmt.Sprintf("no heartbeat for %v", c.cfg.Liveness))
+				continue
+			}
+			if err := w.send(msg{Type: "ping"}); err != nil {
+				c.dropWorker(w, "heartbeat write failed")
+			}
+		}
+	}
+}
+
+// broadcastLayout ships the current cluster layout — every live worker's
+// mesh address and rank window plus the fencing epoch — to all connected
+// workers. Sent at seal (initial formation) and on every re-join; survivors
+// answer with layout-ack after re-pointing their meshes, the newcomer with
+// ready after its local rebuild.
+func (c *Coordinator) broadcastLayout() {
+	c.mu.Lock()
+	epoch := c.epoch
+	infos := make([]workerInfo, 0, len(c.workers))
+	conns := make([]*wconn, 0, len(c.workers))
+	for _, w := range c.workers {
+		if w != nil {
+			infos = append(infos, w.info)
+			conns = append(conns, w)
+		}
+	}
+	c.mu.Unlock()
+	c.logf("cluster: layout broadcast: %d/%d workers, epoch %d", len(conns), c.cfg.Workers, epoch)
+	for _, w := range conns {
+		w.send(msg{Type: "cluster", Epoch: epoch, Workers: infos})
+	}
+}
+
+// WaitReady blocks until the cluster is whole — every worker built, started,
+// and confirmed at the current epoch — or the timeout elapses. Valid both for
+// initial formation and for healing after a worker loss.
+func (c *Coordinator) WaitReady(timeout time.Duration) error {
+	deadline := time.Now().Add(timeout)
+	for {
+		c.mu.Lock()
+		if c.wholeLocked() {
+			c.mu.Unlock()
+			return nil
+		}
+		ch := c.wholeCh
+		missing := c.missingLocked()
+		c.mu.Unlock()
+		wait := time.Until(deadline)
+		if wait <= 0 {
+			return fmt.Errorf("cluster: timed out after %v with slots %v dead or unconfirmed", timeout, missing)
+		}
+		select {
+		case <-ch:
+			// Whole at the epoch the channel belonged to; re-check, the
+			// cluster may have degraded again.
+		case <-time.After(wait):
+			return fmt.Errorf("cluster: timed out after %v with slots %v dead or unconfirmed", timeout, missing)
+		}
 	}
 }
 
@@ -271,6 +506,7 @@ type Query struct {
 	pending   int
 	accumSum  uint64
 	errDetail []string
+	failErr   error // terminal typed failure (worker lost)
 	finished  bool
 	timer     *time.Timer
 
@@ -279,7 +515,10 @@ type Query struct {
 
 // Submit admits a query globally (blocking while MaxInFlight queries are in
 // flight) and fans it out to every worker. The returned Query completes when
-// all workers have reported their master-range partials.
+// all workers have reported their master-range partials — or fails typed if
+// a worker dies first. While the cluster is degraded, Submit sheds
+// immediately with *DegradedError instead of queueing onto a cluster that
+// cannot answer.
 func (c *Coordinator) Submit(spec engine.Spec) (*Query, error) {
 	switch spec.Algo {
 	case engine.AlgoBFS, engine.AlgoSSSP:
@@ -302,6 +541,15 @@ func (c *Coordinator) Submit(spec engine.Spec) (*Query, error) {
 		<-c.sem
 		return nil, ErrCoordinatorClosed
 	}
+	if !c.wholeLocked() {
+		derr := &DegradedError{Missing: c.missingLocked(), Epoch: c.epoch}
+		c.mu.Unlock()
+		<-c.sem
+		return nil, derr
+	}
+	// Registration happens under the same lock as the wholeness check: a
+	// worker death after this point finds the query in c.queries and fails
+	// it; there is no window where a query can fan out unseen and hang.
 	q := &Query{
 		c:       c,
 		id:      c.nextQID,
@@ -323,7 +571,9 @@ func (c *Coordinator) Submit(spec engine.Spec) (*Query, error) {
 		Source: uint64(spec.Source), WeightSeed: spec.WeightSeed, K: spec.K,
 	}
 	for _, w := range conns {
-		w.send(sub)
+		if w != nil {
+			w.send(sub)
+		}
 	}
 	return q, nil
 }
@@ -409,18 +659,47 @@ func (q *Query) addPartial(m *msg) {
 	}
 }
 
+// fail completes the query with a terminal typed error without waiting for
+// the remaining partials — they are never coming (their worker is dead, and
+// the survivors were told to abort). Idempotent against addPartial and
+// against concurrent drops of different workers.
+func (q *Query) fail(err error) {
+	q.mu.Lock()
+	if q.finished {
+		q.mu.Unlock()
+		return
+	}
+	q.finished = true
+	q.failErr = err
+	q.res.Cancelled = true
+	if q.timer != nil {
+		q.timer.Stop()
+	}
+	q.mu.Unlock()
+	q.c.mu.Lock()
+	delete(q.c.queries, q.id)
+	q.c.mu.Unlock()
+	close(q.done)
+	<-q.c.sem
+}
+
 // ID returns the cluster-wide query ID (also the mailbox tag on every rank).
 func (q *Query) ID() uint32 { return q.id }
 
-// Done is closed once every worker has reported.
+// Done is closed once every worker has reported (or the query failed typed).
 func (q *Query) Done() <-chan struct{} { return q.done }
 
 // Wait blocks for assembly and returns the global result. The error is
-// non-nil if any worker rejected or failed the query.
+// non-nil if any worker rejected or failed the query — in particular, a
+// *WorkerLostError (errors.Is ErrWorkerLost) when a worker process died
+// mid-query; the caller may WaitReady for the heal and resubmit.
 func (q *Query) Wait() (*engine.Result, error) {
 	<-q.done
 	q.mu.Lock()
 	defer q.mu.Unlock()
+	if q.failErr != nil {
+		return q.res, q.failErr
+	}
 	if len(q.errDetail) > 0 {
 		return q.res, fmt.Errorf("cluster: query %d failed on %d worker(s): %s",
 			q.id, len(q.errDetail), q.errDetail[0])
@@ -448,23 +727,26 @@ type statsWaiter struct {
 	done      chan struct{}
 }
 
-// NetStats sweeps every worker's data-plane counters and returns the
-// cluster-wide sum. One sweep at a time; callers serialize.
+// NetStats sweeps every live worker's data-plane counters and returns the
+// sum. One sweep at a time; callers serialize.
 func (c *Coordinator) NetStats(timeout time.Duration) (NetTotals, error) {
 	c.mu.Lock()
 	if c.statsW != nil {
 		c.mu.Unlock()
 		return NetTotals{}, errors.New("cluster: a stats sweep is already in flight")
 	}
-	sw := &statsWaiter{remaining: c.cfg.Workers, done: make(chan struct{})}
+	conns := make([]*wconn, 0, len(c.workers))
+	for _, w := range c.workers {
+		if w != nil {
+			conns = append(conns, w)
+		}
+	}
+	sw := &statsWaiter{remaining: len(conns), done: make(chan struct{})}
 	c.statsW = sw
-	conns := append([]*wconn(nil), c.workers...)
 	c.mu.Unlock()
 
 	for _, w := range conns {
-		if w != nil {
-			w.send(msg{Type: "stats"})
-		}
+		w.send(msg{Type: "stats"})
 	}
 	select {
 	case <-sw.done:
@@ -479,9 +761,10 @@ func (c *Coordinator) NetStats(timeout time.Duration) (NetTotals, error) {
 	}
 }
 
-// Close shuts the cluster down: broadcast shutdown, drop every control
-// connection, stop accepting. In-flight queries should be drained first
-// (workers drain cleanly anyway, but their results will have nowhere to go).
+// Close shuts the cluster down: stop the failure detector, broadcast
+// shutdown, drop every control connection, stop accepting. In-flight queries
+// should be drained first (workers drain cleanly anyway, but their results
+// will have nowhere to go).
 func (c *Coordinator) Close() error {
 	c.mu.Lock()
 	if c.closed {
@@ -493,6 +776,7 @@ func (c *Coordinator) Close() error {
 	conns := append([]*wconn(nil), c.workers...)
 	c.mu.Unlock()
 
+	close(c.hbStop)
 	for _, w := range conns {
 		if w != nil {
 			w.send(msg{Type: "shutdown"})

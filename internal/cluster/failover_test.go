@@ -1,0 +1,353 @@
+package cluster
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"log"
+	"net"
+	"os"
+	"os/exec"
+	"strconv"
+	"testing"
+	"time"
+
+	"havoqgt"
+	"havoqgt/internal/check"
+	"havoqgt/internal/engine"
+)
+
+// The failover tests need a worker the test can kill -9: a goroutine cannot
+// be SIGKILLed, so the test binary re-execs itself as a worker process.
+// TestMain intercepts the re-exec before any tests run.
+func TestMain(m *testing.M) {
+	if os.Getenv("HAVOQD_FAILOVER_WORKER") == "1" {
+		os.Exit(failoverWorkerMain())
+	}
+	os.Exit(m.Run())
+}
+
+// failoverCfg is the shared contract of the kill-and-rejoin cluster; the
+// helper process rebuilds it from the same constants, so the checksums match
+// without shipping the config through the environment.
+func failoverCfg() ClusterConfig {
+	return ClusterConfig{
+		Workers: 2, Ranks: 2, Scale: 8, Seed: 42,
+		Heartbeat: 100 * time.Millisecond,
+		Liveness:  time.Second,
+	}
+}
+
+func failoverWorkerMain() int {
+	log.SetPrefix("[worker] ")
+	slot, err := strconv.Atoi(os.Getenv("HAVOQD_FAILOVER_SLOT"))
+	if err != nil {
+		log.Printf("bad slot: %v", err)
+		return 2
+	}
+	err = RunWorker(WorkerOptions{
+		Coordinator: os.Getenv("HAVOQD_FAILOVER_COORD"),
+		Config:      failoverCfg(),
+		Slot:        slot,
+		JoinRetry:   30 * time.Second,
+		Logf:        log.Printf,
+	})
+	if err != nil {
+		log.Printf("worker exit: %v", err)
+		return 1
+	}
+	return 0
+}
+
+// spawnFailoverWorker re-execs the test binary as a worker process for the
+// given slot. Output is buffered and dumped only if the test fails.
+func spawnFailoverWorker(t *testing.T, addr string, slot int) (*exec.Cmd, *bytes.Buffer) {
+	t.Helper()
+	cmd := exec.Command(os.Args[0], "-test.run=^$")
+	cmd.Env = append(os.Environ(),
+		"HAVOQD_FAILOVER_WORKER=1",
+		"HAVOQD_FAILOVER_COORD="+addr,
+		"HAVOQD_FAILOVER_SLOT="+strconv.Itoa(slot))
+	var buf bytes.Buffer
+	cmd.Stdout = &buf
+	cmd.Stderr = &buf
+	if err := cmd.Start(); err != nil {
+		t.Fatalf("spawn worker %d: %v", slot, err)
+	}
+	return cmd, &buf
+}
+
+// TestKillAndRejoin is the end-to-end self-healing check: SIGKILL a worker
+// with queries in flight, and the cluster must (1) resolve every in-flight
+// Wait with a typed *WorkerLostError instead of hanging, (2) report the dead
+// slot and shed new submits with *DegradedError, (3) admit a replacement
+// process into the dead slot under a bumped epoch, and (4) answer the
+// retried queries hash-identically to the in-process engine.
+func TestKillAndRejoin(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns and kills worker processes")
+	}
+	check.NoLeaks(t)
+	cfg := failoverCfg()
+	const source, wseed = 3, 7
+
+	// In-process reference on the identical deterministic graph.
+	g, err := havoqgt.GenerateRMAT(cfg.Scale, cfg.Seed, havoqgt.Options{Ranks: cfg.Ranks})
+	if err != nil {
+		t.Fatal(err)
+	}
+	refSSSP, err := g.ShortestPaths(source, wseed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	refBFS, err := g.BFS(source)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantSSSP, wantBFS := HashU64s(refSSSP.Distances), HashU32s(refBFS.Levels)
+
+	c, err := NewCoordinator("127.0.0.1:0", cfg, t.Logf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	w0, log0 := spawnFailoverWorker(t, c.Addr(), 0)
+	w1, log1 := spawnFailoverWorker(t, c.Addr(), 1)
+	t.Cleanup(func() {
+		w0.Process.Kill()
+		w1.Process.Kill()
+		w0.Wait()
+		w1.Wait()
+		if t.Failed() {
+			t.Logf("worker 0 output:\n%s", log0.String())
+			t.Logf("worker 1 output:\n%s", log1.String())
+		}
+	})
+	if err := c.WaitReady(120 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	epochFormed := c.Epoch()
+
+	// Baseline: the whole cluster answers correctly.
+	q, err := c.Submit(engine.Spec{Algo: engine.AlgoSSSP, Source: source, WeightSeed: wseed})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := q.Wait()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := HashResult(res); got != wantSSSP {
+		t.Fatalf("baseline sssp hash: cluster %016x, in-process %016x", got, wantSSSP)
+	}
+
+	// Burst, then SIGKILL worker 1 mid-flight. Depending on how fast the
+	// queries and the failure detector race, each query either completed
+	// (hash must match) or died typed — but every Wait MUST resolve.
+	spec := engine.Spec{Algo: engine.AlgoSSSP, Source: source, WeightSeed: wseed}
+	var inflight []*Query
+	for i := 0; i < 4; i++ {
+		q, err := c.Submit(spec)
+		if err != nil {
+			t.Fatalf("burst submit %d: %v", i, err)
+		}
+		inflight = append(inflight, q)
+	}
+	if err := w1.Process.Kill(); err != nil {
+		t.Fatalf("kill worker 1: %v", err)
+	}
+	// Sneak more submits into the pre-detection window; once the detector
+	// fires they shed typed instead.
+	for i := 0; i < 3; i++ {
+		q, err := c.Submit(spec)
+		if err != nil {
+			if !errors.Is(err, ErrClusterDegraded) {
+				t.Fatalf("post-kill submit: got %v, want ErrClusterDegraded", err)
+			}
+			break
+		}
+		inflight = append(inflight, q)
+		time.Sleep(50 * time.Millisecond)
+	}
+	for i, q := range inflight {
+		select {
+		case <-q.Done():
+		case <-time.After(30 * time.Second):
+			t.Fatalf("query %d hung after worker kill: in-flight Waits must resolve", i)
+		}
+		res, err := q.Wait()
+		switch {
+		case err == nil:
+			if got := HashResult(res); got != wantSSSP {
+				t.Errorf("query %d completed pre-kill but hash %016x != %016x", i, got, wantSSSP)
+			}
+		case errors.Is(err, ErrWorkerLost):
+			var wl *WorkerLostError
+			if !errors.As(err, &wl) {
+				t.Fatalf("query %d: ErrWorkerLost without WorkerLostError carrier: %v", i, err)
+			}
+			if wl.Slot != 1 {
+				t.Errorf("query %d: lost slot %d, want 1", i, wl.Slot)
+			}
+		default:
+			t.Errorf("query %d: unexpected error %v", i, err)
+		}
+	}
+
+	// The detector must report the dead slot and shed new work typed.
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		missing := c.Missing()
+		if len(missing) == 1 && missing[0] == 1 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("Missing() = %v, want [1]", missing)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if _, err := c.Submit(spec); !errors.Is(err, ErrClusterDegraded) {
+		t.Fatalf("degraded submit: got %v, want ErrClusterDegraded", err)
+	}
+	var de *DegradedError
+	if _, err := c.Submit(spec); !errors.As(err, &de) || len(de.Missing) != 1 || de.Missing[0] != 1 {
+		t.Fatalf("degraded submit carrier: %v", err)
+	}
+
+	// Heal: a fresh process re-joins the dead slot (join-retry outlasts any
+	// residual eviction lag), the epoch bumps, and the cluster goes whole.
+	w1b, log1b := spawnFailoverWorker(t, c.Addr(), 1)
+	t.Cleanup(func() {
+		w1b.Process.Kill()
+		w1b.Wait()
+		if t.Failed() {
+			t.Logf("worker 1 (rejoined) output:\n%s", log1b.String())
+		}
+	})
+	if err := c.WaitReady(120 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if got := c.Epoch(); got <= epochFormed {
+		t.Errorf("epoch after re-join = %d, want > %d", got, epochFormed)
+	}
+
+	// Retried queries on the healed cluster must be hash-identical.
+	qs, err := c.Submit(spec)
+	if err != nil {
+		t.Fatalf("post-heal submit: %v", err)
+	}
+	qb, err := c.Submit(engine.Spec{Algo: engine.AlgoBFS, Source: source})
+	if err != nil {
+		t.Fatalf("post-heal submit: %v", err)
+	}
+	resS, err := qs.Wait()
+	if err != nil {
+		t.Fatalf("post-heal sssp: %v", err)
+	}
+	if got := HashResult(resS); got != wantSSSP {
+		t.Errorf("post-heal sssp hash: cluster %016x, in-process %016x", got, wantSSSP)
+	}
+	resB, err := qb.Wait()
+	if err != nil {
+		t.Fatalf("post-heal bfs: %v", err)
+	}
+	if got := HashResult(resB); got != wantBFS {
+		t.Errorf("post-heal bfs hash: cluster %016x, in-process %016x", got, wantBFS)
+	}
+
+	// Clean shutdown: both live workers exit 0 on the shutdown broadcast.
+	if err := c.Close(); err != nil {
+		t.Fatal(err)
+	}
+	for _, w := range []*exec.Cmd{w0, w1b} {
+		done := make(chan error, 1)
+		go func() { done <- w.Wait() }()
+		select {
+		case err := <-done:
+			if err != nil {
+				t.Errorf("worker exit: %v", err)
+			}
+		case <-time.After(30 * time.Second):
+			t.Fatal("worker did not exit after shutdown")
+		}
+	}
+}
+
+// TestHeartbeatDetectsSilentWorker: a worker whose process wedges without
+// dropping its control connection (no FIN, no RST, just silence) must still
+// be evicted by the heartbeat detector — connection-error detection alone
+// cannot see this failure mode.
+func TestHeartbeatDetectsSilentWorker(t *testing.T) {
+	check.NoLeaks(t)
+	cfg := ClusterConfig{
+		Workers: 1, Ranks: 1, Scale: 5, Seed: 1,
+		Heartbeat: 50 * time.Millisecond,
+		Liveness:  300 * time.Millisecond,
+	}
+	c, err := NewCoordinator("127.0.0.1:0", cfg, t.Logf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	// Hand-rolled worker: join, take the layout, confirm the epoch — then go
+	// silent while keeping the socket open. One decoder for the whole
+	// conversation: json.Decoder buffers past the current value, so a second
+	// decoder on the same conn would miss messages the first one swallowed.
+	conn, err := net.DialTimeout("tcp", c.Addr(), 5*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	dec := json.NewDecoder(conn)
+	err = json.NewEncoder(conn).Encode(&msg{
+		Type: "join", Version: Version, ConfigSum: cfg.Checksum(),
+		Slot: 0, MeshAddr: "127.0.0.1:1",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var reply msg
+	if err := dec.Decode(&reply); err != nil {
+		t.Fatalf("join verdict: %v", err)
+	}
+	if reply.Type != "joined" {
+		t.Fatalf("join refused: %+v", reply)
+	}
+	var layout msg
+	for {
+		if err := dec.Decode(&layout); err != nil {
+			t.Fatalf("awaiting layout: %v", err)
+		}
+		if layout.Type == "cluster" {
+			break
+		}
+	}
+	if err := json.NewEncoder(conn).Encode(&msg{Type: "ready", Slot: 0, Epoch: layout.Epoch}); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.WaitReady(10 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+
+	// Silence. The worker sends nothing; the connection stays open. The
+	// detector must evict within the liveness window (plus scheduling slack).
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		missing := c.Missing()
+		if len(missing) == 1 && missing[0] == 0 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("silent worker never evicted: Missing() = %v", missing)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if c.Whole() {
+		t.Error("cluster still whole after eviction")
+	}
+	if _, err := c.Submit(engine.Spec{Algo: engine.AlgoBFS, Source: 0}); !errors.Is(err, ErrClusterDegraded) {
+		t.Errorf("submit on evicted cluster: got %v, want ErrClusterDegraded", err)
+	}
+}

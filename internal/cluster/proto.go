@@ -29,6 +29,7 @@ import (
 	"errors"
 	"fmt"
 	"hash/fnv"
+	"time"
 )
 
 // Version names the control-plane protocol. Joins from any other version are
@@ -49,6 +50,50 @@ var (
 	// hung up without a verdict.
 	ErrCoordinatorDown = errors.New("cluster: coordinator connection lost")
 )
+
+// Self-healing errors. Both sentinel targets have a struct carrier so callers
+// can errors.Is for the class and errors.As for slot/epoch details.
+var (
+	// ErrWorkerLost is the class of WorkerLostError: an in-flight query died
+	// because a worker process was declared dead mid-execution.
+	ErrWorkerLost = errors.New("cluster: worker lost")
+	// ErrClusterDegraded is the class of DegradedError: the cluster is not
+	// whole (a slot is dead or still healing) and refuses new queries.
+	ErrClusterDegraded = errors.New("cluster: degraded")
+	// ErrEvicted is returned by RunWorker when the coordinator declared this
+	// worker dead (a heartbeat lapse — e.g. a long stall — on a process that
+	// is in fact alive). The worker has aborted its queries and torn down;
+	// it may re-join as a fresh process.
+	ErrEvicted = errors.New("cluster: worker evicted by coordinator")
+)
+
+// WorkerLostError fails every query in flight when a worker dies: the victim
+// slot and the epoch that died with it.
+type WorkerLostError struct {
+	Slot  int
+	Epoch uint64
+}
+
+func (e *WorkerLostError) Error() string {
+	return fmt.Sprintf("cluster: worker %d lost (epoch %d): in-flight query aborted", e.Slot, e.Epoch)
+}
+
+// Is makes errors.Is(err, ErrWorkerLost) true for the carrier.
+func (e *WorkerLostError) Is(target error) bool { return target == ErrWorkerLost }
+
+// DegradedError rejects a submit while the cluster is not whole: the slots
+// that are dead or not yet confirmed at the current epoch.
+type DegradedError struct {
+	Missing []int
+	Epoch   uint64
+}
+
+func (e *DegradedError) Error() string {
+	return fmt.Sprintf("cluster: degraded (epoch %d): slots %v dead or unhealed", e.Epoch, e.Missing)
+}
+
+// Is makes errors.Is(err, ErrClusterDegraded) true for the carrier.
+func (e *DegradedError) Is(target error) bool { return target == ErrClusterDegraded }
 
 // Wire error codes (msg.Code) for the refusals above.
 const (
@@ -92,6 +137,12 @@ type ClusterConfig struct {
 	Simplify bool   // drop self loops and duplicate edges (required for kcore)
 
 	MaxInFlight int // global (coordinator-side) concurrent-query bound
+
+	// Failure detector tuning. Operational knobs, not cluster identity:
+	// deliberately EXCLUDED from Checksum so a worker restarted with a
+	// different liveness setting still joins.
+	Heartbeat time.Duration // coordinator ping spacing (default 500ms)
+	Liveness  time.Duration // silence after which a worker is declared dead (default 5s)
 }
 
 func (c ClusterConfig) normalized() ClusterConfig {
@@ -100,6 +151,17 @@ func (c ClusterConfig) normalized() ClusterConfig {
 	}
 	if c.MaxInFlight <= 0 {
 		c.MaxInFlight = 8
+	}
+	if c.Heartbeat <= 0 {
+		c.Heartbeat = 500 * time.Millisecond
+	}
+	if c.Liveness <= 0 {
+		c.Liveness = 5 * time.Second
+	}
+	if c.Liveness < 2*c.Heartbeat {
+		// A liveness window under two heartbeats would evict healthy workers
+		// on scheduler jitter alone.
+		c.Liveness = 2 * c.Heartbeat
 	}
 	return c
 }
@@ -147,9 +209,10 @@ type workerInfo struct {
 // are meaningful. One struct keeps the codec trivial (a JSON line per
 // message) at the cost of some slack — acceptable on a low-rate plane.
 //
-// Types, worker → coordinator: "join", "ready", "result".
+// Types, worker → coordinator: "join", "ready", "result", "stats",
+// "layout-ack", "pong".
 // Types, coordinator → worker: "joined", "error", "cluster", "submit",
-// "cancel", "shutdown".
+// "cancel", "shutdown", "ping", "abort", "evicted".
 type msg struct {
 	Type string `json:"type"`
 
@@ -160,6 +223,10 @@ type msg struct {
 	MeshAddr  string `json:"meshAddr,omitempty"`
 	Code      string `json:"code,omitempty"`
 	Detail    string `json:"detail,omitempty"`
+	// Rejoin marks a "joined" verdict on an already-formed cluster: the
+	// worker must rebuild its partitions locally (the survivors are serving
+	// and cannot run a collective build) under the bumped epoch.
+	Rejoin bool `json:"rejoin,omitempty"`
 
 	// cluster
 	Epoch   uint64       `json:"epoch,omitempty"`

@@ -2,6 +2,7 @@ package cluster
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
 	"net"
 	"sync"
@@ -24,7 +25,12 @@ type WorkerOptions struct {
 	Slot        int           // explicit worker slot, or -1 for coordinator-assigned
 	MeshAddr    string        // data-plane listen address (default "127.0.0.1:0")
 	JoinTimeout time.Duration // dial + handshake bound (default 30s)
-	Logf        func(format string, args ...any)
+	// JoinRetry keeps retrying a refused or failed join for this long before
+	// giving up (0 = fail immediately). A restarted worker racing the failure
+	// detector needs this: its old slot stays occupied until the detector
+	// evicts the corpse, so the first joins bounce with ErrDuplicateSlot.
+	JoinRetry time.Duration
+	Logf      func(format string, args ...any)
 }
 
 // joinVersion is what this worker claims to speak; a var so the handshake
@@ -49,19 +55,44 @@ func (o WorkerOptions) normalized() WorkerOptions {
 // the coordinator orders shutdown, then tears everything down. It returns
 // nil after a clean shutdown, a typed handshake error (ErrVersionMismatch,
 // ErrConfigMismatch, ErrDuplicateSlot, ErrSealed) when the coordinator
-// refuses the join, and ErrCoordinatorDown when the control connection dies
-// without a verdict or before shutdown.
+// refuses the join, ErrEvicted when the coordinator's failure detector
+// declared this worker dead, and ErrCoordinatorDown when the control
+// connection dies without a verdict or before shutdown.
+//
+// With JoinRetry > 0, joins refused with ErrDuplicateSlot or ErrSealed and
+// handshake-phase connection failures are retried until the window closes —
+// the slot of a killed predecessor reopens only once the failure detector
+// fires, so a fresh replacement must out-wait it.
 func RunWorker(opts WorkerOptions) error {
 	opts = opts.normalized()
 	if err := opts.Config.validate(); err != nil {
 		return err
 	}
+	deadline := time.Now().Add(opts.JoinRetry)
+	for {
+		joined, err := runWorkerSession(opts)
+		if err == nil || joined || opts.JoinRetry <= 0 {
+			return err
+		}
+		retryable := errors.Is(err, ErrDuplicateSlot) || errors.Is(err, ErrSealed) ||
+			errors.Is(err, ErrCoordinatorDown)
+		if !retryable || time.Now().After(deadline) {
+			return err
+		}
+		opts.Logf("cluster: join refused (%v); retrying", err)
+		time.Sleep(250 * time.Millisecond)
+	}
+}
 
+// runWorkerSession is one join-to-teardown lifetime. joined reports whether
+// the handshake got past the coordinator's verdict — errors after that point
+// are session failures, not join refusals, and are never auto-retried.
+func runWorkerSession(opts WorkerOptions) (joined bool, err error) {
 	// Bind the data plane first: the join request must carry a dialable mesh
 	// address, and binding ":0" resolves the port.
 	mesh, err := hnet.NewMesh(opts.MeshAddr)
 	if err != nil {
-		return fmt.Errorf("cluster: bind mesh: %w", err)
+		return false, fmt.Errorf("cluster: bind mesh: %w", err)
 	}
 	meshStarted := false
 	defer func() {
@@ -72,7 +103,7 @@ func RunWorker(opts WorkerOptions) error {
 
 	conn, err := net.DialTimeout("tcp", opts.Coordinator, opts.JoinTimeout)
 	if err != nil {
-		return fmt.Errorf("%w: dial %s: %v", ErrCoordinatorDown, opts.Coordinator, err)
+		return false, fmt.Errorf("%w: dial %s: %v", ErrCoordinatorDown, opts.Coordinator, err)
 	}
 	defer conn.Close()
 	enc := json.NewEncoder(conn)
@@ -85,46 +116,62 @@ func RunWorker(opts WorkerOptions) error {
 		Slot: opts.Slot, MeshAddr: mesh.Addr(),
 	})
 	if err != nil {
-		return fmt.Errorf("%w: send join: %v", ErrCoordinatorDown, err)
+		return false, fmt.Errorf("%w: send join: %v", ErrCoordinatorDown, err)
 	}
 	var reply msg
 	if err := dec.Decode(&reply); err != nil {
-		return fmt.Errorf("%w: awaiting join verdict: %v", ErrCoordinatorDown, err)
+		return false, fmt.Errorf("%w: awaiting join verdict: %v", ErrCoordinatorDown, err)
 	}
 	switch reply.Type {
 	case "joined":
 	case "error":
-		return codeToErr(reply.Code, reply.Detail)
+		return false, codeToErr(reply.Code, reply.Detail)
 	default:
-		return fmt.Errorf("%w: unexpected %q during handshake", ErrCoordinatorDown, reply.Type)
+		return false, fmt.Errorf("%w: unexpected %q during handshake", ErrCoordinatorDown, reply.Type)
 	}
 	slot := reply.Slot
-	opts.Logf("cluster: joined as worker %d (mesh %s)", slot, mesh.Addr())
+	rejoin := reply.Rejoin
+	opts.Logf("cluster: joined as worker %d (mesh %s, rejoin %t)", slot, mesh.Addr(), rejoin)
 
-	// Layout: arrives once the last worker joins, so no deadline — but a
-	// coordinator death here must still surface as an error, not a hang.
+	// Layout: arrives once the last worker joins (or immediately on a
+	// re-join), so no deadline — but a coordinator death here must still
+	// surface as an error, not a hang. Heartbeat pings may interleave before
+	// the layout lands; skip them.
 	conn.SetDeadline(time.Time{})
 	var layout msg
-	if err := dec.Decode(&layout); err != nil {
-		return fmt.Errorf("%w: awaiting cluster layout: %v", ErrCoordinatorDown, err)
-	}
-	if layout.Type != "cluster" {
-		return fmt.Errorf("%w: unexpected %q awaiting cluster layout", ErrCoordinatorDown, layout.Type)
+	for {
+		if err := dec.Decode(&layout); err != nil {
+			return true, fmt.Errorf("%w: awaiting cluster layout: %v", ErrCoordinatorDown, err)
+		}
+		if layout.Type == "cluster" {
+			break
+		}
+		switch layout.Type {
+		case "ping":
+			continue
+		case "evicted":
+			return true, ErrEvicted
+		default:
+			return true, fmt.Errorf("%w: unexpected %q awaiting cluster layout", ErrCoordinatorDown, layout.Type)
+		}
 	}
 
 	cfg := opts.Config
 	p := cfg.Ranks
 	lo, hi := cfg.window(slot)
+	// Ownership comes from the config's static windows, not the layout: a
+	// re-join-time layout lists only live workers, but every rank still has
+	// exactly one home slot. Peer addresses come from the layout; a slot
+	// absent there stays addressless and its mesh writer idles until a later
+	// layout refresh supplies the address.
 	owner := make([]int, p)
-	peers := make(map[int]string, cfg.Workers-1)
-	for _, wi := range layout.Workers {
-		for r := wi.Lo; r < wi.Hi; r++ {
-			owner[r] = wi.Slot
-		}
-		if wi.Slot != slot {
-			peers[wi.Slot] = wi.MeshAddr
+	for s := 0; s < cfg.Workers; s++ {
+		slo, shi := cfg.window(s)
+		for r := slo; r < shi; r++ {
+			owner[r] = s
 		}
 	}
+	peers := layoutPeers(layout.Workers, slot)
 
 	// Data plane up: machine first (the mesh needs its Deliver), then the
 	// mesh (the machine needs its Send). No frame moves until Run below.
@@ -134,53 +181,50 @@ func RunWorker(opts WorkerOptions) error {
 		Deliver: machine.Deliver, Obs: machine.Obs(),
 	})
 	if err != nil {
-		return fmt.Errorf("cluster: start mesh: %w", err)
+		return true, fmt.Errorf("cluster: start mesh: %w", err)
 	}
 	meshStarted = true
 	defer mesh.Close()
 
-	// Collective graph construction across the whole cluster: every rank
+	// Graph construction. Initial formation builds collectively: every rank
 	// everywhere generates its RMAT chunk and the partitioner's sample-sort
-	// exchanges ride the mesh exactly as they ride the in-process inboxes.
-	n := uint64(1) << cfg.Scale
-	gen := generators.NewGraph500(cfg.Scale, cfg.Seed)
-	parts := make([]*partition.Part, p)
-	ghosts := make([]*core.GhostTable, p)
-	buildErrs := make([]error, p)
-	opts.Logf("cluster: worker %d building scale-%d partition for ranks [%d,%d)", slot, cfg.Scale, lo, hi)
-	machine.Run(func(r *rt.Rank) {
-		local := graph.Undirect(gen.GenerateChunk(r.Rank(), p))
-		var part *partition.Part
-		var err error
-		if cfg.Simplify {
-			part, err = partition.BuildEdgeListSimple(r, local, n)
-		} else {
-			part, err = partition.BuildEdgeList(r, local, n)
-		}
-		if err != nil {
-			buildErrs[r.Rank()] = err
-			return
-		}
-		parts[r.Rank()] = part
-		if cfg.Ghosts >= 0 {
-			k := cfg.Ghosts
-			if k == 0 {
-				k = core.DefaultGhostsPerPartition
+	// exchanges ride the mesh exactly as they ride in-process inboxes. A
+	// re-joiner cannot do that — the survivors are serving queries, their
+	// machines belong to their engines — so it replays the whole
+	// deterministic build alone on a throwaway in-process machine and keeps
+	// only its window's partitions.
+	var parts []*partition.Part
+	var ghosts []*core.GhostTable
+	if rejoin {
+		opts.Logf("cluster: worker %d re-join: local rebuild of scale-%d partitions for ranks [%d,%d)", slot, cfg.Scale, lo, hi)
+		parts, ghosts, err = buildPartitions(rt.NewMachine(p), cfg, opts.Logf)
+		if err == nil {
+			for r := range parts {
+				if r < lo || r >= hi {
+					parts[r], ghosts[r] = nil, nil
+				}
 			}
-			ghosts[r.Rank()] = core.BuildGhostTable(part, k)
 		}
-	})
-	for r := lo; r < hi; r++ {
-		if buildErrs[r] != nil {
-			return fmt.Errorf("cluster: build rank %d: %w", r, buildErrs[r])
+	} else {
+		opts.Logf("cluster: worker %d building scale-%d partition for ranks [%d,%d)", slot, cfg.Scale, lo, hi)
+		parts, ghosts, err = buildPartitions(machine, cfg, opts.Logf)
+		if err == nil {
+			for r := lo; r < hi; r++ {
+				if parts[r] == nil {
+					err = fmt.Errorf("cluster: build produced no partition for rank %d", r)
+				}
+			}
 		}
+	}
+	if err != nil {
+		return true, err
 	}
 
 	eng, err := engine.Start(engine.Config{
 		Machine: machine, Parts: parts, Ghosts: ghosts, Topology: cfg.Topology,
 	}, engine.Options{Reliable: cfg.Reliable})
 	if err != nil {
-		return fmt.Errorf("cluster: start engine: %w", err)
+		return true, fmt.Errorf("cluster: start engine: %w", err)
 	}
 	defer eng.Close()
 
@@ -189,10 +233,10 @@ func RunWorker(opts WorkerOptions) error {
 	gLo, _ := parts[lo].Owners.MasterRange(lo)
 	_, gHi := parts[hi-1].Owners.MasterRange(hi - 1)
 
-	if err := enc.Encode(&msg{Type: "ready", Slot: slot}); err != nil {
-		return fmt.Errorf("%w: send ready: %v", ErrCoordinatorDown, err)
+	if err := enc.Encode(&msg{Type: "ready", Slot: slot, Epoch: layout.Epoch}); err != nil {
+		return true, fmt.Errorf("%w: send ready: %v", ErrCoordinatorDown, err)
 	}
-	opts.Logf("cluster: worker %d ready (vertices [%d,%d))", slot, gLo, gHi)
+	opts.Logf("cluster: worker %d ready (vertices [%d,%d), epoch %d)", slot, gLo, gHi, layout.Epoch)
 
 	var (
 		mu      sync.Mutex
@@ -205,6 +249,13 @@ func RunWorker(opts WorkerOptions) error {
 		enc.Encode(m)
 		sendMu.Unlock()
 	}
+	abortAll := func() {
+		mu.Lock()
+		for _, tk := range tickets {
+			tk.Abort()
+		}
+		mu.Unlock()
+	}
 
 	serveErr := error(nil)
 serve:
@@ -215,6 +266,8 @@ serve:
 			break
 		}
 		switch m.Type {
+		case "ping":
+			send(&msg{Type: "pong", Slot: slot})
 		case "submit":
 			spec := engine.Spec{
 				Algo:       engine.Algo(m.Algo),
@@ -246,6 +299,22 @@ serve:
 			if tk != nil {
 				tk.Cancel()
 			}
+		case "abort":
+			// A worker elsewhere died: every in-flight query is doomed and
+			// cooperative drain cannot quiesce (termination waves need every
+			// rank of the machine). Force-retire them all; the coordinator
+			// has already failed the queries typed.
+			opts.Logf("cluster: worker %d force-aborting in-flight queries (peer worker lost)", slot)
+			abortAll()
+		case "cluster":
+			// Layout refresh: a replacement worker healed a dead slot under a
+			// bumped epoch. Re-point the mesh — the dead peer's queued frames
+			// are dropped and its writer re-dials the new address with the new
+			// epoch in the preamble — and ack so the coordinator can count
+			// this survivor toward wholeness.
+			mesh.Update(m.Epoch, layoutPeers(m.Workers, slot))
+			send(&msg{Type: "layout-ack", Slot: slot, Epoch: m.Epoch})
+			opts.Logf("cluster: worker %d adopted layout epoch %d", slot, m.Epoch)
 		case "stats":
 			reg := machine.Obs()
 			send(&msg{Type: "stats", Slot: slot, Net: &NetTotals{
@@ -255,27 +324,80 @@ serve:
 				FramesOut:  reg.Counter(obs.NetFramesOut).Value(),
 				Reconnects: reg.Counter(obs.NetReconnects).Value(),
 			}})
+		case "evicted":
+			serveErr = ErrEvicted
+			break serve
 		case "shutdown":
 			break serve
 		}
 	}
 
 	if serveErr != nil {
-		// The coordinator died with queries possibly in flight. Flip them
-		// all to drain so the engine's Close below can quiesce; the other
-		// workers lost the same connection and do the same.
-		mu.Lock()
-		for _, tk := range tickets {
-			tk.Cancel()
-		}
-		mu.Unlock()
+		// The coordinator died or declared us dead with queries possibly in
+		// flight. Cooperative drain is not an option — peer workers may
+		// already be gone or aborting, so termination waves cannot complete.
+		// Force-abort so the engine's Close below cannot hang.
+		abortAll()
 	}
 	wg.Wait()
 	opts.Logf("cluster: worker %d shutting down", slot)
 	if err := eng.Close(); err != nil {
-		return err
+		return true, err
 	}
-	return serveErr
+	return true, serveErr
+}
+
+// layoutPeers extracts the mesh dial addresses of every other live worker
+// from a layout message.
+func layoutPeers(infos []workerInfo, self int) map[int]string {
+	peers := make(map[int]string, len(infos))
+	for _, wi := range infos {
+		if wi.Slot != self && wi.MeshAddr != "" {
+			peers[wi.Slot] = wi.MeshAddr
+		}
+	}
+	return peers
+}
+
+// buildPartitions runs the deterministic RMAT generation + partitioning on
+// the given machine — the shared cluster machine at formation (exchanges ride
+// the mesh), or a throwaway in-process machine on re-join — and returns the
+// per-rank partitions and ghost tables.
+func buildPartitions(machine *rt.Machine, cfg ClusterConfig, logf func(string, ...any)) ([]*partition.Part, []*core.GhostTable, error) {
+	p := cfg.Ranks
+	n := uint64(1) << cfg.Scale
+	gen := generators.NewGraph500(cfg.Scale, cfg.Seed)
+	parts := make([]*partition.Part, p)
+	ghosts := make([]*core.GhostTable, p)
+	buildErrs := make([]error, p)
+	machine.Run(func(r *rt.Rank) {
+		local := graph.Undirect(gen.GenerateChunk(r.Rank(), p))
+		var part *partition.Part
+		var err error
+		if cfg.Simplify {
+			part, err = partition.BuildEdgeListSimple(r, local, n)
+		} else {
+			part, err = partition.BuildEdgeList(r, local, n)
+		}
+		if err != nil {
+			buildErrs[r.Rank()] = err
+			return
+		}
+		parts[r.Rank()] = part
+		if cfg.Ghosts >= 0 {
+			k := cfg.Ghosts
+			if k == 0 {
+				k = core.DefaultGhostsPerPartition
+			}
+			ghosts[r.Rank()] = core.BuildGhostTable(part, k)
+		}
+	})
+	for r := 0; r < p; r++ {
+		if buildErrs[r] != nil {
+			return nil, nil, fmt.Errorf("cluster: build rank %d: %w", r, buildErrs[r])
+		}
+	}
+	return parts, ghosts, nil
 }
 
 // resultMsg packages one query's worker-local outcome: the master-range

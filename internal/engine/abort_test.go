@@ -1,0 +1,116 @@
+package engine_test
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"havoqgt/internal/engine"
+	"havoqgt/internal/graph"
+)
+
+// TestAbortInFlight: Abort must retire an in-flight query promptly without
+// global quiescence, mark it cancelled with context.Canceled, and leave the
+// engine healthy for subsequent queries.
+func TestAbortInFlight(t *testing.T) {
+	e, _, _ := buildEngine(t, 10, 4, "1d", engine.Options{MaxInFlight: 8})
+	defer e.Close()
+
+	tk, err := e.Submit(engine.Spec{Algo: engine.AlgoSSSP, Source: 0, WeightSeed: 3})
+	if err != nil {
+		t.Fatalf("Submit: %v", err)
+	}
+	tk.Abort()
+	select {
+	case <-tk.Done():
+	case <-time.After(30 * time.Second):
+		t.Fatal("aborted query did not complete")
+	}
+	res := tk.Wait()
+	if !res.Cancelled {
+		t.Error("aborted query not marked cancelled")
+	}
+	if !errors.Is(tk.Err(), context.Canceled) {
+		t.Errorf("Err = %v, want context.Canceled", tk.Err())
+	}
+	tk.Abort() // idempotent on a done query
+
+	// The engine must still run clean queries after an abort: the aborted
+	// ID's tombstones may not leak into other queries' demux or detectors.
+	tk2, err := e.Submit(engine.Spec{Algo: engine.AlgoBFS, Source: 1})
+	if err != nil {
+		t.Fatalf("Submit after abort: %v", err)
+	}
+	res2 := tk2.Wait()
+	if res2.Cancelled {
+		t.Fatal("clean query after abort reported cancelled")
+	}
+	if res2.Waves == 0 {
+		t.Error("clean query after abort detected no termination waves")
+	}
+	checkFlows(t, tk2)
+}
+
+// TestAbortWaitingQuery: aborting a query still parked in the admission queue
+// completes it in place, like Cancel.
+func TestAbortWaitingQuery(t *testing.T) {
+	e, _, _ := buildEngine(t, 9, 2, "1d", engine.Options{MaxInFlight: 1, MaxQueue: 4})
+	defer e.Close()
+
+	blocker, err := e.Submit(engine.Spec{Algo: engine.AlgoSSSP, Source: 0, WeightSeed: 1})
+	if err != nil {
+		t.Fatalf("Submit blocker: %v", err)
+	}
+	waiting, err := e.Submit(engine.Spec{Algo: engine.AlgoBFS, Source: 2})
+	if err != nil {
+		t.Fatalf("Submit waiting: %v", err)
+	}
+	waiting.Abort()
+	select {
+	case <-waiting.Done():
+	case <-time.After(10 * time.Second):
+		t.Fatal("aborted waiting query did not complete")
+	}
+	if !waiting.Wait().Cancelled {
+		t.Error("aborted waiting query not marked cancelled")
+	}
+	if !errors.Is(waiting.Err(), context.Canceled) {
+		t.Errorf("Err = %v, want context.Canceled", waiting.Err())
+	}
+	if blocker.Wait().Cancelled {
+		t.Fatal("blocker was disturbed by the waiting query's abort")
+	}
+}
+
+// TestAbortAllThenClose: aborting every in-flight query and closing the
+// engine must not hang — the abort path is what cluster workers run when a
+// peer process dies, where cancel-drain could never quiesce.
+func TestAbortAllThenClose(t *testing.T) {
+	e, _, _ := buildEngine(t, 10, 4, "2d", engine.Options{MaxInFlight: 8})
+
+	var tks []*engine.Ticket
+	for i := 0; i < 6; i++ {
+		tk, err := e.Submit(engine.Spec{Algo: engine.AlgoBFS, Source: graph.Vertex(i)})
+		if err != nil {
+			t.Fatalf("Submit %d: %v", i, err)
+		}
+		tks = append(tks, tk)
+	}
+	for _, tk := range tks {
+		tk.Abort()
+	}
+	done := make(chan struct{})
+	go func() {
+		for _, tk := range tks {
+			tk.Wait()
+		}
+		e.Close()
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(60 * time.Second):
+		t.Fatal("Close hung after aborting all in-flight queries")
+	}
+}

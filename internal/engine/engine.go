@@ -202,6 +202,7 @@ type ctlKind uint8
 const (
 	evStart ctlKind = iota
 	evCancel
+	evAbort
 	evShutdown
 )
 
@@ -255,8 +256,9 @@ type query struct {
 	flow      []FlowCell // per rank, each written by its own rank pre-done
 	accum     atomic.Uint64
 	cancelled atomic.Bool
-	cause     atomic.Int32 // why cancelled: causeExplicit or causeDeadline
+	cause     atomic.Int32 // why cancelled: causeExplicit, causeDeadline, causeAborted
 	waiting   bool         // guarded by Engine.mu: parked in the wait queue
+	aborted   bool         // guarded by Engine.mu: evAbort already appended
 	ranksDone atomic.Int32
 	done      chan struct{}
 	submitted time.Time
@@ -269,6 +271,7 @@ const (
 	causeNone int32 = iota
 	causeExplicit
 	causeDeadline
+	causeAborted
 )
 
 // Ticket is the caller's handle on a submitted query.
@@ -297,7 +300,7 @@ func (t *Ticket) Wait() *Result {
 // standard error handling (errors.Is) without an engine-specific taxonomy.
 func (t *Ticket) Err() error {
 	switch t.q.cause.Load() {
-	case causeExplicit:
+	case causeExplicit, causeAborted:
 		return context.Canceled
 	case causeDeadline:
 		return context.DeadlineExceeded
@@ -389,6 +392,55 @@ func (t *Ticket) cancel(cause int32) {
 	}
 	e.mu.Unlock()
 	e.log.append(ctlEvent{kind: evCancel, q: q})
+}
+
+// Abort forcibly retires the query on every local rank without waiting for
+// global quiescence. Cancel drains cooperatively: in-flight records are still
+// received (conservation) and termination waves still cross every rank of the
+// machine — exactly what cannot happen once a remote worker of a cluster
+// machine is dead. Abort is the process-failure hook: it marks the query
+// cancelled, force-finishes it on each local rank (gathering the monotone
+// partial state, same as a drained cancel), and retires its mailbox tag and
+// detector instance so stragglers from dead or surviving peers are dropped
+// instead of parked forever. The flow-conservation ledger for an aborted
+// query is void by construction. Aborting a waiting or completed query
+// behaves like Cancel; Err reports context.Canceled.
+func (t *Ticket) Abort() {
+	e, q := t.e, t.q
+	e.mu.Lock()
+	select {
+	case <-q.done:
+		e.mu.Unlock()
+		return
+	default:
+	}
+	if !q.cancelled.Swap(true) {
+		q.cause.Store(causeAborted)
+		e.obsCancelled.Inc()
+	}
+	if q.waiting {
+		// Never started: remove from the wait queue and complete in place.
+		for i, w := range e.waitq {
+			if w == q {
+				e.waitq = append(e.waitq[:i], e.waitq[i+1:]...)
+				break
+			}
+		}
+		q.waiting = false
+		e.obsWaiting.Set(int64(len(e.waitq)))
+		e.finishLocked(q)
+		e.mu.Unlock()
+		return
+	}
+	if q.aborted {
+		// A second Abort (or one racing a Cancel already escalated) must not
+		// double-append: ranks count completions once per query.
+		e.mu.Unlock()
+		return
+	}
+	q.aborted = true
+	e.mu.Unlock()
+	e.log.append(ctlEvent{kind: evAbort, q: q})
 }
 
 // Engine executes queries over one resident graph. Start it with Start;

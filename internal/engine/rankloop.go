@@ -91,7 +91,12 @@ type rankState struct {
 	// fast rank can seed visitors (and the mailbox can deliver them here)
 	// before this rank's control-log cursor reaches the start event.
 	pending map[uint32][]mailbox.Record
-	cursor  int // control-log position
+	// dead holds force-aborted query IDs: stragglers for these tags (from
+	// peers that had not aborted yet) are dropped at the demux instead of
+	// parked in pending forever. IDs never recycle, so entries are permanent
+	// tombstones, one per aborted query.
+	dead   map[uint32]struct{}
+	cursor int // control-log position
 }
 
 // rankLoop is the long-lived per-rank executor: replay control events, poll
@@ -118,6 +123,7 @@ func (e *Engine) rankLoop(r *rt.Rank) {
 		flows:   flows,
 		active:  make(map[uint32]*runningQuery),
 		pending: make(map[uint32][]mailbox.Record),
+		dead:    make(map[uint32]struct{}),
 	}
 	if e.cfg.Pagers != nil {
 		s.pager = e.cfg.Pagers[r.Rank()]
@@ -141,6 +147,18 @@ func (e *Engine) rankLoop(r *rt.Rank) {
 				}
 				// Unknown ID: the query already quiesced here — nothing to
 				// drain; the cancel verdict is recorded on the query object.
+			case evAbort:
+				// Forced retirement (process failure elsewhere in the
+				// cluster): finish now, without waiting for detector
+				// quiescence that can never arrive. The start event precedes
+				// the abort in the log, so an absent ID means the query
+				// already finished on this rank — only the tombstone is left.
+				s.dead[ev.q.id] = struct{}{}
+				delete(s.pending, ev.q.id)
+				if rq := s.active[ev.q.id]; rq != nil {
+					rq.run.Cancel()
+					s.retire(r, ev.q.id, true)
+				}
 			case evShutdown:
 				shutdown = true
 			}
@@ -185,6 +203,11 @@ func (e *Engine) rankLoop(r *rt.Rank) {
 			progress = true
 			if rq := s.active[rec.Tag]; rq != nil {
 				rq.run.Deliver(rec)
+			} else if _, gone := s.dead[rec.Tag]; gone {
+				// Straggler for a force-aborted query (a surviving peer kept
+				// sending until its own abort landed): drop it. The flow
+				// ledger of an aborted query is void by construction.
+				continue
 			} else {
 				// Start event not replayed yet (quiesced queries cannot
 				// receive: their S==R drained before ID retirement). Parking
@@ -258,7 +281,14 @@ func (s *rankState) start(r *rt.Rank, q *query) {
 // machine's last rank to get here — complete the query engine-side. No
 // end-of-query barrier is needed: record tags make misattribution impossible,
 // so ranks retire independently (contrast core.Queue.Run's barrier).
-func (s *rankState) finish(r *rt.Rank, id uint32) {
+func (s *rankState) finish(r *rt.Rank, id uint32) { s.retire(r, id, false) }
+
+// retire is finish with an optional forced mode for aborts. Forced retirement
+// skips none of the result gathering — Finish depends only on rank-local
+// monotone state, not on quiescence — but tombstones the detector instance
+// (Mux.Retire) instead of releasing it, because surviving ranks may still
+// emit waves for the id.
+func (s *rankState) retire(r *rt.Rank, id uint32, forced bool) {
 	rq := s.active[id]
 	delete(s.active, id)
 	st := rq.run.Stats()
@@ -277,7 +307,11 @@ func (s *rankState) finish(r *rt.Rank, id uint32) {
 	// partial state over disjoint master ranges yields a consistent coarse
 	// checkpoint that a resubmitted query can resume from (Spec.Resume).
 	rq.run.Finish()
-	s.mux.Release(id)
+	if forced {
+		s.mux.Retire(id)
+	} else {
+		s.mux.Release(id)
+	}
 	delete(s.pending, id)
 	if int(rq.q.ranksDone.Add(1)) == s.e.localRanks {
 		s.e.completeQuery(rq.q)

@@ -7,6 +7,7 @@ import (
 	"io"
 	"net"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"havoqgt/internal/obs"
@@ -56,6 +57,10 @@ type Mesh struct {
 
 	cfg   Config
 	peers map[int]*peer
+	// epoch is the live fencing epoch: cfg.Epoch at Start, advanced by
+	// Update when the coordinator reforms the cluster around a re-joined
+	// worker. Read by the accept path (preamble validation) and the dialers.
+	epoch atomic.Uint64
 
 	mu     sync.Mutex
 	conns  map[net.Conn]struct{} // accepted inbound connections
@@ -96,17 +101,31 @@ func (m *Mesh) Start(cfg Config) error {
 		return errors.New("net: mesh config needs a deliver func")
 	}
 	m.cfg = cfg
+	m.epoch.Store(cfg.Epoch)
 	m.framesOut = cfg.Obs.Counter(obs.NetFramesOut)
 	m.framesIn = cfg.Obs.Counter(obs.NetFramesIn)
 	m.bytesOut = cfg.Obs.Counter(obs.NetBytesOut)
 	m.bytesIn = cfg.Obs.Counter(obs.NetBytesIn)
 	m.reconnects = cfg.Obs.Counter(obs.NetReconnects)
-	m.peers = make(map[int]*peer, len(cfg.Peers))
-	for id, addr := range cfg.Peers {
+	// One peer per remote process named by either the address table or the
+	// rank-owner map. A peer whose address is still unknown (a slot that is
+	// dead at Start and will re-join later) gets an empty address: its writer
+	// idles until Update supplies one. Keeping the full set here means the
+	// peers map is immutable after Start — Send and the read loops touch it
+	// without locks.
+	ids := make(map[int]struct{}, len(cfg.Peers))
+	for id := range cfg.Peers {
+		ids[id] = struct{}{}
+	}
+	for _, id := range cfg.Owner {
+		ids[id] = struct{}{}
+	}
+	m.peers = make(map[int]*peer, len(ids))
+	for id := range ids {
 		if id == cfg.Local {
 			continue
 		}
-		m.peers[id] = newPeer(id, addr, m)
+		m.peers[id] = newPeer(id, cfg.Peers[id], m)
 	}
 	m.wg.Add(1)
 	go m.acceptLoop()
@@ -132,6 +151,28 @@ func (m *Mesh) Send(from, to int, kind uint8, tag uint32, payload []byte, delay 
 		panic(fmt.Sprintf("net: no peer for process %d hosting rank %d", owner, to))
 	}
 	p.enqueue(frame{kind: kind, from: from, to: to, tag: tag, delayNS: uint64(delay), payload: payload})
+}
+
+// Update re-points a started mesh at a refreshed cluster layout: the new
+// fencing epoch and the current peer addresses (a re-joined worker listens
+// somewhere new). The connection to a peer whose address changed is dropped
+// and its queued frames discarded — they belong to queries the old epoch
+// already aborted — and the writer re-dials through the epoch-fenced
+// preamble with the usual capped backoff (a peer that has not adopted the
+// new epoch yet refuses the dial until it has). Connections to unchanged
+// peers are left untouched: the preamble is validated only at connect time,
+// so a surviving edge keeps its FIFO and carries the new epoch's frames
+// without loss.
+func (m *Mesh) Update(epoch uint64, peers map[int]string) {
+	m.epoch.Store(epoch)
+	for id, addr := range peers {
+		if id == m.cfg.Local || addr == "" {
+			continue
+		}
+		if p := m.peers[id]; p != nil {
+			p.redirect(addr)
+		}
+	}
 }
 
 // acceptLoop admits inbound connections and spawns a reader per connection.
@@ -173,7 +214,7 @@ func (m *Mesh) readLoop(c net.Conn) {
 	if _, err := io.ReadFull(c, pre[:]); err != nil {
 		return
 	}
-	peerID, err := decodePreamble(pre[:], m.cfg.Epoch)
+	peerID, err := decodePreamble(pre[:], m.epoch.Load())
 	if err != nil {
 		// Wrong epoch / version / magic: refuse by closing. The stale dialer
 		// sees a broken connection, not a seat at the new cluster's table.

@@ -29,12 +29,14 @@ const (
 // not yet written; per-destination order is never reordered because there is
 // exactly one writer and one queue.
 type peer struct {
-	id   int // remote process id
-	addr string
-	m    *Mesh
+	id int // remote process id
+	m  *Mesh
 
 	mu     sync.Mutex
 	cond   *sync.Cond
+	addr   string   // dial target; empty until the peer has an address
+	gen    uint64   // bumped by redirect: invalidates in-flight pops/dials
+	conn   net.Conn // active connection, owned by the writer, closed by redirect/close
 	queue  [][]byte // encoded frames, length-prefix included
 	pool   [][]byte // free-list of consumed frame buffers
 	closed bool
@@ -81,7 +83,11 @@ func (p *peer) enqueue(f frame) {
 	p.cond.Signal()
 }
 
-// writeLoop drains the FIFO over a (re)dialed connection.
+// writeLoop drains the FIFO over a (re)dialed connection. Every pop and every
+// adopted connection is guarded by the redirect generation: a redirect that
+// lands mid-write has already flushed the queue and closed the connection, so
+// the writer must neither pop from the new (empty) queue nor keep using a
+// socket aimed at the old address.
 func (p *peer) writeLoop() {
 	defer p.wg.Done()
 	var conn net.Conn
@@ -102,10 +108,20 @@ func (p *peer) writeLoop() {
 			return
 		}
 		buf := p.queue[0]
+		gen := p.gen
+		addr := p.addr
 		p.mu.Unlock()
 
+		if addr == "" {
+			// No address yet (the slot is dead and has not re-joined): idle
+			// like a failed dial, without touching the reconnect counter.
+			if p.sleepClosed(backoff) {
+				return
+			}
+			continue
+		}
 		if conn == nil {
-			c, err := p.dial(everConnected)
+			c, err := p.dial(addr, everConnected)
 			if err != nil {
 				if p.sleepClosed(backoff) {
 					return
@@ -115,6 +131,16 @@ func (p *peer) writeLoop() {
 				}
 				continue
 			}
+			p.mu.Lock()
+			if p.closed || p.gen != gen {
+				// Redirected (or closed) while dialing: this socket points at
+				// the old address/epoch. Drop it and start over.
+				p.mu.Unlock()
+				c.Close()
+				continue
+			}
+			p.conn = c
+			p.mu.Unlock()
 			conn, backoff, everConnected = c, backoffFloor, true
 		}
 		// A hung socket must fail fast, not stall the writer forever (the
@@ -122,16 +148,28 @@ func (p *peer) writeLoop() {
 		conn.SetWriteDeadline(time.Now().Add(writeTimeout))
 		if _, err := conn.Write(buf); err != nil {
 			conn.Close()
+			p.mu.Lock()
+			if p.conn == conn {
+				p.conn = nil
+			}
+			p.mu.Unlock()
 			conn = nil
 			continue // frame stays at the queue head and is resent
 		}
 		p.m.framesOut.Inc()
 		p.m.bytesOut.Add(uint64(len(buf)))
 		p.mu.Lock()
-		p.queue[0] = nil
-		p.queue = p.queue[1:]
-		if cap(buf) > 0 && len(p.pool) < peerPoolCap {
-			p.pool = append(p.pool, buf)
+		if p.gen == gen {
+			p.queue[0] = nil
+			p.queue = p.queue[1:]
+			if cap(buf) > 0 && len(p.pool) < peerPoolCap {
+				p.pool = append(p.pool, buf)
+			}
+		} else {
+			// The queue this frame came from was flushed by a redirect while
+			// we were writing to the now-closed old connection; nothing to
+			// pop, and the next iteration re-dials the new address.
+			conn = nil
 		}
 		p.mu.Unlock()
 	}
@@ -140,11 +178,11 @@ func (p *peer) writeLoop() {
 // dial establishes the connection and ships the preamble. reconnect marks
 // whether a connection existed before (for the reconnect counter; first-ever
 // dial attempts after a failure also count).
-func (p *peer) dial(reconnect bool) (net.Conn, error) {
+func (p *peer) dial(addr string, reconnect bool) (net.Conn, error) {
 	if reconnect || p.failedOnce {
 		p.m.reconnects.Inc()
 	}
-	c, err := net.DialTimeout("tcp", p.addr, dialTimeout)
+	c, err := net.DialTimeout("tcp", addr, dialTimeout)
 	if err != nil {
 		p.failedOnce = true
 		return nil, err
@@ -152,13 +190,39 @@ func (p *peer) dial(reconnect bool) (net.Conn, error) {
 	if tc, ok := c.(*net.TCPConn); ok {
 		tc.SetNoDelay(true)
 	}
-	pre := appendPreamble(nil, p.m.cfg.Local, p.m.cfg.Epoch)
+	pre := appendPreamble(nil, p.m.cfg.Local, p.m.epoch.Load())
 	if _, err := c.Write(pre); err != nil {
 		p.failedOnce = true
 		c.Close()
 		return nil, err
 	}
 	return c, nil
+}
+
+// redirect points the peer at a new address under the (already stored) new
+// epoch: drop the queued frames — they belong to queries the old epoch
+// aborted — bump the generation so the writer abandons any in-flight pop or
+// dial, and close the current connection out from under the writer so it
+// re-dials with the new preamble.
+func (p *peer) redirect(addr string) {
+	p.mu.Lock()
+	if p.closed || p.addr == addr {
+		p.mu.Unlock()
+		return
+	}
+	p.addr = addr
+	p.gen++
+	for i := range p.queue {
+		p.queue[i] = nil
+	}
+	p.queue = p.queue[:0]
+	c := p.conn
+	p.conn = nil
+	p.mu.Unlock()
+	if c != nil {
+		c.Close()
+	}
+	p.cond.Broadcast()
 }
 
 // sleepClosed sleeps d unless the peer closes first; reports closed.
@@ -177,11 +241,18 @@ func (p *peer) sleepClosed(d time.Duration) bool {
 }
 
 // close stops the writer; queued-but-unwritten frames are dropped (the
-// cluster is shutting down or reforming under a new epoch).
+// cluster is shutting down or reforming under a new epoch). The active
+// connection is closed out from under the writer so a blocked Write fails
+// immediately instead of riding out its deadline.
 func (p *peer) close() {
 	p.mu.Lock()
 	p.closed = true
+	c := p.conn
+	p.conn = nil
 	p.mu.Unlock()
 	p.cond.Broadcast()
+	if c != nil {
+		c.Close()
+	}
 	p.wg.Wait()
 }

@@ -1,0 +1,210 @@
+package net
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"havoqgt/internal/check"
+	"havoqgt/internal/obs"
+)
+
+// deadAddr reserves a localhost port and closes it, so dials to it fail (or
+// hang refused) for the duration of the test.
+func deadAddr(t *testing.T) string {
+	t.Helper()
+	tmp, err := NewMesh("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := tmp.Addr()
+	tmp.ln.Close()
+	return addr
+}
+
+// TestMeshUpdateRedirect: a peer dies and a replacement comes up on a new
+// address under a bumped epoch. Update must drop the stale queue, re-dial the
+// new address with the new preamble, and deliver post-Update traffic.
+func TestMeshUpdateRedirect(t *testing.T) {
+	check.NoLeaks(t)
+	m0, err := NewMesh("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m0.Close()
+	dead := deadAddr(t)
+	d0 := &delivered{}
+	if err := m0.Start(Config{Local: 0, Epoch: 1, Owner: []int{0, 1},
+		Peers: map[int]string{1: dead}, Deliver: d0.fn, Obs: obs.NewRegistry(),
+		PingInterval: -1}); err != nil {
+		t.Fatal(err)
+	}
+	// Enqueue toward the dead peer: these frames belong to the old epoch and
+	// must be discarded by the redirect, never replayed at the replacement.
+	m0.Send(0, 1, 0, 11, []byte("stale"), 0)
+	time.Sleep(50 * time.Millisecond) // let at least one dial fail
+
+	m1, err := NewMesh("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m1.Close()
+	d1 := &delivered{}
+	if err := m1.Start(Config{Local: 1, Epoch: 2, Owner: []int{0, 1},
+		Peers: map[int]string{}, Deliver: d1.fn, Obs: obs.NewRegistry(),
+		PingInterval: -1}); err != nil {
+		t.Fatal(err)
+	}
+
+	m0.Update(2, map[int]string{1: m1.Addr()})
+	m0.Send(0, 1, 0, 12, []byte("fresh"), 0)
+	waitFor(t, "post-update frame", func() bool { return d1.len() == 1 })
+	if got, want := d1.get(0), `0->1 k0 t12 "fresh" d0s`; got != want {
+		t.Fatalf("got %q want %q (stale frame replayed?)", got, want)
+	}
+}
+
+// TestMeshUpdateKeepsUnchangedPeers: an Update that only bumps the epoch must
+// not disturb an established connection to a peer whose address is unchanged
+// — the preamble is validated at connect time only, so the surviving edge
+// keeps its FIFO.
+func TestMeshUpdateKeepsUnchangedPeers(t *testing.T) {
+	check.NoLeaks(t)
+	m0, m1, _, d1 := startPair(t, 7, -1)
+	_ = m1
+	m0.Send(0, 1, 0, 1, []byte("before"), 0)
+	waitFor(t, "pre-update frame", func() bool { return d1.len() == 1 })
+
+	m0.Update(8, map[int]string{1: m1.Addr()})
+	m0.Send(0, 1, 0, 2, []byte("after"), 0)
+	waitFor(t, "post-update frame", func() bool { return d1.len() == 2 })
+	if got, want := d1.get(1), `0->1 k0 t2 "after" d0s`; got != want {
+		t.Fatalf("got %q want %q", got, want)
+	}
+}
+
+// TestMeshAddresslessPeerLearnsAddr: a process id named by Owner but absent
+// from the peer address table (a slot that is dead at Start) gets an idle
+// writer; Update supplies the address once the slot re-joins and traffic
+// flows.
+func TestMeshAddresslessPeerLearnsAddr(t *testing.T) {
+	check.NoLeaks(t)
+	m0, err := NewMesh("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m0.Close()
+	d0 := &delivered{}
+	if err := m0.Start(Config{Local: 0, Epoch: 3, Owner: []int{0, 1},
+		Peers: map[int]string{}, Deliver: d0.fn, Obs: obs.NewRegistry(),
+		PingInterval: -1}); err != nil {
+		t.Fatal(err)
+	}
+	m1, err := NewMesh("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m1.Close()
+	d1 := &delivered{}
+	if err := m1.Start(Config{Local: 1, Epoch: 3, Owner: []int{0, 1},
+		Peers: map[int]string{}, Deliver: d1.fn, Obs: obs.NewRegistry(),
+		PingInterval: -1}); err != nil {
+		t.Fatal(err)
+	}
+	m0.Update(3, map[int]string{1: m1.Addr()})
+	m0.Send(0, 1, 0, 5, []byte("hello"), 0)
+	waitFor(t, "frame to late-addressed peer", func() bool { return d1.len() == 1 })
+}
+
+// TestMeshCloseDuringReconnectBackoff: Close racing an active reconnect
+// backoff (dials failing against a dead address) with concurrent senders must
+// return promptly and leak nothing. Run under -race this also exercises the
+// peer writer's closed/gen handoffs.
+func TestMeshCloseDuringReconnectBackoff(t *testing.T) {
+	check.NoLeaks(t)
+	for i := 0; i < 8; i++ {
+		m, err := NewMesh("127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		d := &delivered{}
+		if err := m.Start(Config{Local: 0, Epoch: 1, Owner: []int{0, 1},
+			Peers: map[int]string{1: deadAddr(t)}, Deliver: d.fn,
+			Obs: obs.NewRegistry(), PingInterval: -1}); err != nil {
+			t.Fatal(err)
+		}
+		m.Send(0, 1, 0, 1, []byte("x"), 0)
+		time.Sleep(time.Duration(i) * 7 * time.Millisecond) // land Close at varied backoff phases
+		var wg sync.WaitGroup
+		wg.Add(2)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 50; j++ {
+				m.Send(0, 1, 0, uint32(j), []byte("y"), 0)
+			}
+		}()
+		start := time.Now()
+		done := make(chan struct{})
+		go func() {
+			defer wg.Done()
+			m.Close()
+			close(done)
+		}()
+		select {
+		case <-done:
+		case <-time.After(10 * time.Second):
+			t.Fatal("Close wedged during reconnect backoff")
+		}
+		wg.Wait()
+		if elapsed := time.Since(start); elapsed > 5*time.Second {
+			t.Fatalf("Close took %v during backoff", elapsed)
+		}
+	}
+}
+
+// TestMeshReconnectCounterAccuracy: repeated dial failures move the reconnect
+// counter (the first-ever attempt is not a REconnect), and the counter goes
+// quiet once a connection is established — no phantom reconnects while the
+// edge is healthy.
+func TestMeshReconnectCounterAccuracy(t *testing.T) {
+	check.NoLeaks(t)
+	reg := obs.NewRegistry()
+	m0, err := NewMesh("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m0.Close()
+	addr := deadAddr(t)
+	d := &delivered{}
+	if err := m0.Start(Config{Local: 0, Epoch: 4, Owner: []int{0, 1},
+		Peers: map[int]string{1: addr}, Deliver: d.fn, Obs: reg,
+		PingInterval: -1}); err != nil {
+		t.Fatal(err)
+	}
+	rec := reg.Counter(obs.NetReconnects)
+	m0.Send(0, 1, 0, 1, []byte("z"), 0)
+	// Every failed dial after the first increments the counter.
+	waitFor(t, "repeated reconnect attempts", func() bool { return rec.Value() >= 2 })
+
+	// Bring the peer up; once connected and drained the counter must freeze.
+	m1, err := NewMesh(addr)
+	if err != nil {
+		t.Fatalf("rebind %s: %v", addr, err)
+	}
+	defer m1.Close()
+	d1 := &delivered{}
+	if err := m1.Start(Config{Local: 1, Epoch: 4, Owner: []int{0, 1},
+		Peers: map[int]string{}, Deliver: d1.fn, Obs: obs.NewRegistry(),
+		PingInterval: -1}); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, "delivery after reconnect", func() bool { return d1.len() == 1 })
+	settled := rec.Value()
+	for i := 0; i < 20; i++ {
+		m0.Send(0, 1, 0, uint32(2+i), []byte("w"), 0)
+	}
+	waitFor(t, "healthy-edge traffic", func() bool { return d1.len() == 21 })
+	if got := rec.Value(); got != settled {
+		t.Fatalf("reconnect counter moved on a healthy edge: %d -> %d", settled, got)
+	}
+}

@@ -111,6 +111,7 @@ func (d *Detector) recv() []rt.Msg {
 type Mux struct {
 	r      *rt.Rank
 	queues map[uint32][]rt.Msg
+	dead   map[uint32]struct{} // retired ids whose late waves are dropped
 }
 
 // NewMux returns a control-plane demultiplexer for the rank.
@@ -135,9 +136,15 @@ func (m *Mux) Detector(id uint32) *Detector {
 }
 
 // poll drains newly arrived control messages into per-instance queues.
+// Messages for retired ids are dropped on the floor: after a forced abort the
+// surviving ranks keep emitting waves for the id until they abort too, and
+// buffering those would pin memory forever.
 func (m *Mux) poll() {
 	for _, msg := range m.r.Recv(rt.KindControl) {
 		id := msg.Tag >> typeBits
+		if _, gone := m.dead[id]; gone {
+			continue
+		}
 		m.queues[id] = append(m.queues[id], msg)
 	}
 }
@@ -156,6 +163,21 @@ func (m *Mux) take(id uint32) []rt.Msg {
 // quiescence plus DONE propagation guarantee no further control traffic for
 // the id.
 func (m *Mux) Release(id uint32) { delete(m.queues, id) }
+
+// Retire drops the instance's buffered messages AND blacklists the id so
+// late-arriving waves are discarded at poll time instead of re-buffered.
+// This is the forced-abort teardown (process failure elsewhere in the
+// cluster): quiescence never happened, so other ranks may still emit control
+// traffic for the id. Ids are never reused within an engine's lifetime, so
+// the blacklist entry (one id per aborted query) is a bounded, permanent
+// tombstone.
+func (m *Mux) Retire(id uint32) {
+	delete(m.queues, id)
+	if m.dead == nil {
+		m.dead = make(map[uint32]struct{})
+	}
+	m.dead[id] = struct{}{}
+}
 
 // CountSent records n visitor sends.
 func (d *Detector) CountSent(n uint64) { d.sent += n }
