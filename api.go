@@ -1,8 +1,9 @@
 // Package havoqgt is the high-level facade over the distributed asynchronous
 // graph framework: build (or generate) a graph once, partitioned with the
 // paper's edge list partitioning across a simulated distributed machine, and
-// run BFS, SSSP, connected components, k-core decomposition, and triangle
-// counting against it with single calls.
+// run BFS (top-down or direction-optimizing), SSSP, connected components,
+// k-core decomposition, PageRank, and triangle counting against it with
+// single calls.
 //
 //	g, _ := havoqgt.GenerateRMAT(16, 42, havoqgt.Options{Ranks: 8})
 //	bfs, _ := g.BFS(0)
@@ -23,6 +24,7 @@ import (
 	"havoqgt/internal/algos/bfs"
 	"havoqgt/internal/algos/cc"
 	"havoqgt/internal/algos/kcore"
+	"havoqgt/internal/algos/pagerank"
 	"havoqgt/internal/algos/sssp"
 	"havoqgt/internal/algos/triangle"
 	"havoqgt/internal/core"
@@ -47,6 +49,13 @@ const Nil = graph.Nil
 // Unreached is the BFS level of vertices the traversal did not reach.
 const Unreached = bfs.Unreached
 
+// MaxPageRankIters bounds a single PageRank query's iteration count.
+const MaxPageRankIters = pagerank.MaxIters
+
+// DefaultPageRankIters is the iteration count a PageRank query with iters = 0
+// actually runs.
+const DefaultPageRankIters = pagerank.DefaultIters
+
 // Options configure the simulated machine and framework features.
 type Options struct {
 	// Ranks is the number of simulated distributed ranks (default 4).
@@ -64,6 +73,12 @@ type Options struct {
 	// when those algorithms run would be unsafe — set it explicitly when
 	// your input has duplicates).
 	Simplify bool
+	// DisableBucketOrder forces SSSP's local scheduler back onto the binary
+	// heap even though the algorithm declares bucketed (delta-stepping)
+	// ordering. A benchmarking knob: results are identical either way, only
+	// the relaxation schedule differs. Applies to both classic traversals
+	// and an attached engine.
+	DisableBucketOrder bool
 }
 
 func (o Options) normalized() Options {
@@ -115,8 +130,8 @@ type Graph struct {
 
 // runExclusive executes one collective machine phase under the graph lock.
 // Fails if an engine currently owns the machine (the caller should have been
-// routed to it; only engine-incapable queries like triangle counting see the
-// error).
+// routed to it; only engine-incapable operations like sampled triangle
+// estimation see the error).
 func (g *Graph) runExclusive(fn func(r *rt.Rank)) error {
 	g.mu.Lock()
 	defer g.mu.Unlock()
@@ -244,7 +259,7 @@ func (g *Graph) Degree(v Vertex) (uint64, error) {
 // algorithms that declare ghost usage.
 func (g *Graph) cfg(rank int, useGhosts bool) core.Config {
 	topo, _ := mailbox.ByName(g.opts.Topology, g.opts.Ranks)
-	c := core.Config{Topology: topo}
+	c := core.Config{Topology: topo, DisableBucketOrder: g.opts.DisableBucketOrder}
 	if useGhosts {
 		c.Ghosts = g.ghosts[rank]
 	}
@@ -291,6 +306,41 @@ func (g *Graph) BFS(source Vertex) (*BFSResult, error) {
 	err := g.runExclusive(func(r *rt.Rank) {
 		part := g.parts[r.Rank()]
 		res := bfs.Run(r, part, source, g.cfg(r.Rank(), true))
+		gather(out.Levels, part, func(i int) uint32 { return res.Level[i] })
+		gather(out.Parents, part, func(i int) Vertex { return res.Parent[i] })
+	})
+	if err != nil {
+		return nil, err
+	}
+	finishBFSResult(out)
+	return out, nil
+}
+
+// BFSDirOpt runs the direction-optimizing BFS from source: top-down sparse
+// phases switch to bottom-up dense-bitmap scans when the frontier grows past
+// the Beamer heuristic thresholds, and back once it shrinks. Levels and
+// parent validity are bit-identical to BFS; only the traversal schedule (and
+// on low-diameter scale-free graphs, the edge examination count) differs.
+// Safe for concurrent use; with an attached engine, routes through it.
+func (g *Graph) BFSDirOpt(source Vertex) (*BFSResult, error) {
+	if uint64(source) >= g.n {
+		return nil, fmt.Errorf("havoqgt: source %d out of range", source)
+	}
+	if e := g.engineOrNil(); e != nil {
+		q, err := e.SubmitBFSDO(source)
+		if err != nil {
+			return nil, err
+		}
+		return q.waitBFS()
+	}
+	out := &BFSResult{
+		Source:  source,
+		Levels:  make([]uint32, g.n),
+		Parents: make([]Vertex, g.n),
+	}
+	err := g.runExclusive(func(r *rt.Rank) {
+		part := g.parts[r.Rank()]
+		res := bfs.RunDO(r, part, source, g.cfg(r.Rank(), false))
 		gather(out.Levels, part, func(i int) uint32 { return res.Level[i] })
 		gather(out.Parents, part, func(i int) Vertex { return res.Parent[i] })
 	})
@@ -420,10 +470,64 @@ func (g *Graph) KCore(k uint32) (*KCoreResult, error) {
 	return out, nil
 }
 
-// CountTriangles counts triangles exactly. The graph must be simple.
-// Unavailable while an engine is attached (triangle counting is not an
-// engine query).
+// PageRankResult holds fixed-point PageRank scores scaled by
+// ref.PRScale (2^40); Ranks[v] / float64(1<<40) recovers the usual
+// probability. The fixed-point arithmetic makes the output bit-identical
+// across rank counts, topologies, and schedules.
+type PageRankResult struct {
+	Iters uint32
+	Ranks []uint64
+}
+
+// PageRank runs the given number of damped PageRank iterations (0 = the
+// default count). Safe for concurrent use; routes through an attached engine.
+func (g *Graph) PageRank(iters uint32) (*PageRankResult, error) {
+	if iters > pagerank.MaxIters {
+		return nil, fmt.Errorf("havoqgt: pagerank iters %d exceeds max %d", iters, pagerank.MaxIters)
+	}
+	if e := g.engineOrNil(); e != nil {
+		q, err := e.SubmitPageRank(iters)
+		if err != nil {
+			return nil, err
+		}
+		return q.waitPageRank()
+	}
+	effective := iters
+	if effective == 0 {
+		effective = pagerank.DefaultIters
+	}
+	out := &PageRankResult{Iters: effective, Ranks: make([]uint64, g.n)}
+	err := g.runExclusive(func(r *rt.Rank) {
+		part := g.parts[r.Rank()]
+		res := pagerank.Run(r, part, iters, g.cfg(r.Rank(), false))
+		gather(out.Ranks, part, func(i int) uint64 { return res.Rank[i] })
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// TrianglesResult holds an exact triangle count.
+type TrianglesResult struct {
+	Count uint64
+}
+
+// CountTriangles counts triangles exactly. Duplicate edges and self loops are
+// ignored, so the graph need not be simplified. Safe for concurrent use;
+// routes through an attached engine.
 func (g *Graph) CountTriangles() (uint64, error) {
+	if e := g.engineOrNil(); e != nil {
+		q, err := e.SubmitTriangles()
+		if err != nil {
+			return 0, err
+		}
+		r, err := q.waitTriangles()
+		if err != nil {
+			return 0, err
+		}
+		return r.Count, nil
+	}
 	counts := make([]uint64, g.opts.Ranks)
 	err := g.runExclusive(func(r *rt.Rank) {
 		res := triangle.Run(r, g.parts[r.Rank()], g.cfg(r.Rank(), false))

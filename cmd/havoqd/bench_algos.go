@@ -1,0 +1,361 @@
+package main
+
+// Algorithm-layer benchmark (`make bench-algos`): per-algorithm before/after
+// comparison of the ISSUE-10 speed & breadth pass, written as BENCH_algos.json.
+//
+// For each algorithm the same query set runs in a "before" variant (the seed
+// implementation) and an "after" variant (this pass's implementation), each
+// measured serialized (classic one-collective-phase-at-a-time, no engine) and
+// concurrent (all queries in flight through the multi-query engine):
+//
+//   - bfs:       top-down-only traversal  vs  direction-optimizing (Beamer)
+//     switching. Results must be hash-identical — DO-BFS changes the
+//     schedule, never the levels.
+//   - sssp:      binary-heap local scheduler (DisableBucketOrder) vs
+//     bucketed delta-stepping calendar. Distances must be hash-identical.
+//   - pagerank:  offline harness (exclusive collective, serialized only — the
+//     seed had no engine path) vs first-class engine query type.
+//   - triangles: same promotion, offline exclusive vs engine query type.
+//
+// Gates (-algo-gates, on by default, enforced by CI): every before/after pair
+// hash-identical, and direction-optimizing BFS strictly faster than top-down
+// on the serialized phase — the low-diameter scale-free regime this graph
+// (RMAT) is generated in is exactly where the heuristic must win.
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"time"
+
+	"havoqgt"
+	"havoqgt/internal/cluster"
+)
+
+type algoVariant struct {
+	Variant    string     `json:"variant"`
+	Serialized benchPhase `json:"serialized"`
+	// Concurrent is zero-valued (Queries == 0) for variants with no engine
+	// path: the seed served pagerank/triangles offline only.
+	Concurrent benchPhase `json:"concurrent"`
+}
+
+type algoComparison struct {
+	Algo    string      `json:"algo"`
+	Queries int         `json:"queries"`
+	Before  algoVariant `json:"before"`
+	After   algoVariant `json:"after"`
+	// SerializedSpeedup is before/after wall time on the serialized phase;
+	// ConcurrentSpeedup compares the concurrent phases, falling back to
+	// before-serialized when the before variant had no concurrent path.
+	SerializedSpeedup float64 `json:"serialized_speedup"`
+	ConcurrentSpeedup float64 `json:"concurrent_speedup"`
+	HashMatch         bool    `json:"hash_match"`
+}
+
+type algoBenchReport struct {
+	Timestamp string           `json:"timestamp"`
+	Scale     uint             `json:"scale"`
+	Ranks     int              `json:"ranks"`
+	Topology  string           `json:"topology"`
+	Vertices  uint64           `json:"vertices"`
+	Edges     uint64           `json:"edges"`
+	Gates     bool             `json:"gates_enforced"`
+	Algos     []algoComparison `json:"algos"`
+}
+
+// Query counts per algorithm: enough sources to average over the scale-free
+// degree skew for the point queries, fewer repetitions for the whole-graph
+// kernels (triangle counting touches every wedge; two runs suffice to show
+// the engine interleaving them).
+const (
+	algoBFSSources  = 8
+	algoSSSPSources = 6
+	algoPRRuns      = 4
+	algoPRIters     = 10
+	algoTriRuns     = 2
+)
+
+// bfsWork builds the BFS query set; dirOpt selects the traversal variant.
+func bfsWork(n uint64, dirOpt bool) []benchQuery {
+	w := make([]benchQuery, algoBFSSources)
+	for i := range w {
+		src := havoqgt.Vertex(splitmix64(uint64(i)*0x51ED+7) % n)
+		w[i] = benchQuery{name: "bfs", run: func(g *havoqgt.Graph) (uint64, error) {
+			var res *havoqgt.BFSResult
+			var err error
+			if dirOpt {
+				res, err = g.BFSDirOpt(src)
+			} else {
+				res, err = g.BFS(src)
+			}
+			if err != nil {
+				return 0, err
+			}
+			return cluster.HashU32s(res.Levels), nil
+		}}
+	}
+	return w
+}
+
+// ssspWork builds the SSSP query set; the scheduler variant is a property of
+// the graph it runs on (Options.DisableBucketOrder), not of the query.
+func ssspWork(n uint64) []benchQuery {
+	w := make([]benchQuery, algoSSSPSources)
+	for i := range w {
+		src := havoqgt.Vertex(splitmix64(uint64(i)*0xD317+3) % n)
+		seed := uint64(i + 1)
+		w[i] = benchQuery{name: "sssp", run: func(g *havoqgt.Graph) (uint64, error) {
+			res, err := g.ShortestPaths(src, seed)
+			if err != nil {
+				return 0, err
+			}
+			return cluster.HashU64s(res.Distances), nil
+		}}
+	}
+	return w
+}
+
+func pagerankWork() []benchQuery {
+	w := make([]benchQuery, algoPRRuns)
+	for i := range w {
+		w[i] = benchQuery{name: "pagerank", run: func(g *havoqgt.Graph) (uint64, error) {
+			res, err := g.PageRank(algoPRIters)
+			if err != nil {
+				return 0, err
+			}
+			return cluster.HashU64s(res.Ranks), nil
+		}}
+	}
+	return w
+}
+
+func trianglesWork() []benchQuery {
+	w := make([]benchQuery, algoTriRuns)
+	for i := range w {
+		w[i] = benchQuery{name: "triangles", run: func(g *havoqgt.Graph) (uint64, error) {
+			return g.CountTriangles()
+		}}
+	}
+	return w
+}
+
+// runEngineSerialized executes the workload one query at a time through an
+// engine — the after-variant's serialized regime, isolating the engine's
+// per-query overhead from its interleaving benefit.
+func runEngineSerialized(g *havoqgt.Graph, work []benchQuery, opts havoqgt.EngineOptions) (benchPhase, error) {
+	e, err := g.StartEngine(opts)
+	if err != nil {
+		return benchPhase{}, err
+	}
+	lats := make([]time.Duration, len(work))
+	var hash uint64
+	start := time.Now()
+	for i, q := range work {
+		t := time.Now()
+		h, err := q.run(g)
+		if err != nil {
+			e.Close()
+			return benchPhase{}, fmt.Errorf("engine-serialized %s #%d: %w", q.name, i, err)
+		}
+		lats[i] = time.Since(t)
+		hash += h
+	}
+	wall := time.Since(start)
+	if err := e.Close(); err != nil {
+		return benchPhase{}, err
+	}
+	return summarize(lats, wall, 1, hash), nil
+}
+
+// measureVariant runs one variant's serialized and concurrent phases.
+func measureVariant(g *havoqgt.Graph, name string, work []benchQuery, o *options) (algoVariant, error) {
+	ser, err := runSerialized(g, work)
+	if err != nil {
+		return algoVariant{}, fmt.Errorf("%s serialized: %w", name, err)
+	}
+	con, err := runConcurrent(g, work, havoqgt.EngineOptions{
+		MaxInFlight: o.maxInFlight,
+		MaxQueue:    len(work),
+		StepBatch:   o.stepBatch,
+	})
+	if err != nil {
+		return algoVariant{}, fmt.Errorf("%s concurrent: %w", name, err)
+	}
+	return algoVariant{Variant: name, Serialized: ser, Concurrent: con}, nil
+}
+
+// hashesAgree checks that every measured phase of the pair produced the same
+// summed result hash (phases with zero queries are skipped).
+func hashesAgree(before, after algoVariant) bool {
+	want := before.Serialized.ResultHash
+	for _, ph := range []benchPhase{before.Concurrent, after.Serialized, after.Concurrent} {
+		if ph.Queries > 0 && ph.ResultHash != want {
+			return false
+		}
+	}
+	return true
+}
+
+func finishComparison(algo string, queries int, before, after algoVariant) algoComparison {
+	c := algoComparison{Algo: algo, Queries: queries, Before: before, After: after,
+		HashMatch: hashesAgree(before, after)}
+	if after.Serialized.Queries > 0 && after.Serialized.WallMS > 0 {
+		c.SerializedSpeedup = before.Serialized.WallMS / after.Serialized.WallMS
+	}
+	if after.Concurrent.WallMS > 0 {
+		base := before.Concurrent.WallMS
+		if before.Concurrent.Queries == 0 {
+			base = before.Serialized.WallMS
+		}
+		c.ConcurrentSpeedup = base / after.Concurrent.WallMS
+	}
+	return c
+}
+
+func algobench(o *options) error {
+	fmt.Printf("havoqd: algobench: building scale-%d %s graph on %d ranks (topo %s)\n",
+		o.scale, o.model, o.ranks, o.topo)
+	g, err := buildGraph(o)
+	if err != nil {
+		return err
+	}
+	// The sssp before-variant is a scheduler property of the graph config, so
+	// it needs its own (identical, same seed) build with the heap forced.
+	heapOpts := havoqgt.Options{Ranks: o.ranks, Topology: o.topo, Simplify: o.simplify,
+		DisableBucketOrder: true}
+	gHeap, err := havoqgt.GenerateRMAT(o.scale, o.seed, heapOpts)
+	if err != nil {
+		return err
+	}
+	n := g.NumVertices()
+
+	rep := algoBenchReport{
+		Timestamp: time.Now().UTC().Format(time.RFC3339),
+		Scale:     o.scale,
+		Ranks:     o.ranks,
+		Topology:  o.topo,
+		Vertices:  n,
+		Edges:     g.NumEdges(),
+		Gates:     o.algoGates,
+	}
+
+	// --- bfs: top-down vs direction-optimizing, same graph ---
+	fmt.Printf("havoqd: algobench: bfs (%d sources): top_down vs direction_optimizing\n", algoBFSSources)
+	bfsBefore, err := measureVariant(g, "top_down", bfsWork(n, false), o)
+	if err != nil {
+		return err
+	}
+	bfsAfter, err := measureVariant(g, "direction_optimizing", bfsWork(n, true), o)
+	if err != nil {
+		return err
+	}
+	rep.Algos = append(rep.Algos, finishComparison("bfs", algoBFSSources, bfsBefore, bfsAfter))
+
+	// --- sssp: binary heap vs delta-stepping calendar ---
+	fmt.Printf("havoqd: algobench: sssp (%d sources): binary_heap vs delta_stepping\n", algoSSSPSources)
+	ssspBefore, err := measureVariant(gHeap, "binary_heap", ssspWork(n), o)
+	if err != nil {
+		return err
+	}
+	ssspAfter, err := measureVariant(g, "delta_stepping", ssspWork(n), o)
+	if err != nil {
+		return err
+	}
+	rep.Algos = append(rep.Algos, finishComparison("sssp", algoSSSPSources, ssspBefore, ssspAfter))
+
+	// --- pagerank: offline exclusive (seed) vs engine query type ---
+	fmt.Printf("havoqd: algobench: pagerank (%d runs, %d iters): offline vs engine query\n", algoPRRuns, algoPRIters)
+	prSer, err := runSerialized(g, pagerankWork())
+	if err != nil {
+		return fmt.Errorf("pagerank offline: %w", err)
+	}
+	prBefore := algoVariant{Variant: "offline_exclusive", Serialized: prSer}
+	prAfter, err := measureEngineVariant(g, "engine_query", pagerankWork(), o)
+	if err != nil {
+		return err
+	}
+	rep.Algos = append(rep.Algos, finishComparison("pagerank", algoPRRuns, prBefore, prAfter))
+
+	// --- triangles: offline exclusive (seed) vs engine query type ---
+	fmt.Printf("havoqd: algobench: triangles (%d runs): offline vs engine query\n", algoTriRuns)
+	triSer, err := runSerialized(g, trianglesWork())
+	if err != nil {
+		return fmt.Errorf("triangles offline: %w", err)
+	}
+	triBefore := algoVariant{Variant: "offline_exclusive", Serialized: triSer}
+	triAfter, err := measureEngineVariant(g, "engine_query", trianglesWork(), o)
+	if err != nil {
+		return err
+	}
+	rep.Algos = append(rep.Algos, finishComparison("triangles", algoTriRuns, triBefore, triAfter))
+
+	for _, c := range rep.Algos {
+		fmt.Printf("havoqd: algobench:   %-9s %s -> %s: serialized %.2fx, concurrent %.2fx, hash_match=%v\n",
+			c.Algo, c.Before.Variant, c.After.Variant, c.SerializedSpeedup, c.ConcurrentSpeedup, c.HashMatch)
+	}
+
+	out := o.algosOut
+	if out == "" {
+		out = "BENCH_algos.json"
+	}
+	f, err := os.Create(out)
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(&rep); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	fmt.Printf("havoqd: algobench: wrote %s\n", out)
+
+	if o.algoGates {
+		return algoGates(&rep)
+	}
+	return nil
+}
+
+// measureEngineVariant measures an engine-served variant: serialized through
+// the engine one query at a time, then all at once.
+func measureEngineVariant(g *havoqgt.Graph, name string, work []benchQuery, o *options) (algoVariant, error) {
+	opts := havoqgt.EngineOptions{MaxInFlight: o.maxInFlight, MaxQueue: len(work), StepBatch: o.stepBatch}
+	ser, err := runEngineSerialized(g, work, opts)
+	if err != nil {
+		return algoVariant{}, fmt.Errorf("%s serialized: %w", name, err)
+	}
+	con, err := runConcurrent(g, work, opts)
+	if err != nil {
+		return algoVariant{}, fmt.Errorf("%s concurrent: %w", name, err)
+	}
+	return algoVariant{Variant: name, Serialized: ser, Concurrent: con}, nil
+}
+
+// algoGates enforces the pass/fail acceptance gates CI runs with.
+func algoGates(rep *algoBenchReport) error {
+	var failures []string
+	for _, c := range rep.Algos {
+		if !c.HashMatch {
+			failures = append(failures, fmt.Sprintf(
+				"%s: %s and %s results diverge (before hash %d)", c.Algo,
+				c.Before.Variant, c.After.Variant, c.Before.Serialized.ResultHash))
+		}
+		if c.Algo == "bfs" && c.SerializedSpeedup <= 1.0 {
+			failures = append(failures, fmt.Sprintf(
+				"bfs: direction-optimizing speedup %.3fx over top-down (serialized) — must beat 1.0x in the low-diameter regime",
+				c.SerializedSpeedup))
+		}
+	}
+	if len(failures) > 0 {
+		for _, f := range failures {
+			fmt.Printf("havoqd: algobench: GATE FAIL %s\n", f)
+		}
+		return fmt.Errorf("algobench: %d gate violation(s)", len(failures))
+	}
+	fmt.Println("havoqd: algobench: all gates passed")
+	return nil
+}

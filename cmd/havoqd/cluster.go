@@ -246,6 +246,7 @@ func (s *coordServer) collapseKey(req *queryRequest) traffic.Key {
 		Source:     req.Source,
 		WeightSeed: req.WeightSeed,
 		K:          req.K,
+		Iters:      req.Iters,
 		Full:       req.Full,
 		DeadlineMS: req.DeadlineMS,
 		Version:    1,
@@ -263,6 +264,7 @@ func (s *coordServer) execute(ctx context.Context, req *queryRequest) ([]byte, e
 		Source:     graph.Vertex(req.Source),
 		WeightSeed: req.WeightSeed,
 		K:          req.K,
+		Iters:      req.Iters,
 	}
 	if req.DeadlineMS > 0 {
 		spec.Deadline = time.Duration(req.DeadlineMS) * time.Millisecond
@@ -341,6 +343,16 @@ func (s *coordServer) execute(ctx context.Context, req *queryRequest) ([]byte, e
 			if req.Full {
 				resp.InCore = res.InCore
 			}
+		case res.Ranks != nil:
+			resp.Iters = req.Iters
+			if resp.Iters == 0 {
+				resp.Iters = havoqgt.DefaultPageRankIters
+			}
+			if req.Full {
+				resp.Ranks = res.Ranks
+			}
+		default: // triangles: scalar-only result
+			resp.Triangles = res.Triangles
 		}
 		return json.Marshal(resp)
 	}
@@ -349,17 +361,21 @@ func (s *coordServer) execute(ctx context.Context, req *queryRequest) ([]byte, e
 // validate rejects malformed parameters before any quota or cluster work.
 func (s *coordServer) validate(req *queryRequest) error {
 	switch req.Algo {
-	case "bfs", "sssp":
+	case "bfs", "bfs_do", "sssp":
 		if req.Source >= s.c.NumVertices() {
 			return fmt.Errorf("source %d out of range (n=%d)", req.Source, s.c.NumVertices())
 		}
-	case "cc":
+	case "cc", "triangles":
 	case "kcore":
 		if req.K < 1 {
 			return fmt.Errorf("kcore needs k >= 1")
 		}
+	case "pagerank":
+		if req.Iters > havoqgt.MaxPageRankIters {
+			return fmt.Errorf("pagerank iters %d exceeds max %d", req.Iters, havoqgt.MaxPageRankIters)
+		}
 	default:
-		return fmt.Errorf("unknown algo %q (want bfs|sssp|cc|kcore)", req.Algo)
+		return fmt.Errorf("unknown algo %q (want bfs|bfs_do|sssp|cc|kcore|pagerank|triangles)", req.Algo)
 	}
 	return nil
 }
@@ -549,10 +565,15 @@ func clusterSmoke(o *options) error {
 		src := graph.Vertex(splitmix64(uint64(i)*0x9e37+42) % n)
 		cases = append(cases,
 			smokeCase{fmt.Sprintf("bfs(%d)", src), engine.Spec{Algo: engine.AlgoBFS, Source: src}},
+			smokeCase{fmt.Sprintf("bfs_do(%d)", src), engine.Spec{Algo: engine.AlgoBFSDO, Source: src}},
 			smokeCase{fmt.Sprintf("sssp(%d)", src), engine.Spec{Algo: engine.AlgoSSSP, Source: src, WeightSeed: uint64(i)}},
 		)
 	}
-	cases = append(cases, smokeCase{"cc", engine.Spec{Algo: engine.AlgoCC}})
+	cases = append(cases,
+		smokeCase{"cc", engine.Spec{Algo: engine.AlgoCC}},
+		smokeCase{"pagerank", engine.Spec{Algo: engine.AlgoPageRank, Iters: 8}},
+		smokeCase{"triangles", engine.Spec{Algo: engine.AlgoTriangles}},
+	)
 
 	clusterHashes := make([]uint64, len(cases))
 	queries := make([]*cluster.Query, len(cases))
@@ -588,7 +609,9 @@ func clusterSmoke(o *options) error {
 	refHashes := make([]uint64, len(cases))
 	for i, tc := range cases {
 		switch tc.spec.Algo {
-		case engine.AlgoBFS:
+		case engine.AlgoBFS, engine.AlgoBFSDO:
+			// bfs_do's levels must hash-match the plain top-down BFS: same
+			// fixpoint, different traversal schedule.
 			res, err := g.BFS(tc.spec.Source)
 			if err != nil {
 				return err
@@ -606,6 +629,18 @@ func clusterSmoke(o *options) error {
 				return err
 			}
 			refHashes[i] = cluster.HashVertices(res.Labels)
+		case engine.AlgoPageRank:
+			res, err := g.PageRank(tc.spec.Iters)
+			if err != nil {
+				return err
+			}
+			refHashes[i] = cluster.HashU64s(res.Ranks)
+		case engine.AlgoTriangles:
+			count, err := g.CountTriangles()
+			if err != nil {
+				return err
+			}
+			refHashes[i] = cluster.HashU64s([]uint64{count})
 		}
 	}
 
@@ -653,8 +688,14 @@ func clusterWorkload(n uint64, queries int, simplify bool) []engine.Spec {
 		switch {
 		case i == 5:
 			specs = append(specs, engine.Spec{Algo: engine.AlgoCC})
+		case i == 7:
+			specs = append(specs, engine.Spec{Algo: engine.AlgoPageRank, Iters: 8})
+		case i == 9:
+			specs = append(specs, engine.Spec{Algo: engine.AlgoTriangles})
 		case i == 11 && simplify:
 			specs = append(specs, engine.Spec{Algo: engine.AlgoKCore, K: 2})
+		case i%4 == 2:
+			specs = append(specs, engine.Spec{Algo: engine.AlgoBFSDO, Source: src})
 		case i%2 == 0:
 			specs = append(specs, engine.Spec{Algo: engine.AlgoBFS, Source: src})
 		default:
@@ -779,7 +820,7 @@ func clusterBench(o *options) error {
 		Ranks:     o.ranks,
 		Topology:  o.topo,
 		Vertices:  n,
-		Workload: fmt.Sprintf("%d queries over %d worker processes (TCP loopback): bfs/sssp mix + cc + kcore",
+		Workload: fmt.Sprintf("%d queries over %d worker processes (TCP loopback): bfs/bfs_do/sssp mix + cc + pagerank + triangles + kcore",
 			len(work), o.workers),
 		Serialized: ser,
 		Concurrent: con,

@@ -25,14 +25,17 @@ import (
 
 // queryRequest is the POST /query body.
 type queryRequest struct {
-	// Algo selects the traversal: "bfs", "sssp", "cc", or "kcore".
+	// Algo selects the query: "bfs", "bfs_do" (direction-optimizing BFS,
+	// identical levels), "sssp", "cc", "kcore", "pagerank", or "triangles".
 	Algo string `json:"algo"`
-	// Source is the start vertex for bfs and sssp.
+	// Source is the start vertex for bfs, bfs_do, and sssp.
 	Source uint64 `json:"source"`
 	// WeightSeed keys the synthesized edge weights for sssp.
 	WeightSeed uint64 `json:"weight_seed"`
 	// K is the core number for kcore (>= 1).
 	K uint32 `json:"k"`
+	// Iters is the pagerank iteration count (0 = default).
+	Iters uint32 `json:"iters"`
 	// DeadlineMS cancels the query if it is still running after this many
 	// milliseconds (0 = server default).
 	DeadlineMS int64 `json:"deadline_ms"`
@@ -56,12 +59,15 @@ type queryResponse struct {
 	MaxDist    uint64 `json:"max_dist,omitempty"`
 	Components uint64 `json:"components,omitempty"`
 	CoreSize   uint64 `json:"core_size,omitempty"`
+	Triangles  uint64 `json:"triangles,omitempty"`
+	Iters      uint32 `json:"iters,omitempty"`
 
 	Levels    []uint32         `json:"levels,omitempty"`
 	Distances []uint64         `json:"distances,omitempty"`
 	Parents   []havoqgt.Vertex `json:"parents,omitempty"`
 	Labels    []havoqgt.Vertex `json:"labels,omitempty"`
 	InCore    []bool           `json:"in_core,omitempty"`
+	Ranks     []uint64         `json:"ranks,omitempty"`
 }
 
 // Machine-readable error codes: every 4xx/5xx body carries one, so load
@@ -217,37 +223,35 @@ func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
 // work is attempted.
 func (s *server) validate(req *queryRequest) error {
 	switch req.Algo {
-	case "bfs", "sssp":
+	case "bfs", "bfs_do", "sssp":
 		if req.Source >= s.g.NumVertices() {
 			return fmt.Errorf("source %d out of range (n=%d)", req.Source, s.g.NumVertices())
 		}
-	case "cc":
+	case "cc", "triangles":
 	case "kcore":
 		if req.K < 1 {
 			return fmt.Errorf("kcore needs k >= 1")
 		}
+	case "pagerank":
+		if req.Iters > havoqgt.MaxPageRankIters {
+			return fmt.Errorf("pagerank iters %d exceeds max %d", req.Iters, havoqgt.MaxPageRankIters)
+		}
 	default:
-		return fmt.Errorf("unknown algo %q (want bfs|sssp|cc|kcore)", req.Algo)
+		return fmt.Errorf("unknown algo %q (want bfs|bfs_do|sssp|cc|kcore|pagerank|triangles)", req.Algo)
 	}
 	return nil
 }
 
 // submit hands a validated request to the engine.
 func (s *server) submit(req *queryRequest) (*havoqgt.Query, error) {
-	if req.DeadlineMS > 0 {
-		return s.e.SubmitWithDeadline(req.Algo, havoqgt.Vertex(req.Source), req.WeightSeed, req.K,
-			time.Duration(req.DeadlineMS)*time.Millisecond)
-	}
-	switch req.Algo {
-	case "bfs":
-		return s.e.SubmitBFS(havoqgt.Vertex(req.Source))
-	case "sssp":
-		return s.e.SubmitSSSP(havoqgt.Vertex(req.Source), req.WeightSeed)
-	case "cc":
-		return s.e.SubmitComponents()
-	default:
-		return s.e.SubmitKCore(req.K)
-	}
+	return s.e.SubmitQuery(havoqgt.QuerySpec{
+		Algo:       req.Algo,
+		Source:     havoqgt.Vertex(req.Source),
+		WeightSeed: req.WeightSeed,
+		K:          req.K,
+		Iters:      req.Iters,
+		Deadline:   time.Duration(req.DeadlineMS) * time.Millisecond,
+	})
 }
 
 // collapseKey is the identity under which identical requests collapse and
@@ -259,6 +263,7 @@ func (s *server) collapseKey(req *queryRequest) traffic.Key {
 		Source:     req.Source,
 		WeightSeed: req.WeightSeed,
 		K:          req.K,
+		Iters:      req.Iters,
 		Full:       req.Full,
 		DeadlineMS: req.DeadlineMS,
 		Version:    s.g.Version(),
@@ -336,6 +341,13 @@ func (s *server) execute(ctx context.Context, req *queryRequest) ([]byte, error)
 		if req.Full {
 			resp.InCore = res.KCore.InCore
 		}
+	case res.PageRank != nil:
+		resp.Iters = res.PageRank.Iters
+		if req.Full {
+			resp.Ranks = res.PageRank.Ranks
+		}
+	case res.Triangles != nil:
+		resp.Triangles = res.Triangles.Count
 	}
 	return json.Marshal(resp)
 }

@@ -114,6 +114,20 @@ func TestServerEndpoints(t *testing.T) {
 	if code, qr, er := postQuery(t, ts, queryRequest{Algo: "kcore", K: 2}); code != http.StatusOK || qr.CoreSize == 0 {
 		t.Fatalf("kcore: status %d core %d: %s", code, qr.CoreSize, er.Reason)
 	}
+	code, doQR, er := postQuery(t, ts, queryRequest{Algo: "bfs_do", Source: 3})
+	if code != http.StatusOK || doQR.Reached == 0 {
+		t.Fatalf("bfs_do: status %d reached %d: %s", code, doQR.Reached, er.Reason)
+	}
+	if doQR.Reached != want.Reached || doQR.MaxLevel != want.MaxLevel {
+		t.Fatalf("bfs_do summary (%d, %d) != top-down bfs (%d, %d)",
+			doQR.Reached, doQR.MaxLevel, want.Reached, want.MaxLevel)
+	}
+	if code, qr, er := postQuery(t, ts, queryRequest{Algo: "pagerank", Iters: 6}); code != http.StatusOK || qr.Iters != 6 {
+		t.Fatalf("pagerank: status %d iters %d: %s", code, qr.Iters, er.Reason)
+	}
+	if code, _, er := postQuery(t, ts, queryRequest{Algo: "triangles"}); code != http.StatusOK {
+		t.Fatalf("triangles: status %d: %s", code, er.Reason)
+	}
 
 	// Stats is valid JSON with engine counters.
 	res, err = http.Get(ts.URL + "/stats")
@@ -137,9 +151,11 @@ func TestServerRejectsBadRequests(t *testing.T) {
 		req  queryRequest
 		code int
 	}{
-		{"unknown algo", queryRequest{Algo: "pagerank"}, http.StatusBadRequest},
+		{"unknown algo", queryRequest{Algo: "betweenness"}, http.StatusBadRequest},
 		{"source out of range", queryRequest{Algo: "bfs", Source: 1 << 40}, http.StatusBadRequest},
+		{"bfs_do source out of range", queryRequest{Algo: "bfs_do", Source: 1 << 40}, http.StatusBadRequest},
 		{"kcore k=0", queryRequest{Algo: "kcore"}, http.StatusBadRequest},
+		{"pagerank iters over cap", queryRequest{Algo: "pagerank", Iters: 1000}, http.StatusBadRequest},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {

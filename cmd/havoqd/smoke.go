@@ -20,7 +20,7 @@ import (
 	"havoqgt"
 )
 
-// smokeSpec builds the i-th smoke query: a mix of all four algorithms,
+// smokeSpec builds the i-th smoke query: a mix of every query type,
 // BFS/SSSP from spread-out sources.
 func smokeSpec(i int, n uint64) queryRequest {
 	switch {
@@ -28,6 +28,12 @@ func smokeSpec(i int, n uint64) queryRequest {
 		return queryRequest{Algo: "cc"}
 	case i%10 == 8:
 		return queryRequest{Algo: "kcore", K: uint32(2 + i%3)}
+	case i%10 == 7:
+		return queryRequest{Algo: "pagerank", Iters: uint32(4 + i%8)}
+	case i%10 == 5:
+		return queryRequest{Algo: "triangles"}
+	case i%10 == 3:
+		return queryRequest{Algo: "bfs_do", Source: uint64(i*41) % n}
 	case i%2 == 0:
 		return queryRequest{Algo: "bfs", Source: uint64(i*37) % n}
 	default:

@@ -89,8 +89,16 @@ func TestEngineBackedFacadeCalls(t *testing.T) {
 	if _, err := g.StartEngine(EngineOptions{}); err == nil {
 		t.Error("second StartEngine should fail while one is attached")
 	}
-	if _, err := g.CountTriangles(); err == nil {
-		t.Error("CountTriangles should fail while an engine is attached")
+	// CountTriangles is an engine query type now; with an engine attached it
+	// must route through it and agree with the reference. The genuinely
+	// engine-incapable operation is sampled triangle estimation.
+	if count, err := g.CountTriangles(); err != nil {
+		t.Errorf("engine-routed CountTriangles: %v", err)
+	} else if want := ref.CountTriangles(ref.BuildAdj(graph.Simplify(graph.Undirect(edges)), n)); count != want {
+		t.Errorf("engine-routed CountTriangles: %d, want %d", count, want)
+	}
+	if _, err := g.EstimateTriangles(0.5, 1); err == nil {
+		t.Error("EstimateTriangles should fail while an engine is attached")
 	}
 
 	var wg sync.WaitGroup

@@ -60,9 +60,9 @@ type Engine struct {
 }
 
 // StartEngine attaches a multi-query engine to the graph. While attached,
-// the engine owns the simulated machine: Graph traversal methods route
-// through it, and machine-exclusive operations (triangle counting) fail
-// until Close.
+// the engine owns the simulated machine: Graph traversal methods (including
+// PageRank and CountTriangles) route through it, and classic collective
+// operations fail until Close.
 func (g *Graph) StartEngine(opts EngineOptions) (*Engine, error) {
 	g.mu.Lock()
 	defer g.mu.Unlock()
@@ -88,10 +88,11 @@ func (g *Graph) StartEngine(opts EngineOptions) (*Engine, error) {
 		Topology: g.opts.Topology,
 		Pagers:   pagers,
 	}, engine.Options{
-		MaxInFlight: opts.MaxInFlight,
-		MaxQueue:    opts.MaxQueue,
-		StepBatch:   opts.StepBatch,
-		Reliable:    opts.Reliable,
+		MaxInFlight:        opts.MaxInFlight,
+		MaxQueue:           opts.MaxQueue,
+		StepBatch:          opts.StepBatch,
+		Reliable:           opts.Reliable,
+		DisableBucketOrder: g.opts.DisableBucketOrder,
 	})
 	if err != nil {
 		return nil, err
@@ -166,9 +167,11 @@ func (q *Query) wait() (*engine.Result, error) {
 }
 
 // Resume resubmits a finished, cancelled query as a new attempt. For the
-// label-setting algorithms (bfs, sssp, cc) the new attempt is seeded from the
-// cancelled run's checkpoint, so the paid-for traversal progress carries
-// over; kcore has no checkpointable state and restarts from scratch. The new
+// resumable algorithms (those whose Algo.Resumable capability is set: bfs,
+// sssp, cc) the new attempt is seeded from the cancelled run's checkpoint, so
+// the paid-for traversal progress carries over; the rest (kcore, pagerank,
+// triangles, bfs_do) carry no per-vertex monotone label and restart from
+// scratch. The new
 // attempt's deadline is d, or twice the previous attempt's when d is zero —
 // so a caller retrying in a loop gets a geometrically growing budget and
 // terminates. Resuming a still-running or cleanly completed query fails.
@@ -266,13 +269,15 @@ type QueryResult struct {
 	SSSP       *SSSPResult
 	Components *ComponentsResult
 	KCore      *KCoreResult
+	PageRank   *PageRankResult
+	Triangles  *TrianglesResult
 }
 
 // Wait blocks until the query completes and returns its result, or
 // ErrQueryCancelled.
 func (q *Query) Wait() (*QueryResult, error) {
 	switch q.algo {
-	case engine.AlgoBFS:
+	case engine.AlgoBFS, engine.AlgoBFSDO:
 		r, err := q.waitBFS()
 		if err != nil {
 			return nil, err
@@ -296,6 +301,18 @@ func (q *Query) Wait() (*QueryResult, error) {
 			return nil, err
 		}
 		return &QueryResult{KCore: r}, nil
+	case engine.AlgoPageRank:
+		r, err := q.waitPageRank()
+		if err != nil {
+			return nil, err
+		}
+		return &QueryResult{PageRank: r}, nil
+	case engine.AlgoTriangles:
+		r, err := q.waitTriangles()
+		if err != nil {
+			return nil, err
+		}
+		return &QueryResult{Triangles: r}, nil
 	}
 	return nil, fmt.Errorf("havoqgt: unknown query algorithm %q", q.algo)
 }
@@ -334,6 +351,26 @@ func (q *Query) waitKCore() (*KCoreResult, error) {
 	return &KCoreResult{K: q.k, InCore: res.InCore, CoreSize: res.CoreSize}, nil
 }
 
+func (q *Query) waitPageRank() (*PageRankResult, error) {
+	res, err := q.wait()
+	if err != nil {
+		return nil, err
+	}
+	iters := q.spec.Iters
+	if iters == 0 {
+		iters = DefaultPageRankIters
+	}
+	return &PageRankResult{Iters: iters, Ranks: res.Ranks}, nil
+}
+
+func (q *Query) waitTriangles() (*TrianglesResult, error) {
+	res, err := q.wait()
+	if err != nil {
+		return nil, err
+	}
+	return &TrianglesResult{Count: res.Triangles}, nil
+}
+
 // submit wraps engine admission with the facade's default deadline.
 func (e *Engine) submit(spec engine.Spec, src Vertex) (*Query, error) {
 	if spec.Deadline == 0 {
@@ -365,6 +402,46 @@ func (e *Engine) SubmitComponents() (*Query, error) {
 // be simple (Options.Simplify).
 func (e *Engine) SubmitKCore(k uint32) (*Query, error) {
 	return e.submit(engine.Spec{Algo: engine.AlgoKCore, K: k}, 0)
+}
+
+// SubmitBFSDO starts an asynchronous direction-optimizing BFS from source.
+// Its Levels are hash-identical to SubmitBFS on the same graph; only the
+// traversal schedule (and typically the runtime) differs.
+func (e *Engine) SubmitBFSDO(source Vertex) (*Query, error) {
+	return e.submit(engine.Spec{Algo: engine.AlgoBFSDO, Source: source}, source)
+}
+
+// SubmitPageRank starts an asynchronous fixed-point PageRank query. iters = 0
+// runs the default iteration count; values beyond the per-query cap are
+// rejected at admission.
+func (e *Engine) SubmitPageRank(iters uint32) (*Query, error) {
+	return e.submit(engine.Spec{Algo: engine.AlgoPageRank, Iters: iters}, 0)
+}
+
+// SubmitTriangles starts an asynchronous exact triangle count. Duplicate
+// edges and self-loops are ignored, so the graph need not be simplified.
+func (e *Engine) SubmitTriangles() (*Query, error) {
+	return e.submit(engine.Spec{Algo: engine.AlgoTriangles}, 0)
+}
+
+// QuerySpec names a query generically, for serving layers that receive the
+// algorithm as a string. Fields irrelevant to the algorithm are ignored.
+type QuerySpec struct {
+	Algo       string
+	Source     Vertex
+	WeightSeed uint64
+	K          uint32
+	Iters      uint32
+	Deadline   time.Duration
+}
+
+// SubmitQuery starts the query described by a generic spec.
+func (e *Engine) SubmitQuery(qs QuerySpec) (*Query, error) {
+	spec := engine.Spec{
+		Algo: engine.Algo(qs.Algo), Source: qs.Source, WeightSeed: qs.WeightSeed,
+		K: qs.K, Iters: qs.Iters, Deadline: qs.Deadline,
+	}
+	return e.submit(spec, qs.Source)
 }
 
 // SubmitWithDeadline is like the Submit helpers but cancels the query if it

@@ -1,0 +1,104 @@
+package pagerank_test
+
+import (
+	"testing"
+
+	"havoqgt/internal/algos/algotest"
+	"havoqgt/internal/algos/pagerank"
+	"havoqgt/internal/core"
+	"havoqgt/internal/generators"
+	"havoqgt/internal/graph"
+	"havoqgt/internal/mailbox"
+	"havoqgt/internal/partition"
+	"havoqgt/internal/ref"
+	"havoqgt/internal/rt"
+	"havoqgt/internal/xrand"
+)
+
+func runDistributed(t *testing.T, edges []graph.Edge, n uint64, p int, iters uint32,
+	mkCfg func(part *partition.Part) core.Config) []uint64 {
+	t.Helper()
+	g := algotest.NewGathered(n)
+	algotest.RunOnParts(t, edges, n, p, partition.BuildEdgeList, func(r *rt.Rank, part *partition.Part) {
+		res := pagerank.Run(r, part, iters, mkCfg(part))
+		g.Set(part, func(v graph.Vertex) uint64 {
+			i, _ := part.LocalIndex(v)
+			return res.Rank[i]
+		})
+	})
+	return g.Values
+}
+
+func defaultCfg(part *partition.Part) core.Config { return core.Config{} }
+
+func randomMultigraph(n uint64, m int, seed uint64) []graph.Edge {
+	rng := xrand.New(seed)
+	edges := make([]graph.Edge, m)
+	for i := range edges {
+		edges[i] = graph.Edge{Src: graph.Vertex(rng.Uint64n(n)), Dst: graph.Vertex(rng.Uint64n(n))}
+	}
+	return graph.Undirect(edges) // keeps duplicates and self-loops
+}
+
+// TestPageRankMatchesReference: the asynchronous counted-completion kernel
+// must be bit-identical to the synchronous fixed-point reference — on
+// multigraphs (duplicate edges and self-loops count with multiplicity),
+// across rank counts.
+func TestPageRankMatchesReference(t *testing.T) {
+	edges := randomMultigraph(48, 150, 7)
+	adj := ref.BuildAdj(edges, 48)
+	want := ref.PageRank(adj, 10)
+	for _, p := range []int{1, 2, 4, 8} {
+		got := runDistributed(t, edges, 48, p, 10, defaultCfg)
+		for v := range got {
+			if got[v] != want[v] {
+				t.Fatalf("p=%d: rank(%d) = %d, ref says %d", p, v, got[v], want[v])
+			}
+		}
+	}
+}
+
+// TestPageRankOnRMAT: the scale-free regime with hubs (split adjacency
+// lists, replica-chain emits) and isolated vertices.
+func TestPageRankOnRMAT(t *testing.T) {
+	g := generators.NewGraph500(9, 8)
+	edges := graph.Undirect(g.Generate())
+	n := g.NumVertices()
+	want := ref.PageRank(ref.BuildAdj(edges, n), pagerank.DefaultIters)
+	got := runDistributed(t, edges, n, 4, 0, defaultCfg) // 0 → DefaultIters
+	for v := range got {
+		if got[v] != want[v] {
+			t.Fatalf("rank(%d) = %d, ref says %d", v, got[v], want[v])
+		}
+	}
+}
+
+// TestPageRankRoutedTopology: grid routing reorders message delivery; the
+// counted-completion clock must still produce identical results.
+func TestPageRankRoutedTopology(t *testing.T) {
+	edges := randomMultigraph(64, 200, 21)
+	want := ref.PageRank(ref.BuildAdj(edges, 64), 6)
+	mk := func(part *partition.Part) core.Config {
+		return core.Config{Topology: mailbox.NewGrid2D(4), FlushBytes: 24}
+	}
+	got := runDistributed(t, edges, 64, 4, 6, mk)
+	for v := range got {
+		if got[v] != want[v] {
+			t.Fatalf("rank(%d) = %d, ref says %d", v, got[v], want[v])
+		}
+	}
+}
+
+// TestPageRankMassConservation: total fixed-point mass stays within the
+// truncation envelope (each edge and base truncates at most 1 unit).
+func TestPageRankMassConservation(t *testing.T) {
+	edges := randomMultigraph(32, 100, 3)
+	got := runDistributed(t, edges, 32, 2, 8, defaultCfg)
+	var total uint64
+	for _, rk := range got {
+		total += rk
+	}
+	if total == 0 || total > ref.PRScale*2 {
+		t.Fatalf("total mass %d outside sane envelope", total)
+	}
+}

@@ -28,6 +28,23 @@ const Unreached = ^uint64(0)
 // MaxWeight bounds synthesized edge weights to [1, MaxWeight].
 const MaxWeight = 255
 
+// MaxDist bounds any legitimate tentative distance: the longest simple path
+// is under 2^32 edges at any simulated scale and each edge weighs at most
+// MaxWeight < 2^8, so real distances stay below 2^40. A visitor above this
+// bound can only come from corruption (bit flips on an unreliable transport,
+// or an overflowed relaxation) and is rejected at pre_visit, before it can
+// beat honest distances in the improvement test.
+const MaxDist = uint64(1) << 40
+
+// Delta is the bucket width for delta-stepping: visitors are drained in
+// ⌊Dist/Delta⌋ order instead of strict Dist order, so the local scheduler
+// needs only O(1) bucket push/pop rather than a binary heap. Relaxations of
+// light edges (weight < Delta) land in the current or next bucket and are
+// processed in the same wave; heavy-edge relaxations defer to later buckets.
+// Set to MaxWeight+1 so every edge is "light": one bucket per weight-rounded
+// distance plateau, the classic sweet spot for uniform random weights.
+const Delta = MaxWeight + 1
+
 // Weight returns the deterministic, symmetric weight of edge {u, v}.
 func Weight(u, v graph.Vertex, seed uint64) uint64 {
 	if u > v {
@@ -88,8 +105,15 @@ func (s *SSSP) AttachGhosts(t *core.GhostTable) {
 	}
 }
 
-// PreVisit admits the visitor iff it improves the current distance.
+// PreVisit admits the visitor iff it improves the current distance. It is
+// the wire-decode admission point, so it also rejects distances beyond
+// MaxDist: a corrupted visitor with a near-∞ distance must not be allowed to
+// relax edges (its Dist+Weight would wrap past Unreached into a tiny garbage
+// distance that wins every improvement test downstream).
 func (s *SSSP) PreVisit(v Visitor) bool {
+	if v.Dist > MaxDist {
+		return false
+	}
 	i, ok := s.part.LocalIndex(v.V)
 	if !ok {
 		return false
@@ -111,19 +135,32 @@ func (s *SSSP) PreVisitGhost(v Visitor, gi int) bool {
 	return false
 }
 
-// Visit relaxes the locally stored out-edges.
+// Visit relaxes the locally stored out-edges. The addition saturates: a
+// near-max distance (possible only via corruption that slipped past the
+// PreVisit bound, e.g. state poked directly by a fault harness) must not wrap
+// past Unreached into a small garbage value that would win improvement tests.
 func (s *SSSP) Visit(v Visitor, q *core.Queue[Visitor]) {
 	i := q.LocalRow(v.V)
 	if v.Dist != s.Dist[i] {
 		return
 	}
 	for _, t := range q.OutEdges(v.V) {
-		q.Push(Visitor{V: t, Dist: v.Dist + Weight(v.V, t, s.seed), Parent: v.V})
+		nd := v.Dist + Weight(v.V, t, s.seed)
+		if nd < v.Dist {
+			nd = Unreached // saturate instead of wrapping
+		}
+		q.Push(Visitor{V: t, Dist: nd, Parent: v.V})
 	}
 }
 
 // Less orders the local queue by tentative distance.
 func (s *SSSP) Less(a, b Visitor) bool { return a.Dist < b.Dist }
+
+// Bucket implements core.BucketAlgorithm: delta-stepping's bucket index.
+// Draining in ⌊Dist/Delta⌋ order is enough for the label-correcting
+// relaxation to converge with near-Dijkstra work, and lets the queue use a
+// calendar of FIFO buckets (O(1) push/pop) instead of the binary heap.
+func (s *SSSP) Bucket(v Visitor) uint64 { return v.Dist / Delta }
 
 // Encode appends the 24-byte wire form. Distances stay well below 2^40 at
 // any simulated scale, so the parent shares the word's high bits safely —

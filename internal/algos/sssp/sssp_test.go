@@ -129,6 +129,66 @@ func TestSSSPDisconnected(t *testing.T) {
 	}
 }
 
+// TestCorruptDistanceRejectedAndSaturated is the regression test for the
+// relaxation-overflow bug: a corrupted (fault-injected) visitor carrying a
+// near-max distance used to relax edges with Dist+Weight wrapping past
+// Unreached, minting a tiny garbage distance that won every improvement
+// test. Now the wire-decode admission path (PreVisit) rejects distances
+// beyond MaxDist, and the relaxation itself saturates instead of wrapping.
+func TestCorruptDistanceRejectedAndSaturated(t *testing.T) {
+	edges := graph.Undirect([]graph.Edge{{Src: 0, Dst: 1}, {Src: 1, Dst: 2}})
+	algotest.RunOnParts(t, edges, 4, 1, partition.BuildEdgeList, func(r *rt.Rank, part *partition.Part) {
+		s := New(part, weightSeed)
+		q := core.NewQueue[Visitor](r, part, s, core.Config{})
+
+		// Wire-decode path: corrupted near-∞ distances must not be admitted.
+		if s.PreVisit(Visitor{V: 1, Dist: ^uint64(0) - 3, Parent: 0}) {
+			t.Fatal("PreVisit admitted a near-max corrupted distance")
+		}
+		if s.PreVisit(Visitor{V: 1, Dist: MaxDist + 1, Parent: 0}) {
+			t.Fatal("PreVisit admitted a distance beyond MaxDist")
+		}
+		// Honest distances still pass.
+		if !s.PreVisit(Visitor{V: 1, Dist: 7, Parent: 0}) {
+			t.Fatal("PreVisit rejected an honest improving distance")
+		}
+
+		// Saturation path: state poked directly (as a memory fault would)
+		// must not wrap during relaxation — the saturated pushes get
+		// rejected at their targets' PreVisit, leaving neighbors untouched.
+		i, _ := part.LocalIndex(1)
+		s.Dist[i] = ^uint64(0) - 3
+		s.Visit(Visitor{V: 1, Dist: s.Dist[i], Parent: 0}, q)
+		q.Run()
+		for _, v := range []graph.Vertex{0, 2} {
+			j, _ := part.LocalIndex(v)
+			if s.Dist[j] != Unreached {
+				t.Fatalf("dist(%d) = %d: overflow-wrapped relaxation escaped", v, s.Dist[j])
+			}
+		}
+	})
+}
+
+// TestDeltaSteppingAblation proves the bucket scheduler and the heap
+// baseline converge to identical distances (delta-stepping changes the
+// drain order, never the fixpoint).
+func TestDeltaSteppingAblation(t *testing.T) {
+	edges := randomGraph(96, 300, 11)
+	heapCfg := func(part *partition.Part) core.Config {
+		return core.Config{DisableBucketOrder: true}
+	}
+	for _, p := range []int{1, 4} {
+		bucket, parents := runDistributed(t, edges, 96, p, 5, defaultCfg)
+		heap, _ := runDistributed(t, edges, 96, p, 5, heapCfg)
+		for v := range bucket {
+			if bucket[v] != heap[v] {
+				t.Fatalf("p=%d: bucket dist(%d)=%d, heap says %d", p, v, bucket[v], heap[v])
+			}
+		}
+		checkAgainstDijkstra(t, edges, 96, 5, bucket, parents)
+	}
+}
+
 func TestVisitorCodecRoundTrip(t *testing.T) {
 	s := &SSSP{}
 	v := Visitor{V: 7, Dist: 123456, Parent: 9}

@@ -52,20 +52,20 @@ func (t *optTriangle) member(v graph.Vertex) bool {
 func (t *optTriangle) Visit(v Visitor, q *core.Queue[Visitor]) {
 	switch {
 	case v.Second == graph.Nil: // first visit
-		for _, vi := range q.OutEdges(v.V) {
-			if vi > v.V && t.member(vi) {
+		t.forDistinctLarger(v.V, q.OutEdges(v.V), func(vi graph.Vertex) {
+			if t.member(vi) {
 				q.Push(Visitor{V: vi, Second: v.V, Third: graph.Nil})
 			}
-		}
+		})
 	case v.Third == graph.Nil: // length-2 path visit
-		for _, vi := range q.OutEdges(v.V) {
-			if vi > v.V && t.member(vi) && t.opts.sampleWedge(v.Second, v.V, vi) {
+		t.forDistinctLarger(v.V, q.OutEdges(v.V), func(vi graph.Vertex) {
+			if t.member(vi) && t.opts.sampleWedge(v.Second, v.V, vi) {
 				q.Push(Visitor{V: vi, Second: v.V, Third: v.Second})
 			}
-		}
+		})
 	default: // closing-edge search
 		row := q.LocalRow(v.V)
-		if t.part.CSR.HasTarget(row, v.Third) {
+		if t.countsClosing(v.V, v.Third, row) {
 			t.Count[row]++
 		}
 	}

@@ -51,24 +51,57 @@ func (t *Triangle) PreVisit(v Visitor) bool {
 	return ok
 }
 
+// dupOfPrevTail reports whether target w of vertex v's local row portion is
+// a continuation of a duplicate run that started on the previous holder of
+// the (split) row — that holder already acted on the edge (v, w).
+func (t *Triangle) dupOfPrevTail(v, w graph.Vertex) bool {
+	return t.part.PrevTailValid && t.part.PrevTail.Src == v && t.part.PrevTail.Dst == w
+}
+
+// forDistinctLarger calls fn once per *distinct* neighbor of v greater than
+// v in the locally stored row portion. Rows are sorted by target, so
+// duplicate edges form adjacent runs — skipped here — and a run straddling
+// the boundary from the previous replica's portion is skipped via PrevTail.
+// Self loops fail the vi > v test. This is what keeps triangle counting
+// exact on multigraphs: each wedge is generated once per distinct edge, not
+// once per stored copy.
+func (t *Triangle) forDistinctLarger(v graph.Vertex, row []graph.Vertex, fn func(graph.Vertex)) {
+	prev, havePrev := graph.Vertex(0), false
+	if t.part.PrevTailValid && t.part.PrevTail.Src == v {
+		prev, havePrev = t.part.PrevTail.Dst, true
+	}
+	for _, vi := range row {
+		if havePrev && vi == prev {
+			continue
+		}
+		prev, havePrev = vi, true
+		if vi > v {
+			fn(vi)
+		}
+	}
+}
+
+// countsClosing reports whether this holder counts the closing edge (v, w):
+// present in the local row portion, and not already counted by the previous
+// holder of a split row whose portion ends with the same edge.
+func (t *Triangle) countsClosing(v, w graph.Vertex, row int) bool {
+	return t.part.CSR.HasTarget(row, w) && !t.dupOfPrevTail(v, w)
+}
+
 // Visit performs the three duties (Algorithm 6 lines 7–27).
 func (t *Triangle) Visit(v Visitor, q *core.Queue[Visitor]) {
 	switch {
 	case v.Second == graph.Nil: // first visit
-		for _, vi := range q.OutEdges(v.V) {
-			if vi > v.V {
-				q.Push(Visitor{V: vi, Second: v.V, Third: graph.Nil})
-			}
-		}
+		t.forDistinctLarger(v.V, q.OutEdges(v.V), func(vi graph.Vertex) {
+			q.Push(Visitor{V: vi, Second: v.V, Third: graph.Nil})
+		})
 	case v.Third == graph.Nil: // length-2 path visit
-		for _, vi := range q.OutEdges(v.V) {
-			if vi > v.V {
-				q.Push(Visitor{V: vi, Second: v.V, Third: v.Second})
-			}
-		}
+		t.forDistinctLarger(v.V, q.OutEdges(v.V), func(vi graph.Vertex) {
+			q.Push(Visitor{V: vi, Second: v.V, Third: v.Second})
+		})
 	default: // search for closing edge of the length-3 cycle
 		row := q.LocalRow(v.V)
-		if t.part.CSR.HasTarget(row, v.Third) {
+		if t.countsClosing(v.V, v.Third, row) {
 			t.Count[row]++
 		}
 	}
@@ -105,8 +138,10 @@ type Result struct {
 
 // Run counts triangles collectively: one first-visit visitor per vertex,
 // traversal to quiescence, then an all-reduce of the local tallies
-// (Algorithm 7). The input graph must be simple (no self loops or duplicate
-// edges) and stored undirected (both directions present).
+// (Algorithm 7). The graph must be stored undirected (both directions
+// present); it need not be simple — self loops are ignored and duplicate
+// edges count once (each triangle of the underlying simple graph is counted
+// exactly once, at its largest vertex).
 func Run(r *rt.Rank, part *partition.Part, cfg core.Config) *Result {
 	sp := r.Obs().StartPhase("triangle.run", r.Rank())
 	defer sp.End()

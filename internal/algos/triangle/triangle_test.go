@@ -137,6 +137,72 @@ func TestOn1D(t *testing.T) {
 	}
 }
 
+// TestMultigraphKnownAnswers is the regression test for duplicate-edge /
+// self-loop over-counting: the counter must see the underlying simple graph
+// regardless of edge multiplicity. Duplicated triangle edges used to
+// multiply wedge generation (each stored copy fanned out its own visitor).
+func TestMultigraphKnownAnswers(t *testing.T) {
+	dup := func(e graph.Edge, k int) []graph.Edge {
+		out := make([]graph.Edge, k)
+		for i := range out {
+			out[i] = e
+		}
+		return out
+	}
+	var k4 []graph.Edge
+	for i := uint64(0); i < 4; i++ {
+		for j := i + 1; j < 4; j++ {
+			k4 = append(k4, dup(graph.Edge{Src: graph.Vertex(i), Dst: graph.Vertex(j)}, int(i+j))...)
+		}
+	}
+	cases := []struct {
+		name  string
+		pairs []graph.Edge
+		n     uint64
+		want  uint64
+	}{
+		{"tripled-triangle", append(append(dup(graph.Edge{Src: 0, Dst: 1}, 3),
+			dup(graph.Edge{Src: 1, Dst: 2}, 3)...), dup(graph.Edge{Src: 2, Dst: 0}, 3)...), 3, 1},
+		{"triangle-with-self-loops", []graph.Edge{
+			{Src: 0, Dst: 1}, {Src: 1, Dst: 2}, {Src: 2, Dst: 0},
+			{Src: 0, Dst: 0}, {Src: 1, Dst: 1}, {Src: 2, Dst: 2}, {Src: 2, Dst: 2}}, 3, 1},
+		{"k4-varied-multiplicity", k4, 4, 4},
+		{"doubled-square-no-diagonal", append(
+			[]graph.Edge{{Src: 0, Dst: 1}, {Src: 1, Dst: 2}, {Src: 2, Dst: 3}, {Src: 3, Dst: 0}},
+			[]graph.Edge{{Src: 0, Dst: 1}, {Src: 1, Dst: 2}, {Src: 2, Dst: 3}, {Src: 3, Dst: 0}}...), 4, 0},
+	}
+	for _, c := range cases {
+		edges := graph.Undirect(c.pairs) // multiplicity preserved: no Simplify
+		for _, p := range []int{1, 2, 3, 5} {
+			if got := countDistributed(t, edges, c.n, p, partition.BuildEdgeList, defaultCfg); got != c.want {
+				t.Errorf("%s p=%d: counted %d, want %d", c.name, p, got, c.want)
+			}
+		}
+	}
+}
+
+// TestMultigraphMatchesSimplifiedReference: on a random multigraph the count
+// must equal the reference count over the simplified graph — including when
+// duplicate runs straddle split-row replica boundaries (many ranks, few
+// vertices forces splits).
+func TestMultigraphMatchesSimplifiedReference(t *testing.T) {
+	for _, seed := range []uint64{4, 5} {
+		rng := xrand.New(seed)
+		edges := make([]graph.Edge, 400)
+		for i := range edges {
+			// Small vertex set + heavy duplication: ~every edge has copies.
+			edges[i] = graph.Edge{Src: graph.Vertex(rng.Uint64n(24)), Dst: graph.Vertex(rng.Uint64n(24))}
+		}
+		multi := graph.Undirect(edges)
+		want := ref.CountTriangles(ref.BuildAdj(graph.Simplify(multi), 24))
+		for _, p := range []int{1, 3, 6, 8} {
+			if got := countDistributed(t, multi, 24, p, partition.BuildEdgeList, defaultCfg); got != want {
+				t.Fatalf("seed=%d p=%d: %d triangles, want %d", seed, p, got, want)
+			}
+		}
+	}
+}
+
 func TestEmptyAndEdgelessGraphs(t *testing.T) {
 	if got := countDistributed(t, nil, 8, 3, partition.BuildEdgeList, defaultCfg); got != 0 {
 		t.Fatalf("empty graph counted %d triangles", got)

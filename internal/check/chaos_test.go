@@ -201,6 +201,49 @@ func TestChaosEngineRecovery(t *testing.T) {
 			}
 		}
 
+		// The newer query types must likewise absorb every fault through the
+		// reliable mailbox: direction-optimizing BFS bit-identical to the
+		// top-down reference levels, pagerank bit-identical to the sequential
+		// fixed-point reference, triangles exact on the raw multigraph.
+		tkDO, err := e.Submit(engine.Spec{Algo: engine.AlgoBFSDO, Source: src})
+		if err != nil {
+			t.Fatalf("plan %d: Submit bfs_do: %v", idx, err)
+		}
+		resDO := tkDO.Wait()
+		if werr := tkDO.Err(); werr != nil {
+			t.Fatalf("plan %d: bfs_do failed under reliable mailbox: %v", idx, werr)
+		}
+		for v := uint64(0); v < n; v++ {
+			if resDO.Levels[v] != wantLv[v] {
+				t.Fatalf("plan %d: bfs_do level(%d) = %d, ref says %d", idx, v, resDO.Levels[v], wantLv[v])
+			}
+		}
+		tkPR, err := e.Submit(engine.Spec{Algo: engine.AlgoPageRank, Iters: 6})
+		if err != nil {
+			t.Fatalf("plan %d: Submit pagerank: %v", idx, err)
+		}
+		resPR := tkPR.Wait()
+		if werr := tkPR.Err(); werr != nil {
+			t.Fatalf("plan %d: pagerank failed under reliable mailbox: %v", idx, werr)
+		}
+		wantPR := ref.PageRank(adj, 6)
+		for v := uint64(0); v < n; v++ {
+			if resPR.Ranks[v] != wantPR[v] {
+				t.Fatalf("plan %d: pagerank rank(%d) = %d, ref says %d", idx, v, resPR.Ranks[v], wantPR[v])
+			}
+		}
+		tkTri, err := e.Submit(engine.Spec{Algo: engine.AlgoTriangles})
+		if err != nil {
+			t.Fatalf("plan %d: Submit triangles: %v", idx, err)
+		}
+		resTri := tkTri.Wait()
+		if werr := tkTri.Err(); werr != nil {
+			t.Fatalf("plan %d: triangles failed under reliable mailbox: %v", idx, werr)
+		}
+		if wantTri := ref.CountTriangles(ref.BuildAdj(graph.Simplify(edges), n)); resTri.Triangles != wantTri {
+			t.Fatalf("plan %d: triangles %d, ref says %d", idx, resTri.Triangles, wantTri)
+		}
+
 		reg := e.Obs()
 		if reg.Counter(obs.FaultInjected("drop")).Value() == 0 {
 			t.Errorf("plan %d: lossy plan injected no drops; adversary inert", idx)

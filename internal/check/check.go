@@ -113,6 +113,36 @@ func MailboxInFlight(topo mailbox.Topology, stats []mailbox.Stats, pending []int
 	return vs
 }
 
+// MessageTraversal checks the conservation laws for traversals that drive
+// the mailbox directly (direction-optimizing BFS) rather than through the
+// visitor queue: the queue-level push/receive accounting does not apply, but
+// record and envelope conservation and the detector's S/R agreement with the
+// mailbox counters still must hold.
+func MessageTraversal(topo mailbox.Topology, stats []core.Stats) []Violation {
+	mb := make([]mailbox.Stats, len(stats))
+	for r, s := range stats {
+		mb[r] = s.Mailbox
+	}
+	vs := violations(MailboxQuiesced(topo, mb))
+	var detS, detR uint64
+	for r, s := range stats {
+		detS += s.DetectorSent
+		detR += s.DetectorReceived
+		if s.DetectorSent != s.Mailbox.RecordsSent {
+			vs.addf("detector-agreement", "rank %d: detector S=%d != mailbox records sent=%d",
+				r, s.DetectorSent, s.Mailbox.RecordsSent)
+		}
+		if s.DetectorReceived != s.Mailbox.RecordsDelivered {
+			vs.addf("detector-agreement", "rank %d: detector R=%d != mailbox records delivered=%d",
+				r, s.DetectorReceived, s.Mailbox.RecordsDelivered)
+		}
+	}
+	if detS != detR {
+		vs.addf("termination-drain", "ΣS=%d != ΣR=%d after detection (the S−R gap never drained)", detS, detR)
+	}
+	return vs
+}
+
 // Traversal checks every conservation law over per-rank core.Stats after a
 // quiesced traversal (the snapshot core.Queue.Run records at termination),
 // including the termination detector's S/R agreement with the mailbox

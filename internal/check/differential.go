@@ -7,6 +7,7 @@ import (
 	"havoqgt/internal/algos/bfs"
 	"havoqgt/internal/algos/cc"
 	"havoqgt/internal/algos/kcore"
+	"havoqgt/internal/algos/pagerank"
 	"havoqgt/internal/algos/sssp"
 	"havoqgt/internal/algos/triangle"
 	"havoqgt/internal/core"
@@ -20,7 +21,9 @@ import (
 )
 
 // Algos lists the algorithms the differential harness can exercise.
-func Algos() []string { return []string{"bfs", "sssp", "cc", "kcore", "triangle"} }
+func Algos() []string {
+	return []string{"bfs", "bfs_do", "sssp", "cc", "kcore", "triangle", "pagerank"}
+}
 
 // Topologies lists the routing topologies the harness sweeps.
 func Topologies() []string { return []string{"1d", "2d", "3d"} }
@@ -30,7 +33,7 @@ func Topologies() []string { return []string{"1d", "2d", "3d"} }
 // threshold, compared against the sequential reference in internal/ref, with
 // the conservation invariants asserted on the traversal's stats.
 type Case struct {
-	Algo       string // "bfs", "sssp", "cc", "kcore", "triangle"
+	Algo       string // one of Algos()
 	Seed       uint64 // graph shape, source vertex and edge weights
 	N          uint64 // vertices
 	EdgeFactor int    // ≈ directed edges per vertex before undirecting
@@ -77,9 +80,10 @@ func RandomCase(rng *xrand.Rand) Case {
 	}
 }
 
-// Edges returns the case's deterministic random edge list. kcore and
-// triangle require a simple undirected graph; the rest tolerate duplicates
-// and self-loops, which the partition builder keeps.
+// Edges returns the case's deterministic random edge list. kcore requires a
+// simple undirected graph; the rest — triangle counting included, which
+// dedupes internally — tolerate duplicates and self-loops, which the
+// partition builder keeps.
 func (c Case) Edges() []graph.Edge {
 	rng := xrand.New(c.Seed)
 	m := int(c.N) * c.EdgeFactor
@@ -90,7 +94,7 @@ func (c Case) Edges() []graph.Edge {
 			Dst: graph.Vertex(rng.Uint64n(c.N)),
 		}
 	}
-	if c.Algo == "kcore" || c.Algo == "triangle" {
+	if c.Algo == "kcore" {
 		return graph.Simplify(graph.Undirect(pairs))
 	}
 	return graph.Undirect(pairs)
@@ -99,6 +103,11 @@ func (c Case) Edges() []graph.Edge {
 // source derives the deterministic source vertex for BFS/SSSP.
 func (c Case) source() graph.Vertex {
 	return graph.Vertex(xrand.Mix64(c.Seed^0xA5A5) % c.N)
+}
+
+// iters derives the deterministic pagerank iteration count.
+func (c Case) iters() uint32 {
+	return 1 + uint32(xrand.Mix64(c.Seed^0x5151)%12)
 }
 
 // Run executes the case and returns a non-nil error describing any
@@ -148,9 +157,14 @@ func (c Case) Run() (err error) {
 
 	adj := ref.BuildAdj(edges, c.N)
 	switch c.Algo {
-	case "bfs":
+	case "bfs", "bfs_do":
 		run(func(r *rt.Rank, part *partition.Part, cfg core.Config) core.Stats {
-			res := bfs.Run(r, part, c.source(), cfg)
+			var res *bfs.Result
+			if c.Algo == "bfs_do" {
+				res = bfs.RunDO(r, part, c.source(), cfg)
+			} else {
+				res = bfs.Run(r, part, c.source(), cfg)
+			}
 			gathered.set(part, func(v graph.Vertex) uint64 {
 				i, _ := part.LocalIndex(v)
 				return uint64(res.Level[i])
@@ -223,10 +237,28 @@ func (c Case) Run() (err error) {
 			counts[r.Rank()] = res.GlobalCount
 			return res.Stats
 		})
-		want := ref.CountTriangles(adj)
+		// The distributed counter dedupes internally, so its answer on the
+		// raw multigraph must equal the reference on the simplified graph.
+		want := ref.CountTriangles(ref.BuildAdj(graph.Simplify(edges), c.N))
 		for rank, got := range counts {
 			if got != want {
 				return fmt.Errorf("%s: rank %d counted %d triangles, ref says %d", c, rank, got, want)
+			}
+		}
+	case "pagerank":
+		run(func(r *rt.Rank, part *partition.Part, cfg core.Config) core.Stats {
+			res := pagerank.Run(r, part, c.iters(), cfg)
+			gathered.set(part, func(v graph.Vertex) uint64 {
+				i, _ := part.LocalIndex(v)
+				return res.Rank[i]
+			})
+			return res.Stats
+		})
+		want := ref.PageRank(adj, int(c.iters()))
+		for v := uint64(0); v < c.N; v++ {
+			if gathered.values[v] != want[v] {
+				return fmt.Errorf("%s: pagerank rank(%d) = %d, ref says %d",
+					c, v, gathered.values[v], want[v])
 			}
 		}
 	default:
@@ -237,9 +269,15 @@ func (c Case) Run() (err error) {
 	// injector legitimately perturbs the raw envelope/hop counters (dropped
 	// frames are re-sent, corrupt frames are CRC-rejected), so under faults
 	// the correctness bar is the reference comparison above, not the
-	// transport-level ledger.
+	// transport-level ledger. Direction-optimizing BFS drives the mailbox
+	// directly — no visitor queue — so it answers to the message-level laws
+	// (MessageTraversal) rather than the queue push-accounting.
 	if c.Fault == nil {
-		if err := Error(Traversal(topo, stats)); err != nil {
+		check := Traversal
+		if c.Algo == "bfs_do" {
+			check = MessageTraversal
+		}
+		if err := Error(check(topo, stats)); err != nil {
 			return fmt.Errorf("%s: %w", c, err)
 		}
 	}

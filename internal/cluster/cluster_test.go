@@ -70,6 +70,18 @@ func TestClusterMatchesInProcess(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	qDO, err := c.Submit(engine.Spec{Algo: engine.AlgoBFSDO, Source: source})
+	if err != nil {
+		t.Fatal(err)
+	}
+	qPR, err := c.Submit(engine.Spec{Algo: engine.AlgoPageRank, Iters: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	qTri, err := c.Submit(engine.Spec{Algo: engine.AlgoTriangles})
+	if err != nil {
+		t.Fatal(err)
+	}
 	resBFS, err := qBFS.Wait()
 	if err != nil {
 		t.Fatal(err)
@@ -79,6 +91,18 @@ func TestClusterMatchesInProcess(t *testing.T) {
 		t.Fatal(err)
 	}
 	resCC, err := qCC.Wait()
+	if err != nil {
+		t.Fatal(err)
+	}
+	resDO, err := qDO.Wait()
+	if err != nil {
+		t.Fatal(err)
+	}
+	resPR, err := qPR.Wait()
+	if err != nil {
+		t.Fatal(err)
+	}
+	resTri, err := qTri.Wait()
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -100,6 +124,14 @@ func TestClusterMatchesInProcess(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	refPR, err := g.PageRank(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	refTri, err := g.CountTriangles()
+	if err != nil {
+		t.Fatal(err)
+	}
 
 	if got, want := HashResult(resBFS), HashU32s(refBFS.Levels); got != want {
 		t.Errorf("bfs levels hash: cluster %016x, in-process %016x", got, want)
@@ -112,6 +144,15 @@ func TestClusterMatchesInProcess(t *testing.T) {
 	}
 	if resCC.Components != refCC.Count {
 		t.Errorf("components: cluster %d, in-process %d", resCC.Components, refCC.Count)
+	}
+	if got, want := HashResult(resDO), HashU32s(refBFS.Levels); got != want {
+		t.Errorf("bfs_do levels hash: cluster %016x, in-process top-down %016x", got, want)
+	}
+	if got, want := HashResult(resPR), HashU64s(refPR.Ranks); got != want {
+		t.Errorf("pagerank hash: cluster %016x, in-process %016x", got, want)
+	}
+	if resTri.Triangles != refTri {
+		t.Errorf("triangles: cluster %d, in-process %d", resTri.Triangles, refTri)
 	}
 	if resBFS.Waves == 0 {
 		t.Error("cluster BFS reported zero termination waves")
@@ -298,13 +339,19 @@ func TestSubmitValidation(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer c.Close()
-	if _, err := c.Submit(engine.Spec{Algo: "pagerank"}); err == nil {
+	if _, err := c.Submit(engine.Spec{Algo: "betweenness"}); err == nil {
 		t.Error("unknown algorithm accepted")
 	}
 	if _, err := c.Submit(engine.Spec{Algo: engine.AlgoBFS, Source: 1 << 20}); err == nil {
 		t.Error("out-of-range source accepted")
 	}
+	if _, err := c.Submit(engine.Spec{Algo: engine.AlgoBFSDO, Source: 1 << 20}); err == nil {
+		t.Error("out-of-range bfs_do source accepted")
+	}
 	if _, err := c.Submit(engine.Spec{Algo: engine.AlgoKCore, K: 0}); err == nil {
 		t.Error("k=0 kcore accepted")
+	}
+	if _, err := c.Submit(engine.Spec{Algo: engine.AlgoPageRank, Iters: 1000}); err == nil {
+		t.Error("oversized pagerank iteration count accepted")
 	}
 }

@@ -9,8 +9,10 @@ import (
 	"sync/atomic"
 	"time"
 
+	"havoqgt/internal/algos/pagerank"
 	"havoqgt/internal/engine"
 	"havoqgt/internal/graph"
+	"havoqgt/internal/ref"
 )
 
 // ErrCoordinatorClosed reports a Submit after Close.
@@ -521,14 +523,18 @@ type Query struct {
 // cannot answer.
 func (c *Coordinator) Submit(spec engine.Spec) (*Query, error) {
 	switch spec.Algo {
-	case engine.AlgoBFS, engine.AlgoSSSP:
+	case engine.AlgoBFS, engine.AlgoBFSDO, engine.AlgoSSSP:
 		if uint64(spec.Source) >= c.n {
 			return nil, fmt.Errorf("cluster: source %d out of range [0, %d)", spec.Source, c.n)
 		}
-	case engine.AlgoCC:
+	case engine.AlgoCC, engine.AlgoTriangles:
 	case engine.AlgoKCore:
 		if spec.K < 1 {
 			return nil, errors.New("cluster: kcore needs k >= 1")
+		}
+	case engine.AlgoPageRank:
+		if spec.Iters > pagerank.MaxIters {
+			return nil, fmt.Errorf("cluster: pagerank iters %d exceeds max %d", spec.Iters, pagerank.MaxIters)
 		}
 	default:
 		return nil, fmt.Errorf("cluster: unknown algorithm %q", spec.Algo)
@@ -569,6 +575,7 @@ func (c *Coordinator) Submit(spec engine.Spec) (*Query, error) {
 	sub := msg{
 		Type: "submit", QID: q.id, Algo: string(spec.Algo),
 		Source: uint64(spec.Source), WeightSeed: spec.WeightSeed, K: spec.K,
+		Iters: spec.Iters,
 	}
 	for _, w := range conns {
 		if w != nil {
@@ -583,7 +590,7 @@ func (c *Coordinator) Submit(spec engine.Spec) (*Query, error) {
 func newClusterResult(spec engine.Spec, n uint64) *engine.Result {
 	res := &engine.Result{}
 	switch spec.Algo {
-	case engine.AlgoBFS:
+	case engine.AlgoBFS, engine.AlgoBFSDO:
 		res.Levels = make([]uint32, n)
 		for i := range res.Levels {
 			res.Levels[i] = ^uint32(0)
@@ -600,6 +607,14 @@ func newClusterResult(spec engine.Spec, n uint64) *engine.Result {
 		}
 	case engine.AlgoKCore:
 		res.InCore = make([]bool, n)
+	case engine.AlgoPageRank:
+		res.Ranks = make([]uint64, n)
+		if n > 0 {
+			init := ref.PRScale / n
+			for i := range res.Ranks {
+				res.Ranks[i] = init
+			}
+		}
 	}
 	return res
 }
@@ -627,6 +642,8 @@ func (q *Query) addPartial(m *msg) {
 		}
 	case m.InCore != nil:
 		copy(q.res.InCore[m.Lo:m.Hi], m.InCore)
+	case m.Ranks != nil:
+		copy(q.res.Ranks[m.Lo:m.Hi], m.Ranks)
 	}
 	q.accumSum += m.Accum
 	if m.Lo == 0 && m.Hi > 0 {
@@ -644,6 +661,8 @@ func (q *Query) addPartial(m *msg) {
 			q.res.Components = q.accumSum
 		case engine.AlgoKCore:
 			q.res.CoreSize = q.accumSum
+		case engine.AlgoTriangles:
+			q.res.Triangles = q.accumSum
 		}
 		if q.timer != nil {
 			q.timer.Stop()

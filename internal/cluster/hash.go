@@ -49,9 +49,11 @@ func HashVertices(vals []graph.Vertex) uint64 {
 	return h.Sum64()
 }
 
-// HashResult digests a result's deterministic arrays: levels for BFS,
-// distances for SSSP, labels for CC. Returns 0 for results with no
-// deterministic array (k-core membership is deterministic too, so it is
+// HashResult digests a result's deterministic arrays: levels for BFS (both
+// the top-down and direction-optimizing variants), distances for SSSP, labels
+// for CC, fixed-point ranks for PageRank. Scalar-only results (triangle
+// counting) hash the count itself. Returns 0 for results with no
+// deterministic output (k-core membership is deterministic too, so it is
 // included when present).
 func HashResult(res *engine.Result) uint64 {
 	switch {
@@ -61,6 +63,10 @@ func HashResult(res *engine.Result) uint64 {
 		return HashU64s(res.Dist)
 	case res.Labels != nil:
 		return HashVertices(res.Labels)
+	case res.Ranks != nil:
+		return HashU64s(res.Ranks)
+	case res.Triangles != 0:
+		return HashU64s([]uint64{res.Triangles})
 	case res.InCore != nil:
 		h := fnv.New64a()
 		for _, in := range res.InCore {

@@ -238,6 +238,7 @@ type msg struct {
 	Source     uint64 `json:"source,omitempty"`
 	WeightSeed uint64 `json:"weightSeed,omitempty"`
 	K          uint32 `json:"k,omitempty"`
+	Iters      uint32 `json:"iters,omitempty"`
 
 	// result: the worker's contiguous master range [Lo, Hi) of the global
 	// vertex space plus the per-algorithm array slice over it.
@@ -247,7 +248,8 @@ type msg struct {
 	Dist      []uint64 `json:"dist,omitempty"`
 	Labels    []uint64 `json:"labels,omitempty"`
 	InCore    []bool   `json:"inCore,omitempty"`
-	Accum     uint64   `json:"accum,omitempty"` // worker-local component/core-size sum
+	Ranks     []uint64 `json:"ranks,omitempty"`
+	Accum     uint64   `json:"accum,omitempty"` // worker-local component/core/triangle sum
 	Waves     uint64   `json:"waves,omitempty"` // detector waves (slot hosting rank 0 only)
 	Cancelled bool     `json:"cancelled,omitempty"`
 	Err       string   `json:"err,omitempty"`

@@ -274,6 +274,7 @@ serve:
 				Source:     graph.Vertex(m.Source),
 				WeightSeed: m.WeightSeed,
 				K:          m.K,
+				Iters:      m.Iters,
 			}
 			tk, err := eng.SubmitRemote(m.QID, spec)
 			if err != nil {
@@ -419,6 +420,12 @@ func resultMsg(qid uint32, res *engine.Result, gLo, gHi uint64) *msg {
 	case res.InCore != nil:
 		m.InCore = res.InCore[gLo:gHi]
 		m.Accum = res.CoreSize
+	case res.Ranks != nil:
+		m.Ranks = res.Ranks[gLo:gHi]
+	default:
+		// Scalar-only results (triangle counting) carry the worker-local
+		// accumulator with no per-vertex array.
+		m.Accum = res.Triangles
 	}
 	m.Waves = res.Waves
 	return m

@@ -46,6 +46,23 @@ type Algorithm[V Visitor] interface {
 	Decode(buf []byte) V
 }
 
+// BucketAlgorithm is implemented by algorithms whose visitor ordering is a
+// coarse monotone priority — delta-stepping SSSP being the canonical case.
+// When an algorithm implements it, the queue replaces the binary-heap local
+// scheduler with a calendar of FIFO buckets drained in bucket order: push and
+// pop become O(1) amortized (the residual heap orders bucket indices, of
+// which there are ~MaxPriority/Δ, not visitors), and visitors within one
+// bucket execute in arrival order, preserving page-level locality of the
+// mailbox's aggregated batches. Correctness only needs Bucket to be
+// consistent with Less (a Less b ⇒ Bucket(a) <= Bucket(b)): label-correcting
+// kernels converge to the same fixpoint under any drain order, bucket order
+// merely keeps the work near-optimal.
+type BucketAlgorithm[V Visitor] interface {
+	Algorithm[V]
+	// Bucket returns the visitor's scheduling bucket (e.g. ⌊Dist/Δ⌋).
+	Bucket(v V) uint64
+}
+
 // GhostAlgorithm is implemented by algorithms that explicitly declare ghost
 // usage (§IV-B). Ghosts are an imprecise local filter: the ghost copy of a
 // hub's state is never globally synchronized, so only algorithms tolerant of

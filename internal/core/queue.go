@@ -51,6 +51,10 @@ type Config struct {
 	// page-level locality of CSR reads (§V-A). On by default via NewQueue;
 	// set DisableLocalityOrder to ablate.
 	DisableLocalityOrder bool
+	// DisableBucketOrder forces the binary-heap local scheduler even when the
+	// algorithm implements BucketAlgorithm — the single-priority-queue
+	// baseline for delta-stepping ablations (bench-algos "before" numbers).
+	DisableBucketOrder bool
 	// Reliable runs the mailbox's seq/ack/retransmit protocol under every
 	// envelope (mailbox.WithReliable), surviving message drop, duplication,
 	// reordering, and corruption injected by a faulty transport. Must be set
@@ -87,6 +91,7 @@ type Queue[V Visitor] struct {
 	cancelled bool   // drain without applying (see Cancel)
 
 	heap          []V
+	cal           *calendar[V] // non-nil: bucket scheduler replaces the heap
 	localityOrder bool
 	encBuf        []byte
 
@@ -164,6 +169,9 @@ func NewQueue[V Visitor](r *rt.Rank, part *partition.Part, algo Algorithm[V], cf
 			q.ghosts = cfg.Ghosts
 		}
 	}
+	if ba, ok := algo.(BucketAlgorithm[V]); ok && !cfg.DisableBucketOrder {
+		q.cal = newCalendar[V](ba)
+	}
 	return q
 }
 
@@ -195,6 +203,9 @@ func NewQueueShared[V Visitor](r *rt.Rank, part *partition.Part, algo Algorithm[
 			q.ghostAlgo = ga
 			q.ghosts = cfg.Ghosts
 		}
+	}
+	if ba, ok := algo.(BucketAlgorithm[V]); ok && !cfg.DisableBucketOrder {
+		q.cal = newCalendar[V](ba)
 	}
 	return q
 }
@@ -264,7 +275,7 @@ func (q *Queue[V]) receive(rec mailbox.Record) {
 	}
 	q.stats.Queued++
 	q.met.queued.Inc(q.met.rank)
-	q.heapPush(v)
+	q.schedPush(v)
 	if q.pager != nil {
 		// Frontier-composition prefetch: this visitor just joined the local
 		// heap, so its adjacency page will be wanted within the next few Step
@@ -297,12 +308,12 @@ func (q *Queue[V]) Deliver(rec mailbox.Record) { q.receive(rec) }
 // reporting false here could let the rank loop sleep while fetches it must
 // drain are in flight.
 func (q *Queue[V]) Step(batch int) bool {
-	if len(q.heap) == 0 {
+	if q.schedLen() == 0 {
 		return false
 	}
-	q.met.queueDepth.Observe(uint64(len(q.heap)))
-	for i := 0; i < batch && len(q.heap) > 0; i++ {
-		v := q.heapPop()
+	q.met.queueDepth.Observe(uint64(q.schedLen()))
+	for i := 0; i < batch && q.schedLen() > 0; i++ {
+		v := q.schedPop()
 		if q.pager != nil {
 			if key, resident := q.pager.RowResident(q.LocalRow(v.Vertex())); !resident {
 				q.parked[key] = append(q.parked[key], v)
@@ -365,7 +376,7 @@ func (q *Queue[V]) Unpark(pages []int64) bool {
 // Parked visitors are pending work — a queue with visits waiting on device
 // pages must not report idle, or termination detection could declare
 // quiescence with traversal still to do.
-func (q *Queue[V]) LocalIdle() bool { return len(q.heap) == 0 && q.nParked == 0 }
+func (q *Queue[V]) LocalIdle() bool { return q.schedLen() == 0 && q.nParked == 0 }
 
 // Cancel marks the queue cancelled on this rank: the local visitor heap is
 // discarded and subsequent deliveries are drained without being applied.
@@ -378,6 +389,9 @@ func (q *Queue[V]) Cancel() {
 		q.heap[i] = zero
 	}
 	q.heap = q.heap[:0]
+	if q.cal != nil {
+		q.cal.clear()
+	}
 	// Parked visitors are dropped too: their demand fetches may still
 	// complete, but Unpark on a cancelled queue has nothing to re-queue and
 	// the pages simply age out of the cache.
@@ -394,7 +408,7 @@ func (q *Queue[V]) Cancelled() bool { return q.cancelled }
 // barrier is needed: records of other queries cannot be misattributed — the
 // tag demultiplexes them — so ranks may retire the query independently.
 func (q *Queue[V]) PumpTermination(localIdle bool) bool {
-	if !q.det.Pump(localIdle && len(q.heap) == 0 && q.nParked == 0) {
+	if !q.det.Pump(localIdle && q.schedLen() == 0 && q.nParked == 0) {
 		return false
 	}
 	q.stats.DetectorWaves = q.det.Waves
@@ -416,12 +430,12 @@ func (q *Queue[V]) Run() {
 			q.receive(rec)
 			progress = true
 		}
-		if len(q.heap) > 0 {
+		if q.schedLen() > 0 {
 			// Sample local queue depth once per visit batch.
-			q.met.queueDepth.Observe(uint64(len(q.heap)))
+			q.met.queueDepth.Observe(uint64(q.schedLen()))
 		}
-		for i := 0; i < visitBatch && len(q.heap) > 0; i++ {
-			v := q.heapPop()
+		for i := 0; i < visitBatch && q.schedLen() > 0; i++ {
+			v := q.schedPop()
 			q.stats.Executed++
 			q.met.executed.Inc(q.met.rank)
 			q.algo.Visit(v, q)
@@ -437,7 +451,7 @@ func (q *Queue[V]) Run() {
 		// Out of local work: flush aggregation buffers so partial batches
 		// cannot stall the traversal, then report idle.
 		q.mb.FlushAll()
-		idle := len(q.heap) == 0 && q.mb.Idle()
+		idle := q.schedLen() == 0 && q.mb.Idle()
 		if q.det.Pump(idle) {
 			q.stats.Mailbox = q.mb.Stats()
 			q.stats.DetectorWaves = q.det.Waves
@@ -462,6 +476,126 @@ func (q *Queue[V]) Run() {
 
 // Stats returns the rank's traversal counters (valid after Run).
 func (q *Queue[V]) Stats() Stats { return q.stats }
+
+// --- local scheduler dispatch: calendar of buckets when the algorithm
+// implements BucketAlgorithm (delta-stepping), binary min-heap otherwise.
+
+func (q *Queue[V]) schedPush(v V) {
+	if q.cal != nil {
+		q.cal.push(v)
+		return
+	}
+	q.heapPush(v)
+}
+
+func (q *Queue[V]) schedPop() V {
+	if q.cal != nil {
+		return q.cal.pop()
+	}
+	return q.heapPop()
+}
+
+func (q *Queue[V]) schedLen() int {
+	if q.cal != nil {
+		return q.cal.n
+	}
+	return len(q.heap)
+}
+
+// calendar is the delta-stepping bucket scheduler: visitors land in FIFO
+// buckets keyed by BucketAlgorithm.Bucket, drained in ascending bucket order.
+// Push and pop are O(1) amortized — the small residual heap in order sorts
+// bucket indices (hundreds at most for SSSP's ⌊Dist/Δ⌋), not visitors
+// (thousands to millions). Empty buckets keep their allocated backing arrays
+// in a free list, so steady-state operation allocates nothing.
+type calendar[V Visitor] struct {
+	algo    BucketAlgorithm[V]
+	buckets map[uint64][]V
+	order   []uint64 // min-heap of bucket indices present in buckets
+	free    [][]V    // spent bucket backing arrays for reuse
+	n       int
+}
+
+func newCalendar[V Visitor](algo BucketAlgorithm[V]) *calendar[V] {
+	return &calendar[V]{algo: algo, buckets: make(map[uint64][]V)}
+}
+
+func (c *calendar[V]) push(v V) {
+	b := c.algo.Bucket(v)
+	s, ok := c.buckets[b]
+	if !ok {
+		if f := len(c.free); f > 0 {
+			s = c.free[f-1][:0]
+			c.free = c.free[:f-1]
+		}
+		c.orderPush(b)
+	}
+	c.buckets[b] = append(s, v)
+	c.n++
+}
+
+// pop returns a visitor from the lowest-indexed non-empty bucket. Within a
+// bucket the drain is LIFO — bucket membership already bounds the priority
+// spread to Δ, and the label-correcting kernels this serves converge under
+// any within-bucket order; LIFO keeps the pop at a slice truncation.
+func (c *calendar[V]) pop() V {
+	b := c.order[0]
+	s := c.buckets[b]
+	last := len(s) - 1
+	v := s[last]
+	var zero V
+	s[last] = zero
+	if last == 0 {
+		delete(c.buckets, b)
+		c.orderPop()
+		c.free = append(c.free, s[:0])
+	} else {
+		c.buckets[b] = s[:last]
+	}
+	c.n--
+	return v
+}
+
+func (c *calendar[V]) clear() {
+	clear(c.buckets)
+	c.order = c.order[:0]
+	c.n = 0
+}
+
+func (c *calendar[V]) orderPush(b uint64) {
+	c.order = append(c.order, b)
+	i := len(c.order) - 1
+	for i > 0 {
+		p := (i - 1) / 2
+		if c.order[i] >= c.order[p] {
+			break
+		}
+		c.order[i], c.order[p] = c.order[p], c.order[i]
+		i = p
+	}
+}
+
+func (c *calendar[V]) orderPop() {
+	last := len(c.order) - 1
+	c.order[0] = c.order[last]
+	c.order = c.order[:last]
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		small := i
+		if l < last && c.order[l] < c.order[small] {
+			small = l
+		}
+		if r < last && c.order[r] < c.order[small] {
+			small = r
+		}
+		if small == i {
+			break
+		}
+		c.order[i], c.order[small] = c.order[small], c.order[i]
+		i = small
+	}
+}
 
 // --- local min-heap priority queue, ordered by the algorithm's Less with an
 // optional vertex-identifier tie-break for external-memory locality (§V-A).

@@ -42,12 +42,14 @@ import (
 	"time"
 
 	"havoqgt/internal/algos/bfs"
+	"havoqgt/internal/algos/pagerank"
 	"havoqgt/internal/algos/sssp"
 	"havoqgt/internal/core"
 	"havoqgt/internal/graph"
 	"havoqgt/internal/mailbox"
 	"havoqgt/internal/obs"
 	"havoqgt/internal/partition"
+	"havoqgt/internal/ref"
 	"havoqgt/internal/rt"
 	"havoqgt/internal/termination"
 )
@@ -60,38 +62,67 @@ var (
 	ErrClosed   = errors.New("engine: closed")
 )
 
+// ErrNotResumable rejects Spec.Resume for algorithms whose rank state is not
+// a monotone per-vertex lower bound (see Algo.Resumable). It is a typed
+// sentinel so retry ladders can distinguish "this query can never resume"
+// (fall back to a fresh start) from transient admission errors.
+var ErrNotResumable = errors.New("engine: algorithm is not resumable")
+
 // Algo selects the traversal a query runs.
 type Algo string
 
 // Supported query algorithms.
 const (
-	AlgoBFS   Algo = "bfs"
-	AlgoSSSP  Algo = "sssp"
-	AlgoCC    Algo = "cc"
-	AlgoKCore Algo = "kcore"
+	AlgoBFS       Algo = "bfs"
+	AlgoSSSP      Algo = "sssp"
+	AlgoCC        Algo = "cc"
+	AlgoKCore     Algo = "kcore"
+	AlgoBFSDO     Algo = "bfs_do"    // direction-optimizing BFS (levels identical to bfs)
+	AlgoPageRank  Algo = "pagerank"  // fixed-point PageRank (Spec.Iters)
+	AlgoTriangles Algo = "triangles" // exact triangle count
 )
+
+// Resumable is the checkpoint/resume capability flag: true when the
+// algorithm's per-vertex state is monotone (levels, distances, and labels
+// only ever improve toward the fixpoint), so a cancelled query's partial
+// gather is a consistent lower bound a resumed run can re-seed from.
+//
+// The others fail the test for structural reasons, not as special cases:
+// k-core's interlocked removal counts would double-remove edges on replay;
+// pagerank ranks move both ways between iterations; the direction-optimizing
+// BFS and triangle counting hold mid-protocol wavefront state (frontier
+// bitmaps, partial wedges) that a fresh engine cannot re-enter. Everything
+// that gates on resumability — Spec.Resume validation, Ticket.Checkpoint,
+// retry ladders — consults this one flag.
+func (a Algo) Resumable() bool {
+	switch a {
+	case AlgoBFS, AlgoSSSP, AlgoCC:
+		return true
+	}
+	return false
+}
 
 // Spec describes one query.
 type Spec struct {
 	Algo       Algo
-	Source     graph.Vertex  // bfs, sssp
+	Source     graph.Vertex  // bfs, bfs_do, sssp
 	WeightSeed uint64        // sssp
 	K          uint32        // kcore (>= 1)
+	Iters      uint32        // pagerank (0 = pagerank.DefaultIters, capped at MaxIters)
 	Deadline   time.Duration // 0 = none; expiry cancels the query
 	// Resume, if non-nil, seeds the query from a checkpoint taken off an
 	// earlier cancelled run of the same traversal (same algo, source, and
-	// weight seed) instead of from scratch. See Ticket.Checkpoint.
+	// weight seed) instead of from scratch. Only algorithms with
+	// Algo.Resumable may resume. See Ticket.Checkpoint.
 	Resume *Checkpoint
 }
 
 // Checkpoint is a coarse query checkpoint: the partial per-vertex state a
-// cancelled query had reached when it drained. The label-setting algorithms
-// (BFS, SSSP, CC) compute monotone per-vertex values — levels, distances, and
-// labels only ever improve — so any partial gather is a consistent lower
-// bound of work already done, and a resumed query re-seeds its frontier from
-// it rather than from the source alone. K-core is not checkpointable: its
-// state is interlocked removal counts, and replaying a partial count would
-// double-remove edges.
+// cancelled query had reached when it drained. Only algorithms with the
+// Algo.Resumable capability produce one — their monotone per-vertex values
+// make any partial gather a consistent lower bound of work already done, and
+// a resumed query re-seeds its frontier from it rather than from the source
+// alone.
 type Checkpoint struct {
 	Spec Spec    // the originating query's spec (Resume cleared)
 	Res  *Result // partial result arrays; Cancelled is true
@@ -130,6 +161,12 @@ type Result struct {
 	InCore   []bool
 	CoreSize uint64
 
+	// PageRank: per-vertex fixed-point ranks (scaled by ref.PRScale).
+	Ranks []uint64
+
+	// Triangle counting.
+	Triangles uint64
+
 	Cancelled bool
 	// Waves is the number of termination-detection waves the query's root
 	// detector completed.
@@ -166,6 +203,10 @@ type Options struct {
 	// RTOBase/RTOMax bound the reliable layer's retransmission backoff
 	// (zero = mailbox defaults). Only meaningful with Reliable.
 	RTOBase, RTOMax time.Duration
+	// DisableBucketOrder forces SSSP runners onto the binary-heap local
+	// scheduler instead of the bucketed delta-stepping calendar (a
+	// benchmarking knob; results are identical either way).
+	DisableBucketOrder bool
 }
 
 func (o Options) normalized() Options {
@@ -330,14 +371,15 @@ func (t *Ticket) WaitCtx(ctx context.Context) (*Result, error) {
 
 // Checkpoint returns the cancelled query's partial state for resumption, or
 // nil if the query completed cleanly (nothing to resume), has not finished
-// draining yet, or ran an algorithm without a checkpointable state (k-core).
+// draining yet, or ran an algorithm without the resume capability (see
+// Algo.Resumable).
 func (t *Ticket) Checkpoint() *Checkpoint {
 	select {
 	case <-t.q.done:
 	default:
 		return nil
 	}
-	if !t.q.res.Cancelled || t.q.spec.Algo == AlgoKCore {
+	if !t.q.res.Cancelled || !t.q.spec.Algo.Resumable() {
 		return nil
 	}
 	spec := t.q.spec
@@ -536,21 +578,25 @@ func (e *Engine) Obs() *obs.Registry { return e.cfg.Machine.Obs() }
 // validate rejects malformed specs before admission.
 func (e *Engine) validate(spec Spec) error {
 	switch spec.Algo {
-	case AlgoBFS, AlgoSSSP:
+	case AlgoBFS, AlgoSSSP, AlgoBFSDO:
 		if uint64(spec.Source) >= e.n {
 			return fmt.Errorf("engine: source %d out of range [0, %d)", spec.Source, e.n)
 		}
-	case AlgoCC:
+	case AlgoCC, AlgoTriangles:
 	case AlgoKCore:
 		if spec.K < 1 {
 			return errors.New("engine: kcore needs k >= 1")
+		}
+	case AlgoPageRank:
+		if spec.Iters > pagerank.MaxIters {
+			return fmt.Errorf("engine: pagerank iters %d exceeds max %d", spec.Iters, pagerank.MaxIters)
 		}
 	default:
 		return fmt.Errorf("engine: unknown algorithm %q", spec.Algo)
 	}
 	if cp := spec.Resume; cp != nil {
-		if spec.Algo == AlgoKCore {
-			return errors.New("engine: kcore is not resumable (removal counts are not monotone per-vertex state)")
+		if !spec.Algo.Resumable() {
+			return fmt.Errorf("%w: %s", ErrNotResumable, spec.Algo)
 		}
 		if cp.Res == nil {
 			return errors.New("engine: resume checkpoint has no result state")
@@ -641,7 +687,7 @@ func (e *Engine) Submit(spec Spec) (*Ticket, error) {
 func newResult(spec Spec, n uint64) *Result {
 	res := &Result{}
 	switch spec.Algo {
-	case AlgoBFS:
+	case AlgoBFS, AlgoBFSDO:
 		res.Levels = make([]uint32, n)
 		for i := range res.Levels {
 			res.Levels[i] = bfs.Unreached
@@ -660,6 +706,13 @@ func newResult(spec Spec, n uint64) *Result {
 		}
 	case AlgoKCore:
 		res.InCore = make([]bool, n)
+	case AlgoPageRank:
+		// Iteration-0 value (uniform 1/n), the fixed-point starting mass —
+		// matching what a query cancelled before any iteration would mean.
+		res.Ranks = make([]uint64, n)
+		for i := range res.Ranks {
+			res.Ranks[i] = ref.PRScale / n
+		}
 	}
 	return res
 }
@@ -673,6 +726,8 @@ func (e *Engine) completeQuery(q *query) {
 		q.res.Components = q.accum.Load()
 	case AlgoKCore:
 		q.res.CoreSize = q.accum.Load()
+	case AlgoTriangles:
+		q.res.Triangles = q.accum.Load()
 	}
 	e.mu.Lock()
 	e.inflight--

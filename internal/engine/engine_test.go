@@ -128,6 +128,9 @@ func TestEngineConcurrentQueries(t *testing.T) {
 	jobs = append(jobs,
 		job{spec: engine.Spec{Algo: engine.AlgoCC}},
 		job{spec: engine.Spec{Algo: engine.AlgoKCore, K: 2}},
+		job{spec: engine.Spec{Algo: engine.AlgoBFSDO, Source: 7}},
+		job{spec: engine.Spec{Algo: engine.AlgoPageRank, Iters: 8}},
+		job{spec: engine.Spec{Algo: engine.AlgoTriangles}},
 	)
 
 	// Submit everything up front: with MaxInFlight 8 and 10 jobs, at least 8
@@ -188,6 +191,37 @@ func TestEngineConcurrentQueries(t *testing.T) {
 				if res.InCore[v] != want[v] {
 					t.Fatalf("job %d (kcore) vertex %d: in-core %v, reference %v", i, v, res.InCore[v], want[v])
 				}
+			}
+		case engine.AlgoBFSDO:
+			// Hash-identity bar: DO levels must equal the reference (and so the
+			// visitor-queue BFS) exactly, with consistent parents.
+			want, _ := ref.BFS(adj, j.spec.Source)
+			for v := uint64(0); v < n; v++ {
+				if res.Levels[v] != want[v] {
+					t.Fatalf("job %d (bfs_do from %d) vertex %d: level %d, reference %d",
+						i, j.spec.Source, v, res.Levels[v], want[v])
+				}
+				if res.Levels[v] != bfs.Unreached && v != uint64(j.spec.Source) {
+					p := res.Parents[v]
+					if p == graph.Nil || res.Levels[p] != res.Levels[v]-1 {
+						t.Fatalf("job %d (bfs_do) vertex %d parent %d invalid", i, v, p)
+					}
+				}
+			}
+		case engine.AlgoPageRank:
+			want := ref.PageRank(adj, int(j.spec.Iters))
+			for v := uint64(0); v < n; v++ {
+				if res.Ranks[v] != want[v] {
+					t.Fatalf("job %d (pagerank) vertex %d: rank %d, reference %d",
+						i, v, res.Ranks[v], want[v])
+				}
+			}
+		case engine.AlgoTriangles:
+			// The engine graph is a raw RMAT multigraph; the count must match
+			// the reference over the simplified graph.
+			want := ref.CountTriangles(ref.BuildAdj(graph.Simplify(edges), n))
+			if res.Triangles != want {
+				t.Fatalf("job %d (triangles): %d, reference %d", i, res.Triangles, want)
 			}
 		}
 		checkFlows(t, j.tk)
@@ -313,14 +347,30 @@ func TestEngineCancelWaiting(t *testing.T) {
 func TestEngineSubmitValidation(t *testing.T) {
 	e, _, n := buildEngine(t, 7, 2, "1d", engine.Options{})
 
-	if _, err := e.Submit(engine.Spec{Algo: "pagerank"}); err == nil {
+	if _, err := e.Submit(engine.Spec{Algo: "betweenness"}); err == nil {
 		t.Error("unknown algorithm accepted")
 	}
 	if _, err := e.Submit(engine.Spec{Algo: engine.AlgoBFS, Source: graph.Vertex(n)}); err == nil {
 		t.Error("out-of-range source accepted")
 	}
+	if _, err := e.Submit(engine.Spec{Algo: engine.AlgoBFSDO, Source: graph.Vertex(n)}); err == nil {
+		t.Error("out-of-range bfs_do source accepted")
+	}
 	if _, err := e.Submit(engine.Spec{Algo: engine.AlgoKCore, K: 0}); err == nil {
 		t.Error("k=0 accepted")
+	}
+	if _, err := e.Submit(engine.Spec{Algo: engine.AlgoPageRank, Iters: 1000}); err == nil {
+		t.Error("pagerank iteration count beyond MaxIters accepted")
+	}
+	// Resume capability: algorithms without monotone per-vertex state reject
+	// Spec.Resume with the typed sentinel.
+	for _, algo := range []engine.Algo{engine.AlgoKCore, engine.AlgoPageRank,
+		engine.AlgoTriangles, engine.AlgoBFSDO} {
+		spec := engine.Spec{Algo: algo, K: 2}
+		spec.Resume = &engine.Checkpoint{Spec: spec, Res: &engine.Result{Cancelled: true}}
+		if _, err := e.Submit(spec); !errors.Is(err, engine.ErrNotResumable) {
+			t.Errorf("%s resume: got %v, want ErrNotResumable", algo, err)
+		}
 	}
 	if err := e.Close(); err != nil {
 		t.Fatalf("Close: %v", err)

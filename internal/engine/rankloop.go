@@ -266,7 +266,7 @@ func (s *rankState) start(r *rt.Rank, q *query) {
 		det:  det,
 		cell: s.flows.cell(q.id),
 	}
-	rq.run = newRunner(r, s.e.cfg.Parts[r.Rank()], s.e.cfg.Ghosts[r.Rank()], s.pager, s.box, det, q)
+	rq.run = newRunner(r, s.e.cfg.Parts[r.Rank()], s.e.cfg.Ghosts[r.Rank()], s.pager, s.box, det, q, s.e.opts)
 	s.active[q.id] = rq
 	if recs := s.pending[q.id]; len(recs) > 0 {
 		delete(s.pending, q.id)

@@ -10,7 +10,9 @@ import (
 	"havoqgt/internal/algos/bfs"
 	"havoqgt/internal/algos/cc"
 	"havoqgt/internal/algos/kcore"
+	"havoqgt/internal/algos/pagerank"
 	"havoqgt/internal/algos/sssp"
+	"havoqgt/internal/algos/triangle"
 	"havoqgt/internal/core"
 	"havoqgt/internal/graph"
 	"havoqgt/internal/mailbox"
@@ -21,16 +23,22 @@ import (
 
 // newRunner dispatches on the query's algorithm.
 func newRunner(r *rt.Rank, part *partition.Part, ghosts *core.GhostTable, pager core.RowPager,
-	box *mailbox.Box, det *termination.Detector, q *query) runner {
+	box *mailbox.Box, det *termination.Detector, q *query, opts Options) runner {
 	switch q.spec.Algo {
 	case AlgoBFS:
 		return newBFSRunner(r, part, ghosts, pager, box, det, q)
 	case AlgoSSSP:
-		return newSSSPRunner(r, part, ghosts, pager, box, det, q)
+		return newSSSPRunner(r, part, ghosts, pager, box, det, q, opts.DisableBucketOrder)
 	case AlgoCC:
 		return newCCRunner(r, part, ghosts, pager, box, det, q)
 	case AlgoKCore:
 		return newKCoreRunner(r, part, pager, box, det, q)
+	case AlgoBFSDO:
+		return newDOBFSRunner(part, pager, box, det, q)
+	case AlgoPageRank:
+		return newPageRankRunner(r, part, pager, box, det, q)
+	case AlgoTriangles:
+		return newTriangleRunner(r, part, pager, box, det, q)
 	default:
 		panic("engine: unknown algorithm past Submit validation")
 	}
@@ -112,9 +120,10 @@ type ssspRunner struct {
 }
 
 func newSSSPRunner(r *rt.Rank, part *partition.Part, ghosts *core.GhostTable, pager core.RowPager,
-	box *mailbox.Box, det *termination.Detector, q *query) runner {
+	box *mailbox.Box, det *termination.Detector, q *query, disableBucketOrder bool) runner {
 	st := sssp.New(part, q.spec.WeightSeed)
 	cfg := ghostCfg(ghosts, pager)
+	cfg.DisableBucketOrder = disableBucketOrder
 	if ghosts != nil {
 		st.AttachGhosts(ghosts)
 	}
@@ -214,4 +223,132 @@ func newKCoreRunner(r *rt.Rank, part *partition.Part, pager core.RowPager,
 func (rn *kcoreRunner) Finish() {
 	gatherInto(rn.q.res.InCore, rn.part, func(i int) bool { return rn.st.Alive[i] })
 	rn.q.accum.Add(rn.st.LocalCoreSize())
+}
+
+// --- Direction-optimizing BFS ---
+
+// doBFSRunner adapts the bfs.DO state machine — a counted peer-message
+// protocol rather than a visitor queue — to the engine's runner face. Sends
+// travel through the shared mailbox under the query's tag, so the rank-level
+// flow counter and the per-query detector account for them exactly like
+// visitor records; quiescence is reached when every rank has merged the
+// empty frontier and all level messages have drained.
+type doBFSRunner struct {
+	d         *bfs.DO
+	det       *termination.Detector
+	part      *partition.Part
+	q         *query
+	cancelled bool
+	stats     core.Stats
+}
+
+func newDOBFSRunner(part *partition.Part, pager core.RowPager,
+	box *mailbox.Box, det *termination.Detector, q *query) runner {
+	send := func(dest int, payload []byte) { box.SendTagged(dest, q.id, payload) }
+	var hint bfs.RowHinter
+	if pager != nil {
+		hint = pager // bottom-up unvisited-row scans prefetch through the pager
+	}
+	d := bfs.NewDO(part, q.spec.Source, send, hint)
+	d.Start()
+	return &doBFSRunner{d: d, det: det, part: part, q: q}
+}
+
+func (rn *doBFSRunner) Deliver(rec mailbox.Record) {
+	if rn.cancelled {
+		return // drain: delivery already counted, state no longer advances
+	}
+	rn.d.Handle(rec.Payload)
+}
+
+func (rn *doBFSRunner) Step(batch int) bool {
+	progress := false
+	for i := 0; i < batch && rn.d.TryAdvance(); i++ {
+		progress = true
+	}
+	return progress
+}
+
+// Unpark: the DO machine never parks visitors — bottom-up scans hint the
+// pager ahead of reads and then fault synchronously on the rare miss.
+func (rn *doBFSRunner) Unpark(pages []int64) bool { return false }
+
+func (rn *doBFSRunner) LocalIdle() bool { return rn.cancelled || rn.d.Idle() }
+
+func (rn *doBFSRunner) Cancel() {
+	rn.cancelled = true
+	rn.d.Abort()
+}
+
+func (rn *doBFSRunner) Cancelled() bool { return rn.cancelled }
+
+func (rn *doBFSRunner) PumpTermination(localIdle bool) bool {
+	if !rn.det.Pump(localIdle) {
+		return false
+	}
+	rn.stats.DetectorWaves = rn.det.Waves
+	rn.stats.DetectorSent = rn.det.Sent()
+	rn.stats.DetectorReceived = rn.det.Received()
+	return true
+}
+
+func (rn *doBFSRunner) Stats() core.Stats { return rn.stats }
+
+func (rn *doBFSRunner) Finish() {
+	gatherInto(rn.q.res.Levels, rn.part, func(i int) uint32 { return rn.d.Level[i] })
+	gatherInto(rn.q.res.Parents, rn.part, func(i int) graph.Vertex { return rn.d.Parent[i] })
+}
+
+// --- PageRank ---
+
+type pagerankRunner struct {
+	*core.Queue[pagerank.Visitor]
+	st   *pagerank.PR
+	part *partition.Part
+	q    *query
+}
+
+func newPageRankRunner(r *rt.Rank, part *partition.Part, pager core.RowPager,
+	box *mailbox.Box, det *termination.Detector, q *query) runner {
+	st := pagerank.New(part, q.spec.Iters)
+	// Counted completion needs every contribution delivered: no ghost
+	// filtering (the algorithm declares no ghost hook anyway).
+	qu := core.NewQueueShared[pagerank.Visitor](r, part, st, core.Config{Pager: pager}, box, det, q.id)
+	st.Seed(qu)
+	return &pagerankRunner{Queue: qu, st: st, part: part, q: q}
+}
+
+func (rn *pagerankRunner) Finish() {
+	gatherInto(rn.q.res.Ranks, rn.part, func(i int) uint64 { return rn.st.Rank[i] })
+}
+
+// --- Triangle counting ---
+
+type triangleRunner struct {
+	*core.Queue[triangle.Visitor]
+	st   *triangle.Triangle
+	part *partition.Part
+	q    *query
+}
+
+func newTriangleRunner(r *rt.Rank, part *partition.Part, pager core.RowPager,
+	box *mailbox.Box, det *termination.Detector, q *query) runner {
+	st := triangle.New(part)
+	// Triangle counting needs precise adjacency membership: no ghosts (§VI-C).
+	qu := core.NewQueueShared[triangle.Visitor](r, part, st, core.Config{Pager: pager}, box, det, q.id)
+	lo, hi := part.Owners.MasterRange(part.Rank)
+	for v := lo; v < hi; v++ {
+		qu.Push(triangle.Visitor{V: graph.Vertex(v), Second: graph.Nil, Third: graph.Nil})
+	}
+	return &triangleRunner{Queue: qu, st: st, part: part, q: q}
+}
+
+func (rn *triangleRunner) Finish() {
+	// The classic path all-reduces local tallies; engine queries quiesce in
+	// different orders on different ranks, so accumulate atomically instead.
+	var local uint64
+	for _, c := range rn.st.Count {
+		local += c
+	}
+	rn.q.accum.Add(local)
 }

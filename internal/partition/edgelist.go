@@ -67,20 +67,23 @@ func buildEdgeList(r *rt.Rank, local []graph.Edge, numVertices uint64, simplify 
 
 	// --- boundary metadata exchange ---
 	p := r.Size()
-	meta := make([]byte, 17)
+	meta := make([]byte, 25)
 	if len(local) > 0 {
 		meta[0] = 1
 		binary.LittleEndian.PutUint64(meta[1:], uint64(local[0].Src))
 		binary.LittleEndian.PutUint64(meta[9:], uint64(local[len(local)-1].Src))
+		binary.LittleEndian.PutUint64(meta[17:], uint64(local[len(local)-1].Dst))
 	}
 	allMeta := r.AllGatherBytes(meta)
 	hasEdges := make([]bool, p)
 	firstSrc := make([]uint64, p)
 	lastSrc := make([]uint64, p)
+	lastDst := make([]uint64, p)
 	for i, m := range allMeta {
 		hasEdges[i] = m[0] == 1
 		firstSrc[i] = binary.LittleEndian.Uint64(m[1:])
 		lastSrc[i] = binary.LittleEndian.Uint64(m[9:])
+		lastDst[i] = binary.LittleEndian.Uint64(m[17:])
 		if hasEdges[i] && lastSrc[i] >= numVertices {
 			return nil, fmt.Errorf("partition: vertex %d out of range (n=%d)", lastSrc[i], numVertices)
 		}
@@ -144,6 +147,24 @@ func buildEdgeList(r *rt.Rank, local []graph.Edge, numVertices uint64, simplify 
 				part.HasForward = true
 				part.ForwardVertex = graph.Vertex(lastSrc[me])
 				part.ForwardTo = j
+			}
+			break
+		}
+	}
+
+	// Split-row tail: when my first row continues the previous holder's last
+	// row, record that holder's final stored edge. Multigraph-safe kernels
+	// use it to deduplicate duplicate-target runs that straddle the replica
+	// boundary (targets within a row are globally sorted, so all copies of a
+	// duplicate edge are contiguous across the chain's portions).
+	if hasEdges[me] {
+		for j := me - 1; j >= 0; j-- {
+			if !hasEdges[j] {
+				continue
+			}
+			if lastSrc[j] == firstSrc[me] {
+				part.PrevTail = graph.Edge{Src: graph.Vertex(lastSrc[j]), Dst: graph.Vertex(lastDst[j])}
+				part.PrevTailValid = true
 			}
 			break
 		}

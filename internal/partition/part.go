@@ -96,6 +96,15 @@ type Part struct {
 	// list spans ranks). Algorithms needing degree(v), like k-core
 	// initialization, consult this first.
 	BoundaryDegree map[graph.Vertex]uint64
+
+	// PrevTail is the previous holder's final stored edge when this rank's
+	// first row continues a split adjacency list (PrevTailValid). Because
+	// targets within a row are sorted, all copies of a duplicate edge are
+	// contiguous across the chain's portions, so this single edge is enough
+	// for multigraph-safe kernels (triangle counting) to skip a duplicate
+	// run straddling the boundary. Edge-list partitioning only.
+	PrevTail      graph.Edge
+	PrevTailValid bool
 }
 
 // LocalIndex maps a vertex to its row in the local state range.

@@ -33,6 +33,7 @@ type Key struct {
 	Source     uint64
 	WeightSeed uint64
 	K          uint32
+	Iters      uint32
 	Full       bool
 	// DeadlineMS separates requests with different deadline budgets:
 	// their successful answers are identical, but their failure behaviour
